@@ -1,0 +1,189 @@
+//! The Skolem function `gen_id` and the `gen_A` node registries (§2.3).
+//!
+//! The paper assumes "a compact, unique value associated with each tuple
+//! value of semantic attribute `$A`", computed by a Skolem function `gen_id`
+//! that is injective across all `(type, tuple)` pairs. We realize it as an
+//! interner: the first request for a pair allocates a dense [`NodeId`];
+//! subsequent requests return the same id. This is what makes equality of
+//! semantic attribute values *be* node identity — the property the paper's
+//! side-effect semantics relies on (two nodes with the same type and `$A`
+//! value are one physical node in the DAG).
+
+use rxview_relstore::Tuple;
+use rxview_xmlkit::TypeId;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// Identifier of a node in the published DAG.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// The `gen_id` interner plus per-type registries (`gen_A` sets).
+#[derive(Debug, Clone, Default)]
+pub struct GenId {
+    map: HashMap<(TypeId, Tuple), NodeId>,
+    info: Vec<(TypeId, Tuple)>,
+    live: Vec<bool>,
+    by_type: BTreeMap<TypeId, BTreeSet<NodeId>>,
+}
+
+impl GenId {
+    /// An empty interner.
+    pub fn new() -> Self {
+        GenId::default()
+    }
+
+    /// `gen_id(ty, $A)`: returns the node id for the pair, allocating (or
+    /// reviving) if needed. The boolean is `true` when the node was not live
+    /// before the call.
+    pub fn gen_id(&mut self, ty: TypeId, attr: Tuple) -> (NodeId, bool) {
+        if let Some(&id) = self.map.get(&(ty, attr.clone())) {
+            let fresh = !self.live[id.index()];
+            if fresh {
+                self.live[id.index()] = true;
+                self.by_type.entry(ty).or_default().insert(id);
+            }
+            return (id, fresh);
+        }
+        let id = NodeId(self.info.len() as u32);
+        self.map.insert((ty, attr.clone()), id);
+        self.info.push((ty, attr));
+        self.live.push(true);
+        self.by_type.entry(ty).or_default().insert(id);
+        (id, true)
+    }
+
+    /// Looks up a pair without allocating.
+    pub fn lookup(&self, ty: TypeId, attr: &Tuple) -> Option<NodeId> {
+        self.map
+            .get(&(ty, attr.clone()))
+            .copied()
+            .filter(|id| self.live[id.index()])
+    }
+
+    /// The element type of a node.
+    pub fn type_of(&self, id: NodeId) -> TypeId {
+        self.info[id.index()].0
+    }
+
+    /// The semantic attribute `$A` tuple of a node.
+    pub fn attr_of(&self, id: NodeId) -> &Tuple {
+        &self.info[id.index()].1
+    }
+
+    /// Whether the node is live (present in the view).
+    pub fn is_live(&self, id: NodeId) -> bool {
+        self.live[id.index()]
+    }
+
+    /// The `gen_A` set: live node ids of a type, ascending.
+    pub fn ids_of_type(&self, ty: TypeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.by_type.get(&ty).into_iter().flatten().copied()
+    }
+
+    /// Number of live nodes.
+    pub fn n_live(&self) -> usize {
+        self.live.iter().filter(|&&l| l).count()
+    }
+
+    /// Total ids ever allocated (live or not).
+    pub fn n_allocated(&self) -> usize {
+        self.info.len()
+    }
+
+    /// Retires a node id (garbage collection of unreachable `gen_B` entries,
+    /// §2.3). The id keeps its identity: re-publishing the same `(ty, $A)`
+    /// revives the same [`NodeId`].
+    pub fn retire(&mut self, id: NodeId) {
+        if self.live[id.index()] {
+            self.live[id.index()] = false;
+            let ty = self.info[id.index()].0;
+            if let Some(set) = self.by_type.get_mut(&ty) {
+                set.remove(&id);
+            }
+        }
+    }
+
+    /// All live node ids, ascending.
+    pub fn live_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.info.len() as u32).map(NodeId).filter(|id| self.live[id.index()])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rxview_relstore::tuple;
+
+    const T0: TypeId = TypeId(0);
+    const T1: TypeId = TypeId(1);
+
+    #[test]
+    fn interning_is_stable() {
+        let mut g = GenId::new();
+        let (a, fresh_a) = g.gen_id(T0, tuple!["CS320", "Algorithms"]);
+        assert!(fresh_a);
+        let (b, fresh_b) = g.gen_id(T0, tuple!["CS320", "Algorithms"]);
+        assert!(!fresh_b);
+        assert_eq!(a, b);
+        assert_eq!(g.n_live(), 1);
+    }
+
+    #[test]
+    fn same_tuple_different_type_distinct() {
+        let mut g = GenId::new();
+        let (a, _) = g.gen_id(T0, tuple!["x"]);
+        let (b, _) = g.gen_id(T1, tuple!["x"]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn type_and_attr_recoverable() {
+        let mut g = GenId::new();
+        let (a, _) = g.gen_id(T0, tuple!["k", 1i64]);
+        assert_eq!(g.type_of(a), T0);
+        assert_eq!(g.attr_of(a), &tuple!["k", 1i64]);
+    }
+
+    #[test]
+    fn gen_sets_track_types() {
+        let mut g = GenId::new();
+        g.gen_id(T0, tuple!["a"]);
+        g.gen_id(T0, tuple!["b"]);
+        g.gen_id(T1, tuple!["a"]);
+        assert_eq!(g.ids_of_type(T0).count(), 2);
+        assert_eq!(g.ids_of_type(T1).count(), 1);
+    }
+
+    #[test]
+    fn retire_and_revive_keeps_identity() {
+        let mut g = GenId::new();
+        let (a, _) = g.gen_id(T0, tuple!["a"]);
+        g.retire(a);
+        assert!(!g.is_live(a));
+        assert_eq!(g.lookup(T0, &tuple!["a"]), None);
+        assert_eq!(g.ids_of_type(T0).count(), 0);
+        let (b, fresh) = g.gen_id(T0, tuple!["a"]);
+        assert_eq!(a, b);
+        assert!(fresh);
+        assert!(g.is_live(a));
+    }
+
+    #[test]
+    fn live_ids_iterate_in_order() {
+        let mut g = GenId::new();
+        let (a, _) = g.gen_id(T0, tuple!["a"]);
+        let (b, _) = g.gen_id(T0, tuple!["b"]);
+        let (c, _) = g.gen_id(T1, tuple!["c"]);
+        g.retire(b);
+        assert_eq!(g.live_ids().collect::<Vec<_>>(), vec![a, c]);
+        assert_eq!(g.n_allocated(), 3);
+        assert_eq!(g.n_live(), 2);
+    }
+}

@@ -1,0 +1,342 @@
+//! Schema-directed publishing of relational data into DAG-compressed XML
+//! views (§2.2–2.3).
+//!
+//! The ATG generates the view *directly as a DAG*: node identity is the
+//! Skolem id of `(type, $A)`, so a subtree shared by many parents is
+//! generated and stored once — this is the compression of Fig.1. Expansion
+//! to an ordinary [`XmlTree`] is provided for oracles and baselines.
+
+use crate::genid::{GenId, NodeId};
+use crate::grammar::Atg;
+use rxview_relstore::{RelError, TableSource, Tuple};
+use rxview_xmlkit::{Production, TypeId, XmlTree};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+/// Errors during publishing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PublishError {
+    /// The generated node graph has a cycle (the "view" would be an infinite
+    /// tree); the paper assumes acyclic data (e.g. prerequisite hierarchies).
+    CyclicData,
+    /// Underlying relational error.
+    Rel(RelError),
+}
+
+impl fmt::Display for PublishError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PublishError::CyclicData => {
+                write!(f, "published node graph is cyclic; the XML view would be infinite")
+            }
+            PublishError::Rel(e) => write!(f, "relational error during publishing: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PublishError {}
+
+impl From<RelError> for PublishError {
+    fn from(e: RelError) -> Self {
+        PublishError::Rel(e)
+    }
+}
+
+/// A DAG-compressed XML view: nodes are Skolem ids, edges are parent→child.
+#[derive(Debug, Clone, Default)]
+pub struct Dag {
+    genid: GenId,
+    root: Option<NodeId>,
+    children: HashMap<NodeId, Vec<NodeId>>,
+    parents: HashMap<NodeId, Vec<NodeId>>,
+    edge_rels: BTreeMap<(TypeId, TypeId), BTreeSet<(NodeId, NodeId)>>,
+}
+
+impl Dag {
+    /// An empty DAG.
+    pub fn new() -> Self {
+        Dag::default()
+    }
+
+    /// The Skolem interner.
+    pub fn genid(&self) -> &GenId {
+        &self.genid
+    }
+
+    /// Mutable access to the interner (update translation allocates ids for
+    /// newly inserted subtrees).
+    pub fn genid_mut(&mut self) -> &mut GenId {
+        &mut self.genid
+    }
+
+    /// The root node.
+    ///
+    /// # Panics
+    /// Panics if the DAG is empty.
+    pub fn root(&self) -> NodeId {
+        self.root.expect("empty DAG has no root")
+    }
+
+    /// Sets the root (used when building incrementally).
+    pub fn set_root(&mut self, root: NodeId) {
+        self.root = Some(root);
+    }
+
+    /// Ordered children of a node.
+    pub fn children(&self, v: NodeId) -> &[NodeId] {
+        self.children.get(&v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Parents of a node (a DAG node may have several, §3.2).
+    pub fn parents(&self, v: NodeId) -> &[NodeId] {
+        self.parents.get(&v).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Whether edge `(u, v)` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.children(u).contains(&v)
+    }
+
+    /// Adds edge `(u, v)`, appending `v` as the rightmost child of `u`
+    /// (the paper's insertion semantics, §2.1). No-op if present.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        if self.has_edge(u, v) {
+            return false;
+        }
+        self.children.entry(u).or_default().push(v);
+        self.parents.entry(v).or_default().push(u);
+        let key = (self.genid.type_of(u), self.genid.type_of(v));
+        self.edge_rels.entry(key).or_default().insert((u, v));
+        true
+    }
+
+    /// Removes edge `(u, v)`. No-op if absent.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        let Some(cs) = self.children.get_mut(&u) else { return false };
+        let Some(pos) = cs.iter().position(|&c| c == v) else { return false };
+        cs.remove(pos);
+        if let Some(ps) = self.parents.get_mut(&v) {
+            if let Some(pp) = ps.iter().position(|&p| p == u) {
+                ps.remove(pp);
+            }
+        }
+        let key = (self.genid.type_of(u), self.genid.type_of(v));
+        if let Some(set) = self.edge_rels.get_mut(&key) {
+            set.remove(&(u, v));
+        }
+        true
+    }
+
+    /// The edge relation `edge_A_B`, if non-empty.
+    pub fn edge_rel(&self, a: TypeId, b: TypeId) -> Option<&BTreeSet<(NodeId, NodeId)>> {
+        self.edge_rels.get(&(a, b))
+    }
+
+    /// All `(type-pair, edge-set)` entries.
+    pub fn edge_rels(&self) -> impl Iterator<Item = (&(TypeId, TypeId), &BTreeSet<(NodeId, NodeId)>)> {
+        self.edge_rels.iter()
+    }
+
+    /// All edges, in deterministic order.
+    pub fn all_edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.edge_rels.values().flatten().copied()
+    }
+
+    /// Number of live nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.genid.n_live()
+    }
+
+    /// Number of edges.
+    pub fn n_edges(&self) -> usize {
+        self.edge_rels.values().map(BTreeSet::len).sum()
+    }
+
+    /// Expands the DAG into an (uncompressed) [`XmlTree`].
+    ///
+    /// Shared subtrees are copied once per occurrence, exactly undoing the
+    /// compression; the result is `σ(I)` as a tree.
+    pub fn expand(&self, atg: &Atg) -> XmlTree {
+        let root = self.root();
+        let mut tree = XmlTree::new(self.genid.type_of(root));
+        self.expand_node(atg, root, tree.root(), &mut tree, 0);
+        tree
+    }
+
+    fn expand_node(
+        &self,
+        atg: &Atg,
+        v: NodeId,
+        tv: rxview_xmlkit::NodeId,
+        tree: &mut XmlTree,
+        depth: usize,
+    ) {
+        assert!(depth < 10_000, "cycle while expanding DAG");
+        for &c in self.children(v) {
+            let ty = self.genid.type_of(c);
+            if atg.dtd().is_pcdata(ty) {
+                let text = atg.text_of(ty, self.genid.attr_of(c));
+                tree.add_text_child(tv, ty, text);
+            } else {
+                let tc = tree.add_child(tv, ty);
+                self.expand_node(atg, c, tc, tree, depth + 1);
+            }
+        }
+    }
+
+    /// Serializes the DAG *without* expanding shared subtrees: the first
+    /// occurrence of a node is emitted in full with an `id` attribute; every
+    /// further occurrence becomes an empty element with a `ref` attribute.
+    /// This is the textual counterpart of the compression of Fig.1 (the
+    /// dotted arrows), and stays linear in the DAG size where
+    /// [`Dag::expand`] can be exponential.
+    pub fn serialize_compact(&self, atg: &Atg) -> String {
+        let mut out = String::new();
+        let mut emitted: BTreeSet<NodeId> = BTreeSet::new();
+        self.write_compact(atg, self.root(), 0, &mut emitted, &mut out);
+        out
+    }
+
+    fn write_compact(
+        &self,
+        atg: &Atg,
+        v: NodeId,
+        depth: usize,
+        emitted: &mut BTreeSet<NodeId>,
+        out: &mut String,
+    ) {
+        use std::fmt::Write as _;
+        let pad = "  ".repeat(depth);
+        let ty = self.genid.type_of(v);
+        let name = atg.dtd().name(ty);
+        let shared = self.parents(v).len() > 1;
+        if !emitted.insert(v) {
+            let _ = writeln!(out, "{pad}<{name} ref=\"n{}\"/>", v.0);
+            return;
+        }
+        let id_attr = if shared { format!(" id=\"n{}\"", v.0) } else { String::new() };
+        if atg.dtd().is_pcdata(ty) {
+            let text = atg.text_of(ty, self.genid.attr_of(v));
+            let _ = writeln!(out, "{pad}<{name}{id_attr}>{text}</{name}>");
+            return;
+        }
+        let children = self.children(v);
+        if children.is_empty() {
+            let _ = writeln!(out, "{pad}<{name}{id_attr}/>");
+            return;
+        }
+        let _ = writeln!(out, "{pad}<{name}{id_attr}>");
+        for &c in children {
+            self.write_compact(atg, c, depth + 1, emitted, out);
+        }
+        let _ = writeln!(out, "{pad}</{name}>");
+    }
+
+    /// Verifies acyclicity via Kahn's algorithm. Returns `false` if a cycle
+    /// exists among live nodes.
+    pub fn is_acyclic(&self) -> bool {
+        let mut indeg: HashMap<NodeId, usize> = HashMap::new();
+        for id in self.genid.live_ids() {
+            indeg.insert(id, 0);
+        }
+        for (u, v) in self.all_edges() {
+            let _ = u;
+            *indeg.entry(v).or_insert(0) += 1;
+        }
+        let mut queue: Vec<NodeId> =
+            indeg.iter().filter(|(_, &d)| d == 0).map(|(&n, _)| n).collect();
+        let mut seen = 0usize;
+        while let Some(u) = queue.pop() {
+            seen += 1;
+            for &v in self.children(u) {
+                let d = indeg.get_mut(&v).expect("child tracked");
+                *d -= 1;
+                if *d == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        seen == indeg.len()
+    }
+}
+
+/// The edges and nodes of a freshly generated subtree `ST(A, t)`.
+#[derive(Debug, Clone)]
+pub struct SubtreeDag {
+    /// The subtree root.
+    pub root: NodeId,
+    /// Distinct edges, parent before child order of discovery.
+    pub edges: Vec<(NodeId, NodeId)>,
+    /// Distinct nodes, root first.
+    pub nodes: Vec<NodeId>,
+    /// The subset of `nodes` that were newly allocated (not previously live);
+    /// used for rollback when the update is later rejected, and by the
+    /// incremental maintenance of `M` and `L` (§3.4).
+    pub fresh: Vec<NodeId>,
+}
+
+/// Generates the subtree `ST(A, t)` (the paper's `insert (A, t)` payload and
+/// the publishing workhorse): nodes are interned into `genid`; recursion
+/// stops at nodes that are already live (their subtrees are already in the
+/// view — the subtree property of XML publishing).
+pub fn generate_subtree(
+    atg: &Atg,
+    src: &impl TableSource,
+    genid: &mut GenId,
+    ty: TypeId,
+    attr: Tuple,
+) -> Result<SubtreeDag, PublishError> {
+    let (root, root_fresh) = genid.gen_id(ty, attr);
+    let mut out = SubtreeDag { root, edges: Vec::new(), nodes: vec![root], fresh: Vec::new() };
+    if !root_fresh {
+        return Ok(out);
+    }
+    out.fresh.push(root);
+    let mut stack = vec![root];
+    let mut seen_edges: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+    while let Some(u) = stack.pop() {
+        let uty = genid.type_of(u);
+        let uattr = genid.attr_of(u).clone();
+        let child_types: Vec<TypeId> = match atg.dtd().production(uty) {
+            Production::PcData | Production::Empty => Vec::new(),
+            Production::Sequence(ts) => ts.clone(),
+            Production::Alternation(ts) => ts.clone(),
+            Production::Star(t) => vec![*t],
+        };
+        for cty in child_types {
+            let tuples = atg
+                .child_tuples(src, uty, &uattr, cty)
+                .map_err(PublishError::Rel)?;
+            for t in tuples {
+                let (v, fresh) = genid.gen_id(cty, t);
+                if seen_edges.insert((u, v)) {
+                    out.edges.push((u, v));
+                }
+                if fresh {
+                    out.nodes.push(v);
+                    out.fresh.push(v);
+                    stack.push(v);
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Publishes the full XML view `σ(I)` as a DAG.
+pub fn publish(atg: &Atg, src: &impl TableSource) -> Result<Dag, PublishError> {
+    let mut dag = Dag::new();
+    let root_ty = atg.dtd().root();
+    let sub = {
+        let genid = dag.genid_mut();
+        generate_subtree(atg, src, genid, root_ty, Tuple::empty())?
+    };
+    dag.set_root(sub.root);
+    for (u, v) in sub.edges {
+        dag.add_edge(u, v);
+    }
+    if !dag.is_acyclic() {
+        return Err(PublishError::CyclicData);
+    }
+    Ok(dag)
+}

@@ -1,0 +1,41 @@
+//! Ablation D2 (DESIGN.md): evaluating the update XPaths directly on the
+//! compressed DAG (§3.2) vs expanding to a tree and running the naive tree
+//! evaluator — the cost the compression is meant to avoid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rxview_bench::build_system;
+use rxview_core::eval_xpath_on_dag;
+use rxview_xmlkit::{parse_xpath, xpath::tree_eval::eval_on_tree};
+
+fn bench_eval(c: &mut Criterion) {
+    let built = build_system(1_500, Vec::new(), 42);
+    let vs = built.sys.view();
+    let topo = built.sys.topo();
+    let reach = built.sys.reach();
+    // Expansion itself is part of the tree-side cost, but benchmark the
+    // queries on a pre-expanded tree to isolate evaluation.
+    let tree = vs.dag().expand(vs.atg());
+    let dtd = vs.atg().dtd();
+    let paths = [
+        ("descendant_value", "//node[payload=7]"),
+        ("child_chain", "node/sub/node/sub/node"),
+        ("structural", "node[sub/node]/sub/node[payload=3]"),
+    ];
+    let mut group = c.benchmark_group("dag_vs_tree");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for (name, p) in paths {
+        let path = parse_xpath(p).expect("parses");
+        group.bench_function(format!("dag_{name}"), |b| {
+            b.iter(|| eval_xpath_on_dag(vs, topo, reach, &path))
+        });
+        group.bench_function(format!("tree_{name}"), |b| {
+            b.iter(|| eval_on_tree(&tree, dtd, &path))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eval);
+criterion_main!(benches);

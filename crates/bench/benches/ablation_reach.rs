@@ -1,0 +1,28 @@
+//! Ablation D1 (DESIGN.md): Algorithm Reach (Fig.4, `O(n |V|)` via the
+//! backward topological order) vs the naive per-node closure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rxview_bench::build_system;
+use rxview_core::{Reachability, TopoOrder};
+
+fn bench_reach(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reach");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for n in [1_000usize, 4_000] {
+        let built = build_system(n, Vec::new(), 42);
+        let dag = built.sys.view().dag().clone();
+        let topo = TopoOrder::compute(&dag);
+        group.bench_function(format!("algorithm_reach_n{n}"), |b| {
+            b.iter(|| Reachability::compute(&dag, &topo))
+        });
+        group.bench_function(format!("naive_closure_n{n}"), |b| {
+            b.iter(|| Reachability::compute_naive(&dag))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reach);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion version of the Fig.11 cells at a fixed size: one benchmark per
+//! (workload class × update kind), measuring the full end-to-end pipeline.
+//! The size sweeps behind the actual figures live in the `paper_tables`
+//! binary; this bench tracks per-op latency regressions.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rxview_bench::build_system;
+use rxview_workload::{WorkloadClass, WorkloadGen};
+use rxview_core::{SideEffectPolicy, XmlUpdate};
+
+const N: usize = 2_000;
+
+fn bench_fig11(c: &mut Criterion) {
+    let built = build_system(N, Vec::new(), 42);
+    let base_sys = built.sys;
+
+    let mut group = c.benchmark_group("fig11_per_op");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    for class in WorkloadClass::all() {
+        for insertions in [false, true] {
+            let ops: Vec<XmlUpdate> = {
+                let mut gen = WorkloadGen::new(base_sys.view(), 42 ^ class.name().len() as u64);
+                if insertions {
+                    gen.insertions(class, 5)
+                } else {
+                    gen.deletions(class, 5)
+                }
+            };
+            if ops.is_empty() {
+                continue;
+            }
+            let kind = if insertions { "insert" } else { "delete" };
+            group.bench_function(format!("{}_{kind}", class.name()), |b| {
+                b.iter_batched(
+                    || base_sys.clone(),
+                    |mut sys| {
+                        for u in &ops {
+                            let _ = sys.apply(u, SideEffectPolicy::Proceed);
+                        }
+                        sys
+                    },
+                    BatchSize::LargeInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion version of Table 1: incremental maintenance of `M` and `L`
+//! (§3.4) vs recomputation from scratch, at a fixed size.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rxview_bench::build_system;
+use rxview_core::{Reachability, SideEffectPolicy, TopoOrder};
+use rxview_workload::{WorkloadClass, WorkloadGen};
+
+const N: usize = 2_000;
+
+fn bench_maintenance(c: &mut Criterion) {
+    let built = build_system(N, Vec::new(), 42);
+    let base_sys = built.sys;
+    let (ins, del) = {
+        let mut gen = WorkloadGen::new(base_sys.view(), 0x77);
+        (
+            gen.insertions(WorkloadClass::W2, 1).pop().expect("op"),
+            gen.deletions(WorkloadClass::W2, 1).pop().expect("op"),
+        )
+    };
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function("incremental_insert_update", |b| {
+        b.iter_batched(
+            || base_sys.clone(),
+            |mut sys| {
+                let _ = sys.apply(&ins, SideEffectPolicy::Proceed);
+                sys
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("incremental_delete_update", |b| {
+        b.iter_batched(
+            || base_sys.clone(),
+            |mut sys| {
+                let _ = sys.apply(&del, SideEffectPolicy::Proceed);
+                sys
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("recompute_L", |b| {
+        b.iter(|| TopoOrder::compute(base_sys.view().dag()))
+    });
+    let topo = TopoOrder::compute(base_sys.view().dag());
+    group.bench_function("recompute_M", |b| {
+        b.iter(|| Reachability::compute(base_sys.view().dag(), &topo))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_maintenance);
+criterion_main!(benches);

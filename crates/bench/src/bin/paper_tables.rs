@@ -1,0 +1,200 @@
+//! Regenerates every table and figure of the paper's evaluation (§5) as
+//! text tables.
+//!
+//! ```text
+//! cargo run --release -p rxview-bench --bin paper_tables -- all
+//! cargo run --release -p rxview-bench --bin paper_tables -- fig10b fig11-del
+//! cargo run --release -p rxview-bench --bin paper_tables -- all --sizes 1000,10000 --large
+//! ```
+//!
+//! Experiments: `fig10b`, `fig11-del` (Fig.11 a–c), `fig11-ins` (Fig.11 d–f),
+//! `fig11g`, `fig11h`, `table1`, or `all`. `--large` appends 100K (and, for
+//! table1, exercises the same sizes) to the sweep.
+
+use rxview_bench::{
+    fig10b_row, fig11_cell, fig11g_point, fig11h_point, fmt_dur, table1_row, PhaseAgg,
+};
+use rxview_workload::WorkloadClass;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut experiments: Vec<String> = Vec::new();
+    let mut sizes: Vec<usize> = vec![1_000, 3_000, 10_000, 30_000];
+    let mut ops_per_class = 10usize;
+    let mut large = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sizes" => {
+                i += 1;
+                sizes = args[i]
+                    .split(',')
+                    .map(|s| s.parse().expect("size list like 1000,10000"))
+                    .collect();
+            }
+            "--ops" => {
+                i += 1;
+                ops_per_class = args[i].parse().expect("op count");
+            }
+            "--large" => large = true,
+            other => experiments.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if large {
+        sizes.push(100_000);
+    }
+    if experiments.is_empty() || experiments.iter().any(|e| e == "all") {
+        experiments = vec![
+            "fig10b".into(),
+            "fig11-del".into(),
+            "fig11-ins".into(),
+            "fig11g".into(),
+            "fig11h".into(),
+            "table1".into(),
+        ];
+    }
+    for e in &experiments {
+        match e.as_str() {
+            "fig10b" => fig10b(&sizes),
+            "fig11-del" => fig11(&sizes, false, ops_per_class),
+            "fig11-ins" => fig11(&sizes, true, ops_per_class),
+            "fig11g" => fig11g(),
+            "fig11h" => fig11h(),
+            "table1" => table1(&sizes),
+            other => eprintln!("unknown experiment `{other}` (skipped)"),
+        }
+    }
+}
+
+fn fig10b(sizes: &[usize]) {
+    println!("== Fig.10(b): dataset statistics ==");
+    println!(
+        "{:>9} {:>10} {:>10} {:>10} {:>9} {:>10} {:>12} {:>10} {:>9}",
+        "|C|", "base rows", "DAG nodes", "DAG edges", "nodes(C)", "shared", "tree nodes", "|M|", "|L|"
+    );
+    for &n in sizes {
+        let s = fig10b_row(n, 42);
+        let tree = if s.tree_nodes == u128::MAX {
+            "~inf".to_string()
+        } else {
+            s.tree_nodes.to_string()
+        };
+        println!(
+            "{:>9} {:>10} {:>10} {:>10} {:>9} {:>9.1}% {:>12} {:>10} {:>9}",
+            s.n_c,
+            s.total_rows,
+            s.dag_nodes,
+            s.dag_edges,
+            s.published_nodes,
+            s.sharing_pct(),
+            tree,
+            s.m_pairs,
+            s.l_len
+        );
+    }
+    println!();
+}
+
+fn phase_row(n: usize, class: &str, agg: &PhaseAgg) {
+    println!(
+        "{:>9} {:>5} {:>11} {:>11} {:>11} {:>11} {:>5}/{:<5} {:>6} {:>6}",
+        n,
+        class,
+        fmt_dur(agg.eval),
+        fmt_dur(agg.translate),
+        fmt_dur(agg.maintain),
+        fmt_dur(agg.total()),
+        agg.accepted,
+        agg.accepted + agg.rejected,
+        agg.delta_v_total,
+        agg.delta_r_total,
+    );
+}
+
+fn fig11(sizes: &[usize], insertions: bool, ops: usize) {
+    let what = if insertions { "insertions (Fig.11 d–f)" } else { "deletions (Fig.11 a–c)" };
+    println!("== Fig.11: {what}, {ops} ops/class ==");
+    println!(
+        "{:>9} {:>5} {:>11} {:>11} {:>11} {:>11} {:>11} {:>6} {:>6}",
+        "|C|", "class", "(a) eval", "(b) trans", "(c) maint", "total", "acc/total", "|dV|", "|dR|"
+    );
+    for &n in sizes {
+        for class in WorkloadClass::all() {
+            let agg = fig11_cell(n, class, insertions, ops, 42);
+            phase_row(n, class.name(), &agg);
+        }
+    }
+    if insertions {
+        println!("(SAT solver engaged on demand; rejected ops include key conflicts — see EXPERIMENTS.md)");
+    }
+    println!();
+}
+
+fn fig11g() {
+    let n = 20_000;
+    println!("== Fig.11(g): varying |Ep(r)| (deletions) and |r[[p]]| (insertions), |C|={n} ==");
+    println!(
+        "{:>4} {:>10} {:>11} {:>11} {:>11} {:>11}",
+        "k", "|target|", "(a) eval", "(b) trans", "(c) maint", "total"
+    );
+    for deletion in [true, false] {
+        println!("-- {} --", if deletion { "deletions" } else { "insertions" });
+        for k in [1usize, 2, 4, 8, 16] {
+            let (size, agg) = fig11g_point(n, k, deletion, 42);
+            println!(
+                "{:>4} {:>10} {:>11} {:>11} {:>11} {:>11} {:>4}",
+                k,
+                size,
+                fmt_dur(agg.eval),
+                fmt_dur(agg.translate),
+                fmt_dur(agg.maintain),
+                fmt_dur(agg.total()),
+                if agg.accepted > 0 { "ok" } else { "REJ" },
+            );
+        }
+    }
+    println!();
+}
+
+fn fig11h() {
+    let n = 20_000;
+    println!("== Fig.11(h): varying |ST(A,t)| with |r[[p]]|=1, |C|={n} ==");
+    println!(
+        "{:>10} {:>11} {:>11} {:>11} {:>11}",
+        "|ST(A,t)|", "(a) eval", "(b) trans", "(c) maint", "total"
+    );
+    for s in [1usize, 10, 100, 1_000, 5_000] {
+        let (size, agg) = fig11h_point(n, s, 42);
+        println!(
+            "{:>10} {:>11} {:>11} {:>11} {:>11} {:>4}",
+            size,
+            fmt_dur(agg.eval),
+            fmt_dur(agg.translate),
+            fmt_dur(agg.maintain),
+            fmt_dur(agg.total()),
+            if agg.accepted > 0 { "ok" } else { "REJ" },
+        );
+    }
+    println!();
+}
+
+fn table1(sizes: &[usize]) {
+    println!("== Table 1: incremental maintenance of L and M vs recomputation ==");
+    println!(
+        "{:>9} {:>12} {:>12} {:>14} {:>14}",
+        "|C|", "incr ins", "incr del", "recompute L", "recompute M"
+    );
+    for &n in sizes {
+        let r = table1_row(n, 42);
+        println!(
+            "{:>9} {:>12} {:>12} {:>14} {:>14}",
+            r.n,
+            fmt_dur(r.incr_insert),
+            fmt_dur(r.incr_delete),
+            fmt_dur(r.recompute_l),
+            fmt_dur(r.recompute_m),
+        );
+    }
+    println!();
+}

@@ -1,0 +1,26 @@
+//! Diagnostic: prints per-phase build times (generation, publishing, L, M)
+//! across sizes to verify linear scaling of the substrate. Not part of the
+//! paper's tables; useful when tuning the generator or the evaluator.
+
+use rxview_workload::{synthetic_atg, synthetic_database, SyntheticConfig};
+use std::time::Instant;
+fn main() {
+    for n in [1000usize, 2000, 4000, 8000] {
+        let cfg = SyntheticConfig::with_size(n);
+        let t0 = Instant::now();
+        let db = synthetic_database(&cfg);
+        let t_gen = t0.elapsed();
+        let atg = synthetic_atg(&db).unwrap();
+        let t1 = Instant::now();
+        let vs = rxview_core::ViewStore::publish(atg, &db).unwrap();
+        let t_pub = t1.elapsed();
+        let t2 = Instant::now();
+        let topo = rxview_core::TopoOrder::compute(vs.dag());
+        let t_topo = t2.elapsed();
+        let t3 = Instant::now();
+        let reach = rxview_core::Reachability::compute(vs.dag(), &topo);
+        let t_reach = t3.elapsed();
+        println!("n={n}: gen={t_gen:?} publish={t_pub:?} topo={t_topo:?} reach={t_reach:?} nodes={} edges={} m={}",
+            vs.n_nodes(), vs.n_edges(), reach.n_pairs());
+    }
+}

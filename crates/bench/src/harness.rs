@@ -1,0 +1,257 @@
+//! Shared experiment harness: system construction, workload execution with
+//! per-phase timing, and the row types each figure/table prints.
+
+use rxview_core::{
+    Reachability, SideEffectPolicy, TopoOrder, UpdateError, XmlUpdate, XmlViewSystem,
+};
+use rxview_workload::{
+    dataset_stats, detached_chain_heads, synthetic_atg, synthetic_database, DatasetStats,
+    SyntheticConfig, WorkloadClass, WorkloadGen,
+};
+use std::time::{Duration, Instant};
+
+/// A constructed system plus its generator configuration.
+pub struct BuiltSystem {
+    /// Generator parameters used.
+    pub cfg: SyntheticConfig,
+    /// The published system.
+    pub sys: XmlViewSystem,
+    /// Wall-clock time to publish the view.
+    pub publish_time: Duration,
+    /// Wall-clock time to build `M` and `L`.
+    pub aux_time: Duration,
+}
+
+/// Builds a synthetic system of size `n` (with optional detached chains).
+pub fn build_system(n: usize, detached_chains: Vec<usize>, seed: u64) -> BuiltSystem {
+    let mut cfg = SyntheticConfig::with_size(n);
+    cfg.seed = seed;
+    cfg.detached_chains = detached_chains;
+    let db = synthetic_database(&cfg);
+    let atg = synthetic_atg(&db).expect("synthetic ATG builds");
+    let t0 = Instant::now();
+    let vs = rxview_core::ViewStore::publish(atg.clone(), &db).expect("publishes");
+    let publish_time = t0.elapsed();
+    let t1 = Instant::now();
+    let topo = TopoOrder::compute(vs.dag());
+    let _reach = Reachability::compute(vs.dag(), &topo);
+    let aux_time = t1.elapsed();
+    // XmlViewSystem recomputes internally; the timings above are reported
+    // separately for Fig.10(b)/Table 1 context.
+    let sys = XmlViewSystem::new(atg, db).expect("publishes");
+    BuiltSystem { cfg, sys, publish_time, aux_time }
+}
+
+/// Aggregated per-phase timings over a batch of updates — the (a)/(b)/(c)
+/// constituents of Fig.11.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseAgg {
+    /// (a) XPath evaluation on the DAG.
+    pub eval: Duration,
+    /// (b) ∆X→∆V and ∆V→∆R translation + execution.
+    pub translate: Duration,
+    /// (c) background maintenance of `M`/`L` + GC.
+    pub maintain: Duration,
+    /// Updates accepted.
+    pub accepted: usize,
+    /// Updates rejected (side effects unavoidable, key conflicts, ...).
+    pub rejected: usize,
+    /// Insertions for which the SAT solver produced an assignment.
+    pub sat_used: usize,
+    /// Total `∆V` edge operations across accepted updates.
+    pub delta_v_total: usize,
+    /// Total `∆R` tuple operations across accepted updates.
+    pub delta_r_total: usize,
+}
+
+impl PhaseAgg {
+    /// Total foreground + background time.
+    pub fn total(&self) -> Duration {
+        self.eval + self.translate + self.maintain
+    }
+}
+
+/// Applies `ops` to `sys`, accumulating phase timings.
+pub fn run_updates(sys: &mut XmlViewSystem, ops: &[XmlUpdate]) -> PhaseAgg {
+    let mut agg = PhaseAgg::default();
+    for u in ops {
+        match sys.apply(u, SideEffectPolicy::Proceed) {
+            Ok(report) => {
+                agg.accepted += 1;
+                agg.eval += report.timings.eval;
+                agg.translate += report.timings.translate;
+                agg.maintain += report.timings.maintain;
+                agg.delta_v_total += report.delta_v_len;
+                agg.delta_r_total += report.delta_r.len();
+                if report.sat_used {
+                    agg.sat_used += 1;
+                }
+            }
+            Err(UpdateError::EmptyTarget) | Err(_) => {
+                agg.rejected += 1;
+            }
+        }
+    }
+    agg
+}
+
+/// One row of the Fig.10(b) statistics table.
+pub fn fig10b_row(n: usize, seed: u64) -> DatasetStats {
+    let built = build_system(n, Vec::new(), seed);
+    let topo = built.sys.topo();
+    let reach = built.sys.reach();
+    dataset_stats(&built.cfg, built.sys.base(), built.sys.view(), topo, reach)
+}
+
+/// One Fig.11(a–f) cell: run one workload class (deletions or insertions)
+/// of `ops_per_class` operations at size `n`.
+pub fn fig11_cell(
+    n: usize,
+    class: WorkloadClass,
+    insertions: bool,
+    ops_per_class: usize,
+    seed: u64,
+) -> PhaseAgg {
+    let mut built = build_system(n, Vec::new(), seed);
+    let ops: Vec<XmlUpdate> = {
+        let mut gen = WorkloadGen::new(built.sys.view(), seed ^ 0xabcd);
+        if insertions {
+            gen.insertions(class, ops_per_class)
+        } else {
+            gen.deletions(class, ops_per_class)
+        }
+    };
+    run_updates(&mut built.sys, &ops)
+}
+
+/// Fig.11(g): vary the update size `|r[[p]]|` (insertions) or `|Ep(r)|`
+/// (deletions) at fixed `|C|` by widening a payload disjunction filter.
+/// Returns `(measured update size, phases)`.
+pub fn fig11g_point(n: usize, k_payloads: usize, deletion: bool, seed: u64) -> (usize, PhaseAgg) {
+    let chains = if deletion { Vec::new() } else { vec![1usize; 1] };
+    let mut built = build_system(n, chains, seed);
+    // Build the payload disjunction p=0 or p=1 or ...
+    let disj =
+        (0..k_payloads).map(|p| format!("payload={p}")).collect::<Vec<_>>().join(" or ");
+    // Deletions target nodes strictly below the top level (`node//node[...]`)
+    // so every affected edge has a dedicated H-tuple source; top-level
+    // listing edges would require deleting the C tuple itself, which is
+    // unsafe whenever the node still has children.
+    let op = if deletion {
+        XmlUpdate::delete(&format!("node//node[{disj}]")).expect("parses")
+    } else {
+        let head = detached_chain_heads(&built.cfg)[0];
+        XmlUpdate::insert(
+            "node",
+            chain_head_attr(&built.sys, head),
+            &format!("//node[{disj}][sub/node]/sub"),
+        )
+        .expect("parses")
+    };
+    // Measure the selection size first (read-only).
+    let eval = rxview_core::eval_xpath_on_dag(
+        built.sys.view(),
+        built.sys.topo(),
+        built.sys.reach(),
+        op.path(),
+    );
+    let size = if deletion { eval.edge_parents.len() } else { eval.selected.len() };
+    let agg = run_updates(&mut built.sys, std::slice::from_ref(&op));
+    (size, agg)
+}
+
+/// Fig.11(h): vary `|ST(A,t)|` with `|r[[p]]| = 1`, inserting detached
+/// chains of increasing length under a single internal node.
+pub fn fig11h_point(n: usize, subtree_size: usize, seed: u64) -> (usize, PhaseAgg) {
+    let mut built = build_system(n, vec![subtree_size], seed);
+    let head = detached_chain_heads(&built.cfg)[0];
+    // A single target: the first internal root's sub.
+    let target = {
+        let mut gen = WorkloadGen::new(built.sys.view(), seed);
+        gen.insertions(WorkloadClass::W2, 1)
+            .into_iter()
+            .next()
+            .and_then(|u| match u {
+                XmlUpdate::Insert { path, .. } => Some(path),
+                _ => None,
+            })
+    };
+    let Some(path) = target else {
+        return (0, PhaseAgg::default());
+    };
+    let path_str = path.to_string();
+    let op = XmlUpdate::insert("node", chain_head_attr(&built.sys, head), &path_str)
+        .expect("parses");
+    let agg = run_updates(&mut built.sys, std::slice::from_ref(&op));
+    (subtree_size, agg)
+}
+
+/// The `$node` attribute `(c1, c5)` of a detached-chain head, read from the
+/// base `CU` relation (the payload is generator-chosen).
+fn chain_head_attr(sys: &XmlViewSystem, head: i64) -> rxview_relstore::Tuple {
+    let row = sys
+        .base()
+        .table("CU")
+        .expect("CU exists")
+        .get(&rxview_relstore::Tuple::from_values([rxview_relstore::Value::Int(head)]))
+        .expect("chain head generated")
+        .clone();
+    rxview_relstore::Tuple::from_values([row[0].clone(), row[4].clone()])
+}
+
+/// One Table-1 row: incremental maintenance cost for one insertion and one
+/// deletion vs recomputing `L` and `M` from scratch.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// |C|.
+    pub n: usize,
+    /// Incremental maintenance time for an insertion.
+    pub incr_insert: Duration,
+    /// Incremental maintenance time for a deletion.
+    pub incr_delete: Duration,
+    /// Recomputing `L` from scratch.
+    pub recompute_l: Duration,
+    /// Recomputing `M` from scratch.
+    pub recompute_m: Duration,
+}
+
+/// Runs the Table-1 comparison at size `n`.
+pub fn table1_row(n: usize, seed: u64) -> Table1Row {
+    let mut built = build_system(n, Vec::new(), seed);
+    let (ins, del) = {
+        let mut gen = WorkloadGen::new(built.sys.view(), seed ^ 0x77);
+        (
+            gen.insertions(WorkloadClass::W2, 1).pop().expect("op"),
+            gen.deletions(WorkloadClass::W2, 1).pop().expect("op"),
+        )
+    };
+    let incr_insert = built
+        .sys
+        .apply(&ins, SideEffectPolicy::Proceed)
+        .map(|r| r.timings.maintain)
+        .unwrap_or_default();
+    let incr_delete = built
+        .sys
+        .apply(&del, SideEffectPolicy::Proceed)
+        .map(|r| r.timings.maintain)
+        .unwrap_or_default();
+    let t0 = Instant::now();
+    let topo = TopoOrder::compute(built.sys.view().dag());
+    let recompute_l = t0.elapsed();
+    let t1 = Instant::now();
+    let _m = Reachability::compute(built.sys.view().dag(), &topo);
+    let recompute_m = t1.elapsed();
+    Table1Row { n, incr_insert, incr_delete, recompute_l, recompute_m }
+}
+
+/// Formats a duration in adaptive units.
+pub fn fmt_dur(d: Duration) -> String {
+    let us = d.as_micros();
+    if us < 1_000 {
+        format!("{us}us")
+    } else if us < 1_000_000 {
+        format!("{:.2}ms", us as f64 / 1_000.0)
+    } else {
+        format!("{:.2}s", us as f64 / 1_000_000.0)
+    }
+}

@@ -1,0 +1,15 @@
+//! `rxview-bench` — the harness that regenerates every table and figure of
+//! the paper's evaluation (§5). See DESIGN.md for the experiment index and
+//! EXPERIMENTS.md for recorded results.
+//!
+//! The heavy sweeps live in the `paper_tables` binary
+//! (`cargo run --release -p rxview-bench --bin paper_tables -- all`);
+//! Criterion micro-benches under `benches/` cover the same code paths at a
+//! fixed size, plus the two ablations called out in DESIGN.md (Algorithm
+//! Reach vs naive closure; DAG evaluation vs tree expansion).
+
+#![warn(missing_docs)]
+
+pub mod harness;
+
+pub use harness::*;

@@ -1,0 +1,48 @@
+//! `rxview-core` — the primary contribution of *Updating Recursive XML
+//! Views of Relations* (Choi, Cong, Fan, Viglas; ICDE 2007):
+//!
+//! - [`viewstore`]: the relational coding `V_σ` of the DAG-compressed view
+//!   (§2.3) — edge relations, `gen_A` tables, derived edge-view queries;
+//! - [`topo`] / [`reach`]: the auxiliary structures `L` and `M` with
+//!   Algorithm Reach (§3.1, Fig.4);
+//! - [`dag_eval`]: two-pass XPath evaluation on DAGs with side-effect
+//!   detection (§3.2);
+//! - [`translate`]: Algorithms Xinsert/Xdelete, ∆X → ∆V (§3.3, Fig.5–6);
+//! - [`maintain`]: incremental maintenance ∆(M,L)insert / ∆(M,L)delete and
+//!   garbage collection (§3.4, Fig.7–8);
+//! - [`rel_delete`]: Algorithm delete — PTIME group deletions under key
+//!   preservation (§4.2, Fig.9, Theorem 1);
+//! - [`rel_insert`]: Algorithm insert — the SAT-based heuristic for group
+//!   insertions (§4.3, Appendix A, Theorems 2 & 4);
+//! - [`processor`]: the end-to-end framework of Fig.3, including the
+//!   republication oracle `∆X(T) = σ(∆R(I))`.
+
+#![warn(missing_docs)]
+
+pub mod dag_eval;
+pub mod maintain;
+pub mod processor;
+pub mod reach;
+pub mod stats;
+pub mod rel_delete;
+pub mod rel_insert;
+pub mod republish;
+pub mod topo;
+pub mod translate;
+pub mod update;
+pub mod viewstore;
+
+pub use dag_eval::{eval_xpath_on_dag, DagEval};
+pub use maintain::{maintain_delete, maintain_insert, MaintainReport};
+pub use processor::{
+    PhaseTimings, UpdateError, UpdateOutcome, UpdateReport, XmlViewSystem,
+};
+pub use reach::Reachability;
+pub use stats::{view_stats, ViewStats};
+pub use rel_delete::{translate_deletions, translate_deletions_minimal, DeleteRejection};
+pub use rel_insert::{translate_insertions, InsertRejection, InsertTranslation};
+pub use republish::{apply_relational_update, RepublishReport};
+pub use topo::TopoOrder;
+pub use translate::{apply_delta, rollback_subtree, xdelete, xinsert};
+pub use update::{SideEffectPolicy, ViewDelta, XmlUpdate};
+pub use viewstore::ViewStore;

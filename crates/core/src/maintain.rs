@@ -1,0 +1,368 @@
+//! Incremental maintenance of the auxiliary structures (§3.4):
+//! Algorithms **∆(M,L)insert** (Fig.7) and **∆(M,L)delete** (Fig.8),
+//! plus the background garbage collection of unreachable `gen_B` entries
+//! (§2.3).
+//!
+//! In the paper's framework this work runs in the background after the
+//! foreground update completes; here it is an explicit deferred phase so
+//! experiments can time it separately (the (c) constituent of Fig.11).
+
+use crate::reach::Reachability;
+use crate::topo::TopoOrder;
+use crate::viewstore::ViewStore;
+use rxview_atg::{NodeId, SubtreeDag};
+use rxview_relstore::RelResult;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// What maintenance did — counts for reporting and the cascaded deletions
+/// `∆'V` handed to the garbage collector.
+#[derive(Debug, Clone, Default)]
+pub struct MaintainReport {
+    /// Reachability pairs added (`∆M` insertions).
+    pub m_inserted: usize,
+    /// Reachability pairs removed (`∆M` deletions).
+    pub m_removed: usize,
+    /// Nodes garbage-collected (removed from `L`, `M`, and `gen_A`).
+    pub gc_nodes: usize,
+    /// Cascaded edge deletions `∆'V` applied by the collector.
+    pub cascaded_edges: usize,
+}
+
+/// Algorithm **∆(M,L)insert** (Fig.7). Call *after* the `∆V` insertions have
+/// been applied to the DAG.
+///
+/// - `∆M` part (a): reachability inside the inserted `ST(A,t)` is computed
+///   by the Reach recurrence over the fresh nodes (memoizing into existing
+///   descendant sets at the subtree boundary);
+/// - `∆M` part (b): every ancestor-or-self of a target in `r[[p]]` gains all
+///   of `ST(A,t)`'s nodes and their descendants;
+/// - `L` part: fresh nodes are spliced in (children before parents, before
+///   the earliest target) and order violations from edges onto pre-existing
+///   nodes are repaired with the paper's `swap(L, u, v)` primitive
+///   (Fig.7 lines 8–13).
+pub fn maintain_insert(
+    vs: &ViewStore,
+    topo: &mut TopoOrder,
+    reach: &mut Reachability,
+    subtree: &SubtreeDag,
+    targets: &[NodeId],
+) -> MaintainReport {
+    let mut report = MaintainReport::default();
+    let dag = vs.dag();
+    let fresh: BTreeSet<NodeId> = subtree.fresh.iter().copied().collect();
+
+    // ---- L: splice fresh nodes in parents-first at the earliest target. ----
+    if !fresh.is_empty() {
+        // Post-order DFS over fresh nodes gives children-first; reverse for
+        // parents-first insertion at a fixed index.
+        let mut order = Vec::with_capacity(fresh.len());
+        let mut seen: BTreeSet<NodeId> = BTreeSet::new();
+        fn post_order(
+            dag: &rxview_atg::Dag,
+            v: NodeId,
+            fresh: &BTreeSet<NodeId>,
+            seen: &mut BTreeSet<NodeId>,
+            out: &mut Vec<NodeId>,
+        ) {
+            if !seen.insert(v) {
+                return;
+            }
+            for &c in dag.children(v) {
+                if fresh.contains(&c) {
+                    post_order(dag, c, fresh, seen, out);
+                }
+            }
+            out.push(v);
+        }
+        post_order(dag, subtree.root, &fresh, &mut seen, &mut order);
+        // `order` is children-first, which is exactly the relative order the
+        // block needs inside L; splice it in before the earliest target in
+        // one pass.
+        let at = targets
+            .iter()
+            .filter_map(|&t| topo.position(t))
+            .min()
+            .unwrap_or(topo.len());
+        let block: Vec<NodeId> =
+            order.iter().copied().filter(|v| topo.position(*v).is_none()).collect();
+        topo.insert_many_at(at.min(topo.len()), &block);
+    }
+
+    // ---- ∆M (a): descendants of every fresh node. ----
+    // Memoized DFS: desc(v) = ∪_c ({c} ∪ desc(c)); old nodes answer from M.
+    let mut memo: HashMap<NodeId, BTreeSet<NodeId>> = HashMap::new();
+    fn desc_of(
+        dag: &rxview_atg::Dag,
+        reach: &Reachability,
+        fresh: &BTreeSet<NodeId>,
+        memo: &mut HashMap<NodeId, BTreeSet<NodeId>>,
+        v: NodeId,
+    ) -> BTreeSet<NodeId> {
+        if let Some(d) = memo.get(&v) {
+            return d.clone();
+        }
+        if !fresh.contains(&v) {
+            let mut d = reach.descendants(v).clone();
+            // The DAG may have just gained edges below old nodes only via
+            // the subtree root connections; those are handled by (b).
+            d.insert(v);
+            return d; // includes v itself for union convenience
+        }
+        let mut out: BTreeSet<NodeId> = BTreeSet::new();
+        for &c in dag.children(v) {
+            out.extend(desc_of(dag, reach, fresh, memo, c));
+        }
+        out.insert(v);
+        memo.insert(v, out.clone());
+        out
+    }
+    for &v in &subtree.fresh {
+        let d = desc_of(dag, reach, &fresh, &mut memo, v);
+        for &x in &d {
+            if x != v && reach.insert(v, x) {
+                report.m_inserted += 1;
+            }
+        }
+    }
+
+    // ---- ∆M (b): ancestors of targets reach the whole subtree. ----
+    let mut anc_targets: BTreeSet<NodeId> = targets.iter().copied().collect();
+    for &t in targets {
+        anc_targets.extend(reach.ancestors(t).iter().copied());
+    }
+    let mut below_root =
+        desc_of(dag, reach, &fresh, &mut memo, subtree.root);
+    below_root.insert(subtree.root);
+    for &a in &anc_targets {
+        for &d in &below_root {
+            if a != d && reach.insert(a, d) {
+                report.m_inserted += 1;
+            }
+        }
+    }
+
+    // ---- L repair for edges onto pre-existing nodes (Fig.7 lines 8–13). ----
+    // Connecting edges (target, root) when the root pre-existed, and subtree
+    // edges into shared old nodes, can violate the order; repair with swap.
+    let repair = |topo: &mut TopoOrder, u: NodeId, v: NodeId| {
+        if let (Some(pu), Some(pv)) = (topo.position(u), topo.position(v)) {
+            if pu < pv {
+                topo.swap(u, v, &|x| reach.is_ancestor(v, x));
+            }
+        }
+    };
+    for &t in targets {
+        repair(topo, t, subtree.root);
+    }
+    for &(u, v) in &subtree.edges {
+        repair(topo, u, v);
+    }
+    report
+}
+
+/// Algorithm **∆(M,L)delete** (Fig.8). Call *after* the `∆V` deletions have
+/// been applied to the DAG.
+///
+/// Traverses the descendants of the deleted targets in backward topological
+/// order (ancestors first), recomputing each node's ancestor set from its
+/// surviving parents. Nodes left with no surviving parents are unreachable:
+/// they are removed from `L`, dropped from `M`, their outgoing edges are
+/// cascaded (`∆'V`), and their `gen` entries are collected — the paper's
+/// background garbage collection.
+pub fn maintain_delete(
+    vs: &mut ViewStore,
+    topo: &mut TopoOrder,
+    reach: &mut Reachability,
+    selected: &[NodeId],
+) -> RelResult<MaintainReport> {
+    let mut report = MaintainReport::default();
+
+    // LR: the targets and all their descendants, sorted by L.
+    let mut lr_set: BTreeSet<NodeId> = selected.iter().copied().collect();
+    for &v in selected {
+        lr_set.extend(reach.descendants(v).iter().copied());
+    }
+    let mut lr: Vec<NodeId> = lr_set.iter().copied().collect();
+    lr.sort_by_key(|v| topo.position(*v).unwrap_or(usize::MAX));
+
+    let mut keep: BTreeMap<NodeId, bool> = BTreeMap::new();
+    // Backward traversal: ancestors first.
+    for &d in lr.iter().rev() {
+        // Surviving parents: edges already removed from the DAG, and
+        // parents scheduled for collection are excluded.
+        let pd: Vec<NodeId> = vs
+            .dag()
+            .parents(d)
+            .iter()
+            .copied()
+            .filter(|a| *keep.get(a).unwrap_or(&true) && vs.dag().genid().is_live(*a))
+            .collect();
+        let mut ad: BTreeSet<NodeId> = BTreeSet::new();
+        for &a in &pd {
+            ad.insert(a);
+            ad.extend(reach.ancestors(a).iter().copied());
+        }
+        let removed = reach.set_ancestors(d, ad);
+        report.m_removed += removed.len();
+        if pd.is_empty() {
+            keep.insert(d, false);
+            topo.remove(d);
+            // Cascade outgoing edges (∆'V) and collect the node.
+            let children: Vec<NodeId> = vs.dag().children(d).to_vec();
+            for c in children {
+                vs.dag_mut().remove_edge(d, c);
+                report.cascaded_edges += 1;
+            }
+            reach.drop_node(d);
+            vs.unregister_node(d)?;
+            report.gc_nodes += 1;
+        } else {
+            keep.insert(d, true);
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag_eval::eval_xpath_on_dag;
+    use crate::translate::{apply_delta, xdelete, xinsert};
+    use rxview_atg::{registrar_atg, registrar_database};
+    use rxview_relstore::{tuple, Database};
+    use rxview_xmlkit::parse_xpath;
+
+    fn fixture() -> (Database, ViewStore, TopoOrder, Reachability) {
+        let db = registrar_database();
+        let atg = registrar_atg(&db).unwrap();
+        let vs = ViewStore::publish(atg, &db).unwrap();
+        let topo = TopoOrder::compute(vs.dag());
+        let reach = Reachability::compute(vs.dag(), &topo);
+        (db, vs, topo, reach)
+    }
+
+    /// Oracle: after maintenance, L and M must equal recomputation.
+    fn assert_consistent(vs: &ViewStore, topo: &TopoOrder, reach: &Reachability) {
+        assert!(topo.is_valid_for(vs.dag()), "L invalid after maintenance");
+        let fresh_topo = TopoOrder::compute(vs.dag());
+        let fresh_reach = Reachability::compute(vs.dag(), &fresh_topo);
+        assert!(
+            reach.same_pairs(&fresh_reach) && fresh_reach.same_pairs(reach),
+            "M diverged from recomputation"
+        );
+    }
+
+    #[test]
+    fn insert_existing_shared_subtree_maintains_m_and_l() {
+        let (db, mut vs, mut topo, mut reach) = fixture();
+        // Alice (S01, currently only under CS650) joins CS320's takenBy:
+        // the shared student node gains a parent.
+        let p = parse_xpath("course[cno=CS320]/takenBy").unwrap();
+        let eval = eval_xpath_on_dag(&vs, &topo, &reach, &p);
+        let student = vs.atg().dtd().type_id("student").unwrap();
+        let (delta, st) =
+            xinsert(&mut vs, &db, student, tuple!["S01", "Alice"], &eval).unwrap();
+        apply_delta(&mut vs, &delta, Some(&st)).unwrap();
+        let report = maintain_insert(&vs, &mut topo, &mut reach, &st, &eval.selected);
+        // takenBy320 (and CS320, its ancestors) now reach Alice's subtree.
+        assert!(report.m_inserted > 0);
+        assert_consistent(&vs, &topo, &reach);
+    }
+
+    #[test]
+    fn insert_fresh_subtree_maintains_m_and_l() {
+        let (mut db, mut vs, mut topo, mut reach) = fixture();
+        db.insert("course", tuple!["CS100", "Intro", "CS"]).unwrap();
+        db.insert("enroll", tuple!["S01", "CS100"]).unwrap();
+        let p = parse_xpath("course[cno=CS320]/prereq").unwrap();
+        let eval = eval_xpath_on_dag(&vs, &topo, &reach, &p);
+        let course = vs.atg().dtd().type_id("course").unwrap();
+        let (delta, st) = xinsert(&mut vs, &db, course, tuple!["CS100", "Intro"], &eval).unwrap();
+        apply_delta(&mut vs, &delta, Some(&st)).unwrap();
+        maintain_insert(&vs, &mut topo, &mut reach, &st, &eval.selected);
+        assert_consistent(&vs, &topo, &reach);
+        // The new course's takenBy shares student S01 (Alice) — an edge onto
+        // a pre-existing node, exercising the swap repair.
+        let student = vs.atg().dtd().type_id("student").unwrap();
+        let alice = vs.dag().genid().lookup(student, &tuple!["S01", "Alice"]).unwrap();
+        assert!(vs.dag().parents(alice).len() >= 2);
+    }
+
+    #[test]
+    fn delete_edge_keeps_shared_node() {
+        let (_db, mut vs, mut topo, mut reach) = fixture();
+        // Remove CS320 from CS650's prereq; CS320 survives (db still links it).
+        let p = parse_xpath("course[cno=CS650]/prereq/course[cno=CS320]").unwrap();
+        let eval = eval_xpath_on_dag(&vs, &topo, &reach, &p);
+        let delta = xdelete(&eval);
+        apply_delta(&mut vs, &delta, None).unwrap();
+        let report =
+            maintain_delete(&mut vs, &mut topo, &mut reach, &eval.selected).unwrap();
+        assert_eq!(report.gc_nodes, 0);
+        assert!(report.m_removed > 0); // prereq650 no longer reaches CS320's subtree
+        assert_consistent(&vs, &topo, &reach);
+    }
+
+    #[test]
+    fn delete_last_edge_garbage_collects() {
+        let (_db, mut vs, mut topo, mut reach) = fixture();
+        // Delete every occurrence of S01 (only under CS650's takenBy):
+        // the student node becomes unreachable and is collected, together
+        // with its pcdata children.
+        let p = parse_xpath("//student[ssn=S01]").unwrap();
+        let eval = eval_xpath_on_dag(&vs, &topo, &reach, &p);
+        let delta = xdelete(&eval);
+        apply_delta(&mut vs, &delta, None).unwrap();
+        let report =
+            maintain_delete(&mut vs, &mut topo, &mut reach, &eval.selected).unwrap();
+        assert_eq!(report.gc_nodes, 3); // student + ssn + name
+        assert!(report.cascaded_edges >= 2);
+        let student = vs.atg().dtd().type_id("student").unwrap();
+        assert!(vs.dag().genid().lookup(student, &tuple!["S01", "Alice"]).is_none());
+        assert!(!vs.gen_db().table("gen_student").unwrap().contains_key(&tuple!["S01", "Alice"]));
+        assert_consistent(&vs, &topo, &reach);
+    }
+
+    #[test]
+    fn delete_shared_child_updates_reachability_of_all_ancestors() {
+        // Example 6: deleting S02 below CS320 also severs CS650's
+        // reachability to S02 (the CS320 subtree is shared).
+        let (_db, mut vs, mut topo, mut reach) = fixture();
+        let course = vs.atg().dtd().type_id("course").unwrap();
+        let student = vs.atg().dtd().type_id("student").unwrap();
+        let cs650 = vs.dag().genid().lookup(course, &tuple!["CS650", "Advanced DB"]).unwrap();
+        let s02 = vs.dag().genid().lookup(student, &tuple!["S02", "Bob"]).unwrap();
+        assert!(reach.is_ancestor(cs650, s02));
+        let p = parse_xpath("//course[cno=CS320]/takenBy/student[ssn=S02]").unwrap();
+        let eval = eval_xpath_on_dag(&vs, &topo, &reach, &p);
+        let delta = xdelete(&eval);
+        apply_delta(&mut vs, &delta, None).unwrap();
+        maintain_delete(&mut vs, &mut topo, &mut reach, &eval.selected).unwrap();
+        // S02 still taken by CS240 (kept), so the node survives...
+        assert!(vs.dag().genid().is_live(s02));
+        // ...but CS320 (and CS650 through it) no longer reach S02 via CS320's
+        // takenBy. CS650 still reaches S02 through CS320→prereq→CS240!
+        let cs240_path = reach.is_ancestor(cs650, s02);
+        assert!(cs240_path, "S02 still reachable via CS240's takenBy");
+        assert_consistent(&vs, &topo, &reach);
+    }
+
+    #[test]
+    fn delete_then_reinsert_round_trips() {
+        let (db, mut vs, mut topo, mut reach) = fixture();
+        let p = parse_xpath("course[cno=CS650]/prereq/course[cno=CS320]").unwrap();
+        let eval = eval_xpath_on_dag(&vs, &topo, &reach, &p);
+        let delta = xdelete(&eval);
+        apply_delta(&mut vs, &delta, None).unwrap();
+        maintain_delete(&mut vs, &mut topo, &mut reach, &eval.selected).unwrap();
+
+        let p2 = parse_xpath("course[cno=CS650]/prereq").unwrap();
+        let eval2 = eval_xpath_on_dag(&vs, &topo, &reach, &p2);
+        let course = vs.atg().dtd().type_id("course").unwrap();
+        let (delta2, st) =
+            xinsert(&mut vs, &db, course, tuple!["CS320", "Algorithms"], &eval2).unwrap();
+        apply_delta(&mut vs, &delta2, Some(&st)).unwrap();
+        maintain_insert(&vs, &mut topo, &mut reach, &st, &eval2.selected);
+        assert_consistent(&vs, &topo, &reach);
+    }
+}

@@ -1,0 +1,495 @@
+//! The end-to-end update-processing framework of §2.4 (Fig.3).
+//!
+//! An [`XmlViewSystem`] owns the published database `I`, the relational
+//! views `V` (the DAG coding), and the auxiliary structures `M` and `L`.
+//! Each XML update flows through the paper's phases:
+//!
+//! 1. **DTD validation** at the schema level (§2.4);
+//! 2. **XPath evaluation on the DAG** + side-effect detection (§3.2);
+//! 3. **∆X → ∆V** (Xinsert / Xdelete, §3.3);
+//! 4. **∆V → ∆R** (Algorithm delete / insert, §4);
+//! 5. apply `∆R` to `I` and `∆V` to `V`;
+//! 6. **background maintenance** of `M`, `L`, and the `gen` tables (§3.4),
+//!    timed separately — the (c) constituent of Fig.11.
+
+use crate::dag_eval::eval_xpath_on_dag;
+use crate::maintain::{maintain_delete, maintain_insert, MaintainReport};
+use crate::reach::Reachability;
+use crate::rel_delete::{translate_deletions, DeleteRejection};
+use crate::rel_insert::{translate_insertions, InsertRejection, InsertTranslation};
+use crate::topo::TopoOrder;
+use crate::translate::{apply_delta, rollback_subtree, xdelete, xinsert};
+use crate::update::{SideEffectPolicy, ViewDelta, XmlUpdate};
+use crate::viewstore::ViewStore;
+use rxview_atg::{Atg, PublishError};
+use rxview_relstore::{Database, GroupUpdate, RelError};
+use rxview_satsolver::WalkSatConfig;
+use rxview_xmlkit::{validate_delete, validate_insert, SchemaViolation, XmlTree};
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Why an update was rejected.
+#[derive(Debug)]
+#[allow(missing_docs)] // variant payloads are self-describing
+pub enum UpdateError {
+    /// Schema-level violation (§2.4).
+    Schema(SchemaViolation),
+    /// The XPath selects nothing: rejected as early as possible.
+    EmptyTarget,
+    /// The update has XML side effects and the policy is [`SideEffectPolicy::Abort`].
+    SideEffects { affected: usize },
+    /// The insertion would create a cycle in the DAG — the "view" would be
+    /// an infinite tree (the paper assumes acyclic published data, §2.3).
+    Cycle,
+    /// Deletion translation failed (§4.2).
+    Delete(DeleteRejection),
+    /// Insertion translation failed (§4.3).
+    Insert(InsertRejection),
+    /// Underlying relational error.
+    Rel(RelError),
+}
+
+impl fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UpdateError::Schema(v) => write!(f, "schema validation failed: {v}"),
+            UpdateError::EmptyTarget => write!(f, "the XPath selects no node"),
+            UpdateError::SideEffects { affected } => {
+                write!(f, "update aborted: side effects at {affected} unmatched occurrences")
+            }
+            UpdateError::Cycle => {
+                write!(f, "insertion would make the view cyclic (infinite XML tree)")
+            }
+            UpdateError::Delete(e) => write!(f, "deletion not translatable: {e}"),
+            UpdateError::Insert(e) => write!(f, "insertion not translatable: {e}"),
+            UpdateError::Rel(e) => write!(f, "relational error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+impl From<RelError> for UpdateError {
+    fn from(e: RelError) -> Self {
+        UpdateError::Rel(e)
+    }
+}
+
+/// Per-phase wall-clock timings — the constituents reported in Fig.11:
+/// (a) XPath evaluation, (b) translation + execution, (c) maintenance.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// XPath evaluation on the DAG (incl. side-effect detection).
+    pub eval: Duration,
+    /// ∆X→∆V and ∆V→∆R translation plus applying both.
+    pub translate: Duration,
+    /// Background maintenance of `M`, `L`, gen tables.
+    pub maintain: Duration,
+}
+
+impl PhaseTimings {
+    /// Foreground time (evaluation + translation).
+    pub fn foreground(&self) -> Duration {
+        self.eval + self.translate
+    }
+
+    /// Total including background maintenance.
+    pub fn total(&self) -> Duration {
+        self.foreground() + self.maintain
+    }
+}
+
+/// What an accepted update did.
+#[derive(Debug, Clone)]
+pub struct UpdateReport {
+    /// Number of edge operations in `∆V`.
+    pub delta_v_len: usize,
+    /// The relational update `∆R` that was applied to `I`.
+    pub delta_r: GroupUpdate,
+    /// Number of side-effect witnesses (0 = clean; >0 means the revised
+    /// semantics applied the update at every shared occurrence).
+    pub side_effects: usize,
+    /// Maintenance counters.
+    pub maintain: MaintainReport,
+    /// Phase timings.
+    pub timings: PhaseTimings,
+    /// Whether insertion translation invoked the SAT solver.
+    pub sat_used: bool,
+}
+
+/// Alias kept for API symmetry with the paper's terminology.
+pub type UpdateOutcome = Result<UpdateReport, UpdateError>;
+
+/// The complete system: database, views, auxiliary structures.
+///
+/// ```
+/// use rxview_core::{SideEffectPolicy, XmlUpdate, XmlViewSystem};
+/// use rxview_atg::{registrar_atg, registrar_database};
+/// use rxview_relstore::tuple;
+///
+/// let db = registrar_database();
+/// let atg = registrar_atg(&db).unwrap();
+/// let mut sys = XmlViewSystem::new(atg, db).unwrap();
+///
+/// // delete p — Example 5's group deletion.
+/// let u = XmlUpdate::delete("//student[ssn=S02]").unwrap();
+/// let report = sys.apply(&u, SideEffectPolicy::Proceed).unwrap();
+/// assert_eq!(report.delta_r.len(), 2); // two enroll tuples
+/// sys.consistency_check().unwrap();    // ∆X(T) = σ(∆R(I))
+/// ```
+#[derive(Debug, Clone)]
+pub struct XmlViewSystem {
+    base: Database,
+    vs: ViewStore,
+    topo: TopoOrder,
+    reach: Reachability,
+    sat_config: WalkSatConfig,
+}
+
+impl XmlViewSystem {
+    /// Publishes `σ(I)` and builds `M` and `L`.
+    pub fn new(atg: Atg, base: Database) -> Result<Self, PublishError> {
+        let vs = ViewStore::publish(atg, &base)?;
+        let topo = TopoOrder::compute(vs.dag());
+        let reach = Reachability::compute(vs.dag(), &topo);
+        Ok(XmlViewSystem { base, vs, topo, reach, sat_config: WalkSatConfig::default() })
+    }
+
+    /// Overrides the WalkSAT configuration (seeded for reproducibility).
+    pub fn with_sat_config(mut self, config: WalkSatConfig) -> Self {
+        self.sat_config = config;
+        self
+    }
+
+    /// The underlying database `I`.
+    pub fn base(&self) -> &Database {
+        &self.base
+    }
+
+    /// The relational views `V`.
+    pub fn view(&self) -> &ViewStore {
+        &self.vs
+    }
+
+    /// The topological order `L`.
+    pub fn topo(&self) -> &TopoOrder {
+        &self.topo
+    }
+
+    /// The reachability matrix `M`.
+    pub fn reach(&self) -> &Reachability {
+        &self.reach
+    }
+
+    /// Expands the current view to an XML tree (mostly for inspection).
+    pub fn expand_tree(&self) -> XmlTree {
+        self.vs.dag().expand(self.vs.atg())
+    }
+
+    /// Applies an XML view update end-to-end.
+    pub fn apply(&mut self, update: &XmlUpdate, policy: SideEffectPolicy) -> UpdateOutcome {
+        let mut timings = PhaseTimings::default();
+        let dtd = self.vs.atg().dtd();
+
+        // Phase 1: schema-level validation.
+        match update {
+            XmlUpdate::Insert { ty, path, .. } => {
+                validate_insert(dtd, path, ty).map_err(UpdateError::Schema)?;
+            }
+            XmlUpdate::Delete { path } => {
+                validate_delete(dtd, path).map_err(UpdateError::Schema)?;
+            }
+        }
+
+        // Phase 2: evaluate the XPath on the DAG.
+        let t0 = Instant::now();
+        let eval = eval_xpath_on_dag(&self.vs, &self.topo, &self.reach, update.path());
+        let side_effects = eval.side_effects(&self.vs, !update.is_insert());
+        timings.eval = t0.elapsed();
+        if eval.is_empty() {
+            return Err(UpdateError::EmptyTarget);
+        }
+        if !side_effects.is_empty() && policy == SideEffectPolicy::Abort {
+            return Err(UpdateError::SideEffects { affected: side_effects.len() });
+        }
+
+        // Phases 3–5: translation and application.
+        let t1 = Instant::now();
+        let (delta_v, delta_r, subtree, sat_used) = match update {
+            XmlUpdate::Insert { ty, attr, .. } => {
+                let ty_id = dtd
+                    .type_id(ty)
+                    .ok_or(UpdateError::Schema(SchemaViolation::UnknownType(ty.clone())))?;
+                let (delta, st) = xinsert(&mut self.vs, &self.base, ty_id, attr.clone(), &eval)
+                    .map_err(UpdateError::Rel)?;
+                // Cycle guard: connecting a target to a subtree that reaches
+                // (an ancestor of) the target would make the DAG cyclic.
+                // Only pre-existing nodes of ST(A,t) can close a cycle.
+                let fresh: std::collections::BTreeSet<_> = st.fresh.iter().copied().collect();
+                for &w in st.nodes.iter().filter(|n| !fresh.contains(n)) {
+                    for &t in &eval.selected {
+                        if w == t || self.reach.is_ancestor(w, t) {
+                            rollback_subtree(&mut self.vs, &st);
+                            return Err(UpdateError::Cycle);
+                        }
+                    }
+                }
+                let translation: InsertTranslation = match translate_insertions(
+                    &self.vs,
+                    &self.base,
+                    &delta,
+                    &st.fresh,
+                    &self.sat_config,
+                ) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        rollback_subtree(&mut self.vs, &st);
+                        return Err(UpdateError::Insert(e));
+                    }
+                };
+                (delta, translation.delta_r, Some(st), translation.sat_used)
+            }
+            XmlUpdate::Delete { .. } => {
+                let delta = xdelete(&eval);
+                let dr = translate_deletions(&self.vs, &self.base, &delta)
+                    .map_err(UpdateError::Delete)?;
+                (delta, dr, None, false)
+            }
+        };
+        // Apply ∆R to I and ∆V to V.
+        if let Err(e) = self.base.apply(&delta_r) {
+            if let Some(st) = &subtree {
+                rollback_subtree(&mut self.vs, st);
+            }
+            return Err(UpdateError::Rel(e));
+        }
+        apply_delta(&mut self.vs, &delta_v, subtree.as_ref())?;
+        timings.translate = t1.elapsed();
+
+        // Phase 6: background maintenance.
+        let t2 = Instant::now();
+        let maintain = match (&subtree, update.is_insert()) {
+            (Some(st), true) => {
+                maintain_insert(&self.vs, &mut self.topo, &mut self.reach, st, &eval.selected)
+            }
+            _ => maintain_delete(&mut self.vs, &mut self.topo, &mut self.reach, &eval.selected)?,
+        };
+        timings.maintain = t2.elapsed();
+
+        Ok(UpdateReport {
+            delta_v_len: delta_v.len(),
+            delta_r,
+            side_effects: side_effects.len(),
+            maintain,
+            timings,
+            sat_used,
+        })
+    }
+
+    /// Applies a *relational* group update directly to `I` and propagates
+    /// it to the view incrementally (the reverse direction: see
+    /// [`crate::republish`]). Lets applications that update base tables
+    /// directly keep the published view, `M`, and `L` in sync without
+    /// republishing.
+    pub fn apply_relational(
+        &mut self,
+        update: &rxview_relstore::GroupUpdate,
+    ) -> rxview_relstore::RelResult<crate::republish::RepublishReport> {
+        crate::republish::apply_relational_update(
+            &mut self.base,
+            &mut self.vs,
+            &mut self.topo,
+            &mut self.reach,
+            update,
+        )
+    }
+
+    /// Translates an update without applying anything — used by benchmarks
+    /// to time phases in isolation. Returns (`∆V` size, `∆R`).
+    pub fn dry_run_delete(&self, update: &XmlUpdate) -> Result<(ViewDelta, GroupUpdate), UpdateError> {
+        let XmlUpdate::Delete { path } = update else {
+            return Err(UpdateError::EmptyTarget);
+        };
+        let eval = eval_xpath_on_dag(&self.vs, &self.topo, &self.reach, path);
+        if eval.is_empty() {
+            return Err(UpdateError::EmptyTarget);
+        }
+        let delta = xdelete(&eval);
+        let dr = translate_deletions(&self.vs, &self.base, &delta).map_err(UpdateError::Delete)?;
+        Ok((delta, dr))
+    }
+
+    /// The **republication oracle**: republishes `σ(I)` from scratch and
+    /// compares against the incrementally maintained view — edges compared
+    /// as `((type, $A), (type, $B))` pairs, and `M`/`L` against
+    /// recomputation. This is the paper's correctness criterion
+    /// `∆X(T) = σ(∆R(I))` made executable.
+    pub fn consistency_check(&self) -> Result<(), String> {
+        let fresh = ViewStore::publish(self.vs.atg().clone(), &self.base)
+            .map_err(|e| format!("republication failed: {e}"))?;
+        let edge_key = |vs: &ViewStore, u, v| {
+            (
+                (vs.dag().genid().type_of(u), vs.dag().genid().attr_of(u).clone()),
+                (vs.dag().genid().type_of(v), vs.dag().genid().attr_of(v).clone()),
+            )
+        };
+        let mine: std::collections::BTreeSet<_> =
+            self.vs.dag().all_edges().map(|(u, v)| edge_key(&self.vs, u, v)).collect();
+        let theirs: std::collections::BTreeSet<_> =
+            fresh.dag().all_edges().map(|(u, v)| edge_key(&fresh, u, v)).collect();
+        if mine != theirs {
+            let extra = mine.difference(&theirs).count();
+            let missing = theirs.difference(&mine).count();
+            return Err(format!(
+                "view diverged from republication: {extra} extra, {missing} missing edges"
+            ));
+        }
+        if !self.topo.is_valid_for(self.vs.dag()) {
+            return Err("topological order invalid".into());
+        }
+        let fresh_topo = TopoOrder::compute(self.vs.dag());
+        let fresh_reach = Reachability::compute(self.vs.dag(), &fresh_topo);
+        if !(self.reach.same_pairs(&fresh_reach) && fresh_reach.same_pairs(&self.reach)) {
+            return Err("reachability matrix diverged from recomputation".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rxview_atg::{registrar_atg, registrar_database};
+    use rxview_relstore::tuple;
+
+    fn system() -> XmlViewSystem {
+        let db = registrar_database();
+        let atg = registrar_atg(&db).unwrap();
+        XmlViewSystem::new(atg, db).unwrap()
+    }
+
+    #[test]
+    fn example1_insert_with_side_effects() {
+        // ∆X of Example 1 (with MA100 standing in for CS240, which is
+        // already a prerequisite of CS320 in the Fig.1 instance): insert a
+        // course into course[cno=CS650]//course[cno=CS320]/prereq.
+        let mut sys = system();
+        let u = XmlUpdate::insert(
+            "course",
+            tuple!["MA100", "Calculus"],
+            "course[cno=CS650]//course[cno=CS320]/prereq",
+        )
+        .unwrap();
+        // With Abort policy the side effect (top-level CS320) rejects it.
+        let err = sys.apply(&u, SideEffectPolicy::Abort).unwrap_err();
+        assert!(matches!(err, UpdateError::SideEffects { .. }));
+        sys.consistency_check().unwrap();
+
+        // With Proceed it is applied at every CS320 occurrence (they are one
+        // DAG node, so this costs nothing extra).
+        let report = sys.apply(&u, SideEffectPolicy::Proceed).unwrap();
+        assert!(report.side_effects > 0);
+        assert!(!report.delta_r.is_empty());
+        assert!(sys
+            .base()
+            .table("prereq")
+            .unwrap()
+            .contains_key(&tuple!["CS320", "MA100"]));
+        sys.consistency_check().unwrap();
+    }
+
+    #[test]
+    fn delete_prereq_edge_end_to_end() {
+        let mut sys = system();
+        let u = XmlUpdate::delete("course[cno=CS650]/prereq/course[cno=CS320]").unwrap();
+        let report = sys.apply(&u, SideEffectPolicy::Abort).unwrap();
+        assert_eq!(report.side_effects, 0);
+        assert!(!sys.base().table("prereq").unwrap().contains_key(&tuple!["CS650", "CS320"]));
+        sys.consistency_check().unwrap();
+    }
+
+    #[test]
+    fn delete_students_everywhere() {
+        let mut sys = system();
+        let u = XmlUpdate::delete("//student[ssn=S02]").unwrap();
+        let report = sys.apply(&u, SideEffectPolicy::Abort).unwrap();
+        assert!(report.delta_v_len >= 2);
+        // Bob's student node is garbage collected.
+        assert!(report.maintain.gc_nodes >= 1);
+        sys.consistency_check().unwrap();
+    }
+
+    #[test]
+    fn schema_invalid_update_rejected_before_touching_data() {
+        let mut sys = system();
+        let u = XmlUpdate::delete("course/cno").unwrap();
+        let err = sys.apply(&u, SideEffectPolicy::Proceed).unwrap_err();
+        assert!(matches!(err, UpdateError::Schema(_)));
+        sys.consistency_check().unwrap();
+    }
+
+    #[test]
+    fn empty_target_rejected() {
+        let mut sys = system();
+        let u = XmlUpdate::delete("course[cno=NOPE]/prereq/course").unwrap();
+        let err = sys.apply(&u, SideEffectPolicy::Proceed).unwrap_err();
+        assert!(matches!(err, UpdateError::EmptyTarget));
+        sys.consistency_check().unwrap();
+    }
+
+    #[test]
+    fn rejected_insert_rolls_back_interned_nodes() {
+        let mut sys = system();
+        let n_before = sys.view().dag().genid().n_live();
+        // Wrong title for an existing course: key conflict in translation.
+        let u = XmlUpdate::insert(
+            "course",
+            tuple!["CS240", "Wrong Title"],
+            "course[cno=CS650]/prereq",
+        )
+        .unwrap();
+        let err = sys.apply(&u, SideEffectPolicy::Proceed).unwrap_err();
+        assert!(matches!(err, UpdateError::Insert(_)));
+        assert_eq!(sys.view().dag().genid().n_live(), n_before);
+        sys.consistency_check().unwrap();
+    }
+
+    #[test]
+    fn insert_then_delete_round_trip() {
+        let mut sys = system();
+        let ins = XmlUpdate::insert(
+            "course",
+            tuple!["CS240", "Data Structures"],
+            "course[cno=CS650]/prereq",
+        )
+        .unwrap();
+        sys.apply(&ins, SideEffectPolicy::Proceed).unwrap();
+        sys.consistency_check().unwrap();
+        let del = XmlUpdate::delete("course[cno=CS650]/prereq/course[cno=CS240]").unwrap();
+        sys.apply(&del, SideEffectPolicy::Proceed).unwrap();
+        sys.consistency_check().unwrap();
+        assert!(!sys.base().table("prereq").unwrap().contains_key(&tuple!["CS650", "CS240"]));
+    }
+
+    #[test]
+    fn new_student_insert_end_to_end() {
+        let mut sys = system();
+        let u = XmlUpdate::insert("student", tuple!["S77", "Carol"], "course[cno=CS650]/takenBy")
+            .unwrap();
+        let report = sys.apply(&u, SideEffectPolicy::Abort).unwrap();
+        assert_eq!(report.side_effects, 0);
+        assert!(sys.base().table("student").unwrap().contains_key(&tuple!["S77"]));
+        assert!(sys.base().table("enroll").unwrap().contains_key(&tuple!["S77", "CS650"]));
+        sys.consistency_check().unwrap();
+    }
+
+    #[test]
+    fn timings_are_recorded() {
+        let mut sys = system();
+        let u = XmlUpdate::delete("//student[ssn=S01]").unwrap();
+        let report = sys.apply(&u, SideEffectPolicy::Proceed).unwrap();
+        // All phases ran (durations may be tiny but the struct is filled).
+        let _ = report.timings.foreground();
+        let _ = report.timings.total();
+    }
+}

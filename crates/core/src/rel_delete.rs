@@ -1,0 +1,477 @@
+//! Algorithm **delete** (§4.2, Fig.9): translating group view deletions
+//! `∆V` to base-table deletions `∆R` — PTIME under key preservation
+//! (Theorem 1).
+//!
+//! For a deleted edge tuple `t` of edge view `Q`, key preservation lets us
+//! read off the *deletable source* `Sr(Q, t)`: for each base relation in the
+//! view definition, the unique contributing tuple identified by its key.
+//! Deleting any source tuple removes `t`; the deletion is side-effect free
+//! iff that source is not in the deletable source of any view tuple that
+//! must *remain*. The algorithm picks, for each deleted tuple, an arbitrary
+//! side-effect-free source (finding a *minimal* `∆R` is NP-complete,
+//! Theorem 3) and rejects the group if some tuple has none.
+//!
+//! The remaining-tuple check is done with *database queries* rather than a
+//! scan of the whole view: for a candidate source `(S, k)`, every edge view
+//! whose definition mentions `S` is re-evaluated with `S`'s key bound to
+//! `k`; the candidate is safe iff every produced edge is itself in `∆V`
+//! (this is the "more database queries as `|Ep(r)|` grows" behaviour the
+//! paper reports in Fig.11(g)).
+
+use crate::update::ViewDelta;
+use crate::viewstore::ViewStore;
+use rxview_atg::NodeId;
+use rxview_relstore::{
+    closure_source_keys, eval_spj, Database, GroupUpdate, RelError, SourceRef, SpjQuery, Tuple,
+};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// Why a group deletion was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeleteRejection {
+    /// Some deleted view tuple has no side-effect-free source: every way of
+    /// deleting it would also delete a view tuple that must remain.
+    NoSafeSource {
+        /// The edge view involved.
+        view: String,
+        /// The view tuple that cannot be deleted cleanly.
+        tuple: String,
+    },
+    /// The edge corresponds to a projection rule: it exists whenever its
+    /// parent exists and cannot be removed by a base deletion.
+    NotDeletable {
+        /// The edge view involved.
+        view: String,
+    },
+    /// Underlying relational error.
+    Rel(RelError),
+}
+
+impl fmt::Display for DeleteRejection {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeleteRejection::NoSafeSource { view, tuple } => {
+                write!(f, "no side-effect-free source for {tuple} in view {view}")
+            }
+            DeleteRejection::NotDeletable { view } => {
+                write!(f, "edges of view {view} are not deletable (projection rule)")
+            }
+            DeleteRejection::Rel(e) => write!(f, "relational error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DeleteRejection {}
+
+impl From<RelError> for DeleteRejection {
+    fn from(e: RelError) -> Self {
+        DeleteRejection::Rel(e)
+    }
+}
+
+/// The edge-view output row for an edge: `$A` fields ++ `$B` fields.
+fn edge_row(vs: &ViewStore, u: NodeId, v: NodeId) -> Tuple {
+    vs.gen_row(u).concat(vs.dag().genid().attr_of(v))
+}
+
+/// Binds the key columns of every FROM entry named `table` in `q` to `key`,
+/// returning the restricted query. Shared with incremental republishing.
+pub(crate) fn bind_source(
+    q: &SpjQuery,
+    provider: &impl rxview_relstore::SchemaProvider,
+    table: &str,
+    key: &Tuple,
+) -> SpjQuery {
+    let mut from = q.from().to_vec();
+    let mut preds = q.predicates().to_vec();
+    let schema = provider.schema_of(table).expect("source table known");
+    for (rel, tr) in q.from().iter().enumerate() {
+        if tr.table == table {
+            for (ki, &kc) in schema.key().iter().enumerate() {
+                preds.push(rxview_relstore::EqPred {
+                    left: rxview_relstore::Operand::Col(rxview_relstore::ColRef { rel, col: kc }),
+                    right: rxview_relstore::Operand::Const(key[ki].clone()),
+                });
+            }
+        }
+    }
+    SpjQuery::from_parts(
+        format!("{}__bound", q.name()),
+        std::mem::take(&mut from),
+        std::mem::take(&mut preds),
+        q.projection().to_vec(),
+        q.out_names().to_vec(),
+        q.n_params(),
+        provider,
+    )
+    .expect("bound query stays valid")
+}
+
+/// Algorithm **delete**: computes `∆R` for the group edge deletions in
+/// `delta`, or rejects.
+pub fn translate_deletions(
+    vs: &ViewStore,
+    base: &Database,
+    delta: &ViewDelta,
+) -> Result<GroupUpdate, DeleteRejection> {
+    let aug = vs.augmented(base);
+    let provider = vs.atg().augmented_schemas();
+    let deleted: BTreeSet<(NodeId, NodeId)> = delta.deletes.iter().copied().collect();
+
+    // Cache of source-safety verdicts.
+    let mut verdict: BTreeMap<SourceRef, bool> = BTreeMap::new();
+    let mut out = GroupUpdate::new();
+
+    for &(u, v) in &delta.deletes {
+        let a = vs.dag().genid().type_of(u);
+        let b = vs.dag().genid().type_of(v);
+        let Some(q) = vs.edge_query(a, b) else {
+            return Err(DeleteRejection::NotDeletable {
+                view: format!(
+                    "edge_{}_{}",
+                    vs.atg().dtd().name(a),
+                    vs.atg().dtd().name(b)
+                ),
+            });
+        };
+        // Projection-rule edges join only the gen table: no base source.
+        let has_base = q.from().len() > 1;
+        if !has_base {
+            return Err(DeleteRejection::NotDeletable { view: q.name().to_owned() });
+        }
+        let row = edge_row(vs, u, v);
+        let sources = closure_source_keys(q, &provider, &row, &[0])
+            .map_err(DeleteRejection::Rel)?
+            .ok_or_else(|| DeleteRejection::Rel(RelError::NotKeyPreserving {
+                query: q.name().to_owned(),
+            }))?;
+
+        // Find a side-effect-free source (Fig.9 lines 6–9).
+        let mut chosen: Option<SourceRef> = None;
+        for sr in sources {
+            if let Some(&ok) = verdict.get(&sr) {
+                if ok {
+                    chosen = Some(sr);
+                    break;
+                }
+                continue;
+            }
+            let safe = source_is_safe(vs, &aug, &provider, &sr, &deleted)?;
+            verdict.insert(sr.clone(), safe);
+            if safe {
+                chosen = Some(sr);
+                break;
+            }
+        }
+        match chosen {
+            Some(sr) => out.delete(sr.table, sr.key),
+            None => {
+                return Err(DeleteRejection::NoSafeSource {
+                    view: q.name().to_owned(),
+                    tuple: row.to_string(),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// A source `(S, k)` is safe iff every view tuple whose deletable source
+/// contains it is itself scheduled for deletion.
+fn source_is_safe(
+    vs: &ViewStore,
+    aug: &rxview_relstore::Augmented<'_>,
+    provider: &Vec<rxview_relstore::TableSchema>,
+    sr: &SourceRef,
+    deleted: &BTreeSet<(NodeId, NodeId)>,
+) -> Result<bool, DeleteRejection> {
+    for (&(a, b), q) in vs.edge_queries() {
+        if !q.from().iter().any(|tr| tr.table == sr.table) {
+            continue;
+        }
+        let bound = bind_source(q, provider, &sr.table, &sr.key);
+        let rows = eval_spj(aug, &bound, &[]).map_err(DeleteRejection::Rel)?;
+        for row in rows {
+            // A produced row only matters if *this source actually appears*
+            // in its deletable source (self-joins may bind one occurrence).
+            let srcs = closure_source_keys(q, provider, &row, &[0])
+                .map_err(DeleteRejection::Rel)?;
+            let uses = srcs.map(|s| s.contains(sr)).unwrap_or(true);
+            if !uses {
+                continue;
+            }
+            match vs.edge_from_row(a, b, &row) {
+                Some(edge) => {
+                    if !deleted.contains(&edge) {
+                        return Ok(false);
+                    }
+                }
+                // Row does not correspond to a live edge (parent or child
+                // not in the view): deleting the source cannot hurt it.
+                None => continue,
+            }
+        }
+    }
+    Ok(true)
+}
+
+/// The *minimal view deletion* problem (§4.2): find the smallest `∆R`.
+/// NP-complete even under key preservation (Theorem 3, by reduction from
+/// minimal set cover), so this is a greedy set-cover heuristic: it
+/// repeatedly deletes the safe source that covers the most not-yet-covered
+/// view deletions. Always returns a `∆R` at most as large as
+/// [`translate_deletions`]'s (and often smaller when one base tuple, e.g. a
+/// `student` row, underlies many deleted edges).
+pub fn translate_deletions_minimal(
+    vs: &ViewStore,
+    base: &Database,
+    delta: &ViewDelta,
+) -> Result<GroupUpdate, DeleteRejection> {
+    let aug = vs.augmented(base);
+    let provider = vs.atg().augmented_schemas();
+    let deleted: BTreeSet<(NodeId, NodeId)> = delta.deletes.iter().copied().collect();
+
+    // Safe-source candidates per deleted edge.
+    let mut verdict: BTreeMap<SourceRef, bool> = BTreeMap::new();
+    let mut safe_sources_of: Vec<(usize, Vec<SourceRef>)> = Vec::new();
+    for (i, &(u, v)) in delta.deletes.iter().enumerate() {
+        let a = vs.dag().genid().type_of(u);
+        let b = vs.dag().genid().type_of(v);
+        let Some(q) = vs.edge_query(a, b) else {
+            return Err(DeleteRejection::NotDeletable {
+                view: format!("edge_{}_{}", vs.atg().dtd().name(a), vs.atg().dtd().name(b)),
+            });
+        };
+        if q.from().len() <= 1 {
+            return Err(DeleteRejection::NotDeletable { view: q.name().to_owned() });
+        }
+        let row = edge_row(vs, u, v);
+        let sources = closure_source_keys(q, &provider, &row, &[0])
+            .map_err(DeleteRejection::Rel)?
+            .ok_or_else(|| DeleteRejection::Rel(RelError::NotKeyPreserving {
+                query: q.name().to_owned(),
+            }))?;
+        let mut safe = Vec::new();
+        for sr in sources {
+            let ok = match verdict.get(&sr) {
+                Some(&ok) => ok,
+                None => {
+                    let ok = source_is_safe(vs, &aug, &provider, &sr, &deleted)?;
+                    verdict.insert(sr.clone(), ok);
+                    ok
+                }
+            };
+            if ok {
+                safe.push(sr);
+            }
+        }
+        if safe.is_empty() {
+            return Err(DeleteRejection::NoSafeSource {
+                view: q.name().to_owned(),
+                tuple: row.to_string(),
+            });
+        }
+        safe_sources_of.push((i, safe));
+    }
+
+    // Greedy set cover: invert to source → covered edges.
+    let mut covers: BTreeMap<SourceRef, BTreeSet<usize>> = BTreeMap::new();
+    for (i, safe) in &safe_sources_of {
+        for sr in safe {
+            covers.entry(sr.clone()).or_default().insert(*i);
+        }
+    }
+    let mut uncovered: BTreeSet<usize> = (0..delta.deletes.len()).collect();
+    let mut out = GroupUpdate::new();
+    while !uncovered.is_empty() {
+        let (best, gain) = covers
+            .iter()
+            .map(|(sr, es)| (sr.clone(), es.intersection(&uncovered).count()))
+            .max_by_key(|(sr, gain)| (*gain, std::cmp::Reverse(sr.clone())))
+            .expect("every edge has a safe source");
+        debug_assert!(gain > 0, "cover must make progress");
+        for e in &covers[&best] {
+            uncovered.remove(e);
+        }
+        out.delete(best.table.clone(), best.key.clone());
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag_eval::eval_xpath_on_dag;
+    use crate::reach::Reachability;
+    use crate::topo::TopoOrder;
+    use crate::translate::xdelete;
+    use rxview_atg::{registrar_atg, registrar_database};
+    use rxview_relstore::{tuple, TupleOp};
+    use rxview_xmlkit::parse_xpath;
+
+    fn fixture() -> (Database, ViewStore, TopoOrder, Reachability) {
+        let db = registrar_database();
+        let atg = registrar_atg(&db).unwrap();
+        let vs = ViewStore::publish(atg, &db).unwrap();
+        let topo = TopoOrder::compute(vs.dag());
+        let reach = Reachability::compute(vs.dag(), &topo);
+        (db, vs, topo, reach)
+    }
+
+    fn delta_for(vs: &ViewStore, topo: &TopoOrder, reach: &Reachability, path: &str) -> ViewDelta {
+        let p = parse_xpath(path).unwrap();
+        let eval = eval_xpath_on_dag(vs, topo, reach, &p);
+        xdelete(&eval)
+    }
+
+    #[test]
+    fn prereq_edge_deletes_prereq_tuple() {
+        let (db, vs, topo, reach) = fixture();
+        // Deleting CS320 from CS650's prerequisites must delete the
+        // prereq(CS650, CS320) tuple — not the course itself (which would
+        // side-effect the top-level CS320).
+        let delta = delta_for(&vs, &topo, &reach, "course[cno=CS650]/prereq/course[cno=CS320]");
+        let dr = translate_deletions(&vs, &db, &delta).unwrap();
+        assert_eq!(dr.len(), 1);
+        assert_eq!(
+            dr.ops()[0],
+            TupleOp::Delete { table: "prereq".into(), key: tuple!["CS650", "CS320"] }
+        );
+    }
+
+    #[test]
+    fn student_everywhere_can_delete_enrolls() {
+        let (db, vs, topo, reach) = fixture();
+        // Deleting S02 from every takenBy: enroll tuples go; the student
+        // tuple must NOT be touched if... actually deleting the student
+        // tuple would remove both edges at once and is also safe here.
+        // The algorithm picks the first safe source per edge.
+        let delta = delta_for(&vs, &topo, &reach, "//student[ssn=S02]");
+        assert_eq!(delta.deletes.len(), 2);
+        let dr = translate_deletions(&vs, &db, &delta).unwrap();
+        // Either one student deletion covers both, or two enroll deletions.
+        assert!(!dr.is_empty());
+        let mut db2 = db.clone();
+        db2.apply(&dr).unwrap();
+        // Republishing must show S02 gone from every takenBy.
+        let atg = registrar_atg(&db2).unwrap();
+        let vs2 = ViewStore::publish(atg, &db2).unwrap();
+        let student = vs2.atg().dtd().type_id("student").unwrap();
+        assert!(vs2.dag().genid().lookup(student, &tuple!["S02", "Bob"]).is_none());
+    }
+
+    #[test]
+    fn single_occurrence_deletion_is_clean() {
+        let (db, vs, topo, reach) = fixture();
+        let delta =
+            delta_for(&vs, &topo, &reach, "course[cno=CS650]/takenBy/student[ssn=S01]");
+        let dr = translate_deletions(&vs, &db, &delta).unwrap();
+        // Must delete enroll(S01, CS650) — deleting student S01 would also
+        // work; check that the chosen ops, when applied, do exactly ∆V.
+        let mut db2 = db.clone();
+        db2.apply(&dr).unwrap();
+        let atg = registrar_atg(&db2).unwrap();
+        let vs2 = ViewStore::publish(atg, &db2).unwrap();
+        let takenby = vs2.atg().dtd().type_id("takenBy").unwrap();
+        let student = vs2.atg().dtd().type_id("student").unwrap();
+        let tb650 = vs2.dag().genid().lookup(takenby, &tuple!["CS650"]).unwrap();
+        assert!(vs2
+            .dag()
+            .children(tb650)
+            .iter()
+            .all(|&c| vs2.dag().genid().type_of(c) != student
+                || vs2.dag().genid().attr_of(c) != &tuple!["S01", "Alice"]));
+    }
+
+    #[test]
+    fn partial_deletion_of_shared_edge_rejected_when_unavoidable() {
+        let (db, vs, _topo, _reach) = fixture();
+        // Deleting the db→CS320 edge (the top-level course listing) while
+        // keeping CS320 as a prerequisite: sources are course(CS320) —
+        // deleting it would also kill the prereq edge (side effect) — so
+        // the update must be rejected.
+        let dbty = vs.atg().dtd().root();
+        let course = vs.atg().dtd().type_id("course").unwrap();
+        let root = vs.dag().root();
+        let cs320 = vs.dag().genid().lookup(course, &tuple!["CS320", "Algorithms"]).unwrap();
+        let delta = ViewDelta { inserts: vec![], deletes: vec![(root, cs320)] };
+        let _ = dbty;
+        let err = translate_deletions(&vs, &db, &delta).unwrap_err();
+        assert!(matches!(err, DeleteRejection::NoSafeSource { .. }));
+    }
+
+    #[test]
+    fn deleting_all_occurrences_of_course_succeeds() {
+        let (db, vs, topo, reach) = fixture();
+        // //course[cno=CS240] matches the top-level listing AND the prereq
+        // occurrence; deleting both edges lets course(CS240) itself go.
+        let delta = delta_for(&vs, &topo, &reach, "//course[cno=CS240]");
+        assert_eq!(delta.deletes.len(), 2);
+        let dr = translate_deletions(&vs, &db, &delta).unwrap();
+        let mut db2 = db.clone();
+        db2.apply(&dr).unwrap();
+        let atg = registrar_atg(&db2).unwrap();
+        let vs2 = ViewStore::publish(atg, &db2).unwrap();
+        let course = vs2.atg().dtd().type_id("course").unwrap();
+        assert!(vs2.dag().genid().lookup(course, &tuple!["CS240", "Data Structures"]).is_none());
+    }
+
+    #[test]
+    fn minimal_covers_shared_source_once() {
+        let (db, vs, topo, reach) = fixture();
+        // Both S02 edges share the safe source student(S02): the greedy
+        // cover deletes a single base tuple where the arbitrary-choice
+        // algorithm deletes two enroll tuples.
+        let delta = delta_for(&vs, &topo, &reach, "//student[ssn=S02]");
+        assert_eq!(delta.deletes.len(), 2);
+        let arbitrary = translate_deletions(&vs, &db, &delta).unwrap();
+        let minimal = translate_deletions_minimal(&vs, &db, &delta).unwrap();
+        assert!(minimal.len() <= arbitrary.len());
+        assert_eq!(minimal.len(), 1);
+        assert_eq!(
+            minimal.ops()[0],
+            TupleOp::Delete { table: "student".into(), key: tuple!["S02"] }
+        );
+        // The minimal ∆R is still correct under republication.
+        let mut db2 = db.clone();
+        db2.apply(&minimal).unwrap();
+        let atg = registrar_atg(&db2).unwrap();
+        let vs2 = ViewStore::publish(atg, &db2).unwrap();
+        let student = vs2.atg().dtd().type_id("student").unwrap();
+        assert!(vs2.dag().genid().lookup(student, &tuple!["S02", "Bob"]).is_none());
+    }
+
+    #[test]
+    fn minimal_rejects_when_arbitrary_rejects() {
+        let (db, vs, _topo, _reach) = fixture();
+        let course = vs.atg().dtd().type_id("course").unwrap();
+        let root = vs.dag().root();
+        let cs320 = vs.dag().genid().lookup(course, &tuple!["CS320", "Algorithms"]).unwrap();
+        let delta = ViewDelta { inserts: vec![], deletes: vec![(root, cs320)] };
+        assert!(translate_deletions_minimal(&vs, &db, &delta).is_err());
+    }
+
+    #[test]
+    fn minimal_equals_arbitrary_on_singletons() {
+        let (db, vs, topo, reach) = fixture();
+        let delta =
+            delta_for(&vs, &topo, &reach, "course[cno=CS650]/prereq/course[cno=CS320]");
+        let a = translate_deletions(&vs, &db, &delta).unwrap();
+        let m = translate_deletions_minimal(&vs, &db, &delta).unwrap();
+        assert_eq!(a.len(), 1);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn projection_edge_not_deletable() {
+        let (db, vs, _topo, _reach) = fixture();
+        let course = vs.atg().dtd().type_id("course").unwrap();
+        let cno = vs.atg().dtd().type_id("cno").unwrap();
+        let cs320 = vs.dag().genid().lookup(course, &tuple!["CS320", "Algorithms"]).unwrap();
+        let cno320 = vs.dag().genid().lookup(cno, &tuple!["CS320"]).unwrap();
+        let delta = ViewDelta { inserts: vec![], deletes: vec![(cs320, cno320)] };
+        let err = translate_deletions(&vs, &db, &delta).unwrap_err();
+        assert!(matches!(err, DeleteRejection::NotDeletable { .. }));
+    }
+}

@@ -1,0 +1,164 @@
+//! View statistics: the structural measurements behind Fig.10(b) and the
+//! compression claims of §2.3 — node/edge counts per type, sharing, depth,
+//! degree distributions, and the tree-vs-DAG occupancy ratio.
+
+use crate::topo::TopoOrder;
+use crate::viewstore::ViewStore;
+use rxview_atg::NodeId;
+use std::collections::{BTreeMap, HashMap};
+
+/// Structural statistics of a published view.
+#[derive(Debug, Clone, Default)]
+pub struct ViewStats {
+    /// Live DAG nodes.
+    pub n_nodes: usize,
+    /// DAG edges (`|V|`).
+    pub n_edges: usize,
+    /// Nodes per element type name.
+    pub nodes_per_type: BTreeMap<String, usize>,
+    /// Nodes with more than one parent (shared subtrees).
+    pub shared_nodes: usize,
+    /// Maximum in-degree.
+    pub max_in_degree: usize,
+    /// Maximum out-degree.
+    pub max_out_degree: usize,
+    /// Length of the longest root-to-leaf path.
+    pub depth: usize,
+    /// Number of node occurrences in the expanded tree (`|T|`), saturating.
+    pub tree_occurrences: u128,
+}
+
+impl ViewStats {
+    /// The compression ratio `|T| / |DAG|` (1.0 = no sharing).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.n_nodes == 0 {
+            return 1.0;
+        }
+        (self.tree_occurrences.min(u64::MAX as u128) as f64) / self.n_nodes as f64
+    }
+
+    /// Fraction of nodes that are shared.
+    pub fn sharing_fraction(&self) -> f64 {
+        if self.n_nodes == 0 {
+            return 0.0;
+        }
+        self.shared_nodes as f64 / self.n_nodes as f64
+    }
+}
+
+/// Computes [`ViewStats`] in two passes over the topological order.
+pub fn view_stats(vs: &ViewStore, topo: &TopoOrder) -> ViewStats {
+    let dag = vs.dag();
+    let dtd = vs.atg().dtd();
+    let mut stats = ViewStats {
+        n_nodes: vs.n_nodes(),
+        n_edges: vs.n_edges(),
+        ..ViewStats::default()
+    };
+    let root = dag.root();
+
+    // Forward over L (children first): depth-below (longest downward path).
+    let mut depth_below: HashMap<NodeId, usize> = HashMap::new();
+    for &v in topo.order() {
+        let d = dag
+            .children(v)
+            .iter()
+            .filter(|c| dag.genid().is_live(**c))
+            .map(|&c| depth_below.get(&c).copied().unwrap_or(0) + 1)
+            .max()
+            .unwrap_or(0);
+        depth_below.insert(v, d);
+    }
+    stats.depth = depth_below.get(&root).copied().unwrap_or(0);
+
+    // Backward over L (parents first): tree occurrence counts.
+    let mut occurrences: HashMap<NodeId, u128> = HashMap::new();
+    for &v in topo.order().iter().rev() {
+        let occ = if v == root {
+            1u128
+        } else {
+            dag.parents(v)
+                .iter()
+                .filter(|p| dag.genid().is_live(**p))
+                .fold(0u128, |acc, p| acc.saturating_add(occurrences.get(p).copied().unwrap_or(0)))
+        };
+        occurrences.insert(v, occ);
+        stats.tree_occurrences = stats.tree_occurrences.saturating_add(occ);
+        let indeg = dag.parents(v).iter().filter(|p| dag.genid().is_live(**p)).count();
+        let outdeg = dag.children(v).iter().filter(|c| dag.genid().is_live(**c)).count();
+        stats.max_in_degree = stats.max_in_degree.max(indeg);
+        stats.max_out_degree = stats.max_out_degree.max(outdeg);
+        if indeg > 1 {
+            stats.shared_nodes += 1;
+        }
+        *stats
+            .nodes_per_type
+            .entry(dtd.name(dag.genid().type_of(v)).to_owned())
+            .or_insert(0) += 1;
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rxview_atg::{registrar_atg, registrar_database};
+
+    fn fixture() -> (ViewStore, TopoOrder) {
+        let db = registrar_database();
+        let atg = registrar_atg(&db).unwrap();
+        let vs = ViewStore::publish(atg, &db).unwrap();
+        let topo = TopoOrder::compute(vs.dag());
+        (vs, topo)
+    }
+
+    #[test]
+    fn counts_match_view() {
+        let (vs, topo) = fixture();
+        let s = view_stats(&vs, &topo);
+        assert_eq!(s.n_nodes, vs.n_nodes());
+        assert_eq!(s.n_edges, vs.n_edges());
+        assert_eq!(s.nodes_per_type["course"], 3);
+        assert_eq!(s.nodes_per_type["student"], 2);
+        assert_eq!(s.nodes_per_type["db"], 1);
+        assert_eq!(s.nodes_per_type.values().sum::<usize>(), s.n_nodes);
+    }
+
+    #[test]
+    fn sharing_and_occurrences() {
+        let (vs, topo) = fixture();
+        let s = view_stats(&vs, &topo);
+        // CS320 and CS240 (and their descendants) are shared.
+        assert!(s.shared_nodes >= 2);
+        // Expanded tree is strictly larger than the DAG.
+        assert!(s.tree_occurrences > s.n_nodes as u128);
+        assert_eq!(s.tree_occurrences, vs.dag().expand(vs.atg()).len() as u128);
+        assert!(s.compression_ratio() > 1.0);
+        assert!(s.sharing_fraction() > 0.0 && s.sharing_fraction() < 1.0);
+    }
+
+    #[test]
+    fn depth_matches_chain() {
+        let (vs, topo) = fixture();
+        let s = view_stats(&vs, &topo);
+        // db → CS650 → prereq → CS320 → prereq → CS240 → takenBy → S02 → ssn
+        assert_eq!(s.depth, 8);
+        assert!(s.max_in_degree >= 2); // shared CS320/CS240/S02
+        assert!(s.max_out_degree >= 3); // db has three course children
+    }
+
+    #[test]
+    fn empty_ish_view_is_sane() {
+        use rxview_relstore::Database;
+        let mut db = Database::new();
+        rxview_atg::registrar_schema(&mut db);
+        let atg = registrar_atg(&db).unwrap();
+        let vs = ViewStore::publish(atg, &db).unwrap();
+        let topo = TopoOrder::compute(vs.dag());
+        let s = view_stats(&vs, &topo);
+        assert_eq!(s.n_nodes, 1); // just the db root
+        assert_eq!(s.depth, 0);
+        assert_eq!(s.tree_occurrences, 1);
+        assert_eq!(s.shared_nodes, 0);
+    }
+}

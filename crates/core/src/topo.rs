@@ -1,0 +1,252 @@
+//! The topological order `L` (§3.1).
+//!
+//! `L` lists all distinct node identities such that *`u` precedes `v` only
+//! if `u` is not an ancestor of `v`* — descendants first, the root last.
+//! Both evaluation passes (§3.2) and Algorithm Reach (Fig.4) iterate over
+//! `L`; the maintenance algorithms (§3.4) update it in place via
+//! [`TopoOrder::swap`], the paper's `swap(L, u, v)` primitive.
+
+use rxview_atg::{Dag, NodeId};
+use std::collections::HashMap;
+
+/// The maintained topological order.
+#[derive(Debug, Clone, Default)]
+pub struct TopoOrder {
+    order: Vec<NodeId>,
+    pos: HashMap<NodeId, usize>,
+}
+
+impl TopoOrder {
+    /// Computes `L` from scratch via Kahn's algorithm in `O(|V|)` — leaves
+    /// first, root last. Deterministic: ties broken by node id.
+    ///
+    /// # Panics
+    /// Panics if the DAG is cyclic (callers check acyclicity at publish).
+    pub fn compute(dag: &Dag) -> Self {
+        // Out-degree based Kahn: nodes with no children (leaves) first.
+        let mut outdeg: HashMap<NodeId, usize> = HashMap::new();
+        for id in dag.genid().live_ids() {
+            outdeg.insert(id, dag.children(id).iter().filter(|c| dag.genid().is_live(**c)).count());
+        }
+        let mut ready: std::collections::BTreeSet<NodeId> = outdeg
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&n, _)| n)
+            .collect();
+        let mut order = Vec::with_capacity(outdeg.len());
+        while let Some(&n) = ready.iter().next() {
+            ready.remove(&n);
+            order.push(n);
+            for &p in dag.parents(n) {
+                if let Some(d) = outdeg.get_mut(&p) {
+                    *d -= 1;
+                    if *d == 0 {
+                        ready.insert(p);
+                    }
+                }
+            }
+        }
+        assert_eq!(order.len(), outdeg.len(), "cyclic DAG has no topological order");
+        let pos = order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        TopoOrder { order, pos }
+    }
+
+    /// The order `L` (index 0 = first = descendant-most).
+    pub fn order(&self) -> &[NodeId] {
+        &self.order
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether `L` is empty.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// The position of `v` in `L`.
+    pub fn position(&self, v: NodeId) -> Option<usize> {
+        self.pos.get(&v).copied()
+    }
+
+    /// Whether `u` precedes `v`.
+    ///
+    /// # Panics
+    /// Panics if either node is not in `L`.
+    pub fn precedes(&self, u: NodeId, v: NodeId) -> bool {
+        self.pos[&u] < self.pos[&v]
+    }
+
+    /// The paper's `swap(L, u, v)`: called when edge `(u, v)` is inserted
+    /// while `u` (the new parent) still precedes `v` (the new child). Moves
+    /// the nodes of `L[u..v] ∩ (desc(v) ∪ {v})` immediately in front of `u`,
+    /// preserving their relative order. `is_desc_of_v(x)` answers whether
+    /// `x` is a (strict) descendant of `v` in the *updated* graph.
+    pub fn swap(&mut self, u: NodeId, v: NodeId, is_desc_of_v: &dyn Fn(NodeId) -> bool) {
+        let pu = self.pos[&u];
+        let pv = self.pos[&v];
+        debug_assert!(pu < pv, "swap requires u before v");
+        let segment: Vec<NodeId> = self.order[pu..=pv].to_vec();
+        let mut moved = Vec::new();
+        let mut kept = Vec::new();
+        for &x in &segment {
+            if x == v || is_desc_of_v(x) {
+                moved.push(x);
+            } else {
+                kept.push(x);
+            }
+        }
+        debug_assert_eq!(kept.first(), Some(&u));
+        let mut rebuilt = Vec::with_capacity(segment.len());
+        rebuilt.extend(moved);
+        rebuilt.extend(kept);
+        self.order[pu..=pv].copy_from_slice(&rebuilt);
+        for (i, &n) in rebuilt.iter().enumerate() {
+            self.pos.insert(n, pu + i);
+        }
+    }
+
+    /// Removes `v` from `L` (deletion maintenance, Fig.8 line 14). An
+    /// element removal never invalidates the order of the rest.
+    pub fn remove(&mut self, v: NodeId) {
+        if let Some(p) = self.pos.remove(&v) {
+            self.order.remove(p);
+            for i in p..self.order.len() {
+                self.pos.insert(self.order[i], i);
+            }
+        }
+    }
+
+    /// Inserts `v` immediately before position `at` (shifting the suffix).
+    pub fn insert_at(&mut self, at: usize, v: NodeId) {
+        debug_assert!(!self.pos.contains_key(&v), "node already in L");
+        self.order.insert(at, v);
+        for i in at..self.order.len() {
+            self.pos.insert(self.order[i], i);
+        }
+    }
+
+    /// Splices a block of nodes (given in their relative order) before
+    /// position `at` with a single suffix rebuild — `O(|L| + |nodes|)`
+    /// instead of `O(|L| · |nodes|)` for repeated [`TopoOrder::insert_at`].
+    pub fn insert_many_at(&mut self, at: usize, nodes: &[NodeId]) {
+        debug_assert!(nodes.iter().all(|n| !self.pos.contains_key(n)), "node already in L");
+        let tail = self.order.split_off(at);
+        self.order.extend_from_slice(nodes);
+        self.order.extend(tail);
+        for i in at..self.order.len() {
+            self.pos.insert(self.order[i], i);
+        }
+    }
+
+    /// Checks the topological invariant against a DAG (test/debug helper):
+    /// every live child precedes its parents.
+    pub fn is_valid_for(&self, dag: &Dag) -> bool {
+        if self.order.len() != dag.genid().live_ids().count() {
+            return false;
+        }
+        for u in dag.genid().live_ids() {
+            for &c in dag.children(u) {
+                if !dag.genid().is_live(c) {
+                    continue;
+                }
+                match (self.pos.get(&c), self.pos.get(&u)) {
+                    (Some(pc), Some(pu)) if pc < pu => {}
+                    _ => return false,
+                }
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rxview_atg::{registrar_atg, registrar_database};
+
+    fn dag() -> Dag {
+        let db = registrar_database();
+        let atg = registrar_atg(&db).unwrap();
+        rxview_atg::publish(&atg, &db).unwrap()
+    }
+
+    #[test]
+    fn compute_produces_valid_order() {
+        let d = dag();
+        let l = TopoOrder::compute(&d);
+        assert_eq!(l.len(), d.n_nodes());
+        assert!(l.is_valid_for(&d));
+        // Root is last.
+        assert_eq!(*l.order().last().unwrap(), d.root());
+    }
+
+    #[test]
+    fn positions_match_order() {
+        let d = dag();
+        let l = TopoOrder::compute(&d);
+        for (i, &n) in l.order().iter().enumerate() {
+            assert_eq!(l.position(n), Some(i));
+        }
+    }
+
+    #[test]
+    fn remove_keeps_validity() {
+        let d = dag();
+        let mut l = TopoOrder::compute(&d);
+        let victim = l.order()[0];
+        l.remove(victim);
+        assert_eq!(l.position(victim), None);
+        for (i, &n) in l.order().iter().enumerate() {
+            assert_eq!(l.position(n), Some(i));
+        }
+    }
+
+    #[test]
+    fn insert_at_keeps_positions() {
+        let d = dag();
+        let mut l = TopoOrder::compute(&d);
+        let victim = l.order()[3];
+        l.remove(victim);
+        l.insert_at(3, victim);
+        for (i, &n) in l.order().iter().enumerate() {
+            assert_eq!(l.position(n), Some(i));
+        }
+    }
+
+    #[test]
+    fn insert_many_matches_repeated_insert() {
+        let d = dag();
+        let mut a = TopoOrder::compute(&d);
+        let mut b = a.clone();
+        let new_nodes = [NodeId(900), NodeId(901), NodeId(902)];
+        for (k, &n) in new_nodes.iter().enumerate() {
+            a.insert_at(2 + k, n);
+        }
+        b.insert_many_at(2, &new_nodes);
+        assert_eq!(a.order(), b.order());
+        for (i, &n) in b.order().iter().enumerate() {
+            assert_eq!(b.position(n), Some(i));
+        }
+    }
+
+    #[test]
+    fn swap_moves_descendants_before_u() {
+        // Synthetic order over ids 0..5: claim 4 is the new child of 0,
+        // with descendant 2.
+        let mut l = TopoOrder::default();
+        for (i, id) in [10u32, 0, 1, 2, 3, 4].iter().enumerate() {
+            l.order.push(NodeId(*id));
+            l.pos.insert(NodeId(*id), i);
+        }
+        // u = 0 at pos 1, v = 4 at pos 5; desc(v) = {2}.
+        l.swap(NodeId(0), NodeId(4), &|x| x == NodeId(2));
+        let got: Vec<u32> = l.order().iter().map(|n| n.0).collect();
+        assert_eq!(got, vec![10, 2, 4, 0, 1, 3]);
+        for (i, &n) in l.order().iter().enumerate() {
+            assert_eq!(l.position(n), Some(i));
+        }
+    }
+}

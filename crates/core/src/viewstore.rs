@@ -1,0 +1,284 @@
+//! The relational coding of the DAG-compressed XML view (§2.3).
+//!
+//! A [`ViewStore`] bundles:
+//! - the published [`Dag`] (edge relations + Skolem interner);
+//! - the derived `gen_A` node tables, materialized as ordinary relations so
+//!   that the edge views `Q_edge_A_B` are plain SPJ queries over the
+//!   *augmented* database (base ∪ gen);
+//! - the derived edge-view queries themselves, one per production edge —
+//!   a **bounded** number of relational views even for recursive σ (the
+//!   paper's observation 3 in §2.3).
+
+use rxview_atg::{Atg, Dag, NodeId, PublishError};
+use rxview_relstore::{Augmented, Database, RelResult, SpjQuery, Tuple, Value};
+use rxview_xmlkit::TypeId;
+use std::collections::{BTreeMap, HashMap};
+
+/// The materialized relational views `V = V_σ(I)` plus supporting state.
+#[derive(Debug, Clone)]
+pub struct ViewStore {
+    atg: Atg,
+    dag: Dag,
+    gen_db: Database,
+    edge_queries: BTreeMap<(TypeId, TypeId), SpjQuery>,
+}
+
+impl ViewStore {
+    /// Publishes `σ(I)` and materializes the relational coding.
+    pub fn publish(atg: Atg, db: &Database) -> Result<Self, PublishError> {
+        let dag = rxview_atg::publish(&atg, db)?;
+        let mut gen_db = Database::new();
+        for ty in atg.dtd().types() {
+            gen_db.create_table(atg.gen_table_schema(ty)).expect("fresh gen database");
+        }
+        let mut edge_queries = BTreeMap::new();
+        for parent in atg.dtd().types() {
+            for child in atg.dtd().children_of(parent) {
+                if let Some(q) = atg.edge_view_query(parent, child) {
+                    edge_queries.insert((parent, child), q);
+                }
+            }
+        }
+        let mut vs = ViewStore { atg, dag, gen_db, edge_queries };
+        let live: Vec<NodeId> = vs.dag.genid().live_ids().collect();
+        for id in live {
+            vs.register_node(id).expect("published node registers");
+        }
+        Ok(vs)
+    }
+
+    /// The grammar.
+    pub fn atg(&self) -> &Atg {
+        &self.atg
+    }
+
+    /// The DAG.
+    pub fn dag(&self) -> &Dag {
+        &self.dag
+    }
+
+    /// Mutable DAG access (update application).
+    pub fn dag_mut(&mut self) -> &mut Dag {
+        &mut self.dag
+    }
+
+    /// The database of `gen_A` tables.
+    pub fn gen_db(&self) -> &Database {
+        &self.gen_db
+    }
+
+    /// The augmented table source: base relations shadowing the gen tables.
+    pub fn augmented<'a>(&'a self, base: &'a Database) -> Augmented<'a> {
+        Augmented { primary: base, secondary: &self.gen_db }
+    }
+
+    /// The edge-view query for a production edge.
+    pub fn edge_query(&self, parent: TypeId, child: TypeId) -> Option<&SpjQuery> {
+        self.edge_queries.get(&(parent, child))
+    }
+
+    /// All edge-view queries.
+    pub fn edge_queries(&self) -> impl Iterator<Item = (&(TypeId, TypeId), &SpjQuery)> {
+        self.edge_queries.iter()
+    }
+
+    /// The `gen_A` row for a node (unit tuple for zero-arity attributes).
+    pub fn gen_row(&self, id: NodeId) -> Tuple {
+        let attr = self.dag.genid().attr_of(id);
+        if attr.arity() == 0 {
+            Tuple::from_values([Value::Int(0)])
+        } else {
+            attr.clone()
+        }
+    }
+
+    /// Registers a (newly live) node in its `gen_A` table.
+    pub fn register_node(&mut self, id: NodeId) -> RelResult<()> {
+        let ty = self.dag.genid().type_of(id);
+        let name = self.atg.gen_table_name(ty);
+        let row = self.gen_row(id);
+        self.gen_db.table_mut(&name)?.insert(row)?;
+        Ok(())
+    }
+
+    /// Removes a node from its `gen_A` table (garbage collection, §2.3) and
+    /// retires it in the interner.
+    pub fn unregister_node(&mut self, id: NodeId) -> RelResult<()> {
+        let ty = self.dag.genid().type_of(id);
+        let name = self.atg.gen_table_name(ty);
+        let row = self.gen_row(id);
+        let key = self.gen_db.table(&name)?.schema().key_of(&row);
+        let _ = self.gen_db.table_mut(&name)?.delete(&key);
+        self.dag.genid_mut().retire(id);
+        Ok(())
+    }
+
+    /// Maps an edge-view output row (`$A` fields ++ `$B` fields) back to the
+    /// node pair, consulting the interner. Returns `None` if either node is
+    /// not live.
+    pub fn edge_from_row(
+        &self,
+        parent_ty: TypeId,
+        child_ty: TypeId,
+        row: &Tuple,
+    ) -> Option<(NodeId, NodeId)> {
+        let p_arity = self.atg.attr_fields(parent_ty).len().max(1);
+        let parent_attr = if self.atg.attr_fields(parent_ty).is_empty() {
+            Tuple::empty()
+        } else {
+            Tuple::from_values(row.values()[..p_arity].iter().cloned())
+        };
+        let child_attr = Tuple::from_values(row.values()[p_arity..].iter().cloned());
+        let u = self.dag.genid().lookup(parent_ty, &parent_attr)?;
+        let v = self.dag.genid().lookup(child_ty, &child_attr)?;
+        Some((u, v))
+    }
+
+    /// The string value of a node: for `pcdata` nodes the rendered attribute,
+    /// otherwise the concatenation of descendant texts in child order
+    /// (memoized in `cache`, which callers share across one evaluation).
+    pub fn text_value(&self, v: NodeId, cache: &mut HashMap<NodeId, String>) -> String {
+        if let Some(t) = cache.get(&v) {
+            return t.clone();
+        }
+        let ty = self.dag.genid().type_of(v);
+        let out = if self.atg.dtd().is_pcdata(ty) {
+            self.atg.text_of(ty, self.dag.genid().attr_of(v))
+        } else {
+            let mut s = String::new();
+            for &c in self.dag.children(v) {
+                s.push_str(&self.text_value(c, cache));
+            }
+            s
+        };
+        cache.insert(v, out.clone());
+        out
+    }
+
+    /// Convenience query API: evaluates `path` with freshly computed
+    /// auxiliary structures and returns `(type name, $A)` for each selected
+    /// node. Applications holding an `XmlViewSystem` should query through
+    /// its maintained structures instead; this entry point is for read-only
+    /// exploration of a published view.
+    pub fn select(&self, path: &rxview_xmlkit::XPath) -> Vec<(String, Tuple)> {
+        let topo = crate::topo::TopoOrder::compute(self.dag());
+        let reach = crate::reach::Reachability::compute(self.dag(), &topo);
+        let eval = crate::dag_eval::eval_xpath_on_dag(self, &topo, &reach, path);
+        eval.selected
+            .iter()
+            .map(|&v| {
+                (
+                    self.atg.dtd().name(self.dag.genid().type_of(v)).to_owned(),
+                    self.dag.genid().attr_of(v).clone(),
+                )
+            })
+            .collect()
+    }
+
+    /// Number of live nodes `n`.
+    pub fn n_nodes(&self) -> usize {
+        self.dag.n_nodes()
+    }
+
+    /// Number of edges `|V|`.
+    pub fn n_edges(&self) -> usize {
+        self.dag.n_edges()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rxview_atg::{registrar_atg, registrar_database};
+    use rxview_relstore::{eval_spj, tuple};
+
+    fn store() -> (Database, ViewStore) {
+        let db = registrar_database();
+        let atg = registrar_atg(&db).unwrap();
+        let vs = ViewStore::publish(atg, &db).unwrap();
+        (db, vs)
+    }
+
+    #[test]
+    fn gen_tables_mirror_live_nodes() {
+        let (_db, vs) = store();
+        let course = vs.atg().dtd().type_id("course").unwrap();
+        let gen_course = vs.gen_db().table("gen_course").unwrap();
+        assert_eq!(gen_course.len(), vs.dag().genid().ids_of_type(course).count());
+        assert!(gen_course.contains_key(&tuple!["CS320", "Algorithms"]));
+    }
+
+    #[test]
+    fn edge_views_reproduce_dag_edges() {
+        let (db, vs) = store();
+        let dtd = vs.atg().dtd();
+        let aug = vs.augmented(&db);
+        for (&(a, b), q) in vs.edge_queries() {
+            let rows = eval_spj(&aug, q, &[]).unwrap();
+            let from_query: std::collections::BTreeSet<(NodeId, NodeId)> = rows
+                .iter()
+                .filter_map(|r| vs.edge_from_row(a, b, r))
+                .collect();
+            let from_dag: std::collections::BTreeSet<(NodeId, NodeId)> =
+                vs.dag().edge_rel(a, b).cloned().unwrap_or_default();
+            assert_eq!(
+                from_query,
+                from_dag,
+                "edge view mismatch for {} -> {}",
+                dtd.name(a),
+                dtd.name(b)
+            );
+        }
+    }
+
+    #[test]
+    fn text_values() {
+        let (_db, vs) = store();
+        let course = vs.atg().dtd().type_id("course").unwrap();
+        let cno = vs.atg().dtd().type_id("cno").unwrap();
+        let cs320 = vs.dag().genid().lookup(course, &tuple!["CS320", "Algorithms"]).unwrap();
+        let mut cache = HashMap::new();
+        // cno child text.
+        let cno_node = vs
+            .dag()
+            .children(cs320)
+            .iter()
+            .copied()
+            .find(|&c| vs.dag().genid().type_of(c) == cno)
+            .unwrap();
+        assert_eq!(vs.text_value(cno_node, &mut cache), "CS320");
+        // Element text concatenates.
+        let t = vs.text_value(cs320, &mut cache);
+        assert!(t.starts_with("CS320Algorithms"));
+    }
+
+    #[test]
+    fn register_unregister_round_trip() {
+        let (_db, mut vs) = store();
+        let student = vs.atg().dtd().type_id("student").unwrap();
+        let (id, fresh) = vs.dag_mut().genid_mut().gen_id(student, tuple!["S99", "Zed"]);
+        assert!(fresh);
+        vs.register_node(id).unwrap();
+        assert!(vs.gen_db().table("gen_student").unwrap().contains_key(&tuple!["S99", "Zed"]));
+        vs.unregister_node(id).unwrap();
+        assert!(!vs.gen_db().table("gen_student").unwrap().contains_key(&tuple!["S99", "Zed"]));
+        assert!(!vs.dag().genid().is_live(id));
+    }
+
+    #[test]
+    fn select_convenience_api() {
+        let (_db, vs) = store();
+        let p = rxview_xmlkit::parse_xpath("//course[cno=CS320]").unwrap();
+        let out = vs.select(&p);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].0, "course");
+        assert_eq!(out[0].1, tuple!["CS320", "Algorithms"]);
+    }
+
+    #[test]
+    fn edge_count_bounded_views() {
+        let (_db, vs) = store();
+        // One view per production edge — bounded by |DTD|, not by |data|.
+        assert_eq!(vs.edge_queries().count(), 9);
+    }
+}

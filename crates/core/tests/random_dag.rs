@@ -1,0 +1,130 @@
+//! Randomized tests of the auxiliary structures (§3.1, §3.4) on synthetic
+//! DAGs built directly through the `Dag` API: Algorithm Reach against the
+//! naive closure, and the `swap(L, u, v)` repair under random edge
+//! insertions.
+
+use proptest::prelude::*;
+use rxview_atg::{Dag, NodeId};
+use rxview_core::{Reachability, TopoOrder};
+use rxview_relstore::{Tuple, Value};
+use rxview_xmlkit::TypeId;
+
+/// Builds a DAG with `n` nodes and the given forward edges `(i, j)` with
+/// `i < j` (guaranteeing acyclicity). Node 0 is the root; every node is
+/// additionally connected from the root so all nodes are live and reachable.
+fn build_dag(n: usize, edges: &[(usize, usize)]) -> Dag {
+    let mut dag = Dag::new();
+    let ty = TypeId(0);
+    let ids: Vec<NodeId> = (0..n)
+        .map(|i| dag.genid_mut().gen_id(ty, Tuple::from_values([Value::Int(i as i64)])).0)
+        .collect();
+    dag.set_root(ids[0]);
+    for &id in &ids[1..] {
+        dag.add_edge(ids[0], id);
+    }
+    for &(i, j) in edges {
+        let (i, j) = (i.min(j), i.max(j).min(n - 1));
+        if i != j {
+            dag.add_edge(ids[i], ids[j]);
+        }
+    }
+    dag
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reach_equals_naive_closure(
+        n in 2usize..20,
+        edges in prop::collection::vec((0usize..20, 0usize..20), 0..40),
+    ) {
+        let edges: Vec<(usize, usize)> =
+            edges.into_iter().map(|(a, b)| (a % n, b % n)).collect();
+        let dag = build_dag(n, &edges);
+        prop_assert!(dag.is_acyclic());
+        let topo = TopoOrder::compute(&dag);
+        prop_assert!(topo.is_valid_for(&dag));
+        let fast = Reachability::compute(&dag, &topo);
+        let naive = Reachability::compute_naive(&dag);
+        prop_assert!(fast.same_pairs(&naive) && naive.same_pairs(&fast));
+    }
+
+    #[test]
+    fn swap_repair_keeps_topological_validity(
+        n in 3usize..16,
+        base_edges in prop::collection::vec((0usize..16, 0usize..16), 0..20),
+        new_edges in prop::collection::vec((0usize..16, 0usize..16), 1..8),
+    ) {
+        let base: Vec<(usize, usize)> =
+            base_edges.into_iter().map(|(a, b)| (a % n, b % n)).collect();
+        let mut dag = build_dag(n, &base);
+        let mut topo = TopoOrder::compute(&dag);
+        let ty = TypeId(0);
+        let id_of = |dag: &Dag, i: usize| {
+            dag.genid()
+                .lookup(ty, &Tuple::from_values([Value::Int(i as i64)]))
+                .expect("node exists")
+        };
+        for (a, b) in new_edges {
+            let (i, j) = ((a % n).min(b % n), (a % n).max(b % n));
+            if i == j {
+                continue;
+            }
+            let (u, v) = (id_of(&dag, i), id_of(&dag, j));
+            // Forward edges only: acyclicity is preserved by construction.
+            if dag.has_edge(u, v) {
+                continue;
+            }
+            dag.add_edge(u, v);
+            // Maintain M by recomputation (the paper's incremental ∆M is
+            // tested end-to-end elsewhere; here the subject is swap).
+            let fresh_topo = TopoOrder::compute(&dag);
+            let reach = Reachability::compute(&dag, &fresh_topo);
+            // Repair L with the paper's swap primitive if violated.
+            if let (Some(pu), Some(pv)) = (topo.position(u), topo.position(v)) {
+                if pu < pv {
+                    topo.swap(u, v, &|x| reach.is_ancestor(v, x));
+                }
+            }
+            prop_assert!(
+                topo.is_valid_for(&dag),
+                "L invalid after inserting edge {i}->{j}"
+            );
+        }
+    }
+
+    #[test]
+    fn topo_remove_preserves_validity(
+        n in 2usize..16,
+        edges in prop::collection::vec((0usize..16, 0usize..16), 0..24),
+        victim in 1usize..16,
+    ) {
+        let edges: Vec<(usize, usize)> =
+            edges.into_iter().map(|(a, b)| (a % n, b % n)).collect();
+        let mut dag = build_dag(n, &edges);
+        let topo_before = TopoOrder::compute(&dag);
+        let ty = TypeId(0);
+        let victim = victim % n;
+        if victim == 0 {
+            return Ok(()); // never remove the root
+        }
+        let v = dag
+            .genid()
+            .lookup(ty, &Tuple::from_values([Value::Int(victim as i64)]))
+            .expect("exists");
+        // Remove all edges touching the victim, retire it, and drop it from L.
+        let parents: Vec<NodeId> = dag.parents(v).to_vec();
+        for p in parents {
+            dag.remove_edge(p, v);
+        }
+        let children: Vec<NodeId> = dag.children(v).to_vec();
+        for c in children {
+            dag.remove_edge(v, c);
+        }
+        dag.genid_mut().retire(v);
+        let mut topo = topo_before;
+        topo.remove(v);
+        prop_assert!(topo.is_valid_for(&dag));
+    }
+}

@@ -1,0 +1,183 @@
+//! The database: a catalog of named tables plus atomic group updates.
+
+use crate::error::{RelError, RelResult};
+use crate::schema::TableSchema;
+use crate::table::Table;
+use crate::tuple::Tuple;
+use crate::update::{GroupUpdate, TupleOp};
+use std::collections::BTreeMap;
+
+/// An in-memory relational database instance `I` of a schema `R`.
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Creates a table from a schema.
+    pub fn create_table(&mut self, schema: TableSchema) -> RelResult<()> {
+        let name = schema.name().to_owned();
+        if self.tables.contains_key(&name) {
+            return Err(RelError::TableExists(name));
+        }
+        self.tables.insert(name, Table::new(schema));
+        Ok(())
+    }
+
+    /// Looks up a table by name.
+    pub fn table(&self, name: &str) -> RelResult<&Table> {
+        self.tables.get(name).ok_or_else(|| RelError::UnknownTable(name.into()))
+    }
+
+    /// Looks up a table mutably.
+    pub fn table_mut(&mut self, name: &str) -> RelResult<&mut Table> {
+        self.tables.get_mut(name).ok_or_else(|| RelError::UnknownTable(name.into()))
+    }
+
+    /// Whether a table exists.
+    pub fn has_table(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+
+    /// Names of all tables, sorted.
+    pub fn table_names(&self) -> impl Iterator<Item = &str> {
+        self.tables.keys().map(String::as_str)
+    }
+
+    /// Total number of rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.tables.values().map(Table::len).sum()
+    }
+
+    /// Inserts a tuple into a table.
+    pub fn insert(&mut self, table: &str, tuple: Tuple) -> RelResult<bool> {
+        self.table_mut(table)?.insert(tuple)
+    }
+
+    /// Deletes a tuple by primary key.
+    pub fn delete(&mut self, table: &str, key: &Tuple) -> RelResult<Tuple> {
+        self.table_mut(table)?.delete(key)
+    }
+
+    /// Applies a group update atomically: either every operation succeeds or
+    /// the database is left unchanged.
+    ///
+    /// Operations are first validated against a shadow copy of the affected
+    /// tables, then committed. Duplicate-insert of an identical tuple and
+    /// delete-of-already-deleted within the same group are tolerated (the
+    /// paper's ∆V→∆R translation can legitimately produce overlapping ops
+    /// for shared subtrees).
+    pub fn apply(&mut self, update: &GroupUpdate) -> RelResult<()> {
+        // Validate on clones of only the touched tables.
+        let mut shadows: BTreeMap<&str, Table> = BTreeMap::new();
+        for op in update.ops() {
+            let name = op.table();
+            if !shadows.contains_key(name) {
+                shadows.insert(name, self.table(name)?.clone());
+            }
+        }
+        for op in update.ops() {
+            let shadow = shadows.get_mut(op.table()).expect("shadow exists");
+            match op {
+                TupleOp::Insert { tuple, .. } => {
+                    shadow.insert(tuple.clone())?;
+                }
+                TupleOp::Delete { key, .. } => {
+                    // Tolerate double-deletes within a group.
+                    if shadow.contains_key(key) {
+                        shadow.delete(key)?;
+                    }
+                }
+            }
+        }
+        // Commit.
+        for (name, table) in shadows {
+            self.tables.insert(name.to_owned(), table);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::schema;
+    use crate::tuple;
+
+    fn db() -> Database {
+        let mut d = Database::new();
+        d.create_table(schema("course").col_str("cno").col_str("title").key(&["cno"])).unwrap();
+        d.create_table(schema("prereq").col_str("cno1").col_str("cno2").key(&["cno1", "cno2"]))
+            .unwrap();
+        d
+    }
+
+    #[test]
+    fn create_and_lookup_tables() {
+        let d = db();
+        assert!(d.has_table("course"));
+        assert!(!d.has_table("student"));
+        assert!(d.table("missing").is_err());
+        assert_eq!(d.table_names().collect::<Vec<_>>(), vec!["course", "prereq"]);
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut d = db();
+        assert!(matches!(
+            d.create_table(schema("course").col_str("x").key(&["x"])),
+            Err(RelError::TableExists(_))
+        ));
+    }
+
+    #[test]
+    fn apply_commits_all_ops() {
+        let mut d = db();
+        let mut g = GroupUpdate::new();
+        g.insert("course", tuple!["CS240", "Data Structures"]);
+        g.insert("prereq", tuple!["CS320", "CS240"]);
+        d.apply(&g).unwrap();
+        assert_eq!(d.table("course").unwrap().len(), 1);
+        assert_eq!(d.table("prereq").unwrap().len(), 1);
+        assert_eq!(d.total_rows(), 2);
+    }
+
+    #[test]
+    fn apply_is_atomic_on_failure() {
+        let mut d = db();
+        d.insert("course", tuple!["CS240", "Data Structures"]).unwrap();
+        let mut g = GroupUpdate::new();
+        g.insert("course", tuple!["CS320", "Algorithms"]);
+        // Conflicts with the existing CS240 row (same key, different payload).
+        g.insert("course", tuple!["CS240", "Conflicting"]);
+        assert!(d.apply(&g).is_err());
+        // The valid first op must not have been committed.
+        assert_eq!(d.table("course").unwrap().len(), 1);
+        assert!(d.table("course").unwrap().get(&tuple!["CS320"]).is_none());
+    }
+
+    #[test]
+    fn apply_tolerates_double_delete() {
+        let mut d = db();
+        d.insert("course", tuple!["CS240", "Data Structures"]).unwrap();
+        let mut g = GroupUpdate::new();
+        g.delete("course", tuple!["CS240"]);
+        // The same logical delete appearing again must not abort the group.
+        g.push(TupleOp::Delete { table: "course".into(), key: tuple!["CS240"] });
+        d.apply(&g).unwrap();
+        assert!(d.table("course").unwrap().is_empty());
+    }
+
+    #[test]
+    fn apply_unknown_table_fails_before_mutation() {
+        let mut d = db();
+        let mut g = GroupUpdate::new();
+        g.insert("nope", tuple!["x"]);
+        assert!(matches!(d.apply(&g), Err(RelError::UnknownTable(_))));
+    }
+}

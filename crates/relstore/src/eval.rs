@@ -1,0 +1,544 @@
+//! SPJ query evaluation: left-deep hash joins with set-semantics output.
+//!
+//! The evaluator joins the FROM entries in order. For each entry it collects
+//! the predicates that become fully bound at that point: *local* predicates
+//! (column = constant/parameter, or two columns of the same entry) filter the
+//! scan, and *join* predicates (column of this entry = column of an earlier
+//! entry) drive a hash join. Predicates that only involve earlier entries are
+//! applied as residual filters as soon as they are bound.
+
+use crate::database::Database;
+use crate::error::{RelError, RelResult};
+use crate::spj::{ColRef, EqPred, Operand, SchemaProvider, SpjQuery};
+use crate::table::Table;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::collections::{BTreeSet, HashMap};
+
+/// A source of named tables for query evaluation.
+///
+/// Besides plain [`Database`]s, the update-translation algorithms evaluate
+/// edge views over the *augmented* database — base relations plus the
+/// derived `gen_A` node tables (§2.3) — without copying either side;
+/// [`Augmented`] provides that composition.
+pub trait TableSource: SchemaProvider {
+    /// Resolves a table by name.
+    fn table_src(&self, name: &str) -> Option<&Table>;
+}
+
+impl TableSource for Database {
+    fn table_src(&self, name: &str) -> Option<&Table> {
+        self.table(name).ok()
+    }
+}
+
+/// Two table sources layered: `primary` shadows `secondary`.
+#[derive(Debug, Clone, Copy)]
+pub struct Augmented<'a> {
+    /// Looked up first.
+    pub primary: &'a Database,
+    /// Fallback (e.g. the `gen_A` tables).
+    pub secondary: &'a Database,
+}
+
+impl SchemaProvider for Augmented<'_> {
+    fn schema_of(&self, table: &str) -> Option<&crate::schema::TableSchema> {
+        self.primary
+            .table(table)
+            .ok()
+            .map(|t| t.schema())
+            .or_else(|| self.secondary.table(table).ok().map(|t| t.schema()))
+    }
+}
+
+impl TableSource for Augmented<'_> {
+    fn table_src(&self, name: &str) -> Option<&Table> {
+        self.primary.table(name).ok().or_else(|| self.secondary.table(name).ok())
+    }
+}
+
+/// A bound predicate after parameter substitution.
+#[derive(Debug, Clone)]
+enum BoundPred {
+    ColConst(ColRef, Value),
+    ColCol(ColRef, ColRef),
+    ConstConst(Value, Value),
+}
+
+fn bind_operand(op: &Operand, params: &[Value]) -> RelResult<Result<Value, ColRef>> {
+    match op {
+        Operand::Col(c) => Ok(Err(*c)),
+        Operand::Const(v) => Ok(Ok(v.clone())),
+        Operand::Param(i) => {
+            params.get(*i).cloned().map(Ok).ok_or(RelError::UnboundParam(*i))
+        }
+    }
+}
+
+fn bind_predicates(query: &SpjQuery, params: &[Value]) -> RelResult<Vec<BoundPred>> {
+    query
+        .predicates()
+        .iter()
+        .map(|EqPred { left, right }| {
+            let l = bind_operand(left, params)?;
+            let r = bind_operand(right, params)?;
+            Ok(match (l, r) {
+                (Ok(a), Ok(b)) => BoundPred::ConstConst(a, b),
+                (Ok(v), Err(c)) | (Err(c), Ok(v)) => BoundPred::ColConst(c, v),
+                (Err(a), Err(b)) => BoundPred::ColCol(a, b),
+            })
+        })
+        .collect()
+}
+
+/// Evaluates `query` against `db` with the given parameter bindings.
+///
+/// Returns distinct output tuples in sorted order (set semantics, matching
+/// the paper's view relations; §3.3 relies on set semantics so that "a newly
+/// inserted subtree is stored only once").
+pub fn eval_spj(
+    db: &impl TableSource,
+    query: &SpjQuery,
+    params: &[Value],
+) -> RelResult<Vec<Tuple>> {
+    query.validate(db)?;
+    if params.len() < query.n_params() {
+        return Err(RelError::UnboundParam(params.len()));
+    }
+    let preds = bind_predicates(query, params)?;
+    for p in &preds {
+        if let BoundPred::ConstConst(a, b) = p {
+            if a != b {
+                return Ok(Vec::new()); // contradiction: empty result
+            }
+        }
+    }
+
+    // Column offsets of each FROM entry within the concatenated row (the
+    // row layout is fixed by FROM order regardless of join order).
+    let mut offsets = Vec::with_capacity(query.from().len());
+    let mut width = 0usize;
+    for tr in query.from() {
+        offsets.push(width);
+        let table = db
+            .table_src(&tr.table)
+            .ok_or_else(|| RelError::UnknownTable(tr.table.clone()))?;
+        width += table.schema().arity();
+    }
+    let abs = |c: ColRef| offsets[c.rel] + c.col;
+    let n_from = query.from().len();
+
+    // Greedy join order: repeatedly place the entry whose primary-key
+    // prefix is best bound by constants and joins to already-placed
+    // entries — the difference between scanning a 100K-row `gen` table per
+    // update and a handful of point lookups.
+    let order: Vec<usize> = {
+        let mut placed = vec![false; n_from];
+        let mut order = Vec::with_capacity(n_from);
+        // Precompute per-entry info against the bound predicates.
+        while order.len() < n_from {
+            let mut best: Option<(usize, usize, usize)> = None; // (prefix, conn, entry)
+            for e in 0..n_from {
+                if placed[e] {
+                    continue;
+                }
+                let table = db.table_src(&query.from()[e].table).expect("checked above");
+                let key = table.schema().key();
+                let col_bound = |col: usize| -> bool {
+                    preds.iter().any(|p| match p {
+                        BoundPred::ColConst(c, _) => c.rel == e && c.col == col,
+                        BoundPred::ColCol(a, b) => {
+                            (a.rel == e && a.col == col && placed[b.rel])
+                                || (b.rel == e && b.col == col && placed[a.rel])
+                        }
+                        BoundPred::ConstConst(_, _) => false,
+                    })
+                };
+                let prefix = key.iter().take_while(|&&kc| col_bound(kc)).count();
+                // Connectivity: any predicate linking e to placed entries or
+                // constants.
+                let conn = preds
+                    .iter()
+                    .filter(|p| match p {
+                        BoundPred::ColConst(c, _) => c.rel == e,
+                        BoundPred::ColCol(a, b) => {
+                            (a.rel == e && placed[b.rel]) || (b.rel == e && placed[a.rel])
+                        }
+                        BoundPred::ConstConst(_, _) => false,
+                    })
+                    .count();
+                let cand = (prefix, conn, e);
+                let better = match best {
+                    None => true,
+                    // Smaller entry index wins ties (stable, deterministic).
+                    Some((bp, bc, be)) => {
+                        (prefix, conn) > (bp, bc) || ((prefix, conn) == (bp, bc) && e < be)
+                    }
+                };
+                if better {
+                    best = Some(cand);
+                }
+            }
+            let (_, _, e) = best.expect("unplaced entry exists");
+            placed[e] = true;
+            order.push(e);
+        }
+        order
+    };
+
+    // `rows` holds the working set of partially joined rows over the full
+    // row layout; unfilled segments hold placeholders.
+    let mut rows: Vec<Vec<Value>> = vec![vec![Value::Int(0); width]];
+    let mut applied = vec![false; preds.len()];
+    let mut placed = vec![false; n_from];
+
+    for &rel in &order {
+        let tr = &query.from()[rel];
+        let table = db
+            .table_src(&tr.table)
+            .ok_or_else(|| RelError::UnknownTable(tr.table.clone()))?;
+        let arity = table.schema().arity();
+
+        // Partition the not-yet-applied predicates that become bound now.
+        let mut local_const: Vec<(usize, Value)> = Vec::new(); // (col-in-rel, const)
+        let mut local_colcol: Vec<(usize, usize)> = Vec::new(); // both in rel
+        let mut join: Vec<(usize, usize)> = Vec::new(); // (col-in-rel, abs-placed)
+        for (i, p) in preds.iter().enumerate() {
+            if applied[i] {
+                continue;
+            }
+            match p {
+                BoundPred::ColConst(c, v) if c.rel == rel => {
+                    local_const.push((c.col, v.clone()));
+                    applied[i] = true;
+                }
+                BoundPred::ColCol(a, b) if a.rel == rel && b.rel == rel => {
+                    local_colcol.push((a.col, b.col));
+                    applied[i] = true;
+                }
+                BoundPred::ColCol(a, b) if a.rel == rel && placed[b.rel] => {
+                    join.push((a.col, abs(*b)));
+                    applied[i] = true;
+                }
+                BoundPred::ColCol(a, b) if b.rel == rel && placed[a.rel] => {
+                    join.push((b.col, abs(*a)));
+                    applied[i] = true;
+                }
+                _ => {}
+            }
+        }
+
+        // Access path: if the local constants bind a prefix of the primary
+        // key, use an index range scan (point lookup when the full key is
+        // bound) instead of a full scan.
+        let key_prefix: Vec<Value> = {
+            let mut prefix = Vec::new();
+            for &kc in table.schema().key() {
+                match local_const.iter().find(|(c, _)| *c == kc) {
+                    Some((_, v)) => prefix.push(v.clone()),
+                    None => break,
+                }
+            }
+            prefix
+        };
+
+        let write_segment = |row: &Vec<Value>, t: &Tuple| -> Vec<Value> {
+            let mut r = row.clone();
+            r[offsets[rel]..offsets[rel] + arity].clone_from_slice(t.values());
+            r
+        };
+
+        if join.is_empty() {
+            // No join predicate to placed entries: scan (or prefix-scan)
+            // once and extend every row.
+            let scan: Box<dyn Iterator<Item = &Tuple>> = if key_prefix.is_empty() {
+                Box::new(table.iter())
+            } else {
+                Box::new(table.scan_key_prefix(&key_prefix))
+            };
+            let scanned: Vec<&Tuple> = scan
+                .filter(|t| {
+                    local_const.iter().all(|(c, v)| &t[*c] == v)
+                        && local_colcol.iter().all(|(a, b)| t[*a] == t[*b])
+                })
+                .collect();
+            let mut next = Vec::with_capacity(rows.len().saturating_mul(scanned.len()));
+            for row in &rows {
+                for t in &scanned {
+                    next.push(write_segment(row, t));
+                }
+            }
+            rows = next;
+        } else {
+            // Prefer an index nested-loop join when the join columns and
+            // local constants cover a prefix of this table's primary key.
+            enum PrefixSrc {
+                Const(Value),
+                Row(usize),
+            }
+            let mut prefix_spec: Vec<PrefixSrc> = Vec::new();
+            for &kc in table.schema().key() {
+                if let Some((_, v)) = local_const.iter().find(|(c, _)| *c == kc) {
+                    prefix_spec.push(PrefixSrc::Const(v.clone()));
+                } else if let Some((_, a)) = join.iter().find(|(c, _)| *c == kc) {
+                    prefix_spec.push(PrefixSrc::Row(*a));
+                } else {
+                    break;
+                }
+            }
+            if !prefix_spec.is_empty() {
+                let mut next = Vec::new();
+                for row in &rows {
+                    let prefix: Vec<Value> = prefix_spec
+                        .iter()
+                        .map(|s| match s {
+                            PrefixSrc::Const(v) => v.clone(),
+                            PrefixSrc::Row(a) => row[*a].clone(),
+                        })
+                        .collect();
+                    for t in table.scan_key_prefix(&prefix) {
+                        let ok = local_const.iter().all(|(c, v)| &t[*c] == v)
+                            && local_colcol.iter().all(|(a, b)| t[*a] == t[*b])
+                            && join.iter().all(|(c, a)| t[*c] == row[*a]);
+                        if ok {
+                            next.push(write_segment(row, t));
+                        }
+                    }
+                }
+                rows = next;
+            } else {
+                // Hash join: index scanned tuples by their join-key values.
+                let scan: Box<dyn Iterator<Item = &Tuple>> = if key_prefix.is_empty() {
+                    Box::new(table.iter())
+                } else {
+                    Box::new(table.scan_key_prefix(&key_prefix))
+                };
+                let key_cols: Vec<usize> = join.iter().map(|(c, _)| *c).collect();
+                let probe_cols: Vec<usize> = join.iter().map(|(_, a)| *a).collect();
+                let mut index: HashMap<Vec<&Value>, Vec<&Tuple>> = HashMap::new();
+                for t in scan.filter(|t| {
+                    local_const.iter().all(|(c, v)| &t[*c] == v)
+                        && local_colcol.iter().all(|(a, b)| t[*a] == t[*b])
+                }) {
+                    let key: Vec<&Value> = key_cols.iter().map(|&c| &t[c]).collect();
+                    index.entry(key).or_default().push(t);
+                }
+                let mut next = Vec::new();
+                for row in &rows {
+                    let probe: Vec<&Value> = probe_cols.iter().map(|&a| &row[a]).collect();
+                    if let Some(matches) = index.get(&probe) {
+                        for t in matches {
+                            next.push(write_segment(row, t));
+                        }
+                    }
+                }
+                rows = next;
+            }
+        }
+        placed[rel] = true;
+        if rows.is_empty() {
+            return Ok(Vec::new());
+        }
+    }
+
+    // Residual predicates (e.g. ColCol spanning entries where both were
+    // handled as join keys of later relations) — by construction every
+    // ColCol/ColConst is applied above, but keep a safety net.
+    for (i, p) in preds.iter().enumerate() {
+        if applied[i] {
+            continue;
+        }
+        match p {
+            BoundPred::ColConst(c, v) => {
+                let a = abs(*c);
+                rows.retain(|r| &r[a] == v);
+            }
+            BoundPred::ColCol(x, y) => {
+                let (a, b) = (abs(*x), abs(*y));
+                rows.retain(|r| r[a] == r[b]);
+            }
+            BoundPred::ConstConst(_, _) => {}
+        }
+    }
+
+    // Project with set semantics and deterministic order.
+    let proj: Vec<usize> = query.projection().iter().map(|c| abs(*c)).collect();
+    let mut out: BTreeSet<Tuple> = BTreeSet::new();
+    for r in rows {
+        out.insert(Tuple::from_values(proj.iter().map(|&i| r[i].clone())));
+    }
+    Ok(out.into_iter().collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::schema;
+    use crate::tuple;
+
+    /// The registrar database of Example 1.
+    fn registrar() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            schema("course").col_str("cno").col_str("title").col_str("dept").key(&["cno"]),
+        )
+        .unwrap();
+        db.create_table(
+            schema("prereq").col_str("cno1").col_str("cno2").key(&["cno1", "cno2"]),
+        )
+        .unwrap();
+        db.create_table(schema("student").col_str("ssn").col_str("name").key(&["ssn"])).unwrap();
+        db.create_table(schema("enroll").col_str("ssn").col_str("cno").key(&["ssn", "cno"]))
+            .unwrap();
+        for c in [("CS650", "Advanced DB", "CS"), ("CS320", "Algorithms", "CS"),
+                  ("CS240", "Data Structures", "CS"), ("MA100", "Calculus", "Math")] {
+            db.insert("course", tuple![c.0, c.1, c.2]).unwrap();
+        }
+        for p in [("CS650", "CS320"), ("CS320", "CS240")] {
+            db.insert("prereq", tuple![p.0, p.1]).unwrap();
+        }
+        for s in [("S01", "Alice"), ("S02", "Bob")] {
+            db.insert("student", tuple![s.0, s.1]).unwrap();
+        }
+        for e in [("S01", "CS650"), ("S02", "CS320"), ("S02", "CS240")] {
+            db.insert("enroll", tuple![e.0, e.1]).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn selection_with_constant() {
+        let db = registrar();
+        let q = SpjQuery::builder("cs_courses")
+            .from("course", "c")
+            .where_col_eq_const(("c", "dept"), "CS")
+            .project(("c", "cno"), "cno")
+            .build(&db)
+            .unwrap();
+        let out = eval_spj(&db, &q, &[]).unwrap();
+        assert_eq!(out, vec![tuple!["CS240"], tuple!["CS320"], tuple!["CS650"]]);
+    }
+
+    #[test]
+    fn parameterized_join_mirrors_atg_rule() {
+        let db = registrar();
+        // Qprereq_course(c1): prerequisites of $c1 (Fig.2).
+        let q = SpjQuery::builder("Qprereq_course")
+            .from("prereq", "p")
+            .from("course", "c")
+            .where_col_eq_param(("p", "cno1"), 0)
+            .where_col_eq_col(("p", "cno2"), ("c", "cno"))
+            .project(("c", "cno"), "cno")
+            .project(("c", "title"), "title")
+            .build(&db)
+            .unwrap();
+        let out = eval_spj(&db, &q, &[Value::from("CS650")]).unwrap();
+        assert_eq!(out, vec![tuple!["CS320", "Algorithms"]]);
+        let out = eval_spj(&db, &q, &[Value::from("CS240")]).unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn three_way_join() {
+        let db = registrar();
+        // Students enrolled in prerequisites of CS650.
+        let q = SpjQuery::builder("takers")
+            .from("prereq", "p")
+            .from("enroll", "e")
+            .from("student", "s")
+            .where_col_eq_param(("p", "cno1"), 0)
+            .where_col_eq_col(("p", "cno2"), ("e", "cno"))
+            .where_col_eq_col(("e", "ssn"), ("s", "ssn"))
+            .project(("s", "name"), "name")
+            .build(&db)
+            .unwrap();
+        let out = eval_spj(&db, &q, &[Value::from("CS650")]).unwrap();
+        assert_eq!(out, vec![tuple!["Bob"]]);
+    }
+
+    #[test]
+    fn missing_param_is_error() {
+        let db = registrar();
+        let q = SpjQuery::builder("q")
+            .from("course", "c")
+            .where_col_eq_param(("c", "cno"), 0)
+            .project(("c", "title"), "t")
+            .build(&db)
+            .unwrap();
+        assert!(matches!(eval_spj(&db, &q, &[]), Err(RelError::UnboundParam(0))));
+    }
+
+    #[test]
+    fn set_semantics_deduplicates() {
+        let db = registrar();
+        let q = SpjQuery::builder("depts")
+            .from("course", "c")
+            .project(("c", "dept"), "dept")
+            .build(&db)
+            .unwrap();
+        let out = eval_spj(&db, &q, &[]).unwrap();
+        assert_eq!(out, vec![tuple!["CS"], tuple!["Math"]]);
+    }
+
+    #[test]
+    fn self_join_finds_transitive_prereqs() {
+        let db = registrar();
+        let q = SpjQuery::builder("trans")
+            .from("prereq", "p1")
+            .from("prereq", "p2")
+            .where_col_eq_col(("p1", "cno2"), ("p2", "cno1"))
+            .project(("p1", "cno1"), "a")
+            .project(("p2", "cno2"), "b")
+            .build(&db)
+            .unwrap();
+        let out = eval_spj(&db, &q, &[]).unwrap();
+        assert_eq!(out, vec![tuple!["CS650", "CS240"]]);
+    }
+
+    #[test]
+    fn contradictory_const_predicate_yields_empty() {
+        let db = registrar();
+        let q = SpjQuery::builder("never")
+            .from("course", "c")
+            .where_col_eq_const(("c", "dept"), "CS")
+            .where_col_eq_const(("c", "dept"), "Math")
+            .project(("c", "cno"), "cno")
+            .build(&db)
+            .unwrap();
+        assert!(eval_spj(&db, &q, &[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn local_col_col_predicate() {
+        let mut db = Database::new();
+        db.create_table(schema("pairs").col_int("a").col_int("b").key(&["a"])).unwrap();
+        db.insert("pairs", tuple![1i64, 1i64]).unwrap();
+        db.insert("pairs", tuple![2i64, 3i64]).unwrap();
+        let q = SpjQuery::builder("diag")
+            .from("pairs", "p")
+            .where_col_eq_col(("p", "a"), ("p", "b"))
+            .project(("p", "a"), "a")
+            .build(&db)
+            .unwrap();
+        assert_eq!(eval_spj(&db, &q, &[]).unwrap(), vec![tuple![1i64]]);
+    }
+
+    #[test]
+    fn cartesian_product_when_no_join_predicate() {
+        let mut db = Database::new();
+        db.create_table(schema("l").col_int("x").key(&["x"])).unwrap();
+        db.create_table(schema("r").col_int("y").key(&["y"])).unwrap();
+        db.insert("l", tuple![1i64]).unwrap();
+        db.insert("l", tuple![2i64]).unwrap();
+        db.insert("r", tuple![10i64]).unwrap();
+        let q = SpjQuery::builder("cross")
+            .from("l", "l")
+            .from("r", "r")
+            .project(("l", "x"), "x")
+            .project(("r", "y"), "y")
+            .build(&db)
+            .unwrap();
+        let out = eval_spj(&db, &q, &[]).unwrap();
+        assert_eq!(out, vec![tuple![1i64, 10i64], tuple![2i64, 10i64]]);
+    }
+}

@@ -1,0 +1,40 @@
+//! `rxview-relstore` — an in-memory relational engine purpose-built for
+//! *Updating Recursive XML Views of Relations* (Choi, Cong, Fan, Viglas;
+//! ICDE 2007).
+//!
+//! It provides:
+//! - typed schemas with primary keys and finite/infinite column domains
+//!   ([`mod@schema`], [`value`]);
+//! - key-indexed tables and databases with atomic group updates ([`table`],
+//!   [`database`], [`update`]);
+//! - parameterized select-project-join queries with hash-join evaluation
+//!   ([`spj`], [`eval`]);
+//! - the paper's *key preservation* analysis (§4.1) and deletable-source
+//!   lineage (§4.2) ([`spj`], [`lineage`]).
+//!
+//! Everything is deterministic: tables iterate in key order and query output
+//! is sorted, so publishing and benchmarks are reproducible.
+
+#![warn(missing_docs)]
+
+pub mod database;
+pub mod error;
+pub mod eval;
+pub mod lineage;
+pub mod schema;
+pub mod spj;
+pub mod table;
+pub mod tuple;
+pub mod update;
+pub mod value;
+
+pub use database::Database;
+pub use error::{RelError, RelResult};
+pub use eval::{eval_spj, Augmented, TableSource};
+pub use lineage::{closure_source_keys, deletable_source, resolve_source, SourceRef};
+pub use schema::{schema, ColumnDef, SchemaBuilder, TableSchema};
+pub use spj::{ColRef, EqPred, Operand, SchemaProvider, SpjBuilder, SpjQuery, TableRef};
+pub use table::Table;
+pub use tuple::Tuple;
+pub use update::{GroupUpdate, TupleOp};
+pub use value::{Domain, Value, ValueType};

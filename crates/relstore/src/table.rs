@@ -1,0 +1,189 @@
+//! A base relation: schema plus primary-key-indexed rows.
+
+use crate::error::{RelError, RelResult};
+use crate::schema::TableSchema;
+use crate::tuple::Tuple;
+use std::collections::BTreeMap;
+
+/// A table with set semantics, indexed by primary key.
+///
+/// Rows are kept in a `BTreeMap` keyed by the primary-key projection so that
+/// iteration order — and therefore published views, benchmarks, and test
+/// output — is deterministic.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: TableSchema,
+    rows: BTreeMap<Tuple, Tuple>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(schema: TableSchema) -> Self {
+        Table { schema, rows: BTreeMap::new() }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &TableSchema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Inserts a tuple. Re-inserting an identical tuple is a no-op (set
+    /// semantics); inserting a different tuple with an existing key is a
+    /// [`RelError::DuplicateKey`].
+    pub fn insert(&mut self, tuple: Tuple) -> RelResult<bool> {
+        self.schema.check_tuple(&tuple)?;
+        let key = self.schema.key_of(&tuple);
+        match self.rows.get(&key) {
+            Some(existing) if *existing == tuple => Ok(false),
+            Some(_) => Err(RelError::DuplicateKey { table: self.schema.name().into() }),
+            None => {
+                self.rows.insert(key, tuple);
+                Ok(true)
+            }
+        }
+    }
+
+    /// Deletes the tuple with the given primary key. Errors if absent.
+    pub fn delete(&mut self, key: &Tuple) -> RelResult<Tuple> {
+        self.rows
+            .remove(key)
+            .ok_or_else(|| RelError::MissingKey { table: self.schema.name().into() })
+    }
+
+    /// Looks up a tuple by primary key.
+    pub fn get(&self, key: &Tuple) -> Option<&Tuple> {
+        self.rows.get(key)
+    }
+
+    /// Whether a tuple with this primary key exists.
+    pub fn contains_key(&self, key: &Tuple) -> bool {
+        self.rows.contains_key(key)
+    }
+
+    /// Whether this exact tuple exists.
+    pub fn contains_tuple(&self, tuple: &Tuple) -> bool {
+        let key = self.schema.key_of(tuple);
+        self.rows.get(&key) == Some(tuple)
+    }
+
+    /// Iterates over rows in key order.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.rows.values()
+    }
+
+    /// Iterates over the rows whose primary key starts with `prefix`
+    /// (in key order). With a full-key prefix this is a point lookup; with
+    /// a partial prefix it is a range scan — the index access path that
+    /// keeps ATG rule evaluation linear in the *output* rather than the
+    /// table (e.g. `H` rows of one `h1`).
+    pub fn scan_key_prefix<'a>(
+        &'a self,
+        prefix: &'a [crate::value::Value],
+    ) -> impl Iterator<Item = &'a Tuple> + 'a {
+        let lower = Tuple::from_values(prefix.iter().cloned());
+        self.rows
+            .range(lower..)
+            .take_while(move |(k, _)| k.values().starts_with(prefix))
+            .map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::schema;
+    use crate::tuple;
+
+    fn course_table() -> Table {
+        Table::new(schema("course").col_str("cno").col_str("title").key(&["cno"]))
+    }
+
+    #[test]
+    fn insert_and_get_by_key() {
+        let mut t = course_table();
+        assert!(t.insert(tuple!["CS320", "Algorithms"]).unwrap());
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(&tuple!["CS320"]).unwrap(), &tuple!["CS320", "Algorithms"]);
+    }
+
+    #[test]
+    fn reinsert_identical_is_noop() {
+        let mut t = course_table();
+        t.insert(tuple!["CS320", "Algorithms"]).unwrap();
+        assert!(!t.insert(tuple!["CS320", "Algorithms"]).unwrap());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn conflicting_key_is_error() {
+        let mut t = course_table();
+        t.insert(tuple!["CS320", "Algorithms"]).unwrap();
+        assert!(matches!(
+            t.insert(tuple!["CS320", "Other"]),
+            Err(RelError::DuplicateKey { .. })
+        ));
+    }
+
+    #[test]
+    fn delete_removes_and_errors_when_absent() {
+        let mut t = course_table();
+        t.insert(tuple!["CS320", "Algorithms"]).unwrap();
+        assert_eq!(t.delete(&tuple!["CS320"]).unwrap(), tuple!["CS320", "Algorithms"]);
+        assert!(t.is_empty());
+        assert!(matches!(t.delete(&tuple!["CS320"]), Err(RelError::MissingKey { .. })));
+    }
+
+    #[test]
+    fn contains_tuple_requires_exact_match() {
+        let mut t = course_table();
+        t.insert(tuple!["CS320", "Algorithms"]).unwrap();
+        assert!(t.contains_tuple(&tuple!["CS320", "Algorithms"]));
+        assert!(!t.contains_tuple(&tuple!["CS320", "Other"]));
+        assert!(t.contains_key(&tuple!["CS320"]));
+    }
+
+    #[test]
+    fn iteration_is_key_ordered() {
+        let mut t = course_table();
+        t.insert(tuple!["CS650", "b"]).unwrap();
+        t.insert(tuple!["CS240", "a"]).unwrap();
+        let keys: Vec<_> = t.iter().map(|r| r[0].clone()).collect();
+        assert_eq!(keys, vec!["CS240".into(), "CS650".into()]);
+    }
+
+    #[test]
+    fn scan_key_prefix_ranges() {
+        let mut t = Table::new(
+            crate::schema::schema("H").col_int("h1").col_int("h2").key(&["h1", "h2"]),
+        );
+        for (a, b) in [(1i64, 2i64), (1, 5), (2, 3), (3, 4)] {
+            t.insert(tuple![a, b]).unwrap();
+        }
+        use crate::value::Value;
+        let rows: Vec<_> = t.scan_key_prefix(&[Value::Int(1)]).collect();
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r[0] == Value::Int(1)));
+        // Full-key prefix: point lookup.
+        let rows: Vec<_> = t.scan_key_prefix(&[Value::Int(2), Value::Int(3)]).collect();
+        assert_eq!(rows.len(), 1);
+        // Missing prefix: empty.
+        assert_eq!(t.scan_key_prefix(&[Value::Int(9)]).count(), 0);
+    }
+
+    #[test]
+    fn schema_violations_rejected() {
+        let mut t = course_table();
+        assert!(t.insert(tuple!["CS320"]).is_err());
+        assert!(t.insert(tuple![1i64, "x"]).is_err());
+    }
+}

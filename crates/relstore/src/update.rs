@@ -1,0 +1,163 @@
+//! Group updates on base relations (the paper's `∆R`, §2.4/§4).
+
+use crate::tuple::Tuple;
+use std::fmt;
+
+/// A single tuple operation on a named base relation.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+#[allow(missing_docs)] // variant fields are self-describing
+pub enum TupleOp {
+    /// Insert `tuple` into `table`.
+    Insert { table: String, tuple: Tuple },
+    /// Delete the tuple with primary key `key` from `table`.
+    Delete { table: String, key: Tuple },
+}
+
+impl TupleOp {
+    /// The target table name.
+    pub fn table(&self) -> &str {
+        match self {
+            TupleOp::Insert { table, .. } | TupleOp::Delete { table, .. } => table,
+        }
+    }
+
+    /// Whether this is an insertion.
+    pub fn is_insert(&self) -> bool {
+        matches!(self, TupleOp::Insert { .. })
+    }
+}
+
+impl fmt::Display for TupleOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TupleOp::Insert { table, tuple } => write!(f, "insert {tuple} into {table}"),
+            TupleOp::Delete { table, key } => write!(f, "delete key {key} from {table}"),
+        }
+    }
+}
+
+/// A group update `∆R`: a set of tuple operations applied atomically.
+///
+/// The paper's translation algorithms always produce homogeneous groups
+/// (only insertions or only deletions, §4.1); [`GroupUpdate`] does not
+/// enforce this, but [`GroupUpdate::is_homogeneous`] reports it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GroupUpdate {
+    ops: Vec<TupleOp>,
+}
+
+impl GroupUpdate {
+    /// An empty group update.
+    pub fn new() -> Self {
+        GroupUpdate::default()
+    }
+
+    /// Builds a group from operations, deduplicating identical ops.
+    pub fn from_ops(ops: impl IntoIterator<Item = TupleOp>) -> Self {
+        let mut g = GroupUpdate::new();
+        for op in ops {
+            g.push(op);
+        }
+        g
+    }
+
+    /// Appends an operation, skipping exact duplicates.
+    pub fn push(&mut self, op: TupleOp) {
+        if !self.ops.contains(&op) {
+            self.ops.push(op);
+        }
+    }
+
+    /// Adds an insertion.
+    pub fn insert(&mut self, table: impl Into<String>, tuple: Tuple) {
+        self.push(TupleOp::Insert { table: table.into(), tuple });
+    }
+
+    /// Adds a deletion by key.
+    pub fn delete(&mut self, table: impl Into<String>, key: Tuple) {
+        self.push(TupleOp::Delete { table: table.into(), key });
+    }
+
+    /// The operations in insertion order.
+    pub fn ops(&self) -> &[TupleOp] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the group is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Whether all operations are of the same kind (all inserts or all deletes).
+    pub fn is_homogeneous(&self) -> bool {
+        self.ops.windows(2).all(|w| w[0].is_insert() == w[1].is_insert())
+    }
+
+    /// Merges another group into this one.
+    pub fn extend(&mut self, other: GroupUpdate) {
+        for op in other.ops {
+            self.push(op);
+        }
+    }
+}
+
+impl fmt::Display for GroupUpdate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "group update ({} ops):", self.ops.len())?;
+        for op in &self.ops {
+            writeln!(f, "  {op}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn push_deduplicates() {
+        let mut g = GroupUpdate::new();
+        g.insert("t", tuple![1i64]);
+        g.insert("t", tuple![1i64]);
+        g.delete("t", tuple![2i64]);
+        assert_eq!(g.len(), 2);
+    }
+
+    #[test]
+    fn homogeneity_detection() {
+        let mut g = GroupUpdate::new();
+        g.insert("t", tuple![1i64]);
+        g.insert("u", tuple![2i64]);
+        assert!(g.is_homogeneous());
+        g.delete("t", tuple![1i64]);
+        assert!(!g.is_homogeneous());
+        assert!(GroupUpdate::new().is_homogeneous());
+    }
+
+    #[test]
+    fn extend_merges_without_duplicates() {
+        let mut a = GroupUpdate::new();
+        a.insert("t", tuple![1i64]);
+        let mut b = GroupUpdate::new();
+        b.insert("t", tuple![1i64]);
+        b.insert("t", tuple![2i64]);
+        a.extend(b);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    fn display_mentions_ops() {
+        let mut g = GroupUpdate::new();
+        g.insert("course", tuple!["CS240", "Data Structures"]);
+        let s = g.to_string();
+        assert!(s.contains("insert"));
+        assert!(s.contains("course"));
+    }
+}

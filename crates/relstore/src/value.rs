@@ -1,0 +1,198 @@
+//! Scalar values and column types.
+//!
+//! The paper's SPJ machinery (§4) distinguishes attributes over *finite*
+//! domains (which the insertion encoding must enumerate into SAT clauses)
+//! from attributes over *infinite* domains (where a fresh constant can always
+//! be chosen). [`Domain`] carries that distinction on every column.
+
+use std::fmt;
+
+/// The type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueType {
+    /// 64-bit signed integer.
+    Int,
+    /// UTF-8 string.
+    Str,
+    /// Boolean.
+    Bool,
+}
+
+impl fmt::Display for ValueType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValueType::Int => write!(f, "int"),
+            ValueType::Str => write!(f, "str"),
+            ValueType::Bool => write!(f, "bool"),
+        }
+    }
+}
+
+/// A scalar value stored in a tuple.
+///
+/// Values are totally ordered (within and across types) so that tables can be
+/// kept in deterministic order and keys can be compared cheaply.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// An integer value.
+    Int(i64),
+    /// A string value.
+    Str(String),
+    /// A boolean value.
+    Bool(bool),
+}
+
+impl Value {
+    /// Returns the [`ValueType`] of this value.
+    pub fn value_type(&self) -> ValueType {
+        match self {
+            Value::Int(_) => ValueType::Int,
+            Value::Str(_) => ValueType::Str,
+            Value::Bool(_) => ValueType::Bool,
+        }
+    }
+
+    /// Returns the integer payload, if this is an [`Value::Int`].
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload, if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+/// The domain of a column: the set of values an attribute may take.
+///
+/// The insertion-translation algorithm (§4.3, Appendix A) treats the two
+/// cases differently: a free variable over an [`Domain::Infinite`] domain can
+/// always be instantiated with a fresh constant that avoids side effects,
+/// while variables over a [`Domain::Finite`] domain contribute
+/// `x = c₁ ∨ … ∨ x = cₖ` clauses to the SAT instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Domain {
+    /// Unbounded domain (e.g. arbitrary integers or strings).
+    Infinite,
+    /// An explicitly enumerated finite domain.
+    Finite(Vec<Value>),
+}
+
+impl Domain {
+    /// The canonical finite domain for booleans.
+    pub fn boolean() -> Self {
+        Domain::Finite(vec![Value::Bool(false), Value::Bool(true)])
+    }
+
+    /// Returns the enumerated values if the domain is finite.
+    pub fn finite_values(&self) -> Option<&[Value]> {
+        match self {
+            Domain::Infinite => None,
+            Domain::Finite(vs) => Some(vs),
+        }
+    }
+
+    /// Whether `v` is admissible in this domain.
+    pub fn contains(&self, v: &Value) -> bool {
+        match self {
+            Domain::Infinite => true,
+            Domain::Finite(vs) => vs.contains(v),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_types_round_trip() {
+        assert_eq!(Value::Int(3).value_type(), ValueType::Int);
+        assert_eq!(Value::from("x").value_type(), ValueType::Str);
+        assert_eq!(Value::Bool(true).value_type(), ValueType::Bool);
+    }
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Int(7).as_str(), None);
+        assert_eq!(Value::from("ab").as_str(), Some("ab"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+    }
+
+    #[test]
+    fn boolean_domain_is_finite_with_two_values() {
+        let d = Domain::boolean();
+        assert_eq!(d.finite_values().unwrap().len(), 2);
+        assert!(d.contains(&Value::Bool(false)));
+        assert!(!d.contains(&Value::Int(0)));
+    }
+
+    #[test]
+    fn infinite_domain_contains_everything() {
+        assert!(Domain::Infinite.contains(&Value::Int(42)));
+        assert!(Domain::Infinite.finite_values().is_none());
+    }
+
+    #[test]
+    fn values_are_ordered_deterministically() {
+        let mut v = vec![Value::Int(2), Value::Int(1)];
+        v.sort();
+        assert_eq!(v, vec![Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Value::Int(-4).to_string(), "-4");
+        assert_eq!(Value::from("hi").to_string(), "hi");
+        assert_eq!(ValueType::Str.to_string(), "str");
+    }
+}

@@ -1,0 +1,137 @@
+//! Property test: the SPJ evaluator — with its hash-join, index-nested-loop,
+//! and key-prefix access paths — must agree with a naive
+//! materialize-the-cross-product reference implementation on random
+//! databases and random queries.
+
+use proptest::prelude::*;
+use rxview_relstore::{
+    eval_spj, schema, ColRef, Database, EqPred, Operand, SpjQuery, TableRef, Tuple, Value,
+};
+use std::collections::BTreeSet;
+
+/// Small random database: r1(a,b,c) key a; r2(d,e) key (d,e).
+fn build_db(r1: &[(i64, i64, i64)], r2: &[(i64, i64)]) -> Database {
+    let mut db = Database::new();
+    db.create_table(schema("r1").col_int("a").col_int("b").col_int("c").key(&["a"])).unwrap();
+    db.create_table(schema("r2").col_int("d").col_int("e").key(&["d", "e"])).unwrap();
+    let mut seen = BTreeSet::new();
+    for &(a, b, c) in r1 {
+        if seen.insert(a) {
+            db.insert("r1", Tuple::from_values([Value::Int(a), Value::Int(b), Value::Int(c)]))
+                .unwrap();
+        }
+    }
+    let mut seen2 = BTreeSet::new();
+    for &(d, e) in r2 {
+        if seen2.insert((d, e)) {
+            db.insert("r2", Tuple::from_values([Value::Int(d), Value::Int(e)])).unwrap();
+        }
+    }
+    db
+}
+
+/// Naive reference: nested loops over the cross product, then filter and
+/// project with set semantics.
+fn naive_eval(db: &Database, q: &SpjQuery, params: &[Value]) -> Vec<Tuple> {
+    let tables: Vec<Vec<Tuple>> =
+        q.from().iter().map(|tr| db.table(&tr.table).unwrap().iter().cloned().collect()).collect();
+    let mut offsets = Vec::new();
+    let mut width = 0;
+    for tr in q.from() {
+        offsets.push(width);
+        width += db.table(&tr.table).unwrap().schema().arity();
+    }
+    let mut out: BTreeSet<Tuple> = BTreeSet::new();
+    // Generic k-way nested loop via index vector.
+    let mut idxs = vec![0usize; tables.len()];
+    if tables.iter().any(|t| t.is_empty()) {
+        return Vec::new();
+    }
+    loop {
+        // Materialize the row.
+        let mut row: Vec<Value> = Vec::with_capacity(width);
+        for (ti, t) in tables.iter().enumerate() {
+            row.extend(t[idxs[ti]].values().iter().cloned());
+        }
+        let value_of = |o: &Operand| -> Value {
+            match o {
+                Operand::Col(ColRef { rel, col }) => row[offsets[*rel] + col].clone(),
+                Operand::Const(v) => v.clone(),
+                Operand::Param(i) => params[*i].clone(),
+            }
+        };
+        if q.predicates().iter().all(|EqPred { left, right }| value_of(left) == value_of(right)) {
+            out.insert(Tuple::from_values(
+                q.projection().iter().map(|c| row[offsets[c.rel] + c.col].clone()),
+            ));
+        }
+        // Advance odometer.
+        let mut k = tables.len();
+        loop {
+            if k == 0 {
+                return out.into_iter().collect();
+            }
+            k -= 1;
+            idxs[k] += 1;
+            if idxs[k] < tables[k].len() {
+                break;
+            }
+            idxs[k] = 0;
+        }
+    }
+}
+
+fn arb_operand(max_param: usize) -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        (0usize..2, 0usize..2).prop_map(|(rel, col)| Operand::Col(ColRef { rel, col })),
+        (-2i64..5).prop_map(|v| Operand::Const(Value::Int(v))),
+        (0..max_param).prop_map(Operand::Param),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn evaluator_matches_naive_reference(
+        r1 in prop::collection::vec((-2i64..5, -2i64..5, -2i64..5), 0..8),
+        r2 in prop::collection::vec((-2i64..5, -2i64..5), 0..8),
+        preds in prop::collection::vec((arb_operand(1), arb_operand(1)), 0..4),
+        proj in prop::collection::vec((0usize..2, 0usize..2), 1..4),
+        param in -2i64..5,
+    ) {
+        let db = build_db(&r1, &r2);
+        // Clamp column indices to each table's arity.
+        let clamp = |c: ColRef| ColRef { rel: c.rel, col: if c.rel == 0 { c.col.min(2) } else { c.col.min(1) } };
+        let predicates: Vec<EqPred> = preds
+            .into_iter()
+            .map(|(l, r)| {
+                let fix = |o: Operand| match o {
+                    Operand::Col(c) => Operand::Col(clamp(c)),
+                    other => other,
+                };
+                EqPred { left: fix(l), right: fix(r) }
+            })
+            .collect();
+        let projection: Vec<ColRef> =
+            proj.into_iter().map(|(rel, col)| clamp(ColRef { rel, col })).collect();
+        let out_names = (0..projection.len()).map(|i| format!("o{i}")).collect();
+        let q = SpjQuery::from_parts(
+            "prop",
+            vec![
+                TableRef { table: "r1".into(), alias: "x".into() },
+                TableRef { table: "r2".into(), alias: "y".into() },
+            ],
+            predicates,
+            projection,
+            out_names,
+            1,
+            &db,
+        )
+        .expect("query is well-formed by construction");
+        let params = [Value::Int(param)];
+        let fast = eval_spj(&db, &q, &params).expect("evaluates");
+        let slow = naive_eval(&db, &q, &params);
+        prop_assert_eq!(fast, slow);
+    }
+}

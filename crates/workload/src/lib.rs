@@ -1,0 +1,21 @@
+//! `rxview-workload` — the datasets and update workloads of the paper's
+//! evaluation (§5):
+//!
+//! - [`synthetic`]: the `C`/`F`/`H`/`CU` generator, the recursive view of
+//!   Fig.10(a), and Fig.10(b)-style dataset statistics;
+//! - [`workloads`]: the W1/W2/W3 insertion and deletion workloads;
+//! - the registrar running example is re-exported from `rxview-atg`.
+
+#![warn(missing_docs)]
+
+pub mod registrar_gen;
+pub mod synthetic;
+pub mod workloads;
+
+pub use registrar_gen::{registrar_scale, registrar_scale_database, RegistrarConfig};
+pub use rxview_atg::{registrar_atg, registrar_database};
+pub use synthetic::{
+    dataset_stats, detached_chain_heads, synthetic_atg, synthetic_database, synthetic_dtd,
+    DatasetStats, SyntheticConfig,
+};
+pub use workloads::{WorkloadClass, WorkloadGen};

@@ -1,0 +1,182 @@
+//! A scalable registrar-domain generator: the Example 1 schema (`course`,
+//! `prereq`, `student`, `enroll`) populated with `n` courses in grouped
+//! prerequisite DAGs and a student body with random enrollments. A second,
+//! string-keyed domain for tests and benches beside the paper's synthetic
+//! integer dataset — exercising multi-field semantic attributes and the
+//! shared-student pattern of Fig.1 at scale.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rxview_atg::{registrar_atg, registrar_schema, Atg, AtgError};
+use rxview_relstore::{Database, Tuple, Value};
+
+/// Parameters for the generated registrar database.
+#[derive(Debug, Clone)]
+pub struct RegistrarConfig {
+    /// Number of CS courses.
+    pub n_courses: usize,
+    /// Number of students.
+    pub n_students: usize,
+    /// Mean enrollments per student.
+    pub mean_enrollments: usize,
+    /// Course group size: prerequisites stay within a group (bounds the
+    /// recursion depth, like the synthetic generator's groups).
+    pub group_size: usize,
+    /// Mean prerequisites per course.
+    pub mean_prereqs: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RegistrarConfig {
+    /// Reasonable defaults for a database of `n` courses.
+    pub fn with_courses(n: usize) -> Self {
+        RegistrarConfig {
+            n_courses: n,
+            n_students: n / 2 + 1,
+            mean_enrollments: 3,
+            group_size: 25,
+            mean_prereqs: 1.5,
+            seed: 7,
+        }
+    }
+}
+
+/// Course number for index `i` (`CS0000`-style).
+pub fn course_no(i: usize) -> String {
+    format!("CS{i:05}")
+}
+
+/// Student id for index `i`.
+pub fn student_id(i: usize) -> String {
+    format!("S{i:06}")
+}
+
+/// Generates the database.
+pub fn registrar_scale_database(cfg: &RegistrarConfig) -> Database {
+    let mut db = Database::new();
+    registrar_schema(&mut db);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+    for i in 0..cfg.n_courses {
+        db.insert(
+            "course",
+            Tuple::from_values([
+                Value::from(course_no(i)),
+                Value::from(format!("Course {i}")),
+                Value::from("CS"),
+            ]),
+        )
+        .expect("unique course");
+    }
+    // Prerequisites: forward edges within a group (acyclic, bounded depth).
+    let g = cfg.group_size.max(2);
+    for i in 0..cfg.n_courses {
+        let group_end = ((i / g) + 1) * g;
+        let upper = group_end.min(cfg.n_courses);
+        if upper <= i + 1 {
+            continue;
+        }
+        let k = rng.gen_range(0..=(2.0 * cfg.mean_prereqs) as usize);
+        let mut used = std::collections::BTreeSet::new();
+        for _ in 0..k {
+            let j = rng.gen_range(i + 1..upper);
+            if used.insert(j) {
+                db.insert(
+                    "prereq",
+                    Tuple::from_values([Value::from(course_no(i)), Value::from(course_no(j))]),
+                )
+                .expect("unique prereq");
+            }
+        }
+    }
+    for s in 0..cfg.n_students {
+        db.insert(
+            "student",
+            Tuple::from_values([
+                Value::from(student_id(s)),
+                Value::from(format!("Student {s}")),
+            ]),
+        )
+        .expect("unique student");
+        let k = rng.gen_range(1..=(2 * cfg.mean_enrollments).max(2));
+        let mut used = std::collections::BTreeSet::new();
+        for _ in 0..k {
+            let c = rng.gen_range(0..cfg.n_courses);
+            if used.insert(c) {
+                db.insert(
+                    "enroll",
+                    Tuple::from_values([Value::from(student_id(s)), Value::from(course_no(c))]),
+                )
+                .expect("unique enrollment");
+            }
+        }
+    }
+    db
+}
+
+/// Generates the database and the ATG `σ₀` over it.
+pub fn registrar_scale(cfg: &RegistrarConfig) -> Result<(Database, Atg), AtgError> {
+    let db = registrar_scale_database(cfg);
+    let atg = registrar_atg(&db)?;
+    Ok((db, atg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rxview_core::{SideEffectPolicy, XmlUpdate, XmlViewSystem};
+
+    #[test]
+    fn generates_requested_sizes() {
+        let cfg = RegistrarConfig::with_courses(200);
+        let db = registrar_scale_database(&cfg);
+        assert_eq!(db.table("course").unwrap().len(), 200);
+        assert_eq!(db.table("student").unwrap().len(), 101);
+        assert!(db.table("prereq").unwrap().len() > 50);
+        assert!(db.table("enroll").unwrap().len() > 100);
+    }
+
+    #[test]
+    fn prereqs_are_acyclic_and_grouped() {
+        let cfg = RegistrarConfig::with_courses(100);
+        let db = registrar_scale_database(&cfg);
+        for row in db.table("prereq").unwrap().iter() {
+            let a = row[0].as_str().unwrap();
+            let b = row[1].as_str().unwrap();
+            assert!(a < b, "prereq {a} -> {b} is not forward");
+        }
+    }
+
+    #[test]
+    fn publishes_and_updates_end_to_end() {
+        let cfg = RegistrarConfig::with_courses(120);
+        let (db, atg) = registrar_scale(&cfg).unwrap();
+        let mut sys = XmlViewSystem::new(atg, db).unwrap();
+        assert!(sys.view().n_nodes() > 500);
+        // Enroll a brand-new student in an existing course through the view.
+        let u = XmlUpdate::insert(
+            "student",
+            rxview_relstore::Tuple::from_values([
+                Value::from("S999999"),
+                Value::from("New Person"),
+            ]),
+            &format!("//course[cno={}]/takenBy", course_no(5)),
+        )
+        .unwrap();
+        sys.apply(&u, SideEffectPolicy::Proceed).unwrap();
+        // Withdraw them again.
+        let d = XmlUpdate::delete("//student[ssn=S999999]").unwrap();
+        sys.apply(&d, SideEffectPolicy::Proceed).unwrap();
+        sys.consistency_check().unwrap();
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let cfg = RegistrarConfig::with_courses(80);
+        let a = registrar_scale_database(&cfg);
+        let b = registrar_scale_database(&cfg);
+        assert_eq!(a.table("prereq").unwrap().len(), b.table("prereq").unwrap().len());
+        assert_eq!(a.table("enroll").unwrap().len(), b.table("enroll").unwrap().len());
+    }
+}

@@ -1,0 +1,12 @@
+//! The XPath fragment of §2.1: AST, parser, normal form, and a reference
+//! evaluator over trees.
+
+pub mod ast;
+pub mod normalize;
+pub mod parser;
+pub mod tree_eval;
+
+pub use ast::{Filter, NodeTest, Step, StepKind, XPath};
+pub use normalize::{normalize, NormPath, NormStep};
+pub use parser::{parse_xpath, ParseError};
+pub use tree_eval::{eval_filter, eval_from, eval_on_tree};

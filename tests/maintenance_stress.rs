@@ -1,0 +1,76 @@
+//! Stress tests for the incremental maintenance algorithms (§3.4): long
+//! random update sequences on synthetic data, with `M`/`L`/view equality
+//! against recomputation and republication checked after every operation.
+
+use proptest::prelude::*;
+use rxview::core::{SideEffectPolicy, XmlUpdate, XmlViewSystem};
+use rxview::workload::{synthetic_atg, synthetic_database, SyntheticConfig, WorkloadClass, WorkloadGen};
+
+fn system(n: usize, seed: u64) -> XmlViewSystem {
+    let mut cfg = SyntheticConfig::with_size(n);
+    cfg.seed = seed;
+    let db = synthetic_database(&cfg);
+    let atg = synthetic_atg(&db).expect("valid ATG");
+    XmlViewSystem::new(atg, db).expect("publishes")
+}
+
+#[test]
+fn fifty_op_session_stays_consistent() {
+    let mut sys = system(250, 3);
+    let ops: Vec<XmlUpdate> = {
+        let mut gen = WorkloadGen::new(sys.view(), 21);
+        let mut ops = Vec::new();
+        for i in 0..50 {
+            let class = WorkloadClass::all()[i % 3];
+            let op = if i % 2 == 0 { gen.insertion(class) } else { gen.deletion(class) };
+            if let Some(u) = op {
+                ops.push(u);
+            }
+        }
+        ops
+    };
+    assert!(ops.len() >= 30);
+    let mut accepted = 0usize;
+    for (i, u) in ops.iter().enumerate() {
+        if sys.apply(u, SideEffectPolicy::Proceed).is_ok() {
+            accepted += 1;
+        }
+        // Full oracle every 10 ops (each check republishes), light check of
+        // the topological invariant every op.
+        assert!(sys.topo().is_valid_for(sys.view().dag()), "L broken after op {i}: {u}");
+        if i % 10 == 9 {
+            sys.consistency_check().unwrap_or_else(|e| panic!("after op {i} ({u}): {e}"));
+        }
+    }
+    sys.consistency_check().unwrap();
+    assert!(accepted >= ops.len() / 2, "only {accepted}/{} accepted", ops.len());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random (seed, op-mix) sessions: the maintenance algorithms never let
+    /// M, L, or the view diverge, regardless of acceptance pattern.
+    #[test]
+    fn random_sessions_consistent(seed in 0u64..500, flips in prop::collection::vec(any::<bool>(), 6..14)) {
+        let mut sys = system(150, seed);
+        let ops: Vec<XmlUpdate> = {
+            let mut gen = WorkloadGen::new(sys.view(), seed ^ 0x5a5a);
+            let mut ops = Vec::new();
+            for (i, &ins) in flips.iter().enumerate() {
+                let class = WorkloadClass::all()[i % 3];
+                let op = if ins { gen.insertion(class) } else { gen.deletion(class) };
+                if let Some(u) = op {
+                    ops.push(u);
+                }
+            }
+            ops
+        };
+        for u in &ops {
+            let _ = sys.apply(u, SideEffectPolicy::Proceed);
+        }
+        if let Err(e) = sys.consistency_check() {
+            return Err(TestCaseError::fail(format!("seed {seed}: {e}")));
+        }
+    }
+}
