@@ -112,7 +112,9 @@ impl GenId {
 
     /// All live node ids, ascending.
     pub fn live_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.info.len() as u32).map(NodeId).filter(|id| self.live[id.index()])
+        (0..self.info.len() as u32)
+            .map(NodeId)
+            .filter(|id| self.live[id.index()])
     }
 }
 

@@ -111,7 +111,11 @@ pub struct Atg {
 impl Atg {
     /// Starts building an ATG over `dtd`.
     pub fn builder(dtd: Dtd) -> AtgBuilder {
-        AtgBuilder { dtd, attrs: BTreeMap::new(), rules: Vec::new() }
+        AtgBuilder {
+            dtd,
+            attrs: BTreeMap::new(),
+            rules: Vec::new(),
+        }
     }
 
     /// The DTD `D` embedded in the grammar.
@@ -189,9 +193,14 @@ impl Atg {
         match self.rules.get(&(parent, child)) {
             None => Ok(Vec::new()),
             Some(RuleBody::Project { fields }) => Ok(vec![parent_attr.project(fields)]),
-            Some(RuleBody::Query { query, param_fields }) => {
-                let params: Vec<Value> =
-                    param_fields.iter().map(|&i| parent_attr[i].clone()).collect();
+            Some(RuleBody::Query {
+                query,
+                param_fields,
+            }) => {
+                let params: Vec<Value> = param_fields
+                    .iter()
+                    .map(|&i| parent_attr[i].clone())
+                    .collect();
                 eval_spj(src, query, &params)
             }
         }
@@ -200,7 +209,10 @@ impl Atg {
     /// Renders the text content of a `pcdata` node from its attribute.
     pub fn text_of(&self, ty: TypeId, attr: &Tuple) -> String {
         debug_assert!(self.dtd.is_pcdata(ty));
-        attr.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(" ")
+        attr.iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join(" ")
     }
 
     /// Derives the *edge view* `Q_edge_A_B` (§2.3): a non-parameterized SPJ
@@ -214,12 +226,11 @@ impl Atg {
         let provider = self.augmented_schemas();
         let gen_name = self.gen_table_name(parent);
         let parent_arity = self.attr_fields(parent).len().max(1); // unit col if empty
-        let name = format!(
-            "Qedge_{}_{}",
-            self.dtd.name(parent),
-            self.dtd.name(child)
-        );
-        let mut from = vec![TableRef { table: gen_name, alias: "__gen".into() }];
+        let name = format!("Qedge_{}_{}", self.dtd.name(parent), self.dtd.name(child));
+        let mut from = vec![TableRef {
+            table: gen_name,
+            alias: "__gen".into(),
+        }];
         let mut predicates: Vec<EqPred> = Vec::new();
         let mut projection: Vec<ColRef> = Vec::new();
         let mut out_names: Vec<String> = Vec::new();
@@ -240,7 +251,10 @@ impl Atg {
                     out_names.push(format!("c_{j}"));
                 }
             }
-            RuleBody::Query { query, param_fields } => {
+            RuleBody::Query {
+                query,
+                param_fields,
+            } => {
                 // Shift the rule's FROM entries to positions 1.. and rewrite
                 // parameters to gen_A columns.
                 for tr in query.from() {
@@ -249,18 +263,25 @@ impl Atg {
                         alias: format!("r_{}", tr.alias),
                     });
                 }
-                let shift = |c: ColRef| ColRef { rel: c.rel + 1, col: c.col };
+                let shift = |c: ColRef| ColRef {
+                    rel: c.rel + 1,
+                    col: c.col,
+                };
                 let conv = |o: &Operand| -> Operand {
                     match o {
                         Operand::Col(c) => Operand::Col(shift(*c)),
                         Operand::Const(v) => Operand::Const(v.clone()),
-                        Operand::Param(i) => {
-                            Operand::Col(ColRef { rel: 0, col: param_fields[*i] })
-                        }
+                        Operand::Param(i) => Operand::Col(ColRef {
+                            rel: 0,
+                            col: param_fields[*i],
+                        }),
                     }
                 };
                 for p in query.predicates() {
-                    predicates.push(EqPred { left: conv(&p.left), right: conv(&p.right) });
+                    predicates.push(EqPred {
+                        left: conv(&p.left),
+                        right: conv(&p.right),
+                    });
                 }
                 for (j, c) in query.projection().iter().enumerate() {
                     projection.push(shift(*c));
@@ -283,14 +304,22 @@ pub struct AtgBuilder {
 }
 
 enum PendingRule {
-    Query { query: SpjQuery, param_fields: Vec<String> },
-    Project { fields: Vec<String> },
+    Query {
+        query: SpjQuery,
+        param_fields: Vec<String>,
+    },
+    Project {
+        fields: Vec<String>,
+    },
 }
 
 impl AtgBuilder {
     /// Declares the semantic attribute of `ty` with named fields.
     pub fn attr(&mut self, ty: &str, fields: &[&str]) -> &mut Self {
-        self.attrs.insert(ty.to_owned(), fields.iter().map(|s| s.to_string()).collect());
+        self.attrs.insert(
+            ty.to_owned(),
+            fields.iter().map(|s| s.to_string()).collect(),
+        );
         self
     }
 
@@ -318,7 +347,9 @@ impl AtgBuilder {
         self.rules.push((
             parent.to_owned(),
             child.to_owned(),
-            PendingRule::Project { fields: fields.iter().map(|s| s.to_string()).collect() },
+            PendingRule::Project {
+                fields: fields.iter().map(|s| s.to_string()).collect(),
+            },
         ));
         self
     }
@@ -359,18 +390,27 @@ impl AtgBuilder {
                         .iter()
                         .map(|f| {
                             pfields.iter().position(|pf| pf == f).ok_or_else(|| {
-                                AtgError::UnknownAttrField { ty: pname.clone(), field: f.clone() }
+                                AtgError::UnknownAttrField {
+                                    ty: pname.clone(),
+                                    field: f.clone(),
+                                }
                             })
                         })
                         .collect::<Result<Vec<_>, _>>()?;
                     RuleBody::Project { fields: idxs }
                 }
-                PendingRule::Query { query, param_fields } => {
+                PendingRule::Query {
+                    query,
+                    param_fields,
+                } => {
                     let idxs = param_fields
                         .iter()
                         .map(|f| {
                             pfields.iter().position(|pf| pf == f).ok_or_else(|| {
-                                AtgError::UnknownAttrField { ty: pname.clone(), field: f.clone() }
+                                AtgError::UnknownAttrField {
+                                    ty: pname.clone(),
+                                    field: f.clone(),
+                                }
                             })
                         })
                         .collect::<Result<Vec<_>, _>>()?;
@@ -400,11 +440,17 @@ impl AtgBuilder {
                             child: cname.clone(),
                         });
                     }
-                    RuleBody::Query { query: query.clone(), param_fields: idxs }
+                    RuleBody::Query {
+                        query: query.clone(),
+                        param_fields: idxs,
+                    }
                 }
             };
             if rules.insert((parent, child), body).is_some() {
-                return Err(AtgError::DuplicateRule { parent: pname.clone(), child: cname.clone() });
+                return Err(AtgError::DuplicateRule {
+                    parent: pname.clone(),
+                    child: cname.clone(),
+                });
             }
         }
 
@@ -420,7 +466,9 @@ impl AtgBuilder {
         }
         let mut work = vec![dtd.root()];
         while let Some(parent) = work.pop() {
-            let ptypes = attr_types[parent.index()].clone().expect("set before queueing");
+            let ptypes = attr_types[parent.index()]
+                .clone()
+                .expect("set before queueing");
             for child in dtd.children_of(parent) {
                 let Some(rule) = rules.get(&(parent, child)) else {
                     return Err(AtgError::MissingRule {
@@ -442,7 +490,10 @@ impl AtgBuilder {
                         }
                         out
                     }
-                    RuleBody::Query { query, param_fields } => {
+                    RuleBody::Query {
+                        query,
+                        param_fields,
+                    } => {
                         for &pf in param_fields {
                             if pf >= ptypes.len() {
                                 return Err(AtgError::AttrMismatch {
@@ -480,19 +531,24 @@ impl AtgBuilder {
             }
         }
 
-        let attr_types: Vec<Vec<ValueType>> =
-            attr_types.into_iter().map(Option::unwrap_or_default).collect();
-        Ok(Atg { dtd, attr_names, attr_types, rules, base_schemas })
+        let attr_types: Vec<Vec<ValueType>> = attr_types
+            .into_iter()
+            .map(Option::unwrap_or_default)
+            .collect();
+        Ok(Atg {
+            dtd,
+            attr_names,
+            attr_types,
+            rules,
+            base_schemas,
+        })
     }
 }
 
 /// Generalized key preservation for a parameterized rule query: every FROM
 /// entry's key columns must be *determined* — in an equality class containing
 /// a projected column, a parameter, or a constant.
-fn query_is_key_preserving(
-    query: &SpjQuery,
-    provider: &impl SchemaProvider,
-) -> RelResult<bool> {
+fn query_is_key_preserving(query: &SpjQuery, provider: &impl SchemaProvider) -> RelResult<bool> {
     let mut offsets = Vec::with_capacity(query.from().len());
     let mut total = 0usize;
     for tr in query.from() {

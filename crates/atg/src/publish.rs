@@ -27,7 +27,10 @@ impl fmt::Display for PublishError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PublishError::CyclicData => {
-                write!(f, "published node graph is cyclic; the XML view would be infinite")
+                write!(
+                    f,
+                    "published node graph is cyclic; the XML view would be infinite"
+                )
             }
             PublishError::Rel(e) => write!(f, "relational error during publishing: {e}"),
         }
@@ -112,8 +115,12 @@ impl Dag {
 
     /// Removes edge `(u, v)`. No-op if absent.
     pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
-        let Some(cs) = self.children.get_mut(&u) else { return false };
-        let Some(pos) = cs.iter().position(|&c| c == v) else { return false };
+        let Some(cs) = self.children.get_mut(&u) else {
+            return false;
+        };
+        let Some(pos) = cs.iter().position(|&c| c == v) else {
+            return false;
+        };
         cs.remove(pos);
         if let Some(ps) = self.parents.get_mut(&v) {
             if let Some(pp) = ps.iter().position(|&p| p == u) {
@@ -133,7 +140,9 @@ impl Dag {
     }
 
     /// All `(type-pair, edge-set)` entries.
-    pub fn edge_rels(&self) -> impl Iterator<Item = (&(TypeId, TypeId), &BTreeSet<(NodeId, NodeId)>)> {
+    pub fn edge_rels(
+        &self,
+    ) -> impl Iterator<Item = (&(TypeId, TypeId), &BTreeSet<(NodeId, NodeId)>)> {
         self.edge_rels.iter()
     }
 
@@ -214,7 +223,11 @@ impl Dag {
             let _ = writeln!(out, "{pad}<{name} ref=\"n{}\"/>", v.0);
             return;
         }
-        let id_attr = if shared { format!(" id=\"n{}\"", v.0) } else { String::new() };
+        let id_attr = if shared {
+            format!(" id=\"n{}\"", v.0)
+        } else {
+            String::new()
+        };
         if atg.dtd().is_pcdata(ty) {
             let text = atg.text_of(ty, self.genid.attr_of(v));
             let _ = writeln!(out, "{pad}<{name}{id_attr}>{text}</{name}>");
@@ -243,8 +256,11 @@ impl Dag {
             let _ = u;
             *indeg.entry(v).or_insert(0) += 1;
         }
-        let mut queue: Vec<NodeId> =
-            indeg.iter().filter(|(_, &d)| d == 0).map(|(&n, _)| n).collect();
+        let mut queue: Vec<NodeId> = indeg
+            .iter()
+            .filter(|(_, &d)| d == 0)
+            .map(|(&n, _)| n)
+            .collect();
         let mut seen = 0usize;
         while let Some(u) = queue.pop() {
             seen += 1;
@@ -287,7 +303,12 @@ pub fn generate_subtree(
     attr: Tuple,
 ) -> Result<SubtreeDag, PublishError> {
     let (root, root_fresh) = genid.gen_id(ty, attr);
-    let mut out = SubtreeDag { root, edges: Vec::new(), nodes: vec![root], fresh: Vec::new() };
+    let mut out = SubtreeDag {
+        root,
+        edges: Vec::new(),
+        nodes: vec![root],
+        fresh: Vec::new(),
+    };
     if !root_fresh {
         return Ok(out);
     }

@@ -13,19 +13,42 @@ use rxview_xmlkit::registrar_dtd;
 /// Creates the relational schema `R₀` of Example 1.
 pub fn registrar_schema(db: &mut Database) {
     db.create_table(
-        schema("course").col_str("cno").col_str("title").col_str("dept").key(&["cno"]),
+        schema("course")
+            .col_str("cno")
+            .col_str("title")
+            .col_str("dept")
+            .key(&["cno"]),
     )
     .expect("fresh database");
     db.create_table(
-        schema("project").col_str("cno").col_str("title").col_str("dept").key(&["cno"]),
+        schema("project")
+            .col_str("cno")
+            .col_str("title")
+            .col_str("dept")
+            .key(&["cno"]),
     )
     .expect("fresh database");
-    db.create_table(schema("student").col_str("ssn").col_str("name").key(&["ssn"]))
-        .expect("fresh database");
-    db.create_table(schema("enroll").col_str("ssn").col_str("cno").key(&["ssn", "cno"]))
-        .expect("fresh database");
-    db.create_table(schema("prereq").col_str("cno1").col_str("cno2").key(&["cno1", "cno2"]))
-        .expect("fresh database");
+    db.create_table(
+        schema("student")
+            .col_str("ssn")
+            .col_str("name")
+            .key(&["ssn"]),
+    )
+    .expect("fresh database");
+    db.create_table(
+        schema("enroll")
+            .col_str("ssn")
+            .col_str("cno")
+            .key(&["ssn", "cno"]),
+    )
+    .expect("fresh database");
+    db.create_table(
+        schema("prereq")
+            .col_str("cno1")
+            .col_str("cno2")
+            .key(&["cno1", "cno2"]),
+    )
+    .expect("fresh database");
 }
 
 /// Creates the registrar instance of Fig.1.
@@ -192,7 +215,13 @@ mod tests {
         assert!(compact.len() < full.len());
         // Every ref points at an id that was emitted.
         for refline in compact.lines().filter(|l| l.contains("ref=\"")) {
-            let id = refline.split("ref=\"").nth(1).unwrap().split('\"').next().unwrap();
+            let id = refline
+                .split("ref=\"")
+                .nth(1)
+                .unwrap()
+                .split('\"')
+                .next()
+                .unwrap();
             assert!(
                 compact.contains(&format!("id=\"{id}\"")),
                 "dangling ref {id} in:\n{compact}"

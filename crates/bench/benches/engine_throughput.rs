@@ -1,0 +1,224 @@
+//! `engine_throughput`: batched group commit vs one-at-a-time apply.
+//!
+//! Builds a synthetic system of `G` groups, then runs `R` rounds of one
+//! independent update per group (alternating a fresh-subtree insertion under
+//! the group head and a deletion of the previous round's insert) — a mixed
+//! workload of `G × R ≥ 10_000` updates in which each round is conflict-free
+//! across groups. The same operation sequence is timed two ways:
+//!
+//! 1. **sequential**: `XmlViewSystem::apply` per update (full §3.2
+//!    evaluation, per-update §3.4 maintenance, per-update ∆R application);
+//! 2. **engine**: submit everything, one `commit_pending()` — conflict
+//!    partitioning, scoped evaluation, folded maintenance, one snapshot per
+//!    batch.
+//!
+//! Prints updates/sec for both and the speedup ratio. Environment knobs:
+//! `RXVIEW_BENCH_GROUPS` (default 512), `RXVIEW_BENCH_ROUNDS` (default 20).
+//!
+//! Run with: `cargo bench -p rxview-bench --bench engine_throughput`
+
+use rxview_core::{SideEffectPolicy, XmlUpdate, XmlViewSystem};
+use rxview_engine::{Engine, EngineConfig};
+use rxview_relstore::{tuple, Value};
+use rxview_workload::{
+    synthetic_atg, synthetic_database, ConcurrentConfig, ConcurrentGen, ServeOp, SyntheticConfig,
+};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn build(groups: usize) -> XmlViewSystem {
+    let cfg = SyntheticConfig::with_size(groups * 40);
+    let db = synthetic_database(&cfg);
+    let atg = synthetic_atg(&db).expect("synthetic ATG");
+    XmlViewSystem::new(atg, db).expect("publishes")
+}
+
+/// `R` rounds of one update per group; rounds alternate insert / delete of
+/// the same fresh node, so every update has a non-empty, translatable
+/// target and consecutive rounds conflict only within their own group.
+fn workload(groups: usize, rounds: usize) -> Vec<XmlUpdate> {
+    let mut ops = Vec::with_capacity(groups * rounds);
+    let fresh_base: i64 = 2_000_000_000;
+    for r in 0..rounds {
+        for g in 0..groups {
+            let head = (g * 40) as i64;
+            let fresh = fresh_base + (g * rounds + r / 2 * 2) as i64;
+            let op = if r % 2 == 0 {
+                // Distinct payloads keep the value-key conflict heuristic
+                // from serializing unrelated groups.
+                XmlUpdate::insert(
+                    "node",
+                    tuple![fresh, Value::Int(g as i64)],
+                    &format!("node[id={head}]/sub"),
+                )
+            } else {
+                XmlUpdate::delete(&format!("node[id={head}]/sub/node[id={fresh}]"))
+            };
+            ops.push(op.expect("op parses"));
+        }
+    }
+    ops
+}
+
+fn main() {
+    let groups = env_usize("RXVIEW_BENCH_GROUPS", 512);
+    let rounds = env_usize("RXVIEW_BENCH_ROUNDS", 20);
+    let ops = workload(groups, rounds);
+    println!(
+        "engine_throughput: {} groups x {} rounds = {} updates ({} C rows)",
+        groups,
+        rounds,
+        ops.len(),
+        groups * 40
+    );
+    let t0 = Instant::now();
+    let sys = build(groups);
+    println!(
+        "published: {} nodes, {} edges in {:?}",
+        sys.view().n_nodes(),
+        sys.view().n_edges(),
+        t0.elapsed()
+    );
+
+    // --- Sequential baseline. ---
+    let mut seq = sys.clone();
+    let t1 = Instant::now();
+    let mut seq_ok = 0usize;
+    for u in &ops {
+        if seq.apply(u, SideEffectPolicy::Proceed).is_ok() {
+            seq_ok += 1;
+        }
+    }
+    let seq_time = t1.elapsed();
+    let seq_rate = seq_ok as f64 / seq_time.as_secs_f64();
+    println!(
+        "sequential: {seq_ok}/{} accepted in {seq_time:?} ({seq_rate:.0} updates/sec)",
+        ops.len()
+    );
+
+    // --- Batched engine. ---
+    let engine = Engine::with_config(sys, EngineConfig::default());
+    let t2 = Instant::now();
+    let tickets: Vec<_> = ops
+        .iter()
+        .map(|u| {
+            engine
+                .submit(u.clone(), SideEffectPolicy::Proceed)
+                .expect("queue sized for run")
+        })
+        .collect();
+    let summary = engine.commit_pending();
+    let eng_ok = tickets
+        .into_iter()
+        .filter(|t| matches!(t.try_wait(), Some(Ok(_))))
+        .count();
+    let eng_time = t2.elapsed();
+    let eng_rate = eng_ok as f64 / eng_time.as_secs_f64();
+    println!(
+        "engine:     {eng_ok}/{} accepted in {eng_time:?} ({eng_rate:.0} updates/sec, {} batches)",
+        ops.len(),
+        summary.batches
+    );
+    println!("{}", engine.stats().report());
+
+    assert_eq!(
+        seq_ok, eng_ok,
+        "batched and sequential acceptance must agree"
+    );
+    let speedup = eng_rate / seq_rate;
+    println!("speedup: {speedup:.2}x (engine vs one-at-a-time apply)");
+    if speedup < 2.0 {
+        println!("WARNING: below the 2x acceptance target");
+    }
+
+    concurrent_mix();
+}
+
+/// Readers on snapshots while a writer group-commits a skewed 90/10 mix —
+/// the serving-shaped measurement (aggregate reads/sec + updates/sec).
+fn concurrent_mix() {
+    let groups = env_usize("RXVIEW_BENCH_MIX_GROUPS", 64);
+    let sys = build(groups);
+    let (reads, updates): (Vec<_>, Vec<_>) = {
+        let mut gen = ConcurrentGen::new(sys.view(), ConcurrentConfig::default());
+        let ops = gen.ops(env_usize("RXVIEW_BENCH_MIX_OPS", 8_000));
+        let (hits, misses) = gen.cache().stats();
+        println!(
+            "\nconcurrent mix: {} ops generated (path cache: {hits} hits, {misses} misses)",
+            ops.len()
+        );
+        ops.into_iter().partition(|o| matches!(o, ServeOp::Read(_)))
+    };
+    let engine = Engine::new(sys);
+    let stop = Arc::new(AtomicBool::new(false));
+    let read_count = Arc::new(AtomicU64::new(0));
+    let readers: Vec<_> = (0..4)
+        .map(|r| {
+            let engine = engine.clone();
+            let stop = Arc::clone(&stop);
+            let count = Arc::clone(&read_count);
+            let paths: Vec<_> = reads
+                .iter()
+                .filter_map(|o| match o {
+                    ServeOp::Read(p) => Some(p.clone()),
+                    ServeOp::Update(_) => None,
+                })
+                .collect();
+            std::thread::spawn(move || {
+                let mut i = r;
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = engine.snapshot();
+                    let _ = snap.eval(&paths[i % paths.len()]);
+                    count.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            })
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    let mut accepted = 0usize;
+    for chunk in updates.chunks(64) {
+        let tickets: Vec<_> = chunk
+            .iter()
+            .filter_map(|o| match o {
+                ServeOp::Update(u) => engine.submit(u.clone(), SideEffectPolicy::Proceed).ok(),
+                ServeOp::Read(_) => None,
+            })
+            .collect();
+        engine.commit_pending();
+        accepted += tickets
+            .into_iter()
+            .filter(|t| matches!(t.try_wait(), Some(Ok(_))))
+            .count();
+    }
+    let write_time = t0.elapsed();
+    stop.store(true, Ordering::Relaxed);
+    for r in readers {
+        r.join().expect("reader panicked");
+    }
+    let n_reads = read_count.load(Ordering::Relaxed);
+    println!(
+        "writer: {accepted}/{} updates in {write_time:?} ({:.0} updates/sec)",
+        updates.len(),
+        accepted as f64 / write_time.as_secs_f64()
+    );
+    println!(
+        "readers: {n_reads} snapshot evals alongside ({:.0} reads/sec across 4 threads)",
+        n_reads as f64 / write_time.as_secs_f64()
+    );
+    println!("{}", engine.stats().report());
+    engine
+        .snapshot()
+        .system()
+        .consistency_check()
+        .expect("consistent after concurrent mix");
+}

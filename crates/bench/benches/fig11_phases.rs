@@ -5,8 +5,8 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rxview_bench::build_system;
-use rxview_workload::{WorkloadClass, WorkloadGen};
 use rxview_core::{SideEffectPolicy, XmlUpdate};
+use rxview_workload::{WorkloadClass, WorkloadGen};
 
 const N: usize = 2_000;
 

@@ -71,7 +71,15 @@ fn fig10b(sizes: &[usize]) {
     println!("== Fig.10(b): dataset statistics ==");
     println!(
         "{:>9} {:>10} {:>10} {:>10} {:>9} {:>10} {:>12} {:>10} {:>9}",
-        "|C|", "base rows", "DAG nodes", "DAG edges", "nodes(C)", "shared", "tree nodes", "|M|", "|L|"
+        "|C|",
+        "base rows",
+        "DAG nodes",
+        "DAG edges",
+        "nodes(C)",
+        "shared",
+        "tree nodes",
+        "|M|",
+        "|L|"
     );
     for &n in sizes {
         let s = fig10b_row(n, 42);
@@ -113,7 +121,11 @@ fn phase_row(n: usize, class: &str, agg: &PhaseAgg) {
 }
 
 fn fig11(sizes: &[usize], insertions: bool, ops: usize) {
-    let what = if insertions { "insertions (Fig.11 d–f)" } else { "deletions (Fig.11 a–c)" };
+    let what = if insertions {
+        "insertions (Fig.11 d–f)"
+    } else {
+        "deletions (Fig.11 a–c)"
+    };
     println!("== Fig.11: {what}, {ops} ops/class ==");
     println!(
         "{:>9} {:>5} {:>11} {:>11} {:>11} {:>11} {:>11} {:>6} {:>6}",
@@ -139,7 +151,10 @@ fn fig11g() {
         "k", "|target|", "(a) eval", "(b) trans", "(c) maint", "total"
     );
     for deletion in [true, false] {
-        println!("-- {} --", if deletion { "deletions" } else { "insertions" });
+        println!(
+            "-- {} --",
+            if deletion { "deletions" } else { "insertions" }
+        );
         for k in [1usize, 2, 4, 8, 16] {
             let (size, agg) = fig11g_point(n, k, deletion, 42);
             println!(

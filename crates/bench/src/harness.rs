@@ -39,7 +39,12 @@ pub fn build_system(n: usize, detached_chains: Vec<usize>, seed: u64) -> BuiltSy
     // XmlViewSystem recomputes internally; the timings above are reported
     // separately for Fig.10(b)/Table 1 context.
     let sys = XmlViewSystem::new(atg, db).expect("publishes");
-    BuiltSystem { cfg, sys, publish_time, aux_time }
+    BuiltSystem {
+        cfg,
+        sys,
+        publish_time,
+        aux_time,
+    }
 }
 
 /// Aggregated per-phase timings over a batch of updates — the (a)/(b)/(c)
@@ -128,11 +133,17 @@ pub fn fig11_cell(
 /// (deletions) at fixed `|C|` by widening a payload disjunction filter.
 /// Returns `(measured update size, phases)`.
 pub fn fig11g_point(n: usize, k_payloads: usize, deletion: bool, seed: u64) -> (usize, PhaseAgg) {
-    let chains = if deletion { Vec::new() } else { vec![1usize; 1] };
+    let chains = if deletion {
+        Vec::new()
+    } else {
+        vec![1usize; 1]
+    };
     let mut built = build_system(n, chains, seed);
     // Build the payload disjunction p=0 or p=1 or ...
-    let disj =
-        (0..k_payloads).map(|p| format!("payload={p}")).collect::<Vec<_>>().join(" or ");
+    let disj = (0..k_payloads)
+        .map(|p| format!("payload={p}"))
+        .collect::<Vec<_>>()
+        .join(" or ");
     // Deletions target nodes strictly below the top level (`node//node[...]`)
     // so every affected edge has a dedicated H-tuple source; top-level
     // listing edges would require deleting the C tuple itself, which is
@@ -155,7 +166,11 @@ pub fn fig11g_point(n: usize, k_payloads: usize, deletion: bool, seed: u64) -> (
         built.sys.reach(),
         op.path(),
     );
-    let size = if deletion { eval.edge_parents.len() } else { eval.selected.len() };
+    let size = if deletion {
+        eval.edge_parents.len()
+    } else {
+        eval.selected.len()
+    };
     let agg = run_updates(&mut built.sys, std::slice::from_ref(&op));
     (size, agg)
 }
@@ -180,8 +195,8 @@ pub fn fig11h_point(n: usize, subtree_size: usize, seed: u64) -> (usize, PhaseAg
         return (0, PhaseAgg::default());
     };
     let path_str = path.to_string();
-    let op = XmlUpdate::insert("node", chain_head_attr(&built.sys, head), &path_str)
-        .expect("parses");
+    let op =
+        XmlUpdate::insert("node", chain_head_attr(&built.sys, head), &path_str).expect("parses");
     let agg = run_updates(&mut built.sys, std::slice::from_ref(&op));
     (subtree_size, agg)
 }
@@ -193,7 +208,9 @@ fn chain_head_attr(sys: &XmlViewSystem, head: i64) -> rxview_relstore::Tuple {
         .base()
         .table("CU")
         .expect("CU exists")
-        .get(&rxview_relstore::Tuple::from_values([rxview_relstore::Value::Int(head)]))
+        .get(&rxview_relstore::Tuple::from_values([
+            rxview_relstore::Value::Int(head),
+        ]))
         .expect("chain head generated")
         .clone();
     rxview_relstore::Tuple::from_values([row[0].clone(), row[4].clone()])
@@ -241,7 +258,13 @@ pub fn table1_row(n: usize, seed: u64) -> Table1Row {
     let t1 = Instant::now();
     let _m = Reachability::compute(built.sys.view().dag(), &topo);
     let recompute_m = t1.elapsed();
-    Table1Row { n, incr_insert, incr_delete, recompute_l, recompute_m }
+    Table1Row {
+        n,
+        incr_insert,
+        incr_delete,
+        recompute_l,
+        recompute_m,
+    }
 }
 
 /// Formats a duration in adaptive units.

@@ -30,7 +30,7 @@ use crate::viewstore::ViewStore;
 use rxview_atg::NodeId;
 use rxview_xmlkit::xpath::ast::{Filter, XPath};
 use rxview_xmlkit::xpath::normalize::{normalize, NormStep};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// The outcome of evaluating an update path on the DAG.
 #[derive(Debug, Clone, Default)]
@@ -87,13 +87,23 @@ enum Pred {
     /// Constant true (terminal of existential path filters).
     True,
     /// `∃ child c: label(c) = name ∧ P_next(c)`.
-    SuffixLabel { ty: Option<rxview_xmlkit::TypeId>, next: usize },
+    SuffixLabel {
+        ty: Option<rxview_xmlkit::TypeId>,
+        next: usize,
+    },
     /// `∃ child c: P_next(c)`.
-    SuffixWildcard { next: usize },
+    SuffixWildcard {
+        next: usize,
+    },
     /// `P_filter(v) ∧ P_next(v)`.
-    SuffixFilter { filter: usize, next: usize },
+    SuffixFilter {
+        filter: usize,
+        next: usize,
+    },
     /// `P_next(v) ∨ ∃ child c: P_self(c)` — the paper's `desc` variable.
-    SuffixDesc { next: usize },
+    SuffixDesc {
+        next: usize,
+    },
     /// Boolean combinations.
     And(usize, usize),
     Or(usize, usize),
@@ -164,10 +174,21 @@ impl<'a> Compiler<'a> {
 }
 
 /// Per-step record from the forward pass, for backward pruning.
+///
+/// Membership-heavy working sets are hash sets keyed by node id — the
+/// backward pass tests membership once per candidate edge, and ordered
+/// iteration is only needed when results are materialized (sorted then).
 enum StepRecord {
-    Filter { after: BTreeSet<NodeId> },
-    Child { edges: Vec<(NodeId, NodeId)> },
-    Desc { sources: BTreeSet<NodeId>, closure: BTreeSet<NodeId> },
+    Filter {
+        after: HashSet<NodeId>,
+    },
+    Child {
+        edges: Vec<(NodeId, NodeId)>,
+    },
+    Desc {
+        sources: HashSet<NodeId>,
+        closure: HashSet<NodeId>,
+    },
 }
 
 /// Evaluates the update path `p` on the view.
@@ -181,7 +202,10 @@ pub fn eval_xpath_on_dag(
     let dtd = vs.atg().dtd();
 
     // ---- Bottom-up pass: compile filters, then fill bitsets over L. ----
-    let mut compiler = Compiler { vs, preds: Vec::new() };
+    let mut compiler = Compiler {
+        vs,
+        preds: Vec::new(),
+    };
     // Compile the filters of the top-level normalized steps (their suffix
     // machinery is shared with the path compiler).
     let mut step_filters: Vec<Option<usize>> = Vec::with_capacity(norm.steps.len());
@@ -202,8 +226,7 @@ pub fn eval_xpath_on_dag(
                 Pred::True => true,
                 Pred::TypeIs(ty) => Some(vty) == *ty,
                 Pred::TextEq(s) => {
-                    vs.atg().dtd().is_pcdata(vty)
-                        && vs.text_value(v, &mut text_cache) == *s
+                    vs.atg().dtd().is_pcdata(vty) && vs.text_value(v, &mut text_cache) == *s
                 }
                 Pred::And(a, b) => val[*a][vi] && val[*b][vi],
                 Pred::Or(a, b) => val[*a][vi] || val[*b][vi],
@@ -237,22 +260,24 @@ pub fn eval_xpath_on_dag(
 
     // ---- Top-down forward pass. ----
     let root = vs.dag().root();
-    let mut cur: BTreeSet<NodeId> = BTreeSet::new();
+    let mut cur: HashSet<NodeId> = HashSet::new();
     cur.insert(root);
     let mut records: Vec<StepRecord> = Vec::with_capacity(norm.steps.len());
     for (si, step) in norm.steps.iter().enumerate() {
         match step {
             NormStep::FilterStep(_) => {
                 let fidx = step_filters[si].expect("filter compiled");
-                let after: BTreeSet<NodeId> =
+                let after: HashSet<NodeId> =
                     cur.iter().copied().filter(|&v| holds(fidx, v)).collect();
-                records.push(StepRecord::Filter { after: after.clone() });
+                records.push(StepRecord::Filter {
+                    after: after.clone(),
+                });
                 cur = after;
             }
             NormStep::Label(name) => {
                 let ty = dtd.type_id(name);
                 let mut edges = Vec::new();
-                let mut after = BTreeSet::new();
+                let mut after = HashSet::new();
                 for &u in &cur {
                     for &c in vs.dag().children(u) {
                         if ty.is_some_and(|t| vs.dag().genid().type_of(c) == t) {
@@ -266,7 +291,7 @@ pub fn eval_xpath_on_dag(
             }
             NormStep::Wildcard => {
                 let mut edges = Vec::new();
-                let mut after = BTreeSet::new();
+                let mut after = HashSet::new();
                 for &u in &cur {
                     for &c in vs.dag().children(u) {
                         edges.push((u, c));
@@ -278,11 +303,14 @@ pub fn eval_xpath_on_dag(
             }
             NormStep::DescendantOrSelf => {
                 let sources = cur.clone();
-                let mut closure: BTreeSet<NodeId> = cur.clone();
+                let mut closure: HashSet<NodeId> = cur.clone();
                 for &u in &cur {
                     closure.extend(reach.descendants(u).iter().copied());
                 }
-                records.push(StepRecord::Desc { sources, closure: closure.clone() });
+                records.push(StepRecord::Desc {
+                    sources,
+                    closure: closure.clone(),
+                });
                 cur = closure;
             }
         }
@@ -291,26 +319,28 @@ pub fn eval_xpath_on_dag(
         }
     }
 
-    let selected: Vec<NodeId> = cur.iter().copied().collect();
-    if selected.is_empty() {
+    if cur.is_empty() {
         return DagEval::default();
     }
+    // Deterministic output: materialized node lists are sorted by id.
+    let mut selected: Vec<NodeId> = cur.iter().copied().collect();
+    selected.sort_unstable();
 
     // ---- Backward pruning: keep only complete matches. ----
-    let mut useful: BTreeSet<NodeId> = cur.clone();
-    let mut matched_nodes: BTreeSet<NodeId> = useful.clone();
-    let mut matched_edges: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
-    let mut final_edges: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+    let mut useful: HashSet<NodeId> = cur.clone();
+    let mut matched: HashSet<NodeId> = useful.clone();
+    let mut matched_edge_set: HashSet<(NodeId, NodeId)> = HashSet::new();
+    let mut final_edges: HashSet<(NodeId, NodeId)> = HashSet::new();
     for (ri, rec) in records.iter().enumerate().rev() {
         match rec {
             StepRecord::Filter { after } => {
-                useful = useful.intersection(after).copied().collect();
+                useful.retain(|v| after.contains(v));
             }
             StepRecord::Child { edges } => {
-                let mut prev = BTreeSet::new();
+                let mut prev = HashSet::new();
                 for &(u, c) in edges {
                     if useful.contains(&c) {
-                        matched_edges.insert((u, c));
+                        matched_edge_set.insert((u, c));
                         if ri + 1 == records.len()
                             || records[ri + 1..]
                                 .iter()
@@ -326,17 +356,20 @@ pub fn eval_xpath_on_dag(
             StepRecord::Desc { sources, closure } => {
                 // Nodes of the matched segment: desc-or-self of a useful
                 // source and anc-or-self of a useful target, within closure.
-                let mut target_anc: BTreeSet<NodeId> = useful.clone();
+                let mut target_anc: HashSet<NodeId> = useful.clone();
                 for &t in &useful {
                     target_anc.extend(reach.ancestors(t).iter().copied());
                 }
-                let prev: BTreeSet<NodeId> =
-                    sources.iter().copied().filter(|s| target_anc.contains(s)).collect();
-                let mut source_desc: BTreeSet<NodeId> = prev.clone();
+                let prev: HashSet<NodeId> = sources
+                    .iter()
+                    .copied()
+                    .filter(|s| target_anc.contains(s))
+                    .collect();
+                let mut source_desc: HashSet<NodeId> = prev.clone();
                 for &s in &prev {
                     source_desc.extend(reach.descendants(s).iter().copied());
                 }
-                let mid: BTreeSet<NodeId> = closure
+                let mid: HashSet<NodeId> = closure
                     .iter()
                     .copied()
                     .filter(|x| target_anc.contains(x) && source_desc.contains(x))
@@ -344,7 +377,7 @@ pub fn eval_xpath_on_dag(
                 for &u in &mid {
                     for &c in vs.dag().children(u) {
                         if mid.contains(&c) {
-                            matched_edges.insert((u, c));
+                            matched_edge_set.insert((u, c));
                             if useful.contains(&c)
                                 && (ri + 1 == records.len()
                                     || records[ri + 1..]
@@ -356,19 +389,25 @@ pub fn eval_xpath_on_dag(
                         }
                     }
                 }
-                matched_nodes.extend(mid.iter().copied());
+                matched.extend(mid.iter().copied());
                 useful = prev;
             }
         }
-        matched_nodes.extend(useful.iter().copied());
+        matched.extend(useful.iter().copied());
     }
 
-    let edge_parents: Vec<(NodeId, NodeId)> = final_edges
+    let mut edge_parents: Vec<(NodeId, NodeId)> = final_edges
         .into_iter()
         .filter(|(_, v)| cur.contains(v))
         .collect();
+    edge_parents.sort_unstable();
 
-    DagEval { selected, edge_parents, matched_nodes, matched_edges }
+    DagEval {
+        selected,
+        edge_parents,
+        matched_nodes: matched.into_iter().collect(),
+        matched_edges: matched_edge_set.into_iter().collect(),
+    }
 }
 
 #[cfg(test)]
@@ -407,7 +446,10 @@ mod tests {
         let (_db, vs, topo, reach) = fixture();
         let p = parse_xpath("course[cno=CS650]").unwrap();
         let r = eval_xpath_on_dag(&vs, &topo, &reach, &p);
-        assert_eq!(r.selected, vec![node(&vs, "course", tuple!["CS650", "Advanced DB"])]);
+        assert_eq!(
+            r.selected,
+            vec![node(&vs, "course", tuple!["CS650", "Advanced DB"])]
+        );
         assert!(r.side_effects(&vs, false).is_empty());
     }
 
@@ -515,9 +557,7 @@ mod tests {
             let tree_nodes = eval_on_tree(&tree, dtd, &p);
             let tree_ids: BTreeSet<(String, String)> = tree_nodes
                 .iter()
-                .map(|&n| {
-                    (dtd.name(tree.node(n).ty()).to_owned(), tree.text_value(n))
-                })
+                .map(|&n| (dtd.name(tree.node(n).ty()).to_owned(), tree.text_value(n)))
                 .collect();
             let mut cache = HashMap::new();
             let dag_ids: BTreeSet<(String, String)> = dag_result

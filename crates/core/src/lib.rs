@@ -23,10 +23,10 @@ pub mod dag_eval;
 pub mod maintain;
 pub mod processor;
 pub mod reach;
-pub mod stats;
 pub mod rel_delete;
 pub mod rel_insert;
 pub mod republish;
+pub mod stats;
 pub mod topo;
 pub mod translate;
 pub mod update;
@@ -34,14 +34,12 @@ pub mod viewstore;
 
 pub use dag_eval::{eval_xpath_on_dag, DagEval};
 pub use maintain::{maintain_delete, maintain_insert, MaintainReport};
-pub use processor::{
-    PhaseTimings, UpdateError, UpdateOutcome, UpdateReport, XmlViewSystem,
-};
+pub use processor::{PhaseTimings, UpdateError, UpdateOutcome, UpdateReport, XmlViewSystem};
 pub use reach::Reachability;
-pub use stats::{view_stats, ViewStats};
 pub use rel_delete::{translate_deletions, translate_deletions_minimal, DeleteRejection};
 pub use rel_insert::{translate_insertions, InsertRejection, InsertTranslation};
 pub use republish::{apply_relational_update, RepublishReport};
+pub use stats::{view_stats, ViewStats};
 pub use topo::TopoOrder;
 pub use translate::{apply_delta, rollback_subtree, xdelete, xinsert};
 pub use update::{SideEffectPolicy, ViewDelta, XmlUpdate};

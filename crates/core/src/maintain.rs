@@ -28,6 +28,16 @@ pub struct MaintainReport {
     pub cascaded_edges: usize,
 }
 
+impl MaintainReport {
+    /// Accumulates another report's counters (batch folding).
+    pub fn absorb(&mut self, other: &MaintainReport) {
+        self.m_inserted += other.m_inserted;
+        self.m_removed += other.m_removed;
+        self.gc_nodes += other.gc_nodes;
+        self.cascaded_edges += other.cascaded_edges;
+    }
+}
+
 /// Algorithm **∆(M,L)insert** (Fig.7). Call *after* the `∆V` insertions have
 /// been applied to the DAG.
 ///
@@ -83,8 +93,11 @@ pub fn maintain_insert(
             .filter_map(|&t| topo.position(t))
             .min()
             .unwrap_or(topo.len());
-        let block: Vec<NodeId> =
-            order.iter().copied().filter(|v| topo.position(*v).is_none()).collect();
+        let block: Vec<NodeId> = order
+            .iter()
+            .copied()
+            .filter(|v| topo.position(*v).is_none())
+            .collect();
         topo.insert_many_at(at.min(topo.len()), &block);
     }
 
@@ -130,8 +143,7 @@ pub fn maintain_insert(
     for &t in targets {
         anc_targets.extend(reach.ancestors(t).iter().copied());
     }
-    let mut below_root =
-        desc_of(dag, reach, &fresh, &mut memo, subtree.root);
+    let mut below_root = desc_of(dag, reach, &fresh, &mut memo, subtree.root);
     below_root.insert(subtree.root);
     for &a in &anc_targets {
         for &d in &below_root {
@@ -260,8 +272,7 @@ mod tests {
         let p = parse_xpath("course[cno=CS320]/takenBy").unwrap();
         let eval = eval_xpath_on_dag(&vs, &topo, &reach, &p);
         let student = vs.atg().dtd().type_id("student").unwrap();
-        let (delta, st) =
-            xinsert(&mut vs, &db, student, tuple!["S01", "Alice"], &eval).unwrap();
+        let (delta, st) = xinsert(&mut vs, &db, student, tuple!["S01", "Alice"], &eval).unwrap();
         apply_delta(&mut vs, &delta, Some(&st)).unwrap();
         let report = maintain_insert(&vs, &mut topo, &mut reach, &st, &eval.selected);
         // takenBy320 (and CS320, its ancestors) now reach Alice's subtree.
@@ -284,7 +295,11 @@ mod tests {
         // The new course's takenBy shares student S01 (Alice) — an edge onto
         // a pre-existing node, exercising the swap repair.
         let student = vs.atg().dtd().type_id("student").unwrap();
-        let alice = vs.dag().genid().lookup(student, &tuple!["S01", "Alice"]).unwrap();
+        let alice = vs
+            .dag()
+            .genid()
+            .lookup(student, &tuple!["S01", "Alice"])
+            .unwrap();
         assert!(vs.dag().parents(alice).len() >= 2);
     }
 
@@ -296,8 +311,7 @@ mod tests {
         let eval = eval_xpath_on_dag(&vs, &topo, &reach, &p);
         let delta = xdelete(&eval);
         apply_delta(&mut vs, &delta, None).unwrap();
-        let report =
-            maintain_delete(&mut vs, &mut topo, &mut reach, &eval.selected).unwrap();
+        let report = maintain_delete(&mut vs, &mut topo, &mut reach, &eval.selected).unwrap();
         assert_eq!(report.gc_nodes, 0);
         assert!(report.m_removed > 0); // prereq650 no longer reaches CS320's subtree
         assert_consistent(&vs, &topo, &reach);
@@ -313,13 +327,20 @@ mod tests {
         let eval = eval_xpath_on_dag(&vs, &topo, &reach, &p);
         let delta = xdelete(&eval);
         apply_delta(&mut vs, &delta, None).unwrap();
-        let report =
-            maintain_delete(&mut vs, &mut topo, &mut reach, &eval.selected).unwrap();
+        let report = maintain_delete(&mut vs, &mut topo, &mut reach, &eval.selected).unwrap();
         assert_eq!(report.gc_nodes, 3); // student + ssn + name
         assert!(report.cascaded_edges >= 2);
         let student = vs.atg().dtd().type_id("student").unwrap();
-        assert!(vs.dag().genid().lookup(student, &tuple!["S01", "Alice"]).is_none());
-        assert!(!vs.gen_db().table("gen_student").unwrap().contains_key(&tuple!["S01", "Alice"]));
+        assert!(vs
+            .dag()
+            .genid()
+            .lookup(student, &tuple!["S01", "Alice"])
+            .is_none());
+        assert!(!vs
+            .gen_db()
+            .table("gen_student")
+            .unwrap()
+            .contains_key(&tuple!["S01", "Alice"]));
         assert_consistent(&vs, &topo, &reach);
     }
 
@@ -330,8 +351,16 @@ mod tests {
         let (_db, mut vs, mut topo, mut reach) = fixture();
         let course = vs.atg().dtd().type_id("course").unwrap();
         let student = vs.atg().dtd().type_id("student").unwrap();
-        let cs650 = vs.dag().genid().lookup(course, &tuple!["CS650", "Advanced DB"]).unwrap();
-        let s02 = vs.dag().genid().lookup(student, &tuple!["S02", "Bob"]).unwrap();
+        let cs650 = vs
+            .dag()
+            .genid()
+            .lookup(course, &tuple!["CS650", "Advanced DB"])
+            .unwrap();
+        let s02 = vs
+            .dag()
+            .genid()
+            .lookup(student, &tuple!["S02", "Bob"])
+            .unwrap();
         assert!(reach.is_ancestor(cs650, s02));
         let p = parse_xpath("//course[cno=CS320]/takenBy/student[ssn=S02]").unwrap();
         let eval = eval_xpath_on_dag(&vs, &topo, &reach, &p);

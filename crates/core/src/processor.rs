@@ -55,10 +55,16 @@ impl fmt::Display for UpdateError {
             UpdateError::Schema(v) => write!(f, "schema validation failed: {v}"),
             UpdateError::EmptyTarget => write!(f, "the XPath selects no node"),
             UpdateError::SideEffects { affected } => {
-                write!(f, "update aborted: side effects at {affected} unmatched occurrences")
+                write!(
+                    f,
+                    "update aborted: side effects at {affected} unmatched occurrences"
+                )
             }
             UpdateError::Cycle => {
-                write!(f, "insertion would make the view cyclic (infinite XML tree)")
+                write!(
+                    f,
+                    "insertion would make the view cyclic (infinite XML tree)"
+                )
             }
             UpdateError::Delete(e) => write!(f, "deletion not translatable: {e}"),
             UpdateError::Insert(e) => write!(f, "insertion not translatable: {e}"),
@@ -120,6 +126,29 @@ pub struct UpdateReport {
 /// Alias kept for API symmetry with the paper's terminology.
 pub type UpdateOutcome = Result<UpdateReport, UpdateError>;
 
+/// The phase-6 obligation left behind by [`XmlViewSystem::apply_deferred`]:
+/// everything ∆(M,L)insert / ∆(M,L)delete needs to run later, possibly
+/// folded with the obligations of other updates in the same batch.
+#[derive(Debug)]
+pub struct DeferredMaintenance {
+    /// `r[[p]]` — the selected target nodes.
+    selected: Vec<rxview_atg::NodeId>,
+    /// The inserted subtree (insertions only).
+    subtree: Option<rxview_atg::SubtreeDag>,
+}
+
+impl DeferredMaintenance {
+    /// Whether this obligation came from an insertion.
+    pub fn is_insert(&self) -> bool {
+        self.subtree.is_some()
+    }
+
+    /// Number of selected target nodes.
+    pub fn n_selected(&self) -> usize {
+        self.selected.len()
+    }
+}
+
 /// The complete system: database, views, auxiliary structures.
 ///
 /// ```
@@ -152,7 +181,13 @@ impl XmlViewSystem {
         let vs = ViewStore::publish(atg, &base)?;
         let topo = TopoOrder::compute(vs.dag());
         let reach = Reachability::compute(vs.dag(), &topo);
-        Ok(XmlViewSystem { base, vs, topo, reach, sat_config: WalkSatConfig::default() })
+        Ok(XmlViewSystem {
+            base,
+            vs,
+            topo,
+            reach,
+            sat_config: WalkSatConfig::default(),
+        })
     }
 
     /// Overrides the WalkSAT configuration (seeded for reproducibility).
@@ -189,73 +224,180 @@ impl XmlViewSystem {
     /// Applies an XML view update end-to-end.
     pub fn apply(&mut self, update: &XmlUpdate, policy: SideEffectPolicy) -> UpdateOutcome {
         let mut timings = PhaseTimings::default();
-        let dtd = self.vs.atg().dtd();
-
         // Phase 1: schema-level validation.
-        match update {
-            XmlUpdate::Insert { ty, path, .. } => {
-                validate_insert(dtd, path, ty).map_err(UpdateError::Schema)?;
-            }
-            XmlUpdate::Delete { path } => {
-                validate_delete(dtd, path).map_err(UpdateError::Schema)?;
-            }
-        }
+        self.validate_schema(update)?;
 
         // Phase 2: evaluate the XPath on the DAG.
         let t0 = Instant::now();
-        let eval = eval_xpath_on_dag(&self.vs, &self.topo, &self.reach, update.path());
-        let side_effects = eval.side_effects(&self.vs, !update.is_insert());
+        let eval = self.evaluate(update.path());
         timings.eval = t0.elapsed();
+
+        // Phases 2b–5 plus inline phase 6.
+        let (mut report, job) = self.apply_phases(update, policy, eval, &mut timings)?;
+        let t2 = Instant::now();
+        report.maintain = self.fold_maintenance(vec![job])?;
+        timings.maintain = t2.elapsed();
+        report.timings = timings;
+        Ok(report)
+    }
+
+    /// Phase 1 on its own: schema-level validation (§2.4).
+    pub fn validate_schema(&self, update: &XmlUpdate) -> Result<(), UpdateError> {
+        let dtd = self.vs.atg().dtd();
+        match update {
+            XmlUpdate::Insert { ty, path, .. } => {
+                validate_insert(dtd, path, ty).map_err(UpdateError::Schema)
+            }
+            XmlUpdate::Delete { path } => validate_delete(dtd, path).map_err(UpdateError::Schema),
+        }
+    }
+
+    /// Evaluates a path against the maintained auxiliary structures.
+    pub fn evaluate(&self, path: &rxview_xmlkit::XPath) -> crate::dag_eval::DagEval {
+        eval_xpath_on_dag(&self.vs, &self.topo, &self.reach, path)
+    }
+
+    /// Evaluates a path with evaluation restricted to the nodes of `scope`
+    /// (typically a projection of `L` onto a descendant-closed cone — see
+    /// [`TopoOrder::from_order`]). Nodes outside the scope never satisfy a
+    /// filter, so the caller must guarantee every possible match lies inside
+    /// the scope; the serving engine uses this for key-anchored updates.
+    pub fn evaluate_scoped(
+        &self,
+        path: &rxview_xmlkit::XPath,
+        scope: &TopoOrder,
+    ) -> crate::dag_eval::DagEval {
+        eval_xpath_on_dag(&self.vs, scope, &self.reach, path)
+    }
+
+    /// Phases 2b–5 with a caller-supplied evaluation, deferring phase 6:
+    /// side-effect detection, ∆X→∆V, ∆V→∆R, and application of both deltas.
+    /// The returned [`DeferredMaintenance`] must be handed (possibly batched
+    /// with others) to [`XmlViewSystem::fold_maintenance`] before the next
+    /// evaluation that depends on fresh `M`/`L` state.
+    ///
+    /// The serving engine uses this to amortize maintenance over a
+    /// conflict-free batch: per-update work stays proportional to the
+    /// update, and the `M`/`L` upkeep of all deletions collapses into a
+    /// single ∆(M,L)delete pass.
+    pub fn apply_deferred(
+        &mut self,
+        update: &XmlUpdate,
+        policy: SideEffectPolicy,
+        eval: crate::dag_eval::DagEval,
+    ) -> Result<(UpdateReport, DeferredMaintenance), UpdateError> {
+        let mut timings = PhaseTimings::default();
+        self.validate_schema(update)?;
+        self.apply_phases(update, policy, eval, &mut timings)
+    }
+
+    /// Runs the deferred phase-6 work of a batch: per-subtree ∆(M,L)insert
+    /// in submission order, then one ∆(M,L)delete pass over the union of all
+    /// deletion targets (including garbage collection).
+    pub fn fold_maintenance(
+        &mut self,
+        jobs: Vec<DeferredMaintenance>,
+    ) -> Result<MaintainReport, UpdateError> {
+        let mut agg = MaintainReport::default();
+        let mut delete_targets: Vec<rxview_atg::NodeId> = Vec::new();
+        let mut seen: std::collections::BTreeSet<rxview_atg::NodeId> =
+            std::collections::BTreeSet::new();
+        for job in jobs {
+            match job.subtree {
+                Some(st) => {
+                    let r = maintain_insert(
+                        &self.vs,
+                        &mut self.topo,
+                        &mut self.reach,
+                        &st,
+                        &job.selected,
+                    );
+                    agg.absorb(&r);
+                }
+                None => {
+                    delete_targets.extend(job.selected.into_iter().filter(|v| seen.insert(*v)));
+                }
+            }
+        }
+        if !delete_targets.is_empty() {
+            let r = maintain_delete(
+                &mut self.vs,
+                &mut self.topo,
+                &mut self.reach,
+                &delete_targets,
+            )?;
+            agg.absorb(&r);
+        }
+        Ok(agg)
+    }
+
+    /// Phases 2b–5: side-effect detection, translation, and application.
+    fn apply_phases(
+        &mut self,
+        update: &XmlUpdate,
+        policy: SideEffectPolicy,
+        eval: crate::dag_eval::DagEval,
+        timings: &mut PhaseTimings,
+    ) -> Result<(UpdateReport, DeferredMaintenance), UpdateError> {
+        let dtd = self.vs.atg().dtd();
+        // Phase 2b: side-effect detection (part of the evaluation
+        // constituent of Fig.11).
+        let t0 = Instant::now();
+        let side_effects = eval.side_effects(&self.vs, !update.is_insert());
+        timings.eval += t0.elapsed();
         if eval.is_empty() {
             return Err(UpdateError::EmptyTarget);
         }
         if !side_effects.is_empty() && policy == SideEffectPolicy::Abort {
-            return Err(UpdateError::SideEffects { affected: side_effects.len() });
+            return Err(UpdateError::SideEffects {
+                affected: side_effects.len(),
+            });
         }
 
         // Phases 3–5: translation and application.
         let t1 = Instant::now();
-        let (delta_v, delta_r, subtree, sat_used) = match update {
-            XmlUpdate::Insert { ty, attr, .. } => {
-                let ty_id = dtd
-                    .type_id(ty)
-                    .ok_or(UpdateError::Schema(SchemaViolation::UnknownType(ty.clone())))?;
-                let (delta, st) = xinsert(&mut self.vs, &self.base, ty_id, attr.clone(), &eval)
-                    .map_err(UpdateError::Rel)?;
-                // Cycle guard: connecting a target to a subtree that reaches
-                // (an ancestor of) the target would make the DAG cyclic.
-                // Only pre-existing nodes of ST(A,t) can close a cycle.
-                let fresh: std::collections::BTreeSet<_> = st.fresh.iter().copied().collect();
-                for &w in st.nodes.iter().filter(|n| !fresh.contains(n)) {
-                    for &t in &eval.selected {
-                        if w == t || self.reach.is_ancestor(w, t) {
-                            rollback_subtree(&mut self.vs, &st);
-                            return Err(UpdateError::Cycle);
+        let (delta_v, delta_r, subtree, sat_used) =
+            match update {
+                XmlUpdate::Insert { ty, attr, .. } => {
+                    let ty_id = dtd.type_id(ty).ok_or(UpdateError::Schema(
+                        SchemaViolation::UnknownType(ty.clone()),
+                    ))?;
+                    let (delta, st) = xinsert(&mut self.vs, &self.base, ty_id, attr.clone(), &eval)
+                        .map_err(UpdateError::Rel)?;
+                    // Cycle guard: connecting a target to a subtree that reaches
+                    // (an ancestor of) the target would make the DAG cyclic.
+                    // Only pre-existing nodes of ST(A,t) can close a cycle.
+                    let fresh: std::collections::BTreeSet<_> = st.fresh.iter().copied().collect();
+                    for &w in st.nodes.iter().filter(|n| !fresh.contains(n)) {
+                        for &t in &eval.selected {
+                            if w == t || self.reach.is_ancestor(w, t) {
+                                rollback_subtree(&mut self.vs, &st);
+                                return Err(UpdateError::Cycle);
+                            }
                         }
                     }
+                    let translation: InsertTranslation = match translate_insertions(
+                        &self.vs,
+                        &self.base,
+                        &delta,
+                        &st.fresh,
+                        &self.sat_config,
+                    ) {
+                        Ok(t) => t,
+                        Err(e) => {
+                            rollback_subtree(&mut self.vs, &st);
+                            return Err(UpdateError::Insert(e));
+                        }
+                    };
+                    (delta, translation.delta_r, Some(st), translation.sat_used)
                 }
-                let translation: InsertTranslation = match translate_insertions(
-                    &self.vs,
-                    &self.base,
-                    &delta,
-                    &st.fresh,
-                    &self.sat_config,
-                ) {
-                    Ok(t) => t,
-                    Err(e) => {
-                        rollback_subtree(&mut self.vs, &st);
-                        return Err(UpdateError::Insert(e));
-                    }
-                };
-                (delta, translation.delta_r, Some(st), translation.sat_used)
-            }
-            XmlUpdate::Delete { .. } => {
-                let delta = xdelete(&eval);
-                let dr = translate_deletions(&self.vs, &self.base, &delta)
-                    .map_err(UpdateError::Delete)?;
-                (delta, dr, None, false)
-            }
-        };
+                XmlUpdate::Delete { .. } => {
+                    let delta = xdelete(&eval);
+                    let dr = translate_deletions(&self.vs, &self.base, &delta)
+                        .map_err(UpdateError::Delete)?;
+                    (delta, dr, None, false)
+                }
+            };
         // Apply ∆R to I and ∆V to V.
         if let Err(e) = self.base.apply(&delta_r) {
             if let Some(st) = &subtree {
@@ -266,24 +408,21 @@ impl XmlViewSystem {
         apply_delta(&mut self.vs, &delta_v, subtree.as_ref())?;
         timings.translate = t1.elapsed();
 
-        // Phase 6: background maintenance.
-        let t2 = Instant::now();
-        let maintain = match (&subtree, update.is_insert()) {
-            (Some(st), true) => {
-                maintain_insert(&self.vs, &mut self.topo, &mut self.reach, st, &eval.selected)
-            }
-            _ => maintain_delete(&mut self.vs, &mut self.topo, &mut self.reach, &eval.selected)?,
-        };
-        timings.maintain = t2.elapsed();
-
-        Ok(UpdateReport {
+        let report = UpdateReport {
             delta_v_len: delta_v.len(),
             delta_r,
             side_effects: side_effects.len(),
-            maintain,
-            timings,
+            maintain: MaintainReport::default(),
+            timings: *timings,
             sat_used,
-        })
+        };
+        Ok((
+            report,
+            DeferredMaintenance {
+                selected: eval.selected,
+                subtree,
+            },
+        ))
     }
 
     /// Applies a *relational* group update directly to `I` and propagates
@@ -306,7 +445,10 @@ impl XmlViewSystem {
 
     /// Translates an update without applying anything — used by benchmarks
     /// to time phases in isolation. Returns (`∆V` size, `∆R`).
-    pub fn dry_run_delete(&self, update: &XmlUpdate) -> Result<(ViewDelta, GroupUpdate), UpdateError> {
+    pub fn dry_run_delete(
+        &self,
+        update: &XmlUpdate,
+    ) -> Result<(ViewDelta, GroupUpdate), UpdateError> {
         let XmlUpdate::Delete { path } = update else {
             return Err(UpdateError::EmptyTarget);
         };
@@ -329,14 +471,27 @@ impl XmlViewSystem {
             .map_err(|e| format!("republication failed: {e}"))?;
         let edge_key = |vs: &ViewStore, u, v| {
             (
-                (vs.dag().genid().type_of(u), vs.dag().genid().attr_of(u).clone()),
-                (vs.dag().genid().type_of(v), vs.dag().genid().attr_of(v).clone()),
+                (
+                    vs.dag().genid().type_of(u),
+                    vs.dag().genid().attr_of(u).clone(),
+                ),
+                (
+                    vs.dag().genid().type_of(v),
+                    vs.dag().genid().attr_of(v).clone(),
+                ),
             )
         };
-        let mine: std::collections::BTreeSet<_> =
-            self.vs.dag().all_edges().map(|(u, v)| edge_key(&self.vs, u, v)).collect();
-        let theirs: std::collections::BTreeSet<_> =
-            fresh.dag().all_edges().map(|(u, v)| edge_key(&fresh, u, v)).collect();
+        let mine: std::collections::BTreeSet<_> = self
+            .vs
+            .dag()
+            .all_edges()
+            .map(|(u, v)| edge_key(&self.vs, u, v))
+            .collect();
+        let theirs: std::collections::BTreeSet<_> = fresh
+            .dag()
+            .all_edges()
+            .map(|(u, v)| edge_key(&fresh, u, v))
+            .collect();
         if mine != theirs {
             let extra = mine.difference(&theirs).count();
             let missing = theirs.difference(&mine).count();
@@ -404,7 +559,11 @@ mod tests {
         let u = XmlUpdate::delete("course[cno=CS650]/prereq/course[cno=CS320]").unwrap();
         let report = sys.apply(&u, SideEffectPolicy::Abort).unwrap();
         assert_eq!(report.side_effects, 0);
-        assert!(!sys.base().table("prereq").unwrap().contains_key(&tuple!["CS650", "CS320"]));
+        assert!(!sys
+            .base()
+            .table("prereq")
+            .unwrap()
+            .contains_key(&tuple!["CS650", "CS320"]));
         sys.consistency_check().unwrap();
     }
 
@@ -468,18 +627,34 @@ mod tests {
         let del = XmlUpdate::delete("course[cno=CS650]/prereq/course[cno=CS240]").unwrap();
         sys.apply(&del, SideEffectPolicy::Proceed).unwrap();
         sys.consistency_check().unwrap();
-        assert!(!sys.base().table("prereq").unwrap().contains_key(&tuple!["CS650", "CS240"]));
+        assert!(!sys
+            .base()
+            .table("prereq")
+            .unwrap()
+            .contains_key(&tuple!["CS650", "CS240"]));
     }
 
     #[test]
     fn new_student_insert_end_to_end() {
         let mut sys = system();
-        let u = XmlUpdate::insert("student", tuple!["S77", "Carol"], "course[cno=CS650]/takenBy")
-            .unwrap();
+        let u = XmlUpdate::insert(
+            "student",
+            tuple!["S77", "Carol"],
+            "course[cno=CS650]/takenBy",
+        )
+        .unwrap();
         let report = sys.apply(&u, SideEffectPolicy::Abort).unwrap();
         assert_eq!(report.side_effects, 0);
-        assert!(sys.base().table("student").unwrap().contains_key(&tuple!["S77"]));
-        assert!(sys.base().table("enroll").unwrap().contains_key(&tuple!["S77", "CS650"]));
+        assert!(sys
+            .base()
+            .table("student")
+            .unwrap()
+            .contains_key(&tuple!["S77"]));
+        assert!(sys
+            .base()
+            .table("enroll")
+            .unwrap()
+            .contains_key(&tuple!["S77", "CS650"]));
         sys.consistency_check().unwrap();
     }
 

@@ -162,9 +162,9 @@ impl Reachability {
         if self.n_pairs != other.n_pairs {
             return false;
         }
-        self.desc.iter().all(|(a, ds)| {
-            ds.iter().all(|d| other.is_ancestor(*a, *d))
-        })
+        self.desc
+            .iter()
+            .all(|(a, ds)| ds.iter().all(|d| other.is_ancestor(*a, *d)))
     }
 }
 
@@ -204,9 +204,18 @@ mod tests {
         let (dag, topo, atg) = fixture();
         let m = Reachability::compute(&dag, &topo);
         let course = atg.dtd().type_id("course").unwrap();
-        let cs240 = dag.genid().lookup(course, &tuple!["CS240", "Data Structures"]).unwrap();
-        let cs650 = dag.genid().lookup(course, &tuple!["CS650", "Advanced DB"]).unwrap();
-        let cs320 = dag.genid().lookup(course, &tuple!["CS320", "Algorithms"]).unwrap();
+        let cs240 = dag
+            .genid()
+            .lookup(course, &tuple!["CS240", "Data Structures"])
+            .unwrap();
+        let cs650 = dag
+            .genid()
+            .lookup(course, &tuple!["CS650", "Advanced DB"])
+            .unwrap();
+        let cs320 = dag
+            .genid()
+            .lookup(course, &tuple!["CS320", "Algorithms"])
+            .unwrap();
         // CS240 is reachable from CS650 through the shared CS320 subtree.
         assert!(m.is_ancestor(cs650, cs240));
         assert!(m.is_ancestor(cs320, cs240));
@@ -235,12 +244,13 @@ mod tests {
         m.insert(NodeId(1), NodeId(9));
         m.insert(NodeId(2), NodeId(9));
         m.insert(NodeId(3), NodeId(9));
-        let removed =
-            m.set_ancestors(NodeId(9), [NodeId(2), NodeId(4)].into_iter().collect());
+        let removed = m.set_ancestors(NodeId(9), [NodeId(2), NodeId(4)].into_iter().collect());
         let removed: BTreeSet<_> = removed.into_iter().collect();
         assert_eq!(
             removed,
-            [(NodeId(1), NodeId(9)), (NodeId(3), NodeId(9))].into_iter().collect()
+            [(NodeId(1), NodeId(9)), (NodeId(3), NodeId(9))]
+                .into_iter()
+                .collect()
         );
         assert!(m.is_ancestor(NodeId(4), NodeId(9)));
         assert!(!m.is_ancestor(NodeId(1), NodeId(9)));

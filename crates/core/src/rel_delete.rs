@@ -55,7 +55,10 @@ impl fmt::Display for DeleteRejection {
                 write!(f, "no side-effect-free source for {tuple} in view {view}")
             }
             DeleteRejection::NotDeletable { view } => {
-                write!(f, "edges of view {view} are not deletable (projection rule)")
+                write!(
+                    f,
+                    "edges of view {view} are not deletable (projection rule)"
+                )
             }
             DeleteRejection::Rel(e) => write!(f, "relational error: {e}"),
         }
@@ -128,24 +131,24 @@ pub fn translate_deletions(
         let b = vs.dag().genid().type_of(v);
         let Some(q) = vs.edge_query(a, b) else {
             return Err(DeleteRejection::NotDeletable {
-                view: format!(
-                    "edge_{}_{}",
-                    vs.atg().dtd().name(a),
-                    vs.atg().dtd().name(b)
-                ),
+                view: format!("edge_{}_{}", vs.atg().dtd().name(a), vs.atg().dtd().name(b)),
             });
         };
         // Projection-rule edges join only the gen table: no base source.
         let has_base = q.from().len() > 1;
         if !has_base {
-            return Err(DeleteRejection::NotDeletable { view: q.name().to_owned() });
+            return Err(DeleteRejection::NotDeletable {
+                view: q.name().to_owned(),
+            });
         }
         let row = edge_row(vs, u, v);
         let sources = closure_source_keys(q, &provider, &row, &[0])
             .map_err(DeleteRejection::Rel)?
-            .ok_or_else(|| DeleteRejection::Rel(RelError::NotKeyPreserving {
-                query: q.name().to_owned(),
-            }))?;
+            .ok_or_else(|| {
+                DeleteRejection::Rel(RelError::NotKeyPreserving {
+                    query: q.name().to_owned(),
+                })
+            })?;
 
         // Find a side-effect-free source (Fig.9 lines 6–9).
         let mut chosen: Option<SourceRef> = None;
@@ -195,8 +198,8 @@ fn source_is_safe(
         for row in rows {
             // A produced row only matters if *this source actually appears*
             // in its deletable source (self-joins may bind one occurrence).
-            let srcs = closure_source_keys(q, provider, &row, &[0])
-                .map_err(DeleteRejection::Rel)?;
+            let srcs =
+                closure_source_keys(q, provider, &row, &[0]).map_err(DeleteRejection::Rel)?;
             let uses = srcs.map(|s| s.contains(sr)).unwrap_or(true);
             if !uses {
                 continue;
@@ -244,14 +247,18 @@ pub fn translate_deletions_minimal(
             });
         };
         if q.from().len() <= 1 {
-            return Err(DeleteRejection::NotDeletable { view: q.name().to_owned() });
+            return Err(DeleteRejection::NotDeletable {
+                view: q.name().to_owned(),
+            });
         }
         let row = edge_row(vs, u, v);
         let sources = closure_source_keys(q, &provider, &row, &[0])
             .map_err(DeleteRejection::Rel)?
-            .ok_or_else(|| DeleteRejection::Rel(RelError::NotKeyPreserving {
-                query: q.name().to_owned(),
-            }))?;
+            .ok_or_else(|| {
+                DeleteRejection::Rel(RelError::NotKeyPreserving {
+                    query: q.name().to_owned(),
+                })
+            })?;
         let mut safe = Vec::new();
         for sr in sources {
             let ok = match verdict.get(&sr) {
@@ -331,12 +338,20 @@ mod tests {
         // Deleting CS320 from CS650's prerequisites must delete the
         // prereq(CS650, CS320) tuple — not the course itself (which would
         // side-effect the top-level CS320).
-        let delta = delta_for(&vs, &topo, &reach, "course[cno=CS650]/prereq/course[cno=CS320]");
+        let delta = delta_for(
+            &vs,
+            &topo,
+            &reach,
+            "course[cno=CS650]/prereq/course[cno=CS320]",
+        );
         let dr = translate_deletions(&vs, &db, &delta).unwrap();
         assert_eq!(dr.len(), 1);
         assert_eq!(
             dr.ops()[0],
-            TupleOp::Delete { table: "prereq".into(), key: tuple!["CS650", "CS320"] }
+            TupleOp::Delete {
+                table: "prereq".into(),
+                key: tuple!["CS650", "CS320"]
+            }
         );
     }
 
@@ -358,14 +373,22 @@ mod tests {
         let atg = registrar_atg(&db2).unwrap();
         let vs2 = ViewStore::publish(atg, &db2).unwrap();
         let student = vs2.atg().dtd().type_id("student").unwrap();
-        assert!(vs2.dag().genid().lookup(student, &tuple!["S02", "Bob"]).is_none());
+        assert!(vs2
+            .dag()
+            .genid()
+            .lookup(student, &tuple!["S02", "Bob"])
+            .is_none());
     }
 
     #[test]
     fn single_occurrence_deletion_is_clean() {
         let (db, vs, topo, reach) = fixture();
-        let delta =
-            delta_for(&vs, &topo, &reach, "course[cno=CS650]/takenBy/student[ssn=S01]");
+        let delta = delta_for(
+            &vs,
+            &topo,
+            &reach,
+            "course[cno=CS650]/takenBy/student[ssn=S01]",
+        );
         let dr = translate_deletions(&vs, &db, &delta).unwrap();
         // Must delete enroll(S01, CS650) — deleting student S01 would also
         // work; check that the chosen ops, when applied, do exactly ∆V.
@@ -394,8 +417,15 @@ mod tests {
         let dbty = vs.atg().dtd().root();
         let course = vs.atg().dtd().type_id("course").unwrap();
         let root = vs.dag().root();
-        let cs320 = vs.dag().genid().lookup(course, &tuple!["CS320", "Algorithms"]).unwrap();
-        let delta = ViewDelta { inserts: vec![], deletes: vec![(root, cs320)] };
+        let cs320 = vs
+            .dag()
+            .genid()
+            .lookup(course, &tuple!["CS320", "Algorithms"])
+            .unwrap();
+        let delta = ViewDelta {
+            inserts: vec![],
+            deletes: vec![(root, cs320)],
+        };
         let _ = dbty;
         let err = translate_deletions(&vs, &db, &delta).unwrap_err();
         assert!(matches!(err, DeleteRejection::NoSafeSource { .. }));
@@ -414,7 +444,11 @@ mod tests {
         let atg = registrar_atg(&db2).unwrap();
         let vs2 = ViewStore::publish(atg, &db2).unwrap();
         let course = vs2.atg().dtd().type_id("course").unwrap();
-        assert!(vs2.dag().genid().lookup(course, &tuple!["CS240", "Data Structures"]).is_none());
+        assert!(vs2
+            .dag()
+            .genid()
+            .lookup(course, &tuple!["CS240", "Data Structures"])
+            .is_none());
     }
 
     #[test]
@@ -431,7 +465,10 @@ mod tests {
         assert_eq!(minimal.len(), 1);
         assert_eq!(
             minimal.ops()[0],
-            TupleOp::Delete { table: "student".into(), key: tuple!["S02"] }
+            TupleOp::Delete {
+                table: "student".into(),
+                key: tuple!["S02"]
+            }
         );
         // The minimal ∆R is still correct under republication.
         let mut db2 = db.clone();
@@ -439,7 +476,11 @@ mod tests {
         let atg = registrar_atg(&db2).unwrap();
         let vs2 = ViewStore::publish(atg, &db2).unwrap();
         let student = vs2.atg().dtd().type_id("student").unwrap();
-        assert!(vs2.dag().genid().lookup(student, &tuple!["S02", "Bob"]).is_none());
+        assert!(vs2
+            .dag()
+            .genid()
+            .lookup(student, &tuple!["S02", "Bob"])
+            .is_none());
     }
 
     #[test]
@@ -447,16 +488,27 @@ mod tests {
         let (db, vs, _topo, _reach) = fixture();
         let course = vs.atg().dtd().type_id("course").unwrap();
         let root = vs.dag().root();
-        let cs320 = vs.dag().genid().lookup(course, &tuple!["CS320", "Algorithms"]).unwrap();
-        let delta = ViewDelta { inserts: vec![], deletes: vec![(root, cs320)] };
+        let cs320 = vs
+            .dag()
+            .genid()
+            .lookup(course, &tuple!["CS320", "Algorithms"])
+            .unwrap();
+        let delta = ViewDelta {
+            inserts: vec![],
+            deletes: vec![(root, cs320)],
+        };
         assert!(translate_deletions_minimal(&vs, &db, &delta).is_err());
     }
 
     #[test]
     fn minimal_equals_arbitrary_on_singletons() {
         let (db, vs, topo, reach) = fixture();
-        let delta =
-            delta_for(&vs, &topo, &reach, "course[cno=CS650]/prereq/course[cno=CS320]");
+        let delta = delta_for(
+            &vs,
+            &topo,
+            &reach,
+            "course[cno=CS650]/prereq/course[cno=CS320]",
+        );
         let a = translate_deletions(&vs, &db, &delta).unwrap();
         let m = translate_deletions_minimal(&vs, &db, &delta).unwrap();
         assert_eq!(a.len(), 1);
@@ -468,9 +520,16 @@ mod tests {
         let (db, vs, _topo, _reach) = fixture();
         let course = vs.atg().dtd().type_id("course").unwrap();
         let cno = vs.atg().dtd().type_id("cno").unwrap();
-        let cs320 = vs.dag().genid().lookup(course, &tuple!["CS320", "Algorithms"]).unwrap();
+        let cs320 = vs
+            .dag()
+            .genid()
+            .lookup(course, &tuple!["CS320", "Algorithms"])
+            .unwrap();
         let cno320 = vs.dag().genid().lookup(cno, &tuple!["CS320"]).unwrap();
-        let delta = ViewDelta { inserts: vec![], deletes: vec![(cs320, cno320)] };
+        let delta = ViewDelta {
+            inserts: vec![],
+            deletes: vec![(cs320, cno320)],
+        };
         let err = translate_deletions(&vs, &db, &delta).unwrap_err();
         assert!(matches!(err, DeleteRejection::NotDeletable { .. }));
     }

@@ -35,8 +35,9 @@ use rxview_relstore::{
     ColRef, Database, Domain, GroupUpdate, Operand, RelError, SchemaProvider, SpjQuery, Table,
     TableSchema, Tuple, Value, ValueType,
 };
-use rxview_satsolver::{dpll, walksat, CnfFormula, DpllResult, Var as PropVar, WalkSatConfig,
-    WalkSatResult};
+use rxview_satsolver::{
+    dpll, walksat, CnfFormula, DpllResult, Var as PropVar, WalkSatConfig, WalkSatResult,
+};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::fmt;
 
@@ -81,7 +82,10 @@ impl fmt::Display for InsertRejection {
             }
             InsertRejection::NotInsertable { edge } => write!(f, "edge not insertable: {edge}"),
             InsertRejection::UnsupportedCondition => {
-                write!(f, "finite-domain variable equality not encodable; rejected conservatively")
+                write!(
+                    f,
+                    "finite-domain variable equality not encodable; rejected conservatively"
+                )
             }
             InsertRejection::Rel(e) => write!(f, "relational error: {e}"),
         }
@@ -239,9 +243,7 @@ pub fn translate_insertions(
     for &(u, v) in &delta.inserts {
         let a = vs.dag().genid().type_of(u);
         let b = vs.dag().genid().type_of(v);
-        let edge_desc = || {
-            format!("{} -> {}", atg.dtd().name(a), atg.dtd().name(b))
-        };
+        let edge_desc = || format!("{} -> {}", atg.dtd().name(a), atg.dtd().name(b));
         match atg.rule(a, b) {
             None => return Err(InsertRejection::NotInsertable { edge: edge_desc() }),
             Some(RuleBody::Project { fields }) => {
@@ -252,7 +254,10 @@ pub fn translate_insertions(
                     return Err(InsertRejection::NotInsertable { edge: edge_desc() });
                 }
             }
-            Some(RuleBody::Query { query, param_fields }) => {
+            Some(RuleBody::Query {
+                query,
+                param_fields,
+            }) => {
                 derive_templates(
                     base,
                     query,
@@ -277,12 +282,20 @@ pub fn translate_insertions(
     }
 
     // ---- Phase 2: side-effect detection over the incremented database. ----
-    // gen tables incremented with the fresh nodes.
-    let mut gen_plus = vs.gen_db().clone();
+    // The fresh nodes' gen rows live in a small overlay read alongside the
+    // maintained gen tables (their keys are new by construction), so this
+    // phase never copies a gen table — the copy made the per-insertion cost
+    // linear in the *view* rather than in the insertion.
+    let mut gen_fresh = Database::new();
     for &n in fresh_nodes {
         let ty = vs.dag().genid().type_of(n);
         let name = atg.gen_table_name(ty);
-        gen_plus
+        if !gen_fresh.has_table(&name) {
+            gen_fresh
+                .create_table(atg.gen_table_schema(ty))
+                .map_err(InsertRejection::Rel)?;
+        }
+        gen_fresh
             .table_mut(&name)
             .map_err(InsertRejection::Rel)?
             .insert(vs.gen_row(n))
@@ -299,12 +312,25 @@ pub fn translate_insertions(
 
     let mut clauses: Vec<Vec<Cond>> = Vec::new(); // each to be negated
     for (&(a, b), q) in vs.edge_queries() {
-        let uses_template = q.from().iter().any(|tr| by_table.contains_key(tr.table.as_str()));
+        let uses_template = q
+            .from()
+            .iter()
+            .any(|tr| by_table.contains_key(tr.table.as_str()));
         if !uses_template {
             continue;
         }
         side_effects_for_view(
-            vs, base, &gen_plus, &provider, q, a, b, &by_table, &wanted, &mut vars, &mut clauses,
+            vs,
+            base,
+            &gen_fresh,
+            &provider,
+            q,
+            a,
+            b,
+            &by_table,
+            &wanted,
+            &mut vars,
+            &mut clauses,
         )?;
     }
 
@@ -343,7 +369,9 @@ pub fn translate_insertions(
             if !skip {
                 if atoms.is_empty() {
                     // Unconditional side effect slipped through (defensive).
-                    return Err(InsertRejection::SideEffect { view: "<encoded>".into() });
+                    return Err(InsertRejection::SideEffect {
+                        view: "<encoded>".into(),
+                    });
                 }
                 for (v, _) in &atoms {
                     used_vars.insert(*v);
@@ -439,7 +467,12 @@ pub fn translate_insertions(
         delta_r.insert(t.table.clone(), Tuple::from_values(cells));
     }
 
-    Ok(InsertTranslation { delta_r, n_vars: vars.parent.len(), n_clauses, sat_used })
+    Ok(InsertTranslation {
+        delta_r,
+        n_vars: vars.parent.len(),
+        n_clauses,
+        sat_used,
+    })
 }
 
 fn decode_var(
@@ -553,7 +586,10 @@ fn derive_templates(
                 Some(v) => cells.push(Sym::Known(v.clone())),
                 None => {
                     let vid = *class_var.entry(r).or_insert_with(|| {
-                        vars.fresh(schema.columns()[col].ty, schema.columns()[col].domain.clone())
+                        vars.fresh(
+                            schema.columns()[col].ty,
+                            schema.columns()[col].domain.clone(),
+                        )
                     });
                     cells.push(Sym::Var(vid));
                 }
@@ -584,7 +620,9 @@ fn derive_templates(
                     }
                     Sym::Var(vid) => {
                         vars.bind(*vid, existing[i].clone()).map_err(|_| {
-                            InsertRejection::KeyConflict { table: tr.table.clone() }
+                            InsertRejection::KeyConflict {
+                                table: tr.table.clone(),
+                            }
                         })?;
                     }
                 }
@@ -596,7 +634,11 @@ fn derive_templates(
             None => {
                 templates.insert(
                     (tr.table.clone(), key.clone()),
-                    Template { table: tr.table.clone(), key, cells },
+                    Template {
+                        table: tr.table.clone(),
+                        key,
+                        cells,
+                    },
                 );
             }
             Some(existing) => {
@@ -642,7 +684,7 @@ fn derive_templates(
 fn side_effects_for_view(
     vs: &ViewStore,
     base: &Database,
-    gen_plus: &Database,
+    gen_fresh: &Database,
     provider: &Vec<TableSchema>,
     q: &SpjQuery,
     a: rxview_xmlkit::TypeId,
@@ -671,7 +713,18 @@ fn side_effects_for_view(
             }
         }
         eval_combination(
-            vs, base, gen_plus, provider, q, a, b, &as_template, by_table, wanted, vars, clauses,
+            vs,
+            base,
+            gen_fresh,
+            provider,
+            q,
+            a,
+            b,
+            &as_template,
+            by_table,
+            wanted,
+            vars,
+            clauses,
         )?;
     }
     Ok(())
@@ -688,7 +741,7 @@ struct SymRow {
 fn eval_combination(
     vs: &ViewStore,
     base: &Database,
-    gen_plus: &Database,
+    gen_fresh: &Database,
     provider: &Vec<TableSchema>,
     q: &SpjQuery,
     a: rxview_xmlkit::TypeId,
@@ -714,42 +767,88 @@ fn eval_combination(
     }
     let idx = |c: ColRef| offsets[c.rel] + c.col;
 
+    // Equality closure over columns: columns transitively connected by
+    // `Col = Col` predicates form one class; a class may carry a constant
+    // from a `Col = Const` predicate. This lets the join order see bindings
+    // like `gen.c1 ~ c.c1 ~ f.c1 ~ h.h1 = <const>` that the direct
+    // predicate graph only exposes one hop at a time.
+    let root_of: Vec<usize> = {
+        let mut parent: Vec<usize> = (0..total).collect();
+        fn find(parent: &mut [usize], mut x: usize) -> usize {
+            while parent[x] != x {
+                parent[x] = parent[parent[x]];
+                x = parent[x];
+            }
+            x
+        }
+        for p in q.predicates() {
+            if let (Operand::Col(x), Operand::Col(y)) = (&p.left, &p.right) {
+                let (rx, ry) = (find(&mut parent, idx(*x)), find(&mut parent, idx(*y)));
+                if rx != ry {
+                    parent[rx] = ry;
+                }
+            }
+        }
+        (0..total).map(|c| find(&mut parent, c)).collect()
+    };
+    let mut class_const: BTreeMap<usize, Value> = BTreeMap::new();
+    for p in q.predicates() {
+        match (&p.left, &p.right) {
+            (Operand::Col(x), Operand::Const(v)) | (Operand::Const(v), Operand::Col(x)) => {
+                class_const.insert(root_of[idx(*x)], v.clone());
+            }
+            _ => {}
+        }
+    }
+
     // Greedy join order: templates first (most selective); then repeatedly
-    // the concrete entry whose primary-key prefix is best bound by
-    // predicates to already-placed entries — per-row index lookups instead
-    // of full scans.
+    // the entry whose primary-key prefix is best bound — through the
+    // equality closure — to placed entries or constants (index lookups
+    // instead of full scans). Ties prefer entries with *some* bound column
+    // (their scan filters rows immediately), then smaller tables.
+    let table_len = |e: usize| -> usize {
+        if as_template[e] {
+            0
+        } else if e == 0 {
+            vs.gen_db()
+                .table(&q.from()[e].table)
+                .map(|t| t.len())
+                .unwrap_or(usize::MAX)
+        } else {
+            base.table(&q.from()[e].table)
+                .map(|t| t.len())
+                .unwrap_or(usize::MAX)
+        }
+    };
     let mut order: Vec<usize> = (0..n_from).filter(|&i| as_template[i]).collect();
     let mut placed: Vec<bool> = as_template.to_vec();
     while order.len() < n_from {
-        let mut best: Option<(usize, usize)> = None; // (score, entry)
+        let mut bound_roots: BTreeSet<usize> = class_const.keys().copied().collect();
+        for e in (0..n_from).filter(|&e| placed[e]) {
+            for c in 0..schemas[e].arity() {
+                bound_roots.insert(root_of[offsets[e] + c]);
+            }
+        }
+        // (key-prefix score, has any bound column, smaller table) — best wins.
+        type Rank = (usize, bool, std::cmp::Reverse<usize>);
+        let mut best: Option<(Rank, usize)> = None;
         for e in 0..n_from {
             if placed[e] {
                 continue;
             }
-            // Score: length of the key prefix bound through predicates to
-            // placed entries or constants.
             let mut score = 0usize;
-            'keycols: for &kc in schemas[e].key() {
-                for p in q.predicates() {
-                    let (l, r) = (&p.left, &p.right);
-                    let bound = match (l, r) {
-                        (Operand::Col(x), Operand::Col(y)) => {
-                            (x.rel == e && x.col == kc && placed[y.rel])
-                                || (y.rel == e && y.col == kc && placed[x.rel])
-                        }
-                        (Operand::Col(x), Operand::Const(_))
-                        | (Operand::Const(_), Operand::Col(x)) => x.rel == e && x.col == kc,
-                        _ => false,
-                    };
-                    if bound {
-                        score += 1;
-                        continue 'keycols;
-                    }
+            for &kc in schemas[e].key() {
+                if bound_roots.contains(&root_of[offsets[e] + kc]) {
+                    score += 1;
+                } else {
+                    break;
                 }
-                break;
             }
-            if best.is_none_or(|(bs, _)| score > bs) {
-                best = Some((score, e));
+            let any_bound =
+                (0..schemas[e].arity()).any(|c| bound_roots.contains(&root_of[offsets[e] + c]));
+            let rank = (score, any_bound, std::cmp::Reverse(table_len(e)));
+            if best.is_none_or(|(br, _)| rank > br) {
+                best = Some((rank, e));
             }
         }
         let (_, e) = best.expect("an unplaced entry exists");
@@ -757,8 +856,10 @@ fn eval_combination(
         order.push(e);
     }
 
-    let mut rows: Vec<SymRow> =
-        vec![SymRow { cells: vec![Sym::Known(Value::Int(0)); total], conds: vec![] }];
+    let mut rows: Vec<SymRow> = vec![SymRow {
+        cells: vec![Sym::Known(Value::Int(0)); total],
+        conds: vec![],
+    }];
     let mut filled = vec![false; total];
 
     for (oi, &entry) in order.iter().enumerate() {
@@ -789,30 +890,19 @@ fn eval_combination(
         let key_srcs: Vec<KeySrc> = if as_template[entry] {
             Vec::new()
         } else {
+            // Bind each key column through its equality class: a class
+            // constant, or any already-filled column of the class.
             let mut srcs = Vec::new();
             'kc: for &kc in schemas[entry].key() {
-                for p in q.predicates() {
-                    match (&p.left, &p.right) {
-                        (Operand::Col(x), Operand::Const(v))
-                        | (Operand::Const(v), Operand::Col(x))
-                            if x.rel == entry && x.col == kc =>
-                        {
-                            srcs.push(KeySrc::Const(v.clone()));
-                            continue 'kc;
-                        }
-                        (Operand::Col(x), Operand::Col(y))
-                            if x.rel == entry && x.col == kc && filled[idx(*y)] =>
-                        {
-                            srcs.push(KeySrc::Abs(idx(*y)));
-                            continue 'kc;
-                        }
-                        (Operand::Col(y), Operand::Col(x))
-                            if x.rel == entry && x.col == kc && filled[idx(*y)] =>
-                        {
-                            srcs.push(KeySrc::Abs(idx(*y)));
-                            continue 'kc;
-                        }
-                        _ => {}
+                let r = root_of[offsets[entry] + kc];
+                if let Some(v) = class_const.get(&r) {
+                    srcs.push(KeySrc::Const(v.clone()));
+                    continue 'kc;
+                }
+                for g in 0..total {
+                    if filled[g] && root_of[g] == r {
+                        srcs.push(KeySrc::Abs(g));
+                        continue 'kc;
                     }
                 }
                 break;
@@ -822,25 +912,28 @@ fn eval_combination(
         let table: Option<&rxview_relstore::Table> = if as_template[entry] {
             None
         } else if entry == 0 {
-            Some(gen_plus.table(&tr.table).map_err(InsertRejection::Rel)?)
+            Some(vs.gen_db().table(&tr.table).map_err(InsertRejection::Rel)?)
         } else {
             Some(base.table(&tr.table).map_err(InsertRejection::Rel)?)
         };
+        // Fresh gen rows overlay the maintained gen table (disjoint keys).
+        let fresh_table: Option<&rxview_relstore::Table> = if as_template[entry] || entry != 0 {
+            None
+        } else {
+            gen_fresh.table(&tr.table).ok()
+        };
 
+        enum Cand<'a> {
+            Template(Vec<Sym>),
+            Concrete(&'a Tuple),
+        }
         let mut next: Vec<SymRow> = Vec::new();
         for row in &rows {
-            // Candidates for this row.
-            let candidates: Vec<Vec<Sym>> = if as_template[entry] {
-                by_table[tr.table.as_str()]
-                    .iter()
-                    .map(|t| t.cells.iter().map(|s| vars.resolve(s)).collect())
-                    .collect()
-            } else {
-                let table = table.expect("concrete entry");
-                // Try the indexed path: every key-prefix source must be
-                // *ground* for this row.
-                let mut prefix: Vec<Value> = Vec::with_capacity(key_srcs.len());
-                let mut ground = true;
+            // Indexed-path inputs (concrete entries): every key-prefix
+            // source must be *ground* for this row.
+            let mut prefix: Vec<Value> = Vec::with_capacity(key_srcs.len());
+            let mut ground = true;
+            if !as_template[entry] {
                 for ks in &key_srcs {
                     match ks {
                         KeySrc::Const(v) => prefix.push(v.clone()),
@@ -853,15 +946,63 @@ fn eval_combination(
                         },
                     }
                 }
-                let iter: Box<dyn Iterator<Item = &Tuple>> = if ground && !prefix.is_empty() {
-                    Box::new(table.scan_key_prefix(&prefix))
-                } else {
-                    Box::new(table.iter())
-                };
-                iter.map(|t| t.values().iter().map(|v| Sym::Known(v.clone())).collect())
+            }
+            // Candidates for this row.
+            let candidates: Vec<Cand<'_>> = if as_template[entry] {
+                by_table[tr.table.as_str()]
+                    .iter()
+                    .map(|t| Cand::Template(t.cells.iter().map(|s| vars.resolve(s)).collect()))
                     .collect()
+            } else {
+                let table = table.expect("concrete entry");
+                fn rows_of<'t>(
+                    t: &'t rxview_relstore::Table,
+                    ground: bool,
+                    prefix: &'t [Value],
+                ) -> Vec<Cand<'t>> {
+                    let iter: Box<dyn Iterator<Item = &Tuple>> = if ground && !prefix.is_empty() {
+                        Box::new(t.scan_key_prefix(prefix))
+                    } else {
+                        Box::new(t.iter())
+                    };
+                    iter.map(Cand::Concrete).collect()
+                }
+                let mut cands = rows_of(table, ground, &prefix);
+                if let Some(ft) = fresh_table {
+                    cands.extend(rows_of(ft, ground, &prefix));
+                }
+                cands
             };
             'cand: for cand in candidates {
+                // Clone-free ground rejection: a concrete candidate whose
+                // fully-known applicable predicates mismatch is dropped
+                // before the joined row is materialized — this is the whole
+                // cost of a scan that proves a side effect *cannot* occur.
+                if let Cand::Concrete(t) = &cand {
+                    for &pi in &now_applicable {
+                        let p = &q.predicates()[pi];
+                        let known = |o: &Operand, vars: &mut Vars| -> Option<Value> {
+                            match o {
+                                Operand::Const(v) => Some(v.clone()),
+                                Operand::Param(_) => None,
+                                Operand::Col(c) if c.rel == entry => Some(t[c.col].clone()),
+                                Operand::Col(c) => match vars.resolve(&row.cells[idx(*c)]) {
+                                    Sym::Known(v) => Some(v),
+                                    Sym::Var(_) => None,
+                                },
+                            }
+                        };
+                        if let (Some(x), Some(y)) = (known(&p.left, vars), known(&p.right, vars)) {
+                            if x != y {
+                                continue 'cand;
+                            }
+                        }
+                    }
+                }
+                let cand: Vec<Sym> = match cand {
+                    Cand::Template(cells) => cells,
+                    Cand::Concrete(t) => t.values().iter().map(|v| Sym::Known(v.clone())).collect(),
+                };
                 let mut new_row = row.clone();
                 new_row.cells[offsets[entry]..offsets[entry] + arity].clone_from_slice(&cand);
                 for &pi in &now_applicable {
@@ -931,7 +1072,9 @@ fn eval_combination(
         }
         if row.conds.is_empty() {
             // Unconditional unintended view tuple.
-            return Err(InsertRejection::SideEffect { view: q.name().to_owned() });
+            return Err(InsertRejection::SideEffect {
+                view: q.name().to_owned(),
+            });
         }
         clauses.push(row.conds);
     }
@@ -972,7 +1115,11 @@ mod tests {
     }
 
     fn cfg() -> WalkSatConfig {
-        WalkSatConfig { max_flips: 10_000, max_tries: 5, ..Default::default() }
+        WalkSatConfig {
+            max_flips: 10_000,
+            max_tries: 5,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -981,13 +1128,22 @@ mod tests {
         let p = parse_xpath("course[cno=CS650]/prereq").unwrap();
         let eval = eval_xpath_on_dag(&vs, &topo, &reach, &p);
         let course = vs.atg().dtd().type_id("course").unwrap();
-        let (delta, st) =
-            xinsert(&mut vs, &db, course, tuple!["CS240", "Data Structures"], &eval).unwrap();
+        let (delta, st) = xinsert(
+            &mut vs,
+            &db,
+            course,
+            tuple!["CS240", "Data Structures"],
+            &eval,
+        )
+        .unwrap();
         let tr = translate_insertions(&vs, &db, &delta, &st.fresh, &cfg()).unwrap();
         assert_eq!(tr.delta_r.len(), 1);
         assert_eq!(
             tr.delta_r.ops()[0],
-            TupleOp::Insert { table: "prereq".into(), tuple: tuple!["CS650", "CS240"] }
+            TupleOp::Insert {
+                table: "prereq".into(),
+                tuple: tuple!["CS650", "CS240"]
+            }
         );
         assert!(!tr.sat_used);
     }
@@ -998,8 +1154,14 @@ mod tests {
         let p = parse_xpath("course[cno=CS650]/prereq").unwrap();
         let eval = eval_xpath_on_dag(&vs, &topo, &reach, &p);
         let course = vs.atg().dtd().type_id("course").unwrap();
-        let (delta, st) =
-            xinsert(&mut vs, &db, course, tuple!["CS240", "Data Structures"], &eval).unwrap();
+        let (delta, st) = xinsert(
+            &mut vs,
+            &db,
+            course,
+            tuple!["CS240", "Data Structures"],
+            &eval,
+        )
+        .unwrap();
         let tr = translate_insertions(&vs, &db, &delta, &st.fresh, &cfg()).unwrap();
         let mut db2 = db.clone();
         db2.apply(&tr.delta_r).unwrap();
@@ -1009,7 +1171,11 @@ mod tests {
         let prereq = vs2.atg().dtd().type_id("prereq").unwrap();
         let course2 = vs2.atg().dtd().type_id("course").unwrap();
         let pr650 = vs2.dag().genid().lookup(prereq, &tuple!["CS650"]).unwrap();
-        let cs240 = vs2.dag().genid().lookup(course2, &tuple!["CS240", "Data Structures"]).unwrap();
+        let cs240 = vs2
+            .dag()
+            .genid()
+            .lookup(course2, &tuple!["CS240", "Data Structures"])
+            .unwrap();
         assert!(vs2.dag().has_edge(pr650, cs240));
     }
 
@@ -1025,7 +1191,10 @@ mod tests {
         assert_eq!(tr.delta_r.len(), 1);
         assert_eq!(
             tr.delta_r.ops()[0],
-            TupleOp::Insert { table: "enroll".into(), tuple: tuple!["S01", "CS320"] }
+            TupleOp::Insert {
+                table: "enroll".into(),
+                tuple: tuple!["S01", "CS320"]
+            }
         );
     }
 
@@ -1050,7 +1219,11 @@ mod tests {
         let takenby = vs2.atg().dtd().type_id("takenBy").unwrap();
         let tb320 = vs2.dag().genid().lookup(takenby, &tuple!["CS320"]).unwrap();
         let student2 = vs2.atg().dtd().type_id("student").unwrap();
-        let s99 = vs2.dag().genid().lookup(student2, &tuple!["S99", "Zed"]).unwrap();
+        let s99 = vs2
+            .dag()
+            .genid()
+            .lookup(student2, &tuple!["S99", "Zed"])
+            .unwrap();
         assert!(vs2.dag().has_edge(tb320, s99));
     }
 
@@ -1105,8 +1278,7 @@ mod tests {
         let eval = eval_xpath_on_dag(&vs, &topo, &reach, &p);
         assert!(eval.selected.len() >= 3);
         let course = vs.atg().dtd().type_id("course").unwrap();
-        let (delta, st) =
-            xinsert(&mut vs, &db, course, tuple!["CS777", "Seminar"], &eval).unwrap();
+        let (delta, st) = xinsert(&mut vs, &db, course, tuple!["CS777", "Seminar"], &eval).unwrap();
         let tr = translate_insertions(&vs, &db, &delta, &st.fresh, &cfg()).unwrap();
         let course_inserts = tr
             .delta_r
@@ -1116,8 +1288,12 @@ mod tests {
             .count();
         assert_eq!(course_inserts, 1, "course template must be unified");
         // One prereq tuple per target.
-        let prereq_inserts =
-            tr.delta_r.ops().iter().filter(|o| o.table() == "prereq").count();
+        let prereq_inserts = tr
+            .delta_r
+            .ops()
+            .iter()
+            .filter(|o| o.table() == "prereq")
+            .count();
         assert_eq!(prereq_inserts, eval.selected.len());
     }
 

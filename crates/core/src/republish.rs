@@ -56,9 +56,7 @@ pub fn apply_relational_update(
     let mut touched: BTreeSet<(String, Tuple)> = BTreeSet::new();
     for op in update.ops() {
         let key = match op {
-            TupleOp::Insert { table, tuple } => {
-                base.table(table)?.schema().key_of(tuple)
-            }
+            TupleOp::Insert { table, tuple } => base.table(table)?.schema().key_of(tuple),
             TupleOp::Delete { table, key } => {
                 let _ = table;
                 key.clone()
@@ -68,22 +66,23 @@ pub fn apply_relational_update(
     }
 
     // Bound edge-view rows before and after.
-    let snapshot = |base: &Database, vs: &ViewStore| -> RelResult<BTreeSet<(TypeId, TypeId, Tuple)>> {
-        let aug = vs.augmented(base);
-        let mut rows = BTreeSet::new();
-        for (&(a, b), q) in vs.edge_queries() {
-            for (table, key) in &touched {
-                if !q.from().iter().any(|tr| tr.table == *table) {
-                    continue;
-                }
-                let bound = bind_source(q, &provider, table, key);
-                for row in eval_spj(&aug, &bound, &[])? {
-                    rows.insert((a, b, row));
+    let snapshot =
+        |base: &Database, vs: &ViewStore| -> RelResult<BTreeSet<(TypeId, TypeId, Tuple)>> {
+            let aug = vs.augmented(base);
+            let mut rows = BTreeSet::new();
+            for (&(a, b), q) in vs.edge_queries() {
+                for (table, key) in &touched {
+                    if !q.from().iter().any(|tr| tr.table == *table) {
+                        continue;
+                    }
+                    let bound = bind_source(q, &provider, table, key);
+                    for row in eval_spj(&aug, &bound, &[])? {
+                        rows.insert((a, b, row));
+                    }
                 }
             }
-        }
-        Ok(rows)
-    };
+            Ok(rows)
+        };
 
     let before = snapshot(base, vs)?;
     base.apply(update)?;
@@ -195,7 +194,12 @@ mod tests {
         let vs = ViewStore::publish(atg, &base).unwrap();
         let topo = TopoOrder::compute(vs.dag());
         let reach = Reachability::compute(vs.dag(), &topo);
-        Sys { base, vs, topo, reach }
+        Sys {
+            base,
+            vs,
+            topo,
+            reach,
+        }
     }
 
     fn check(sys: &Sys) {
@@ -203,14 +207,27 @@ mod tests {
         let fresh = ViewStore::publish(sys.vs.atg().clone(), &sys.base).unwrap();
         let key = |vs: &ViewStore, u: NodeId, v: NodeId| {
             (
-                (vs.dag().genid().type_of(u), vs.dag().genid().attr_of(u).clone()),
-                (vs.dag().genid().type_of(v), vs.dag().genid().attr_of(v).clone()),
+                (
+                    vs.dag().genid().type_of(u),
+                    vs.dag().genid().attr_of(u).clone(),
+                ),
+                (
+                    vs.dag().genid().type_of(v),
+                    vs.dag().genid().attr_of(v).clone(),
+                ),
             )
         };
-        let mine: BTreeSet<_> =
-            sys.vs.dag().all_edges().map(|(u, v)| key(&sys.vs, u, v)).collect();
-        let theirs: BTreeSet<_> =
-            fresh.dag().all_edges().map(|(u, v)| key(&fresh, u, v)).collect();
+        let mine: BTreeSet<_> = sys
+            .vs
+            .dag()
+            .all_edges()
+            .map(|(u, v)| key(&sys.vs, u, v))
+            .collect();
+        let theirs: BTreeSet<_> = fresh
+            .dag()
+            .all_edges()
+            .map(|(u, v)| key(&fresh, u, v))
+            .collect();
         assert_eq!(mine, theirs, "incremental view diverged from republication");
         assert!(sys.topo.is_valid_for(sys.vs.dag()));
         let t = TopoOrder::compute(sys.vs.dag());
@@ -219,8 +236,14 @@ mod tests {
     }
 
     fn apply(sys: &mut Sys, g: GroupUpdate) -> RepublishReport {
-        apply_relational_update(&mut sys.base, &mut sys.vs, &mut sys.topo, &mut sys.reach, &g)
-            .unwrap()
+        apply_relational_update(
+            &mut sys.base,
+            &mut sys.vs,
+            &mut sys.topo,
+            &mut sys.reach,
+            &g,
+        )
+        .unwrap()
     }
 
     #[test]
@@ -246,7 +269,12 @@ mod tests {
         assert!(r.edges_added >= 5);
         check(&sys);
         let course = sys.vs.atg().dtd().type_id("course").unwrap();
-        assert!(sys.vs.dag().genid().lookup(course, &tuple!["CS100", "Intro"]).is_some());
+        assert!(sys
+            .vs
+            .dag()
+            .genid()
+            .lookup(course, &tuple!["CS100", "Intro"])
+            .is_some());
     }
 
     #[test]
@@ -282,7 +310,12 @@ mod tests {
         apply(&mut sys, g);
         check(&sys);
         let course = sys.vs.atg().dtd().type_id("course").unwrap();
-        assert!(sys.vs.dag().genid().lookup(course, &tuple!["MA100", "Calculus"]).is_some());
+        assert!(sys
+            .vs
+            .dag()
+            .genid()
+            .lookup(course, &tuple!["MA100", "Calculus"])
+            .is_some());
         // And back out again.
         let mut g = GroupUpdate::new();
         g.delete("course", tuple!["MA100"]);
@@ -290,7 +323,12 @@ mod tests {
         let r = apply(&mut sys, g);
         assert!(r.gc_nodes >= 1);
         check(&sys);
-        assert!(sys.vs.dag().genid().lookup(course, &tuple!["MA100", "Calculus"]).is_none());
+        assert!(sys
+            .vs
+            .dag()
+            .genid()
+            .lookup(course, &tuple!["MA100", "Calculus"])
+            .is_none());
     }
 
     #[test]

@@ -80,12 +80,22 @@ pub fn view_stats(vs: &ViewStore, topo: &TopoOrder) -> ViewStats {
             dag.parents(v)
                 .iter()
                 .filter(|p| dag.genid().is_live(**p))
-                .fold(0u128, |acc, p| acc.saturating_add(occurrences.get(p).copied().unwrap_or(0)))
+                .fold(0u128, |acc, p| {
+                    acc.saturating_add(occurrences.get(p).copied().unwrap_or(0))
+                })
         };
         occurrences.insert(v, occ);
         stats.tree_occurrences = stats.tree_occurrences.saturating_add(occ);
-        let indeg = dag.parents(v).iter().filter(|p| dag.genid().is_live(**p)).count();
-        let outdeg = dag.children(v).iter().filter(|c| dag.genid().is_live(**c)).count();
+        let indeg = dag
+            .parents(v)
+            .iter()
+            .filter(|p| dag.genid().is_live(**p))
+            .count();
+        let outdeg = dag
+            .children(v)
+            .iter()
+            .filter(|c| dag.genid().is_live(**c))
+            .count();
         stats.max_in_degree = stats.max_in_degree.max(indeg);
         stats.max_out_degree = stats.max_out_degree.max(outdeg);
         if indeg > 1 {

@@ -26,7 +26,13 @@ impl TopoOrder {
         // Out-degree based Kahn: nodes with no children (leaves) first.
         let mut outdeg: HashMap<NodeId, usize> = HashMap::new();
         for id in dag.genid().live_ids() {
-            outdeg.insert(id, dag.children(id).iter().filter(|c| dag.genid().is_live(**c)).count());
+            outdeg.insert(
+                id,
+                dag.children(id)
+                    .iter()
+                    .filter(|c| dag.genid().is_live(**c))
+                    .count(),
+            );
         }
         let mut ready: std::collections::BTreeSet<NodeId> = outdeg
             .iter()
@@ -46,7 +52,24 @@ impl TopoOrder {
                 }
             }
         }
-        assert_eq!(order.len(), outdeg.len(), "cyclic DAG has no topological order");
+        assert_eq!(
+            order.len(),
+            outdeg.len(),
+            "cyclic DAG has no topological order"
+        );
+        let pos = order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        TopoOrder { order, pos }
+    }
+
+    /// Builds an order directly from a node list, which must already be
+    /// topologically sorted (descendants before ancestors).
+    ///
+    /// This is the entry point for *scoped* evaluation: the serving engine
+    /// restricts XPath evaluation of a key-anchored update to the anchor's
+    /// cone by projecting the maintained `L` onto `{root} ∪ {anchor} ∪
+    /// desc(anchor)` — a subset closed under descendants, so the projection
+    /// of a valid order is itself valid for the sub-DAG.
+    pub fn from_order(order: Vec<NodeId>) -> Self {
         let pos = order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
         TopoOrder { order, pos }
     }
@@ -132,7 +155,10 @@ impl TopoOrder {
     /// position `at` with a single suffix rebuild — `O(|L| + |nodes|)`
     /// instead of `O(|L| · |nodes|)` for repeated [`TopoOrder::insert_at`].
     pub fn insert_many_at(&mut self, at: usize, nodes: &[NodeId]) {
-        debug_assert!(nodes.iter().all(|n| !self.pos.contains_key(n)), "node already in L");
+        debug_assert!(
+            nodes.iter().all(|n| !self.pos.contains_key(n)),
+            "node already in L"
+        );
         let tail = self.order.split_off(at);
         self.order.extend_from_slice(nodes);
         self.order.extend(tail);

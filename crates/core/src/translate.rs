@@ -32,8 +32,8 @@ pub fn xinsert(
     eval: &DagEval,
 ) -> Result<(ViewDelta, SubtreeDag), RelError> {
     let atg = vs.atg().clone();
-    let subtree = generate_subtree(&atg, base, vs.dag_mut().genid_mut(), ty, attr)
-        .map_err(|e| match e {
+    let subtree =
+        generate_subtree(&atg, base, vs.dag_mut().genid_mut(), ty, attr).map_err(|e| match e {
             rxview_atg::PublishError::Rel(r) => r,
             rxview_atg::PublishError::CyclicData => {
                 RelError::MalformedQuery("inserted subtree is cyclic".into())
@@ -71,7 +71,10 @@ pub fn rollback_subtree(vs: &mut ViewStore, subtree: &SubtreeDag) {
 /// deleted (their unreachable remains are garbage-collected in the
 /// background, §2.3/§3.4).
 pub fn xdelete(eval: &DagEval) -> ViewDelta {
-    ViewDelta { inserts: Vec::new(), deletes: eval.edge_parents.clone() }
+    ViewDelta {
+        inserts: Vec::new(),
+        deletes: eval.edge_parents.clone(),
+    }
 }
 
 /// Applies a `∆V` to the DAG and the `gen_A` tables: inserts register any
@@ -152,8 +155,14 @@ mod tests {
         let p = parse_xpath("course[cno=CS650]/prereq").unwrap();
         let eval = eval_xpath_on_dag(&vs, &topo, &reach, &p);
         let course = vs.atg().dtd().type_id("course").unwrap();
-        let (delta, st) =
-            xinsert(&mut vs, &db, course, tuple!["CS240", "Data Structures"], &eval).unwrap();
+        let (delta, st) = xinsert(
+            &mut vs,
+            &db,
+            course,
+            tuple!["CS240", "Data Structures"],
+            &eval,
+        )
+        .unwrap();
         // CS240 exists: no fresh nodes, no inner edges, one connecting edge.
         assert!(st.fresh.is_empty());
         assert_eq!(delta.inserts.len(), 1);
@@ -197,8 +206,11 @@ mod tests {
         // MA100 is new to the view (was filtered out by dept != CS):
         // 4 inner edges + 2 connecting edges... except one target is
         // MA100's own prereq? No: MA100 was not published, so 3 targets.
-        let connecting =
-            delta.inserts.iter().filter(|&&(_, v)| v == _st.root).count();
+        let connecting = delta
+            .inserts
+            .iter()
+            .filter(|&&(_, v)| v == _st.root)
+            .count();
         assert_eq!(connecting, 3);
     }
 
@@ -208,13 +220,22 @@ mod tests {
         let p = parse_xpath("course[cno=CS650]/prereq").unwrap();
         let eval = eval_xpath_on_dag(&vs, &topo, &reach, &p);
         let course = vs.atg().dtd().type_id("course").unwrap();
-        let (delta, st) =
-            xinsert(&mut vs, &db, course, tuple!["CS240", "Data Structures"], &eval).unwrap();
+        let (delta, st) = xinsert(
+            &mut vs,
+            &db,
+            course,
+            tuple!["CS240", "Data Structures"],
+            &eval,
+        )
+        .unwrap();
         let n_edges = vs.dag().n_edges();
         apply_delta(&mut vs, &delta, Some(&st)).unwrap();
         assert_eq!(vs.dag().n_edges(), n_edges + 1);
         // Deleting it again restores the count.
-        let d = ViewDelta { inserts: vec![], deletes: delta.inserts.clone() };
+        let d = ViewDelta {
+            inserts: vec![],
+            deletes: delta.inserts.clone(),
+        };
         apply_delta(&mut vs, &d, None).unwrap();
         assert_eq!(vs.dag().n_edges(), n_edges);
     }

@@ -35,12 +35,18 @@ impl XmlUpdate {
         attr: Tuple,
         path: &str,
     ) -> Result<Self, rxview_xmlkit::xpath::parser::ParseError> {
-        Ok(XmlUpdate::Insert { ty: ty.into(), attr, path: parse_xpath(path)? })
+        Ok(XmlUpdate::Insert {
+            ty: ty.into(),
+            attr,
+            path: parse_xpath(path)?,
+        })
     }
 
     /// Convenience constructor parsing the XPath.
     pub fn delete(path: &str) -> Result<Self, rxview_xmlkit::xpath::parser::ParseError> {
-        Ok(XmlUpdate::Delete { path: parse_xpath(path)? })
+        Ok(XmlUpdate::Delete {
+            path: parse_xpath(path)?,
+        })
     }
 
     /// The update's target path.

@@ -29,7 +29,9 @@ impl ViewStore {
         let dag = rxview_atg::publish(&atg, db)?;
         let mut gen_db = Database::new();
         for ty in atg.dtd().types() {
-            gen_db.create_table(atg.gen_table_schema(ty)).expect("fresh gen database");
+            gen_db
+                .create_table(atg.gen_table_schema(ty))
+                .expect("fresh gen database");
         }
         let mut edge_queries = BTreeMap::new();
         for parent in atg.dtd().types() {
@@ -39,7 +41,12 @@ impl ViewStore {
                 }
             }
         }
-        let mut vs = ViewStore { atg, dag, gen_db, edge_queries };
+        let mut vs = ViewStore {
+            atg,
+            dag,
+            gen_db,
+            edge_queries,
+        };
         let live: Vec<NodeId> = vs.dag.genid().live_ids().collect();
         for id in live {
             vs.register_node(id).expect("published node registers");
@@ -69,7 +76,10 @@ impl ViewStore {
 
     /// The augmented table source: base relations shadowing the gen tables.
     pub fn augmented<'a>(&'a self, base: &'a Database) -> Augmented<'a> {
-        Augmented { primary: base, secondary: &self.gen_db }
+        Augmented {
+            primary: base,
+            secondary: &self.gen_db,
+        }
     }
 
     /// The edge-view query for a production edge.
@@ -204,7 +214,10 @@ mod tests {
         let (_db, vs) = store();
         let course = vs.atg().dtd().type_id("course").unwrap();
         let gen_course = vs.gen_db().table("gen_course").unwrap();
-        assert_eq!(gen_course.len(), vs.dag().genid().ids_of_type(course).count());
+        assert_eq!(
+            gen_course.len(),
+            vs.dag().genid().ids_of_type(course).count()
+        );
         assert!(gen_course.contains_key(&tuple!["CS320", "Algorithms"]));
     }
 
@@ -236,7 +249,11 @@ mod tests {
         let (_db, vs) = store();
         let course = vs.atg().dtd().type_id("course").unwrap();
         let cno = vs.atg().dtd().type_id("cno").unwrap();
-        let cs320 = vs.dag().genid().lookup(course, &tuple!["CS320", "Algorithms"]).unwrap();
+        let cs320 = vs
+            .dag()
+            .genid()
+            .lookup(course, &tuple!["CS320", "Algorithms"])
+            .unwrap();
         let mut cache = HashMap::new();
         // cno child text.
         let cno_node = vs
@@ -256,12 +273,23 @@ mod tests {
     fn register_unregister_round_trip() {
         let (_db, mut vs) = store();
         let student = vs.atg().dtd().type_id("student").unwrap();
-        let (id, fresh) = vs.dag_mut().genid_mut().gen_id(student, tuple!["S99", "Zed"]);
+        let (id, fresh) = vs
+            .dag_mut()
+            .genid_mut()
+            .gen_id(student, tuple!["S99", "Zed"]);
         assert!(fresh);
         vs.register_node(id).unwrap();
-        assert!(vs.gen_db().table("gen_student").unwrap().contains_key(&tuple!["S99", "Zed"]));
+        assert!(vs
+            .gen_db()
+            .table("gen_student")
+            .unwrap()
+            .contains_key(&tuple!["S99", "Zed"]));
         vs.unregister_node(id).unwrap();
-        assert!(!vs.gen_db().table("gen_student").unwrap().contains_key(&tuple!["S99", "Zed"]));
+        assert!(!vs
+            .gen_db()
+            .table("gen_student")
+            .unwrap()
+            .contains_key(&tuple!["S99", "Zed"]));
         assert!(!vs.dag().genid().is_live(id));
     }
 

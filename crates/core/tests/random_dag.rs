@@ -16,7 +16,11 @@ fn build_dag(n: usize, edges: &[(usize, usize)]) -> Dag {
     let mut dag = Dag::new();
     let ty = TypeId(0);
     let ids: Vec<NodeId> = (0..n)
-        .map(|i| dag.genid_mut().gen_id(ty, Tuple::from_values([Value::Int(i as i64)])).0)
+        .map(|i| {
+            dag.genid_mut()
+                .gen_id(ty, Tuple::from_values([Value::Int(i as i64)]))
+                .0
+        })
         .collect();
     dag.set_root(ids[0]);
     for &id in &ids[1..] {

@@ -1,0 +1,405 @@
+//! Conflict analysis and scoped-evaluation planning for batched commits.
+//!
+//! Two submitted updates may ride in the same conflict-free batch only if
+//! applying one cannot change what the other's path selects, what its
+//! translation writes, or what its deferred `M`/`L` maintenance touches.
+//! This module computes a conservative per-update [`Analysis`]:
+//!
+//! - **Anchored cone**: a target path whose first normalized step is a
+//!   labelled child step qualified by a `field = value` filter is *anchored*
+//!   — every possible match lies in the cone `{anchor} ∪ desc(anchor)` of
+//!   the top-level nodes satisfying the filter (descendant sets come from
+//!   the maintained reachability matrix `M`, §3.1). Updates with disjoint
+//!   cones touch disjoint view regions. Unanchored paths (leading `//` or
+//!   wildcard) are *global* and conflict with everything.
+//! - **Value keys**: an insertion's `(A, t)` may materialize nodes whose
+//!   text matches another update's anchor filter only after it applies, so
+//!   anchors are also compared against inserted attribute values textually.
+//!   Equal-key insertions are serialized for the same reason.
+//!
+//! The cone doubles as an evaluation *scope*: because cones are closed
+//! under descendants, projecting the maintained topological order `L` onto
+//! `{cone} ∪ {root}` yields a valid order for the sub-DAG, and the §3.2
+//! two-pass evaluation run over that projection returns exactly the matches
+//! of the full evaluation — at cost proportional to the cone, not the view.
+
+use rxview_atg::NodeId;
+use rxview_core::{TopoOrder, XmlUpdate, XmlViewSystem};
+use rxview_xmlkit::xpath::ast::{NodeTest, StepKind};
+use rxview_xmlkit::{normalize, Filter, NormStep, TypeId, XPath};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// The `field = value` pairs usable for anchor detection, extracted from the
+/// filter immediately qualifying the path's first labelled step.
+fn filter_keys(filter: &Filter, out: &mut Vec<(String, String)>) {
+    match filter {
+        Filter::PathEq(p, v) => {
+            if let [step] = p.steps.as_slice() {
+                if step.filters.is_empty() {
+                    if let StepKind::Child(NodeTest::Label(field)) = &step.kind {
+                        out.push((field.clone(), v.clone()));
+                    }
+                }
+            }
+        }
+        // A conjunction anchors if either side does (superset of matches).
+        Filter::And(a, b) => {
+            filter_keys(a, out);
+            filter_keys(b, out);
+        }
+        _ => {}
+    }
+}
+
+/// The anchor set of a path: the top-level nodes every match must pass
+/// through. `None` means the path is not anchored (global footprint).
+fn anchors_of(sys: &XmlViewSystem, path: &XPath) -> Option<(TypeId, Vec<NodeId>, Vec<String>)> {
+    let norm = normalize(path);
+    let mut steps = norm.steps.iter();
+    let NormStep::Label(first) = steps.next()? else {
+        return None;
+    };
+    let vs = sys.view();
+    let dtd = vs.atg().dtd();
+    let first_ty = dtd.type_id(first)?;
+
+    // Equality filters directly qualifying the first step.
+    let mut keys: Vec<(String, String)> = Vec::new();
+    for step in steps {
+        let NormStep::FilterStep(f) = step else { break };
+        filter_keys(f, &mut keys);
+    }
+    let key_values: Vec<String> = keys.iter().map(|(_, v)| v.clone()).collect();
+
+    let mut cache = HashMap::new();
+    let mut anchors = Vec::new();
+    'cand: for &c in vs.dag().children(vs.dag().root()) {
+        if vs.dag().genid().type_of(c) != first_ty || !vs.dag().genid().is_live(c) {
+            continue;
+        }
+        for (field, value) in &keys {
+            let Some(field_ty) = dtd.type_id(field) else {
+                continue 'cand;
+            };
+            if !dtd.is_pcdata(field_ty) {
+                continue; // structural filter: not usable for pruning
+            }
+            let matched = vs.dag().children(c).iter().any(|&k| {
+                vs.dag().genid().type_of(k) == field_ty && vs.text_value(k, &mut cache) == *value
+            });
+            if !matched {
+                continue 'cand;
+            }
+        }
+        anchors.push(c);
+    }
+    Some((first_ty, anchors, key_values))
+}
+
+/// Conservative footprint of one update against a given system state.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Cone of view nodes the update can read or write; `None` = global.
+    cone: Option<HashSet<NodeId>>,
+    /// `(type, text)` keys: anchor filter values, plus — for insertions —
+    /// every attribute component of the inserted `(A, t)`.
+    keys: BTreeSet<(TypeId, String)>,
+}
+
+/// The live nodes a *fresh*-headed `insert (A, t)` would splice into its
+/// subtree: a read-only mirror of `generate_subtree` that walks `(type,
+/// attr)` pairs through the ATG rules without interning anything. The walk
+/// stops at pairs that are already live (the subtree property: their
+/// published subtrees join wholesale) and collects them.
+fn fresh_subtree_links(
+    sys: &XmlViewSystem,
+    ty: TypeId,
+    attr: &rxview_relstore::Tuple,
+) -> Result<Vec<NodeId>, rxview_relstore::RelError> {
+    use rxview_xmlkit::Production;
+    let vs = sys.view();
+    let atg = vs.atg();
+    let aug = vs.augmented(sys.base());
+    let mut links = Vec::new();
+    let mut seen: std::collections::HashSet<(TypeId, rxview_relstore::Tuple)> =
+        std::collections::HashSet::new();
+    let mut stack = vec![(ty, attr.clone())];
+    while let Some((uty, uattr)) = stack.pop() {
+        if !seen.insert((uty, uattr.clone())) {
+            continue;
+        }
+        let child_types: Vec<TypeId> = match atg.dtd().production(uty) {
+            Production::PcData | Production::Empty => Vec::new(),
+            Production::Sequence(ts) | Production::Alternation(ts) => ts.clone(),
+            Production::Star(t) => vec![*t],
+        };
+        for cty in child_types {
+            for t in atg.child_tuples(&aug, uty, &uattr, cty)? {
+                match vs.dag().genid().lookup(cty, &t) {
+                    Some(live) => links.push(live),
+                    None => stack.push((cty, t)),
+                }
+            }
+        }
+    }
+    Ok(links)
+}
+
+impl Analysis {
+    /// Analyzes `update` against the current state of `sys`.
+    ///
+    /// Text (`pcdata`) nodes are excluded from the cone even when shared:
+    /// their text and identity are immutable, the DTD guarantees they never
+    /// gain children, and schema validation rejects updates targeting them
+    /// — so two updates can only interact through a shared text node via
+    /// its parent edges, which already lie in the respective interior
+    /// cones. Without this exclusion, small-domain text values (the
+    /// synthetic dataset's `payload`) would put every pair of anchors in
+    /// conflict and reduce every batch to a singleton.
+    pub fn of(sys: &XmlViewSystem, update: &XmlUpdate) -> Analysis {
+        Analysis::of_with_scope(sys, update, false).0
+    }
+
+    /// Like [`Analysis::of`], but also returns the evaluation scope for
+    /// anchored paths when `want_scope` is set — the anchor detection runs
+    /// once and feeds both, so partitioning and scoped evaluation against
+    /// the *same* system state share the work.
+    pub fn of_with_scope(
+        sys: &XmlViewSystem,
+        update: &XmlUpdate,
+        want_scope: bool,
+    ) -> (Analysis, Option<TopoOrder>) {
+        let dtd = sys.view().atg().dtd();
+        let genid = sys.view().dag().genid();
+        let interior = |v: &NodeId| !dtd.is_pcdata(genid.type_of(*v));
+        let anchored = anchors_of(sys, update.path());
+        let mut keys = BTreeSet::new();
+        let mut scope = None;
+        let mut cone = match anchored {
+            None => None,
+            Some((first_ty, anchors, values)) => {
+                for v in values {
+                    keys.insert((first_ty, v));
+                }
+                if want_scope {
+                    scope = Some(scope_of_anchors(sys, &anchors));
+                }
+                let mut cone = HashSet::new();
+                for a in anchors {
+                    cone.insert(a);
+                    cone.extend(sys.reach().descendants(a).iter().filter(|v| interior(v)));
+                }
+                Some(cone)
+            }
+        };
+        if let XmlUpdate::Insert { ty, attr, .. } = update {
+            if let Some(ty_id) = sys.view().atg().dtd().type_id(ty) {
+                for v in attr.values() {
+                    keys.insert((ty_id, v.to_string()));
+                }
+                match sys.view().dag().genid().lookup(ty_id, attr) {
+                    // An existing head means the (shared) published subtree
+                    // is spliced under the targets: it joins the footprint.
+                    Some(head) => {
+                        if let Some(c) = cone.as_mut() {
+                            c.insert(head);
+                            c.extend(sys.reach().descendants(head).iter().filter(|v| interior(v)));
+                        }
+                    }
+                    // A fresh head can still link *pre-existing* nodes
+                    // deeper in its generated subtree; those (and their
+                    // descendants) join the footprint too. Rule-evaluation
+                    // failure degrades to a global footprint.
+                    None => match fresh_subtree_links(sys, ty_id, attr) {
+                        Ok(links) => {
+                            if let Some(c) = cone.as_mut() {
+                                for live in links.into_iter().filter(|v| interior(v)) {
+                                    c.insert(live);
+                                    c.extend(
+                                        sys.reach()
+                                            .descendants(live)
+                                            .iter()
+                                            .filter(|v| interior(v)),
+                                    );
+                                }
+                            }
+                        }
+                        Err(_) => cone = None,
+                    },
+                }
+            }
+        }
+        (Analysis { cone, keys }, scope)
+    }
+
+    /// Whether the update is global (conflicts with everything).
+    pub fn is_global(&self) -> bool {
+        self.cone.is_none()
+    }
+}
+
+/// The union footprint of the updates already placed in one batch.
+#[derive(Debug, Default)]
+pub struct BatchFootprint {
+    global: bool,
+    nodes: HashSet<NodeId>,
+    keys: BTreeSet<(TypeId, String)>,
+}
+
+impl BatchFootprint {
+    /// Whether adding an update with footprint `a` would conflict.
+    pub fn conflicts(&self, a: &Analysis) -> bool {
+        if self.global || a.cone.is_none() {
+            return true;
+        }
+        let cone = a.cone.as_ref().expect("checked above");
+        let (small, large): (&HashSet<NodeId>, &HashSet<NodeId>) = if cone.len() <= self.nodes.len()
+        {
+            (cone, &self.nodes)
+        } else {
+            (&self.nodes, cone)
+        };
+        if small.iter().any(|n| large.contains(n)) {
+            return true;
+        }
+        a.keys.iter().any(|k| self.keys.contains(k))
+    }
+
+    /// Adds an update's footprint to the batch.
+    pub fn absorb(&mut self, a: &Analysis) {
+        match &a.cone {
+            None => self.global = true,
+            Some(c) => self.nodes.extend(c.iter().copied()),
+        }
+        self.keys.extend(a.keys.iter().cloned());
+    }
+}
+
+/// The scope order for a given anchor set: the projection of `L` onto
+/// `{root} ∪ {anchors} ∪ desc(anchors)` (text nodes included — evaluation
+/// needs them for value filters).
+fn scope_of_anchors(sys: &XmlViewSystem, anchors: &[NodeId]) -> TopoOrder {
+    let mut cone: BTreeSet<NodeId> = BTreeSet::new();
+    for &a in anchors {
+        cone.insert(a);
+        cone.extend(sys.reach().descendants(a).iter().copied());
+    }
+    cone.insert(sys.view().dag().root());
+    let mut order: Vec<NodeId> = cone
+        .into_iter()
+        .filter(|v| sys.topo().position(*v).is_some())
+        .collect();
+    order.sort_by_key(|v| sys.topo().position(*v).expect("filtered"));
+    TopoOrder::from_order(order)
+}
+
+/// Builds the evaluation scope for an anchored update against the *current*
+/// state of `sys`: the projection of `L` onto `{root} ∪ {anchors} ∪
+/// desc(anchors)`. Returns `None` when the path is unanchored, in which case
+/// the caller must run the full evaluation.
+pub fn evaluation_scope(sys: &XmlViewSystem, path: &XPath) -> Option<TopoOrder> {
+    let (_, anchors, _) = anchors_of(sys, path)?;
+    Some(scope_of_anchors(sys, &anchors))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rxview_atg::{registrar_atg, registrar_database};
+    use rxview_core::{SideEffectPolicy, XmlViewSystem};
+    use rxview_relstore::tuple;
+
+    fn system() -> XmlViewSystem {
+        let db = registrar_database();
+        let atg = registrar_atg(&db).unwrap();
+        XmlViewSystem::new(atg, db).unwrap()
+    }
+
+    #[test]
+    fn anchored_delete_has_bounded_cone() {
+        let sys = system();
+        let u = XmlUpdate::delete("course[cno=CS650]/prereq/course[cno=CS320]").unwrap();
+        let a = Analysis::of(&sys, &u);
+        assert!(!a.is_global());
+    }
+
+    #[test]
+    fn recursive_path_is_global() {
+        let sys = system();
+        let u = XmlUpdate::delete("//student[ssn=S02]").unwrap();
+        let a = Analysis::of(&sys, &u);
+        assert!(a.is_global());
+    }
+
+    #[test]
+    fn disjoint_anchors_do_not_conflict_shared_subtrees_do() {
+        let sys = system();
+        // CS650's cone contains the shared CS320 subtree, so an update
+        // anchored at top-level CS320 conflicts with one anchored at CS650.
+        let a = Analysis::of(
+            &sys,
+            &XmlUpdate::delete("course[cno=CS650]/prereq/course").unwrap(),
+        );
+        let b = Analysis::of(
+            &sys,
+            &XmlUpdate::delete("course[cno=CS320]/prereq/course").unwrap(),
+        );
+        let mut batch = BatchFootprint::default();
+        batch.absorb(&a);
+        assert!(batch.conflicts(&b), "shared CS320 subtree must conflict");
+    }
+
+    #[test]
+    fn insert_of_anchor_value_conflicts_with_later_anchor() {
+        let sys = system();
+        let ins = XmlUpdate::insert(
+            "course",
+            tuple!["MA100", "Calculus"],
+            "course[cno=CS650]/prereq",
+        )
+        .unwrap();
+        let del = XmlUpdate::delete("course[cno=MA100]").unwrap();
+        let a = Analysis::of(&sys, &ins);
+        let mut batch = BatchFootprint::default();
+        batch.absorb(&a);
+        assert!(batch.conflicts(&Analysis::of(&sys, &del)));
+    }
+
+    #[test]
+    fn scoped_evaluation_matches_full_evaluation() {
+        let mut sys = system();
+        // Exercise on a state with an extra prereq edge.
+        let u = XmlUpdate::insert(
+            "course",
+            tuple!["CS240", "Data Structures"],
+            "course[cno=CS650]/prereq",
+        )
+        .unwrap();
+        sys.apply(&u, SideEffectPolicy::Proceed).unwrap();
+        for path in [
+            "course[cno=CS650]/prereq/course[cno=CS320]",
+            "course[cno=CS650]//course[cno=CS320]/prereq",
+            "course[cno=CS320]/takenBy/student[ssn=S02]",
+            "course[cno=CS650]/prereq/course",
+            "course[cno=NOPE]/prereq",
+        ] {
+            let p = rxview_xmlkit::parse_xpath(path).unwrap();
+            let scope = evaluation_scope(&sys, &p).expect("anchored path");
+            let scoped = sys.evaluate_scoped(&p, &scope);
+            let full = sys.evaluate(&p);
+            assert_eq!(
+                scoped.selected, full.selected,
+                "selected mismatch on {path}"
+            );
+            assert_eq!(
+                scoped.edge_parents, full.edge_parents,
+                "edges mismatch on {path}"
+            );
+            assert_eq!(
+                scoped.side_effects(sys.view(), true),
+                full.side_effects(sys.view(), true),
+                "side effects mismatch on {path}"
+            );
+        }
+    }
+}

@@ -1,0 +1,389 @@
+//! The engine: admission queue, conflict-free batch formation, group
+//! commit, and snapshot publication.
+
+use crate::analyze::{Analysis, BatchFootprint};
+use crate::snapshot::Snapshot;
+use crate::stats::EngineStats;
+use rxview_core::{
+    SideEffectPolicy, UpdateError, UpdateOutcome, UpdateReport, XmlUpdate, XmlViewSystem,
+};
+use rxview_relstore::RelError;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Maximum updates per conflict-free batch (one snapshot publication
+    /// and one folded maintenance pass per batch).
+    pub max_batch: usize,
+    /// Bound of the admission queue; [`Engine::submit`] returns
+    /// [`EngineError::Saturated`] beyond it.
+    pub max_queue: usize,
+    /// Whether key-anchored paths may be evaluated scoped to their anchor
+    /// cone (disable to force full §3.2 evaluation for every update).
+    pub scoped_eval: bool,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_batch: 256,
+            max_queue: 65_536,
+            scoped_eval: true,
+        }
+    }
+}
+
+/// Why the engine could not serve a request.
+#[derive(Debug)]
+pub enum EngineError {
+    /// The admission queue is full; commit or retry later.
+    Saturated,
+    /// The engine dropped the update without an outcome (shutdown).
+    Canceled,
+    /// The update was processed and rejected.
+    Update(UpdateError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Saturated => write!(f, "admission queue is full"),
+            EngineError::Canceled => write!(f, "update canceled before commit"),
+            EngineError::Update(e) => write!(f, "update rejected: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// A claim check for a submitted update's outcome.
+#[derive(Debug)]
+pub struct UpdateTicket {
+    rx: mpsc::Receiver<UpdateOutcome>,
+}
+
+impl UpdateTicket {
+    /// Blocks until the update's batch commits (or the engine drops it).
+    ///
+    /// Note on the returned [`UpdateReport`]: maintenance of `M`/`L` is
+    /// folded per batch, so `report.maintain` carries real counters only
+    /// when the update committed in a batch of its own; in a multi-update
+    /// batch it is zeroed, and the folded totals are available through
+    /// [`CommitSummary::maintain`] and [`crate::EngineStats`].
+    pub fn wait(self) -> Result<UpdateReport, EngineError> {
+        match self.rx.recv() {
+            Ok(Ok(report)) => Ok(report),
+            Ok(Err(e)) => Err(EngineError::Update(e)),
+            Err(_) => Err(EngineError::Canceled),
+        }
+    }
+
+    /// Non-blocking probe: `None` while the update is still queued.
+    pub fn try_wait(&self) -> Option<Result<UpdateReport, EngineError>> {
+        match self.rx.try_recv() {
+            Ok(Ok(report)) => Some(Ok(report)),
+            Ok(Err(e)) => Some(Err(EngineError::Update(e))),
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(EngineError::Canceled)),
+        }
+    }
+}
+
+/// What one [`Engine::commit_pending`] round did.
+#[derive(Debug, Clone, Default)]
+pub struct CommitSummary {
+    /// Updates drained from the queue.
+    pub updates: usize,
+    /// Conflict-free batches they were partitioned into.
+    pub batches: usize,
+    /// Updates accepted.
+    pub accepted: usize,
+    /// Updates rejected.
+    pub rejected: usize,
+    /// Folded `M`/`L` maintenance totals across all batches of this commit
+    /// (per-update reports carry these counters only for singleton batches
+    /// — see [`UpdateTicket::wait`]).
+    pub maintain: rxview_core::MaintainReport,
+}
+
+struct Pending {
+    update: XmlUpdate,
+    policy: SideEffectPolicy,
+    tx: mpsc::Sender<UpdateOutcome>,
+}
+
+struct Inner {
+    snapshot: RwLock<Arc<Snapshot>>,
+    queue: Mutex<Vec<Pending>>,
+    commit_mx: Mutex<()>,
+    epoch: AtomicU64,
+    stats: EngineStats,
+    config: EngineConfig,
+}
+
+/// The concurrent view-serving engine. Cheap to clone (handles share one
+/// underlying engine); all methods take `&self`.
+pub struct Engine {
+    inner: Arc<Inner>,
+}
+
+impl Clone for Engine {
+    fn clone(&self) -> Self {
+        Engine {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl fmt::Debug for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Engine")
+            .field("epoch", &self.inner.epoch.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Wraps a published system with the default configuration.
+    pub fn new(sys: XmlViewSystem) -> Self {
+        Engine::with_config(sys, EngineConfig::default())
+    }
+
+    /// Wraps a published system with explicit tuning.
+    pub fn with_config(sys: XmlViewSystem, config: EngineConfig) -> Self {
+        Engine {
+            inner: Arc::new(Inner {
+                snapshot: RwLock::new(Arc::new(Snapshot::new(sys, 0))),
+                queue: Mutex::new(Vec::new()),
+                commit_mx: Mutex::new(()),
+                epoch: AtomicU64::new(0),
+                stats: EngineStats::default(),
+                config,
+            }),
+        }
+    }
+
+    /// The current snapshot. The read lock is held only for the `Arc` bump;
+    /// evaluation runs lock-free on the returned snapshot.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.inner.stats.record_snapshot_read();
+        Arc::clone(&self.inner.snapshot.read().expect("snapshot lock poisoned"))
+    }
+
+    /// Engine counters.
+    pub fn stats(&self) -> &EngineStats {
+        &self.inner.stats
+    }
+
+    /// Enqueues an update for the next group commit.
+    pub fn submit(
+        &self,
+        update: XmlUpdate,
+        policy: SideEffectPolicy,
+    ) -> Result<UpdateTicket, EngineError> {
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut queue = self.inner.queue.lock().expect("queue lock poisoned");
+            if queue.len() >= self.inner.config.max_queue {
+                return Err(EngineError::Saturated);
+            }
+            queue.push(Pending { update, policy, tx });
+        }
+        self.inner.stats.record_submitted();
+        Ok(UpdateTicket { rx })
+    }
+
+    /// Submits and synchronously commits everything pending, returning this
+    /// update's outcome.
+    pub fn apply_now(
+        &self,
+        update: XmlUpdate,
+        policy: SideEffectPolicy,
+    ) -> Result<UpdateReport, EngineError> {
+        let ticket = self.submit(update, policy)?;
+        self.commit_pending();
+        ticket.wait()
+    }
+
+    /// Drains the admission queue and commits it: forms one conflict-free
+    /// batch per *round* — each round re-runs the conflict analysis of every
+    /// still-pending update against the state the batch will actually apply
+    /// to, so staleness across batches cannot arise — applies the batch to a
+    /// working clone with scoped evaluation and folded maintenance, and
+    /// publishes one new snapshot per batch. Submission order is preserved
+    /// between conflicting updates (an update deferred by a conflict also
+    /// blocks its own later conflicters). Outcomes are delivered to tickets
+    /// after their batch's snapshot is visible, so a caller that observed
+    /// its ticket can read its own write.
+    pub fn commit_pending(&self) -> CommitSummary {
+        let _guard = self.inner.commit_mx.lock().expect("commit lock poisoned");
+        let pending: Vec<Pending> = {
+            let mut queue = self.inner.queue.lock().expect("queue lock poisoned");
+            std::mem::take(&mut *queue)
+        };
+        if pending.is_empty() {
+            return CommitSummary::default();
+        }
+        self.inner.stats.record_commit();
+        let mut summary = CommitSummary {
+            updates: pending.len(),
+            ..CommitSummary::default()
+        };
+
+        let mut outcomes: Vec<Option<UpdateOutcome>> = (0..pending.len()).map(|_| None).collect();
+        let txs: Vec<mpsc::Sender<UpdateOutcome>> = pending.iter().map(|p| p.tx.clone()).collect();
+        let mut queue: Vec<(usize, Pending)> = pending.into_iter().enumerate().collect();
+        let mut current = self.snapshot();
+        while !queue.is_empty() {
+            // --- Form one batch against the current snapshot. ---
+            let t_part = Instant::now();
+            let mut batch: Vec<(usize, Pending, Option<rxview_core::TopoOrder>)> = Vec::new();
+            let mut deferred: Vec<(usize, Pending)> = Vec::new();
+            let mut batch_foot = BatchFootprint::default();
+            let mut blocked_foot = BatchFootprint::default();
+            let mut any_blocked = false;
+            let mut drain = queue.into_iter();
+            for (i, p) in drain.by_ref() {
+                if batch.len() >= self.inner.config.max_batch {
+                    deferred.push((i, p));
+                    // Admitting past a full batch could reorder conflicting
+                    // updates; everything else waits for the next round.
+                    deferred.extend(drain.by_ref());
+                    break;
+                }
+                let (a, scope) = Analysis::of_with_scope(
+                    current.system(),
+                    &p.update,
+                    self.inner.config.scoped_eval,
+                );
+                let conflicts = (!batch.is_empty() && batch_foot.conflicts(&a))
+                    || (any_blocked && blocked_foot.conflicts(&a));
+                if conflicts {
+                    blocked_foot.absorb(&a);
+                    any_blocked = true;
+                    deferred.push((i, p));
+                } else {
+                    batch_foot.absorb(&a);
+                    batch.push((i, p, scope));
+                }
+            }
+            queue = deferred;
+            self.inner.stats.record_partition(t_part.elapsed());
+            summary.batches += 1;
+            self.inner.stats.record_batch(batch.len());
+
+            // --- Apply the batch to a working clone. ---
+            let mut working = current.system().clone();
+            let mut jobs = Vec::new();
+            let mut applied: Vec<(usize, UpdateReport)> = Vec::new();
+            for (i, p, scope) in &batch {
+                let t0 = Instant::now();
+                let (eval, scoped) = match scope {
+                    Some(s) => (working.evaluate_scoped(p.update.path(), s), true),
+                    None => (working.evaluate(p.update.path()), false),
+                };
+                self.inner.stats.record_eval(scoped, t0.elapsed());
+                let t1 = Instant::now();
+                match working.apply_deferred(&p.update, p.policy, eval) {
+                    Ok((report, job)) => {
+                        jobs.push(job);
+                        applied.push((*i, report));
+                    }
+                    Err(e) => outcomes[*i] = Some(Err(e)),
+                }
+                self.inner.stats.record_translate(t1.elapsed());
+            }
+
+            // Folded phase 6: one maintenance pass for the whole batch.
+            let t2 = Instant::now();
+            match working.fold_maintenance(jobs) {
+                Ok(maintain) => {
+                    self.inner.stats.record_maintain(t2.elapsed());
+                    // Publish the batch as one snapshot, then release tickets.
+                    let t3 = Instant::now();
+                    let epoch = self.inner.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+                    let snap = Arc::new(Snapshot::new(working, epoch));
+                    *self.inner.snapshot.write().expect("snapshot lock poisoned") =
+                        Arc::clone(&snap);
+                    current = snap;
+                    self.inner.stats.record_snapshot_published();
+                    self.inner.stats.record_publish(t3.elapsed());
+                    summary.maintain.absorb(&maintain);
+                    if let [(i, report)] = applied.as_mut_slice() {
+                        // A singleton batch can attribute maintenance exactly.
+                        report.maintain = maintain.clone();
+                        outcomes[*i] = Some(Ok(report.clone()));
+                    } else {
+                        for (i, report) in applied {
+                            outcomes[i] = Some(Ok(report));
+                        }
+                    }
+                }
+                Err(e) => {
+                    // Maintenance failed: the working clone is inconsistent.
+                    // Drop it (previous snapshot stays current) and fail the
+                    // whole batch.
+                    let msg = format!("batch maintenance failed: {e}");
+                    for (i, _) in applied {
+                        outcomes[i] =
+                            Some(Err(UpdateError::Rel(RelError::MalformedQuery(msg.clone()))));
+                    }
+                }
+            }
+        }
+
+        // --- Deliver outcomes. ---
+        for (tx, outcome) in txs.into_iter().zip(outcomes) {
+            let outcome = outcome.unwrap_or_else(|| {
+                Err(UpdateError::Rel(RelError::MalformedQuery(
+                    "update lost by engine".into(),
+                )))
+            });
+            let accepted = outcome.is_ok();
+            self.inner.stats.record_outcome(accepted);
+            if accepted {
+                summary.accepted += 1;
+            } else {
+                summary.rejected += 1;
+            }
+            let _ = tx.send(outcome); // receiver may have given up
+        }
+        summary
+    }
+
+    /// Spawns a background writer thread that group-commits the queue every
+    /// `interval` until the handle is stopped.
+    pub fn start_writer(&self, interval: Duration) -> WriterHandle {
+        let engine = self.clone();
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::spawn(move || {
+            while !stop_flag.load(Ordering::Relaxed) {
+                engine.commit_pending();
+                std::thread::sleep(interval);
+            }
+            // Final drain so no ticket is left behind.
+            engine.commit_pending();
+        });
+        WriterHandle { stop, thread }
+    }
+}
+
+/// Handle to a background writer thread (see [`Engine::start_writer`]).
+#[derive(Debug)]
+pub struct WriterHandle {
+    stop: Arc<AtomicBool>,
+    thread: std::thread::JoinHandle<()>,
+}
+
+impl WriterHandle {
+    /// Stops the writer after a final queue drain and waits for it to exit.
+    pub fn stop(self) {
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = self.thread.join();
+    }
+}

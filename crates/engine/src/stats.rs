@@ -1,0 +1,199 @@
+//! Engine observability: lock-free counters extending the Fig.11 phase
+//! constituents with serving-layer metrics.
+
+use rxview_core::PhaseTimings;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Cumulative engine counters. All methods are lock-free; readers and the
+/// writer update them concurrently.
+#[derive(Debug, Default)]
+pub struct EngineStats {
+    submitted: AtomicU64,
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    commits: AtomicU64,
+    batches: AtomicU64,
+    snapshots_published: AtomicU64,
+    snapshot_reads: AtomicU64,
+    scoped_evals: AtomicU64,
+    full_evals: AtomicU64,
+    max_batch: AtomicU64,
+    eval_nanos: AtomicU64,
+    translate_nanos: AtomicU64,
+    maintain_nanos: AtomicU64,
+    partition_nanos: AtomicU64,
+    publish_nanos: AtomicU64,
+}
+
+fn add(counter: &AtomicU64, v: u64) {
+    counter.fetch_add(v, Ordering::Relaxed);
+}
+
+impl EngineStats {
+    pub(crate) fn record_submitted(&self) {
+        add(&self.submitted, 1);
+    }
+
+    pub(crate) fn record_outcome(&self, accepted: bool) {
+        add(
+            if accepted {
+                &self.accepted
+            } else {
+                &self.rejected
+            },
+            1,
+        );
+    }
+
+    pub(crate) fn record_commit(&self) {
+        add(&self.commits, 1);
+    }
+
+    pub(crate) fn record_batch(&self, size: usize) {
+        add(&self.batches, 1);
+        self.max_batch.fetch_max(size as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_snapshot_published(&self) {
+        add(&self.snapshots_published, 1);
+    }
+
+    pub(crate) fn record_snapshot_read(&self) {
+        add(&self.snapshot_reads, 1);
+    }
+
+    pub(crate) fn record_eval(&self, scoped: bool, d: Duration) {
+        add(
+            if scoped {
+                &self.scoped_evals
+            } else {
+                &self.full_evals
+            },
+            1,
+        );
+        add(&self.eval_nanos, d.as_nanos() as u64);
+    }
+
+    pub(crate) fn record_translate(&self, d: Duration) {
+        add(&self.translate_nanos, d.as_nanos() as u64);
+    }
+
+    pub(crate) fn record_maintain(&self, d: Duration) {
+        add(&self.maintain_nanos, d.as_nanos() as u64);
+    }
+
+    pub(crate) fn record_partition(&self, d: Duration) {
+        add(&self.partition_nanos, d.as_nanos() as u64);
+    }
+
+    pub(crate) fn record_publish(&self, d: Duration) {
+        add(&self.publish_nanos, d.as_nanos() as u64);
+    }
+
+    /// A consistent-enough point-in-time copy of all counters.
+    pub fn report(&self) -> EngineReport {
+        let ns = |c: &AtomicU64| Duration::from_nanos(c.load(Ordering::Relaxed));
+        let n = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        EngineReport {
+            submitted: n(&self.submitted),
+            accepted: n(&self.accepted),
+            rejected: n(&self.rejected),
+            commits: n(&self.commits),
+            batches: n(&self.batches),
+            snapshots_published: n(&self.snapshots_published),
+            snapshot_reads: n(&self.snapshot_reads),
+            scoped_evals: n(&self.scoped_evals),
+            full_evals: n(&self.full_evals),
+            max_batch: n(&self.max_batch),
+            phases: PhaseTimings {
+                eval: ns(&self.eval_nanos),
+                translate: ns(&self.translate_nanos),
+                maintain: ns(&self.maintain_nanos),
+            },
+            partition: ns(&self.partition_nanos),
+            publish: ns(&self.publish_nanos),
+        }
+    }
+}
+
+/// A point-in-time view of [`EngineStats`].
+#[derive(Debug, Clone)]
+pub struct EngineReport {
+    /// Updates admitted to the queue.
+    pub submitted: u64,
+    /// Updates accepted by a commit.
+    pub accepted: u64,
+    /// Updates rejected by a commit.
+    pub rejected: u64,
+    /// `commit_pending` rounds that found work.
+    pub commits: u64,
+    /// Conflict-free batches committed.
+    pub batches: u64,
+    /// Snapshots published (= epochs advanced).
+    pub snapshots_published: u64,
+    /// Snapshot handles handed to readers.
+    pub snapshot_reads: u64,
+    /// Evaluations that ran scoped to an anchor cone.
+    pub scoped_evals: u64,
+    /// Evaluations that ran over the full view.
+    pub full_evals: u64,
+    /// Largest batch committed.
+    pub max_batch: u64,
+    /// Cumulative per-phase time — the Fig.11 constituents (a) evaluation,
+    /// (b) translation + execution, (c) maintenance — across all commits.
+    pub phases: PhaseTimings,
+    /// Time spent in conflict analysis / batch building.
+    pub partition: Duration,
+    /// Time spent cloning + publishing snapshots.
+    pub publish: Duration,
+}
+
+impl EngineReport {
+    /// Average committed batch size.
+    pub fn mean_batch(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            (self.accepted + self.rejected) as f64 / self.batches as f64
+        }
+    }
+}
+
+impl fmt::Display for EngineReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "updates: {} submitted, {} accepted, {} rejected",
+            self.submitted, self.accepted, self.rejected
+        )?;
+        writeln!(
+            f,
+            "commits: {} ({} batches, mean size {:.1}, max {})",
+            self.commits,
+            self.batches,
+            self.mean_batch(),
+            self.max_batch
+        )?;
+        writeln!(
+            f,
+            "snapshots: {} published, {} reader acquisitions",
+            self.snapshots_published, self.snapshot_reads
+        )?;
+        writeln!(
+            f,
+            "evals: {} scoped, {} full",
+            self.scoped_evals, self.full_evals
+        )?;
+        writeln!(
+            f,
+            "phase time: eval {:?}, translate {:?}, maintain {:?}, partition {:?}, publish {:?}",
+            self.phases.eval,
+            self.phases.translate,
+            self.phases.maintain,
+            self.partition,
+            self.publish
+        )
+    }
+}

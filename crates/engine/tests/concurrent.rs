@@ -1,0 +1,193 @@
+//! Readers-during-writes smoke test: reader threads continuously evaluate
+//! against engine snapshots while batches commit, and must never observe a
+//! partially applied batch.
+
+use rxview_core::{SideEffectPolicy, XmlUpdate, XmlViewSystem};
+use rxview_engine::Engine;
+use rxview_workload::{synthetic_atg, synthetic_database, SyntheticConfig};
+use rxview_xmlkit::parse_xpath;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn system(n: usize) -> XmlViewSystem {
+    let cfg = SyntheticConfig::with_size(n);
+    let db = synthetic_database(&cfg);
+    let atg = synthetic_atg(&db).expect("valid ATG");
+    XmlViewSystem::new(atg, db).expect("publishes")
+}
+
+/// One deletable `(head, child)` edge path per group: the edge of the
+/// group head's first `H` child — `node[id=h]/sub/node[id=c]` — which
+/// translates to a safe `H`-row deletion.
+fn group_edges(sys: &XmlViewSystem, n: i64, group: i64) -> Vec<(i64, i64)> {
+    use rxview_relstore::Value;
+    let h = sys.base().table("H").expect("H table");
+    (0..n / group)
+        .filter_map(|g| {
+            let head = g * group;
+            let prefix = [Value::Int(head)];
+            let row = h.scan_key_prefix(&prefix).next()?;
+            Some((head, row[1].as_int().expect("int h2")))
+        })
+        // Keep only edges the published view actually contains (an `H` row
+        // yields an edge only if the head's C/F join survives).
+        .filter(|&(h1, h2)| {
+            let p = parse_xpath(&format!("node[id={h1}]/sub/node[id={h2}]")).expect("parses");
+            !sys.evaluate(&p).is_empty()
+        })
+        .collect()
+}
+
+/// Deletes one edge in each of two distinct groups per round; the two
+/// deletions are independent, so the partitioner puts them in one batch and
+/// readers must see both deletions or neither.
+#[test]
+fn readers_never_observe_partial_batches() {
+    let group = 40; // SyntheticConfig::with_size default group_size
+    let n = 800;
+    let sys = system(n);
+    let edges = group_edges(&sys, n as i64, group);
+    let engine = Engine::new(sys);
+
+    // Pair up edges of adjacent groups: ((h0, c0), (h1, c1)), …
+    let pairs: Vec<((i64, i64), (i64, i64))> = edges
+        .chunks(2)
+        .filter_map(|w| match w {
+            [a, b] => Some((*a, *b)),
+            _ => None,
+        })
+        .collect();
+    assert!(pairs.len() >= 4, "need several pairs for a meaningful test");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let violations: Arc<std::sync::Mutex<Vec<String>>> = Arc::default();
+    let readers: Vec<_> = (0..4)
+        .map(|r| {
+            let engine = engine.clone();
+            let stop = Arc::clone(&stop);
+            let pairs = pairs.clone();
+            let violations = Arc::clone(&violations);
+            std::thread::spawn(move || {
+                let edge_path = |(h, c): (i64, i64)| {
+                    parse_xpath(&format!("node[id={h}]/sub/node[id={c}]")).expect("parses")
+                };
+                let paths: Vec<_> = pairs
+                    .iter()
+                    .map(|&(a, b)| (edge_path(a), edge_path(b)))
+                    .collect();
+                let mut i = r; // stagger readers
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = engine.snapshot();
+                    let (pa, pb) = &paths[i % paths.len()];
+                    let has_a = !snap.select(pa).is_empty();
+                    let has_b = !snap.select(pb).is_empty();
+                    if has_a != has_b {
+                        violations.lock().expect("no panics").push(format!(
+                            "epoch {}: pair {:?} half-deleted ({has_a} vs {has_b})",
+                            snap.epoch(),
+                            pairs[i % paths.len()],
+                        ));
+                    }
+                    i += 1;
+                }
+            })
+        })
+        .collect();
+
+    // Writer: one pair per commit round, both deletes in the same batch.
+    let del = |(h, c): (i64, i64)| {
+        XmlUpdate::delete(&format!("node[id={h}]/sub/node[id={c}]")).expect("parses")
+    };
+    for &(a, b) in &pairs {
+        let ta = engine
+            .submit(del(a), SideEffectPolicy::Proceed)
+            .expect("queue accepts");
+        let tb = engine
+            .submit(del(b), SideEffectPolicy::Proceed)
+            .expect("queue accepts");
+        let summary = engine.commit_pending();
+        assert_eq!(summary.batches, 1, "independent pair must form one batch");
+        ta.wait().expect("edge in distinct groups deletes cleanly");
+        tb.wait().expect("edge in distinct groups deletes cleanly");
+        std::thread::sleep(Duration::from_millis(2)); // give readers air
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    for r in readers {
+        r.join().expect("reader panicked");
+    }
+    let violations = violations.lock().expect("no panics");
+    assert!(
+        violations.is_empty(),
+        "partial batches observed: {violations:?}"
+    );
+
+    // Post-conditions: all deleted, state consistent, stats plausible.
+    let snap = engine.snapshot();
+    for &(a, b) in &pairs {
+        for (h, c) in [a, b] {
+            let p = parse_xpath(&format!("node[id={h}]/sub/node[id={c}]")).expect("parses");
+            assert!(snap.select(&p).is_empty(), "edge {h}->{c} should be gone");
+        }
+    }
+    snap.system()
+        .consistency_check()
+        .expect("consistent after concurrent run");
+    let report = engine.stats().report();
+    assert_eq!(report.accepted, 2 * pairs.len() as u64);
+    assert!(report.snapshots_published >= pairs.len() as u64);
+    assert!(
+        report.scoped_evals > 0,
+        "anchored deletes should evaluate scoped"
+    );
+}
+
+/// A background writer thread group-commits submissions from the test
+/// thread while readers poll; nothing deadlocks and every ticket resolves.
+#[test]
+fn background_writer_drains_queue() {
+    let sys = system(200);
+    let edges = group_edges(&sys, 200, 40);
+    assert!(edges.len() >= 5);
+    let engine = Engine::new(sys);
+    let writer = engine.start_writer(Duration::from_millis(1));
+    let reader_stop = Arc::new(AtomicBool::new(false));
+    let reader = {
+        let engine = engine.clone();
+        let stop = Arc::clone(&reader_stop);
+        std::thread::spawn(move || {
+            let p = parse_xpath("node").expect("parses");
+            let mut last_epoch = 0;
+            while !stop.load(Ordering::Relaxed) {
+                let snap = engine.snapshot();
+                assert!(snap.epoch() >= last_epoch, "epochs must be monotonic");
+                last_epoch = snap.epoch();
+                let _ = snap.eval(&p);
+            }
+        })
+    };
+
+    let tickets: Vec<_> = edges[..5]
+        .iter()
+        .map(|&(h, c)| {
+            engine
+                .submit(
+                    XmlUpdate::delete(&format!("node[id={h}]/sub/node[id={c}]")).expect("parses"),
+                    SideEffectPolicy::Proceed,
+                )
+                .expect("queue accepts")
+        })
+        .collect();
+    for t in tickets {
+        t.wait().expect("background writer commits edge deletions");
+    }
+    writer.stop();
+    reader_stop.store(true, Ordering::Relaxed);
+    reader.join().expect("reader panicked");
+    engine
+        .snapshot()
+        .system()
+        .consistency_check()
+        .expect("consistent");
+}

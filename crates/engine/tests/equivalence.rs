@@ -1,0 +1,185 @@
+//! Batched group commit must be *observationally equivalent* to applying
+//! the same updates one at a time through `XmlViewSystem::apply`, in
+//! submission order: identical accept/reject pattern, identical final base
+//! database, identical final view — regardless of how the conflict
+//! partitioner groups them, whether evaluation ran scoped or full, and how
+//! maintenance was folded.
+
+use proptest::prelude::*;
+use rxview_core::{SideEffectPolicy, XmlUpdate, XmlViewSystem};
+use rxview_engine::{Engine, EngineConfig};
+use rxview_workload::{
+    synthetic_atg, synthetic_database, SyntheticConfig, WorkloadClass, WorkloadGen,
+};
+use std::collections::BTreeSet;
+
+fn system(n: usize, seed: u64) -> XmlViewSystem {
+    let mut cfg = SyntheticConfig::with_size(n);
+    cfg.seed = seed;
+    let db = synthetic_database(&cfg);
+    let atg = synthetic_atg(&db).expect("valid ATG");
+    XmlViewSystem::new(atg, db).expect("publishes")
+}
+
+/// View edges as `((type, $A), (type, $B))` pairs — node-id independent.
+fn edge_set(sys: &XmlViewSystem) -> BTreeSet<(String, String)> {
+    let vs = sys.view();
+    let render = |v| {
+        format!(
+            "{}:{}",
+            vs.atg().dtd().name(vs.dag().genid().type_of(v)),
+            vs.dag().genid().attr_of(v)
+        )
+    };
+    vs.dag()
+        .all_edges()
+        .map(|(u, v)| (render(u), render(v)))
+        .collect()
+}
+
+fn base_rows(sys: &XmlViewSystem) -> BTreeSet<(String, String)> {
+    let base = sys.base();
+    base.table_names()
+        .flat_map(|t| {
+            base.table(t)
+                .expect("listed table exists")
+                .iter()
+                .map(move |row| (t.to_owned(), row.to_string()))
+        })
+        .collect()
+}
+
+fn workload(sys: &XmlViewSystem, seed: u64, flips: &[bool]) -> Vec<XmlUpdate> {
+    let mut gen = WorkloadGen::new(sys.view(), seed);
+    let mut ops = Vec::new();
+    for (i, &ins) in flips.iter().enumerate() {
+        // W1 paths use `//` (global footprint, forces serialization);
+        // W2/W3 are `/`-anchored (batchable, scoped evaluation).
+        let class = WorkloadClass::all()[i % 3];
+        let op = if ins {
+            gen.insertion(class)
+        } else {
+            gen.deletion(class)
+        };
+        if let Some(u) = op {
+            ops.push(u);
+        }
+    }
+    ops
+}
+
+fn check_equivalence(n: usize, seed: u64, flips: &[bool], max_batch: usize) -> Result<(), String> {
+    let sys = system(n, seed);
+    let ops = workload(&sys, seed ^ 0xbeef, flips);
+    if ops.is_empty() {
+        return Ok(());
+    }
+
+    // Sequential reference.
+    let mut seq = sys.clone();
+    let seq_outcomes: Vec<bool> = ops
+        .iter()
+        .map(|u| seq.apply(u, SideEffectPolicy::Proceed).is_ok())
+        .collect();
+
+    // Batched engine.
+    let engine = Engine::with_config(
+        sys,
+        EngineConfig {
+            max_batch,
+            ..EngineConfig::default()
+        },
+    );
+    let tickets: Vec<_> = ops
+        .iter()
+        .map(|u| {
+            engine
+                .submit(u.clone(), SideEffectPolicy::Proceed)
+                .expect("queue not full")
+        })
+        .collect();
+    let summary = engine.commit_pending();
+    if summary.updates != ops.len() {
+        return Err(format!(
+            "drained {} of {} updates",
+            summary.updates,
+            ops.len()
+        ));
+    }
+    let eng_outcomes: Vec<bool> = tickets.into_iter().map(|t| t.wait().is_ok()).collect();
+
+    if seq_outcomes != eng_outcomes {
+        return Err(format!(
+            "acceptance diverged:\n  seq {seq_outcomes:?}\n  eng {eng_outcomes:?}\n  ops: {}",
+            ops.iter()
+                .map(|u| u.to_string())
+                .collect::<Vec<_>>()
+                .join("; ")
+        ));
+    }
+    let snap = engine.snapshot();
+    if base_rows(&seq) != base_rows(snap.system()) {
+        return Err("final base database diverged".into());
+    }
+    if edge_set(&seq) != edge_set(snap.system()) {
+        return Err("final view diverged".into());
+    }
+    snap.system()
+        .consistency_check()
+        .map_err(|e| format!("engine state fails republication oracle: {e}"))?;
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random mixed workloads, random batch caps: batched == sequential.
+    #[test]
+    fn batched_commit_equals_sequential(
+        seed in 0u64..200,
+        flips in prop::collection::vec(any::<bool>(), 8..20),
+        max_batch in 1usize..12,
+    ) {
+        if let Err(e) = check_equivalence(220, seed, &flips, max_batch) {
+            return Err(TestCaseError::fail(e));
+        }
+    }
+}
+
+/// A deterministic large-ish case exercising multi-batch commits.
+#[test]
+fn large_independent_batch_is_equivalent() {
+    let flips: Vec<bool> = (0..40).map(|i| i % 4 == 0).collect();
+    check_equivalence(400, 7, &flips, 16).unwrap();
+}
+
+/// Updates with deliberately colliding targets must serialize correctly.
+#[test]
+fn conflicting_updates_serialize() {
+    let sys = system(200, 11);
+    // Same anchor twice plus a global `//` delete in between.
+    let mut gen = WorkloadGen::new(sys.view(), 5);
+    let mut ops: Vec<XmlUpdate> = Vec::new();
+    ops.extend(gen.deletions(WorkloadClass::W2, 3));
+    ops.extend(gen.deletions(WorkloadClass::W1, 2));
+    ops.extend(ops.clone()); // exact duplicates: second run must see first's effect
+    let mut seq = sys.clone();
+    let seq_outcomes: Vec<bool> = ops
+        .iter()
+        .map(|u| seq.apply(u, SideEffectPolicy::Proceed).is_ok())
+        .collect();
+    let engine = Engine::new(sys);
+    let tickets: Vec<_> = ops
+        .iter()
+        .map(|u| {
+            engine
+                .submit(u.clone(), SideEffectPolicy::Proceed)
+                .expect("queue not full")
+        })
+        .collect();
+    engine.commit_pending();
+    let eng_outcomes: Vec<bool> = tickets.into_iter().map(|t| t.wait().is_ok()).collect();
+    assert_eq!(seq_outcomes, eng_outcomes);
+    assert_eq!(edge_set(&seq), edge_set(engine.snapshot().system()));
+    engine.snapshot().system().consistency_check().unwrap();
+}

@@ -6,11 +6,17 @@ use crate::table::Table;
 use crate::tuple::Tuple;
 use crate::update::{GroupUpdate, TupleOp};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// An in-memory relational database instance `I` of a schema `R`.
+///
+/// Tables are stored behind [`Arc`] with copy-on-write mutation, so cloning
+/// a `Database` is `O(#tables)` regardless of row counts. The serving engine
+/// relies on this to publish immutable snapshots cheaply: a snapshot and the
+/// writer's working copy share every table the writer has not yet touched.
 #[derive(Debug, Clone, Default)]
 pub struct Database {
-    tables: BTreeMap<String, Table>,
+    tables: BTreeMap<String, Arc<Table>>,
 }
 
 impl Database {
@@ -25,18 +31,25 @@ impl Database {
         if self.tables.contains_key(&name) {
             return Err(RelError::TableExists(name));
         }
-        self.tables.insert(name, Table::new(schema));
+        self.tables.insert(name, Arc::new(Table::new(schema)));
         Ok(())
     }
 
     /// Looks up a table by name.
     pub fn table(&self, name: &str) -> RelResult<&Table> {
-        self.tables.get(name).ok_or_else(|| RelError::UnknownTable(name.into()))
+        self.tables
+            .get(name)
+            .map(Arc::as_ref)
+            .ok_or_else(|| RelError::UnknownTable(name.into()))
     }
 
-    /// Looks up a table mutably.
+    /// Looks up a table mutably (copy-on-write: a table shared with a
+    /// snapshot is cloned on first mutation).
     pub fn table_mut(&mut self, name: &str) -> RelResult<&mut Table> {
-        self.tables.get_mut(name).ok_or_else(|| RelError::UnknownTable(name.into()))
+        self.tables
+            .get_mut(name)
+            .map(Arc::make_mut)
+            .ok_or_else(|| RelError::UnknownTable(name.into()))
     }
 
     /// Whether a table exists.
@@ -51,7 +64,7 @@ impl Database {
 
     /// Total number of rows across all tables.
     pub fn total_rows(&self) -> usize {
-        self.tables.values().map(Table::len).sum()
+        self.tables.values().map(|t| t.len()).sum()
     }
 
     /// Inserts a tuple into a table.
@@ -67,37 +80,65 @@ impl Database {
     /// Applies a group update atomically: either every operation succeeds or
     /// the database is left unchanged.
     ///
-    /// Operations are first validated against a shadow copy of the affected
-    /// tables, then committed. Duplicate-insert of an identical tuple and
-    /// delete-of-already-deleted within the same group are tolerated (the
-    /// paper's ∆V→∆R translation can legitimately produce overlapping ops
-    /// for shared subtrees).
+    /// Operations are validated in order against an *overlay* of the group's
+    /// net per-key effects — `O(|∆R| log |∆R|)` plus point lookups, never a
+    /// copy of a table — and only then committed. Duplicate-insert of an
+    /// identical tuple and delete-of-already-deleted within the same group
+    /// are tolerated (the paper's ∆V→∆R translation can legitimately produce
+    /// overlapping ops for shared subtrees).
     pub fn apply(&mut self, update: &GroupUpdate) -> RelResult<()> {
-        // Validate on clones of only the touched tables.
-        let mut shadows: BTreeMap<&str, Table> = BTreeMap::new();
+        // Phase 1: validate. `overlay` maps (table, key) to the row the
+        // group leaves there (`None` = deleted); a key absent from the
+        // overlay still has its live-table value.
+        let mut overlay: BTreeMap<(&str, Tuple), Option<Tuple>> = BTreeMap::new();
         for op in update.ops() {
-            let name = op.table();
-            if !shadows.contains_key(name) {
-                shadows.insert(name, self.table(name)?.clone());
-            }
-        }
-        for op in update.ops() {
-            let shadow = shadows.get_mut(op.table()).expect("shadow exists");
+            let table = self.table(op.table())?;
             match op {
                 TupleOp::Insert { tuple, .. } => {
-                    shadow.insert(tuple.clone())?;
+                    table.schema().check_tuple(tuple)?;
+                    let key = table.schema().key_of(tuple);
+                    let current = match overlay.get(&(op.table(), key.clone())) {
+                        Some(pending) => pending.clone(),
+                        None => table.get(&key).cloned(),
+                    };
+                    match current {
+                        Some(existing) if existing == *tuple => {} // set semantics
+                        Some(_) => {
+                            return Err(RelError::DuplicateKey {
+                                table: op.table().into(),
+                            })
+                        }
+                        None => {
+                            overlay.insert((op.table(), key), Some(tuple.clone()));
+                        }
+                    }
                 }
                 TupleOp::Delete { key, .. } => {
-                    // Tolerate double-deletes within a group.
-                    if shadow.contains_key(key) {
-                        shadow.delete(key)?;
+                    overlay.insert((op.table(), key.clone()), None);
+                }
+            }
+        }
+        // Phase 2: commit the net effects (copy-on-write clones each touched
+        // table at most once).
+        for ((name, key), effect) in overlay {
+            let table = self.table_mut(name)?;
+            match effect {
+                Some(tuple) => {
+                    // A delete-then-insert of the same key nets out to a row
+                    // replacement.
+                    if table.get(&key) != Some(&tuple) {
+                        if table.contains_key(&key) {
+                            table.delete(&key)?;
+                        }
+                        table.insert(tuple)?;
+                    }
+                }
+                None => {
+                    if table.contains_key(&key) {
+                        table.delete(&key)?;
                     }
                 }
             }
-        }
-        // Commit.
-        for (name, table) in shadows {
-            self.tables.insert(name.to_owned(), table);
         }
         Ok(())
     }
@@ -111,9 +152,20 @@ mod tests {
 
     fn db() -> Database {
         let mut d = Database::new();
-        d.create_table(schema("course").col_str("cno").col_str("title").key(&["cno"])).unwrap();
-        d.create_table(schema("prereq").col_str("cno1").col_str("cno2").key(&["cno1", "cno2"]))
-            .unwrap();
+        d.create_table(
+            schema("course")
+                .col_str("cno")
+                .col_str("title")
+                .key(&["cno"]),
+        )
+        .unwrap();
+        d.create_table(
+            schema("prereq")
+                .col_str("cno1")
+                .col_str("cno2")
+                .key(&["cno1", "cno2"]),
+        )
+        .unwrap();
         d
     }
 
@@ -123,7 +175,10 @@ mod tests {
         assert!(d.has_table("course"));
         assert!(!d.has_table("student"));
         assert!(d.table("missing").is_err());
-        assert_eq!(d.table_names().collect::<Vec<_>>(), vec!["course", "prereq"]);
+        assert_eq!(
+            d.table_names().collect::<Vec<_>>(),
+            vec!["course", "prereq"]
+        );
     }
 
     #[test]
@@ -150,7 +205,8 @@ mod tests {
     #[test]
     fn apply_is_atomic_on_failure() {
         let mut d = db();
-        d.insert("course", tuple!["CS240", "Data Structures"]).unwrap();
+        d.insert("course", tuple!["CS240", "Data Structures"])
+            .unwrap();
         let mut g = GroupUpdate::new();
         g.insert("course", tuple!["CS320", "Algorithms"]);
         // Conflicts with the existing CS240 row (same key, different payload).
@@ -164,11 +220,15 @@ mod tests {
     #[test]
     fn apply_tolerates_double_delete() {
         let mut d = db();
-        d.insert("course", tuple!["CS240", "Data Structures"]).unwrap();
+        d.insert("course", tuple!["CS240", "Data Structures"])
+            .unwrap();
         let mut g = GroupUpdate::new();
         g.delete("course", tuple!["CS240"]);
         // The same logical delete appearing again must not abort the group.
-        g.push(TupleOp::Delete { table: "course".into(), key: tuple!["CS240"] });
+        g.push(TupleOp::Delete {
+            table: "course".into(),
+            key: tuple!["CS240"],
+        });
         d.apply(&g).unwrap();
         assert!(d.table("course").unwrap().is_empty());
     }

@@ -11,7 +11,11 @@ pub enum RelError {
     /// A column name was not found in a table schema.
     UnknownColumn { table: String, column: String },
     /// A tuple's arity does not match the schema.
-    ArityMismatch { table: String, expected: usize, got: usize },
+    ArityMismatch {
+        table: String,
+        expected: usize,
+        got: usize,
+    },
     /// A tuple value's type does not match the column type.
     TypeMismatch { table: String, column: String },
     /// A value is outside the declared column domain.
@@ -37,8 +41,15 @@ impl fmt::Display for RelError {
             RelError::UnknownColumn { table, column } => {
                 write!(f, "unknown column `{column}` in table `{table}`")
             }
-            RelError::ArityMismatch { table, expected, got } => {
-                write!(f, "arity mismatch for `{table}`: expected {expected} values, got {got}")
+            RelError::ArityMismatch {
+                table,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "arity mismatch for `{table}`: expected {expected} values, got {got}"
+                )
             }
             RelError::TypeMismatch { table, column } => {
                 write!(f, "type mismatch for `{table}.{column}`")
@@ -75,7 +86,10 @@ mod tests {
     fn errors_display_table_names() {
         let e = RelError::UnknownTable("course".into());
         assert!(e.to_string().contains("course"));
-        let e = RelError::UnknownColumn { table: "t".into(), column: "c".into() };
+        let e = RelError::UnknownColumn {
+            table: "t".into(),
+            column: "c".into(),
+        };
         assert!(e.to_string().contains('c'));
     }
 

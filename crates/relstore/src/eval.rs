@@ -53,7 +53,10 @@ impl SchemaProvider for Augmented<'_> {
 
 impl TableSource for Augmented<'_> {
     fn table_src(&self, name: &str) -> Option<&Table> {
-        self.primary.table(name).ok().or_else(|| self.secondary.table(name).ok())
+        self.primary
+            .table(name)
+            .ok()
+            .or_else(|| self.secondary.table(name).ok())
     }
 }
 
@@ -69,9 +72,11 @@ fn bind_operand(op: &Operand, params: &[Value]) -> RelResult<Result<Value, ColRe
     match op {
         Operand::Col(c) => Ok(Err(*c)),
         Operand::Const(v) => Ok(Ok(v.clone())),
-        Operand::Param(i) => {
-            params.get(*i).cloned().map(Ok).ok_or(RelError::UnboundParam(*i))
-        }
+        Operand::Param(i) => params
+            .get(*i)
+            .cloned()
+            .map(Ok)
+            .ok_or(RelError::UnboundParam(*i)),
     }
 }
 
@@ -380,18 +385,40 @@ mod tests {
     fn registrar() -> Database {
         let mut db = Database::new();
         db.create_table(
-            schema("course").col_str("cno").col_str("title").col_str("dept").key(&["cno"]),
+            schema("course")
+                .col_str("cno")
+                .col_str("title")
+                .col_str("dept")
+                .key(&["cno"]),
         )
         .unwrap();
         db.create_table(
-            schema("prereq").col_str("cno1").col_str("cno2").key(&["cno1", "cno2"]),
+            schema("prereq")
+                .col_str("cno1")
+                .col_str("cno2")
+                .key(&["cno1", "cno2"]),
         )
         .unwrap();
-        db.create_table(schema("student").col_str("ssn").col_str("name").key(&["ssn"])).unwrap();
-        db.create_table(schema("enroll").col_str("ssn").col_str("cno").key(&["ssn", "cno"]))
-            .unwrap();
-        for c in [("CS650", "Advanced DB", "CS"), ("CS320", "Algorithms", "CS"),
-                  ("CS240", "Data Structures", "CS"), ("MA100", "Calculus", "Math")] {
+        db.create_table(
+            schema("student")
+                .col_str("ssn")
+                .col_str("name")
+                .key(&["ssn"]),
+        )
+        .unwrap();
+        db.create_table(
+            schema("enroll")
+                .col_str("ssn")
+                .col_str("cno")
+                .key(&["ssn", "cno"]),
+        )
+        .unwrap();
+        for c in [
+            ("CS650", "Advanced DB", "CS"),
+            ("CS320", "Algorithms", "CS"),
+            ("CS240", "Data Structures", "CS"),
+            ("MA100", "Calculus", "Math"),
+        ] {
             db.insert("course", tuple![c.0, c.1, c.2]).unwrap();
         }
         for p in [("CS650", "CS320"), ("CS320", "CS240")] {
@@ -465,7 +492,10 @@ mod tests {
             .project(("c", "title"), "t")
             .build(&db)
             .unwrap();
-        assert!(matches!(eval_spj(&db, &q, &[]), Err(RelError::UnboundParam(0))));
+        assert!(matches!(
+            eval_spj(&db, &q, &[]),
+            Err(RelError::UnboundParam(0))
+        ));
     }
 
     #[test]
@@ -511,7 +541,8 @@ mod tests {
     #[test]
     fn local_col_col_predicate() {
         let mut db = Database::new();
-        db.create_table(schema("pairs").col_int("a").col_int("b").key(&["a"])).unwrap();
+        db.create_table(schema("pairs").col_int("a").col_int("b").key(&["a"]))
+            .unwrap();
         db.insert("pairs", tuple![1i64, 1i64]).unwrap();
         db.insert("pairs", tuple![2i64, 3i64]).unwrap();
         let q = SpjQuery::builder("diag")
@@ -526,8 +557,10 @@ mod tests {
     #[test]
     fn cartesian_product_when_no_join_predicate() {
         let mut db = Database::new();
-        db.create_table(schema("l").col_int("x").key(&["x"])).unwrap();
-        db.create_table(schema("r").col_int("y").key(&["y"])).unwrap();
+        db.create_table(schema("l").col_int("x").key(&["x"]))
+            .unwrap();
+        db.create_table(schema("r").col_int("y").key(&["y"]))
+            .unwrap();
         db.insert("l", tuple![1i64]).unwrap();
         db.insert("l", tuple![2i64]).unwrap();
         db.insert("r", tuple![10i64]).unwrap();

@@ -31,9 +31,12 @@ pub fn deletable_source(
     provider: &impl SchemaProvider,
     t: &Tuple,
 ) -> RelResult<Vec<SourceRef>> {
-    let positions = query
-        .source_key_positions(provider)?
-        .ok_or_else(|| RelError::NotKeyPreserving { query: query.name().into() })?;
+    let positions =
+        query
+            .source_key_positions(provider)?
+            .ok_or_else(|| RelError::NotKeyPreserving {
+                query: query.name().into(),
+            })?;
     if t.arity() != query.out_arity() {
         return Err(RelError::ArityMismatch {
             table: query.name().into(),
@@ -145,7 +148,10 @@ pub fn closure_source_keys(
                 None => return Ok(None),
             }
         }
-        let sr = SourceRef { table: tr.table.clone(), key: Tuple::from_values(key_vals) };
+        let sr = SourceRef {
+            table: tr.table.clone(),
+            key: Tuple::from_values(key_vals),
+        };
         if !result.contains(&sr) {
             result.push(sr);
         }
@@ -168,13 +174,24 @@ mod tests {
     fn db() -> Database {
         let mut db = Database::new();
         db.create_table(
-            schema("course").col_str("cno").col_str("title").col_str("dept").key(&["cno"]),
+            schema("course")
+                .col_str("cno")
+                .col_str("title")
+                .col_str("dept")
+                .key(&["cno"]),
         )
         .unwrap();
-        db.create_table(schema("prereq").col_str("cno1").col_str("cno2").key(&["cno1", "cno2"]))
+        db.create_table(
+            schema("prereq")
+                .col_str("cno1")
+                .col_str("cno2")
+                .key(&["cno1", "cno2"]),
+        )
+        .unwrap();
+        db.insert("course", tuple!["CS650", "Advanced DB", "CS"])
             .unwrap();
-        db.insert("course", tuple!["CS650", "Advanced DB", "CS"]).unwrap();
-        db.insert("course", tuple!["CS320", "Algorithms", "CS"]).unwrap();
+        db.insert("course", tuple!["CS320", "Algorithms", "CS"])
+            .unwrap();
         db.insert("prereq", tuple!["CS650", "CS320"]).unwrap();
         db
     }
@@ -200,8 +217,20 @@ mod tests {
         assert_eq!(rows.len(), 1);
         let srcs = deletable_source(&q, &db, &rows[0]).unwrap();
         assert_eq!(srcs.len(), 2);
-        assert_eq!(srcs[0], SourceRef { table: "prereq".into(), key: tuple!["CS650", "CS320"] });
-        assert_eq!(srcs[1], SourceRef { table: "course".into(), key: tuple!["CS320"] });
+        assert_eq!(
+            srcs[0],
+            SourceRef {
+                table: "prereq".into(),
+                key: tuple!["CS650", "CS320"]
+            }
+        );
+        assert_eq!(
+            srcs[1],
+            SourceRef {
+                table: "course".into(),
+                key: tuple!["CS320"]
+            }
+        );
         // Both resolve to live tuples.
         for s in &srcs {
             assert!(resolve_source(&db, s).unwrap().is_some());
@@ -251,10 +280,10 @@ mod tests {
 #[cfg(test)]
 mod closure_tests {
     use super::*;
+    use crate::database::Database;
     use crate::schema::schema;
     use crate::spj::SpjQuery;
     use crate::tuple;
-    use crate::database::Database;
 
     /// The Q_edge_takenBy_student shape: the enroll key (ssn, cno) is only
     /// determined through equality with projected columns.
@@ -274,10 +303,22 @@ mod closure_tests {
 
     fn db() -> Database {
         let mut db = Database::new();
-        db.create_table(schema("gen_takenBy").col_str("cno").key(&["cno"])).unwrap();
-        db.create_table(schema("enroll").col_str("ssn").col_str("cno").key(&["ssn", "cno"]))
+        db.create_table(schema("gen_takenBy").col_str("cno").key(&["cno"]))
             .unwrap();
-        db.create_table(schema("student").col_str("ssn").col_str("name").key(&["ssn"])).unwrap();
+        db.create_table(
+            schema("enroll")
+                .col_str("ssn")
+                .col_str("cno")
+                .key(&["ssn", "cno"]),
+        )
+        .unwrap();
+        db.create_table(
+            schema("student")
+                .col_str("ssn")
+                .col_str("name")
+                .key(&["ssn"]),
+        )
+        .unwrap();
         db
     }
 
@@ -290,8 +331,20 @@ mod closure_tests {
         let out = tuple!["CS650", "S01", "Alice"];
         let srcs = closure_source_keys(&q, &db, &out, &[0]).unwrap().unwrap();
         assert_eq!(srcs.len(), 2);
-        assert_eq!(srcs[0], SourceRef { table: "enroll".into(), key: tuple!["S01", "CS650"] });
-        assert_eq!(srcs[1], SourceRef { table: "student".into(), key: tuple!["S01"] });
+        assert_eq!(
+            srcs[0],
+            SourceRef {
+                table: "enroll".into(),
+                key: tuple!["S01", "CS650"]
+            }
+        );
+        assert_eq!(
+            srcs[1],
+            SourceRef {
+                table: "student".into(),
+                key: tuple!["S01"]
+            }
+        );
     }
 
     #[test]
@@ -307,26 +360,32 @@ mod closure_tests {
     #[test]
     fn constant_predicates_supply_key_values() {
         let mut db = Database::new();
-        db.create_table(schema("t").col_str("k").col_str("v").key(&["k"])).unwrap();
+        db.create_table(schema("t").col_str("k").col_str("v").key(&["k"]))
+            .unwrap();
         let q = SpjQuery::builder("q")
             .from("t", "t")
             .where_col_eq_const(("t", "k"), "fixed")
             .project(("t", "v"), "v")
             .build(&db)
             .unwrap();
-        let srcs = closure_source_keys(&q, &db, &tuple!["payload"], &[]).unwrap().unwrap();
+        let srcs = closure_source_keys(&q, &db, &tuple!["payload"], &[])
+            .unwrap()
+            .unwrap();
         assert_eq!(srcs[0].key, tuple!["fixed"]);
     }
 
     #[test]
     fn undeterminable_key_returns_none() {
         let mut db = Database::new();
-        db.create_table(schema("t").col_str("k").col_str("v").key(&["k"])).unwrap();
+        db.create_table(schema("t").col_str("k").col_str("v").key(&["k"]))
+            .unwrap();
         let q = SpjQuery::builder("q")
             .from("t", "t")
             .project(("t", "v"), "v")
             .build(&db)
             .unwrap();
-        assert!(closure_source_keys(&q, &db, &tuple!["payload"], &[]).unwrap().is_none());
+        assert!(closure_source_keys(&q, &db, &tuple!["payload"], &[])
+            .unwrap()
+            .is_none());
     }
 }

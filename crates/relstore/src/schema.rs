@@ -18,12 +18,20 @@ pub struct ColumnDef {
 impl ColumnDef {
     /// A column over an infinite domain.
     pub fn new(name: impl Into<String>, ty: ValueType) -> Self {
-        ColumnDef { name: name.into(), ty, domain: Domain::Infinite }
+        ColumnDef {
+            name: name.into(),
+            ty,
+            domain: Domain::Infinite,
+        }
     }
 
     /// A column over an explicitly finite domain.
     pub fn with_domain(name: impl Into<String>, ty: ValueType, domain: Domain) -> Self {
-        ColumnDef { name: name.into(), ty, domain }
+        ColumnDef {
+            name: name.into(),
+            ty,
+            domain,
+        }
     }
 }
 
@@ -56,7 +64,11 @@ impl TableSchema {
         }
         let mut seen_names = std::collections::BTreeSet::new();
         for c in &columns {
-            assert!(seen_names.insert(c.name.clone()), "duplicate column `{}` in `{name}`", c.name);
+            assert!(
+                seen_names.insert(c.name.clone()),
+                "duplicate column `{}` in `{name}`",
+                c.name
+            );
         }
         TableSchema { name, columns, key }
     }
@@ -86,7 +98,10 @@ impl TableSchema {
         self.columns
             .iter()
             .position(|c| c.name == name)
-            .ok_or_else(|| RelError::UnknownColumn { table: self.name.clone(), column: name.into() })
+            .ok_or_else(|| RelError::UnknownColumn {
+                table: self.name.clone(),
+                column: name.into(),
+            })
     }
 
     /// Extracts the primary-key values of a tuple (assumed schema-valid).
@@ -134,7 +149,10 @@ pub struct SchemaBuilder {
 
 /// Starts building a [`TableSchema`].
 pub fn schema(name: impl Into<String>) -> SchemaBuilder {
-    SchemaBuilder { name: name.into(), columns: Vec::new() }
+    SchemaBuilder {
+        name: name.into(),
+        columns: Vec::new(),
+    }
 }
 
 impl SchemaBuilder {
@@ -152,7 +170,11 @@ impl SchemaBuilder {
 
     /// Adds a boolean column (finite domain).
     pub fn col_bool(mut self, name: impl Into<String>) -> Self {
-        self.columns.push(ColumnDef::with_domain(name, ValueType::Bool, Domain::boolean()));
+        self.columns.push(ColumnDef::with_domain(
+            name,
+            ValueType::Bool,
+            Domain::boolean(),
+        ));
         self
     }
 
@@ -163,7 +185,8 @@ impl SchemaBuilder {
         ty: ValueType,
         values: Vec<Value>,
     ) -> Self {
-        self.columns.push(ColumnDef::with_domain(name, ty, Domain::Finite(values)));
+        self.columns
+            .push(ColumnDef::with_domain(name, ty, Domain::Finite(values)));
         self
     }
 
@@ -190,7 +213,11 @@ mod tests {
     use super::*;
 
     fn course() -> TableSchema {
-        schema("course").col_str("cno").col_str("title").col_str("dept").key(&["cno"])
+        schema("course")
+            .col_str("cno")
+            .col_str("title")
+            .col_str("dept")
+            .key(&["cno"])
     }
 
     #[test]
@@ -207,14 +234,23 @@ mod tests {
     fn col_index_resolves_and_errors() {
         let s = course();
         assert_eq!(s.col_index("title").unwrap(), 1);
-        assert!(matches!(s.col_index("nope"), Err(RelError::UnknownColumn { .. })));
+        assert!(matches!(
+            s.col_index("nope"),
+            Err(RelError::UnknownColumn { .. })
+        ));
     }
 
     #[test]
     fn key_of_extracts_key_values() {
-        let s = schema("enroll").col_str("ssn").col_str("cno").key(&["ssn", "cno"]);
+        let s = schema("enroll")
+            .col_str("ssn")
+            .col_str("cno")
+            .key(&["ssn", "cno"]);
         let t = Tuple::from_values([Value::from("s1"), Value::from("c1")]);
-        assert_eq!(s.key_of(&t).values(), &[Value::from("s1"), Value::from("c1")]);
+        assert_eq!(
+            s.key_of(&t).values(),
+            &[Value::from("s1"), Value::from("c1")]
+        );
     }
 
     #[test]
@@ -223,9 +259,15 @@ mod tests {
         let ok = Tuple::from_values([Value::from("c1"), Value::from("t"), Value::from("CS")]);
         assert!(s.check_tuple(&ok).is_ok());
         let short = Tuple::from_values([Value::from("c1")]);
-        assert!(matches!(s.check_tuple(&short), Err(RelError::ArityMismatch { .. })));
+        assert!(matches!(
+            s.check_tuple(&short),
+            Err(RelError::ArityMismatch { .. })
+        ));
         let wrong = Tuple::from_values([Value::Int(1), Value::from("t"), Value::from("CS")]);
-        assert!(matches!(s.check_tuple(&wrong), Err(RelError::TypeMismatch { .. })));
+        assert!(matches!(
+            s.check_tuple(&wrong),
+            Err(RelError::TypeMismatch { .. })
+        ));
     }
 
     #[test]
@@ -237,7 +279,10 @@ mod tests {
         let ok = Tuple::from_values([Value::from("a"), Value::Int(1)]);
         assert!(s.check_tuple(&ok).is_ok());
         let bad = Tuple::from_values([Value::from("a"), Value::Int(9)]);
-        assert!(matches!(s.check_tuple(&bad), Err(RelError::DomainViolation { .. })));
+        assert!(matches!(
+            s.check_tuple(&bad),
+            Err(RelError::DomainViolation { .. })
+        ));
     }
 
     #[test]

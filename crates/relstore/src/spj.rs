@@ -107,7 +107,14 @@ impl SpjQuery {
         n_params: usize,
         provider: &impl SchemaProvider,
     ) -> RelResult<SpjQuery> {
-        let q = SpjQuery { name: name.into(), from, predicates, projection, out_names, n_params };
+        let q = SpjQuery {
+            name: name.into(),
+            from,
+            predicates,
+            projection,
+            out_names,
+            n_params,
+        };
         q.validate(provider)?;
         Ok(q)
     }
@@ -234,7 +241,10 @@ impl SpjQuery {
     /// column indices in range, params bound below `n_params`).
     pub fn validate(&self, provider: &impl SchemaProvider) -> RelResult<()> {
         if self.from.is_empty() {
-            return Err(RelError::MalformedQuery(format!("{}: empty FROM", self.name)));
+            return Err(RelError::MalformedQuery(format!(
+                "{}: empty FROM",
+                self.name
+            )));
         }
         let mut aliases = std::collections::BTreeSet::new();
         for tr in &self.from {
@@ -303,11 +313,7 @@ impl SpjBuilder {
     }
 
     /// Adds predicate `alias.col = other_alias.other_col`.
-    pub fn where_col_eq_col(
-        mut self,
-        left: (&str, &str),
-        right: (&str, &str),
-    ) -> Self {
+    pub fn where_col_eq_col(mut self, left: (&str, &str), right: (&str, &str)) -> Self {
         self.predicates.push((
             NamedOperand::Col(left.0.into(), left.1.into()),
             NamedOperand::Col(right.0.into(), right.1.into()),
@@ -336,7 +342,8 @@ impl SpjBuilder {
 
     /// Projects `alias.col` under output name `out_name`.
     pub fn project(mut self, col: (&str, &str), out_name: impl Into<String>) -> Self {
-        self.projection.push(((col.0.into(), col.1.into()), out_name.into()));
+        self.projection
+            .push(((col.0.into(), col.1.into()), out_name.into()));
         self
     }
 
@@ -351,16 +358,25 @@ impl SpjBuilder {
         let from: Vec<TableRef> = self
             .from
             .iter()
-            .map(|(t, a)| TableRef { table: t.clone(), alias: a.clone() })
+            .map(|(t, a)| TableRef {
+                table: t.clone(),
+                alias: a.clone(),
+            })
             .collect();
         let resolve = |alias: &str, col: &str| -> RelResult<ColRef> {
-            let rel = from.iter().position(|tr| tr.alias == alias).ok_or_else(|| {
-                RelError::MalformedQuery(format!("{}: unknown alias `{alias}`", self.name))
-            })?;
+            let rel = from
+                .iter()
+                .position(|tr| tr.alias == alias)
+                .ok_or_else(|| {
+                    RelError::MalformedQuery(format!("{}: unknown alias `{alias}`", self.name))
+                })?;
             let schema = provider
                 .schema_of(&from[rel].table)
                 .ok_or_else(|| RelError::UnknownTable(from[rel].table.clone()))?;
-            Ok(ColRef { rel, col: schema.col_index(col)? })
+            Ok(ColRef {
+                rel,
+                col: schema.col_index(col)?,
+            })
         };
         let mut predicates = Vec::with_capacity(self.predicates.len());
         for (l, r) in &self.predicates {
@@ -371,7 +387,10 @@ impl SpjBuilder {
                     NamedOperand::Param(i) => Operand::Param(*i),
                 })
             };
-            predicates.push(EqPred { left: conv(l)?, right: conv(r)? });
+            predicates.push(EqPred {
+                left: conv(l)?,
+                right: conv(r)?,
+            });
         }
         let mut projection = Vec::with_capacity(self.projection.len());
         let mut out_names = Vec::with_capacity(self.projection.len());
@@ -399,8 +418,15 @@ mod tests {
 
     fn schemas() -> Vec<TableSchema> {
         vec![
-            schema("course").col_str("cno").col_str("title").col_str("dept").key(&["cno"]),
-            schema("prereq").col_str("cno1").col_str("cno2").key(&["cno1", "cno2"]),
+            schema("course")
+                .col_str("cno")
+                .col_str("title")
+                .col_str("dept")
+                .key(&["cno"]),
+            schema("prereq")
+                .col_str("cno1")
+                .col_str("cno2")
+                .key(&["cno1", "cno2"]),
         ]
     }
 
@@ -423,7 +449,10 @@ mod tests {
         assert_eq!(q.from().len(), 2);
         assert_eq!(q.n_params(), 1);
         assert_eq!(q.out_names(), &["cno".to_string(), "title".to_string()]);
-        assert_eq!(q.out_types(&s).unwrap(), vec![ValueType::Str, ValueType::Str]);
+        assert_eq!(
+            q.out_types(&s).unwrap(),
+            vec![ValueType::Str, ValueType::Str]
+        );
     }
 
     #[test]

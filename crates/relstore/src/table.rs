@@ -19,7 +19,10 @@ pub struct Table {
 impl Table {
     /// Creates an empty table.
     pub fn new(schema: TableSchema) -> Self {
-        Table { schema, rows: BTreeMap::new() }
+        Table {
+            schema,
+            rows: BTreeMap::new(),
+        }
     }
 
     /// The table's schema.
@@ -45,7 +48,9 @@ impl Table {
         let key = self.schema.key_of(&tuple);
         match self.rows.get(&key) {
             Some(existing) if *existing == tuple => Ok(false),
-            Some(_) => Err(RelError::DuplicateKey { table: self.schema.name().into() }),
+            Some(_) => Err(RelError::DuplicateKey {
+                table: self.schema.name().into(),
+            }),
             None => {
                 self.rows.insert(key, tuple);
                 Ok(true)
@@ -55,9 +60,9 @@ impl Table {
 
     /// Deletes the tuple with the given primary key. Errors if absent.
     pub fn delete(&mut self, key: &Tuple) -> RelResult<Tuple> {
-        self.rows
-            .remove(key)
-            .ok_or_else(|| RelError::MissingKey { table: self.schema.name().into() })
+        self.rows.remove(key).ok_or_else(|| RelError::MissingKey {
+            table: self.schema.name().into(),
+        })
     }
 
     /// Looks up a tuple by primary key.
@@ -105,7 +110,12 @@ mod tests {
     use crate::tuple;
 
     fn course_table() -> Table {
-        Table::new(schema("course").col_str("cno").col_str("title").key(&["cno"]))
+        Table::new(
+            schema("course")
+                .col_str("cno")
+                .col_str("title")
+                .key(&["cno"]),
+        )
     }
 
     #[test]
@@ -113,7 +123,10 @@ mod tests {
         let mut t = course_table();
         assert!(t.insert(tuple!["CS320", "Algorithms"]).unwrap());
         assert_eq!(t.len(), 1);
-        assert_eq!(t.get(&tuple!["CS320"]).unwrap(), &tuple!["CS320", "Algorithms"]);
+        assert_eq!(
+            t.get(&tuple!["CS320"]).unwrap(),
+            &tuple!["CS320", "Algorithms"]
+        );
     }
 
     #[test]
@@ -138,9 +151,15 @@ mod tests {
     fn delete_removes_and_errors_when_absent() {
         let mut t = course_table();
         t.insert(tuple!["CS320", "Algorithms"]).unwrap();
-        assert_eq!(t.delete(&tuple!["CS320"]).unwrap(), tuple!["CS320", "Algorithms"]);
+        assert_eq!(
+            t.delete(&tuple!["CS320"]).unwrap(),
+            tuple!["CS320", "Algorithms"]
+        );
         assert!(t.is_empty());
-        assert!(matches!(t.delete(&tuple!["CS320"]), Err(RelError::MissingKey { .. })));
+        assert!(matches!(
+            t.delete(&tuple!["CS320"]),
+            Err(RelError::MissingKey { .. })
+        ));
     }
 
     #[test]
@@ -164,7 +183,10 @@ mod tests {
     #[test]
     fn scan_key_prefix_ranges() {
         let mut t = Table::new(
-            crate::schema::schema("H").col_int("h1").col_int("h2").key(&["h1", "h2"]),
+            crate::schema::schema("H")
+                .col_int("h1")
+                .col_int("h2")
+                .key(&["h1", "h2"]),
         );
         for (a, b) in [(1i64, 2i64), (1, 5), (2, 3), (3, 4)] {
             t.insert(tuple![a, b]).unwrap();

@@ -41,10 +41,19 @@ impl fmt::Display for TupleOp {
 /// The paper's translation algorithms always produce homogeneous groups
 /// (only insertions or only deletions, §4.1); [`GroupUpdate`] does not
 /// enforce this, but [`GroupUpdate::is_homogeneous`] reports it.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default)]
 pub struct GroupUpdate {
     ops: Vec<TupleOp>,
+    seen: std::collections::BTreeSet<TupleOp>,
 }
+
+impl PartialEq for GroupUpdate {
+    fn eq(&self, other: &Self) -> bool {
+        self.ops == other.ops
+    }
+}
+
+impl Eq for GroupUpdate {}
 
 impl GroupUpdate {
     /// An empty group update.
@@ -61,21 +70,28 @@ impl GroupUpdate {
         g
     }
 
-    /// Appends an operation, skipping exact duplicates.
+    /// Appends an operation, skipping exact duplicates (set-keyed, so
+    /// building a large group stays `O(n log n)` rather than quadratic).
     pub fn push(&mut self, op: TupleOp) {
-        if !self.ops.contains(&op) {
+        if self.seen.insert(op.clone()) {
             self.ops.push(op);
         }
     }
 
     /// Adds an insertion.
     pub fn insert(&mut self, table: impl Into<String>, tuple: Tuple) {
-        self.push(TupleOp::Insert { table: table.into(), tuple });
+        self.push(TupleOp::Insert {
+            table: table.into(),
+            tuple,
+        });
     }
 
     /// Adds a deletion by key.
     pub fn delete(&mut self, table: impl Into<String>, key: Tuple) {
-        self.push(TupleOp::Delete { table: table.into(), key });
+        self.push(TupleOp::Delete {
+            table: table.into(),
+            key,
+        });
     }
 
     /// The operations in insertion order.
@@ -95,7 +111,9 @@ impl GroupUpdate {
 
     /// Whether all operations are of the same kind (all inserts or all deletes).
     pub fn is_homogeneous(&self) -> bool {
-        self.ops.windows(2).all(|w| w[0].is_insert() == w[1].is_insert())
+        self.ops
+            .windows(2)
+            .all(|w| w[0].is_insert() == w[1].is_insert())
     }
 
     /// Merges another group into this one.

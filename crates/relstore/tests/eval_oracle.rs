@@ -12,19 +12,31 @@ use std::collections::BTreeSet;
 /// Small random database: r1(a,b,c) key a; r2(d,e) key (d,e).
 fn build_db(r1: &[(i64, i64, i64)], r2: &[(i64, i64)]) -> Database {
     let mut db = Database::new();
-    db.create_table(schema("r1").col_int("a").col_int("b").col_int("c").key(&["a"])).unwrap();
-    db.create_table(schema("r2").col_int("d").col_int("e").key(&["d", "e"])).unwrap();
+    db.create_table(
+        schema("r1")
+            .col_int("a")
+            .col_int("b")
+            .col_int("c")
+            .key(&["a"]),
+    )
+    .unwrap();
+    db.create_table(schema("r2").col_int("d").col_int("e").key(&["d", "e"]))
+        .unwrap();
     let mut seen = BTreeSet::new();
     for &(a, b, c) in r1 {
         if seen.insert(a) {
-            db.insert("r1", Tuple::from_values([Value::Int(a), Value::Int(b), Value::Int(c)]))
-                .unwrap();
+            db.insert(
+                "r1",
+                Tuple::from_values([Value::Int(a), Value::Int(b), Value::Int(c)]),
+            )
+            .unwrap();
         }
     }
     let mut seen2 = BTreeSet::new();
     for &(d, e) in r2 {
         if seen2.insert((d, e)) {
-            db.insert("r2", Tuple::from_values([Value::Int(d), Value::Int(e)])).unwrap();
+            db.insert("r2", Tuple::from_values([Value::Int(d), Value::Int(e)]))
+                .unwrap();
         }
     }
     db
@@ -33,8 +45,11 @@ fn build_db(r1: &[(i64, i64, i64)], r2: &[(i64, i64)]) -> Database {
 /// Naive reference: nested loops over the cross product, then filter and
 /// project with set semantics.
 fn naive_eval(db: &Database, q: &SpjQuery, params: &[Value]) -> Vec<Tuple> {
-    let tables: Vec<Vec<Tuple>> =
-        q.from().iter().map(|tr| db.table(&tr.table).unwrap().iter().cloned().collect()).collect();
+    let tables: Vec<Vec<Tuple>> = q
+        .from()
+        .iter()
+        .map(|tr| db.table(&tr.table).unwrap().iter().cloned().collect())
+        .collect();
     let mut offsets = Vec::new();
     let mut width = 0;
     for tr in q.from() {
@@ -60,9 +75,14 @@ fn naive_eval(db: &Database, q: &SpjQuery, params: &[Value]) -> Vec<Tuple> {
                 Operand::Param(i) => params[*i].clone(),
             }
         };
-        if q.predicates().iter().all(|EqPred { left, right }| value_of(left) == value_of(right)) {
+        if q.predicates()
+            .iter()
+            .all(|EqPred { left, right }| value_of(left) == value_of(right))
+        {
             out.insert(Tuple::from_values(
-                q.projection().iter().map(|c| row[offsets[c.rel] + c.col].clone()),
+                q.projection()
+                    .iter()
+                    .map(|c| row[offsets[c.rel] + c.col].clone()),
             ));
         }
         // Advance odometer.

@@ -14,13 +14,19 @@ impl Var {
 
     /// The positive literal of this variable.
     pub fn pos(self) -> Lit {
-        Lit { var: self, positive: true }
+        Lit {
+            var: self,
+            positive: true,
+        }
     }
 
     /// The negative literal of this variable.
     #[allow(clippy::should_implement_trait)] // constructor, not arithmetic negation
     pub fn neg(self) -> Lit {
-        Lit { var: self, positive: false }
+        Lit {
+            var: self,
+            positive: false,
+        }
     }
 }
 
@@ -36,7 +42,10 @@ pub struct Lit {
 impl Lit {
     /// The complementary literal.
     pub fn negated(self) -> Lit {
-        Lit { var: self.var, positive: !self.positive }
+        Lit {
+            var: self.var,
+            positive: !self.positive,
+        }
     }
 
     /// Whether this literal is satisfied under `assignment`.
@@ -65,7 +74,9 @@ pub struct Clause {
 impl Clause {
     /// Builds a clause from literals.
     pub fn new(lits: impl IntoIterator<Item = Lit>) -> Self {
-        Clause { lits: lits.into_iter().collect() }
+        Clause {
+            lits: lits.into_iter().collect(),
+        }
     }
 
     /// Whether the clause is satisfied under `assignment`.
@@ -130,7 +141,10 @@ impl CnfFormula {
     pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) {
         let mut seen: Vec<Lit> = Vec::new();
         for l in lits {
-            assert!(l.var.0 < self.n_vars, "literal references unallocated variable");
+            assert!(
+                l.var.0 < self.n_vars,
+                "literal references unallocated variable"
+            );
             if seen.contains(&l.negated()) {
                 return; // tautology
             }
@@ -188,7 +202,9 @@ pub struct Assignment {
 impl Assignment {
     /// All-false assignment over `n` variables.
     pub fn all_false(n: usize) -> Self {
-        Assignment { values: vec![false; n] }
+        Assignment {
+            values: vec![false; n],
+        }
     }
 
     /// Builds from explicit values.

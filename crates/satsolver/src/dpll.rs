@@ -43,10 +43,7 @@ pub fn dpll(formula: &CnfFormula) -> DpllResult {
     let clauses: Vec<Vec<Lit>> = formula.clauses().iter().map(|c| c.lits.clone()).collect();
     let mut state = vec![VarState::Unassigned; n];
     if solve(&clauses, &mut state) {
-        let values = state
-            .iter()
-            .map(|s| matches!(s, VarState::True))
-            .collect();
+        let values = state.iter().map(|s| matches!(s, VarState::True)).collect();
         let asg = Assignment::from_values(values);
         debug_assert!(formula.eval(&asg));
         DpllResult::Sat(asg)
@@ -98,8 +95,11 @@ fn solve(clauses: &[Vec<Lit>], state: &mut Vec<VarState>) -> bool {
                 }
                 1 => {
                     let l = unassigned.expect("one unassigned literal");
-                    state[l.var.index()] =
-                        if l.positive { VarState::True } else { VarState::False };
+                    state[l.var.index()] = if l.positive {
+                        VarState::True
+                    } else {
+                        VarState::False
+                    };
                     trail.push(l.var);
                     propagated = true;
                 }

@@ -28,7 +28,12 @@ pub struct WalkSatConfig {
 
 impl Default for WalkSatConfig {
     fn default() -> Self {
-        WalkSatConfig { noise: 0.5, max_flips: 100_000, max_tries: 10, seed: 0x5eed }
+        WalkSatConfig {
+            noise: 0.5,
+            max_flips: 100_000,
+            max_tries: 10,
+            seed: 0x5eed,
+        }
     }
 }
 
@@ -93,8 +98,11 @@ pub fn walksat(formula: &CnfFormula, config: &WalkSatConfig) -> WalkSatResult {
         // Random initial assignment.
         let mut asg = Assignment::from_values((0..n).map(|_| rng.gen_bool(0.5)).collect());
         // true-literal counts per clause, and the unsatisfied clause list.
-        let mut true_count: Vec<usize> =
-            formula.clauses().iter().map(|c| c.lits.iter().filter(|l| l.eval(&asg)).count()).collect();
+        let mut true_count: Vec<usize> = formula
+            .clauses()
+            .iter()
+            .map(|c| c.lits.iter().filter(|l| l.eval(&asg)).count())
+            .collect();
         let mut unsat: Vec<usize> = (0..formula.clauses().len())
             .filter(|&ci| true_count[ci] == 0)
             .collect();
@@ -122,8 +130,11 @@ pub fn walksat(formula: &CnfFormula, config: &WalkSatConfig) -> WalkSatResult {
                     let v = l.var;
                     // Flipping v breaks clauses where v currently provides
                     // the only true literal.
-                    let providing =
-                        if asg.get(v) { &occ_pos[v.index()] } else { &occ_neg[v.index()] };
+                    let providing = if asg.get(v) {
+                        &occ_pos[v.index()]
+                    } else {
+                        &occ_neg[v.index()]
+                    };
                     providing.iter().filter(|&&c| true_count[c] == 1).count()
                 })
                 .collect();
@@ -172,7 +183,11 @@ mod tests {
     use crate::cnf::CnfFormula;
 
     fn cfg() -> WalkSatConfig {
-        WalkSatConfig { max_flips: 10_000, max_tries: 5, ..Default::default() }
+        WalkSatConfig {
+            max_flips: 10_000,
+            max_tries: 5,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -245,7 +260,11 @@ mod tests {
             }
             // Force at least one literal to agree with the planted solution.
             let vi = rng.gen_range(0..vars.len());
-            lits.push(if planted[vi] { vars[vi].pos() } else { vars[vi].neg() });
+            lits.push(if planted[vi] {
+                vars[vi].pos()
+            } else {
+                vars[vi].neg()
+            });
             f.add_clause(lits);
         }
         match walksat(&f, &cfg()) {

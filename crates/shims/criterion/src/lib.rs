@@ -1,0 +1,182 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no registry access, so this crate provides the
+//! API subset the workspace's benches use — [`Criterion::benchmark_group`],
+//! `bench_function`, [`Bencher::iter`] / [`Bencher::iter_batched`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros — backed by a plain wall-clock runner. It reports the mean and
+//! best per-iteration time; it does not attempt criterion's statistical
+//! analysis, plotting, or baseline management.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` should treat its per-iteration inputs. All variants
+/// behave identically here (inputs are always materialized one at a time).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: criterion would batch many per measurement.
+    SmallInput,
+    /// Large inputs: criterion would batch few per measurement.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// The top-level bench context.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _parent: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_bench(None, &id.into(), self.sample_size, &mut f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of measured samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; the simple runner is sample-count
+    /// driven, so a time budget has nothing to configure.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility (one warm-up call always runs).
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_bench(Some(&self.name), &id.into(), self.sample_size, &mut f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+fn run_bench(group: Option<&str>, id: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        measurements: Vec::new(),
+    };
+    f(&mut b);
+    let label = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    if b.measurements.is_empty() {
+        println!("{label:<50} (no measurements)");
+        return;
+    }
+    let total: Duration = b.measurements.iter().sum();
+    let mean = total / b.measurements.len() as u32;
+    let best = *b.measurements.iter().min().expect("non-empty");
+    println!(
+        "{label:<50} time: [mean {:>12?}  best {:>12?}  samples {}]",
+        mean,
+        best,
+        b.measurements.len()
+    );
+}
+
+/// Measures closures handed to it by a benchmark function.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    measurements: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `samples` calls of `f` (after one warm-up call).
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        black_box(f());
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.measurements.push(t0.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded
+    /// from the measurement.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.measurements.push(t0.elapsed());
+        }
+    }
+}
+
+/// Declares a bench group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

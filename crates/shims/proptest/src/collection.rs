@@ -1,0 +1,76 @@
+//! Collection strategies (`proptest::collection`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// An inclusive-lower, exclusive-upper length range for collections.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end() + 1,
+        }
+    }
+}
+
+/// Strategy for `Vec<S::Value>` with length drawn from `size`.
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Clone> Clone for VecStrategy<S> {
+    fn clone(&self) -> Self {
+        VecStrategy {
+            element: self.element.clone(),
+            size: self.size,
+        }
+    }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Option<Self::Value> {
+        let len = if self.size.lo + 1 >= self.size.hi {
+            self.size.lo
+        } else {
+            rng.sample(self.size.lo..self.size.hi)
+        };
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.element.gen_value(rng)?);
+        }
+        Some(out)
+    }
+}
+
+/// `vec(element, size)`: a vector whose length is drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}

@@ -1,0 +1,34 @@
+//! Option strategies (`proptest::option`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy for `Option<S::Value>`.
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Clone> Clone for OptionStrategy<S> {
+    fn clone(&self) -> Self {
+        OptionStrategy {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Option<Self::Value> {
+        if rng.bool_with(0.75) {
+            Some(Some(self.inner.gen_value(rng)?))
+        } else {
+            Some(None)
+        }
+    }
+}
+
+/// `of(inner)`: generates `Some` three quarters of the time.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}

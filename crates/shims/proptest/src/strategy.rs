@@ -1,0 +1,262 @@
+//! The [`Strategy`] trait and the core strategy combinators.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A recipe for generating values of `Self::Value`.
+///
+/// `gen_value` returns `None` when a filter rejected too many candidates;
+/// the runner skips such cases.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn gen_value(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Applies `f` to every generated value.
+    fn prop_map<O, F>(self, f: F) -> BoxedStrategy<O>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        O: 'static,
+        F: Fn(Self::Value) -> O + 'static,
+    {
+        BoxedStrategy::new(move |rng| self.gen_value(rng).map(&f))
+    }
+
+    /// Keeps only values satisfying `pred` (bounded retries).
+    fn prop_filter<F>(self, _whence: &'static str, pred: F) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        F: Fn(&Self::Value) -> bool + 'static,
+    {
+        BoxedStrategy::new(move |rng| {
+            for _ in 0..100 {
+                if let Some(v) = self.gen_value(rng) {
+                    if pred(&v) {
+                        return Some(v);
+                    }
+                }
+            }
+            None
+        })
+    }
+
+    /// Builds a recursive strategy: `recurse` wraps the strategy for one
+    /// more level of nesting, up to `depth` levels deep. The `_desired_size`
+    /// and `_expected_branch_size` tuning knobs of real proptest are
+    /// accepted for signature compatibility and ignored.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2 + 'static,
+    {
+        let mut cur = self.boxed();
+        for _ in 0..depth {
+            let leaf = cur.clone();
+            let deeper = recurse(cur).boxed();
+            // Lean toward leaves so expected size stays bounded.
+            cur = BoxedStrategy::new(move |rng: &mut TestRng| {
+                if rng.bool_with(0.4) {
+                    deeper.gen_value(rng)
+                } else {
+                    leaf.gen_value(rng)
+                }
+            });
+        }
+        cur
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy::new(move |rng| self.gen_value(rng))
+    }
+}
+
+/// The generation closure backing a [`BoxedStrategy`].
+type GenFn<T> = dyn Fn(&mut TestRng) -> Option<T>;
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T> {
+    gen: Rc<GenFn<T>>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            gen: Rc::clone(&self.gen),
+        }
+    }
+}
+
+impl<T> BoxedStrategy<T> {
+    /// Wraps a generation closure.
+    pub fn new(f: impl Fn(&mut TestRng) -> Option<T> + 'static) -> Self {
+        BoxedStrategy { gen: Rc::new(f) }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Option<T> {
+        (self.gen)(rng)
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn gen_value(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+/// Uniform choice among strategies of a common value type (see
+/// [`prop_oneof!`](crate::prop_oneof)).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over the given alternatives.
+    ///
+    /// # Panics
+    /// Panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(
+            !options.is_empty(),
+            "prop_oneof! needs at least one alternative"
+        );
+        Union { options }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union {
+            options: self.options.clone(),
+        }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Option<T> {
+        let i = rng.sample(0..self.options.len());
+        self.options[i].gen_value(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.sample(self.clone()))
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn gen_value(&self, rng: &mut TestRng) -> Option<$t> {
+                Some(rng.sample(self.clone()))
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// String literals are strategies generating matches of a regex subset
+/// (character classes and `{m,n}` repetitions — see [`crate::string`]).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Option<String> {
+        Some(crate::string::gen_from_pattern(self, rng))
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn gen_value(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                Some(($(self.$idx.gen_value(rng)?,)+))
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+);
+
+/// Types with a canonical "generate any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Default)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn gen_value(&self, rng: &mut TestRng) -> Option<T> {
+        Some(T::arbitrary(rng))
+    }
+}
+
+/// `any::<T>()`: the unconstrained strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}

@@ -1,0 +1,164 @@
+//! String generation from a small regex subset.
+//!
+//! Real proptest treats `&str` strategies as full regexes via `regex-syntax`.
+//! Offline we support the subset the workspace's tests use: a sequence of
+//! atoms, where an atom is a literal character or a character class
+//! `[...]` (literals, `\`-escapes, and `a-z` ranges), optionally followed by
+//! a `{m}` or `{m,n}` repetition.
+
+use crate::test_runner::TestRng;
+
+struct Atom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> Vec<char> {
+    let mut out = Vec::new();
+    let mut pending: Option<char> = None;
+    while let Some(c) = chars.next() {
+        match c {
+            ']' => {
+                if let Some(p) = pending {
+                    out.push(p);
+                }
+                return out;
+            }
+            '\\' => {
+                if let Some(p) = pending.replace(chars.next().unwrap_or('\\')) {
+                    out.push(p);
+                }
+            }
+            '-' => {
+                // Range if we have a pending start and a following end;
+                // otherwise a literal dash.
+                match (pending.take(), chars.peek().copied()) {
+                    (Some(lo), Some(hi)) if hi != ']' => {
+                        chars.next();
+                        let (lo, hi) = (lo as u32, hi as u32);
+                        for u in lo..=hi {
+                            if let Some(ch) = char::from_u32(u) {
+                                out.push(ch);
+                            }
+                        }
+                    }
+                    (p, _) => {
+                        if let Some(p) = p {
+                            out.push(p);
+                        }
+                        pending = Some('-');
+                    }
+                }
+            }
+            other => {
+                if let Some(p) = pending.replace(other) {
+                    out.push(p);
+                }
+            }
+        }
+    }
+    if let Some(p) = pending {
+        out.push(p);
+    }
+    out
+}
+
+fn parse_repeat(chars: &mut std::iter::Peekable<std::str::Chars<'_>>) -> (usize, usize) {
+    if chars.peek() != Some(&'{') {
+        return (1, 1);
+    }
+    chars.next();
+    let mut spec = String::new();
+    for c in chars.by_ref() {
+        if c == '}' {
+            break;
+        }
+        spec.push(c);
+    }
+    match spec.split_once(',') {
+        Some((m, n)) => {
+            let m = m.trim().parse().unwrap_or(0);
+            let n = n.trim().parse().unwrap_or(m);
+            (m, n)
+        }
+        None => {
+            let m = spec.trim().parse().unwrap_or(1);
+            (m, m)
+        }
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let choices = match c {
+            '[' => parse_class(&mut chars),
+            '\\' => vec![chars.next().unwrap_or('\\')],
+            lit => vec![lit],
+        };
+        let (min, max) = parse_repeat(&mut chars);
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+/// Generates one string matching `pattern`.
+pub fn gen_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for atom in parse_pattern(pattern) {
+        if atom.choices.is_empty() {
+            continue;
+        }
+        let reps = if atom.min >= atom.max {
+            atom.min
+        } else {
+            rng.sample(atom.min..=atom.max)
+        };
+        for _ in 0..reps {
+            out.push(atom.choices[rng.sample(0..atom.choices.len())]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn identifier_pattern() {
+        let mut rng = TestRng::deterministic(3);
+        for _ in 0..200 {
+            let s = gen_from_pattern("[a-z][a-z0-9_]{0,6}", &mut rng);
+            assert!((1..=7).contains(&s.len()), "bad length: {s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn escaped_class_pattern() {
+        let mut rng = TestRng::deterministic(9);
+        for _ in 0..200 {
+            let s = gen_from_pattern("[\\[\\]/=a-z ]{0,12}", &mut rng);
+            assert!(s.len() <= 12);
+            assert!(s
+                .chars()
+                .all(|c| matches!(c, '[' | ']' | '/' | '=' | ' ') || c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn trailing_dash_is_literal() {
+        let mut rng = TestRng::deterministic(1);
+        for _ in 0..200 {
+            let s = gen_from_pattern("[A-Za-z0-9][A-Za-z0-9_.-]{0,8}", &mut rng);
+            assert!((1..=9).contains(&s.len()));
+        }
+    }
+}

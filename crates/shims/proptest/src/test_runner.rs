@@ -1,0 +1,90 @@
+//! Test-runner types: configuration, case errors, and the per-case RNG.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SampleRange, SeedableRng};
+use std::fmt;
+
+/// Runner configuration (only the `cases` knob is honored).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property failed — the whole test fails.
+    Fail(String),
+    /// The input was rejected (e.g. by a filter) — the case is skipped.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given reason.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(r) => write!(f, "{r}"),
+            TestCaseError::Reject(r) => write!(f, "rejected: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// The per-case random source handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Deterministic RNG for case number `case` (reproducible runs).
+    pub fn deterministic(case: u64) -> Self {
+        // Spread case indices so consecutive cases are uncorrelated.
+        TestRng {
+            inner: StdRng::seed_from_u64(
+                case.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xC0FF_EE00_5EED,
+            ),
+        }
+    }
+
+    /// Uniform sample from an integer range.
+    pub fn sample<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        self.inner.gen_range(range)
+    }
+
+    /// Bernoulli sample.
+    pub fn bool_with(&mut self, p: f64) -> bool {
+        self.inner.gen_bool(p)
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

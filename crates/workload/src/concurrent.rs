@@ -1,0 +1,303 @@
+//! Concurrent serving workloads: reader/writer operation mixes with key
+//! skew, plus the parsed-XPath cache they draw from.
+//!
+//! The serving engine's benchmarks and smoke tests need request streams
+//! that look like production traffic rather than §5's batch experiments:
+//! mostly point reads concentrated on a few hot keys (a Zipf-like skew),
+//! interleaved with anchored updates. Because skewed readers re-issue the
+//! same path strings constantly, paths are parsed once through a
+//! [`PathCache`] instead of per operation (re-parsing was this crate's
+//! analogue of the regex-recompilation hot spot called out in the related
+//! platynui-xpath performance review).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rxview_core::{ViewStore, XmlUpdate};
+use rxview_relstore::{Tuple, Value};
+use rxview_xmlkit::xpath::parser::ParseError;
+use rxview_xmlkit::{parse_xpath, XPath};
+use std::collections::HashMap;
+
+/// A memoizing XPath parser: each distinct path string is parsed once.
+#[derive(Debug, Default)]
+pub struct PathCache {
+    map: HashMap<String, XPath>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PathCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        PathCache::default()
+    }
+
+    /// Parses `text`, serving repeats from the cache.
+    pub fn parse(&mut self, text: &str) -> Result<XPath, ParseError> {
+        if let Some(p) = self.map.get(text) {
+            self.hits += 1;
+            return Ok(p.clone());
+        }
+        let p = parse_xpath(text)?;
+        self.misses += 1;
+        self.map.insert(text.to_owned(), p.clone());
+        Ok(p)
+    }
+
+    /// A `delete p` update with the path served from the cache.
+    pub fn delete(&mut self, path: &str) -> Result<XmlUpdate, ParseError> {
+        Ok(XmlUpdate::Delete {
+            path: self.parse(path)?,
+        })
+    }
+
+    /// An `insert (A, t) into p` update with the path served from the cache.
+    pub fn insert(
+        &mut self,
+        ty: impl Into<String>,
+        attr: Tuple,
+        path: &str,
+    ) -> Result<XmlUpdate, ParseError> {
+        Ok(XmlUpdate::Insert {
+            ty: ty.into(),
+            attr,
+            path: self.parse(path)?,
+        })
+    }
+
+    /// Distinct paths parsed so far.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// `(hits, misses)` counters.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+/// Tuning for [`ConcurrentGen`].
+#[derive(Debug, Clone)]
+pub struct ConcurrentConfig {
+    /// Fraction of operations that are reads (0.0–1.0).
+    pub read_fraction: f64,
+    /// Zipf-like skew exponent for key popularity (0.0 = uniform; ~1.0 =
+    /// classic hot-key web traffic).
+    pub skew: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ConcurrentConfig {
+    fn default() -> Self {
+        ConcurrentConfig {
+            read_fraction: 0.9,
+            skew: 0.99,
+            seed: 42,
+        }
+    }
+}
+
+/// One operation of a serving workload.
+#[derive(Debug, Clone)]
+pub enum ServeOp {
+    /// Evaluate a query path against a snapshot.
+    Read(XPath),
+    /// Submit an update.
+    Update(XmlUpdate),
+}
+
+/// Generates an infinite reader/writer operation stream over a published
+/// synthetic view (`db → node*` DTD): skewed anchored reads, plus anchored
+/// insert/delete pairs per key.
+pub struct ConcurrentGen {
+    rng: StdRng,
+    cfg: ConcurrentConfig,
+    cache: PathCache,
+    /// Top-level node ids, rank 0 = hottest.
+    keys: Vec<i64>,
+    /// Cumulative Zipf weights over `keys`.
+    cdf: Vec<f64>,
+    fresh_counter: i64,
+    /// Fresh nodes inserted and not yet deleted, per key index.
+    pending_delete: Vec<Vec<i64>>,
+}
+
+impl ConcurrentGen {
+    /// Builds a generator over the published view (keys are captured at
+    /// construction; the view is not borrowed afterwards).
+    pub fn new(vs: &ViewStore, cfg: ConcurrentConfig) -> Self {
+        let node_ty = vs.atg().dtd().type_id("node").expect("synthetic DTD");
+        let mut keys: Vec<i64> = vs
+            .dag()
+            .children(vs.dag().root())
+            .iter()
+            .filter(|&&v| vs.dag().genid().type_of(v) == node_ty)
+            .map(|&v| vs.dag().genid().attr_of(v)[0].as_int().expect("int id"))
+            .collect();
+        keys.sort_unstable();
+        let mut cdf = Vec::with_capacity(keys.len());
+        let mut acc = 0.0;
+        for r in 0..keys.len() {
+            acc += 1.0 / ((r + 1) as f64).powf(cfg.skew);
+            cdf.push(acc);
+        }
+        let rng = StdRng::seed_from_u64(cfg.seed);
+        let pending_delete = vec![Vec::new(); keys.len()];
+        ConcurrentGen {
+            rng,
+            cfg,
+            cache: PathCache::new(),
+            keys,
+            cdf,
+            fresh_counter: 3_000_000_000,
+            pending_delete,
+        }
+    }
+
+    /// The path cache (inspect hit rates after a run).
+    pub fn cache(&self) -> &PathCache {
+        &self.cache
+    }
+
+    /// Draws a key index with the configured skew.
+    fn sample_key(&mut self) -> usize {
+        let total = *self.cdf.last().expect("non-empty view");
+        let u = self.rng.gen_range(0..u32::MAX) as f64 / u32::MAX as f64 * total;
+        self.cdf
+            .partition_point(|&c| c < u)
+            .min(self.keys.len() - 1)
+    }
+
+    /// The next operation in the stream.
+    pub fn next_op(&mut self) -> ServeOp {
+        let k = self.sample_key();
+        let key = self.keys[k];
+        if self.rng.gen_bool(self.cfg.read_fraction) {
+            // Hot anchored point reads, occasionally a recursive scan.
+            let path = match self.rng.gen_range(0..4usize) {
+                0 => format!("node[id={key}]"),
+                1 => format!("node[id={key}]/sub/node"),
+                2 => format!("node[id={key}]/payload"),
+                _ => format!("node[id={key}]//node"),
+            };
+            ServeOp::Read(self.cache.parse(&path).expect("generated path parses"))
+        } else if let Some(fresh) = (!self.pending_delete[k].is_empty() && self.rng.gen_bool(0.5))
+            .then(|| self.pending_delete[k].pop())
+            .flatten()
+        {
+            let path = format!("node[id={key}]/sub/node[id={fresh}]");
+            ServeOp::Update(self.cache.delete(&path).expect("generated path parses"))
+        } else {
+            self.fresh_counter += 1;
+            let fresh = self.fresh_counter;
+            self.pending_delete[k].push(fresh);
+            let attr = Tuple::from_values([Value::Int(fresh), Value::Int(fresh % 97)]);
+            let path = format!("node[id={key}]/sub");
+            ServeOp::Update(
+                self.cache
+                    .insert("node", attr, &path)
+                    .expect("generated path parses"),
+            )
+        }
+    }
+
+    /// A batch of `count` operations.
+    pub fn ops(&mut self, count: usize) -> Vec<ServeOp> {
+        (0..count).map(|_| self.next_op()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::{synthetic_atg, synthetic_database, SyntheticConfig};
+
+    fn view() -> ViewStore {
+        let cfg = SyntheticConfig::with_size(400);
+        let db = synthetic_database(&cfg);
+        let atg = synthetic_atg(&db).unwrap();
+        ViewStore::publish(atg, &db).unwrap()
+    }
+
+    #[test]
+    fn respects_read_fraction_roughly() {
+        let vs = view();
+        let mut gen = ConcurrentGen::new(&vs, ConcurrentConfig::default());
+        let ops = gen.ops(1000);
+        let reads = ops.iter().filter(|o| matches!(o, ServeOp::Read(_))).count();
+        assert!((800..=980).contains(&reads), "read mix off: {reads}/1000");
+    }
+
+    #[test]
+    fn skew_concentrates_on_hot_keys_and_cache_absorbs_reparsing() {
+        let vs = view();
+        let mut gen = ConcurrentGen::new(
+            &vs,
+            ConcurrentConfig {
+                skew: 1.2,
+                ..Default::default()
+            },
+        );
+        let n = 2000;
+        let _ = gen.ops(n);
+        let (hits, misses) = gen.cache().stats();
+        assert_eq!(hits + misses, n as u64);
+        // Skewed traffic repeats paths: the cache must absorb most parses.
+        assert!(
+            hits > misses * 3,
+            "expected a hot cache, got {hits} hits / {misses} misses"
+        );
+    }
+
+    #[test]
+    fn uniform_skew_still_works() {
+        let vs = view();
+        let mut gen = ConcurrentGen::new(
+            &vs,
+            ConcurrentConfig {
+                skew: 0.0,
+                ..Default::default()
+            },
+        );
+        for op in gen.ops(200) {
+            if let ServeOp::Read(p) = op {
+                assert!(!p.steps.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn updates_apply_against_a_system() {
+        use rxview_core::{SideEffectPolicy, XmlViewSystem};
+        let cfg = SyntheticConfig::with_size(300);
+        let db = synthetic_database(&cfg);
+        let atg = synthetic_atg(&db).unwrap();
+        let mut sys = XmlViewSystem::new(atg, db).unwrap();
+        let ops: Vec<ServeOp> = {
+            let mut gen = ConcurrentGen::new(
+                sys.view(),
+                ConcurrentConfig {
+                    read_fraction: 0.0,
+                    ..Default::default()
+                },
+            );
+            gen.ops(30)
+        };
+        let mut accepted = 0;
+        for op in &ops {
+            if let ServeOp::Update(u) = op {
+                if sys.apply(u, SideEffectPolicy::Proceed).is_ok() {
+                    accepted += 1;
+                }
+            }
+        }
+        assert!(accepted >= 20, "too many rejections: {accepted}/30");
+        sys.consistency_check().unwrap();
+    }
+}

@@ -4,14 +4,18 @@
 //! - [`synthetic`]: the `C`/`F`/`H`/`CU` generator, the recursive view of
 //!   Fig.10(a), and Fig.10(b)-style dataset statistics;
 //! - [`workloads`]: the W1/W2/W3 insertion and deletion workloads;
+//! - [`concurrent`]: reader/writer serving mixes with key skew and the
+//!   parsed-XPath cache, for the `rxview-engine` benchmarks;
 //! - the registrar running example is re-exported from `rxview-atg`.
 
 #![warn(missing_docs)]
 
+pub mod concurrent;
 pub mod registrar_gen;
 pub mod synthetic;
 pub mod workloads;
 
+pub use concurrent::{ConcurrentConfig, ConcurrentGen, PathCache, ServeOp};
 pub use registrar_gen::{registrar_scale, registrar_scale_database, RegistrarConfig};
 pub use rxview_atg::{registrar_atg, registrar_database};
 pub use synthetic::{

@@ -176,7 +176,13 @@ mod tests {
         let cfg = RegistrarConfig::with_courses(80);
         let a = registrar_scale_database(&cfg);
         let b = registrar_scale_database(&cfg);
-        assert_eq!(a.table("prereq").unwrap().len(), b.table("prereq").unwrap().len());
-        assert_eq!(a.table("enroll").unwrap().len(), b.table("enroll").unwrap().len());
+        assert_eq!(
+            a.table("prereq").unwrap().len(),
+            b.table("prereq").unwrap().len()
+        );
+        assert_eq!(
+            a.table("enroll").unwrap().len(),
+            b.table("enroll").unwrap().len()
+        );
     }
 }

@@ -232,7 +232,8 @@ fn synthetic_schema(db: &mut Database) {
 pub fn synthetic_dtd() -> Dtd {
     let mut b = Dtd::builder("db");
     b.star("db", "node").expect("fresh builder");
-    b.sequence("node", &["id", "payload", "sub"]).expect("fresh builder");
+    b.sequence("node", &["id", "payload", "sub"])
+        .expect("fresh builder");
     b.star("sub", "node").expect("fresh builder");
     b.build().expect("valid DTD")
 }
@@ -329,7 +330,10 @@ pub fn dataset_stats(
 ) -> DatasetStats {
     let node_ty = vs.atg().dtd().type_id("node").expect("synthetic DTD");
     let node_ids: Vec<_> = vs.dag().genid().ids_of_type(node_ty).collect();
-    let shared = node_ids.iter().filter(|&&v| vs.dag().parents(v).len() > 1).count();
+    let shared = node_ids
+        .iter()
+        .filter(|&&v| vs.dag().parents(v).len() > 1)
+        .count();
     // Path counts in topological order (children first): paths(v) = Σ paths(parent).
     let mut paths: std::collections::HashMap<rxview_atg::NodeId, u128> =
         std::collections::HashMap::new();
@@ -342,10 +346,9 @@ pub fn dataset_stats(
             // Occurrence counts can be astronomically large (the paper's
             // "at times even exponentially smaller" compression claim), so
             // saturate.
-            vs.dag()
-                .parents(v)
-                .iter()
-                .fold(0u128, |acc, u| acc.saturating_add(paths.get(u).copied().unwrap_or(0)))
+            vs.dag().parents(v).iter().fold(0u128, |acc, u| {
+                acc.saturating_add(paths.get(u).copied().unwrap_or(0))
+            })
         };
         paths.insert(v, p);
         tree_nodes = tree_nodes.saturating_add(p);

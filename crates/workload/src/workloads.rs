@@ -52,6 +52,8 @@ pub struct WorkloadGen<'a> {
     node_ty: rxview_xmlkit::TypeId,
     sub_ty: rxview_xmlkit::TypeId,
     fresh_counter: i64,
+    /// Repeated path shapes (same root / same target) are parsed once.
+    cache: crate::concurrent::PathCache,
 }
 
 impl<'a> WorkloadGen<'a> {
@@ -63,15 +65,20 @@ impl<'a> WorkloadGen<'a> {
             node_ty: vs.atg().dtd().type_id("node").expect("synthetic DTD"),
             sub_ty: vs.atg().dtd().type_id("sub").expect("synthetic DTD"),
             fresh_counter: 1_000_000_000,
+            cache: crate::concurrent::PathCache::new(),
         }
     }
 
     fn id_of(&self, v: NodeId) -> i64 {
-        self.vs.dag().genid().attr_of(v)[0].as_int().expect("int id")
+        self.vs.dag().genid().attr_of(v)[0]
+            .as_int()
+            .expect("int id")
     }
 
     fn payload_of(&self, v: NodeId) -> i64 {
-        self.vs.dag().genid().attr_of(v)[1].as_int().expect("int payload")
+        self.vs.dag().genid().attr_of(v)[1]
+            .as_int()
+            .expect("int payload")
     }
 
     fn sub_of(&self, v: NodeId) -> Option<NodeId> {
@@ -134,7 +141,7 @@ impl<'a> WorkloadGen<'a> {
 
     /// Random descendant (≥1 level below) of `v`, if any.
     fn sample_descendant(&mut self, v: NodeId) -> Option<NodeId> {
-        let depth = 1 + self.rng.gen_range(0..3);
+        let depth = 1 + self.rng.gen_range(0..3usize);
         let walk = self.sample_walk(v, depth);
         walk.last().copied()
     }
@@ -148,7 +155,9 @@ impl<'a> WorkloadGen<'a> {
             WorkloadClass::W1 => {
                 let d = self.sample_descendant(root)?;
                 let p = self.payload_of(d);
-                XmlUpdate::delete(&format!("node[id={rid}]//node[payload={p}]")).ok()
+                self.cache
+                    .delete(&format!("node[id={rid}]//node[payload={p}]"))
+                    .ok()
             }
             WorkloadClass::W2 => {
                 let walk = self.sample_walk(root, 2);
@@ -156,15 +165,18 @@ impl<'a> WorkloadGen<'a> {
                     [] => None,
                     [c] => {
                         let p = self.payload_of(*c);
-                        XmlUpdate::delete(&format!("node[id={rid}]/sub/node[payload={p}]")).ok()
+                        self.cache
+                            .delete(&format!("node[id={rid}]/sub/node[payload={p}]"))
+                            .ok()
                     }
                     [c1, c2, ..] => {
                         let i1 = self.id_of(*c1);
                         let p = self.payload_of(*c2);
-                        XmlUpdate::delete(&format!(
-                            "node[id={rid}]/sub/node[id={i1}]/sub/node[payload={p}]"
-                        ))
-                        .ok()
+                        self.cache
+                            .delete(&format!(
+                                "node[id={rid}]/sub/node[id={i1}]/sub/node[payload={p}]"
+                            ))
+                            .ok()
                     }
                 }
             }
@@ -175,11 +187,16 @@ impl<'a> WorkloadGen<'a> {
                 }
                 let c = kids[self.rng.gen_range(0..kids.len())];
                 let p = self.payload_of(c);
-                let structural = if self.is_internal(c) { "sub/node" } else { "not(sub/node)" };
-                XmlUpdate::delete(&format!(
-                    "node[id={rid}][sub/node]/sub/node[payload={p}][{structural}]"
-                ))
-                .ok()
+                let structural = if self.is_internal(c) {
+                    "sub/node"
+                } else {
+                    "not(sub/node)"
+                };
+                self.cache
+                    .delete(&format!(
+                        "node[id={rid}][sub/node]/sub/node[payload={p}][{structural}]"
+                    ))
+                    .ok()
             }
         }
     }
@@ -229,10 +246,13 @@ impl<'a> WorkloadGen<'a> {
                 if !self.is_internal(root) {
                     return None;
                 }
-                format!("node[id={rid}][sub/node][payload={}]/sub", self.payload_of(root))
+                format!(
+                    "node[id={rid}][sub/node][payload={}]/sub",
+                    self.payload_of(root)
+                )
             }
         };
-        XmlUpdate::insert("node", attr, &path).ok()
+        self.cache.insert("node", attr, &path).ok()
     }
 
     /// A batch of `count` operations (retrying failed samples).
@@ -266,7 +286,9 @@ impl<'a> WorkloadGen<'a> {
 mod tests {
     use super::*;
     use crate::synthetic::{synthetic_atg, synthetic_database, SyntheticConfig};
-    use rxview_core::{eval_xpath_on_dag, Reachability, SideEffectPolicy, TopoOrder, XmlViewSystem};
+    use rxview_core::{
+        eval_xpath_on_dag, Reachability, SideEffectPolicy, TopoOrder, XmlViewSystem,
+    };
 
     fn view() -> ViewStore {
         let cfg = SyntheticConfig::with_size(600);
@@ -334,7 +356,11 @@ mod tests {
                 accepted += 1;
             }
         }
-        assert!(accepted >= ops.len() / 2, "too many rejections: {accepted}/{}", ops.len());
+        assert!(
+            accepted >= ops.len() / 2,
+            "too many rejections: {accepted}/{}",
+            ops.len()
+        );
         sys.consistency_check().unwrap();
     }
 }

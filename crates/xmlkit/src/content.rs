@@ -79,10 +79,7 @@ impl ContentModel {
 /// pairs into the paper's restricted form, synthesizing auxiliary types as
 /// needed. Elements mentioned but not defined default to `pcdata`, as in
 /// [`DtdBuilder`].
-pub fn normalize_dtd(
-    root: &str,
-    defs: &[(&str, ContentModel)],
-) -> Result<Dtd, DtdError> {
+pub fn normalize_dtd(root: &str, defs: &[(&str, ContentModel)]) -> Result<Dtd, DtdError> {
     let mut b = Dtd::builder(root);
     let mut counter = 0usize;
     for (name, cm) in defs {
@@ -262,7 +259,9 @@ mod tests {
         // The middle child is an auxiliary star over an auxiliary choice.
         let mid = ts[1];
         assert!(d.name(mid).contains("__"));
-        let Production::Star(alt) = d.production(mid) else { panic!("expected star") };
+        let Production::Star(alt) = d.production(mid) else {
+            panic!("expected star")
+        };
         assert!(matches!(d.production(*alt), Production::Alternation(xs) if xs.len() == 2));
     }
 
@@ -295,7 +294,12 @@ mod tests {
         }
         let before = cm.size();
         let d = normalize_dtd("top", &[("top", cm)]).unwrap();
-        assert!(d.n_types() <= 2 * before + 2, "{} types for size {}", d.n_types(), before);
+        assert!(
+            d.n_types() <= 2 * before + 2,
+            "{} types for size {}",
+            d.n_types(),
+            before
+        );
     }
 
     #[test]

@@ -84,7 +84,10 @@ pub struct Dtd {
 impl Dtd {
     /// Starts building a DTD rooted at `root`.
     pub fn builder(root: impl Into<String>) -> DtdBuilder {
-        DtdBuilder { root: root.into(), prods: BTreeMap::new() }
+        DtdBuilder {
+            root: root.into(),
+            prods: BTreeMap::new(),
+        }
     }
 
     /// The root type.
@@ -158,7 +161,9 @@ impl Dtd {
 
     fn type_in_cycle(&self, t: TypeId) -> bool {
         // t is in a cycle iff t is reachable from one of its children.
-        self.children_of(t).iter().any(|&c| self.reachable_from(c).contains(&t))
+        self.children_of(t)
+            .iter()
+            .any(|&c| self.reachable_from(c).contains(&t))
     }
 }
 
@@ -220,7 +225,10 @@ impl DtdBuilder {
 
     /// `name → c₁, …, cₙ`.
     pub fn sequence(&mut self, name: &str, children: &[&str]) -> Result<&mut Self, DtdError> {
-        self.define(name, ProductionSpec::Sequence(children.iter().map(|s| s.to_string()).collect()))
+        self.define(
+            name,
+            ProductionSpec::Sequence(children.iter().map(|s| s.to_string()).collect()),
+        )
     }
 
     /// `name → c₁ + … + cₙ`.
@@ -284,7 +292,12 @@ impl DtdBuilder {
             };
         }
         let root = by_name[&self.root];
-        Ok(Dtd { names, by_name, prods, root })
+        Ok(Dtd {
+            names,
+            by_name,
+            prods,
+            root,
+        })
     }
 }
 
@@ -300,7 +313,8 @@ impl DtdBuilder {
 pub fn registrar_dtd() -> Dtd {
     let mut b = Dtd::builder("db");
     b.star("db", "course").unwrap();
-    b.sequence("course", &["cno", "title", "prereq", "takenBy"]).unwrap();
+    b.sequence("course", &["cno", "title", "prereq", "takenBy"])
+        .unwrap();
     b.star("prereq", "course").unwrap();
     b.star("takenBy", "student").unwrap();
     b.sequence("student", &["ssn", "name"]).unwrap();
@@ -323,7 +337,10 @@ mod tests {
         let d = registrar_dtd();
         // db, course, cno, title, prereq, takenBy, student, ssn, name = 9
         assert_eq!(
-            d.types().map(|t| d.name(t).to_owned()).collect::<BTreeSet<_>>().len(),
+            d.types()
+                .map(|t| d.name(t).to_owned())
+                .collect::<BTreeSet<_>>()
+                .len(),
             9
         );
     }
@@ -375,7 +392,10 @@ mod tests {
     fn duplicate_production_rejected() {
         let mut b = Dtd::builder("a");
         b.star("a", "b").unwrap();
-        assert!(matches!(b.star("a", "c"), Err(DtdError::DuplicateProduction(_))));
+        assert!(matches!(
+            b.star("a", "c"),
+            Err(DtdError::DuplicateProduction(_))
+        ));
     }
 
     #[test]
@@ -412,6 +432,9 @@ mod tests {
         b.empty("a").unwrap();
         let d = b.build().unwrap();
         assert!(matches!(d.production(d.root()), Production::Alternation(ts) if ts.len() == 2));
-        assert!(matches!(d.production(d.type_id("a").unwrap()), Production::Empty));
+        assert!(matches!(
+            d.production(d.type_id("a").unwrap()),
+            Production::Empty
+        ));
     }
 }

@@ -233,8 +233,10 @@ mod tests {
         let p = parse_xpath("//course").unwrap();
         let reached = schema_eval(&d, &p);
         // course reachable via db and via prereq.
-        let vias: BTreeSet<_> =
-            reached.iter().map(|(v, _)| v.map(|x| d.name(x).to_owned())).collect();
+        let vias: BTreeSet<_> = reached
+            .iter()
+            .map(|(v, _)| v.map(|x| d.name(x).to_owned()))
+            .collect();
         assert!(vias.contains(&Some("db".to_owned())));
         assert!(vias.contains(&Some("prereq".to_owned())));
     }
@@ -311,7 +313,10 @@ mod tests {
     fn delete_root_rejected() {
         let d = registrar_dtd();
         let p = parse_xpath(".").unwrap();
-        assert!(matches!(validate_delete(&d, &p), Err(SchemaViolation::InvalidDeleteTarget { .. })));
+        assert!(matches!(
+            validate_delete(&d, &p),
+            Err(SchemaViolation::InvalidDeleteTarget { .. })
+        ));
     }
 
     #[test]

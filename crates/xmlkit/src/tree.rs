@@ -60,7 +60,12 @@ impl XmlTree {
     /// Creates a tree with a root element of type `ty`.
     pub fn new(ty: TypeId) -> Self {
         XmlTree {
-            nodes: vec![Node { ty, text: None, parent: None, children: Vec::new() }],
+            nodes: vec![Node {
+                ty,
+                text: None,
+                parent: None,
+                children: Vec::new(),
+            }],
             root: NodeId(0),
         }
     }
@@ -88,7 +93,12 @@ impl XmlTree {
     /// Appends a child element of type `ty` under `parent`.
     pub fn add_child(&mut self, parent: NodeId, ty: TypeId) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node { ty, text: None, parent: Some(parent), children: Vec::new() });
+        self.nodes.push(Node {
+            ty,
+            text: None,
+            parent: Some(parent),
+            children: Vec::new(),
+        });
         self.nodes[parent.index()].children.push(id);
         id
     }
@@ -100,7 +110,12 @@ impl XmlTree {
     }
 
     /// Appends a `pcdata` child with text content.
-    pub fn add_text_child(&mut self, parent: NodeId, ty: TypeId, text: impl Into<String>) -> NodeId {
+    pub fn add_text_child(
+        &mut self,
+        parent: NodeId,
+        ty: TypeId,
+        text: impl Into<String>,
+    ) -> NodeId {
         let id = self.add_child(parent, ty);
         self.nodes[id.index()].text = Some(text.into());
         id

@@ -32,7 +32,11 @@ impl std::error::Error for XmlParseError {}
 /// Parses a serialized XML document into a tree, resolving element names
 /// through `dtd`.
 pub fn parse_tree(input: &str, dtd: &Dtd) -> Result<XmlTree, XmlParseError> {
-    let mut p = XmlParser { input: input.as_bytes(), pos: 0, dtd };
+    let mut p = XmlParser {
+        input: input.as_bytes(),
+        pos: 0,
+        dtd,
+    };
     p.skip_ws();
     let (name, self_closing) = p.open_tag()?;
     let ty = p.resolve(&name)?;
@@ -56,7 +60,10 @@ struct XmlParser<'a> {
 
 impl<'a> XmlParser<'a> {
     fn err(&self, msg: &str) -> XmlParseError {
-        XmlParseError { pos: self.pos, msg: msg.into() }
+        XmlParseError {
+            pos: self.pos,
+            msg: msg.into(),
+        }
     }
 
     fn resolve(&self, name: &str) -> Result<crate::dtd::TypeId, XmlParseError> {
@@ -70,7 +77,10 @@ impl<'a> XmlParser<'a> {
     }
 
     fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ') | Some(b'\t') | Some(b'\n') | Some(b'\r')) {
+        while matches!(
+            self.peek(),
+            Some(b' ') | Some(b'\t') | Some(b'\n') | Some(b'\r')
+        ) {
             self.pos += 1;
         }
     }
@@ -145,9 +155,9 @@ impl<'a> XmlParser<'a> {
                         self.pos += 2;
                         let close = self.name()?;
                         if close != name {
-                            return Err(self.err(&format!(
-                                "mismatched close tag </{close}> for <{name}>"
-                            )));
+                            return Err(
+                                self.err(&format!("mismatched close tag </{close}> for <{name}>"))
+                            );
                         }
                         self.skip_ws();
                         if self.peek() != Some(b'>') {
@@ -213,7 +223,11 @@ mod tests {
     #[test]
     fn self_closing_and_empty_elements() {
         let d = registrar_dtd();
-        let t = parse_tree("<db><course><cno>X</cno><title>Y</title><prereq/><takenBy></takenBy></course></db>", &d).unwrap();
+        let t = parse_tree(
+            "<db><course><cno>X</cno><title>Y</title><prereq/><takenBy></takenBy></course></db>",
+            &d,
+        )
+        .unwrap();
         assert_eq!(t.len(), 6);
     }
 
@@ -238,7 +252,11 @@ mod tests {
     #[test]
     fn whitespace_only_text_ignored() {
         let d = registrar_dtd();
-        let t = parse_tree("<db>\n  <course>\n    <cno>A1</cno>\n  </course>\n</db>", &d).unwrap();
+        let t = parse_tree(
+            "<db>\n  <course>\n    <cno>A1</cno>\n  </course>\n</db>",
+            &d,
+        )
+        .unwrap();
         assert_eq!(t.len(), 3);
         assert_eq!(t.node(t.root()).text(), None);
     }

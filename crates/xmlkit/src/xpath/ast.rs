@@ -41,7 +41,10 @@ pub struct Step {
 impl Step {
     /// A step without filters.
     pub fn new(kind: StepKind) -> Self {
-        Step { kind, filters: Vec::new() }
+        Step {
+            kind,
+            filters: Vec::new(),
+        }
     }
 
     /// A child step on a label.
@@ -151,7 +154,10 @@ impl XPath {
                 Filter::Not(a) => 1 + fsize(a),
             }
         }
-        self.steps.iter().map(|s| 1 + s.filters.iter().map(fsize).sum::<usize>()).sum()
+        self.steps
+            .iter()
+            .map(|s| 1 + s.filters.iter().map(fsize).sum::<usize>())
+            .sum()
     }
 }
 
@@ -210,7 +216,10 @@ mod tests {
     fn recursion_detection() {
         let p = XPath::from_steps(vec![Step::label("course")]);
         assert!(!p.uses_recursion());
-        let p = XPath::from_steps(vec![Step::new(StepKind::DescendantOrSelf), Step::label("a")]);
+        let p = XPath::from_steps(vec![
+            Step::new(StepKind::DescendantOrSelf),
+            Step::label("a"),
+        ]);
         assert!(p.uses_recursion());
         // Recursion inside a filter counts.
         let inner = XPath::from_steps(vec![Step::new(StepKind::DescendantOrSelf)]);
@@ -221,8 +230,10 @@ mod tests {
     #[test]
     fn size_counts_steps_and_filters() {
         let p = XPath::from_steps(vec![
-            Step::label("course")
-                .with_filter(Filter::PathEq(XPath::from_steps(vec![Step::label("cno")]), "CS650".into())),
+            Step::label("course").with_filter(Filter::PathEq(
+                XPath::from_steps(vec![Step::label("cno")]),
+                "CS650".into(),
+            )),
             Step::label("prereq"),
         ]);
         assert_eq!(p.size(), 2 + 1 + 1); // two steps, PathEq node, inner path step
@@ -243,7 +254,10 @@ mod tests {
 
     #[test]
     fn filter_combinators() {
-        let f = Filter::and(Filter::LabelIs("a".into()), Filter::not(Filter::LabelIs("b".into())));
+        let f = Filter::and(
+            Filter::LabelIs("a".into()),
+            Filter::not(Filter::LabelIs("b".into())),
+        );
         assert_eq!(f.subfilters().len(), 2);
         assert_eq!(f.to_string(), "(label()=a and not(label()=b))");
     }

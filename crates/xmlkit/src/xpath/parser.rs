@@ -45,7 +45,10 @@ impl std::error::Error for ParseError {}
 /// assert_eq!(p.steps.len(), 4);
 /// ```
 pub fn parse_xpath(input: &str) -> Result<XPath, ParseError> {
-    let mut p = Parser { input: input.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        input: input.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let path = p.parse_path()?;
     p.skip_ws();
@@ -65,7 +68,10 @@ struct Parser<'a> {
 
 impl<'a> Parser<'a> {
     fn err(&self, msg: &str) -> ParseError {
-        ParseError { pos: self.pos, msg: msg.into() }
+        ParseError {
+            pos: self.pos,
+            msg: msg.into(),
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -81,7 +87,10 @@ impl<'a> Parser<'a> {
     }
 
     fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ') | Some(b'\t') | Some(b'\n') | Some(b'\r')) {
+        while matches!(
+            self.peek(),
+            Some(b' ') | Some(b'\t') | Some(b'\n') | Some(b'\r')
+        ) {
             self.bump(1);
         }
     }
@@ -191,7 +200,9 @@ impl<'a> Parser<'a> {
         while matches!(self.peek(), Some(c) if is_name_char(c)) {
             self.bump(1);
         }
-        Ok(std::str::from_utf8(&self.input[start..self.pos]).expect("ascii names").to_owned())
+        Ok(std::str::from_utf8(&self.input[start..self.pos])
+            .expect("ascii names")
+            .to_owned())
     }
 
     fn parse_filter(&mut self) -> Result<Filter, ParseError> {
@@ -369,7 +380,10 @@ mod tests {
         let p = parse_xpath("course[cno=CS650]//course[cno=CS320]/prereq").unwrap();
         assert_eq!(p.steps.len(), 4); // course, //, course, prereq
         assert!(p.uses_recursion());
-        assert_eq!(p.to_string(), "course[cno=\"CS650\"]//course[cno=\"CS320\"]/prereq");
+        assert_eq!(
+            p.to_string(),
+            "course[cno=\"CS650\"]//course[cno=\"CS320\"]/prereq"
+        );
     }
 
     #[test]
@@ -392,7 +406,10 @@ mod tests {
     fn wildcard_and_self() {
         let p = parse_xpath("*/.").unwrap();
         assert_eq!(p.steps.len(), 2);
-        assert!(matches!(p.steps[0].kind, StepKind::Child(NodeTest::Wildcard)));
+        assert!(matches!(
+            p.steps[0].kind,
+            StepKind::Child(NodeTest::Wildcard)
+        ));
         assert!(matches!(p.steps[1].kind, StepKind::SelfAxis));
     }
 

@@ -9,25 +9,21 @@
 use super::ast::{Filter, NodeTest, Step, StepKind, XPath};
 use crate::dtd::Dtd;
 use crate::tree::{NodeId, XmlTree};
-use std::collections::BTreeSet;
+use std::collections::HashSet;
 
 /// Evaluates `p` from the root of `tree`, returning selected nodes in
 /// document order.
 pub fn eval_on_tree(tree: &XmlTree, dtd: &Dtd, p: &XPath) -> Vec<NodeId> {
-    let mut current: BTreeSet<NodeId> = BTreeSet::new();
-    current.insert(tree.root());
-    for step in &p.steps {
-        current = eval_step(tree, dtd, &current, step);
-        if current.is_empty() {
-            break;
-        }
-    }
-    current.into_iter().collect()
+    eval_from(tree, dtd, tree.root(), p)
 }
 
 /// Evaluates `p` from an arbitrary context node (used by filters).
+///
+/// Dedup between steps is hash-keyed by node id (arena ids are dense and
+/// cheap to hash); the result is sorted back into document order — arena
+/// ids are allocated in document order — only when materialized.
 pub fn eval_from(tree: &XmlTree, dtd: &Dtd, context: NodeId, p: &XPath) -> Vec<NodeId> {
-    let mut current: BTreeSet<NodeId> = BTreeSet::new();
+    let mut current: HashSet<NodeId> = HashSet::new();
     current.insert(context);
     for step in &p.steps {
         current = eval_step(tree, dtd, &current, step);
@@ -35,16 +31,13 @@ pub fn eval_from(tree: &XmlTree, dtd: &Dtd, context: NodeId, p: &XPath) -> Vec<N
             break;
         }
     }
-    current.into_iter().collect()
+    let mut out: Vec<NodeId> = current.into_iter().collect();
+    out.sort_unstable();
+    out
 }
 
-fn eval_step(
-    tree: &XmlTree,
-    dtd: &Dtd,
-    current: &BTreeSet<NodeId>,
-    step: &Step,
-) -> BTreeSet<NodeId> {
-    let mut next: BTreeSet<NodeId> = BTreeSet::new();
+fn eval_step(tree: &XmlTree, dtd: &Dtd, current: &HashSet<NodeId>, step: &Step) -> HashSet<NodeId> {
+    let mut next: HashSet<NodeId> = HashSet::new();
     match &step.kind {
         StepKind::SelfAxis => {
             next.extend(current.iter().copied());
@@ -146,7 +139,15 @@ mod tests {
 
         let root = t.root();
         // CS650 → prereq CS320 (which itself has prereq CS240, built below).
-        let cs650 = add_course(&mut t, &d, root, "CS650", "Advanced DB", &[], &[("S01", "Alice")]);
+        let cs650 = add_course(
+            &mut t,
+            &d,
+            root,
+            "CS650",
+            "Advanced DB",
+            &[],
+            &[("S01", "Alice")],
+        );
         let pr650 = t.node(cs650).children()[2];
         // CS320 under CS650's prereq, with its own prereq CS240.
         let cs320_inner = add_course(
@@ -169,12 +170,22 @@ mod tests {
             &[("CS240", "Data Structures")],
             &[("S02", "Bob")],
         );
-        add_course(&mut t, &d, root, "CS240", "Data Structures", &[], &[("S02", "Bob")]);
+        add_course(
+            &mut t,
+            &d,
+            root,
+            "CS240",
+            "Data Structures",
+            &[],
+            &[("S02", "Bob")],
+        );
         (d, t)
     }
 
     fn labels(t: &XmlTree, d: &Dtd, ns: &[NodeId]) -> Vec<String> {
-        ns.iter().map(|&n| d.name(t.node(n).ty()).to_owned()).collect()
+        ns.iter()
+            .map(|&n| d.name(t.node(n).ty()).to_owned())
+            .collect()
     }
 
     #[test]

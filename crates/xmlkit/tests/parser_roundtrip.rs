@@ -47,8 +47,12 @@ fn arb_filter() -> impl Strategy<Value = Filter> {
 
 fn arb_xpath() -> impl Strategy<Value = XPath> {
     prop::collection::vec(
-        (arb_label(), prop::collection::vec(arb_filter(), 0..2), any::<u8>()).prop_map(
-            |(l, filters, k)| {
+        (
+            arb_label(),
+            prop::collection::vec(arb_filter(), 0..2),
+            any::<u8>(),
+        )
+            .prop_map(|(l, filters, k)| {
                 let kind = match k % 5 {
                     0 => StepKind::DescendantOrSelf,
                     1 => StepKind::Child(NodeTest::Wildcard),
@@ -60,8 +64,7 @@ fn arb_xpath() -> impl Strategy<Value = XPath> {
                     s.filters = filters;
                 }
                 s
-            },
-        ),
+            }),
         1..5,
     )
     .prop_map(XPath::from_steps)

@@ -31,7 +31,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Relational side.
     let mut db = Database::new();
-    db.create_table(schema("vendor").col_str("vid").col_str("vname").key(&["vid"]))?;
+    db.create_table(
+        schema("vendor")
+            .col_str("vid")
+            .col_str("vname")
+            .key(&["vid"]),
+    )?;
     db.create_table(schema("item").col_str("sku").col_str("title").key(&["sku"]))?;
     db.insert("vendor", tuple!["v1", "ACME"])?;
     db.insert("item", tuple!["sku-1", "Anvil"])?;
@@ -66,7 +71,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let atg = b.build(&db)?;
 
     let mut sys = XmlViewSystem::new(atg, db)?;
-    println!("published view:\n{}", sys.expand_tree().serialize(sys.view().atg().dtd()));
+    println!(
+        "published view:\n{}",
+        sys.expand_tree().serialize(sys.view().atg().dtd())
+    );
 
     // Insert a new item through the view: the target is the synthesized
     // star type — schema validation knows `catalog__star1 → item*`.
@@ -80,8 +88,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     sys.apply(&d, SideEffectPolicy::Abort)?;
     assert!(!sys.base().table("item")?.contains_key(&tuple!["sku-1"]));
 
-    sys.consistency_check().map_err(|e| -> Box<dyn std::error::Error> { e.into() })?;
-    println!("final view:\n{}", sys.expand_tree().serialize(sys.view().atg().dtd()));
+    sys.consistency_check()
+        .map_err(|e| -> Box<dyn std::error::Error> { e.into() })?;
+    println!(
+        "final view:\n{}",
+        sys.expand_tree().serialize(sys.view().atg().dtd())
+    );
     println!("consistency check passed.");
     Ok(())
 }

@@ -17,11 +17,18 @@ fn bom_database() -> Database {
     use rxview::relstore::schema;
     let mut db = Database::new();
     db.create_table(
-        schema("part").col_str("pid").col_str("pname").col_str("kind").key(&["pid"]),
+        schema("part")
+            .col_str("pid")
+            .col_str("pname")
+            .col_str("kind")
+            .key(&["pid"]),
     )
     .expect("fresh db");
     db.create_table(
-        schema("contains").col_str("parent").col_str("child").key(&["parent", "child"]),
+        schema("contains")
+            .col_str("parent")
+            .col_str("child")
+            .key(&["parent", "child"]),
     )
     .expect("fresh db");
 
@@ -53,7 +60,8 @@ fn bom_database() -> Database {
 fn bom_dtd() -> Dtd {
     let mut b = Dtd::builder("catalog");
     b.star("catalog", "part").expect("fresh");
-    b.sequence("part", &["pid", "pname", "components"]).expect("fresh");
+    b.sequence("part", &["pid", "pname", "components"])
+        .expect("fresh");
     b.star("components", "part").expect("fresh");
     b.build().expect("valid DTD")
 }
@@ -142,8 +150,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         r.maintain.gc_nodes
     );
 
-    sys.consistency_check().map_err(|e| -> Box<dyn std::error::Error> { e.into() })?;
-    println!("\nfinal view:\n{}", sys.expand_tree().serialize(sys.view().atg().dtd()));
+    sys.consistency_check()
+        .map_err(|e| -> Box<dyn std::error::Error> { e.into() })?;
+    println!(
+        "\nfinal view:\n{}",
+        sys.expand_tree().serialize(sys.view().atg().dtd())
+    );
     println!("consistency check passed.");
     Ok(())
 }

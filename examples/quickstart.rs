@@ -18,7 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. The ATG σ₀ of Fig.2, mapping I₀ to the recursive DTD D₀.
     let atg = registrar_atg(&db)?;
-    println!("\nDTD D₀ (recursive: {}):\n{}", atg.dtd().is_recursive(), atg.dtd());
+    println!(
+        "\nDTD D₀ (recursive: {}):\n{}",
+        atg.dtd().is_recursive(),
+        atg.dtd()
+    );
 
     // 3. Publish: the view is generated directly as a DAG; shared subtrees
     //    (CS320, CS240, their students) are stored once.
@@ -29,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         sys.view().n_edges(),
         sys.expand_tree().len(),
     );
-    println!("\nThe XML view, expanded:\n{}", sys.expand_tree().serialize(sys.view().atg().dtd()));
+    println!(
+        "\nThe XML view, expanded:\n{}",
+        sys.expand_tree().serialize(sys.view().atg().dtd())
+    );
 
     // 4. An insertion with recursive XPath: make MA100 a prerequisite of
     //    every CS320 below CS650. CS320 also occurs top-level, so this has a
@@ -67,7 +74,58 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 6. The correctness criterion of the paper, ∆X(T) = σ(∆R(I)):
     //    republish from scratch and compare against the incrementally
     //    maintained view (plus M and L against recomputation).
-    sys.consistency_check().map_err(|e| -> Box<dyn std::error::Error> { e.into() })?;
+    sys.consistency_check()
+        .map_err(|e| -> Box<dyn std::error::Error> { e.into() })?;
     println!("\nConsistency check passed: ∆X(T) = σ(∆R(I)), M and L maintained correctly.");
+
+    // 7. Serving: wrap the system in the concurrent engine — readers get
+    //    immutable snapshots, writers group-commit batches.
+    let engine = Engine::new(sys);
+    let snapshot = engine.snapshot();
+    let course_count = snapshot
+        .select(&rxview::xmlkit::parse_xpath("//course")?)
+        .len();
+    println!(
+        "\nEngine snapshot (epoch {}): {course_count} course occurrences",
+        snapshot.epoch()
+    );
+    let ticket = engine.submit(
+        XmlUpdate::insert(
+            "student",
+            tuple!["S99", "Dana"],
+            "course[cno=CS650]/takenBy",
+        )?,
+        SideEffectPolicy::Proceed,
+    )?;
+    engine.commit_pending();
+    let report: UpdateReport = ticket.wait()?;
+    println!(
+        "group commit applied the insert: ∆V = {} edge ops, ∆R = {} tuple ops",
+        report.delta_v_len,
+        report.delta_r.len()
+    );
+    // The old snapshot is untouched; a fresh one sees the write.
+    assert_eq!(
+        snapshot
+            .select(&rxview::xmlkit::parse_xpath("//student[ssn=S99]")?)
+            .len(),
+        0
+    );
+    assert_eq!(
+        engine
+            .snapshot()
+            .select(&rxview::xmlkit::parse_xpath("//student[ssn=S99]")?)
+            .len(),
+        1
+    );
+    println!(
+        "snapshot isolation: old epoch unchanged, new epoch {}",
+        engine.snapshot().epoch()
+    );
+    engine
+        .snapshot()
+        .system()
+        .consistency_check()
+        .map_err(|e| -> Box<dyn std::error::Error> { e.into() })?;
     Ok(())
 }

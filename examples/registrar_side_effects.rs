@@ -45,7 +45,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             true,
             "`//` selects every occurrence: nothing is left unmatched",
         ),
-        ("//course", true, "deleting every course occurrence is consistent"),
+        (
+            "//course",
+            true,
+            "deleting every course occurrence is consistent",
+        ),
     ];
 
     for (path, for_delete, why) in cases {
@@ -54,11 +58,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let s = eval.side_effects(&vs, *for_delete);
         let kind = if *for_delete { "delete" } else { "insert" };
         println!("{kind} {path}");
-        println!("  r[[p]] = {} node(s), Ep(r) = {} edge(s)", eval.selected.len(), eval.edge_parents.len());
+        println!(
+            "  r[[p]] = {} node(s), Ep(r) = {} edge(s)",
+            eval.selected.len(),
+            eval.edge_parents.len()
+        );
         if s.is_empty() {
             println!("  no side effects — {why}");
         } else {
-            println!("  SIDE EFFECTS at {} unmatched occurrence(s) — {why}", s.len());
+            println!(
+                "  SIDE EFFECTS at {} unmatched occurrence(s) — {why}",
+                s.len()
+            );
         }
         println!();
     }
@@ -73,14 +84,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "course[cno=CS650]//course[cno=CS320]/prereq",
     )?;
     println!("applying `{u}` with Abort policy:");
-    println!("  -> {}", sys.apply(&u, SideEffectPolicy::Abort).unwrap_err());
+    println!(
+        "  -> {}",
+        sys.apply(&u, SideEffectPolicy::Abort).unwrap_err()
+    );
     println!("applying again with Proceed policy (the revised semantics):");
     let r = sys.apply(&u, SideEffectPolicy::Proceed)?;
     println!(
         "  -> accepted; MA100 is now a prerequisite of *every* CS320 occurrence ({} ∆R op(s))",
         r.delta_r.len()
     );
-    sys.consistency_check().map_err(|e| -> Box<dyn std::error::Error> { e.into() })?;
+    sys.consistency_check()
+        .map_err(|e| -> Box<dyn std::error::Error> { e.into() })?;
     println!("  -> consistency check passed");
     Ok(())
 }

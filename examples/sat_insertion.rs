@@ -54,7 +54,10 @@ fn build_atg(db: &Database) -> Atg {
         .build(db)
         .expect("valid query");
     let mut b = Atg::builder(dtd());
-    b.attr("doc", &[]).attr("row", &["a", "c"]).attr("left", &["a"]).attr("right", &["c"]);
+    b.attr("doc", &[])
+        .attr("row", &["a", "c"])
+        .attr("left", &["a"])
+        .attr("right", &["c"]);
     b.rule_query("doc", "row", q, &[])
         .rule_project("row", "left", &["a"])
         .rule_project("row", "right", &["c"]);
@@ -92,11 +95,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let u = XmlUpdate::insert("row", tuple!["a1", "c0"], ".")?;
     // `.` selects the root (doc) — rows are inserted under it.
     let r = sys.apply(&u, SideEffectPolicy::Proceed)?;
-    println!("insert row (a1, c0): ∆R = {} op(s), SAT used: {}", r.delta_r.len(), r.sat_used);
+    println!(
+        "insert row (a1, c0): ∆R = {} op(s), SAT used: {}",
+        r.delta_r.len(),
+        r.sat_used
+    );
     print!("{}", r.delta_r);
-    let b_val = sys.base().table("r1")?.get(&tuple!["a1"]).expect("inserted")[1].clone();
+    let b_val = sys
+        .base()
+        .table("r1")?
+        .get(&tuple!["a1"])
+        .expect("inserted")[1]
+        .clone();
     println!("chosen b for a1: {b_val} (must be 1 = r2(c0).d)");
-    sys.consistency_check().map_err(|e| -> Box<dyn std::error::Error> { e.into() })?;
+    sys.consistency_check()
+        .map_err(|e| -> Box<dyn std::error::Error> { e.into() })?;
     println!("consistency check passed");
 
     // Now a genuinely constrained case: insert (a2, c0) AND demand that
@@ -115,7 +128,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             println!("  ∆R = {} op(s), SAT used: {}", r.delta_r.len(), r.sat_used);
             print!("  {}", r.delta_r);
             println!("  note: b=1 pairs a2 with c0 only — b=0 would side-effect (a2, c1)");
-            sys.consistency_check().map_err(|e| -> Box<dyn std::error::Error> { e.into() })?;
+            sys.consistency_check()
+                .map_err(|e| -> Box<dyn std::error::Error> { e.into() })?;
             println!("  consistency check passed");
         }
         Err(e) => println!("\ninsert rejected: {e}"),

@@ -10,12 +10,16 @@
 //! - [`atg`]: attribute translation grammars and DAG publishing (§2.2–2.3).
 //! - [`core`]: XPath-on-DAG evaluation, side effects, update translation, and
 //!   the end-to-end processor (§3–§4).
-//! - [`workload`]: the registrar example and the synthetic dataset of §5.
+//! - [`engine`]: the concurrent serving layer — snapshot-isolated readers
+//!   and batched group-commit writes over the core processor.
+//! - [`workload`]: the registrar example, the synthetic dataset of §5, and
+//!   concurrent reader/writer mixes.
 //!
 //! See `examples/quickstart.rs` for an end-to-end tour.
 
 pub use rxview_atg as atg;
 pub use rxview_core as core;
+pub use rxview_engine as engine;
 pub use rxview_relstore as relstore;
 pub use rxview_satsolver as satsolver;
 pub use rxview_workload as workload;
@@ -27,6 +31,7 @@ pub mod prelude {
     pub use rxview_core::{
         SideEffectPolicy, UpdateOutcome, UpdateReport, ViewStore, XmlUpdate, XmlViewSystem,
     };
+    pub use rxview_engine::{Engine, EngineConfig, Snapshot, UpdateTicket};
     pub use rxview_relstore::{schema, Database, GroupUpdate, SpjQuery, Tuple, Value};
     pub use rxview_xmlkit::{Dtd, XPath};
 }

@@ -28,12 +28,25 @@ fn synthetic_system(n: usize, seed: u64) -> XmlViewSystem {
 fn registrar_update_sequences_stay_consistent() {
     let mut sys = registrar_system();
     let updates = [
-        XmlUpdate::insert("course", tuple!["MA100", "Calculus"], "course[cno=CS650]/prereq")
-            .unwrap(),
-        XmlUpdate::insert("student", tuple!["S50", "Eve"], "//course[cno=CS240]/takenBy").unwrap(),
+        XmlUpdate::insert(
+            "course",
+            tuple!["MA100", "Calculus"],
+            "course[cno=CS650]/prereq",
+        )
+        .unwrap(),
+        XmlUpdate::insert(
+            "student",
+            tuple!["S50", "Eve"],
+            "//course[cno=CS240]/takenBy",
+        )
+        .unwrap(),
         XmlUpdate::delete("course[cno=CS650]/prereq/course[cno=CS320]").unwrap(),
-        XmlUpdate::insert("course", tuple!["CS320", "Algorithms"], "course[cno=CS650]/prereq")
-            .unwrap(),
+        XmlUpdate::insert(
+            "course",
+            tuple!["CS320", "Algorithms"],
+            "course[cno=CS650]/prereq",
+        )
+        .unwrap(),
         XmlUpdate::delete("//student[ssn=S02]").unwrap(),
         XmlUpdate::delete("//course[cno=MA100]").unwrap(),
     ];
@@ -41,7 +54,8 @@ fn registrar_update_sequences_stay_consistent() {
         if let Err(e) = sys.apply(u, SideEffectPolicy::Proceed) {
             panic!("update {i} (`{u}`) rejected: {e}");
         }
-        sys.consistency_check().unwrap_or_else(|e| panic!("after update {i} (`{u}`): {e}"));
+        sys.consistency_check()
+            .unwrap_or_else(|e| panic!("after update {i} (`{u}`): {e}"));
     }
 }
 
@@ -68,7 +82,11 @@ fn synthetic_workload_all_classes_consistent() {
         sys.consistency_check()
             .unwrap_or_else(|e| panic!("inconsistent after `{u}`: {e}"));
     }
-    assert!(accepted * 2 >= ops.len(), "accepted only {accepted}/{} ops", ops.len());
+    assert!(
+        accepted * 2 >= ops.len(),
+        "accepted only {accepted}/{} ops",
+        ops.len()
+    );
 }
 
 #[test]
@@ -83,13 +101,21 @@ fn rejected_updates_leave_no_trace() {
         // Empty target.
         XmlUpdate::delete("course[cno=ZZZ]/prereq/course").unwrap(),
         // Key conflict: wrong title for an existing course.
-        XmlUpdate::insert("course", tuple!["CS240", "Wrong"], "course[cno=CS650]/prereq").unwrap(),
+        XmlUpdate::insert(
+            "course",
+            tuple!["CS240", "Wrong"],
+            "course[cno=CS650]/prereq",
+        )
+        .unwrap(),
         // Unsafe deletion: removing only the top-level CS240 listing while
         // it is still a prerequisite of CS320 — course(CS240) is shared.
         XmlUpdate::delete("course[cno=CS240]").unwrap(),
     ];
     for u in &rejects {
-        assert!(sys.apply(u, SideEffectPolicy::Proceed).is_err(), "`{u}` should be rejected");
+        assert!(
+            sys.apply(u, SideEffectPolicy::Proceed).is_err(),
+            "`{u}` should be rejected"
+        );
     }
     assert_eq!(sys.view().n_nodes(), before_nodes);
     assert_eq!(sys.view().n_edges(), before_edges);
@@ -124,17 +150,29 @@ fn deep_recursive_chain_updates() {
     // splits correctly.
     let mut db = registrar_database();
     for i in 0..20 {
-        db.insert("course", tuple![format!("X{i:02}"), format!("Chain {i}"), "CS"]).unwrap();
+        db.insert(
+            "course",
+            tuple![format!("X{i:02}"), format!("Chain {i}"), "CS"],
+        )
+        .unwrap();
     }
     for i in 0..19 {
-        db.insert("prereq", tuple![format!("X{i:02}"), format!("X{:02}", i + 1)]).unwrap();
+        db.insert(
+            "prereq",
+            tuple![format!("X{i:02}"), format!("X{:02}", i + 1)],
+        )
+        .unwrap();
     }
     let atg = registrar_atg(&db).unwrap();
     let mut sys = XmlViewSystem::new(atg, db).unwrap();
     let u = XmlUpdate::delete("//course[cno=X09]/prereq/course[cno=X10]").unwrap();
     sys.apply(&u, SideEffectPolicy::Proceed).unwrap();
     sys.consistency_check().unwrap();
-    assert!(!sys.base().table("prereq").unwrap().contains_key(&tuple!["X09", "X10"]));
+    assert!(!sys
+        .base()
+        .table("prereq")
+        .unwrap()
+        .contains_key(&tuple!["X09", "X10"]));
     // X10 survives as a top-level course.
     let course = sys.view().atg().dtd().type_id("course").unwrap();
     assert!(sys
@@ -185,7 +223,10 @@ fn sat_solver_engages_on_unpinned_finite_columns() {
         .build(&db)
         .unwrap();
     let mut ab = Atg::builder(dtd);
-    ab.attr("doc", &[]).attr("row", &["a", "c"]).attr("left", &["a"]).attr("right", &["c"]);
+    ab.attr("doc", &[])
+        .attr("row", &["a", "c"])
+        .attr("left", &["a"])
+        .attr("right", &["c"]);
     ab.rule_query("doc", "row", q, &[])
         .rule_project("row", "left", &["a"])
         .rule_project("row", "right", &["c"]);
@@ -196,8 +237,14 @@ fn sat_solver_engages_on_unpinned_finite_columns() {
     let report = sys.apply(&u, SideEffectPolicy::Proceed).unwrap();
     assert!(report.sat_used, "expected the SAT solver to run");
     // d must be 1 (d=0 would pair a0 with c9).
-    assert_eq!(sys.base().table("r2").unwrap().get(&tuple!["c9"]).unwrap()[1], Value::Int(1));
-    assert_eq!(sys.base().table("r1").unwrap().get(&tuple!["a3"]).unwrap()[1], Value::Int(1));
+    assert_eq!(
+        sys.base().table("r2").unwrap().get(&tuple!["c9"]).unwrap()[1],
+        Value::Int(1)
+    );
+    assert_eq!(
+        sys.base().table("r1").unwrap().get(&tuple!["a3"]).unwrap()[1],
+        Value::Int(1)
+    );
     sys.consistency_check().unwrap();
 }
 
@@ -240,7 +287,10 @@ fn unsatisfiable_insertion_rejected() {
         .build(&db)
         .unwrap();
     let mut ab = Atg::builder(dtd);
-    ab.attr("doc", &[]).attr("row", &["a", "c"]).attr("left", &["a"]).attr("right", &["c"]);
+    ab.attr("doc", &[])
+        .attr("row", &["a", "c"])
+        .attr("left", &["a"])
+        .attr("right", &["c"]);
     ab.rule_query("doc", "row", q, &[])
         .rule_project("row", "left", &["a"])
         .rule_project("row", "right", &["c"]);
@@ -284,8 +334,12 @@ fn mixed_xml_and_relational_updates_interleave() {
     use rxview::relstore::GroupUpdate;
     let mut sys = registrar_system();
     // XML-level: enroll a new student through the view.
-    let u = XmlUpdate::insert("student", tuple!["S90", "Hugh"], "course[cno=CS650]/takenBy")
-        .unwrap();
+    let u = XmlUpdate::insert(
+        "student",
+        tuple!["S90", "Hugh"],
+        "course[cno=CS650]/takenBy",
+    )
+    .unwrap();
     sys.apply(&u, SideEffectPolicy::Proceed).unwrap();
     // Relational-level: another application adds a prereq tuple directly.
     let mut g = GroupUpdate::new();
@@ -297,7 +351,11 @@ fn mixed_xml_and_relational_updates_interleave() {
     let d = XmlUpdate::delete("course[cno=CS650]/prereq/course[cno=CS240]").unwrap();
     sys.apply(&d, SideEffectPolicy::Proceed).unwrap();
     sys.consistency_check().unwrap();
-    assert!(!sys.base().table("prereq").unwrap().contains_key(&tuple!["CS650", "CS240"]));
+    assert!(!sys
+        .base()
+        .table("prereq")
+        .unwrap()
+        .contains_key(&tuple!["CS650", "CS240"]));
 }
 
 #[test]

@@ -4,7 +4,9 @@
 
 use proptest::prelude::*;
 use rxview::core::{SideEffectPolicy, XmlUpdate, XmlViewSystem};
-use rxview::workload::{synthetic_atg, synthetic_database, SyntheticConfig, WorkloadClass, WorkloadGen};
+use rxview::workload::{
+    synthetic_atg, synthetic_database, SyntheticConfig, WorkloadClass, WorkloadGen,
+};
 
 fn system(n: usize, seed: u64) -> XmlViewSystem {
     let mut cfg = SyntheticConfig::with_size(n);
@@ -22,7 +24,11 @@ fn fifty_op_session_stays_consistent() {
         let mut ops = Vec::new();
         for i in 0..50 {
             let class = WorkloadClass::all()[i % 3];
-            let op = if i % 2 == 0 { gen.insertion(class) } else { gen.deletion(class) };
+            let op = if i % 2 == 0 {
+                gen.insertion(class)
+            } else {
+                gen.deletion(class)
+            };
             if let Some(u) = op {
                 ops.push(u);
             }
@@ -37,13 +43,21 @@ fn fifty_op_session_stays_consistent() {
         }
         // Full oracle every 10 ops (each check republishes), light check of
         // the topological invariant every op.
-        assert!(sys.topo().is_valid_for(sys.view().dag()), "L broken after op {i}: {u}");
+        assert!(
+            sys.topo().is_valid_for(sys.view().dag()),
+            "L broken after op {i}: {u}"
+        );
         if i % 10 == 9 {
-            sys.consistency_check().unwrap_or_else(|e| panic!("after op {i} ({u}): {e}"));
+            sys.consistency_check()
+                .unwrap_or_else(|e| panic!("after op {i} ({u}): {e}"));
         }
     }
     sys.consistency_check().unwrap();
-    assert!(accepted >= ops.len() / 2, "only {accepted}/{} accepted", ops.len());
+    assert!(
+        accepted >= ops.len() / 2,
+        "only {accepted}/{} accepted",
+        ops.len()
+    );
 }
 
 proptest! {
