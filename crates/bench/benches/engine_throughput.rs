@@ -1,19 +1,33 @@
-//! `engine_throughput`: batched group commit vs one-at-a-time apply.
+//! `engine_throughput`: one-at-a-time apply vs single-writer group commit
+//! vs sharded parallel writers.
 //!
 //! Builds a synthetic system of `G` groups, then runs `R` rounds of one
 //! independent update per group (alternating a fresh-subtree insertion under
 //! the group head and a deletion of the previous round's insert) — a mixed
 //! workload of `G × R ≥ 10_000` updates in which each round is conflict-free
-//! across groups. The same operation sequence is timed two ways:
+//! across groups. The same operation sequence is timed three ways:
 //!
 //! 1. **sequential**: `XmlViewSystem::apply` per update (full §3.2
 //!    evaluation, per-update §3.4 maintenance, per-update ∆R application);
-//! 2. **engine**: submit everything, one `commit_pending()` — conflict
-//!    partitioning, scoped evaluation, folded maintenance, one snapshot per
-//!    batch.
+//! 2. **single-writer engine**: submit everything, one `commit_pending()` —
+//!    conflict partitioning, scoped evaluation, folded maintenance, one
+//!    snapshot per batch (the PR-1 serving pipeline);
+//! 3. **shard sweep**: the same with `n_shards` ∈ `RXVIEW_BENCH_SHARDS`
+//!    (default `2,4,8`) parallel writers over anchor-cone partitions —
+//!    `n_shards × max_batch`-wide conflict rounds, per-round anchor
+//!    indexing, apply-free shard translation, one merged maintenance fold
+//!    and one snapshot publication per round.
 //!
-//! Prints updates/sec for both and the speedup ratio. Environment knobs:
-//! `RXVIEW_BENCH_GROUPS` (default 512), `RXVIEW_BENCH_ROUNDS` (default 20).
+//! A second sweep drives the same engines with `workload::shard_skew`
+//! traffic (90% of updates on a few hot anchor cones) to show the scaling
+//! limit: conflicting updates to one cone serialize no matter how many
+//! writers exist.
+//!
+//! Environment knobs: `RXVIEW_BENCH_GROUPS` (default 2048),
+//! `RXVIEW_BENCH_ROUNDS` (default 5), `RXVIEW_BENCH_SHARDS`,
+//! `RXVIEW_BENCH_SKIP_SEQ=1` to skip the (slow) sequential baseline,
+//! `RXVIEW_BENCH_SKEW_OPS` / `RXVIEW_BENCH_SKEW_GROUPS` (defaults 2048 /
+//! 256; `RXVIEW_BENCH_SKEW_OPS=0` disables the skew sweep).
 //!
 //! Run with: `cargo bench -p rxview-bench --bench engine_throughput`
 
@@ -21,7 +35,8 @@ use rxview_core::{SideEffectPolicy, XmlUpdate, XmlViewSystem};
 use rxview_engine::{Engine, EngineConfig};
 use rxview_relstore::{tuple, Value};
 use rxview_workload::{
-    synthetic_atg, synthetic_database, ConcurrentConfig, ConcurrentGen, ServeOp, SyntheticConfig,
+    synthetic_atg, synthetic_database, ConcurrentConfig, ConcurrentGen, ServeOp, ShardSkewGen,
+    SkewConfig, SyntheticConfig,
 };
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -69,8 +84,8 @@ fn workload(groups: usize, rounds: usize) -> Vec<XmlUpdate> {
 }
 
 fn main() {
-    let groups = env_usize("RXVIEW_BENCH_GROUPS", 512);
-    let rounds = env_usize("RXVIEW_BENCH_ROUNDS", 20);
+    let groups = env_usize("RXVIEW_BENCH_GROUPS", 2048);
+    let rounds = env_usize("RXVIEW_BENCH_ROUNDS", 5);
     let ops = workload(groups, rounds);
     println!(
         "engine_throughput: {} groups x {} rounds = {} updates ({} C rows)",
@@ -88,25 +103,100 @@ fn main() {
         t0.elapsed()
     );
 
-    // --- Sequential baseline. ---
-    let mut seq = sys.clone();
-    let t1 = Instant::now();
-    let mut seq_ok = 0usize;
-    for u in &ops {
-        if seq.apply(u, SideEffectPolicy::Proceed).is_ok() {
-            seq_ok += 1;
+    // --- Sequential baseline (skippable: it dominates the wall clock). ---
+    let seq_ok = if std::env::var("RXVIEW_BENCH_SKIP_SEQ").is_err() {
+        let mut seq = sys.clone();
+        let t1 = Instant::now();
+        let mut seq_ok = 0usize;
+        for u in &ops {
+            if seq.apply(u, SideEffectPolicy::Proceed).is_ok() {
+                seq_ok += 1;
+            }
+        }
+        let seq_time = t1.elapsed();
+        let seq_rate = seq_ok as f64 / seq_time.as_secs_f64();
+        println!(
+            "sequential: {seq_ok}/{} accepted in {seq_time:?} ({seq_rate:.0} updates/sec)",
+            ops.len()
+        );
+        Some((seq_ok, seq_rate))
+    } else {
+        None
+    };
+
+    // --- Batched engine (single-writer path). ---
+    let (sw_rate, sw_ok) = run_engine(&sys, &ops, 1);
+    if let Some((seq_ok, seq_rate)) = seq_ok {
+        assert_eq!(
+            seq_ok, sw_ok,
+            "batched and sequential acceptance must agree"
+        );
+        let speedup = sw_rate / seq_rate;
+        println!("speedup: {speedup:.2}x (single-writer engine vs one-at-a-time apply)");
+        if speedup < 2.0 {
+            println!("WARNING: below the 2x acceptance target");
         }
     }
-    let seq_time = t1.elapsed();
-    let seq_rate = seq_ok as f64 / seq_time.as_secs_f64();
-    println!(
-        "sequential: {seq_ok}/{} accepted in {seq_time:?} ({seq_rate:.0} updates/sec)",
-        ops.len()
-    );
+    let seq_ok = sw_ok;
 
-    // --- Batched engine. ---
-    let engine = Engine::with_config(sys, EngineConfig::default());
-    let t2 = Instant::now();
+    // --- Shard sweep: parallel writers over anchor-cone partitions. ---
+    let shards: Vec<usize> = std::env::var("RXVIEW_BENCH_SHARDS")
+        .map(|v| v.split(',').filter_map(|s| s.trim().parse().ok()).collect())
+        .unwrap_or_else(|_| vec![2, 4, 8]);
+    println!("\nshard sweep (vs single-writer {sw_rate:.0} updates/sec):");
+    for &n in &shards {
+        let (rate, ok) = run_engine(&sys, &ops, n);
+        assert_eq!(seq_ok, ok, "sharded acceptance must match sequential");
+        println!(
+            "  {n} shards: {rate:.0} updates/sec ({:.2}x vs single-writer)",
+            rate / sw_rate
+        );
+    }
+
+    // --- Skewed traffic: a hot anchor-cone cluster bounds shard scaling.
+    // Hot chains force tiny commit rounds regardless of writer count, so
+    // this runs on its own (smaller) system: the interesting number is the
+    // ratio, and a huge view would spend the whole sweep cloning state for
+    // hundreds of near-empty publications. ---
+    let skew_ops = env_usize("RXVIEW_BENCH_SKEW_OPS", 2048);
+    if skew_ops > 0 {
+        let skew_groups = env_usize("RXVIEW_BENCH_SKEW_GROUPS", 256);
+        let skew_sys = build(skew_groups);
+        let mut gen = ShardSkewGen::new(SkewConfig {
+            groups: skew_groups,
+            hot_fraction: 0.9,
+            hot_groups: 4,
+            ..SkewConfig::default()
+        });
+        let ops = gen.ops(skew_ops);
+        println!(
+            "\nskewed sweep ({skew_ops} updates over {skew_groups} groups, 90% on 4 hot cones):"
+        );
+        let (skew_sw, skew_sw_ok) = run_engine(&skew_sys, &ops, 1);
+        for &n in &shards {
+            let (rate, ok) = run_engine(&skew_sys, &ops, n);
+            assert_eq!(skew_sw_ok, ok, "skewed acceptance must agree");
+            println!(
+                "  {n} shards: {rate:.0} updates/sec ({:.2}x vs single-writer {skew_sw:.0})",
+                rate / skew_sw
+            );
+        }
+    }
+
+    concurrent_mix();
+}
+
+/// Submits `ops`, drains them through one `commit_pending`, and returns
+/// `(updates/sec, accepted)`. `n_shards <= 1` = the single-writer path.
+fn run_engine(sys: &XmlViewSystem, ops: &[XmlUpdate], n_shards: usize) -> (f64, usize) {
+    let engine = Engine::with_config(
+        sys.clone(),
+        EngineConfig {
+            n_shards,
+            ..EngineConfig::default()
+        },
+    );
+    let t = Instant::now();
     let tickets: Vec<_> = ops
         .iter()
         .map(|u| {
@@ -116,30 +206,29 @@ fn main() {
         })
         .collect();
     let summary = engine.commit_pending();
-    let eng_ok = tickets
+    let ok = tickets
         .into_iter()
         .filter(|t| matches!(t.try_wait(), Some(Ok(_))))
         .count();
-    let eng_time = t2.elapsed();
-    let eng_rate = eng_ok as f64 / eng_time.as_secs_f64();
+    let time = t.elapsed();
+    let rate = ok as f64 / time.as_secs_f64();
+    let label = if n_shards <= 1 {
+        "single-writer".to_owned()
+    } else {
+        format!("{n_shards}-shard")
+    };
     println!(
-        "engine:     {eng_ok}/{} accepted in {eng_time:?} ({eng_rate:.0} updates/sec, {} batches)",
+        "{label}: {ok}/{} accepted in {time:?} ({rate:.0} updates/sec, {} batches)",
         ops.len(),
         summary.batches
     );
     println!("{}", engine.stats().report());
-
-    assert_eq!(
-        seq_ok, eng_ok,
-        "batched and sequential acceptance must agree"
-    );
-    let speedup = eng_rate / seq_rate;
-    println!("speedup: {speedup:.2}x (engine vs one-at-a-time apply)");
-    if speedup < 2.0 {
-        println!("WARNING: below the 2x acceptance target");
-    }
-
-    concurrent_mix();
+    engine
+        .snapshot()
+        .system()
+        .consistency_check()
+        .expect("consistent after commit");
+    (rate, ok)
 }
 
 /// Readers on snapshots while a writer group-commits a skewed 90/10 mix —

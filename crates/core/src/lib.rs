@@ -34,7 +34,10 @@ pub mod viewstore;
 
 pub use dag_eval::{eval_xpath_on_dag, DagEval};
 pub use maintain::{maintain_delete, maintain_insert, MaintainReport};
-pub use processor::{PhaseTimings, UpdateError, UpdateOutcome, UpdateReport, XmlViewSystem};
+pub use processor::{
+    translate_insert_for_merge, DeferredMaintenance, PhaseTimings, TranslatedUpdate, UpdateError,
+    UpdateOutcome, UpdateReport, XmlViewSystem,
+};
 pub use reach::Reachability;
 pub use rel_delete::{translate_deletions, translate_deletions_minimal, DeleteRejection};
 pub use rel_insert::{translate_insertions, InsertRejection, InsertTranslation};

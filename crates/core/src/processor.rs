@@ -147,6 +147,78 @@ impl DeferredMaintenance {
     pub fn n_selected(&self) -> usize {
         self.selected.len()
     }
+
+    /// The selected target nodes `r[[p]]` this obligation maintains around.
+    pub fn targets(&self) -> &[rxview_atg::NodeId] {
+        &self.selected
+    }
+
+    /// The *cone footprint* of this obligation: every node its ∆(M,L) pass
+    /// can read or write ancestor/descendant sets of, *before* closing over
+    /// descendants — the targets plus (for insertions) the subtree nodes.
+    ///
+    /// Two obligations whose descendant-closed footprints are disjoint
+    /// commute, which is what lets a sharded engine translate updates on
+    /// independent writers and still fold all of a round's ∆(M,L) work into
+    /// one [`XmlViewSystem::fold_maintenance`] pass on the merged state.
+    pub fn cone_footprint(&self) -> impl Iterator<Item = rxview_atg::NodeId> + '_ {
+        self.selected
+            .iter()
+            .copied()
+            .chain(self.subtree.iter().flat_map(|st| st.nodes.iter().copied()))
+    }
+}
+
+/// A translated-but-unapplied update: the output of phases 1–4 (validation,
+/// evaluation, side-effect detection, ∆X→∆V and ∆V→∆R translation) run
+/// against an *immutable* snapshot, with phase 5 (applying `∆R` to `I` and
+/// `∆V` to `V`) and phase 6 (maintenance) deferred to
+/// [`XmlViewSystem::apply_translated`] on a possibly different (but
+/// footprint-disjoint) state.
+///
+/// This is the hand-off type of the sharded serving engine: shard writer
+/// threads translate conflict-free updates in parallel against a shared
+/// snapshot, and a single publisher merges the resulting `TranslatedUpdate`s
+/// into the master state in submission order.
+///
+/// Node ids inside (`delta_v`, `subtree`, `selected`) are expressed in the
+/// id space of the *translating* replica: ids below the snapshot's
+/// allocation watermark are stable across replicas (the interner is cloned),
+/// while ids at or above it were allocated during translation and must be
+/// re-interned on the applying state — `apply_translated` does this from the
+/// translator's allocation catalog.
+#[derive(Debug)]
+pub struct TranslatedUpdate {
+    /// The edge delta `∆V`.
+    pub delta_v: ViewDelta,
+    /// The relational delta `∆R`.
+    pub delta_r: GroupUpdate,
+    /// The generated subtree `ST(A,t)` (insertions only), in translator ids.
+    pub subtree: Option<rxview_atg::SubtreeDag>,
+    /// The selected target nodes `r[[p]]`, in translator ids.
+    pub selected: Vec<rxview_atg::NodeId>,
+    /// Number of side-effect witnesses.
+    pub side_effects: usize,
+    /// Whether insertion translation invoked the SAT solver.
+    pub sat_used: bool,
+    /// Evaluation + translation wall-clock on the translating thread.
+    pub timings: PhaseTimings,
+}
+
+impl TranslatedUpdate {
+    /// All subtree nodes referenced by this translation (insertions only) —
+    /// the ids a sharded publisher must check for cross-update coupling.
+    pub fn subtree_nodes(&self) -> impl Iterator<Item = rxview_atg::NodeId> + '_ {
+        self.subtree.iter().flat_map(|st| st.nodes.iter().copied())
+    }
+
+    /// The subset of subtree nodes newly interned by the translator.
+    pub fn fresh_nodes(&self) -> &[rxview_atg::NodeId] {
+        self.subtree
+            .as_ref()
+            .map(|st| st.fresh.as_slice())
+            .unwrap_or(&[])
+    }
 }
 
 /// The complete system: database, views, auxiliary structures.
@@ -339,12 +411,61 @@ impl XmlViewSystem {
         eval: crate::dag_eval::DagEval,
         timings: &mut PhaseTimings,
     ) -> Result<(UpdateReport, DeferredMaintenance), UpdateError> {
-        let dtd = self.vs.atg().dtd();
-        // Phase 2b: side-effect detection (part of the evaluation
-        // constituent of Fig.11).
+        let t1 = Instant::now();
+        let t = translate_core(
+            &mut self.vs,
+            &self.base,
+            &self.reach,
+            &self.sat_config,
+            update,
+            policy,
+            eval,
+        )?;
+        timings.eval += t.timings.eval;
+        // Phase 5: apply ∆R to I and ∆V to V.
+        if let Err(e) = self.base.apply(&t.delta_r) {
+            if let Some(st) = &t.subtree {
+                rollback_subtree(&mut self.vs, st);
+            }
+            return Err(UpdateError::Rel(e));
+        }
+        apply_delta(&mut self.vs, &t.delta_v, t.subtree.as_ref())?;
+        timings.translate = t1.elapsed() - t.timings.eval;
+
+        let report = UpdateReport {
+            delta_v_len: t.delta_v.len(),
+            delta_r: t.delta_r,
+            side_effects: t.side_effects,
+            maintain: MaintainReport::default(),
+            timings: *timings,
+            sat_used: t.sat_used,
+        };
+        Ok((
+            report,
+            DeferredMaintenance {
+                selected: t.selected,
+                subtree: t.subtree,
+            },
+        ))
+    }
+
+    /// Phases 2b–4 for a *deletion*, without applying anything: the
+    /// shard-writer entry point. Deletions never intern nodes, so this runs
+    /// on `&self` — typically a shared snapshot.
+    pub fn translate_delete_for_merge(
+        &self,
+        update: &XmlUpdate,
+        policy: SideEffectPolicy,
+        eval: crate::dag_eval::DagEval,
+    ) -> Result<TranslatedUpdate, UpdateError> {
+        debug_assert!(!update.is_insert(), "insertions need a mutable replica");
+        // `translate_core` takes `&mut ViewStore` only for insertion
+        // interning; reuse it through a clone-free path by dispatching on
+        // the update kind here.
+        let mut timings = PhaseTimings::default();
         let t0 = Instant::now();
-        let side_effects = eval.side_effects(&self.vs, !update.is_insert());
-        timings.eval += t0.elapsed();
+        let side_effects = eval.side_effects(&self.vs, true);
+        timings.eval = t0.elapsed();
         if eval.is_empty() {
             return Err(UpdateError::EmptyTarget);
         }
@@ -353,52 +474,105 @@ impl XmlViewSystem {
                 affected: side_effects.len(),
             });
         }
-
-        // Phases 3–5: translation and application.
         let t1 = Instant::now();
-        let (delta_v, delta_r, subtree, sat_used) =
-            match update {
-                XmlUpdate::Insert { ty, attr, .. } => {
-                    let ty_id = dtd.type_id(ty).ok_or(UpdateError::Schema(
-                        SchemaViolation::UnknownType(ty.clone()),
-                    ))?;
-                    let (delta, st) = xinsert(&mut self.vs, &self.base, ty_id, attr.clone(), &eval)
-                        .map_err(UpdateError::Rel)?;
-                    // Cycle guard: connecting a target to a subtree that reaches
-                    // (an ancestor of) the target would make the DAG cyclic.
-                    // Only pre-existing nodes of ST(A,t) can close a cycle.
-                    let fresh: std::collections::BTreeSet<_> = st.fresh.iter().copied().collect();
-                    for &w in st.nodes.iter().filter(|n| !fresh.contains(n)) {
-                        for &t in &eval.selected {
-                            if w == t || self.reach.is_ancestor(w, t) {
-                                rollback_subtree(&mut self.vs, &st);
-                                return Err(UpdateError::Cycle);
-                            }
-                        }
-                    }
-                    let translation: InsertTranslation = match translate_insertions(
-                        &self.vs,
-                        &self.base,
-                        &delta,
-                        &st.fresh,
-                        &self.sat_config,
-                    ) {
-                        Ok(t) => t,
-                        Err(e) => {
-                            rollback_subtree(&mut self.vs, &st);
-                            return Err(UpdateError::Insert(e));
-                        }
-                    };
-                    (delta, translation.delta_r, Some(st), translation.sat_used)
+        let delta_v = xdelete(&eval);
+        let delta_r =
+            translate_deletions(&self.vs, &self.base, &delta_v).map_err(UpdateError::Delete)?;
+        timings.translate = t1.elapsed();
+        Ok(TranslatedUpdate {
+            delta_v,
+            delta_r,
+            subtree: None,
+            selected: eval.selected,
+            side_effects: side_effects.len(),
+            sat_used: false,
+            timings,
+        })
+    }
+
+    /// The WalkSAT configuration used by insertion translation.
+    pub fn sat_config(&self) -> &WalkSatConfig {
+        &self.sat_config
+    }
+
+    /// Applies a [`TranslatedUpdate`] produced against an earlier,
+    /// footprint-disjoint snapshot to this (master) state — phase 5 plus
+    /// re-interning of the translator's fresh allocations.
+    ///
+    /// `base_alloc` is the allocation watermark of the snapshot the
+    /// translator started from (`genid().n_allocated()` at translation
+    /// time) and `catalog` lists the `(type, $A)` pairs the translator
+    /// allocated beyond it, in allocation order. Fresh translator ids are
+    /// resolved against this state's interner: a pair that is already live
+    /// here keeps its master node (the translation degrades to a shared
+    /// splice), anything else is interned (allocating or reviving).
+    ///
+    /// Returns the per-update report and the phase-6 obligation in *master*
+    /// ids, ready for [`XmlViewSystem::fold_maintenance`].
+    pub fn apply_translated(
+        &mut self,
+        t: TranslatedUpdate,
+        base_alloc: usize,
+        catalog: &[(rxview_xmlkit::TypeId, rxview_relstore::Tuple)],
+    ) -> Result<(UpdateReport, DeferredMaintenance), UpdateError> {
+        use std::collections::HashMap;
+        let TranslatedUpdate {
+            mut delta_v,
+            delta_r,
+            mut subtree,
+            mut selected,
+            side_effects,
+            sat_used,
+            timings,
+        } = t;
+
+        // Re-intern the translator's fresh nodes; build the id remap. By the
+        // sharding protocol every translator id ≥ `base_alloc` referenced by
+        // this update is in its own fresh list, and fresh ids < `base_alloc`
+        // are revivals of retired pairs the master interner already knows.
+        let mut map: HashMap<rxview_atg::NodeId, rxview_atg::NodeId> = HashMap::new();
+        let mut master_fresh: Vec<rxview_atg::NodeId> = Vec::new();
+        if let Some(st) = &subtree {
+            for &f in &st.fresh {
+                let (ty, attr) = if f.index() >= base_alloc {
+                    let (ty, attr) = &catalog[f.index() - base_alloc];
+                    (*ty, attr.clone())
+                } else {
+                    let genid = self.vs.dag().genid();
+                    (genid.type_of(f), genid.attr_of(f).clone())
+                };
+                let (mid, fresh_here) = self.vs.dag_mut().genid_mut().gen_id(ty, attr);
+                map.insert(f, mid);
+                if fresh_here {
+                    master_fresh.push(mid);
                 }
-                XmlUpdate::Delete { .. } => {
-                    let delta = xdelete(&eval);
-                    let dr = translate_deletions(&self.vs, &self.base, &delta)
-                        .map_err(UpdateError::Delete)?;
-                    (delta, dr, None, false)
-                }
-            };
-        // Apply ∆R to I and ∆V to V.
+            }
+        }
+        let remap = |v: rxview_atg::NodeId| map.get(&v).copied().unwrap_or(v);
+        if let Some(st) = subtree.as_mut() {
+            st.root = remap(st.root);
+            for n in st.nodes.iter_mut() {
+                *n = remap(*n);
+            }
+            for (u, v) in st.edges.iter_mut() {
+                *u = remap(*u);
+                *v = remap(*v);
+            }
+            st.fresh = master_fresh;
+        }
+        for (u, v) in delta_v.inserts.iter_mut() {
+            *u = remap(*u);
+            *v = remap(*v);
+        }
+        for (u, v) in delta_v.deletes.iter_mut() {
+            *u = remap(*u);
+            *v = remap(*v);
+        }
+        for s in selected.iter_mut() {
+            *s = remap(*s);
+        }
+
+        // Phase 5 on the master state.
         if let Err(e) = self.base.apply(&delta_r) {
             if let Some(st) = &subtree {
                 rollback_subtree(&mut self.vs, st);
@@ -406,23 +580,16 @@ impl XmlViewSystem {
             return Err(UpdateError::Rel(e));
         }
         apply_delta(&mut self.vs, &delta_v, subtree.as_ref())?;
-        timings.translate = t1.elapsed();
 
         let report = UpdateReport {
             delta_v_len: delta_v.len(),
             delta_r,
-            side_effects: side_effects.len(),
+            side_effects,
             maintain: MaintainReport::default(),
-            timings: *timings,
+            timings,
             sat_used,
         };
-        Ok((
-            report,
-            DeferredMaintenance {
-                selected: eval.selected,
-                subtree,
-            },
-        ))
+        Ok((report, DeferredMaintenance { selected, subtree }))
     }
 
     /// Applies a *relational* group update directly to `I` and propagates
@@ -509,6 +676,101 @@ impl XmlViewSystem {
         }
         Ok(())
     }
+}
+
+/// Phases 2b–4: side-effect detection and ∆X→∆V / ∆V→∆R translation, with
+/// application deferred. Shared by [`XmlViewSystem::apply_phases`] (which
+/// applies immediately) and the shard-writer entry points (which hand the
+/// result to [`XmlViewSystem::apply_translated`] on the master state).
+fn translate_core(
+    vs: &mut ViewStore,
+    base: &Database,
+    reach: &Reachability,
+    sat_config: &WalkSatConfig,
+    update: &XmlUpdate,
+    policy: SideEffectPolicy,
+    eval: crate::dag_eval::DagEval,
+) -> Result<TranslatedUpdate, UpdateError> {
+    let mut timings = PhaseTimings::default();
+    // Phase 2b: side-effect detection (part of the evaluation constituent
+    // of Fig.11).
+    let t0 = Instant::now();
+    let side_effects = eval.side_effects(vs, !update.is_insert());
+    timings.eval = t0.elapsed();
+    if eval.is_empty() {
+        return Err(UpdateError::EmptyTarget);
+    }
+    if !side_effects.is_empty() && policy == SideEffectPolicy::Abort {
+        return Err(UpdateError::SideEffects {
+            affected: side_effects.len(),
+        });
+    }
+
+    // Phases 3–4: ∆X → ∆V → ∆R.
+    let t1 = Instant::now();
+    let (delta_v, delta_r, subtree, sat_used) = match update {
+        XmlUpdate::Insert { ty, attr, .. } => {
+            let ty_id = vs.atg().dtd().type_id(ty).ok_or(UpdateError::Schema(
+                SchemaViolation::UnknownType(ty.clone()),
+            ))?;
+            let (delta, st) =
+                xinsert(vs, base, ty_id, attr.clone(), &eval).map_err(UpdateError::Rel)?;
+            // Cycle guard: connecting a target to a subtree that reaches
+            // (an ancestor of) the target would make the DAG cyclic.
+            // Only pre-existing nodes of ST(A,t) can close a cycle.
+            let fresh: std::collections::BTreeSet<_> = st.fresh.iter().copied().collect();
+            for &w in st.nodes.iter().filter(|n| !fresh.contains(n)) {
+                for &t in &eval.selected {
+                    if w == t || reach.is_ancestor(w, t) {
+                        rollback_subtree(vs, &st);
+                        return Err(UpdateError::Cycle);
+                    }
+                }
+            }
+            let translation: InsertTranslation =
+                match translate_insertions(vs, base, &delta, &st.fresh, sat_config) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        rollback_subtree(vs, &st);
+                        return Err(UpdateError::Insert(e));
+                    }
+                };
+            (delta, translation.delta_r, Some(st), translation.sat_used)
+        }
+        XmlUpdate::Delete { .. } => {
+            let delta = xdelete(&eval);
+            let dr = translate_deletions(vs, base, &delta).map_err(UpdateError::Delete)?;
+            (delta, dr, None, false)
+        }
+    };
+    timings.translate = t1.elapsed();
+    Ok(TranslatedUpdate {
+        delta_v,
+        delta_r,
+        subtree,
+        selected: eval.selected,
+        side_effects: side_effects.len(),
+        sat_used,
+        timings,
+    })
+}
+
+/// Phases 2b–4 for an *insertion*, without applying anything: the
+/// shard-writer entry point. Insertions intern their generated subtree, so
+/// the caller provides a private [`ViewStore`] replica (`vs`) cloned from
+/// the snapshot, while `base` and `reach` may borrow the shared snapshot
+/// directly. On failure the replica's interning is rolled back.
+pub fn translate_insert_for_merge(
+    vs: &mut ViewStore,
+    base: &Database,
+    reach: &Reachability,
+    sat_config: &WalkSatConfig,
+    update: &XmlUpdate,
+    policy: SideEffectPolicy,
+    eval: crate::dag_eval::DagEval,
+) -> Result<TranslatedUpdate, UpdateError> {
+    debug_assert!(update.is_insert(), "deletions translate on the snapshot");
+    translate_core(vs, base, reach, sat_config, update, policy, eval)
 }
 
 #[cfg(test)]

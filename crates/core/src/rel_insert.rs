@@ -909,6 +909,23 @@ fn eval_combination(
             }
             srcs
         };
+        // No key-prefix binding: any other bound column still gives a
+        // secondary-index probe (`Table::scan_col_eq`) instead of a full
+        // scan — e.g. probing `H` by `h2` when the template binds the
+        // child's id but the parent is unknown.
+        let alt_src: Option<(usize, KeySrc)> = if as_template[entry] || !key_srcs.is_empty() {
+            None
+        } else {
+            (0..arity).find_map(|c| {
+                let r = root_of[offsets[entry] + c];
+                if let Some(v) = class_const.get(&r) {
+                    return Some((c, KeySrc::Const(v.clone())));
+                }
+                (0..total)
+                    .find(|&g| filled[g] && root_of[g] == r)
+                    .map(|g| (c, KeySrc::Abs(g)))
+            })
+        };
         let table: Option<&rxview_relstore::Table> = if as_template[entry] {
             None
         } else if entry == 0 {
@@ -955,21 +972,40 @@ fn eval_combination(
                     .collect()
             } else {
                 let table = table.expect("concrete entry");
+                // Secondary-index value for this row, if the prefix path is
+                // unavailable but some column is bound.
+                let alt: Option<(usize, Value)> = if ground && !prefix.is_empty() {
+                    None
+                } else {
+                    match &alt_src {
+                        Some((c, KeySrc::Const(v))) => Some((*c, v.clone())),
+                        Some((c, KeySrc::Abs(g))) => match vars.resolve(&row.cells[*g]) {
+                            Sym::Known(v) => Some((*c, v)),
+                            Sym::Var(_) => None,
+                        },
+                        None => None,
+                    }
+                };
                 fn rows_of<'t>(
                     t: &'t rxview_relstore::Table,
                     ground: bool,
                     prefix: &'t [Value],
+                    alt: &Option<(usize, Value)>,
                 ) -> Vec<Cand<'t>> {
-                    let iter: Box<dyn Iterator<Item = &Tuple>> = if ground && !prefix.is_empty() {
-                        Box::new(t.scan_key_prefix(prefix))
+                    if ground && !prefix.is_empty() {
+                        t.scan_key_prefix(prefix).map(Cand::Concrete).collect()
+                    } else if let Some((c, v)) = alt {
+                        t.scan_col_eq(*c, v)
+                            .into_iter()
+                            .map(Cand::Concrete)
+                            .collect()
                     } else {
-                        Box::new(t.iter())
-                    };
-                    iter.map(Cand::Concrete).collect()
+                        t.iter().map(Cand::Concrete).collect()
+                    }
                 }
-                let mut cands = rows_of(table, ground, &prefix);
+                let mut cands = rows_of(table, ground, &prefix, &alt);
                 if let Some(ft) = fresh_table {
-                    cands.extend(rows_of(ft, ground, &prefix));
+                    cands.extend(rows_of(ft, ground, &prefix, &alt));
                 }
                 cands
             };

@@ -5,15 +5,80 @@
 //! Both evaluation passes (§3.2) and Algorithm Reach (Fig.4) iterate over
 //! `L`; the maintenance algorithms (§3.4) update it in place via
 //! [`TopoOrder::swap`], the paper's `swap(L, u, v)` primitive.
+//!
+//! Positions are kept in a dense `Vec<u32>` keyed by [`NodeId`] index
+//! rather than a hash map: splices and removals rebuild a suffix of the
+//! position table, and on the serving engine's hot path (one ∆(M,L) fold
+//! per commit round) that rebuild is a tight array write instead of
+//! thousands of hash insertions. It also makes cloning `L` for a snapshot
+//! publication a pair of `memcpy`s.
 
 use rxview_atg::{Dag, NodeId};
-use std::collections::HashMap;
+
+/// Position sentinel for nodes not present in `L`.
+const ABSENT: u32 = u32::MAX;
+
+/// Position lookup: dense for the maintained full `L` (suffix rebuilds are
+/// tight array writes, clones are `memcpy`s), sparse for small scoped
+/// projections whose node ids span the whole id space (a dense table would
+/// cost an `O(max id)` zero-fill per projection).
+#[derive(Debug, Clone)]
+enum PosMap {
+    Dense(Vec<u32>),
+    Sparse(std::collections::HashMap<NodeId, u32>),
+}
+
+impl Default for PosMap {
+    fn default() -> Self {
+        PosMap::Dense(Vec::new())
+    }
+}
+
+impl PosMap {
+    fn get(&self, v: NodeId) -> Option<usize> {
+        match self {
+            PosMap::Dense(pos) => pos
+                .get(v.index())
+                .copied()
+                .filter(|&p| p != ABSENT)
+                .map(|p| p as usize),
+            PosMap::Sparse(pos) => pos.get(&v).map(|&p| p as usize),
+        }
+    }
+
+    fn set(&mut self, v: NodeId, p: usize) {
+        match self {
+            PosMap::Dense(pos) => {
+                if v.index() >= pos.len() {
+                    pos.resize(v.index() + 1, ABSENT);
+                }
+                pos[v.index()] = p as u32;
+            }
+            PosMap::Sparse(pos) => {
+                pos.insert(v, p as u32);
+            }
+        }
+    }
+
+    fn clear(&mut self, v: NodeId) {
+        match self {
+            PosMap::Dense(pos) => {
+                if let Some(slot) = pos.get_mut(v.index()) {
+                    *slot = ABSENT;
+                }
+            }
+            PosMap::Sparse(pos) => {
+                pos.remove(&v);
+            }
+        }
+    }
+}
 
 /// The maintained topological order.
 #[derive(Debug, Clone, Default)]
 pub struct TopoOrder {
     order: Vec<NodeId>,
-    pos: HashMap<NodeId, usize>,
+    pos: PosMap,
 }
 
 impl TopoOrder {
@@ -24,7 +89,7 @@ impl TopoOrder {
     /// Panics if the DAG is cyclic (callers check acyclicity at publish).
     pub fn compute(dag: &Dag) -> Self {
         // Out-degree based Kahn: nodes with no children (leaves) first.
-        let mut outdeg: HashMap<NodeId, usize> = HashMap::new();
+        let mut outdeg: std::collections::HashMap<NodeId, usize> = std::collections::HashMap::new();
         for id in dag.genid().live_ids() {
             outdeg.insert(
                 id,
@@ -57,8 +122,7 @@ impl TopoOrder {
             outdeg.len(),
             "cyclic DAG has no topological order"
         );
-        let pos = order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
-        TopoOrder { order, pos }
+        TopoOrder::from_order(order)
     }
 
     /// Builds an order directly from a node list, which must already be
@@ -70,7 +134,18 @@ impl TopoOrder {
     /// desc(anchor)` — a subset closed under descendants, so the projection
     /// of a valid order is itself valid for the sub-DAG.
     pub fn from_order(order: Vec<NodeId>) -> Self {
-        let pos = order.iter().enumerate().map(|(i, &n)| (n, i)).collect();
+        let width = order.iter().map(|n| n.index() + 1).max().unwrap_or(0);
+        // Dense only when the ids are reasonably packed (the maintained
+        // full L); a sparse projection pays a hash map instead of an
+        // `O(max id)` fill.
+        let mut pos = if width <= 4 * order.len() {
+            PosMap::Dense(vec![ABSENT; width])
+        } else {
+            PosMap::Sparse(std::collections::HashMap::with_capacity(order.len()))
+        };
+        for (i, n) in order.iter().enumerate() {
+            pos.set(*n, i);
+        }
         TopoOrder { order, pos }
     }
 
@@ -91,7 +166,7 @@ impl TopoOrder {
 
     /// The position of `v` in `L`.
     pub fn position(&self, v: NodeId) -> Option<usize> {
-        self.pos.get(&v).copied()
+        self.pos.get(v)
     }
 
     /// Whether `u` precedes `v`.
@@ -99,7 +174,11 @@ impl TopoOrder {
     /// # Panics
     /// Panics if either node is not in `L`.
     pub fn precedes(&self, u: NodeId, v: NodeId) -> bool {
-        self.pos[&u] < self.pos[&v]
+        self.position(u).expect("u in L") < self.position(v).expect("v in L")
+    }
+
+    fn set_pos(&mut self, v: NodeId, p: usize) {
+        self.pos.set(v, p);
     }
 
     /// The paper's `swap(L, u, v)`: called when edge `(u, v)` is inserted
@@ -108,8 +187,8 @@ impl TopoOrder {
     /// preserving their relative order. `is_desc_of_v(x)` answers whether
     /// `x` is a (strict) descendant of `v` in the *updated* graph.
     pub fn swap(&mut self, u: NodeId, v: NodeId, is_desc_of_v: &dyn Fn(NodeId) -> bool) {
-        let pu = self.pos[&u];
-        let pv = self.pos[&v];
+        let pu = self.position(u).expect("u in L");
+        let pv = self.position(v).expect("v in L");
         debug_assert!(pu < pv, "swap requires u before v");
         let segment: Vec<NodeId> = self.order[pu..=pv].to_vec();
         let mut moved = Vec::new();
@@ -127,27 +206,30 @@ impl TopoOrder {
         rebuilt.extend(kept);
         self.order[pu..=pv].copy_from_slice(&rebuilt);
         for (i, &n) in rebuilt.iter().enumerate() {
-            self.pos.insert(n, pu + i);
+            self.set_pos(n, pu + i);
         }
     }
 
     /// Removes `v` from `L` (deletion maintenance, Fig.8 line 14). An
     /// element removal never invalidates the order of the rest.
     pub fn remove(&mut self, v: NodeId) {
-        if let Some(p) = self.pos.remove(&v) {
+        if let Some(p) = self.position(v) {
+            self.pos.clear(v);
             self.order.remove(p);
             for i in p..self.order.len() {
-                self.pos.insert(self.order[i], i);
+                let n = self.order[i];
+                self.pos.set(n, i);
             }
         }
     }
 
     /// Inserts `v` immediately before position `at` (shifting the suffix).
     pub fn insert_at(&mut self, at: usize, v: NodeId) {
-        debug_assert!(!self.pos.contains_key(&v), "node already in L");
+        debug_assert!(self.position(v).is_none(), "node already in L");
         self.order.insert(at, v);
         for i in at..self.order.len() {
-            self.pos.insert(self.order[i], i);
+            let n = self.order[i];
+            self.set_pos(n, i);
         }
     }
 
@@ -156,14 +238,15 @@ impl TopoOrder {
     /// instead of `O(|L| · |nodes|)` for repeated [`TopoOrder::insert_at`].
     pub fn insert_many_at(&mut self, at: usize, nodes: &[NodeId]) {
         debug_assert!(
-            nodes.iter().all(|n| !self.pos.contains_key(n)),
+            nodes.iter().all(|n| self.position(*n).is_none()),
             "node already in L"
         );
         let tail = self.order.split_off(at);
         self.order.extend_from_slice(nodes);
         self.order.extend(tail);
         for i in at..self.order.len() {
-            self.pos.insert(self.order[i], i);
+            let n = self.order[i];
+            self.set_pos(n, i);
         }
     }
 
@@ -178,7 +261,7 @@ impl TopoOrder {
                 if !dag.genid().is_live(c) {
                     continue;
                 }
-                match (self.pos.get(&c), self.pos.get(&u)) {
+                match (self.position(c), self.position(u)) {
                     (Some(pc), Some(pu)) if pc < pu => {}
                     _ => return false,
                 }
@@ -262,11 +345,8 @@ mod tests {
     fn swap_moves_descendants_before_u() {
         // Synthetic order over ids 0..5: claim 4 is the new child of 0,
         // with descendant 2.
-        let mut l = TopoOrder::default();
-        for (i, id) in [10u32, 0, 1, 2, 3, 4].iter().enumerate() {
-            l.order.push(NodeId(*id));
-            l.pos.insert(NodeId(*id), i);
-        }
+        let l0: Vec<NodeId> = [10u32, 0, 1, 2, 3, 4].iter().map(|&i| NodeId(i)).collect();
+        let mut l = TopoOrder::from_order(l0);
         // u = 0 at pos 1, v = 4 at pos 5; desc(v) = {2}.
         l.swap(NodeId(0), NodeId(4), &|x| x == NodeId(2));
         let got: Vec<u32> = l.order().iter().map(|n| n.0).collect();

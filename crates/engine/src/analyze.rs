@@ -51,26 +51,42 @@ fn filter_keys(filter: &Filter, out: &mut Vec<(String, String)>) {
     }
 }
 
-/// The anchor set of a path: the top-level nodes every match must pass
-/// through. `None` means the path is not anchored (global footprint).
-fn anchors_of(sys: &XmlViewSystem, path: &XPath) -> Option<(TypeId, Vec<NodeId>, Vec<String>)> {
+/// The first-step anchor pattern of a path: the first labelled step's type
+/// and the `field = value` filters qualifying it. `None` means the path is
+/// not anchored (global footprint).
+fn anchor_pattern(sys: &XmlViewSystem, path: &XPath) -> Option<(TypeId, Vec<(String, String)>)> {
     let norm = normalize(path);
     let mut steps = norm.steps.iter();
     let NormStep::Label(first) = steps.next()? else {
         return None;
     };
-    let vs = sys.view();
-    let dtd = vs.atg().dtd();
-    let first_ty = dtd.type_id(first)?;
-
+    let first_ty = sys.view().atg().dtd().type_id(first)?;
     // Equality filters directly qualifying the first step.
     let mut keys: Vec<(String, String)> = Vec::new();
     for step in steps {
         let NormStep::FilterStep(f) = step else { break };
         filter_keys(f, &mut keys);
     }
-    let key_values: Vec<String> = keys.iter().map(|(_, v)| v.clone()).collect();
+    Some((first_ty, keys))
+}
 
+/// The anchor set of a path: the top-level nodes every match must pass
+/// through. `None` means the path is not anchored (global footprint).
+/// With `index` supplied, candidate resolution is an index probe instead of
+/// a scan over all top-level nodes.
+fn anchors_of(
+    sys: &XmlViewSystem,
+    index: Option<&AnchorIndex>,
+    path: &XPath,
+) -> Option<(TypeId, Vec<NodeId>, Vec<String>)> {
+    let (first_ty, keys) = anchor_pattern(sys, path)?;
+    let key_values: Vec<String> = keys.iter().map(|(_, v)| v.clone()).collect();
+    if let Some(index) = index {
+        return Some((first_ty, index.anchors(sys, first_ty, &keys), key_values));
+    }
+
+    let vs = sys.view();
+    let dtd = vs.atg().dtd();
     let mut cache = HashMap::new();
     let mut anchors = Vec::new();
     'cand: for &c in vs.dag().children(vs.dag().root()) {
@@ -96,8 +112,96 @@ fn anchors_of(sys: &XmlViewSystem, path: &XPath) -> Option<(TypeId, Vec<NodeId>,
     Some((first_ty, anchors, key_values))
 }
 
+/// An index of anchor candidates over one system state: top-level nodes by
+/// type and by `(type, pcdata-field type, field text)`. The sharded
+/// router builds one per commit round and probes it for every analysis of
+/// that round, replacing the `O(top-level nodes)` scan per update with an
+/// `O(anchors)` lookup. Probing an index built from the same state an
+/// update is analyzed against yields exactly the scan's anchors.
+#[derive(Debug, Default)]
+pub struct AnchorIndex {
+    /// type → live top-level nodes of that type (sorted).
+    by_type: HashMap<TypeId, Vec<NodeId>>,
+    /// (type, field type, field text) → matching top-level nodes (sorted).
+    by_key: HashMap<(TypeId, TypeId, String), Vec<NodeId>>,
+}
+
+impl AnchorIndex {
+    /// Builds the index from the current top level of `sys`.
+    pub fn build(sys: &XmlViewSystem) -> Self {
+        let vs = sys.view();
+        let dtd = vs.atg().dtd();
+        let genid = vs.dag().genid();
+        let mut cache = HashMap::new();
+        let mut ix = AnchorIndex::default();
+        for &c in vs.dag().children(vs.dag().root()) {
+            if !genid.is_live(c) {
+                continue;
+            }
+            let cty = genid.type_of(c);
+            ix.by_type.entry(cty).or_default().push(c);
+            for &k in vs.dag().children(c) {
+                let kty = genid.type_of(k);
+                if dtd.is_pcdata(kty) {
+                    ix.by_key
+                        .entry((cty, kty, vs.text_value(k, &mut cache)))
+                        .or_default()
+                        .push(c);
+                }
+            }
+        }
+        for v in ix.by_type.values_mut() {
+            v.sort_unstable();
+            v.dedup();
+        }
+        for v in ix.by_key.values_mut() {
+            v.sort_unstable();
+            v.dedup();
+        }
+        ix
+    }
+
+    /// The anchors matching a first-step pattern (see `anchors_of`).
+    fn anchors(
+        &self,
+        sys: &XmlViewSystem,
+        first_ty: TypeId,
+        keys: &[(String, String)],
+    ) -> Vec<NodeId> {
+        let dtd = sys.view().atg().dtd();
+        // A key on an unknown field rejects every candidate, exactly as the
+        // scan does.
+        let mut usable: Vec<(TypeId, &str)> = Vec::new();
+        for (field, value) in keys {
+            match dtd.type_id(field) {
+                None => return Vec::new(),
+                Some(fty) if dtd.is_pcdata(fty) => usable.push((fty, value)),
+                Some(_) => {} // structural filter: not usable for pruning
+            }
+        }
+        let empty: Vec<NodeId> = Vec::new();
+        let mut usable = usable.into_iter();
+        let mut anchors: Vec<NodeId> = match usable.next() {
+            None => self.by_type.get(&first_ty).cloned().unwrap_or_default(),
+            Some((fty, v)) => self
+                .by_key
+                .get(&(first_ty, fty, v.to_owned()))
+                .cloned()
+                .unwrap_or_default(),
+        };
+        for (fty, v) in usable {
+            let hits = self
+                .by_key
+                .get(&(first_ty, fty, v.to_owned()))
+                .unwrap_or(&empty);
+            anchors.retain(|c| hits.binary_search(c).is_ok());
+        }
+        anchors
+    }
+}
+
 /// Conservative footprint of one update against a given system state.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Analysis {
     /// Cone of view nodes the update can read or write; `None` = global.
     cone: Option<HashSet<NodeId>>,
@@ -169,10 +273,22 @@ impl Analysis {
         update: &XmlUpdate,
         want_scope: bool,
     ) -> (Analysis, Option<TopoOrder>) {
+        Analysis::of_with_scope_indexed(sys, None, update, want_scope)
+    }
+
+    /// [`Analysis::of_with_scope`] with anchor candidates resolved through
+    /// a per-round [`AnchorIndex`] built from the same state (the sharded
+    /// router's entry point).
+    pub fn of_with_scope_indexed(
+        sys: &XmlViewSystem,
+        index: Option<&AnchorIndex>,
+        update: &XmlUpdate,
+        want_scope: bool,
+    ) -> (Analysis, Option<TopoOrder>) {
         let dtd = sys.view().atg().dtd();
         let genid = sys.view().dag().genid();
         let interior = |v: &NodeId| !dtd.is_pcdata(genid.type_of(*v));
-        let anchored = anchors_of(sys, update.path());
+        let anchored = anchors_of(sys, index, update.path());
         let mut keys = BTreeSet::new();
         let mut scope = None;
         let mut cone = match anchored {
@@ -298,7 +414,7 @@ fn scope_of_anchors(sys: &XmlViewSystem, anchors: &[NodeId]) -> TopoOrder {
 /// desc(anchors)`. Returns `None` when the path is unanchored, in which case
 /// the caller must run the full evaluation.
 pub fn evaluation_scope(sys: &XmlViewSystem, path: &XPath) -> Option<TopoOrder> {
-    let (_, anchors, _) = anchors_of(sys, path)?;
+    let (_, anchors, _) = anchors_of(sys, None, path)?;
     Some(scope_of_anchors(sys, &anchors))
 }
 

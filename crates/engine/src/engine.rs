@@ -1,7 +1,17 @@
 //! The engine: admission queue, conflict-free batch formation, group
 //! commit, and snapshot publication.
+//!
+//! Two write paths share this front door:
+//!
+//! - **single-writer** (`n_shards <= 1`): one batch per round, applied to a
+//!   working clone, one snapshot per batch;
+//! - **sharded** (`n_shards >= 2`): the `router` module partitions each
+//!   round across `shard` writer threads and the `publisher` merges their
+//!   translations into one epoch-ordered snapshot stream.
 
 use crate::analyze::{Analysis, BatchFootprint};
+use crate::publisher;
+use crate::shard::ShardPool;
 use crate::snapshot::Snapshot;
 use crate::stats::EngineStats;
 use rxview_core::{
@@ -10,14 +20,16 @@ use rxview_core::{
 use rxview_relstore::RelError;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{mpsc, Arc, Mutex, RwLock};
+use std::sync::{mpsc, Arc, Mutex, OnceLock, RwLock};
 use std::time::{Duration, Instant};
 
 /// Engine tuning knobs.
 #[derive(Debug, Clone)]
 pub struct EngineConfig {
     /// Maximum updates per conflict-free batch (one snapshot publication
-    /// and one folded maintenance pass per batch).
+    /// and one folded maintenance pass per batch in the single-writer path;
+    /// the per-shard bundle bound in the sharded path, where a commit round
+    /// admits up to `n_shards * max_batch` updates).
     pub max_batch: usize,
     /// Bound of the admission queue; [`Engine::submit`] returns
     /// [`EngineError::Saturated`] beyond it.
@@ -25,6 +37,11 @@ pub struct EngineConfig {
     /// Whether key-anchored paths may be evaluated scoped to their anchor
     /// cone (disable to force full §3.2 evaluation for every update).
     pub scoped_eval: bool,
+    /// Number of parallel shard writers. `0` or `1` selects the single-writer
+    /// group-commit path; `n >= 2` runs `n` shard writer threads over
+    /// anchor-cone partitions with a serialized global lane and a merging
+    /// publisher (capped at 64).
+    pub n_shards: usize,
 }
 
 impl Default for EngineConfig {
@@ -33,6 +50,7 @@ impl Default for EngineConfig {
             max_batch: 256,
             max_queue: 65_536,
             scoped_eval: true,
+            n_shards: 1,
         }
     }
 }
@@ -110,23 +128,53 @@ pub struct CommitSummary {
     pub maintain: rxview_core::MaintainReport,
 }
 
-struct Pending {
-    update: XmlUpdate,
-    policy: SideEffectPolicy,
-    tx: mpsc::Sender<UpdateOutcome>,
+pub(crate) struct Pending {
+    pub(crate) update: XmlUpdate,
+    pub(crate) policy: SideEffectPolicy,
+    pub(crate) tx: mpsc::Sender<UpdateOutcome>,
 }
 
-struct Inner {
-    snapshot: RwLock<Arc<Snapshot>>,
-    queue: Mutex<Vec<Pending>>,
-    commit_mx: Mutex<()>,
-    epoch: AtomicU64,
-    stats: EngineStats,
-    config: EngineConfig,
+pub(crate) struct Inner {
+    pub(crate) snapshot: RwLock<Arc<Snapshot>>,
+    pub(crate) queue: Mutex<Vec<Pending>>,
+    pub(crate) commit_mx: Mutex<()>,
+    pub(crate) epoch: AtomicU64,
+    pub(crate) stats: Arc<EngineStats>,
+    pub(crate) config: EngineConfig,
+    /// The sharded publisher's persistent master state — always equal in
+    /// content to the latest published snapshot. `None` until the first
+    /// sharded commit materializes it.
+    pub(crate) master: Mutex<Option<XmlViewSystem>>,
+    /// Lazily spawned shard writer pool (sharded path only).
+    pub(crate) pool: OnceLock<ShardPool>,
 }
 
-/// The concurrent view-serving engine. Cheap to clone (handles share one
-/// underlying engine); all methods take `&self`.
+impl Inner {
+    /// The latest snapshot without counting as a reader acquisition
+    /// (internal commit-path use).
+    pub(crate) fn current(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.snapshot.read().expect("snapshot lock poisoned"))
+    }
+
+    /// Stamps `sys` with the next epoch and publishes it as the new
+    /// snapshot, returning it.
+    pub(crate) fn publish(&self, sys: XmlViewSystem) -> Arc<Snapshot> {
+        let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
+        let snap = Arc::new(Snapshot::new(sys, epoch));
+        *self.snapshot.write().expect("snapshot lock poisoned") = Arc::clone(&snap);
+        self.stats.record_snapshot_published();
+        snap
+    }
+}
+
+/// The concurrent view-serving engine: snapshot-isolated readers over an
+/// epoch-ordered stream of immutable [`Snapshot`]s, and group-committed
+/// writers — a single writer by default, or `n` parallel shard writers over
+/// anchor-cone partitions when configured with
+/// [`EngineConfig::n_shards`]` >= 2`.
+///
+/// Cheap to clone (handles share one underlying engine); all methods take
+/// `&self`.
 pub struct Engine {
     inner: Arc<Inner>,
 }
@@ -153,22 +201,45 @@ impl Engine {
         Engine::with_config(sys, EngineConfig::default())
     }
 
-    /// Wraps a published system with explicit tuning.
-    pub fn with_config(sys: XmlViewSystem, config: EngineConfig) -> Self {
+    /// Wraps a published system with explicit tuning (`n_shards` clamped to
+    /// `1..=64`, `max_batch` raised to at least 1 — a zero batch cap could
+    /// never make commit progress).
+    pub fn with_config(sys: XmlViewSystem, mut config: EngineConfig) -> Self {
+        config.n_shards = config.n_shards.clamp(1, 64);
+        config.max_batch = config.max_batch.max(1);
         Engine {
             inner: Arc::new(Inner {
                 snapshot: RwLock::new(Arc::new(Snapshot::new(sys, 0))),
                 queue: Mutex::new(Vec::new()),
                 commit_mx: Mutex::new(()),
                 epoch: AtomicU64::new(0),
-                stats: EngineStats::default(),
+                stats: Arc::new(EngineStats::with_shards(config.n_shards)),
                 config,
+                master: Mutex::new(None),
+                pool: OnceLock::new(),
             }),
         }
     }
 
     /// The current snapshot. The read lock is held only for the `Arc` bump;
-    /// evaluation runs lock-free on the returned snapshot.
+    /// evaluation runs lock-free on the returned snapshot, which stays
+    /// valid (and immutable) for as long as the caller keeps it.
+    ///
+    /// ```
+    /// use rxview_atg::{registrar_atg, registrar_database};
+    /// use rxview_core::XmlViewSystem;
+    /// use rxview_engine::Engine;
+    ///
+    /// let db = registrar_database();
+    /// let atg = registrar_atg(&db)?;
+    /// let engine = Engine::new(XmlViewSystem::new(atg, db)?);
+    ///
+    /// let snap = engine.snapshot();
+    /// assert_eq!(snap.epoch(), 0); // initial publication
+    /// let bob = rxview_xmlkit::parse_xpath("//student[ssn=S02]")?;
+    /// assert_eq!(snap.select(&bob).len(), 1);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     pub fn snapshot(&self) -> Arc<Snapshot> {
         self.inner.stats.record_snapshot_read();
         Arc::clone(&self.inner.snapshot.read().expect("snapshot lock poisoned"))
@@ -179,7 +250,29 @@ impl Engine {
         &self.inner.stats
     }
 
-    /// Enqueues an update for the next group commit.
+    /// Enqueues an update for the next group commit, returning a
+    /// [`UpdateTicket`] that resolves once the update's snapshot is
+    /// visible (read-your-writes).
+    ///
+    /// ```
+    /// use rxview_atg::{registrar_atg, registrar_database};
+    /// use rxview_core::{SideEffectPolicy, XmlUpdate, XmlViewSystem};
+    /// use rxview_engine::Engine;
+    ///
+    /// let db = registrar_database();
+    /// let atg = registrar_atg(&db)?;
+    /// let engine = Engine::new(XmlViewSystem::new(atg, db)?);
+    ///
+    /// // Example 5's edge deletion, group-committed.
+    /// let u = XmlUpdate::delete("course[cno=CS650]/prereq/course[cno=CS320]")?;
+    /// let ticket = engine.submit(u, SideEffectPolicy::Abort)?;
+    /// engine.commit_pending();
+    /// let report = ticket.wait()?;
+    /// assert_eq!(report.side_effects, 0);
+    /// assert!(!report.delta_r.is_empty()); // the relational ∆R it became
+    /// assert_eq!(engine.snapshot().epoch(), 1);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     pub fn submit(
         &self,
         update: XmlUpdate,
@@ -209,16 +302,26 @@ impl Engine {
         ticket.wait()
     }
 
-    /// Drains the admission queue and commits it: forms one conflict-free
+    /// Drains the admission queue and commits it.
+    ///
+    /// **Single-writer path** (`n_shards <= 1`): forms one conflict-free
     /// batch per *round* — each round re-runs the conflict analysis of every
     /// still-pending update against the state the batch will actually apply
     /// to, so staleness across batches cannot arise — applies the batch to a
     /// working clone with scoped evaluation and folded maintenance, and
-    /// publishes one new snapshot per batch. Submission order is preserved
-    /// between conflicting updates (an update deferred by a conflict also
-    /// blocks its own later conflicters). Outcomes are delivered to tickets
-    /// after their batch's snapshot is visible, so a caller that observed
-    /// its ticket can read its own write.
+    /// publishes one new snapshot per batch.
+    ///
+    /// **Sharded path** (`n_shards >= 2`): plans an `n_shards * max_batch`-
+    /// wide conflict-free round, translates it in parallel on the shard
+    /// writer threads, and merges the results into the persistent master
+    /// state with one folded maintenance pass and one publication per round
+    /// (the full pipeline is diagrammed in `ARCHITECTURE.md` §3).
+    ///
+    /// On both paths submission order is preserved between conflicting
+    /// updates (an update deferred by a conflict also blocks its own later
+    /// conflicters), and outcomes are delivered to tickets after their
+    /// snapshot is visible, so a caller that observed its ticket can read
+    /// its own write.
     pub fn commit_pending(&self) -> CommitSummary {
         let _guard = self.inner.commit_mx.lock().expect("commit lock poisoned");
         let pending: Vec<Pending> = {
@@ -229,6 +332,9 @@ impl Engine {
             return CommitSummary::default();
         }
         self.inner.stats.record_commit();
+        if self.inner.config.n_shards >= 2 {
+            return publisher::commit_sharded(&self.inner, pending);
+        }
         let mut summary = CommitSummary {
             updates: pending.len(),
             ..CommitSummary::default()
@@ -246,6 +352,10 @@ impl Engine {
             let mut batch_foot = BatchFootprint::default();
             let mut blocked_foot = BatchFootprint::default();
             let mut any_blocked = false;
+            // Anchor candidates are indexed once per round, built on the
+            // first analysis that needs them.
+            let anchor_index: std::cell::OnceCell<crate::analyze::AnchorIndex> =
+                std::cell::OnceCell::new();
             let mut drain = queue.into_iter();
             for (i, p) in drain.by_ref() {
                 if batch.len() >= self.inner.config.max_batch {
@@ -255,8 +365,12 @@ impl Engine {
                     deferred.extend(drain.by_ref());
                     break;
                 }
-                let (a, scope) = Analysis::of_with_scope(
+                let (a, scope) = Analysis::of_with_scope_indexed(
                     current.system(),
+                    Some(
+                        anchor_index
+                            .get_or_init(|| crate::analyze::AnchorIndex::build(current.system())),
+                    ),
                     &p.update,
                     self.inner.config.scoped_eval,
                 );

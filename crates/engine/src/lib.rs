@@ -23,9 +23,24 @@
 //!   single ∆(M,L)delete pass per batch
 //!   ([`rxview_core::XmlViewSystem::fold_maintenance`]). Per-update
 //!   accept/reject outcomes are reported back through [`UpdateTicket`]s.
+//! - **Sharded parallel writers** ([`EngineConfig::n_shards`]` >= 2`): the
+//!   write path becomes a router → shard-writers → publisher pipeline over
+//!   *anchor-cone partitions*. The router plans an `n_shards * max_batch`-
+//!   wide conflict-free round per commit (probing a per-round
+//!   [`AnchorIndex`]); shard threads translate their updates against the
+//!   shared snapshot without applying anything (insertions intern into a
+//!   private replica and ship an allocation catalog); the publisher merges
+//!   the translations onto the persistent master in submission order
+//!   ([`rxview_core::XmlViewSystem::apply_translated`] re-interns and
+//!   remaps), folds the whole round's ∆(M,L) into one pass, and publishes
+//!   one epoch per round — so readers keep a single coherent, epoch-ordered
+//!   snapshot stream. Unanchored `//`-path updates serialize through a
+//!   global lane. Both write paths are property-tested observationally
+//!   equivalent to sequential application.
 //! - **Observability** ([`EngineStats`]): lock-free counters extending the
 //!   Fig.11 phase constituents ([`rxview_core::PhaseTimings`]) with
-//!   queueing, batching, snapshot, and scoped-vs-full evaluation counters.
+//!   queueing, batching, snapshot, scoped-vs-full evaluation, and per-shard
+//!   pipeline counters.
 //!
 //! Mapping back to the paper's Fig.3 phases: schema validation (§2.4) and
 //! translation ∆X→∆V→∆R (§3.3, §4) run unchanged per update inside
@@ -39,10 +54,13 @@
 
 pub mod analyze;
 pub mod engine;
+pub(crate) mod publisher;
+pub(crate) mod router;
+pub(crate) mod shard;
 pub mod snapshot;
 pub mod stats;
 
-pub use analyze::{Analysis, BatchFootprint};
+pub use analyze::{Analysis, AnchorIndex, BatchFootprint};
 pub use engine::{Engine, EngineConfig, EngineError, UpdateTicket, WriterHandle};
 pub use snapshot::Snapshot;
 pub use stats::{EngineReport, EngineStats};

@@ -1,0 +1,322 @@
+//! The cross-shard coordinator's *merge* half: applies shard translations
+//! to the persistent master state in submission order and publishes one
+//! snapshot per round, so readers keep a single coherent, epoch-ordered
+//! `Arc<Snapshot>` stream no matter how many writers produced the round.
+//!
+//! Per round the publisher:
+//!
+//! 1. asks the [`crate::router`] for a conflict-free round plan against the
+//!    latest snapshot and dispatches it to the [`crate::shard`] pool (or
+//!    runs a global-footprint update directly on the master through the
+//!    serialized **global lane**);
+//! 2. merges the returned bundles in **submission order**: re-interns each
+//!    translation's fresh allocations from its shard's catalog, remaps it
+//!    into master ids, and applies ∆R/∆V
+//!    ([`rxview_core::XmlViewSystem::apply_translated`]). Two merge-time
+//!    hazards send an update back to the router instead of applying it —
+//!    a base-table key also written by an earlier update of the same round
+//!    (the textual value-key heuristic cannot see relational key overlap),
+//!    and shard-detected coupling between same-round insertions; requeued
+//!    updates re-translate against the next snapshot, which restores the
+//!    exact sequential semantics;
+//! 3. folds the whole round's ∆(M,L) obligations into **one** maintenance
+//!    pass (`fold_maintenance`) — sound because the round's cone footprints
+//!    are disjoint (see [`rxview_core::DeferredMaintenance::cone_footprint`])
+//!    — and publishes the next epoch;
+//! 4. resolves the round's tickets (accepted ones only after their snapshot
+//!    is visible, preserving read-your-writes) and revalidates the cached
+//!    analyses of still-deferred updates against the round's footprint.
+//!
+//! The master state persists across rounds and commits: it is cloned once
+//! per publication instead of once per shard batch, which — together with
+//! the `n_shards * max_batch`-wide analysis rounds — is where the sharded
+//! path's single-core advantage over the single-writer path comes from;
+//! on a multi-core host the shard translations additionally run in
+//! parallel.
+
+use crate::engine::{CommitSummary, Inner, Pending};
+use crate::router::{self, PendingUpdate, Round};
+use crate::shard::{ShardBundle, ShardPool, ShardResult};
+use rxview_core::{DeferredMaintenance, UpdateError, UpdateOutcome, UpdateReport, XmlViewSystem};
+use rxview_relstore::{RelError, Tuple, TupleOp};
+use std::collections::HashSet;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Delivers an outcome to its ticket and updates counters.
+fn resolve(
+    inner: &Inner,
+    summary: &mut CommitSummary,
+    txs: &mut [Option<mpsc::Sender<UpdateOutcome>>],
+    idx: usize,
+    outcome: UpdateOutcome,
+) {
+    let accepted = outcome.is_ok();
+    inner.stats.record_outcome(accepted);
+    if accepted {
+        summary.accepted += 1;
+    } else {
+        summary.rejected += 1;
+    }
+    if let Some(tx) = txs[idx].take() {
+        let _ = tx.send(outcome); // receiver may have given up
+    }
+}
+
+/// The base-table keys an update's `∆R` writes, as `(table, key)` pairs.
+fn written_keys(
+    master: &XmlViewSystem,
+    delta_r: &rxview_relstore::GroupUpdate,
+) -> Result<Vec<(String, Tuple)>, RelError> {
+    let mut keys = Vec::with_capacity(delta_r.len());
+    for op in delta_r.ops() {
+        let key = match op {
+            TupleOp::Insert { table, tuple } => master.base().table(table)?.schema().key_of(tuple),
+            TupleOp::Delete { key, .. } => key.clone(),
+        };
+        keys.push((op.table().to_owned(), key));
+    }
+    Ok(keys)
+}
+
+/// The sharded commit loop (see the module docs). Called by
+/// [`crate::Engine::commit_pending`] with the commit mutex held.
+pub(crate) fn commit_sharded(inner: &Inner, pending: Vec<Pending>) -> CommitSummary {
+    let n_shards = inner.config.n_shards;
+    let stats = &inner.stats;
+    let mut summary = CommitSummary {
+        updates: pending.len(),
+        ..CommitSummary::default()
+    };
+
+    let mut entries: Vec<PendingUpdate> = Vec::with_capacity(pending.len());
+    let mut txs: Vec<Option<mpsc::Sender<UpdateOutcome>>> = Vec::with_capacity(pending.len());
+    for (idx, p) in pending.into_iter().enumerate() {
+        let (pu, tx) = PendingUpdate::new(idx, p);
+        entries.push(pu);
+        txs.push(Some(tx));
+    }
+
+    let pool: &ShardPool = inner
+        .pool
+        .get_or_init(|| ShardPool::new(n_shards, Arc::clone(&inner.stats)));
+    // The persistent master: always content-equal to the latest snapshot.
+    let mut master: XmlViewSystem = inner
+        .master
+        .lock()
+        .expect("master lock poisoned")
+        .take()
+        .unwrap_or_else(|| inner.current().system().clone());
+
+    while !entries.is_empty() {
+        stats.record_round();
+        let current = inner.current();
+        let t_part = Instant::now();
+        let plan = router::plan_round(
+            current.system(),
+            &mut entries,
+            n_shards,
+            inner.config.max_batch,
+            inner.config.scoped_eval,
+            stats,
+        );
+        stats.record_partition(t_part.elapsed());
+
+        match plan.round {
+            // --- Serialized global lane: one `//`-path update, applied
+            // directly to the master (full §3.2 evaluation). ---
+            Round::Global(pu) => {
+                stats.record_global_lane();
+                stats.record_batch(1);
+                summary.batches += 1;
+                let t0 = Instant::now();
+                let eval = master.evaluate(pu.update.path());
+                stats.record_eval(false, t0.elapsed());
+                let t1 = Instant::now();
+                let applied = master.apply_deferred(&pu.update, pu.policy, eval);
+                stats.record_translate(t1.elapsed());
+                match applied {
+                    Ok((mut report, job)) => {
+                        let t2 = Instant::now();
+                        match master.fold_maintenance(vec![job]) {
+                            Ok(m) => {
+                                stats.record_maintain(t2.elapsed());
+                                summary.maintain.absorb(&m);
+                                report.maintain = m;
+                                let t3 = Instant::now();
+                                inner.publish(master.clone());
+                                stats.record_publish(t3.elapsed());
+                                resolve(inner, &mut summary, &mut txs, pu.idx, Ok(report));
+                            }
+                            Err(e) => {
+                                // The master is inconsistent: restore it from
+                                // the last published snapshot.
+                                master = current.system().clone();
+                                let msg = format!("global-lane maintenance failed: {e}");
+                                resolve(
+                                    inner,
+                                    &mut summary,
+                                    &mut txs,
+                                    pu.idx,
+                                    Err(UpdateError::Rel(RelError::MalformedQuery(msg))),
+                                );
+                            }
+                        }
+                    }
+                    Err(e) => resolve(inner, &mut summary, &mut txs, pu.idx, Err(e)),
+                }
+            }
+
+            // --- Parallel shards + merging publisher. ---
+            Round::Sharded(assignments) => {
+                let bundles: Vec<ShardBundle> = pool.dispatch(&current, assignments);
+                summary.batches += bundles.len();
+                let mut flat: Vec<(usize, usize, ShardResult)> = Vec::new();
+                for b in &bundles {
+                    stats.record_batch(b.results.len());
+                }
+                type Catalog = Vec<(rxview_xmlkit::TypeId, Tuple)>;
+                let mut catalogs: Vec<(usize, usize, Catalog)> = Vec::new();
+                for b in bundles {
+                    let slot = catalogs.len();
+                    catalogs.push((b.shard, b.base_alloc, b.catalog));
+                    for (idx, res) in b.results {
+                        flat.push((idx, slot, res));
+                    }
+                }
+                // Merge in submission order so that requeue decisions and
+                // base-delta application order match the sequential
+                // semantics.
+                flat.sort_by_key(|(idx, _, _)| *idx);
+
+                let mut written: HashSet<(String, Tuple)> = HashSet::new();
+                let mut applied: Vec<(usize, UpdateReport)> = Vec::new();
+                let mut jobs: Vec<DeferredMaintenance> = Vec::new();
+                let mut requeue: HashSet<usize> = HashSet::new();
+                for (idx, slot, res) in flat {
+                    match res {
+                        ShardResult::Reject(e) => {
+                            resolve(inner, &mut summary, &mut txs, idx, Err(e))
+                        }
+                        ShardResult::Requeue => {
+                            requeue.insert(idx);
+                        }
+                        ShardResult::Translated(t) => {
+                            let keys = match written_keys(&master, &t.delta_r) {
+                                Ok(keys) => keys,
+                                Err(e) => {
+                                    resolve(
+                                        inner,
+                                        &mut summary,
+                                        &mut txs,
+                                        idx,
+                                        Err(UpdateError::Rel(e)),
+                                    );
+                                    continue;
+                                }
+                            };
+                            if keys.iter().any(|k| written.contains(k)) {
+                                // Relational key overlap the value-key
+                                // heuristic could not see: re-translate
+                                // against the next snapshot.
+                                requeue.insert(idx);
+                                continue;
+                            }
+                            let (shard, base_alloc, catalog) = &catalogs[slot];
+                            match master.apply_translated(t, *base_alloc, catalog) {
+                                Ok((report, job)) => {
+                                    stats.record_shard_updates(*shard, 1);
+                                    written.extend(keys);
+                                    applied.push((idx, report));
+                                    jobs.push(job);
+                                }
+                                Err(e) => resolve(inner, &mut summary, &mut txs, idx, Err(e)),
+                            }
+                        }
+                    }
+                }
+
+                // One folded ∆(M,L) pass for the whole round, then one
+                // publication.
+                if !applied.is_empty() {
+                    let t2 = Instant::now();
+                    match master.fold_maintenance(jobs) {
+                        Ok(m) => {
+                            stats.record_maintain(t2.elapsed());
+                            summary.maintain.absorb(&m);
+                            let t3 = Instant::now();
+                            inner.publish(master.clone());
+                            stats.record_publish(t3.elapsed());
+                            if let [(_, report)] = applied.as_mut_slice() {
+                                // A singleton round attributes maintenance
+                                // exactly, like a singleton batch.
+                                report.maintain = m;
+                            }
+                            for (idx, report) in applied {
+                                resolve(inner, &mut summary, &mut txs, idx, Ok(report));
+                            }
+                        }
+                        Err(e) => {
+                            // The master is inconsistent: drop it, restore
+                            // from the last published snapshot, fail the
+                            // round's applied updates.
+                            master = current.system().clone();
+                            let msg = format!("round maintenance failed: {e}");
+                            for (idx, _) in applied {
+                                resolve(
+                                    inner,
+                                    &mut summary,
+                                    &mut txs,
+                                    idx,
+                                    Err(UpdateError::Rel(RelError::MalformedQuery(msg.clone()))),
+                                );
+                            }
+                        }
+                    }
+                }
+
+                // Requeued updates re-enter routing, in submission order.
+                if !requeue.is_empty() {
+                    let mut back: Vec<PendingUpdate> = plan
+                        .admitted
+                        .into_iter()
+                        .filter(|pu| requeue.contains(&pu.idx))
+                        .collect();
+                    for _ in 0..back.len() {
+                        stats.record_requeued();
+                    }
+                    back.append(&mut entries);
+                    back.sort_by_key(|pu| pu.idx);
+                    entries = back;
+                }
+            }
+        }
+
+        // Whatever this round committed invalidates any cached analysis
+        // whose footprint it touched.
+        for e in entries.iter_mut() {
+            if e.cached
+                .as_ref()
+                .is_some_and(|c| plan.footprint.conflicts(&c.analysis))
+            {
+                e.cached = None;
+            }
+        }
+    }
+
+    *inner.master.lock().expect("master lock poisoned") = Some(master);
+
+    // Every ticket must resolve (safety net mirroring the single-writer
+    // path's "update lost" outcome).
+    for tx in txs.iter_mut() {
+        if let Some(tx) = tx.take() {
+            inner.stats.record_outcome(false);
+            summary.rejected += 1;
+            let _ = tx.send(Err(UpdateError::Rel(RelError::MalformedQuery(
+                "update lost by engine".into(),
+            ))));
+        }
+    }
+    summary
+}

@@ -1,0 +1,199 @@
+//! The cross-shard coordinator's *routing* half: forms one conflict-free
+//! commit round at a time and partitions it across shard writers.
+//!
+//! A round admits up to `n_shards * max_batch` pending updates whose
+//! [`Analysis`] footprints (anchor cones + value keys) are pairwise
+//! disjoint. Because the whole round is conflict-free, *any* split of it
+//! across shards is sound; the router balances by assigning each admitted
+//! update to the least-loaded shard. Updates that conflict with an admitted
+//! or already-deferred update wait for a later round — an update deferred by
+//! a conflict also blocks its own later conflicters, so submission order is
+//! preserved between conflicting updates, exactly as in the single-writer
+//! path.
+//!
+//! Unanchored (`//`-path or wildcard-rooted) updates have a *global*
+//! footprint and conflict with everything: they reach the front of the
+//! queue, form a singleton round, and commit through the publisher's
+//! serialized global lane.
+//!
+//! Deferred **deletions** keep their analysis (and scoped-evaluation plan)
+//! across rounds: a cached analysis stays valid while its cone and keys are
+//! disjoint from everything later rounds committed, which the publisher
+//! revalidates against each round's union footprint. Insertions re-analyze
+//! every round — their footprint includes splice links discovered through
+//! the ATG rules, which committed rounds can invalidate without touching
+//! the cached cone.
+
+use crate::analyze::{Analysis, AnchorIndex, BatchFootprint};
+use crate::engine::Pending;
+use crate::shard::ShardJob;
+use crate::stats::EngineStats;
+use rxview_core::{SideEffectPolicy, TopoOrder, XmlUpdate, XmlViewSystem};
+
+/// A pending update inside one sharded commit, keyed by its submission
+/// index. The publisher keeps the original update so that merge-time
+/// requeues can re-enter routing without a round trip through the shard.
+pub(crate) struct PendingUpdate {
+    pub(crate) idx: usize,
+    pub(crate) update: XmlUpdate,
+    pub(crate) policy: SideEffectPolicy,
+    pub(crate) cached: Option<CachedAnalysis>,
+}
+
+impl PendingUpdate {
+    pub(crate) fn new(
+        idx: usize,
+        p: Pending,
+    ) -> (Self, std::sync::mpsc::Sender<rxview_core::UpdateOutcome>) {
+        (
+            PendingUpdate {
+                idx,
+                update: p.update,
+                policy: p.policy,
+                cached: None,
+            },
+            p.tx,
+        )
+    }
+}
+
+/// A deferred deletion's conflict analysis and scoped-evaluation plan,
+/// kept across rounds until invalidated by a committed footprint.
+pub(crate) struct CachedAnalysis {
+    pub(crate) analysis: Analysis,
+    pub(crate) scope: Option<TopoOrder>,
+}
+
+/// What one routing pass decided.
+pub(crate) enum Round {
+    /// A single global-footprint update for the serialized global lane.
+    Global(PendingUpdate),
+    /// Per-shard job lists (index = shard id; entries may be empty).
+    Sharded(Vec<Vec<ShardJob>>),
+}
+
+/// A planned round plus the union footprint of everything admitted —
+/// the publisher uses the footprint to revalidate cached analyses of the
+/// updates that stayed behind, and `admitted` to requeue an update at merge
+/// time without a round trip through its shard.
+pub(crate) struct RoundPlan {
+    pub(crate) round: Round,
+    pub(crate) footprint: BatchFootprint,
+    /// The admitted updates (analysis caches dropped), kept by the
+    /// publisher for merge-time requeues. Empty for global rounds.
+    pub(crate) admitted: Vec<PendingUpdate>,
+}
+
+/// Plans the next round against `sys` (the state the round will apply to).
+/// Admitted updates are removed from `pending`; everything else stays, in
+/// submission order, with deletion analyses cached for reuse.
+pub(crate) fn plan_round(
+    sys: &XmlViewSystem,
+    pending: &mut Vec<PendingUpdate>,
+    n_shards: usize,
+    max_batch: usize,
+    scoped_eval: bool,
+    stats: &EngineStats,
+) -> RoundPlan {
+    debug_assert!(!pending.is_empty());
+    let cap = n_shards * max_batch;
+    // Analysis is per-update work proportional to the cone: bound the scan
+    // so routing stays O(round width) rather than O(pending). The round
+    // closes when it is full or when it stalls — a long run of consecutive
+    // conflicts means the queue head has hit a dependency wall and further
+    // scanning mostly re-analyzes updates that cannot be admitted anyway.
+    // Everything left defers unanalyzed, which preserves submission order
+    // between conflicting updates, so stopping early is always sound.
+    let stall_limit = max_batch;
+    let mut stalled = 0usize;
+    // One anchor index per round, built lazily on the first analysis that
+    // needs it (a round served entirely from cached analyses — or a
+    // singleton global round — never pays for it): every analysis of this
+    // round probes it instead of rescanning the top level.
+    let anchor_index: std::cell::OnceCell<AnchorIndex> = std::cell::OnceCell::new();
+    let mut footprint = BatchFootprint::default();
+    let mut blocked = BatchFootprint::default();
+    let mut any_blocked = false;
+    let mut assignments: Vec<Vec<ShardJob>> = (0..n_shards).map(|_| Vec::new()).collect();
+    let mut admitted: Vec<PendingUpdate> = Vec::new();
+    let mut deferred: Vec<PendingUpdate> = Vec::new();
+
+    let mut drain = std::mem::take(pending).into_iter();
+    for mut pu in drain.by_ref() {
+        if admitted.len() >= cap || stalled >= stall_limit {
+            // Admitting past a full round could reorder conflicting
+            // updates; everything else waits for the next round.
+            deferred.push(pu);
+            deferred.extend(drain.by_ref());
+            break;
+        }
+        // Reuse a still-valid cached analysis (deletions only; the
+        // publisher invalidates caches against each committed footprint).
+        let (analysis, scope) = match pu.cached.take() {
+            Some(c) => {
+                stats.record_analysis_reused();
+                (c.analysis, c.scope)
+            }
+            None => Analysis::of_with_scope_indexed(
+                sys,
+                Some(anchor_index.get_or_init(|| AnchorIndex::build(sys))),
+                &pu.update,
+                scoped_eval,
+            ),
+        };
+
+        if analysis.is_global() {
+            if admitted.is_empty() && !any_blocked {
+                // A global update at the front commits alone through the
+                // serialized global lane; everything behind it waits.
+                deferred.extend(drain.by_ref());
+                *pending = deferred;
+                footprint.absorb(&analysis);
+                return RoundPlan {
+                    round: Round::Global(pu),
+                    footprint,
+                    admitted: Vec::new(),
+                };
+            }
+            blocked.absorb(&analysis);
+            any_blocked = true;
+            stalled += 1;
+            deferred.push(pu);
+            continue;
+        }
+
+        let conflicts = (!admitted.is_empty() && footprint.conflicts(&analysis))
+            || (any_blocked && blocked.conflicts(&analysis));
+        if conflicts {
+            blocked.absorb(&analysis);
+            any_blocked = true;
+            stalled += 1;
+            if !pu.update.is_insert() {
+                pu.cached = Some(CachedAnalysis { analysis, scope });
+            }
+            deferred.push(pu);
+        } else {
+            stalled = 0;
+            footprint.absorb(&analysis);
+            let shard = assignments
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, jobs)| jobs.len())
+                .map(|(s, _)| s)
+                .expect("n_shards >= 1");
+            assignments[shard].push(ShardJob {
+                idx: pu.idx,
+                update: pu.update.clone(),
+                policy: pu.policy,
+                scope,
+            });
+            admitted.push(pu);
+        }
+    }
+    *pending = deferred;
+    RoundPlan {
+        round: Round::Sharded(assignments),
+        footprint,
+        admitted,
+    }
+}

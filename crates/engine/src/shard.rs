@@ -1,0 +1,242 @@
+//! Shard writer threads: parallel, apply-free translation of conflict-free
+//! updates against a shared snapshot.
+//!
+//! Each worker receives one round's job list together with the `Arc` of the
+//! snapshot the round will apply to, and runs phases 1–4 per update —
+//! schema validation, (scoped) §3.2 evaluation, side-effect detection, and
+//! the ∆X→∆V→∆R translation of §3.3/§4 — without touching shared state:
+//!
+//! - evaluation and deletion translation read the snapshot directly;
+//! - insertion translation interns its generated subtree, so the worker
+//!   lazily clones the snapshot's [`ViewStore`] (a copy-on-write-cheap
+//!   replica) on the first insertion of a round and records every node id
+//!   it allocates beyond the snapshot's watermark in an *allocation
+//!   catalog*; the publisher later re-interns those pairs on the master
+//!   state and remaps the translation (see
+//!   [`rxview_core::XmlViewSystem::apply_translated`]).
+//!
+//! Translations are speculative: the publisher applies them only after
+//! checking that nothing committed in the meantime invalidates them. One
+//! invalidation the worker detects itself: if a translation references a
+//! node interned by an *earlier update of the same round* (possible when
+//! two insertions would generate overlapping fresh subtrees that the value
+//! key heuristic did not serialize), the later update's semantics depend on
+//! whether the earlier one commits — the worker rolls its interning back
+//! and reports [`ShardResult::Requeue`] so the router retries it against
+//! the next snapshot, where the answer is known.
+
+use crate::snapshot::Snapshot;
+use crate::stats::EngineStats;
+use rxview_atg::NodeId;
+use rxview_core::{
+    translate_insert_for_merge, SideEffectPolicy, TopoOrder, TranslatedUpdate, UpdateError,
+    ViewStore, XmlUpdate,
+};
+use rxview_relstore::Tuple;
+use rxview_xmlkit::TypeId;
+use std::collections::HashSet;
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::Instant;
+
+/// One update routed to a shard for a given round.
+pub(crate) struct ShardJob {
+    pub(crate) idx: usize,
+    pub(crate) update: XmlUpdate,
+    pub(crate) policy: SideEffectPolicy,
+    pub(crate) scope: Option<TopoOrder>,
+}
+
+/// Per-update outcome of a shard's translation pass.
+pub(crate) enum ShardResult {
+    /// Translated successfully; ready for the publisher to merge.
+    Translated(TranslatedUpdate),
+    /// Coupled to an earlier update of the same round — retry next round.
+    Requeue,
+    /// Rejected during validation/evaluation/translation.
+    Reject(UpdateError),
+}
+
+/// Everything a shard produced for one round.
+pub(crate) struct ShardBundle {
+    pub(crate) shard: usize,
+    /// The snapshot's allocation watermark when translation started.
+    pub(crate) base_alloc: usize,
+    /// `(type, $A)` pairs interned beyond the watermark, in allocation order.
+    pub(crate) catalog: Vec<(TypeId, Tuple)>,
+    pub(crate) results: Vec<(usize, ShardResult)>,
+}
+
+struct RoundMsg {
+    snap: Arc<Snapshot>,
+    jobs: Vec<ShardJob>,
+    reply: mpsc::Sender<ShardBundle>,
+}
+
+/// A pool of shard writer threads, spawned once per engine and fed one
+/// round at a time. Dropping the pool closes the channels and joins the
+/// workers.
+pub(crate) struct ShardPool {
+    txs: Vec<mpsc::Sender<RoundMsg>>,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for ShardPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardPool")
+            .field("n_shards", &self.txs.len())
+            .finish()
+    }
+}
+
+impl ShardPool {
+    pub(crate) fn new(n_shards: usize, stats: Arc<EngineStats>) -> Self {
+        let mut txs = Vec::with_capacity(n_shards);
+        let mut handles = Vec::with_capacity(n_shards);
+        for shard in 0..n_shards {
+            let (tx, rx) = mpsc::channel::<RoundMsg>();
+            let stats = Arc::clone(&stats);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("rxview-shard-{shard}"))
+                    .spawn(move || {
+                        while let Ok(msg) = rx.recv() {
+                            let bundle = run_round(shard, &msg.snap, msg.jobs, &stats);
+                            if msg.reply.send(bundle).is_err() {
+                                break; // publisher gone
+                            }
+                        }
+                    })
+                    .expect("spawn shard worker"),
+            );
+            txs.push(tx);
+        }
+        ShardPool {
+            txs,
+            handles: Mutex::new(handles),
+        }
+    }
+
+    /// Sends each non-empty job list to its shard and waits for all bundles.
+    pub(crate) fn dispatch(
+        &self,
+        snap: &Arc<Snapshot>,
+        assignments: Vec<Vec<ShardJob>>,
+    ) -> Vec<ShardBundle> {
+        let (reply, inbox) = mpsc::channel();
+        let mut expected = 0usize;
+        for (shard, jobs) in assignments.into_iter().enumerate() {
+            if jobs.is_empty() {
+                continue;
+            }
+            expected += 1;
+            self.txs[shard]
+                .send(RoundMsg {
+                    snap: Arc::clone(snap),
+                    jobs,
+                    reply: reply.clone(),
+                })
+                .expect("shard worker alive");
+        }
+        drop(reply);
+        let mut bundles: Vec<ShardBundle> = inbox.iter().collect();
+        assert_eq!(bundles.len(), expected, "all shards must report");
+        bundles.sort_by_key(|b| b.shard);
+        bundles
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        self.txs.clear(); // closes the channels; workers exit their loops
+        for h in self.handles.lock().expect("no poisoned pool").drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Translates one round's jobs against the snapshot.
+fn run_round(
+    shard: usize,
+    snap: &Arc<Snapshot>,
+    jobs: Vec<ShardJob>,
+    stats: &EngineStats,
+) -> ShardBundle {
+    let sys = snap.system();
+    let base_alloc = sys.view().dag().genid().n_allocated();
+    // Lazy ViewStore replica: only insertions need to intern nodes.
+    let mut vs_work: Option<ViewStore> = None;
+    // Nodes interned (allocated or revived) by earlier updates of this
+    // round on this shard — referencing one couples the updates.
+    let mut interned: HashSet<NodeId> = HashSet::new();
+    let mut results = Vec::with_capacity(jobs.len());
+
+    for job in jobs {
+        if let Err(e) = sys.validate_schema(&job.update) {
+            results.push((job.idx, ShardResult::Reject(e)));
+            continue;
+        }
+        let t0 = Instant::now();
+        let eval = match &job.scope {
+            Some(scope) => sys.evaluate_scoped(job.update.path(), scope),
+            None => sys.evaluate(job.update.path()),
+        };
+        stats.record_eval(job.scope.is_some(), t0.elapsed());
+
+        let t1 = Instant::now();
+        let out = if job.update.is_insert() {
+            let vsw = vs_work.get_or_insert_with(|| sys.view().clone());
+            translate_insert_for_merge(
+                vsw,
+                sys.base(),
+                sys.reach(),
+                sys.sat_config(),
+                &job.update,
+                job.policy,
+                eval,
+            )
+        } else {
+            sys.translate_delete_for_merge(&job.update, job.policy, eval)
+        };
+        stats.record_translate(t1.elapsed());
+
+        results.push((
+            job.idx,
+            match out {
+                Ok(t) => {
+                    if t.subtree_nodes().any(|n| interned.contains(&n)) {
+                        // Coupled to an earlier update of this round: roll
+                        // back this translation's interning and retry the
+                        // update against the next snapshot.
+                        if let (Some(vsw), Some(st)) = (vs_work.as_mut(), t.subtree.as_ref()) {
+                            rxview_core::rollback_subtree(vsw, st);
+                        }
+                        ShardResult::Requeue
+                    } else {
+                        interned.extend(t.fresh_nodes().iter().copied());
+                        ShardResult::Translated(t)
+                    }
+                }
+                Err(e) => ShardResult::Reject(e),
+            },
+        ));
+    }
+
+    let catalog = match &vs_work {
+        Some(vsw) => {
+            let genid = vsw.dag().genid();
+            (base_alloc..genid.n_allocated())
+                .map(|i| {
+                    let id = NodeId(i as u32);
+                    (genid.type_of(id), genid.attr_of(id).clone())
+                })
+                .collect()
+        }
+        None => Vec::new(),
+    };
+    ShardBundle {
+        shard,
+        base_alloc,
+        catalog,
+        results,
+    }
+}

@@ -6,8 +6,10 @@ use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-/// Cumulative engine counters. All methods are lock-free; readers and the
-/// writer update them concurrently.
+/// Cumulative engine counters. All methods are lock-free; readers, the
+/// single writer or the shard writers, and the publisher update them
+/// concurrently. (Phase nanoseconds are summed across threads: in the
+/// sharded path they measure total CPU-ish effort, not wall clock.)
 #[derive(Debug, Default)]
 pub struct EngineStats {
     submitted: AtomicU64,
@@ -25,6 +27,12 @@ pub struct EngineStats {
     maintain_nanos: AtomicU64,
     partition_nanos: AtomicU64,
     publish_nanos: AtomicU64,
+    // --- sharded pipeline ---
+    rounds: AtomicU64,
+    global_lane: AtomicU64,
+    requeued: AtomicU64,
+    analyses_reused: AtomicU64,
+    shard_updates: Vec<AtomicU64>,
 }
 
 fn add(counter: &AtomicU64, v: u64) {
@@ -32,6 +40,36 @@ fn add(counter: &AtomicU64, v: u64) {
 }
 
 impl EngineStats {
+    /// Counters for an engine with `n_shards` shard writers (one per-shard
+    /// update counter each; `n_shards <= 1` means the single-writer path).
+    pub(crate) fn with_shards(n_shards: usize) -> Self {
+        EngineStats {
+            shard_updates: (0..n_shards.max(1)).map(|_| AtomicU64::new(0)).collect(),
+            ..EngineStats::default()
+        }
+    }
+
+    pub(crate) fn record_round(&self) {
+        add(&self.rounds, 1);
+    }
+
+    pub(crate) fn record_global_lane(&self) {
+        add(&self.global_lane, 1);
+    }
+
+    pub(crate) fn record_requeued(&self) {
+        add(&self.requeued, 1);
+    }
+
+    pub(crate) fn record_analysis_reused(&self) {
+        add(&self.analyses_reused, 1);
+    }
+
+    pub(crate) fn record_shard_updates(&self, shard: usize, n: usize) {
+        if let Some(c) = self.shard_updates.get(shard) {
+            add(c, n as u64);
+        }
+    }
     pub(crate) fn record_submitted(&self) {
         add(&self.submitted, 1);
     }
@@ -114,6 +152,15 @@ impl EngineStats {
             },
             partition: ns(&self.partition_nanos),
             publish: ns(&self.publish_nanos),
+            rounds: n(&self.rounds),
+            global_lane: n(&self.global_lane),
+            requeued: n(&self.requeued),
+            analyses_reused: n(&self.analyses_reused),
+            shard_updates: self
+                .shard_updates
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
         }
     }
 }
@@ -148,6 +195,20 @@ pub struct EngineReport {
     pub partition: Duration,
     /// Time spent cloning + publishing snapshots.
     pub publish: Duration,
+    /// Sharded path: commit rounds planned by the router.
+    pub rounds: u64,
+    /// Sharded path: updates committed through the serialized global lane.
+    pub global_lane: u64,
+    /// Sharded path: updates sent back to the router for a later round
+    /// (cross-update coupling or base-key overlap detected at merge time).
+    pub requeued: u64,
+    /// Sharded path: deferred-update conflict analyses reused across rounds
+    /// instead of recomputed.
+    pub analyses_reused: u64,
+    /// Sharded path: updates *applied* per shard writer (whose translation
+    /// the publisher merged — rejects and requeues are not counted). A
+    /// single-writer engine reports one always-zero entry.
+    pub shard_updates: Vec<u64>,
 }
 
 impl EngineReport {
@@ -194,6 +255,14 @@ impl fmt::Display for EngineReport {
             self.phases.maintain,
             self.partition,
             self.publish
-        )
+        )?;
+        if self.shard_updates.len() > 1 || self.rounds > 0 {
+            writeln!(
+                f,
+                "shards: {:?} updates/shard, {} rounds, {} via global lane, {} requeued, {} analyses reused",
+                self.shard_updates, self.rounds, self.global_lane, self.requeued, self.analyses_reused
+            )?;
+        }
+        Ok(())
     }
 }

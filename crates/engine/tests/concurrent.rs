@@ -143,6 +143,117 @@ fn readers_never_observe_partial_batches() {
     );
 }
 
+/// Sharded engine: the publisher merges per-shard publications into one
+/// epoch-ordered snapshot stream. Readers must observe (a) monotonically
+/// non-decreasing epochs and (b) *prefix-complete* histories — a snapshot
+/// that reflects a later-committed deletion may never be missing an
+/// earlier-committed one, no matter which shard translated either update.
+#[test]
+fn sharded_epoch_stream_is_monotonic_and_prefix_complete() {
+    use rxview_engine::EngineConfig;
+    let group = 40;
+    let n = 800;
+    let sys = system(n);
+    let edges = group_edges(&sys, n as i64, group);
+    assert!(edges.len() >= 8, "need several groups");
+    let engine = Engine::with_config(
+        sys,
+        EngineConfig {
+            n_shards: 4,
+            ..EngineConfig::default()
+        },
+    );
+
+    // The global deletion order: edges commit in this sequence, four per
+    // commit round (one per shard when the router balances them).
+    let order: Vec<(i64, i64)> = edges;
+    let stop = Arc::new(AtomicBool::new(false));
+    let violations: Arc<std::sync::Mutex<Vec<String>>> = Arc::default();
+    let readers: Vec<_> = (0..3)
+        .map(|_| {
+            let engine = engine.clone();
+            let stop = Arc::clone(&stop);
+            let order = order.clone();
+            let violations = Arc::clone(&violations);
+            std::thread::spawn(move || {
+                let paths: Vec<_> = order
+                    .iter()
+                    .map(|&(h, c)| {
+                        parse_xpath(&format!("node[id={h}]/sub/node[id={c}]")).expect("parses")
+                    })
+                    .collect();
+                let mut last_epoch = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = engine.snapshot();
+                    if snap.epoch() < last_epoch {
+                        violations
+                            .lock()
+                            .expect("no panics")
+                            .push(format!("epoch went backwards: {}", snap.epoch()));
+                    }
+                    last_epoch = snap.epoch();
+                    // Deleted edges must form a prefix of the commit order:
+                    // no present edge may precede a deleted one.
+                    let present: Vec<bool> =
+                        paths.iter().map(|p| !snap.select(p).is_empty()).collect();
+                    if let Some(first_present) = present.iter().position(|&b| b) {
+                        if let Some(later_deleted) =
+                            present[first_present..].iter().position(|&b| !b)
+                        {
+                            violations.lock().expect("no panics").push(format!(
+                                "epoch {}: edge {:?} still present but later edge {:?} deleted",
+                                snap.epoch(),
+                                order[first_present],
+                                order[first_present + later_deleted],
+                            ));
+                        }
+                    }
+                }
+            })
+        })
+        .collect();
+
+    for chunk in order.chunks(4) {
+        let tickets: Vec<_> = chunk
+            .iter()
+            .map(|&(h, c)| {
+                engine
+                    .submit(
+                        XmlUpdate::delete(&format!("node[id={h}]/sub/node[id={c}]"))
+                            .expect("parses"),
+                        SideEffectPolicy::Proceed,
+                    )
+                    .expect("queue accepts")
+            })
+            .collect();
+        engine.commit_pending();
+        for t in tickets {
+            t.wait().expect("independent group deletes commit");
+        }
+        std::thread::sleep(Duration::from_millis(2)); // give readers air
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    for r in readers {
+        r.join().expect("reader panicked");
+    }
+    let violations = violations.lock().expect("no panics");
+    assert!(violations.is_empty(), "epoch stream broken: {violations:?}");
+
+    let report = engine.stats().report();
+    assert!(
+        report.shard_updates.iter().filter(|&&n| n > 0).count() >= 2,
+        "multiple shards must have participated: {:?}",
+        report.shard_updates
+    );
+    assert!(report.rounds as usize >= order.len() / 4);
+    engine
+        .snapshot()
+        .system()
+        .consistency_check()
+        .expect("consistent after sharded run");
+}
+
 /// A background writer thread group-commits submissions from the test
 /// thread while readers poll; nothing deadlocks and every ticket resolves.
 #[test]

@@ -68,7 +68,13 @@ fn workload(sys: &XmlViewSystem, seed: u64, flips: &[bool]) -> Vec<XmlUpdate> {
     ops
 }
 
-fn check_equivalence(n: usize, seed: u64, flips: &[bool], max_batch: usize) -> Result<(), String> {
+fn check_equivalence(
+    n: usize,
+    seed: u64,
+    flips: &[bool],
+    max_batch: usize,
+    n_shards: usize,
+) -> Result<(), String> {
     let sys = system(n, seed);
     let ops = workload(&sys, seed ^ 0xbeef, flips);
     if ops.is_empty() {
@@ -82,11 +88,12 @@ fn check_equivalence(n: usize, seed: u64, flips: &[bool], max_batch: usize) -> R
         .map(|u| seq.apply(u, SideEffectPolicy::Proceed).is_ok())
         .collect();
 
-    // Batched engine.
+    // Batched engine (single-writer when `n_shards <= 1`, sharded above).
     let engine = Engine::with_config(
         sys,
         EngineConfig {
             max_batch,
+            n_shards,
             ..EngineConfig::default()
         },
     );
@@ -140,7 +147,22 @@ proptest! {
         flips in prop::collection::vec(any::<bool>(), 8..20),
         max_batch in 1usize..12,
     ) {
-        if let Err(e) = check_equivalence(220, seed, &flips, max_batch) {
+        if let Err(e) = check_equivalence(220, seed, &flips, max_batch, 1) {
+            return Err(TestCaseError::fail(e));
+        }
+    }
+
+    /// The same property under sharded parallel writers: the router, the
+    /// shard translations, and the merging publisher must be observationally
+    /// equivalent to applying the updates one at a time.
+    #[test]
+    fn sharded_commit_equals_sequential(
+        seed in 0u64..200,
+        flips in prop::collection::vec(any::<bool>(), 8..20),
+        max_batch in 1usize..12,
+        n_shards in 2usize..6,
+    ) {
+        if let Err(e) = check_equivalence(220, seed, &flips, max_batch, n_shards) {
             return Err(TestCaseError::fail(e));
         }
     }
@@ -150,7 +172,60 @@ proptest! {
 #[test]
 fn large_independent_batch_is_equivalent() {
     let flips: Vec<bool> = (0..40).map(|i| i % 4 == 0).collect();
-    check_equivalence(400, 7, &flips, 16).unwrap();
+    check_equivalence(400, 7, &flips, 16, 1).unwrap();
+}
+
+/// The same deterministic case across four shard writers (multi-round,
+/// multi-bundle commits with fresh-subtree insertions to remap).
+#[test]
+fn large_independent_batch_is_equivalent_sharded() {
+    let flips: Vec<bool> = (0..40).map(|i| i % 4 == 0).collect();
+    check_equivalence(400, 7, &flips, 4, 4).unwrap();
+}
+
+/// Updates with deliberately colliding targets must serialize correctly on
+/// the sharded path too: duplicates defer across rounds, and leading-`//`
+/// (unanchored) updates serialize through the publisher's global lane.
+#[test]
+fn conflicting_updates_serialize_sharded() {
+    let sys = system(200, 11);
+    let mut gen = WorkloadGen::new(sys.view(), 5);
+    let mut ops: Vec<XmlUpdate> = Vec::new();
+    ops.extend(gen.deletions(WorkloadClass::W2, 3));
+    ops.extend(gen.deletions(WorkloadClass::W1, 2));
+    ops.extend(ops.clone()); // exact duplicates: second run must see first's effect
+                             // Two unanchored deletes with a global footprint (the payload values of
+                             // the synthetic generator are drawn from 0..50).
+    ops.push(XmlUpdate::delete("//node[payload=7]/sub/node").unwrap());
+    ops.push(XmlUpdate::delete("//node[payload=11]/sub/node").unwrap());
+    let mut seq = sys.clone();
+    let seq_outcomes: Vec<bool> = ops
+        .iter()
+        .map(|u| seq.apply(u, SideEffectPolicy::Proceed).is_ok())
+        .collect();
+    let engine = Engine::with_config(
+        sys,
+        EngineConfig {
+            n_shards: 3,
+            ..EngineConfig::default()
+        },
+    );
+    let tickets: Vec<_> = ops
+        .iter()
+        .map(|u| {
+            engine
+                .submit(u.clone(), SideEffectPolicy::Proceed)
+                .expect("queue not full")
+        })
+        .collect();
+    engine.commit_pending();
+    let eng_outcomes: Vec<bool> = tickets.into_iter().map(|t| t.wait().is_ok()).collect();
+    assert_eq!(seq_outcomes, eng_outcomes);
+    assert_eq!(edge_set(&seq), edge_set(engine.snapshot().system()));
+    engine.snapshot().system().consistency_check().unwrap();
+    let report = engine.stats().report();
+    assert_eq!(report.global_lane, 2, "`//`-deletes use the global lane");
+    assert!(report.rounds >= 2, "duplicates must defer across rounds");
 }
 
 /// Updates with deliberately colliding targets must serialize correctly.

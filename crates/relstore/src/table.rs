@@ -3,17 +3,42 @@
 use crate::error::{RelError, RelResult};
 use crate::schema::TableSchema;
 use crate::tuple::Tuple;
-use std::collections::BTreeMap;
+use crate::value::Value;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, RwLock};
 
 /// A table with set semantics, indexed by primary key.
 ///
 /// Rows are kept in a `BTreeMap` keyed by the primary-key projection so that
 /// iteration order — and therefore published views, benchmarks, and test
 /// output — is deterministic.
-#[derive(Debug, Clone)]
+///
+/// Point lookups on a *non*-key-prefix column go through lazily built
+/// per-column secondary indexes ([`Table::scan_col_eq`]): the first probe of
+/// a column pays one `O(n)` build, subsequent probes are hash lookups.
+/// Mutations maintain existing indexes incrementally (buckets stay in
+/// primary-key order, so indexed scans enumerate rows exactly like a full
+/// scan would), and clones start without them — the copy-on-write
+/// `Database` never pays for an index a reader did not ask for.
+#[derive(Debug)]
 pub struct Table {
     schema: TableSchema,
     rows: BTreeMap<Tuple, Tuple>,
+    /// column → (value → primary keys of rows holding it in that column).
+    col_index: RwLock<HashMap<usize, Arc<ColIndex>>>,
+}
+
+/// One column's secondary index: value → primary keys, keys sorted.
+type ColIndex = HashMap<Value, Vec<Tuple>>;
+
+impl Clone for Table {
+    fn clone(&self) -> Self {
+        Table {
+            schema: self.schema.clone(),
+            rows: self.rows.clone(),
+            col_index: RwLock::new(HashMap::new()),
+        }
+    }
 }
 
 impl Table {
@@ -22,6 +47,7 @@ impl Table {
         Table {
             schema,
             rows: BTreeMap::new(),
+            col_index: RwLock::new(HashMap::new()),
         }
     }
 
@@ -52,6 +78,15 @@ impl Table {
                 table: self.schema.name().into(),
             }),
             None => {
+                // Keep whatever secondary indexes exist in sync (buckets
+                // stay sorted so scans match primary-key order).
+                let indexes = self.col_index.get_mut().expect("index lock poisoned");
+                for (&col, index) in indexes.iter_mut() {
+                    let bucket = Arc::make_mut(index).entry(tuple[col].clone()).or_default();
+                    if let Err(at) = bucket.binary_search(&key) {
+                        bucket.insert(at, key.clone());
+                    }
+                }
                 self.rows.insert(key, tuple);
                 Ok(true)
             }
@@ -60,9 +95,18 @@ impl Table {
 
     /// Deletes the tuple with the given primary key. Errors if absent.
     pub fn delete(&mut self, key: &Tuple) -> RelResult<Tuple> {
-        self.rows.remove(key).ok_or_else(|| RelError::MissingKey {
+        let removed = self.rows.remove(key).ok_or_else(|| RelError::MissingKey {
             table: self.schema.name().into(),
-        })
+        })?;
+        let indexes = self.col_index.get_mut().expect("index lock poisoned");
+        for (&col, index) in indexes.iter_mut() {
+            if let Some(bucket) = Arc::make_mut(index).get_mut(&removed[col]) {
+                if let Ok(at) = bucket.binary_search(key) {
+                    bucket.remove(at);
+                }
+            }
+        }
+        Ok(removed)
     }
 
     /// Looks up a tuple by primary key.
@@ -100,6 +144,38 @@ impl Table {
             .range(lower..)
             .take_while(move |(k, _)| k.values().starts_with(prefix))
             .map(|(_, v)| v)
+    }
+
+    /// The rows whose column `col` equals `value`, via the lazily built
+    /// secondary index — the access path for equality bindings that do not
+    /// reach the primary key's prefix (e.g. probing `H` by `h2`). Row order
+    /// follows the primary-key order, as for every other scan.
+    pub fn scan_col_eq(&self, col: usize, value: &Value) -> Vec<&Tuple> {
+        debug_assert!(col < self.schema.arity(), "column in range");
+        let index = {
+            let read = self.col_index.read().expect("index lock poisoned");
+            read.get(&col).cloned()
+        };
+        let index = match index {
+            Some(i) => i,
+            None => {
+                // Build under the write lock so concurrent readers (e.g.
+                // shard writer threads probing one shared snapshot) fund a
+                // single build instead of racing on duplicates.
+                let mut write = self.col_index.write().expect("index lock poisoned");
+                Arc::clone(write.entry(col).or_insert_with(|| {
+                    let mut built: HashMap<Value, Vec<Tuple>> = HashMap::new();
+                    for (key, row) in &self.rows {
+                        built.entry(row[col].clone()).or_default().push(key.clone());
+                    }
+                    Arc::new(built)
+                }))
+            }
+        };
+        match index.get(value) {
+            Some(keys) => keys.iter().filter_map(|k| self.rows.get(k)).collect(),
+            None => Vec::new(),
+        }
     }
 }
 

@@ -6,18 +6,22 @@
 //! - [`workloads`]: the W1/W2/W3 insertion and deletion workloads;
 //! - [`concurrent`]: reader/writer serving mixes with key skew and the
 //!   parsed-XPath cache, for the `rxview-engine` benchmarks;
+//! - [`shard_skew`]: anchor-cone-partitioned update streams with a
+//!   controllable hot spot, for the sharded engine's scaling sweeps;
 //! - the registrar running example is re-exported from `rxview-atg`.
 
 #![warn(missing_docs)]
 
 pub mod concurrent;
 pub mod registrar_gen;
+pub mod shard_skew;
 pub mod synthetic;
 pub mod workloads;
 
 pub use concurrent::{ConcurrentConfig, ConcurrentGen, PathCache, ServeOp};
 pub use registrar_gen::{registrar_scale, registrar_scale_database, RegistrarConfig};
 pub use rxview_atg::{registrar_atg, registrar_database};
+pub use shard_skew::{ShardSkewGen, SkewConfig};
 pub use synthetic::{
     dataset_stats, detached_chain_heads, synthetic_atg, synthetic_database, synthetic_dtd,
     DatasetStats, SyntheticConfig,

@@ -11,11 +11,14 @@
 //! - [`core`]: XPath-on-DAG evaluation, side effects, update translation, and
 //!   the end-to-end processor (§3–§4).
 //! - [`engine`]: the concurrent serving layer — snapshot-isolated readers
-//!   and batched group-commit writes over the core processor.
-//! - [`workload`]: the registrar example, the synthetic dataset of §5, and
-//!   concurrent reader/writer mixes.
+//!   and group-commit writes (a single writer, or sharded parallel writers
+//!   over anchor-cone partitions) over the core processor.
+//! - [`workload`]: the registrar example, the synthetic dataset of §5,
+//!   concurrent reader/writer mixes, and shard-skew traffic.
 //!
-//! See `examples/quickstart.rs` for an end-to-end tour.
+//! See `examples/quickstart.rs` for an end-to-end tour, `README.md` for the
+//! project overview, and `ARCHITECTURE.md` for the paper→code map and the
+//! serving pipeline.
 
 pub use rxview_atg as atg;
 pub use rxview_core as core;
