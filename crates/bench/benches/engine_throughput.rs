@@ -29,6 +29,11 @@
 //! `RXVIEW_BENCH_SKEW_OPS` / `RXVIEW_BENCH_SKEW_GROUPS` (defaults 2048 /
 //! 256; `RXVIEW_BENCH_SKEW_OPS=0` disables the skew sweep).
 //!
+//! Besides the human-readable sweep, every run writes a machine-readable
+//! summary — updates/sec, accepted counts, and planned/realized conflict
+//! round widths per shard count — to `BENCH_engine.json` (override the path
+//! with `RXVIEW_BENCH_JSON`), so successive PRs leave a perf trajectory.
+//!
 //! Run with: `cargo bench -p rxview-bench --bench engine_throughput`
 
 use rxview_core::{SideEffectPolicy, XmlUpdate, XmlViewSystem};
@@ -49,6 +54,41 @@ fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// One engine run's machine-readable metrics (a `BENCH_engine.json` row).
+struct RunMetrics {
+    n_shards: usize,
+    rate: f64,
+    accepted: usize,
+    conflict_rounds: u64,
+    mean_planned_width: f64,
+    mean_realized_width: f64,
+    requeued: u64,
+    global_lane: u64,
+}
+
+impl RunMetrics {
+    fn json(&self) -> String {
+        format!(
+            "{{\"shards\": {}, \"updates_per_sec\": {:.1}, \"accepted\": {}, \
+             \"conflict_rounds\": {}, \"mean_planned_width\": {:.2}, \
+             \"mean_realized_width\": {:.2}, \"requeued\": {}, \"global_lane\": {}}}",
+            self.n_shards,
+            self.rate,
+            self.accepted,
+            self.conflict_rounds,
+            self.mean_planned_width,
+            self.mean_realized_width,
+            self.requeued,
+            self.global_lane
+        )
+    }
+}
+
+fn json_array(runs: &[RunMetrics]) -> String {
+    let rows: Vec<String> = runs.iter().map(|r| format!("    {}", r.json())).collect();
+    format!("[\n{}\n  ]", rows.join(",\n"))
+}
+
 fn build(groups: usize) -> XmlViewSystem {
     let cfg = SyntheticConfig::with_size(groups * 40);
     let db = synthetic_database(&cfg);
@@ -67,8 +107,11 @@ fn workload(groups: usize, rounds: usize) -> Vec<XmlUpdate> {
             let head = (g * 40) as i64;
             let fresh = fresh_base + (g * rounds + r / 2 * 2) as i64;
             let op = if r % 2 == 0 {
-                // Distinct payloads keep the value-key conflict heuristic
-                // from serializing unrelated groups.
+                // Payloads stay distinct per group for continuity with the
+                // pre-typed-footprint baseline numbers (the retired textual
+                // heuristic serialized equal payloads; typed keys do not —
+                // the skewed sweep measures that case with a small payload
+                // domain).
                 XmlUpdate::insert(
                     "node",
                     tuple![fresh, Value::Int(g as i64)],
@@ -125,7 +168,10 @@ fn main() {
     };
 
     // --- Batched engine (single-writer path). ---
-    let (sw_rate, sw_ok) = run_engine(&sys, &ops, 1);
+    let mut mixed_runs: Vec<RunMetrics> = Vec::new();
+    let sw = run_engine(&sys, &ops, 1);
+    let (sw_rate, sw_ok) = (sw.rate, sw.accepted);
+    mixed_runs.push(sw);
     if let Some((seq_ok, seq_rate)) = seq_ok {
         assert_eq!(
             seq_ok, sw_ok,
@@ -145,12 +191,19 @@ fn main() {
         .unwrap_or_else(|_| vec![2, 4, 8]);
     println!("\nshard sweep (vs single-writer {sw_rate:.0} updates/sec):");
     for &n in &shards {
-        let (rate, ok) = run_engine(&sys, &ops, n);
-        assert_eq!(seq_ok, ok, "sharded acceptance must match sequential");
-        println!(
-            "  {n} shards: {rate:.0} updates/sec ({:.2}x vs single-writer)",
-            rate / sw_rate
+        let run = run_engine(&sys, &ops, n);
+        assert_eq!(
+            seq_ok, run.accepted,
+            "sharded acceptance must match sequential"
         );
+        println!(
+            "  {n} shards: {:.0} updates/sec ({:.2}x vs single-writer, rounds {:.1} planned / {:.1} realized wide)",
+            run.rate,
+            run.rate / sw_rate,
+            run.mean_planned_width,
+            run.mean_realized_width
+        );
+        mixed_runs.push(run);
     }
 
     // --- Skewed traffic: a hot anchor-cone cluster bounds shard scaling.
@@ -159,8 +212,9 @@ fn main() {
     // ratio, and a huge view would spend the whole sweep cloning state for
     // hundreds of near-empty publications. ---
     let skew_ops = env_usize("RXVIEW_BENCH_SKEW_OPS", 2048);
+    let mut skew_runs: Vec<RunMetrics> = Vec::new();
+    let skew_groups = env_usize("RXVIEW_BENCH_SKEW_GROUPS", 256);
     if skew_ops > 0 {
-        let skew_groups = env_usize("RXVIEW_BENCH_SKEW_GROUPS", 256);
         let skew_sys = build(skew_groups);
         let mut gen = ShardSkewGen::new(SkewConfig {
             groups: skew_groups,
@@ -172,23 +226,45 @@ fn main() {
         println!(
             "\nskewed sweep ({skew_ops} updates over {skew_groups} groups, 90% on 4 hot cones):"
         );
-        let (skew_sw, skew_sw_ok) = run_engine(&skew_sys, &ops, 1);
+        let sw = run_engine(&skew_sys, &ops, 1);
+        let (skew_sw, skew_sw_ok) = (sw.rate, sw.accepted);
+        skew_runs.push(sw);
         for &n in &shards {
-            let (rate, ok) = run_engine(&skew_sys, &ops, n);
-            assert_eq!(skew_sw_ok, ok, "skewed acceptance must agree");
+            let run = run_engine(&skew_sys, &ops, n);
+            assert_eq!(skew_sw_ok, run.accepted, "skewed acceptance must agree");
             println!(
-                "  {n} shards: {rate:.0} updates/sec ({:.2}x vs single-writer {skew_sw:.0})",
-                rate / skew_sw
+                "  {n} shards: {:.0} updates/sec ({:.2}x vs single-writer {skew_sw:.0}, rounds {:.1} planned / {:.1} realized wide)",
+                run.rate,
+                run.rate / skew_sw,
+                run.mean_planned_width,
+                run.mean_realized_width
             );
+            skew_runs.push(run);
         }
+    }
+
+    // --- Machine-readable trajectory for future PRs. ---
+    let json_path =
+        std::env::var("RXVIEW_BENCH_JSON").unwrap_or_else(|_| "BENCH_engine.json".into());
+    let json = format!(
+        "{{\n  \"bench\": \"engine_throughput\",\n  \"groups\": {groups},\n  \
+         \"rounds\": {rounds},\n  \"updates\": {},\n  \"mixed\": {},\n  \
+         \"skew_ops\": {skew_ops},\n  \"skew_groups\": {skew_groups},\n  \"skew\": {}\n}}\n",
+        ops.len(),
+        json_array(&mixed_runs),
+        json_array(&skew_runs),
+    );
+    match std::fs::write(&json_path, &json) {
+        Ok(()) => println!("\nwrote {json_path}"),
+        Err(e) => println!("\nWARNING: could not write {json_path}: {e}"),
     }
 
     concurrent_mix();
 }
 
-/// Submits `ops`, drains them through one `commit_pending`, and returns
-/// `(updates/sec, accepted)`. `n_shards <= 1` = the single-writer path.
-fn run_engine(sys: &XmlViewSystem, ops: &[XmlUpdate], n_shards: usize) -> (f64, usize) {
+/// Submits `ops`, drains them through one `commit_pending`, and returns the
+/// run's metrics. `n_shards <= 1` = the single-writer path.
+fn run_engine(sys: &XmlViewSystem, ops: &[XmlUpdate], n_shards: usize) -> RunMetrics {
     let engine = Engine::with_config(
         sys.clone(),
         EngineConfig {
@@ -222,13 +298,23 @@ fn run_engine(sys: &XmlViewSystem, ops: &[XmlUpdate], n_shards: usize) -> (f64, 
         ops.len(),
         summary.batches
     );
-    println!("{}", engine.stats().report());
+    let report = engine.stats().report();
+    println!("{report}");
     engine
         .snapshot()
         .system()
         .consistency_check()
         .expect("consistent after commit");
-    (rate, ok)
+    RunMetrics {
+        n_shards,
+        rate,
+        accepted: ok,
+        conflict_rounds: report.width_rounds,
+        mean_planned_width: report.mean_planned_width(),
+        mean_realized_width: report.mean_realized_width(),
+        requeued: report.requeued,
+        global_lane: report.global_lane,
+    }
 }
 
 /// Readers on snapshots while a writer group-commits a skewed 90/10 mix —

@@ -1,0 +1,511 @@
+//! Typed relational conflict footprints.
+//!
+//! The §3.3/§4 translation layer knows exactly which relational rows an
+//! update reads and writes: deletion translation picks its `∆R` from the
+//! *deletable sources* of the matched edges (key preservation, §4.1), and
+//! insertion translation derives ground row keys for every template through
+//! the equality closure of the rule queries (Appendix A). A [`RelFootprint`]
+//! captures that knowledge as a set of typed `(table, column, value)` keys,
+//! replacing the serving layer's former *textual* value-key heuristic — which
+//! both over-serialized (any textual reuse of an inserted attribute value
+//! forced ordering, even across unrelated columns) and under-detected
+//! (relational key overlap between two updates' `∆R`s was only caught at
+//! merge time).
+//!
+//! Two footprints are computed per update:
+//!
+//! - the **planned** footprint, extracted *without applying anything* by a
+//!   footprint-only dry run against the snapshot a commit round will apply
+//!   to ([`planned_delete_writes`], [`planned_insert_writes`],
+//!   [`RelFootprint::add_anchor_reads`]). It is conservative: a superset of
+//!   everything the real translation can write (candidate sources instead of
+//!   the chosen one; template keys for possibly-already-present rows);
+//! - the **realized** footprint, read off the finished translation
+//!   ([`RelFootprint::realized`]) and shipped with the
+//!   [`crate::TranslatedUpdate`] so a merging publisher can assert (in debug
+//!   builds) that it was covered by the plan.
+//!
+//! Conflict semantics ([`RelFootprint::conflicts`]): read/read never
+//! conflicts; read/write conflicts on the same `(table, column, value)` key;
+//! write/write conflicts on the same `(table, row key)` — two writes to
+//! *different* rows of one table commute.
+
+use crate::rel_delete::candidate_source_keys;
+use crate::rel_insert::edge_template_keys;
+use crate::update::ViewDelta;
+use crate::viewstore::ViewStore;
+use rxview_atg::{NodeId, RuleBody, SubtreeDag};
+use rxview_relstore::{Database, GroupUpdate, RelResult, Tuple, TupleOp, Value, ValueType};
+use rxview_xmlkit::{Production, TypeId};
+use std::collections::BTreeSet;
+
+/// One typed column binding of one table: the unit of read/write overlap.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ColKey {
+    /// Table name (a base relation or a `gen_A` node table).
+    pub table: String,
+    /// Column index within that table.
+    pub column: usize,
+    /// The typed value bound at that column.
+    pub value: Value,
+}
+
+/// The typed relational footprint of one update (see the module docs).
+#[derive(Debug, Clone, Default)]
+pub struct RelFootprint {
+    /// `(table, column, value)` predicates the update's target resolution
+    /// reads (anchor-filter probes against the `gen_A` tables).
+    reads: BTreeSet<ColKey>,
+    /// Tables read wholesale (conservative fallback where a filter cannot be
+    /// pinned to one column); any write to such a table conflicts.
+    read_tables: BTreeSet<String>,
+    /// Key-column projections of every row the update may write.
+    write_cols: BTreeSet<ColKey>,
+    /// Full row identities the update may write, as `(table, row key)`.
+    write_rows: BTreeSet<(String, Tuple)>,
+}
+
+impl RelFootprint {
+    /// Whether the footprint records no reads and no writes.
+    pub fn is_empty(&self) -> bool {
+        self.reads.is_empty()
+            && self.read_tables.is_empty()
+            && self.write_cols.is_empty()
+            && self.write_rows.is_empty()
+    }
+
+    /// Records a row write: the full row identity plus one typed key per
+    /// key column. `key` must be the row's primary key in `key_cols` order.
+    pub fn add_write_row(&mut self, table: &str, key_cols: &[usize], key: Tuple) {
+        for (j, &kc) in key_cols.iter().enumerate() {
+            self.write_cols.insert(ColKey {
+                table: table.to_owned(),
+                column: kc,
+                value: key[j].clone(),
+            });
+        }
+        self.write_rows.insert((table.to_owned(), key));
+    }
+
+    /// Records the `gen_A` row write for interning the pair `(ty, attr)`.
+    /// Gen tables are all-key, so every column becomes a typed key.
+    pub fn add_gen_write(&mut self, vs: &ViewStore, ty: TypeId, attr: &Tuple) {
+        let table = vs.atg().gen_table_name(ty);
+        let row = if attr.arity() == 0 {
+            Tuple::from_values([Value::Int(0)])
+        } else {
+            attr.clone()
+        };
+        let cols: Vec<usize> = (0..row.arity()).collect();
+        self.add_write_row(&table, &cols, row);
+    }
+
+    /// Records the typed reads of an anchor pattern: the path's first
+    /// labelled step has type `first_ty` and is qualified by `field = value`
+    /// filters. A filter on a single-field projection child reads exactly
+    /// one `(gen_first_ty, column, value)` key — the only way a new node can
+    /// start matching it is a write of that key. Filters that cannot be
+    /// pinned to a column (multi-field projections, query-rule children)
+    /// degrade to whole-table reads of the gen table and the rule's base
+    /// tables.
+    pub fn add_anchor_reads(
+        &mut self,
+        vs: &ViewStore,
+        first_ty: TypeId,
+        keys: &[(String, String)],
+    ) {
+        let atg = vs.atg();
+        let dtd = atg.dtd();
+        let gen_table = atg.gen_table_name(first_ty);
+        for (field, value) in keys {
+            let Some(field_ty) = dtd.type_id(field) else {
+                continue; // unknown field: the filter can never match
+            };
+            if !dtd.is_pcdata(field_ty) {
+                // Structural filter: not used for anchor pruning, so the
+                // anchor set is already a superset with or without it.
+                continue;
+            }
+            match atg.rule(first_ty, field_ty) {
+                Some(RuleBody::Project { fields }) if fields.len() == 1 => {
+                    let col = fields[0];
+                    if let Some(v) = parse_as(atg.attr_types(first_ty)[col], value) {
+                        self.reads.insert(ColKey {
+                            table: gen_table.clone(),
+                            column: col,
+                            value: v,
+                        });
+                    }
+                    // An unparseable value can never equal a rendered typed
+                    // cell: no read key needed.
+                }
+                Some(RuleBody::Query { query, .. }) => {
+                    self.read_tables.insert(gen_table.clone());
+                    for tr in query.from() {
+                        self.read_tables.insert(tr.table.clone());
+                    }
+                }
+                _ => {
+                    self.read_tables.insert(gen_table.clone());
+                }
+            }
+        }
+    }
+
+    /// Whether this footprint conflicts with `other`: a shared written row,
+    /// or a read key of one matching a write key of the other.
+    pub fn conflicts(&self, other: &RelFootprint) -> bool {
+        intersects(&self.write_rows, &other.write_rows)
+            || intersects(&self.reads, &other.write_cols)
+            || intersects(&other.reads, &self.write_cols)
+            || self.touches_tables(&other.read_tables)
+            || other.touches_tables(&self.read_tables)
+    }
+
+    /// Whether any write of `self` lands in one of `tables`.
+    fn touches_tables(&self, tables: &BTreeSet<String>) -> bool {
+        !tables.is_empty() && self.write_rows.iter().any(|(t, _)| tables.contains(t))
+    }
+
+    /// Merges `other` into `self` (batch-footprint accumulation).
+    pub fn absorb(&mut self, other: &RelFootprint) {
+        self.reads.extend(other.reads.iter().cloned());
+        self.read_tables.extend(other.read_tables.iter().cloned());
+        self.write_cols.extend(other.write_cols.iter().cloned());
+        self.write_rows.extend(other.write_rows.iter().cloned());
+    }
+
+    /// Whether every write recorded in `realized` was planned here — the
+    /// conservativeness contract between a planned footprint and the
+    /// translation it admitted (checked by the publisher in debug builds).
+    pub fn covers_writes(&self, realized: &RelFootprint) -> bool {
+        realized.write_rows.is_subset(&self.write_rows)
+            && realized.write_cols.is_subset(&self.write_cols)
+    }
+
+    /// Whether the row write `(table, key)` is covered by this footprint.
+    pub fn covers_row(&self, table: &str, key: &Tuple) -> bool {
+        self.write_rows.contains(&(table.to_owned(), key.clone()))
+    }
+
+    /// The realized footprint of a finished translation: the `∆R` rows it
+    /// writes plus the `gen_A` rows of the subtree nodes it interned.
+    pub fn realized(
+        vs: &ViewStore,
+        base: &Database,
+        delta_r: &GroupUpdate,
+        subtree: Option<&SubtreeDag>,
+    ) -> RelResult<RelFootprint> {
+        let mut fp = RelFootprint::default();
+        for op in delta_r.ops() {
+            match op {
+                TupleOp::Insert { table, tuple } => {
+                    let schema = base.table(table)?.schema();
+                    fp.add_write_row(table, schema.key(), schema.key_of(tuple));
+                }
+                TupleOp::Delete { table, key } => {
+                    let schema = base.table(table)?.schema();
+                    fp.add_write_row(table, schema.key(), key.clone());
+                }
+            }
+        }
+        if let Some(st) = subtree {
+            let genid = vs.dag().genid();
+            for &n in &st.fresh {
+                fp.add_gen_write(vs, genid.type_of(n), genid.attr_of(n));
+            }
+        }
+        Ok(fp)
+    }
+
+    /// Test/diagnostic access: the full row keys this footprint writes.
+    pub fn write_rows(&self) -> impl Iterator<Item = &(String, Tuple)> {
+        self.write_rows.iter()
+    }
+}
+
+fn intersects<T: Ord>(a: &BTreeSet<T>, b: &BTreeSet<T>) -> bool {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    small.iter().any(|k| large.contains(k))
+}
+
+/// Parses an XPath filter literal as a typed cell value. `None` means no
+/// typed value of that column type renders to this text, so the filter can
+/// never match it.
+fn parse_as(ty: ValueType, text: &str) -> Option<Value> {
+    match ty {
+        ValueType::Str => Some(Value::Str(text.to_owned())),
+        // Round-trip check: `Value::Int(40)` renders as "40", never "+40"
+        // or "040".
+        ValueType::Int => {
+            let v: i64 = text.parse().ok()?;
+            (v.to_string() == text).then_some(Value::Int(v))
+        }
+        ValueType::Bool => match text {
+            "true" => Some(Value::Bool(true)),
+            "false" => Some(Value::Bool(false)),
+            _ => None,
+        },
+    }
+}
+
+/// Adds the planned write keys of `delete p` given its matched edges
+/// `Ep(r)`: for every edge, *all* candidate deletable sources — a superset
+/// of whichever source Algorithm delete (Fig.9) will pick. Returns `false`
+/// when lineage cannot be derived (the caller should degrade the update to a
+/// global footprint).
+pub fn planned_delete_writes(
+    vs: &ViewStore,
+    edge_parents: &[(NodeId, NodeId)],
+    out: &mut RelFootprint,
+) -> bool {
+    let delta = ViewDelta {
+        inserts: Vec::new(),
+        deletes: edge_parents.to_vec(),
+    };
+    let Some(sources) = candidate_source_keys(vs, &delta) else {
+        return false;
+    };
+    let provider = vs.atg().augmented_schemas();
+    for sr in sources {
+        let Some(schema) = rxview_relstore::SchemaProvider::schema_of(&provider, &sr.table) else {
+            return false;
+        };
+        out.add_write_row(&sr.table, schema.key(), sr.key);
+    }
+    true
+}
+
+/// The read-only plan of `insert (A, t)`'s generated subtree `ST(A, t)`: a
+/// mirror of `generate_subtree` that walks `(type, attr)` pairs through the
+/// ATG rules without interning anything. The walk stops at pairs that are
+/// already live (the subtree property: their published subtrees join
+/// wholesale) and collects them as `links`.
+#[derive(Debug, Default)]
+pub struct PlannedSubtree {
+    /// Pairs the real translation would intern (the planned allocation
+    /// catalog), in discovery order.
+    pub fresh: Vec<(TypeId, Tuple)>,
+    /// Live nodes the generated subtree would splice.
+    pub links: Vec<NodeId>,
+    /// Production edges of the subtree as `(parent pair, child pair)`,
+    /// including edges into live pairs.
+    pub edges: Vec<(TypeId, Tuple, TypeId, Tuple)>,
+}
+
+/// Walks the would-be subtree of `insert (A, t)` read-only (see
+/// [`PlannedSubtree`]). Fails on the same relational errors generation
+/// would.
+pub fn plan_subtree(
+    vs: &ViewStore,
+    base: &Database,
+    ty: TypeId,
+    attr: &Tuple,
+) -> RelResult<PlannedSubtree> {
+    let atg = vs.atg();
+    let aug = vs.augmented(base);
+    let mut out = PlannedSubtree::default();
+    let mut seen: BTreeSet<(TypeId, Tuple)> = BTreeSet::new();
+    let mut stack = vec![(ty, attr.clone())];
+    while let Some((uty, uattr)) = stack.pop() {
+        if !seen.insert((uty, uattr.clone())) {
+            continue;
+        }
+        out.fresh.push((uty, uattr.clone()));
+        let child_types: Vec<TypeId> = match atg.dtd().production(uty) {
+            Production::PcData | Production::Empty => Vec::new(),
+            Production::Sequence(ts) | Production::Alternation(ts) => ts.clone(),
+            Production::Star(t) => vec![*t],
+        };
+        for cty in child_types {
+            for t in atg.child_tuples(&aug, uty, &uattr, cty)? {
+                out.edges.push((uty, uattr.clone(), cty, t.clone()));
+                match vs.dag().genid().lookup(cty, &t) {
+                    Some(live) => out.links.push(live),
+                    None => stack.push((cty, t)),
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Adds the planned write keys of `insert (A, t) into p`:
+///
+/// - the `gen_A` rows of every pair the subtree walk would intern;
+/// - the ground template keys of every subtree production edge and of every
+///   connecting edge `(target, root)` — derivable without evaluation because
+///   the rule queries are key-preserving (§4.1).
+///
+/// `subtree` is `None` when the head `(A, t)` is already live (nothing is
+/// interned; only connecting edges translate). Returns `false` when a
+/// template key cannot be grounded (the caller should degrade the update to
+/// a global footprint).
+pub fn planned_insert_writes(
+    vs: &ViewStore,
+    base: &Database,
+    ty: TypeId,
+    attr: &Tuple,
+    subtree: Option<&PlannedSubtree>,
+    targets: &[NodeId],
+    out: &mut RelFootprint,
+) -> bool {
+    let genid = vs.dag().genid();
+    if let Some(st) = subtree {
+        for (pty, pattr, cty, cattr) in &st.edges {
+            if !add_edge_keys(vs, base, *pty, pattr, *cty, cattr, out) {
+                return false;
+            }
+        }
+        for (fty, fattr) in &st.fresh {
+            out.add_gen_write(vs, *fty, fattr);
+        }
+    }
+    for &target in targets {
+        let tty = genid.type_of(target);
+        let tattr = genid.attr_of(target).clone();
+        if !add_edge_keys(vs, base, tty, &tattr, ty, attr, out) {
+            return false;
+        }
+    }
+    true
+}
+
+/// Adds the ground template keys of one production edge (see
+/// [`planned_insert_writes`]). Projection edges (implied by the parent row)
+/// and missing rules (the real translation rejects, writing nothing)
+/// contribute no keys.
+fn add_edge_keys(
+    vs: &ViewStore,
+    base: &Database,
+    pty: TypeId,
+    pattr: &Tuple,
+    cty: TypeId,
+    cattr: &Tuple,
+    out: &mut RelFootprint,
+) -> bool {
+    match vs.atg().rule(pty, cty) {
+        Some(RuleBody::Query {
+            query,
+            param_fields,
+        }) => match edge_template_keys(base, query, param_fields, pattr, cattr) {
+            Ok(keys) => {
+                for (table, key) in keys {
+                    let Ok(schema) = base.table(&table).map(|t| t.schema()) else {
+                        return false;
+                    };
+                    out.add_write_row(&table, schema.key(), key);
+                }
+                true
+            }
+            Err(_) => false,
+        },
+        _ => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rxview_atg::{registrar_atg, registrar_database};
+    use rxview_relstore::tuple;
+
+    fn store() -> (Database, ViewStore) {
+        let db = registrar_database();
+        let atg = registrar_atg(&db).unwrap();
+        let vs = ViewStore::publish(atg, &db).unwrap();
+        (db, vs)
+    }
+
+    #[test]
+    fn reads_conflict_with_writes_on_the_same_key_only() {
+        let (_db, vs) = store();
+        let course = vs.atg().dtd().type_id("course").unwrap();
+        let mut reader = RelFootprint::default();
+        reader.add_anchor_reads(&vs, course, &[("cno".into(), "MA100".into())]);
+
+        let mut writer = RelFootprint::default();
+        writer.add_gen_write(&vs, course, &tuple!["MA100", "Calculus"]);
+        assert!(reader.conflicts(&writer), "read of written key conflicts");
+
+        let mut other = RelFootprint::default();
+        other.add_gen_write(&vs, course, &tuple!["CS999", "Other"]);
+        assert!(
+            !reader.conflicts(&other),
+            "same column, different value: no conflict"
+        );
+
+        // The same *value* in a different column must not conflict — the
+        // textual heuristic's false positive.
+        let title = RelFootprint::default();
+        let mut title_writer = title.clone();
+        title_writer.add_gen_write(&vs, course, &tuple!["CS998", "MA100"]);
+        assert!(
+            !reader.conflicts(&title_writer),
+            "cno filter vs title value: typed keys keep them independent"
+        );
+    }
+
+    #[test]
+    fn write_write_conflicts_on_the_same_row_only() {
+        let mut a = RelFootprint::default();
+        a.add_write_row("enroll", &[0, 1], tuple!["S01", "CS320"]);
+        let mut b = RelFootprint::default();
+        b.add_write_row("enroll", &[0, 1], tuple!["S01", "CS650"]);
+        assert!(!a.conflicts(&b), "different rows of one table commute");
+        let mut c = RelFootprint::default();
+        c.add_write_row("enroll", &[0, 1], tuple!["S01", "CS320"]);
+        assert!(a.conflicts(&c), "same row conflicts");
+    }
+
+    #[test]
+    fn planned_delete_covers_all_candidate_sources() {
+        let (_db, vs) = store();
+        let course = vs.atg().dtd().type_id("course").unwrap();
+        let prereq = vs.atg().dtd().type_id("prereq").unwrap();
+        let p650 = vs.dag().genid().lookup(prereq, &tuple!["CS650"]).unwrap();
+        let c320 = vs
+            .dag()
+            .genid()
+            .lookup(course, &tuple!["CS320", "Algorithms"])
+            .unwrap();
+        let mut fp = RelFootprint::default();
+        assert!(planned_delete_writes(&vs, &[(p650, c320)], &mut fp));
+        // Candidate sources of the prereq edge: the prereq tuple and the
+        // course tuple.
+        assert!(fp.covers_row("prereq", &tuple!["CS650", "CS320"]));
+    }
+
+    #[test]
+    fn planned_insert_covers_gen_and_template_rows() {
+        let (db, vs) = store();
+        let course = vs.atg().dtd().type_id("course").unwrap();
+        let prereq = vs.atg().dtd().type_id("prereq").unwrap();
+        let p650 = vs.dag().genid().lookup(prereq, &tuple!["CS650"]).unwrap();
+        let attr = tuple!["MA100", "Calculus"];
+        let st = plan_subtree(&vs, &db, course, &attr).unwrap();
+        assert!(st.fresh.iter().any(|(t, a)| *t == course && *a == attr));
+        let mut fp = RelFootprint::default();
+        assert!(planned_insert_writes(
+            &vs,
+            &db,
+            course,
+            &attr,
+            Some(&st),
+            &[p650],
+            &mut fp
+        ));
+        // The connecting edge prereq(CS650) -> course(MA100) writes the
+        // prereq tuple; interning writes the gen_course row.
+        assert!(fp.covers_row("prereq", &tuple!["CS650", "MA100"]));
+        assert!(fp.covers_row("gen_course", &attr));
+    }
+
+    #[test]
+    fn parse_as_round_trips() {
+        assert_eq!(parse_as(ValueType::Int, "40"), Some(Value::Int(40)));
+        assert_eq!(parse_as(ValueType::Int, "+40"), None);
+        assert_eq!(parse_as(ValueType::Int, "040"), None);
+        assert_eq!(parse_as(ValueType::Str, "x"), Some(Value::Str("x".into())));
+    }
+}

@@ -14,12 +14,16 @@
 //!   preservation (§4.2, Fig.9, Theorem 1);
 //! - [`rel_insert`]: Algorithm insert — the SAT-based heuristic for group
 //!   insertions (§4.3, Appendix A, Theorems 2 & 4);
+//! - [`footprint`]: typed `(table, column, value)` conflict footprints read
+//!   off the translation layer — the planned/realized write-set contract a
+//!   concurrent serving engine partitions updates by;
 //! - [`processor`]: the end-to-end framework of Fig.3, including the
 //!   republication oracle `∆X(T) = σ(∆R(I))`.
 
 #![warn(missing_docs)]
 
 pub mod dag_eval;
+pub mod footprint;
 pub mod maintain;
 pub mod processor;
 pub mod reach;
@@ -33,14 +37,22 @@ pub mod update;
 pub mod viewstore;
 
 pub use dag_eval::{eval_xpath_on_dag, DagEval};
+pub use footprint::{
+    plan_subtree, planned_delete_writes, planned_insert_writes, ColKey, PlannedSubtree,
+    RelFootprint,
+};
 pub use maintain::{maintain_delete, maintain_insert, MaintainReport};
 pub use processor::{
     translate_insert_for_merge, DeferredMaintenance, PhaseTimings, TranslatedUpdate, UpdateError,
     UpdateOutcome, UpdateReport, XmlViewSystem,
 };
 pub use reach::Reachability;
-pub use rel_delete::{translate_deletions, translate_deletions_minimal, DeleteRejection};
-pub use rel_insert::{translate_insertions, InsertRejection, InsertTranslation};
+pub use rel_delete::{
+    candidate_source_keys, translate_deletions, translate_deletions_minimal, DeleteRejection,
+};
+pub use rel_insert::{
+    edge_template_keys, translate_insertions, InsertRejection, InsertTranslation,
+};
 pub use republish::{apply_relational_update, RepublishReport};
 pub use stats::{view_stats, ViewStats};
 pub use topo::TopoOrder;

@@ -13,6 +13,7 @@
 //!    timed separately — the (c) constituent of Fig.11.
 
 use crate::dag_eval::eval_xpath_on_dag;
+use crate::footprint::RelFootprint;
 use crate::maintain::{maintain_delete, maintain_insert, MaintainReport};
 use crate::reach::Reachability;
 use crate::rel_delete::{translate_deletions, DeleteRejection};
@@ -26,6 +27,7 @@ use rxview_relstore::{Database, GroupUpdate, RelError};
 use rxview_satsolver::WalkSatConfig;
 use rxview_xmlkit::{validate_delete, validate_insert, SchemaViolation, XmlTree};
 use std::fmt;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Why an update was rejected.
@@ -203,6 +205,12 @@ pub struct TranslatedUpdate {
     pub sat_used: bool,
     /// Evaluation + translation wall-clock on the translating thread.
     pub timings: PhaseTimings,
+    /// The *realized* relational footprint: the `∆R` row keys this
+    /// translation writes plus the `gen_A` rows it interned — typed
+    /// `(table, column, value)` keys a merging publisher checks against the
+    /// planned footprint that admitted the update (id-independent, so it
+    /// survives the shard→master remap).
+    pub rel_footprint: RelFootprint,
 }
 
 impl TranslatedUpdate {
@@ -243,7 +251,10 @@ pub struct XmlViewSystem {
     base: Database,
     vs: ViewStore,
     topo: TopoOrder,
-    reach: Reachability,
+    /// `M` behind an `Arc`: cloning a system (per-snapshot publication in a
+    /// serving engine) shares the matrix until the next maintenance pass
+    /// mutates it through [`Arc::make_mut`] (copy-on-write).
+    reach: Arc<Reachability>,
     sat_config: WalkSatConfig,
 }
 
@@ -257,7 +268,7 @@ impl XmlViewSystem {
             base,
             vs,
             topo,
-            reach,
+            reach: Arc::new(reach),
             sat_config: WalkSatConfig::default(),
         })
     }
@@ -371,19 +382,20 @@ impl XmlViewSystem {
         jobs: Vec<DeferredMaintenance>,
     ) -> Result<MaintainReport, UpdateError> {
         let mut agg = MaintainReport::default();
+        if jobs.is_empty() {
+            return Ok(agg);
+        }
+        // Unshare `M` once per fold (no-op when this system holds the only
+        // reference): the per-publication clone of a serving engine stays
+        // O(1) for the matrix, and the copy happens here instead.
+        let reach = Arc::make_mut(&mut self.reach);
         let mut delete_targets: Vec<rxview_atg::NodeId> = Vec::new();
         let mut seen: std::collections::BTreeSet<rxview_atg::NodeId> =
             std::collections::BTreeSet::new();
         for job in jobs {
             match job.subtree {
                 Some(st) => {
-                    let r = maintain_insert(
-                        &self.vs,
-                        &mut self.topo,
-                        &mut self.reach,
-                        &st,
-                        &job.selected,
-                    );
+                    let r = maintain_insert(&self.vs, &mut self.topo, reach, &st, &job.selected);
                     agg.absorb(&r);
                 }
                 None => {
@@ -392,12 +404,7 @@ impl XmlViewSystem {
             }
         }
         if !delete_targets.is_empty() {
-            let r = maintain_delete(
-                &mut self.vs,
-                &mut self.topo,
-                &mut self.reach,
-                &delete_targets,
-            )?;
+            let r = maintain_delete(&mut self.vs, &mut self.topo, reach, &delete_targets)?;
             agg.absorb(&r);
         }
         Ok(agg)
@@ -478,6 +485,8 @@ impl XmlViewSystem {
         let delta_v = xdelete(&eval);
         let delta_r =
             translate_deletions(&self.vs, &self.base, &delta_v).map_err(UpdateError::Delete)?;
+        let rel_footprint = RelFootprint::realized(&self.vs, &self.base, &delta_r, None)
+            .map_err(UpdateError::Rel)?;
         timings.translate = t1.elapsed();
         Ok(TranslatedUpdate {
             delta_v,
@@ -487,6 +496,7 @@ impl XmlViewSystem {
             side_effects: side_effects.len(),
             sat_used: false,
             timings,
+            rel_footprint,
         })
     }
 
@@ -524,6 +534,7 @@ impl XmlViewSystem {
             side_effects,
             sat_used,
             timings,
+            rel_footprint: _,
         } = t;
 
         // Re-intern the translator's fresh nodes; build the id remap. By the
@@ -605,7 +616,7 @@ impl XmlViewSystem {
             &mut self.base,
             &mut self.vs,
             &mut self.topo,
-            &mut self.reach,
+            Arc::make_mut(&mut self.reach),
             update,
         )
     }
@@ -743,6 +754,15 @@ fn translate_core(
             (delta, dr, None, false)
         }
     };
+    let rel_footprint = match RelFootprint::realized(vs, base, &delta_r, subtree.as_ref()) {
+        Ok(fp) => fp,
+        Err(e) => {
+            if let Some(st) = &subtree {
+                rollback_subtree(vs, st);
+            }
+            return Err(UpdateError::Rel(e));
+        }
+    };
     timings.translate = t1.elapsed();
     Ok(TranslatedUpdate {
         delta_v,
@@ -752,6 +772,7 @@ fn translate_core(
         side_effects: side_effects.len(),
         sat_used,
         timings,
+        rel_footprint,
     })
 }
 

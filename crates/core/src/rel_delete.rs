@@ -111,6 +111,35 @@ pub(crate) fn bind_source(
     .expect("bound query stays valid")
 }
 
+/// The union of *candidate* deletable sources over the group deletion: for
+/// every deleted edge, every `(table, key)` in its `Sr(Q, t)` — a superset
+/// of whatever `∆R` [`translate_deletions`] (or the minimal variant) can
+/// choose, derivable without any safety queries. This is the planned write
+/// footprint of a deletion; `None` means lineage could not be derived for
+/// some edge (the caller should treat the update's footprint as global).
+///
+/// Edges with no base source (projection rules, missing rules) make the
+/// real translation reject the whole group — which writes nothing — so they
+/// contribute no keys here.
+pub fn candidate_source_keys(vs: &ViewStore, delta: &ViewDelta) -> Option<Vec<SourceRef>> {
+    let provider = vs.atg().augmented_schemas();
+    let mut out = Vec::new();
+    for &(u, v) in &delta.deletes {
+        let a = vs.dag().genid().type_of(u);
+        let b = vs.dag().genid().type_of(v);
+        let Some(q) = vs.edge_query(a, b) else {
+            continue; // NotDeletable: the translation rejects, writes nothing
+        };
+        if q.from().len() <= 1 {
+            continue; // projection rule: same
+        }
+        let row = edge_row(vs, u, v);
+        let sources = closure_source_keys(q, &provider, &row, &[0]).ok()??;
+        out.extend(sources);
+    }
+    Some(out)
+}
+
 /// Algorithm **delete**: computes `∆R` for the group edge deletions in
 /// `delta`, or rejects.
 pub fn translate_deletions(

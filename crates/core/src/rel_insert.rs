@@ -506,18 +506,35 @@ fn decode_var(
     }
 }
 
-/// Derives the per-table templates for one inserted edge using the equality
-/// closure of the rule query with `$parent` bound to `params` and the output
-/// bound to `child`.
-fn derive_templates(
-    base: &Database,
+/// The equality-closure binding of one inserted edge's rule query: column
+/// classes (union-find over `Col = Col` predicates) and the constants each
+/// class is pinned to by the child attribute (projection), the parent
+/// attribute (parameters), and constant predicates. Shared by template
+/// derivation and by footprint planning ([`edge_template_keys`]).
+struct EdgeBinding<'a> {
+    schemas: Vec<&'a TableSchema>,
+    offsets: Vec<usize>,
+    parent: Vec<usize>,
+    known: HashMap<usize, Value>,
+}
+
+impl EdgeBinding<'_> {
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+}
+
+fn edge_binding<'a>(
+    base: &'a Database,
     query: &SpjQuery,
     param_fields: &[usize],
     parent_attr: &Tuple,
     child_attr: &Tuple,
-    vars: &mut Vars,
-    templates: &mut BTreeMap<(String, Tuple), Template>,
-) -> Result<(), InsertRejection> {
+) -> Result<EdgeBinding<'a>, InsertRejection> {
     // Column universe.
     let mut offsets = Vec::with_capacity(query.from().len());
     let mut schemas: Vec<&TableSchema> = Vec::with_capacity(query.from().len());
@@ -575,14 +592,72 @@ fn derive_templates(
             _ => {}
         }
     }
+    Ok(EdgeBinding {
+        schemas,
+        offsets,
+        parent,
+        known,
+    })
+}
+
+/// The ground primary key of every base row the rule query's templates
+/// would touch for one inserted edge — derivable *without evaluating or
+/// applying anything* because the rule queries are key-preserving (§4.1:
+/// every key column sits in an equality class pinned by the output, a
+/// parameter, or a constant). This is the planned base-write footprint of
+/// the edge; the realized `∆R` (after unification, existing-row dropping,
+/// and SAT instantiation) only ever writes a subset of these keys.
+pub fn edge_template_keys(
+    base: &Database,
+    query: &SpjQuery,
+    param_fields: &[usize],
+    parent_attr: &Tuple,
+    child_attr: &Tuple,
+) -> Result<Vec<(String, Tuple)>, InsertRejection> {
+    let mut b = edge_binding(base, query, param_fields, parent_attr, child_attr)?;
+    let mut out = Vec::with_capacity(query.from().len());
+    for (rel, tr) in query.from().iter().enumerate() {
+        let key_cols: Vec<usize> = b.schemas[rel].key().to_vec();
+        let offset = b.offsets[rel];
+        let mut key_vals = Vec::with_capacity(key_cols.len());
+        for kc in key_cols {
+            let r = b.find(offset + kc);
+            match b.known.get(&r) {
+                Some(v) => key_vals.push(v.clone()),
+                None => {
+                    return Err(InsertRejection::Rel(RelError::NotKeyPreserving {
+                        query: query.name().to_owned(),
+                    }))
+                }
+            }
+        }
+        out.push((tr.table.clone(), Tuple::from_values(key_vals)));
+    }
+    Ok(out)
+}
+
+/// Derives the per-table templates for one inserted edge using the equality
+/// closure of the rule query with `$parent` bound to `params` and the output
+/// bound to `child`.
+fn derive_templates(
+    base: &Database,
+    query: &SpjQuery,
+    param_fields: &[usize],
+    parent_attr: &Tuple,
+    child_attr: &Tuple,
+    vars: &mut Vars,
+    templates: &mut BTreeMap<(String, Tuple), Template>,
+) -> Result<(), InsertRejection> {
+    let mut binding = edge_binding(base, query, param_fields, parent_attr, child_attr)?;
     // Variables per undetermined class.
     let mut class_var: HashMap<usize, usize> = HashMap::new();
     for (rel, tr) in query.from().iter().enumerate() {
-        let schema = schemas[rel];
+        let schema = binding.schemas[rel];
+        let offset = binding.offsets[rel];
         let mut cells = Vec::with_capacity(schema.arity());
         for col in 0..schema.arity() {
-            let r = find(&mut parent, idx(ColRef { rel, col }));
-            match known.get(&r) {
+            let r = binding.find(offset + col);
+            match binding.known.get(&r) {
                 Some(v) => cells.push(Sym::Known(v.clone())),
                 None => {
                     let vid = *class_var.entry(r).or_insert_with(|| {

@@ -3,28 +3,43 @@
 //! Two submitted updates may ride in the same conflict-free batch only if
 //! applying one cannot change what the other's path selects, what its
 //! translation writes, or what its deferred `M`/`L` maintenance touches.
-//! This module computes a conservative per-update [`Analysis`]:
+//! This module computes a conservative per-update [`Analysis`] from two
+//! complementary views of the update:
 //!
-//! - **Anchored cone**: a target path whose first normalized step is a
-//!   labelled child step qualified by a `field = value` filter is *anchored*
-//!   — every possible match lies in the cone `{anchor} ∪ desc(anchor)` of
-//!   the top-level nodes satisfying the filter (descendant sets come from
-//!   the maintained reachability matrix `M`, §3.1). Updates with disjoint
-//!   cones touch disjoint view regions. Unanchored paths (leading `//` or
-//!   wildcard) are *global* and conflict with everything.
-//! - **Value keys**: an insertion's `(A, t)` may materialize nodes whose
-//!   text matches another update's anchor filter only after it applies, so
-//!   anchors are also compared against inserted attribute values textually.
-//!   Equal-key insertions are serialized for the same reason.
+//! - **Anchored cone** (view structure): a target path whose first
+//!   normalized step is a labelled child step qualified by a `field = value`
+//!   filter is *anchored* — every possible match lies in the cone
+//!   `{anchor} ∪ desc(anchor)` of the top-level nodes satisfying the filter
+//!   (descendant sets come from the maintained reachability matrix `M`,
+//!   §3.1). Updates with disjoint cones touch disjoint view regions.
+//!   Unanchored paths (leading `//` or wildcard) are *global* and conflict
+//!   with everything.
+//! - **Typed relational footprint** ([`rxview_core::RelFootprint`]): a
+//!   footprint-only dry run of the §3.3/§4 translation — nothing applied,
+//!   nothing interned — yields the `(table, column, value)` keys the update
+//!   reads (anchor-filter probes against the `gen_A` tables) and may write
+//!   (candidate deletable sources for deletions; ground template keys and
+//!   the would-be allocation catalog for insertions). Read/read never
+//!   conflicts; read/write and write/write on the same key do. This
+//!   replaces the former *textual* value-key heuristic, which serialized
+//!   any textual reuse of an inserted attribute value regardless of table
+//!   or column.
 //!
 //! The cone doubles as an evaluation *scope*: because cones are closed
 //! under descendants, projecting the maintained topological order `L` onto
 //! `{cone} ∪ {root}` yields a valid order for the sub-DAG, and the §3.2
 //! two-pass evaluation run over that projection returns exactly the matches
 //! of the full evaluation — at cost proportional to the cone, not the view.
+//! The dry run needs that evaluation anyway (deletion write keys come from
+//! the matched edges), so the analysis returns it for the write path to
+//! reuse: within a conflict-free round every update's evaluation against
+//! the planning snapshot equals its evaluation at apply time.
 
 use rxview_atg::NodeId;
-use rxview_core::{TopoOrder, XmlUpdate, XmlViewSystem};
+use rxview_core::{
+    plan_subtree, planned_delete_writes, planned_insert_writes, DagEval, RelFootprint, TopoOrder,
+    XmlUpdate, XmlViewSystem,
+};
 use rxview_xmlkit::xpath::ast::{NodeTest, StepKind};
 use rxview_xmlkit::{normalize, Filter, NormStep, TypeId, XPath};
 use std::collections::{BTreeSet, HashMap, HashSet};
@@ -70,6 +85,10 @@ fn anchor_pattern(sys: &XmlViewSystem, path: &XPath) -> Option<(TypeId, Vec<(Str
     Some((first_ty, keys))
 }
 
+/// A resolved anchor pattern: the first step's type, the matching top-level
+/// nodes, and the `field = value` filter pairs that selected them.
+type AnchorMatch = (TypeId, Vec<NodeId>, Vec<(String, String)>);
+
 /// The anchor set of a path: the top-level nodes every match must pass
 /// through. `None` means the path is not anchored (global footprint).
 /// With `index` supplied, candidate resolution is an index probe instead of
@@ -78,11 +97,10 @@ fn anchors_of(
     sys: &XmlViewSystem,
     index: Option<&AnchorIndex>,
     path: &XPath,
-) -> Option<(TypeId, Vec<NodeId>, Vec<String>)> {
+) -> Option<AnchorMatch> {
     let (first_ty, keys) = anchor_pattern(sys, path)?;
-    let key_values: Vec<String> = keys.iter().map(|(_, v)| v.clone()).collect();
     if let Some(index) = index {
-        return Some((first_ty, index.anchors(sys, first_ty, &keys), key_values));
+        return Some((first_ty, index.anchors(sys, first_ty, &keys), keys));
     }
 
     let vs = sys.view();
@@ -109,7 +127,7 @@ fn anchors_of(
         }
         anchors.push(c);
     }
-    Some((first_ty, anchors, key_values))
+    Some((first_ty, anchors, keys))
 }
 
 /// An index of anchor candidates over one system state: top-level nodes by
@@ -205,48 +223,26 @@ impl AnchorIndex {
 pub struct Analysis {
     /// Cone of view nodes the update can read or write; `None` = global.
     cone: Option<HashSet<NodeId>>,
-    /// `(type, text)` keys: anchor filter values, plus — for insertions —
-    /// every attribute component of the inserted `(A, t)`.
-    keys: BTreeSet<(TypeId, String)>,
+    /// Typed relational footprint: anchor-filter reads plus the planned
+    /// (conservative) write keys of the dry-run translation.
+    rel: RelFootprint,
 }
 
-/// The live nodes a *fresh*-headed `insert (A, t)` would splice into its
-/// subtree: a read-only mirror of `generate_subtree` that walks `(type,
-/// attr)` pairs through the ATG rules without interning anything. The walk
-/// stops at pairs that are already live (the subtree property: their
-/// published subtrees join wholesale) and collects them.
-fn fresh_subtree_links(
-    sys: &XmlViewSystem,
-    ty: TypeId,
-    attr: &rxview_relstore::Tuple,
-) -> Result<Vec<NodeId>, rxview_relstore::RelError> {
-    use rxview_xmlkit::Production;
-    let vs = sys.view();
-    let atg = vs.atg();
-    let aug = vs.augmented(sys.base());
-    let mut links = Vec::new();
-    let mut seen: std::collections::HashSet<(TypeId, rxview_relstore::Tuple)> =
-        std::collections::HashSet::new();
-    let mut stack = vec![(ty, attr.clone())];
-    while let Some((uty, uattr)) = stack.pop() {
-        if !seen.insert((uty, uattr.clone())) {
-            continue;
-        }
-        let child_types: Vec<TypeId> = match atg.dtd().production(uty) {
-            Production::PcData | Production::Empty => Vec::new(),
-            Production::Sequence(ts) | Production::Alternation(ts) => ts.clone(),
-            Production::Star(t) => vec![*t],
-        };
-        for cty in child_types {
-            for t in atg.child_tuples(&aug, uty, &uattr, cty)? {
-                match vs.dag().genid().lookup(cty, &t) {
-                    Some(live) => links.push(live),
-                    None => stack.push((cty, t)),
-                }
-            }
-        }
-    }
-    Ok(links)
+/// Everything one conflict analysis produces: the footprint, and — for
+/// anchored updates — the §3.2 evaluation the dry run performed against the
+/// planning state, which the write path reuses instead of evaluating again.
+pub struct AnalysisParts {
+    /// The conflict footprint.
+    pub analysis: Analysis,
+    /// The dry-run evaluation (`None` for global-footprint updates, which
+    /// the write path evaluates itself on the serialized lane). It ran
+    /// scoped to the anchor cone iff the caller requested scoped
+    /// evaluation.
+    pub eval: Option<DagEval>,
+    /// Wall-clock of the evaluation alone (zero when `eval` is `None`) —
+    /// callers record it in the eval phase bucket; the rest of the
+    /// analysis is partition work.
+    pub eval_time: std::time::Duration,
 }
 
 impl Analysis {
@@ -261,96 +257,142 @@ impl Analysis {
     /// synthetic dataset's `payload`) would put every pair of anchors in
     /// conflict and reduce every batch to a singleton.
     pub fn of(sys: &XmlViewSystem, update: &XmlUpdate) -> Analysis {
-        Analysis::of_with_scope(sys, update, false).0
+        Analysis::parts(sys, None, update, true).analysis
     }
 
-    /// Like [`Analysis::of`], but also returns the evaluation scope for
-    /// anchored paths when `want_scope` is set — the anchor detection runs
-    /// once and feeds both, so partitioning and scoped evaluation against
-    /// the *same* system state share the work.
-    pub fn of_with_scope(
-        sys: &XmlViewSystem,
-        update: &XmlUpdate,
-        want_scope: bool,
-    ) -> (Analysis, Option<TopoOrder>) {
-        Analysis::of_with_scope_indexed(sys, None, update, want_scope)
-    }
-
-    /// [`Analysis::of_with_scope`] with anchor candidates resolved through
-    /// a per-round [`AnchorIndex`] built from the same state (the sharded
-    /// router's entry point).
-    pub fn of_with_scope_indexed(
+    /// Full analysis with anchor candidates resolved through an optional
+    /// per-round [`AnchorIndex`] built from the same state. `scoped_eval`
+    /// selects whether the dry-run evaluation runs scoped to the anchor
+    /// cone (exact for anchored paths) or over the full view.
+    pub fn parts(
         sys: &XmlViewSystem,
         index: Option<&AnchorIndex>,
         update: &XmlUpdate,
-        want_scope: bool,
-    ) -> (Analysis, Option<TopoOrder>) {
+        scoped_eval: bool,
+    ) -> AnalysisParts {
         let dtd = sys.view().atg().dtd();
         let genid = sys.view().dag().genid();
         let interior = |v: &NodeId| !dtd.is_pcdata(genid.type_of(*v));
-        let anchored = anchors_of(sys, index, update.path());
-        let mut keys = BTreeSet::new();
-        let mut scope = None;
-        let mut cone = match anchored {
-            None => None,
-            Some((first_ty, anchors, values)) => {
-                for v in values {
-                    keys.insert((first_ty, v));
-                }
-                if want_scope {
-                    scope = Some(scope_of_anchors(sys, &anchors));
-                }
-                let mut cone = HashSet::new();
-                for a in anchors {
-                    cone.insert(a);
-                    cone.extend(sys.reach().descendants(a).iter().filter(|v| interior(v)));
-                }
-                Some(cone)
-            }
+        let global = || AnalysisParts {
+            analysis: Analysis {
+                cone: None,
+                rel: RelFootprint::default(),
+            },
+            eval: None,
+            eval_time: std::time::Duration::ZERO,
         };
-        if let XmlUpdate::Insert { ty, attr, .. } = update {
-            if let Some(ty_id) = sys.view().atg().dtd().type_id(ty) {
-                for v in attr.values() {
-                    keys.insert((ty_id, v.to_string()));
-                }
-                match sys.view().dag().genid().lookup(ty_id, attr) {
-                    // An existing head means the (shared) published subtree
-                    // is spliced under the targets: it joins the footprint.
-                    Some(head) => {
-                        if let Some(c) = cone.as_mut() {
-                            c.insert(head);
-                            c.extend(sys.reach().descendants(head).iter().filter(|v| interior(v)));
+        let Some((first_ty, anchors, keys)) = anchors_of(sys, index, update.path()) else {
+            return global();
+        };
+
+        let mut rel = RelFootprint::default();
+        rel.add_anchor_reads(sys.view(), first_ty, &keys);
+        // The dry-run evaluation: exact on the anchor scope, and reusable by
+        // the write path because the round applies to this very state.
+        let t_eval = std::time::Instant::now();
+        let eval = if scoped_eval {
+            let scope = scope_of_anchors(sys, &anchors);
+            sys.evaluate_scoped(update.path(), &scope)
+        } else {
+            sys.evaluate(update.path())
+        };
+        let eval_time = t_eval.elapsed();
+
+        let mut cone = HashSet::new();
+        for a in anchors {
+            cone.insert(a);
+            cone.extend(sys.reach().descendants(a).iter().filter(|v| interior(v)));
+        }
+
+        let planned_ok = match update {
+            XmlUpdate::Delete { .. } => {
+                planned_delete_writes(sys.view(), &eval.edge_parents, &mut rel)
+            }
+            XmlUpdate::Insert { ty, attr, .. } => {
+                match sys.view().atg().dtd().type_id(ty) {
+                    // Unknown type: schema validation rejects the update
+                    // before it writes anything.
+                    None => true,
+                    Some(ty_id) => match sys.view().dag().genid().lookup(ty_id, attr) {
+                        // An existing head means the (shared) published
+                        // subtree is spliced under the targets: it joins the
+                        // footprint, and only connecting edges translate.
+                        Some(head) => {
+                            cone.insert(head);
+                            cone.extend(
+                                sys.reach().descendants(head).iter().filter(|v| interior(v)),
+                            );
+                            planned_insert_writes(
+                                sys.view(),
+                                sys.base(),
+                                ty_id,
+                                attr,
+                                None,
+                                &eval.selected,
+                                &mut rel,
+                            )
                         }
-                    }
-                    // A fresh head can still link *pre-existing* nodes
-                    // deeper in its generated subtree; those (and their
-                    // descendants) join the footprint too. Rule-evaluation
-                    // failure degrades to a global footprint.
-                    None => match fresh_subtree_links(sys, ty_id, attr) {
-                        Ok(links) => {
-                            if let Some(c) = cone.as_mut() {
-                                for live in links.into_iter().filter(|v| interior(v)) {
-                                    c.insert(live);
-                                    c.extend(
+                        // A fresh head: walk the would-be subtree read-only.
+                        // Pre-existing nodes it would link (and their
+                        // descendants) join the cone; the walk's pairs and
+                        // template keys become the planned writes.
+                        None => match plan_subtree(sys.view(), sys.base(), ty_id, attr) {
+                            Ok(st) => {
+                                for &live in st.links.iter().filter(|v| interior(v)) {
+                                    cone.insert(live);
+                                    cone.extend(
                                         sys.reach()
                                             .descendants(live)
                                             .iter()
                                             .filter(|v| interior(v)),
                                     );
                                 }
+                                planned_insert_writes(
+                                    sys.view(),
+                                    sys.base(),
+                                    ty_id,
+                                    attr,
+                                    Some(&st),
+                                    &eval.selected,
+                                    &mut rel,
+                                )
                             }
-                        }
-                        Err(_) => cone = None,
+                            Err(_) => false,
+                        },
                     },
                 }
             }
+        };
+        if !planned_ok {
+            // Footprint underivable: degrade to a global footprint, which
+            // serializes the update (always sound).
+            return global();
         }
-        (Analysis { cone, keys }, scope)
+        AnalysisParts {
+            analysis: Analysis {
+                cone: Some(cone),
+                rel,
+            },
+            eval: Some(eval),
+            eval_time,
+        }
     }
 
     /// Whether the update is global (conflicts with everything).
     pub fn is_global(&self) -> bool {
         self.cone.is_none()
+    }
+
+    /// The typed relational footprint (planned reads and writes).
+    pub fn rel(&self) -> &RelFootprint {
+        &self.rel
+    }
+
+    /// Consumes the analysis, returning the typed footprint (the router
+    /// keeps planned footprints per admitted update so the publisher can
+    /// check coverage of the realized ones).
+    pub fn into_rel(self) -> RelFootprint {
+        self.rel
     }
 }
 
@@ -359,7 +401,7 @@ impl Analysis {
 pub struct BatchFootprint {
     global: bool,
     nodes: HashSet<NodeId>,
-    keys: BTreeSet<(TypeId, String)>,
+    rel: RelFootprint,
 }
 
 impl BatchFootprint {
@@ -378,7 +420,7 @@ impl BatchFootprint {
         if small.iter().any(|n| large.contains(n)) {
             return true;
         }
-        a.keys.iter().any(|k| self.keys.contains(k))
+        self.rel.conflicts(&a.rel)
     }
 
     /// Adds an update's footprint to the batch.
@@ -387,7 +429,7 @@ impl BatchFootprint {
             None => self.global = true,
             Some(c) => self.nodes.extend(c.iter().copied()),
         }
-        self.keys.extend(a.keys.iter().cloned());
+        self.rel.absorb(&a.rel);
     }
 }
 
@@ -440,6 +482,44 @@ mod tests {
     }
 
     #[test]
+    fn anchored_delete_footprint_covers_chosen_source() {
+        // The dry run plans *candidate* sources; the real translation's ∆R
+        // must be covered by them.
+        let mut sys = system();
+        let u = XmlUpdate::delete("course[cno=CS650]/prereq/course[cno=CS320]").unwrap();
+        let a = Analysis::of(&sys, &u);
+        let report = sys.apply(&u, SideEffectPolicy::Proceed).unwrap();
+        for op in report.delta_r.ops() {
+            let key = match op {
+                rxview_relstore::TupleOp::Delete { key, .. } => key.clone(),
+                rxview_relstore::TupleOp::Insert { tuple, .. } => tuple.clone(),
+            };
+            assert!(
+                a.rel().covers_row(op.table(), &key),
+                "unplanned write {}({key})",
+                op.table()
+            );
+        }
+    }
+
+    #[test]
+    fn fresh_insert_footprint_covers_gen_and_base_writes() {
+        let sys = system();
+        let u = XmlUpdate::insert(
+            "course",
+            tuple!["MA100", "Calculus"],
+            "course[cno=CS650]/prereq",
+        )
+        .unwrap();
+        let a = Analysis::of(&sys, &u);
+        assert!(!a.is_global());
+        assert!(a
+            .rel()
+            .covers_row("gen_course", &tuple!["MA100", "Calculus"]));
+        assert!(a.rel().covers_row("prereq", &tuple!["CS650", "MA100"]));
+    }
+
+    #[test]
     fn recursive_path_is_global() {
         let sys = system();
         let u = XmlUpdate::delete("//student[ssn=S02]").unwrap();
@@ -467,6 +547,9 @@ mod tests {
 
     #[test]
     fn insert_of_anchor_value_conflicts_with_later_anchor() {
+        // Inserting course MA100 writes the (gen_course, cno, MA100) key; a
+        // later update anchored at course[cno=MA100] reads it — the typed
+        // replacement for the old textual value-key serialization.
         let sys = system();
         let ins = XmlUpdate::insert(
             "course",
@@ -479,6 +562,54 @@ mod tests {
         let mut batch = BatchFootprint::default();
         batch.absorb(&a);
         assert!(batch.conflicts(&Analysis::of(&sys, &del)));
+    }
+
+    #[test]
+    fn same_value_different_column_does_not_conflict() {
+        // The textual heuristic's false positive: inserting a student whose
+        // *name* text equals a course number must not produce a typed-key
+        // conflict with an update anchored on that cno value.
+        let sys = system();
+        let ins = XmlUpdate::insert(
+            "student",
+            tuple!["S77", "CS320"], // name textually equals a course number
+            "course[cno=CS650]/takenBy",
+        )
+        .unwrap();
+        let del = XmlUpdate::delete("course[cno=CS320]/takenBy/student[ssn=S02]").unwrap();
+        let a = Analysis::of(&sys, &ins);
+        let b = Analysis::of(&sys, &del);
+        // Cones may overlap through shared structure; the *typed keys* must
+        // not be the reason for a conflict.
+        assert!(
+            !a.rel().conflicts(b.rel()),
+            "name value matching a cno filter is not a typed conflict"
+        );
+    }
+
+    #[test]
+    fn equal_pair_insertions_serialize() {
+        // Two insertions interning the same (A, t) write the same gen row.
+        let sys = system();
+        let a = Analysis::of(
+            &sys,
+            &XmlUpdate::insert(
+                "course",
+                tuple!["MA100", "Calculus"],
+                "course[cno=CS650]/prereq",
+            )
+            .unwrap(),
+        );
+        let b = Analysis::of(
+            &sys,
+            &XmlUpdate::insert(
+                "course",
+                tuple!["MA100", "Calculus"],
+                "course[cno=CS320]/prereq",
+            )
+            .unwrap(),
+        );
+        assert!(a.rel().conflicts(b.rel()), "same gen row must conflict");
     }
 
     #[test]

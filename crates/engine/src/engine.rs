@@ -342,13 +342,23 @@ impl Engine {
 
         let mut outcomes: Vec<Option<UpdateOutcome>> = (0..pending.len()).map(|_| None).collect();
         let txs: Vec<mpsc::Sender<UpdateOutcome>> = pending.iter().map(|p| p.tx.clone()).collect();
-        let mut queue: Vec<(usize, Pending)> = pending.into_iter().enumerate().collect();
+        // Per-entry cache of a deferred deletion's analysis + dry-run
+        // evaluation, reused across batches until a committed batch's
+        // footprint touches it (the same `CachedAnalysis` + `survives` rule
+        // the sharded router uses).
+        use crate::router::CachedAnalysis;
+        let mut queue: Vec<(usize, Pending, Option<CachedAnalysis>)> = pending
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| (i, p, None))
+            .collect();
         let mut current = self.snapshot();
         while !queue.is_empty() {
             // --- Form one batch against the current snapshot. ---
             let t_part = Instant::now();
-            let mut batch: Vec<(usize, Pending, Option<rxview_core::TopoOrder>)> = Vec::new();
-            let mut deferred: Vec<(usize, Pending)> = Vec::new();
+            let mut analysis_eval = Duration::ZERO;
+            let mut batch: Vec<(usize, Pending, Option<rxview_core::DagEval>)> = Vec::new();
+            let mut deferred: Vec<(usize, Pending, Option<CachedAnalysis>)> = Vec::new();
             let mut batch_foot = BatchFootprint::default();
             let mut blocked_foot = BatchFootprint::default();
             let mut any_blocked = false;
@@ -357,60 +367,94 @@ impl Engine {
             let anchor_index: std::cell::OnceCell<crate::analyze::AnchorIndex> =
                 std::cell::OnceCell::new();
             let mut drain = queue.into_iter();
-            for (i, p) in drain.by_ref() {
+            for (i, p, cached) in drain.by_ref() {
                 if batch.len() >= self.inner.config.max_batch {
-                    deferred.push((i, p));
+                    deferred.push((i, p, cached));
                     // Admitting past a full batch could reorder conflicting
                     // updates; everything else waits for the next round.
                     deferred.extend(drain.by_ref());
                     break;
                 }
-                let (a, scope) = Analysis::of_with_scope_indexed(
-                    current.system(),
-                    Some(
-                        anchor_index
-                            .get_or_init(|| crate::analyze::AnchorIndex::build(current.system())),
-                    ),
-                    &p.update,
-                    self.inner.config.scoped_eval,
-                );
+                let (a, eval) = match cached {
+                    Some(c) => {
+                        self.inner.stats.record_analysis_reused();
+                        (c.analysis, c.eval)
+                    }
+                    None => {
+                        let parts = Analysis::parts(
+                            current.system(),
+                            Some(anchor_index.get_or_init(|| {
+                                crate::analyze::AnchorIndex::build(current.system())
+                            })),
+                            &p.update,
+                            self.inner.config.scoped_eval,
+                        );
+                        if parts.eval.is_some() {
+                            // The dry run evaluated the path against the
+                            // snapshot the batch applies to; the apply loop
+                            // reuses it. Only the evaluation itself counts
+                            // as eval time; the rest stays partition work.
+                            analysis_eval += parts.eval_time;
+                            self.inner
+                                .stats
+                                .record_eval(self.inner.config.scoped_eval, parts.eval_time);
+                        }
+                        (parts.analysis, parts.eval)
+                    }
+                };
                 let conflicts = (!batch.is_empty() && batch_foot.conflicts(&a))
                     || (any_blocked && blocked_foot.conflicts(&a));
                 if conflicts {
                     blocked_foot.absorb(&a);
                     any_blocked = true;
-                    deferred.push((i, p));
+                    // Deletion analyses stay valid while committed footprints
+                    // avoid them; insertions re-analyze (splice links).
+                    let cached =
+                        (!p.update.is_insert()).then_some(CachedAnalysis { analysis: a, eval });
+                    deferred.push((i, p, cached));
                 } else {
                     batch_foot.absorb(&a);
-                    batch.push((i, p, scope));
+                    batch.push((i, p, eval));
                 }
             }
             queue = deferred;
-            self.inner.stats.record_partition(t_part.elapsed());
+            self.inner
+                .stats
+                .record_partition(t_part.elapsed().saturating_sub(analysis_eval));
             summary.batches += 1;
             self.inner.stats.record_batch(batch.len());
+            let planned_width = batch.len();
 
             // --- Apply the batch to a working clone. ---
             let mut working = current.system().clone();
             let mut jobs = Vec::new();
             let mut applied: Vec<(usize, UpdateReport)> = Vec::new();
-            for (i, p, scope) in &batch {
-                let t0 = Instant::now();
-                let (eval, scoped) = match scope {
-                    Some(s) => (working.evaluate_scoped(p.update.path(), s), true),
-                    None => (working.evaluate(p.update.path()), false),
+            for (i, p, eval) in batch {
+                let eval = match eval {
+                    // The analysis evaluated against the snapshot the batch
+                    // applies to; conflict-freeness makes that evaluation
+                    // exact on the (batch-mutated) working clone too.
+                    Some(eval) => eval,
+                    None => {
+                        let t0 = Instant::now();
+                        let eval = working.evaluate(p.update.path());
+                        self.inner.stats.record_eval(false, t0.elapsed());
+                        eval
+                    }
                 };
-                self.inner.stats.record_eval(scoped, t0.elapsed());
                 let t1 = Instant::now();
                 match working.apply_deferred(&p.update, p.policy, eval) {
                     Ok((report, job)) => {
                         jobs.push(job);
-                        applied.push((*i, report));
+                        applied.push((i, report));
                     }
-                    Err(e) => outcomes[*i] = Some(Err(e)),
+                    Err(e) => outcomes[i] = Some(Err(e)),
                 }
                 self.inner.stats.record_translate(t1.elapsed());
             }
+            self.inner
+                .stats
+                .record_round_width(planned_width, applied.len());
 
             // Folded phase 6: one maintenance pass for the whole batch.
             let t2 = Instant::now();
@@ -426,6 +470,13 @@ impl Engine {
                     current = snap;
                     self.inner.stats.record_snapshot_published();
                     self.inner.stats.record_publish(t3.elapsed());
+                    // Whatever this batch committed invalidates any cached
+                    // analysis whose footprint it touched.
+                    for (_, _, cached) in queue.iter_mut() {
+                        if cached.as_ref().is_some_and(|c| !c.survives(&batch_foot)) {
+                            *cached = None;
+                        }
+                    }
                     summary.maintain.absorb(&maintain);
                     if let [(i, report)] = applied.as_mut_slice() {
                         // A singleton batch can attribute maintenance exactly.

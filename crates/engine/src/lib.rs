@@ -15,12 +15,15 @@
 //! - **Batched group commit** ([`Engine::submit`], [`Engine::commit_pending`]):
 //!   submitted [`rxview_core::XmlUpdate`]s queue in a bounded admission
 //!   queue and are partitioned into *conflict-free batches* by
-//!   [`analyze::Analysis`] — key-anchored target-path cones plus
-//!   touched-key analysis. Each batch runs the paper's phases with two
-//!   amortizations: evaluation of a key-anchored path is *scoped* to the
-//!   anchor's cone (a projection of `L`, [`rxview_core::TopoOrder::from_order`]),
-//!   and phase 6 — maintenance of `M` and `L` (§3.4) — is *folded* into a
-//!   single ∆(M,L)delete pass per batch
+//!   [`analyze::Analysis`] — key-anchored target-path cones plus the typed
+//!   relational footprint ([`rxview_core::RelFootprint`]) of a
+//!   footprint-only dry run of the §3.3/§4 translation: the `(table,
+//!   column, value)` keys the update reads and may write. Each batch runs
+//!   the paper's phases with two amortizations: evaluation of a
+//!   key-anchored path is *scoped* to the anchor's cone (a projection of
+//!   `L`, [`rxview_core::TopoOrder::from_order`]) and reused from the dry
+//!   run, and phase 6 — maintenance of `M` and `L` (§3.4) — is *folded*
+//!   into a single ∆(M,L)delete pass per batch
 //!   ([`rxview_core::XmlViewSystem::fold_maintenance`]). Per-update
 //!   accept/reject outcomes are reported back through [`UpdateTicket`]s.
 //! - **Sharded parallel writers** ([`EngineConfig::n_shards`]` >= 2`): the
@@ -29,10 +32,13 @@
 //!   wide conflict-free round per commit (probing a per-round
 //!   [`AnchorIndex`]); shard threads translate their updates against the
 //!   shared snapshot without applying anything (insertions intern into a
-//!   private replica and ship an allocation catalog); the publisher merges
+//!   private replica and ship an allocation catalog; every translation
+//!   carries its *realized* typed footprint); the publisher merges
 //!   the translations onto the persistent master in submission order
 //!   ([`rxview_core::XmlViewSystem::apply_translated`] re-interns and
-//!   remaps), folds the whole round's ∆(M,L) into one pass, and publishes
+//!   remaps, asserting in debug builds that realized footprints were
+//!   covered by planned ones), folds the whole round's ∆(M,L) into one
+//!   pass, and publishes
 //!   one epoch per round — so readers keep a single coherent, epoch-ordered
 //!   snapshot stream. Unanchored `//`-path updates serialize through a
 //!   global lane. Both write paths are property-tested observationally

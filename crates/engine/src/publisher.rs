@@ -12,13 +12,14 @@
 //! 2. merges the returned bundles in **submission order**: re-interns each
 //!    translation's fresh allocations from its shard's catalog, remaps it
 //!    into master ids, and applies ∆R/∆V
-//!    ([`rxview_core::XmlViewSystem::apply_translated`]). Two merge-time
-//!    hazards send an update back to the router instead of applying it —
-//!    a base-table key also written by an earlier update of the same round
-//!    (the textual value-key heuristic cannot see relational key overlap),
-//!    and shard-detected coupling between same-round insertions; requeued
-//!    updates re-translate against the next snapshot, which restores the
-//!    exact sequential semantics;
+//!    ([`rxview_core::XmlViewSystem::apply_translated`]). The router's
+//!    typed footprints already keep same-round base writes disjoint (the
+//!    former merge-time base-key-overlap check is subsumed by planning), so
+//!    the only merge-time hazard left is shard-detected coupling between
+//!    same-round insertions through freshly interned nodes; a requeued
+//!    update re-translates against the next snapshot, which restores the
+//!    exact sequential semantics. In debug builds the publisher asserts
+//!    that every realized footprint was covered by its planned one;
 //! 3. folds the whole round's ∆(M,L) obligations into **one** maintenance
 //!    pass (`fold_maintenance`) — sound because the round's cone footprints
 //!    are disjoint (see [`rxview_core::DeferredMaintenance::cone_footprint`])
@@ -38,7 +39,7 @@ use crate::engine::{CommitSummary, Inner, Pending};
 use crate::router::{self, PendingUpdate, Round};
 use crate::shard::{ShardBundle, ShardPool, ShardResult};
 use rxview_core::{DeferredMaintenance, UpdateError, UpdateOutcome, UpdateReport, XmlViewSystem};
-use rxview_relstore::{RelError, Tuple, TupleOp};
+use rxview_relstore::{RelError, Tuple};
 use std::collections::HashSet;
 use std::sync::mpsc;
 use std::sync::Arc;
@@ -62,22 +63,6 @@ fn resolve(
     if let Some(tx) = txs[idx].take() {
         let _ = tx.send(outcome); // receiver may have given up
     }
-}
-
-/// The base-table keys an update's `∆R` writes, as `(table, key)` pairs.
-fn written_keys(
-    master: &XmlViewSystem,
-    delta_r: &rxview_relstore::GroupUpdate,
-) -> Result<Vec<(String, Tuple)>, RelError> {
-    let mut keys = Vec::with_capacity(delta_r.len());
-    for op in delta_r.ops() {
-        let key = match op {
-            TupleOp::Insert { table, tuple } => master.base().table(table)?.schema().key_of(tuple),
-            TupleOp::Delete { key, .. } => key.clone(),
-        };
-        keys.push((op.table().to_owned(), key));
-    }
-    Ok(keys)
 }
 
 /// The sharded commit loop (see the module docs). Called by
@@ -121,7 +106,9 @@ pub(crate) fn commit_sharded(inner: &Inner, pending: Vec<Pending>) -> CommitSumm
             inner.config.scoped_eval,
             stats,
         );
-        stats.record_partition(t_part.elapsed());
+        // Dry-run evaluation time inside plan_round is recorded as eval;
+        // keep the partition bucket to pure conflict-analysis work.
+        stats.record_partition(t_part.elapsed().saturating_sub(plan.analysis_eval));
 
         match plan.round {
             // --- Serialized global lane: one `//`-path update, applied
@@ -136,6 +123,7 @@ pub(crate) fn commit_sharded(inner: &Inner, pending: Vec<Pending>) -> CommitSumm
                 let t1 = Instant::now();
                 let applied = master.apply_deferred(&pu.update, pu.policy, eval);
                 stats.record_translate(t1.elapsed());
+                stats.record_round_width(1, usize::from(applied.is_ok()));
                 match applied {
                     Ok((mut report, job)) => {
                         let t2 = Instant::now();
@@ -190,7 +178,6 @@ pub(crate) fn commit_sharded(inner: &Inner, pending: Vec<Pending>) -> CommitSumm
                 // semantics.
                 flat.sort_by_key(|(idx, _, _)| *idx);
 
-                let mut written: HashSet<(String, Tuple)> = HashSet::new();
                 let mut applied: Vec<(usize, UpdateReport)> = Vec::new();
                 let mut jobs: Vec<DeferredMaintenance> = Vec::new();
                 let mut requeue: HashSet<usize> = HashSet::new();
@@ -203,31 +190,27 @@ pub(crate) fn commit_sharded(inner: &Inner, pending: Vec<Pending>) -> CommitSumm
                             requeue.insert(idx);
                         }
                         ShardResult::Translated(t) => {
-                            let keys = match written_keys(&master, &t.delta_r) {
-                                Ok(keys) => keys,
-                                Err(e) => {
-                                    resolve(
-                                        inner,
-                                        &mut summary,
-                                        &mut txs,
-                                        idx,
-                                        Err(UpdateError::Rel(e)),
-                                    );
-                                    continue;
-                                }
-                            };
-                            if keys.iter().any(|k| written.contains(k)) {
-                                // Relational key overlap the value-key
-                                // heuristic could not see: re-translate
-                                // against the next snapshot.
-                                requeue.insert(idx);
-                                continue;
+                            // Same-round base writes are disjoint by the
+                            // router's typed footprints: assert the realized
+                            // footprint was covered by the planned one.
+                            #[cfg(debug_assertions)]
+                            {
+                                // `planned_rel` is idx-sorted (admission
+                                // preserves submission order).
+                                let planned = plan
+                                    .planned_rel
+                                    .binary_search_by_key(&idx, |(i, _)| *i)
+                                    .ok()
+                                    .map(|slot| &plan.planned_rel[slot].1);
+                                debug_assert!(
+                                    planned.is_some_and(|fp| fp.covers_writes(&t.rel_footprint)),
+                                    "update {idx}: realized footprint not covered by plan"
+                                );
                             }
                             let (shard, base_alloc, catalog) = &catalogs[slot];
-                            match master.apply_translated(t, *base_alloc, catalog) {
+                            match master.apply_translated(*t, *base_alloc, catalog) {
                                 Ok((report, job)) => {
                                     stats.record_shard_updates(*shard, 1);
-                                    written.extend(keys);
                                     applied.push((idx, report));
                                     jobs.push(job);
                                 }
@@ -236,6 +219,7 @@ pub(crate) fn commit_sharded(inner: &Inner, pending: Vec<Pending>) -> CommitSumm
                         }
                     }
                 }
+                stats.record_round_width(plan.admitted.len(), applied.len());
 
                 // One folded ∆(M,L) pass for the whole round, then one
                 // publication.
@@ -298,7 +282,7 @@ pub(crate) fn commit_sharded(inner: &Inner, pending: Vec<Pending>) -> CommitSumm
         for e in entries.iter_mut() {
             if e.cached
                 .as_ref()
-                .is_some_and(|c| plan.footprint.conflicts(&c.analysis))
+                .is_some_and(|c| !c.survives(&plan.footprint))
             {
                 e.cached = None;
             }

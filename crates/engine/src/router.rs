@@ -2,21 +2,29 @@
 //! commit round at a time and partitions it across shard writers.
 //!
 //! A round admits up to `n_shards * max_batch` pending updates whose
-//! [`Analysis`] footprints (anchor cones + value keys) are pairwise
-//! disjoint. Because the whole round is conflict-free, *any* split of it
-//! across shards is sound; the router balances by assigning each admitted
-//! update to the least-loaded shard. Updates that conflict with an admitted
-//! or already-deferred update wait for a later round — an update deferred by
-//! a conflict also blocks its own later conflicters, so submission order is
-//! preserved between conflicting updates, exactly as in the single-writer
-//! path.
+//! [`Analysis`] footprints (anchor cones + typed relational read/write keys)
+//! are pairwise disjoint. Because the whole round is conflict-free, *any*
+//! split of it across shards is sound; the router balances by assigning each
+//! admitted update to the least-loaded shard. Updates that conflict with an
+//! admitted or already-deferred update wait for a later round — an update
+//! deferred by a conflict also blocks its own later conflicters, so
+//! submission order is preserved between conflicting updates, exactly as in
+//! the single-writer path.
+//!
+//! The analysis is a footprint-only *dry run* of the translation against the
+//! round's snapshot: it evaluates the path (scoped to the anchor cone) and
+//! derives the candidate write keys without applying or interning anything.
+//! Each admitted update ships that evaluation to its shard (the shard
+//! translates against the very state the analysis ran on), and its planned
+//! [`RelFootprint`] rides in the [`RoundPlan`] so the publisher can check —
+//! in debug builds — that every realized write was planned.
 //!
 //! Unanchored (`//`-path or wildcard-rooted) updates have a *global*
 //! footprint and conflict with everything: they reach the front of the
 //! queue, form a singleton round, and commit through the publisher's
 //! serialized global lane.
 //!
-//! Deferred **deletions** keep their analysis (and scoped-evaluation plan)
+//! Deferred **deletions** keep their analysis (and dry-run evaluation)
 //! across rounds: a cached analysis stays valid while its cone and keys are
 //! disjoint from everything later rounds committed, which the publisher
 //! revalidates against each round's union footprint. Insertions re-analyze
@@ -28,7 +36,7 @@ use crate::analyze::{Analysis, AnchorIndex, BatchFootprint};
 use crate::engine::Pending;
 use crate::shard::ShardJob;
 use crate::stats::EngineStats;
-use rxview_core::{SideEffectPolicy, TopoOrder, XmlUpdate, XmlViewSystem};
+use rxview_core::{DagEval, RelFootprint, SideEffectPolicy, XmlUpdate, XmlViewSystem};
 
 /// A pending update inside one sharded commit, keyed by its submission
 /// index. The publisher keeps the original update so that merge-time
@@ -57,31 +65,52 @@ impl PendingUpdate {
     }
 }
 
-/// A deferred deletion's conflict analysis and scoped-evaluation plan,
-/// kept across rounds until invalidated by a committed footprint.
+/// A deferred deletion's conflict analysis and dry-run evaluation, kept
+/// across rounds (or single-writer batches) until invalidated by a
+/// committed footprint.
 pub(crate) struct CachedAnalysis {
     pub(crate) analysis: Analysis,
-    pub(crate) scope: Option<TopoOrder>,
+    pub(crate) eval: Option<DagEval>,
+}
+
+impl CachedAnalysis {
+    /// Whether the cache stays valid after committing a round/batch with
+    /// footprint `committed`: everything the cached analysis depends on —
+    /// cone contents, anchor reads, candidate write keys — is untouched iff
+    /// the footprints are disjoint. Both write paths share this rule.
+    pub(crate) fn survives(&self, committed: &BatchFootprint) -> bool {
+        !committed.conflicts(&self.analysis)
+    }
 }
 
 /// What one routing pass decided.
 pub(crate) enum Round {
-    /// A single global-footprint update for the serialized global lane.
-    Global(PendingUpdate),
+    /// A single global-footprint update for the serialized global lane
+    /// (boxed: the variant carries the whole pending update).
+    Global(Box<PendingUpdate>),
     /// Per-shard job lists (index = shard id; entries may be empty).
     Sharded(Vec<Vec<ShardJob>>),
 }
 
 /// A planned round plus the union footprint of everything admitted —
 /// the publisher uses the footprint to revalidate cached analyses of the
-/// updates that stayed behind, and `admitted` to requeue an update at merge
-/// time without a round trip through its shard.
+/// updates that stayed behind, `admitted` to requeue an update at merge
+/// time without a round trip through its shard, and `planned_rel` to check
+/// realized writes against the plan.
 pub(crate) struct RoundPlan {
     pub(crate) round: Round,
     pub(crate) footprint: BatchFootprint,
     /// The admitted updates (analysis caches dropped), kept by the
     /// publisher for merge-time requeues. Empty for global rounds.
     pub(crate) admitted: Vec<PendingUpdate>,
+    /// Planned typed footprint per admitted update, sorted by submission
+    /// index: the conservativeness contract the publisher asserts realized
+    /// translations against in debug builds.
+    pub(crate) planned_rel: Vec<(usize, RelFootprint)>,
+    /// Time the planning pass spent in dry-run evaluations (already
+    /// recorded as evaluation time; the publisher subtracts it from the
+    /// partition phase so the two buckets do not double-count).
+    pub(crate) analysis_eval: std::time::Duration,
 }
 
 /// Plans the next round against `sys` (the state the round will apply to).
@@ -116,7 +145,9 @@ pub(crate) fn plan_round(
     let mut any_blocked = false;
     let mut assignments: Vec<Vec<ShardJob>> = (0..n_shards).map(|_| Vec::new()).collect();
     let mut admitted: Vec<PendingUpdate> = Vec::new();
+    let mut planned_rel: Vec<(usize, RelFootprint)> = Vec::new();
     let mut deferred: Vec<PendingUpdate> = Vec::new();
+    let mut analysis_eval = std::time::Duration::ZERO;
 
     let mut drain = std::mem::take(pending).into_iter();
     for mut pu in drain.by_ref() {
@@ -129,17 +160,29 @@ pub(crate) fn plan_round(
         }
         // Reuse a still-valid cached analysis (deletions only; the
         // publisher invalidates caches against each committed footprint).
-        let (analysis, scope) = match pu.cached.take() {
+        let (analysis, eval) = match pu.cached.take() {
             Some(c) => {
                 stats.record_analysis_reused();
-                (c.analysis, c.scope)
+                (c.analysis, c.eval)
             }
-            None => Analysis::of_with_scope_indexed(
-                sys,
-                Some(anchor_index.get_or_init(|| AnchorIndex::build(sys))),
-                &pu.update,
-                scoped_eval,
-            ),
+            None => {
+                let parts = Analysis::parts(
+                    sys,
+                    Some(anchor_index.get_or_init(|| AnchorIndex::build(sys))),
+                    &pu.update,
+                    scoped_eval,
+                );
+                if parts.eval.is_some() {
+                    // The dry run evaluated the path; the shard will reuse
+                    // the result instead of evaluating again. Only the
+                    // evaluation itself counts as eval time (the publisher
+                    // subtracts it from the partition phase); cone and
+                    // write-key derivation stay partition work.
+                    analysis_eval += parts.eval_time;
+                    stats.record_eval(scoped_eval, parts.eval_time);
+                }
+                (parts.analysis, parts.eval)
+            }
         };
 
         if analysis.is_global() {
@@ -150,9 +193,11 @@ pub(crate) fn plan_round(
                 *pending = deferred;
                 footprint.absorb(&analysis);
                 return RoundPlan {
-                    round: Round::Global(pu),
+                    round: Round::Global(Box::new(pu)),
                     footprint,
                     admitted: Vec::new(),
+                    planned_rel: Vec::new(),
+                    analysis_eval,
                 };
             }
             blocked.absorb(&analysis);
@@ -169,12 +214,13 @@ pub(crate) fn plan_round(
             any_blocked = true;
             stalled += 1;
             if !pu.update.is_insert() {
-                pu.cached = Some(CachedAnalysis { analysis, scope });
+                pu.cached = Some(CachedAnalysis { analysis, eval });
             }
             deferred.push(pu);
         } else {
             stalled = 0;
             footprint.absorb(&analysis);
+            planned_rel.push((pu.idx, analysis.into_rel()));
             let shard = assignments
                 .iter()
                 .enumerate()
@@ -185,7 +231,7 @@ pub(crate) fn plan_round(
                 idx: pu.idx,
                 update: pu.update.clone(),
                 policy: pu.policy,
-                scope,
+                eval,
             });
             admitted.push(pu);
         }
@@ -195,5 +241,7 @@ pub(crate) fn plan_round(
         round: Round::Sharded(assignments),
         footprint,
         admitted,
+        planned_rel,
+        analysis_eval,
     }
 }

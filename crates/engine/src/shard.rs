@@ -19,17 +19,24 @@
 //! checking that nothing committed in the meantime invalidates them. One
 //! invalidation the worker detects itself: if a translation references a
 //! node interned by an *earlier update of the same round* (possible when
-//! two insertions would generate overlapping fresh subtrees that the value
-//! key heuristic did not serialize), the later update's semantics depend on
-//! whether the earlier one commits — the worker rolls its interning back
-//! and reports [`ShardResult::Requeue`] so the router retries it against
-//! the next snapshot, where the answer is known.
+//! two insertions would generate overlapping fresh subtrees — the planned
+//! footprints catch pair-for-pair overlap, but a later update may still
+//! *link* a node an earlier one freshly interned), the later update's
+//! semantics depend on whether the earlier one commits — the worker rolls
+//! its interning back and reports [`ShardResult::Requeue`] so the router
+//! retries it against the next snapshot, where the answer is known.
+//!
+//! Each translated update carries its *realized* typed footprint
+//! ([`rxview_core::RelFootprint`], computed by the translation layer), so
+//! every bundle ships exactly which relational rows its translations write
+//! — the publisher checks them against the router's planned footprints in
+//! debug builds.
 
 use crate::snapshot::Snapshot;
 use crate::stats::EngineStats;
 use rxview_atg::NodeId;
 use rxview_core::{
-    translate_insert_for_merge, SideEffectPolicy, TopoOrder, TranslatedUpdate, UpdateError,
+    translate_insert_for_merge, DagEval, SideEffectPolicy, TranslatedUpdate, UpdateError,
     ViewStore, XmlUpdate,
 };
 use rxview_relstore::Tuple;
@@ -38,18 +45,22 @@ use std::collections::HashSet;
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::Instant;
 
-/// One update routed to a shard for a given round.
+/// One update routed to a shard for a given round, together with the
+/// router's dry-run evaluation against the round snapshot (the shard
+/// translates against that very state, so re-evaluating would repeat the
+/// work; `None` falls back to a full evaluation on the shard).
 pub(crate) struct ShardJob {
     pub(crate) idx: usize,
     pub(crate) update: XmlUpdate,
     pub(crate) policy: SideEffectPolicy,
-    pub(crate) scope: Option<TopoOrder>,
+    pub(crate) eval: Option<DagEval>,
 }
 
 /// Per-update outcome of a shard's translation pass.
 pub(crate) enum ShardResult {
-    /// Translated successfully; ready for the publisher to merge.
-    Translated(TranslatedUpdate),
+    /// Translated successfully; ready for the publisher to merge (boxed:
+    /// the translation carries deltas, subtree, and footprint).
+    Translated(Box<TranslatedUpdate>),
     /// Coupled to an earlier update of the same round — retry next round.
     Requeue,
     /// Rejected during validation/evaluation/translation.
@@ -175,12 +186,16 @@ fn run_round(
             results.push((job.idx, ShardResult::Reject(e)));
             continue;
         }
-        let t0 = Instant::now();
-        let eval = match &job.scope {
-            Some(scope) => sys.evaluate_scoped(job.update.path(), scope),
-            None => sys.evaluate(job.update.path()),
+        let eval = match job.eval {
+            // The router's dry run already evaluated against this snapshot.
+            Some(eval) => eval,
+            None => {
+                let t0 = Instant::now();
+                let eval = sys.evaluate(job.update.path());
+                stats.record_eval(false, t0.elapsed());
+                eval
+            }
         };
-        stats.record_eval(job.scope.is_some(), t0.elapsed());
 
         let t1 = Instant::now();
         let out = if job.update.is_insert() {
@@ -213,7 +228,7 @@ fn run_round(
                         ShardResult::Requeue
                     } else {
                         interned.extend(t.fresh_nodes().iter().copied());
-                        ShardResult::Translated(t)
+                        ShardResult::Translated(Box::new(t))
                     }
                 }
                 Err(e) => ShardResult::Reject(e),

@@ -33,6 +33,10 @@ pub struct EngineStats {
     requeued: AtomicU64,
     analyses_reused: AtomicU64,
     shard_updates: Vec<AtomicU64>,
+    // --- conflict-round widths (both write paths) ---
+    width_rounds: AtomicU64,
+    planned_width: AtomicU64,
+    realized_width: AtomicU64,
 }
 
 fn add(counter: &AtomicU64, v: u64) {
@@ -69,6 +73,17 @@ impl EngineStats {
         if let Some(c) = self.shard_updates.get(shard) {
             add(c, n as u64);
         }
+    }
+
+    /// Records one conflict round's *planned* width (updates admitted by
+    /// conflict analysis) and *realized* width (translations actually merged
+    /// — planned minus rejects and requeues). Round widening is the
+    /// structural lever of the sharded path, so both are first-class
+    /// observables.
+    pub(crate) fn record_round_width(&self, planned: usize, realized: usize) {
+        add(&self.width_rounds, 1);
+        add(&self.planned_width, planned as u64);
+        add(&self.realized_width, realized as u64);
     }
     pub(crate) fn record_submitted(&self) {
         add(&self.submitted, 1);
@@ -161,6 +176,9 @@ impl EngineStats {
                 .iter()
                 .map(|c| c.load(Ordering::Relaxed))
                 .collect(),
+            width_rounds: n(&self.width_rounds),
+            planned_width: n(&self.planned_width),
+            realized_width: n(&self.realized_width),
         }
     }
 }
@@ -209,6 +227,13 @@ pub struct EngineReport {
     /// the publisher merged — rejects and requeues are not counted). A
     /// single-writer engine reports one always-zero entry.
     pub shard_updates: Vec<u64>,
+    /// Conflict rounds measured for width (batches on the single-writer
+    /// path, router rounds on the sharded path).
+    pub width_rounds: u64,
+    /// Total updates *admitted* into conflict rounds by the analysis.
+    pub planned_width: u64,
+    /// Total translations actually merged (planned minus rejects/requeues).
+    pub realized_width: u64,
 }
 
 impl EngineReport {
@@ -218,6 +243,24 @@ impl EngineReport {
             0.0
         } else {
             (self.accepted + self.rejected) as f64 / self.batches as f64
+        }
+    }
+
+    /// Average *planned* conflict-round width (admitted updates per round).
+    pub fn mean_planned_width(&self) -> f64 {
+        if self.width_rounds == 0 {
+            0.0
+        } else {
+            self.planned_width as f64 / self.width_rounds as f64
+        }
+    }
+
+    /// Average *realized* conflict-round width (merged updates per round).
+    pub fn mean_realized_width(&self) -> f64 {
+        if self.width_rounds == 0 {
+            0.0
+        } else {
+            self.realized_width as f64 / self.width_rounds as f64
         }
     }
 }
@@ -255,6 +298,13 @@ impl fmt::Display for EngineReport {
             self.phases.maintain,
             self.partition,
             self.publish
+        )?;
+        writeln!(
+            f,
+            "rounds: {} measured, mean width {:.1} planned / {:.1} realized",
+            self.width_rounds,
+            self.mean_planned_width(),
+            self.mean_realized_width()
         )?;
         if self.shard_updates.len() > 1 || self.rounds > 0 {
             writeln!(

@@ -1,0 +1,108 @@
+//! The planned [`rxview_core::RelFootprint`] must be *conservative*: every
+//! relational row an update actually touches when applied — its `∆R` writes
+//! and the `gen_A` rows of nodes it interns — must be covered by the
+//! footprint the conflict analysis planned against the same state. This is
+//! the contract that lets the router admit updates into one round on typed
+//! keys alone and lets the publisher drop the merge-time base-key check.
+
+use proptest::prelude::*;
+use rxview_core::{SideEffectPolicy, XmlUpdate, XmlViewSystem};
+use rxview_engine::Analysis;
+use rxview_workload::{
+    synthetic_atg, synthetic_database, ShardSkewGen, SkewConfig, SyntheticConfig, WorkloadClass,
+    WorkloadGen,
+};
+use std::collections::BTreeSet;
+
+fn system(n: usize, seed: u64) -> XmlViewSystem {
+    let mut cfg = SyntheticConfig::with_size(n);
+    cfg.seed = seed;
+    let db = synthetic_database(&cfg);
+    let atg = synthetic_atg(&db).expect("valid ATG");
+    XmlViewSystem::new(atg, db).expect("publishes")
+}
+
+/// Applies `ops` sequentially; before each apply, plans the footprint
+/// against the current state and checks that the realized writes of an
+/// accepted update are covered.
+fn check_conservative(sys: &mut XmlViewSystem, ops: &[XmlUpdate]) -> Result<(), String> {
+    for u in ops {
+        let a = Analysis::of(sys, u);
+        let live_before: BTreeSet<rxview_atg::NodeId> =
+            sys.view().dag().genid().live_ids().collect();
+        let Ok(report) = sys.apply(u, SideEffectPolicy::Proceed) else {
+            continue; // rejected updates write nothing
+        };
+        if a.is_global() {
+            continue; // global footprints conflict with everything
+        }
+        for op in report.delta_r.ops() {
+            let key = match op {
+                rxview_relstore::TupleOp::Insert { table, tuple } => sys
+                    .base()
+                    .table(table)
+                    .map_err(|e| e.to_string())?
+                    .schema()
+                    .key_of(tuple),
+                rxview_relstore::TupleOp::Delete { key, .. } => key.clone(),
+            };
+            if !a.rel().covers_row(op.table(), &key) {
+                return Err(format!("unplanned ∆R write {}({key}) by `{u}`", op.table()));
+            }
+        }
+        let genid = sys.view().dag().genid();
+        for n in genid.live_ids() {
+            if live_before.contains(&n) {
+                continue;
+            }
+            let table = sys.view().atg().gen_table_name(genid.type_of(n));
+            let row = sys.view().gen_row(n);
+            if !a.rel().covers_row(&table, &row) {
+                return Err(format!("unplanned gen write {table}({row}) by `{u}`"));
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Random mixed workloads: planned footprints cover realized writes.
+    #[test]
+    fn planned_footprint_is_conservative(
+        seed in 0u64..200,
+        flips in prop::collection::vec(any::<bool>(), 8..24),
+    ) {
+        let mut sys = system(220, seed);
+        let ops: Vec<XmlUpdate> = {
+            let mut gen = WorkloadGen::new(sys.view(), seed ^ 0xfee1);
+            flips
+                .iter()
+                .enumerate()
+                .filter_map(|(i, &ins)| {
+                    let class = WorkloadClass::all()[i % 3];
+                    if ins { gen.insertion(class) } else { gen.deletion(class) }
+                })
+                .collect()
+        };
+        if let Err(e) = check_conservative(&mut sys, &ops) {
+            return Err(TestCaseError::fail(e));
+        }
+    }
+}
+
+/// The skewed sharding workload (hot anchor cones, fresh-node insert/delete
+/// chains) — the traffic shape whose rounds the typed footprints widen.
+#[test]
+fn skewed_workload_footprints_are_conservative() {
+    let mut sys = system(400, 3);
+    let mut gen = ShardSkewGen::new(SkewConfig {
+        groups: 10,
+        hot_fraction: 0.8,
+        hot_groups: 2,
+        ..SkewConfig::default()
+    });
+    let ops = gen.ops(60);
+    check_conservative(&mut sys, &ops).unwrap();
+}

@@ -16,6 +16,14 @@
 //! group conflict (a dependency chain), while operations on distinct groups
 //! are independent — the same op shape as the `engine_throughput` mixed
 //! workload, with the group choice skewed instead of round-robin.
+//!
+//! Inserted payloads are drawn from a small domain (`payload_domain`),
+//! modelling realistic categorical value reuse: many concurrent insertions
+//! carry the *same* payload text. A textual value-key conflict analysis
+//! serializes all of them (equal `(type, text)` keys) even though they
+//! touch unrelated groups; typed `(table, column, value)` footprints keep
+//! them independent, so this workload measures exactly the round widening
+//! sharper conflict keys buy.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -34,6 +42,10 @@ pub struct SkewConfig {
     pub hot_fraction: f64,
     /// Number of groups in the hot cluster.
     pub hot_groups: usize,
+    /// Distinct payload values inserted nodes draw from (small = realistic
+    /// categorical reuse; textual conflict keys serialize equal payloads,
+    /// typed footprints do not).
+    pub payload_domain: usize,
     /// RNG seed.
     pub seed: u64,
 }
@@ -45,6 +57,7 @@ impl Default for SkewConfig {
             group_size: 40,
             hot_fraction: 0.9,
             hot_groups: 4,
+            payload_domain: 32,
             seed: 7,
         }
     }
@@ -96,11 +109,13 @@ impl ShardSkewGen {
                 self.next_fresh += 1;
                 let fresh = self.next_fresh;
                 self.live_fresh[g] = Some(fresh);
-                // Distinct payloads keep the value-key conflict heuristic
-                // from serializing unrelated groups.
+                // Payloads reuse a small value domain across groups —
+                // unrelated inserts share payload text, which only a typed
+                // footprint can tell apart from a real conflict.
+                let payload = self.rng.gen_range(0..self.cfg.payload_domain.max(1) as u64) as i64;
                 XmlUpdate::insert(
                     "node",
-                    tuple![fresh, Value::Int(g as i64)],
+                    tuple![fresh, Value::Int(payload)],
                     &format!("node[id={head}]/sub"),
                 )
                 .expect("generated op parses")

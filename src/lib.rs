@@ -32,7 +32,8 @@ pub use rxview_xmlkit as xmlkit;
 pub mod prelude {
     pub use rxview_atg::{Atg, AtgBuilder};
     pub use rxview_core::{
-        SideEffectPolicy, UpdateOutcome, UpdateReport, ViewStore, XmlUpdate, XmlViewSystem,
+        RelFootprint, SideEffectPolicy, UpdateOutcome, UpdateReport, ViewStore, XmlUpdate,
+        XmlViewSystem,
     };
     pub use rxview_engine::{Engine, EngineConfig, Snapshot, UpdateTicket};
     pub use rxview_relstore::{schema, Database, GroupUpdate, SpjQuery, Tuple, Value};
