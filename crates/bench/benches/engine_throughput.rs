@@ -37,7 +37,7 @@
 //! Run with: `cargo bench -p rxview-bench --bench engine_throughput`
 
 use rxview_core::{SideEffectPolicy, XmlUpdate, XmlViewSystem};
-use rxview_engine::{Engine, EngineConfig};
+use rxview_engine::{Durability, Engine, EngineConfig};
 use rxview_relstore::{tuple, Value};
 use rxview_workload::{
     synthetic_atg, synthetic_database, ConcurrentConfig, ConcurrentGen, ServeOp, ShardSkewGen,
@@ -206,6 +206,12 @@ fn main() {
         mixed_runs.push(run);
     }
 
+    // --- Durability: write-ahead logging overhead on the same mixed
+    // workload, single-writer, `PerRound` fsync vs `Off`. The `Off` side is
+    // re-measured back to back (rather than reusing the earlier run) so the
+    // comparison shares cache state. Disable with RXVIEW_BENCH_DURABILITY=0.
+    let durability_json = durability_overhead(&sys, &ops);
+
     // --- Skewed traffic: a hot anchor-cone cluster bounds shard scaling.
     // Hot chains force tiny commit rounds regardless of writer count, so
     // this runs on its own (smaller) system: the interesting number is the
@@ -249,9 +255,11 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"engine_throughput\",\n  \"groups\": {groups},\n  \
          \"rounds\": {rounds},\n  \"updates\": {},\n  \"mixed\": {},\n  \
+         \"durability\": {},\n  \
          \"skew_ops\": {skew_ops},\n  \"skew_groups\": {skew_groups},\n  \"skew\": {}\n}}\n",
         ops.len(),
         json_array(&mixed_runs),
+        durability_json.unwrap_or_else(|| "null".into()),
         json_array(&skew_runs),
     );
     match std::fs::write(&json_path, &json) {
@@ -315,6 +323,82 @@ fn run_engine(sys: &XmlViewSystem, ops: &[XmlUpdate], n_shards: usize) -> RunMet
         requeued: report.requeued,
         global_lane: report.global_lane,
     }
+}
+
+/// Measures write-ahead-logging cost: the same ops, single-writer, with
+/// `durability = Off` vs `PerRound` (append + fsync every commit round,
+/// the strictest policy). Returns the JSON fragment for
+/// `BENCH_engine.json`, or `None` when disabled.
+fn durability_overhead(sys: &XmlViewSystem, ops: &[XmlUpdate]) -> Option<String> {
+    if env_usize("RXVIEW_BENCH_DURABILITY", 1) == 0 {
+        return None;
+    }
+    println!("\ndurability sweep (single-writer, same mixed workload):");
+    let off = run_engine(sys, ops, 1);
+
+    let dir = std::env::temp_dir().join(format!("rxview-bench-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    // Engine construction (which writes the initial checkpoint) is outside
+    // the timed window: the sweep measures steady-state logging cost.
+    let engine = Engine::with_durability(
+        sys.clone(),
+        EngineConfig {
+            n_shards: 1,
+            durability: Durability::PerRound,
+            checkpoint_rounds: 0,
+            ..EngineConfig::default()
+        },
+        &dir,
+    )
+    .expect("durable engine");
+    let t = Instant::now();
+    let tickets: Vec<_> = ops
+        .iter()
+        .map(|u| {
+            engine
+                .submit(u.clone(), SideEffectPolicy::Proceed)
+                .expect("queue sized for run")
+        })
+        .collect();
+    engine.commit_pending();
+    let ok = tickets
+        .into_iter()
+        .filter(|t| matches!(t.try_wait(), Some(Ok(_))))
+        .count();
+    let time = t.elapsed();
+    let rate = ok as f64 / time.as_secs_f64();
+    assert_eq!(ok, off.accepted, "durability must not change acceptance");
+    let report = engine.stats().report();
+    engine
+        .snapshot()
+        .system()
+        .consistency_check()
+        .expect("consistent after durable commit");
+    drop(engine);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let overhead = (1.0 - rate / off.rate) * 100.0;
+    println!(
+        "  durability=PerRound: {ok}/{} accepted in {time:?} ({rate:.0} updates/sec; \
+         {} log records, {} bytes, {} fsyncs)",
+        ops.len(),
+        report.wal_records,
+        report.wal_bytes,
+        report.wal_syncs
+    );
+    println!(
+        "  WAL overhead: {overhead:.1}% updates/sec vs durability=Off ({:.0})",
+        off.rate
+    );
+    if overhead >= 15.0 {
+        println!("  WARNING: above the 15% overhead target");
+    }
+    Some(format!(
+        "{{\"off_updates_per_sec\": {:.1}, \"per_round_updates_per_sec\": {rate:.1}, \
+         \"overhead_pct\": {overhead:.1}, \"wal_records\": {}, \"wal_bytes\": {}, \
+         \"wal_syncs\": {}}}",
+        off.rate, report.wal_records, report.wal_bytes, report.wal_syncs
+    ))
 }
 
 /// Readers on snapshots while a writer group-commits a skewed 90/10 mix —

@@ -17,11 +17,15 @@
 //! - [`footprint`]: typed `(table, column, value)` conflict footprints read
 //!   off the translation layer — the planned/realized write-set contract a
 //!   concurrent serving engine partitions updates by;
+//! - [`codec`]: the hand-rolled binary encodings of updates and full system
+//!   state that the serving engine's write-ahead log and checkpoints are
+//!   built on;
 //! - [`processor`]: the end-to-end framework of Fig.3, including the
 //!   republication oracle `∆X(T) = σ(∆R(I))`.
 
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod dag_eval;
 pub mod footprint;
 pub mod maintain;
@@ -36,6 +40,7 @@ pub mod translate;
 pub mod update;
 pub mod viewstore;
 
+pub use codec::{decode_system, encode_system, put_policy, put_update, read_policy, read_update};
 pub use dag_eval::{eval_xpath_on_dag, DagEval};
 pub use footprint::{
     plan_subtree, planned_delete_writes, planned_insert_writes, ColKey, PlannedSubtree,

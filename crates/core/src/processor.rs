@@ -273,6 +273,22 @@ impl XmlViewSystem {
         })
     }
 
+    /// Reassembles a system from checkpointed parts without re-publishing
+    /// `σ(I)` — the recovery path's constructor. The caller (the durability
+    /// codec) is responsible for the parts being mutually consistent: `topo`
+    /// a valid order of the store's live DAG and `reach` its transitive
+    /// closure. Recovery tests validate the result against the
+    /// republication oracle ([`XmlViewSystem::consistency_check`]).
+    pub fn from_parts(base: Database, vs: ViewStore, topo: TopoOrder, reach: Reachability) -> Self {
+        XmlViewSystem {
+            base,
+            vs,
+            topo,
+            reach: Arc::new(reach),
+            sat_config: WalkSatConfig::default(),
+        }
+    }
+
     /// Overrides the WalkSAT configuration (seeded for reproducibility).
     pub fn with_sat_config(mut self, config: WalkSatConfig) -> Self {
         self.sat_config = config;

@@ -54,6 +54,28 @@ impl ViewStore {
         Ok(vs)
     }
 
+    /// Reassembles a store from checkpointed parts — the published [`Dag`]
+    /// and the `gen_A` database — without re-running `σ(I)`. The edge-view
+    /// queries are grammar-derived (bounded by `|DTD|`, §2.3) and are
+    /// rebuilt from `atg`, which must be the same grammar the parts were
+    /// produced under; the durability codec validates that before calling.
+    pub fn from_parts(atg: Atg, dag: Dag, gen_db: Database) -> Self {
+        let mut edge_queries = BTreeMap::new();
+        for parent in atg.dtd().types() {
+            for child in atg.dtd().children_of(parent) {
+                if let Some(q) = atg.edge_view_query(parent, child) {
+                    edge_queries.insert((parent, child), q);
+                }
+            }
+        }
+        ViewStore {
+            atg,
+            dag,
+            gen_db,
+            edge_queries,
+        }
+    }
+
     /// The grammar.
     pub fn atg(&self) -> &Atg {
         &self.atg

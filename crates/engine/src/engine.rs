@@ -10,15 +10,20 @@
 //!   translations into one epoch-ordered snapshot stream.
 
 use crate::analyze::{Analysis, BatchFootprint};
+use crate::checkpoint::{self, Checkpointer};
 use crate::publisher;
+use crate::recovery::{self, RecoverError, RecoveryReport};
 use crate::shard::ShardPool;
 use crate::snapshot::Snapshot;
 use crate::stats::EngineStats;
+use crate::wal::{Durability, LoggedUpdate, Wal};
 use rxview_core::{
     SideEffectPolicy, UpdateError, UpdateOutcome, UpdateReport, XmlUpdate, XmlViewSystem,
 };
 use rxview_relstore::RelError;
 use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex, OnceLock, RwLock};
 use std::time::{Duration, Instant};
@@ -42,6 +47,16 @@ pub struct EngineConfig {
     /// anchor-cone partitions with a serialized global lane and a merging
     /// publisher (capped at 64).
     pub n_shards: usize,
+    /// Write-ahead logging / fsync policy. Anything but [`Durability::Off`]
+    /// requires a log directory — construct with
+    /// [`Engine::with_durability`] (or [`Engine::recover`]) instead of
+    /// [`Engine::with_config`].
+    pub durability: Durability,
+    /// Epochs between automatic background checkpoints of a durable engine
+    /// (`0` disables automatic checkpoints; the initial checkpoint and
+    /// [`Engine::checkpoint_now`] still work). Ignored when durability is
+    /// off.
+    pub checkpoint_rounds: u64,
 }
 
 impl Default for EngineConfig {
@@ -51,6 +66,8 @@ impl Default for EngineConfig {
             max_queue: 65_536,
             scoped_eval: true,
             n_shards: 1,
+            durability: Durability::Off,
+            checkpoint_rounds: 1024,
         }
     }
 }
@@ -134,6 +151,22 @@ pub(crate) struct Pending {
     pub(crate) tx: mpsc::Sender<UpdateOutcome>,
 }
 
+/// A durable engine's logging + checkpointing machinery.
+pub(crate) struct DurabilityState {
+    /// The log directory (also holds the checkpoints).
+    pub(crate) dir: PathBuf,
+    /// The append side of the replay log, shared with the checkpointer
+    /// (which rotates it behind completed checkpoints).
+    pub(crate) wal: Arc<Mutex<Wal>>,
+    /// Epochs between automatic checkpoint requests (0 = manual only).
+    checkpoint_rounds: u64,
+    /// Epoch of the last checkpoint *requested* (the trigger's debounce;
+    /// completion is the checkpointer's business).
+    last_ckpt_request: AtomicU64,
+    /// The background checkpoint thread.
+    ckpt: Checkpointer,
+}
+
 pub(crate) struct Inner {
     pub(crate) snapshot: RwLock<Arc<Snapshot>>,
     pub(crate) queue: Mutex<Vec<Pending>>,
@@ -147,6 +180,8 @@ pub(crate) struct Inner {
     pub(crate) master: Mutex<Option<XmlViewSystem>>,
     /// Lazily spawned shard writer pool (sharded path only).
     pub(crate) pool: OnceLock<ShardPool>,
+    /// Replay log + checkpointer (durable engines only).
+    pub(crate) durability: Option<DurabilityState>,
 }
 
 impl Inner {
@@ -156,6 +191,31 @@ impl Inner {
         Arc::clone(&self.snapshot.read().expect("snapshot lock poisoned"))
     }
 
+    /// Whether committed rounds must be logged before publication.
+    pub(crate) fn wal_enabled(&self) -> bool {
+        self.durability.is_some()
+    }
+
+    /// Appends the replay-log record for the epoch the *next* [`Inner::publish`]
+    /// will stamp — the write-ahead step. Must run with the commit mutex
+    /// held (all commit paths do), so the upcoming epoch is stable. A no-op
+    /// without durability. On error the round must not publish; the caller
+    /// fails its updates instead.
+    pub(crate) fn log_round(&self, updates: &[LoggedUpdate]) -> Result<(), String> {
+        let Some(d) = &self.durability else {
+            return Ok(());
+        };
+        let epoch = self.epoch.load(Ordering::Relaxed) + 1;
+        let mut wal = d.wal.lock().expect("wal lock poisoned");
+        match wal.append(epoch, updates) {
+            Ok((bytes, synced)) => {
+                self.stats.record_wal_append(bytes, synced);
+                Ok(())
+            }
+            Err(e) => Err(format!("write-ahead log append failed: {e}")),
+        }
+    }
+
     /// Stamps `sys` with the next epoch and publishes it as the new
     /// snapshot, returning it.
     pub(crate) fn publish(&self, sys: XmlViewSystem) -> Arc<Snapshot> {
@@ -163,7 +223,25 @@ impl Inner {
         let snap = Arc::new(Snapshot::new(sys, epoch));
         *self.snapshot.write().expect("snapshot lock poisoned") = Arc::clone(&snap);
         self.stats.record_snapshot_published();
+        self.maybe_checkpoint(&snap);
         snap
+    }
+
+    /// Hands the snapshot to the background checkpointer when the
+    /// configured epoch interval has elapsed (fuzzy: writers never wait).
+    fn maybe_checkpoint(&self, snap: &Arc<Snapshot>) {
+        let Some(d) = &self.durability else { return };
+        if d.checkpoint_rounds == 0 {
+            return;
+        }
+        let last = d.last_ckpt_request.load(Ordering::Relaxed);
+        if snap.epoch().saturating_sub(last) >= d.checkpoint_rounds
+            && d.last_ckpt_request
+                .compare_exchange(last, snap.epoch(), Ordering::Relaxed, Ordering::Relaxed)
+                .is_ok()
+        {
+            d.ckpt.request(Arc::clone(snap));
+        }
     }
 }
 
@@ -204,21 +282,181 @@ impl Engine {
     /// Wraps a published system with explicit tuning (`n_shards` clamped to
     /// `1..=64`, `max_batch` raised to at least 1 — a zero batch cap could
     /// never make commit progress).
-    pub fn with_config(sys: XmlViewSystem, mut config: EngineConfig) -> Self {
+    ///
+    /// # Panics
+    /// Panics if `config.durability` is on: a replay log needs a directory,
+    /// so durable engines are built with [`Engine::with_durability`] or
+    /// [`Engine::recover`].
+    pub fn with_config(sys: XmlViewSystem, config: EngineConfig) -> Self {
+        assert!(
+            !config.durability.is_on(),
+            "durability needs a log directory: use Engine::with_durability"
+        );
+        Engine::build(sys, 0, config, None)
+    }
+
+    /// Wraps a published system as a **durable** engine logging into `dir`
+    /// (created if absent): every committed round is appended to an
+    /// epoch-ordered replay log under `config.durability`'s fsync policy
+    /// (an `Off` policy is promoted to [`Durability::PerRound`] — a log
+    /// directory implies logging) before its tickets resolve, a checkpoint
+    /// of the initial state is
+    /// written immediately, and a background checkpointer re-checkpoints
+    /// every [`EngineConfig::checkpoint_rounds`] epochs, truncating the
+    /// covered log behind itself. After a crash, [`Engine::recover`]
+    /// rebuilds the state from the directory.
+    ///
+    /// Fails if `dir` already contains log or checkpoint files — recovering
+    /// an existing directory must go through [`Engine::recover`], not
+    /// silently restart history.
+    pub fn with_durability(
+        sys: XmlViewSystem,
+        config: EngineConfig,
+        dir: impl AsRef<Path>,
+    ) -> io::Result<Self> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        checkpoint::clean_stale_tmps(dir)?;
+        if !checkpoint::list_checkpoints(dir)?.is_empty()
+            || !crate::wal::list_segments(dir)?.is_empty()
+        {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                format!(
+                    "`{}` already holds a replay log; use Engine::recover",
+                    dir.display()
+                ),
+            ));
+        }
+        let policy = if config.durability.is_on() {
+            config.durability
+        } else {
+            Durability::PerRound // a durability dir implies logging
+        };
+        checkpoint::write_checkpoint(dir, 0, &sys)?;
+        let wal = Wal::create(dir, policy, 0)?;
+        let mut config = config;
+        config.durability = policy;
+        Ok(Engine::build(
+            sys,
+            0,
+            config,
+            Some((dir.to_path_buf(), wal)),
+        ))
+    }
+
+    /// Rebuilds a durable engine from its log directory after a crash: the
+    /// newest valid checkpoint is loaded, the replay-log suffix past it is
+    /// replayed in epoch order through the sequential apply path, and the
+    /// engine resumes serving at the recovered epoch. `atg` must be the
+    /// grammar the original engine ran under — like the relational schema
+    /// it is code, not data, and the checkpoint's embedded type table is
+    /// validated against it.
+    ///
+    /// Returns the engine plus a [`RecoveryReport`] describing what was
+    /// replayed and what (if anything) was discarded as torn or corrupt.
+    /// If `config.durability` keeps logging on, the recovered state is
+    /// re-checkpointed and old segments are dropped before serving resumes,
+    /// making recovery idempotent; with durability off the directory is
+    /// only read.
+    pub fn recover(
+        atg: rxview_atg::Atg,
+        dir: impl AsRef<Path>,
+        config: EngineConfig,
+    ) -> Result<(Self, RecoveryReport), RecoverError> {
+        let dir = dir.as_ref();
+        let (sys, next_seq, report) = recovery::recover_state(&atg, dir, &config)?;
+        let engine = if config.durability.is_on() {
+            checkpoint::clean_stale_tmps(dir)?;
+            // Re-anchor the directory on the recovered state: checkpoint
+            // it, drop the now-covered segments, and open a fresh one.
+            checkpoint::write_checkpoint(dir, report.resumed_epoch, &sys)?;
+            for (_, path) in crate::wal::list_segments(dir)? {
+                let _ = std::fs::remove_file(path);
+            }
+            let wal = Wal::create(dir, config.durability, next_seq)?;
+            checkpoint::prune_checkpoints(dir, 2)?;
+            Engine::build(
+                sys,
+                report.resumed_epoch,
+                config,
+                Some((dir.to_path_buf(), wal)),
+            )
+        } else {
+            Engine::build(sys, report.resumed_epoch, config, None)
+        };
+        Ok((engine, report))
+    }
+
+    /// Common construction: state + starting epoch + optionally the
+    /// durability machinery around an open log (`dir`, `wal`). Durable
+    /// callers ([`Engine::with_durability`] and the durable
+    /// [`Engine::recover`] path) have just written one anchoring
+    /// checkpoint; it is counted here, where the stats object is born.
+    fn build(
+        sys: XmlViewSystem,
+        epoch: u64,
+        mut config: EngineConfig,
+        durability: Option<(PathBuf, Wal)>,
+    ) -> Self {
         config.n_shards = config.n_shards.clamp(1, 64);
         config.max_batch = config.max_batch.max(1);
+        let stats = Arc::new(EngineStats::with_shards(config.n_shards));
+        let durability = durability.map(|(dir, wal)| {
+            stats.record_checkpoint();
+            let wal = Arc::new(Mutex::new(wal));
+            let ckpt = Checkpointer::spawn(dir.clone(), Arc::clone(&wal), Arc::clone(&stats));
+            DurabilityState {
+                dir,
+                wal,
+                checkpoint_rounds: config.checkpoint_rounds,
+                last_ckpt_request: AtomicU64::new(epoch),
+                ckpt,
+            }
+        });
         Engine {
             inner: Arc::new(Inner {
-                snapshot: RwLock::new(Arc::new(Snapshot::new(sys, 0))),
+                snapshot: RwLock::new(Arc::new(Snapshot::new(sys, epoch))),
                 queue: Mutex::new(Vec::new()),
                 commit_mx: Mutex::new(()),
-                epoch: AtomicU64::new(0),
-                stats: Arc::new(EngineStats::with_shards(config.n_shards)),
+                epoch: AtomicU64::new(epoch),
+                stats,
                 config,
                 master: Mutex::new(None),
                 pool: OnceLock::new(),
+                durability,
             }),
         }
+    }
+
+    /// Synchronously checkpoints the *currently published* snapshot and
+    /// truncates the log behind it. Returns the checkpointed epoch.
+    /// Fails with [`io::ErrorKind::Unsupported`] on a non-durable engine.
+    pub fn checkpoint_now(&self) -> io::Result<u64> {
+        let Some(d) = &self.inner.durability else {
+            return Err(io::Error::new(
+                io::ErrorKind::Unsupported,
+                "engine has no durability directory",
+            ));
+        };
+        let snap = self.inner.current();
+        checkpoint::write_checkpoint(&d.dir, snap.epoch(), snap.system())?;
+        self.inner.stats.record_checkpoint();
+        d.wal
+            .lock()
+            .expect("wal lock poisoned")
+            .compact(snap.epoch())?;
+        checkpoint::prune_checkpoints(&d.dir, 2)?;
+        Ok(snap.epoch())
+    }
+
+    /// Forces any unsynced replay-log tail to disk (useful before a planned
+    /// shutdown under [`Durability::EveryN`]). A no-op without durability.
+    pub fn sync_wal(&self) -> io::Result<()> {
+        if let Some(d) = &self.inner.durability {
+            d.wal.lock().expect("wal lock poisoned").sync()?;
+        }
+        Ok(())
     }
 
     /// The current snapshot. The read lock is held only for the `Arc` bump;
@@ -429,6 +667,10 @@ impl Engine {
             let mut working = current.system().clone();
             let mut jobs = Vec::new();
             let mut applied: Vec<(usize, UpdateReport)> = Vec::new();
+            // Applied updates in submission order, kept for the replay log
+            // (the record the round's publication is preceded by).
+            let mut logged: Vec<LoggedUpdate> = Vec::new();
+            let wal_on = self.inner.wal_enabled();
             for (i, p, eval) in batch {
                 let eval = match eval {
                     // The analysis evaluated against the snapshot the batch
@@ -447,6 +689,9 @@ impl Engine {
                     Ok((report, job)) => {
                         jobs.push(job);
                         applied.push((i, report));
+                        if wal_on {
+                            logged.push((p.update, p.policy));
+                        }
                     }
                     Err(e) => outcomes[i] = Some(Err(e)),
                 }
@@ -461,14 +706,24 @@ impl Engine {
             match working.fold_maintenance(jobs) {
                 Ok(maintain) => {
                     self.inner.stats.record_maintain(t2.elapsed());
+                    // Write-ahead: the round's record must be durable (per
+                    // the fsync policy) before its snapshot becomes visible
+                    // and any ticket resolves. Logged even when `applied`
+                    // is empty — an all-rejected batch still publishes an
+                    // epoch, and the log must mirror the epoch stream.
+                    if let Err(msg) = self.inner.log_round(&logged) {
+                        // The round is not durable: drop the working clone
+                        // (the previous snapshot stays current) and fail
+                        // the batch rather than acknowledge a lie.
+                        for (i, _) in applied {
+                            outcomes[i] =
+                                Some(Err(UpdateError::Rel(RelError::MalformedQuery(msg.clone()))));
+                        }
+                        continue;
+                    }
                     // Publish the batch as one snapshot, then release tickets.
                     let t3 = Instant::now();
-                    let epoch = self.inner.epoch.fetch_add(1, Ordering::Relaxed) + 1;
-                    let snap = Arc::new(Snapshot::new(working, epoch));
-                    *self.inner.snapshot.write().expect("snapshot lock poisoned") =
-                        Arc::clone(&snap);
-                    current = snap;
-                    self.inner.stats.record_snapshot_published();
+                    current = self.inner.publish(working);
                     self.inner.stats.record_publish(t3.elapsed());
                     // Whatever this batch committed invalidates any cached
                     // analysis whose footprint it touched.

@@ -43,10 +43,20 @@
 //!   snapshot stream. Unanchored `//`-path updates serialize through a
 //!   global lane. Both write paths are property-tested observationally
 //!   equivalent to sequential application.
+//! - **Durability** ([`Durability`], [`Engine::with_durability`],
+//!   [`Engine::recover`]): the publisher appends each committed round —
+//!   `(epoch, applied updates in submission order)` — to a checksummed,
+//!   epoch-ordered replay log *before* the round's snapshot becomes
+//!   visible, under a configurable fsync policy; a background checkpointer
+//!   serializes recent `Arc` snapshots (fuzzy — writers never block) and
+//!   truncates the log behind them. Recovery loads the newest valid
+//!   checkpoint, replays the log suffix through the sequential apply path,
+//!   and resumes serving at the recovered epoch. See [`wal`] and
+//!   [`recovery`].
 //! - **Observability** ([`EngineStats`]): lock-free counters extending the
 //!   Fig.11 phase constituents ([`rxview_core::PhaseTimings`]) with
-//!   queueing, batching, snapshot, scoped-vs-full evaluation, and per-shard
-//!   pipeline counters.
+//!   queueing, batching, snapshot, scoped-vs-full evaluation, per-shard
+//!   pipeline, and durability counters.
 //!
 //! Mapping back to the paper's Fig.3 phases: schema validation (§2.4) and
 //! translation ∆X→∆V→∆R (§3.3, §4) run unchanged per update inside
@@ -59,14 +69,19 @@
 #![warn(missing_docs)]
 
 pub mod analyze;
+pub(crate) mod checkpoint;
 pub mod engine;
 pub(crate) mod publisher;
+pub mod recovery;
 pub(crate) mod router;
 pub(crate) mod shard;
 pub mod snapshot;
 pub mod stats;
+pub mod wal;
 
 pub use analyze::{Analysis, AnchorIndex, BatchFootprint};
 pub use engine::{Engine, EngineConfig, EngineError, UpdateTicket, WriterHandle};
+pub use recovery::{RecoverError, RecoveryReport};
 pub use snapshot::Snapshot;
 pub use stats::{EngineReport, EngineStats};
+pub use wal::Durability;

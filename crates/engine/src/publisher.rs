@@ -130,12 +130,36 @@ pub(crate) fn commit_sharded(inner: &Inner, pending: Vec<Pending>) -> CommitSumm
                         match master.fold_maintenance(vec![job]) {
                             Ok(m) => {
                                 stats.record_maintain(t2.elapsed());
-                                summary.maintain.absorb(&m);
-                                report.maintain = m;
-                                let t3 = Instant::now();
-                                inner.publish(master.clone());
-                                stats.record_publish(t3.elapsed());
-                                resolve(inner, &mut summary, &mut txs, pu.idx, Ok(report));
+                                // Write-ahead: the global-lane round is one
+                                // update; log it before it becomes visible.
+                                let logged: Vec<crate::wal::LoggedUpdate> = if inner.wal_enabled() {
+                                    vec![(pu.update.clone(), pu.policy)]
+                                } else {
+                                    Vec::new()
+                                };
+                                match inner.log_round(&logged) {
+                                    Err(msg) => {
+                                        // Not durable: restore the master and
+                                        // fail the update instead of
+                                        // acknowledging a lie.
+                                        master = current.system().clone();
+                                        resolve(
+                                            inner,
+                                            &mut summary,
+                                            &mut txs,
+                                            pu.idx,
+                                            Err(UpdateError::Rel(RelError::MalformedQuery(msg))),
+                                        );
+                                    }
+                                    Ok(()) => {
+                                        summary.maintain.absorb(&m);
+                                        report.maintain = m;
+                                        let t3 = Instant::now();
+                                        inner.publish(master.clone());
+                                        stats.record_publish(t3.elapsed());
+                                        resolve(inner, &mut summary, &mut txs, pu.idx, Ok(report));
+                                    }
+                                }
                             }
                             Err(e) => {
                                 // The master is inconsistent: restore it from
@@ -228,17 +252,54 @@ pub(crate) fn commit_sharded(inner: &Inner, pending: Vec<Pending>) -> CommitSumm
                     match master.fold_maintenance(jobs) {
                         Ok(m) => {
                             stats.record_maintain(t2.elapsed());
-                            summary.maintain.absorb(&m);
-                            let t3 = Instant::now();
-                            inner.publish(master.clone());
-                            stats.record_publish(t3.elapsed());
-                            if let [(_, report)] = applied.as_mut_slice() {
-                                // A singleton round attributes maintenance
-                                // exactly, like a singleton batch.
-                                report.maintain = m;
-                            }
-                            for (idx, report) in applied {
-                                resolve(inner, &mut summary, &mut txs, idx, Ok(report));
+                            // Write-ahead: log the round's merged updates,
+                            // submission order, before the snapshot swap
+                            // (and before any ticket resolves).
+                            let logged: Vec<crate::wal::LoggedUpdate> = if inner.wal_enabled() {
+                                let merged: HashSet<usize> =
+                                    applied.iter().map(|(idx, _)| *idx).collect();
+                                plan.admitted
+                                    .iter()
+                                    .filter(|pu| merged.contains(&pu.idx))
+                                    .map(|pu| (pu.update.clone(), pu.policy))
+                                    .collect()
+                            } else {
+                                Vec::new()
+                            };
+                            match inner.log_round(&logged) {
+                                Err(msg) => {
+                                    // Not durable: restore the master and
+                                    // fail the round's merged updates.
+                                    // Control falls through so requeued
+                                    // updates still re-enter routing below.
+                                    master = current.system().clone();
+                                    for (idx, _) in applied {
+                                        resolve(
+                                            inner,
+                                            &mut summary,
+                                            &mut txs,
+                                            idx,
+                                            Err(UpdateError::Rel(RelError::MalformedQuery(
+                                                msg.clone(),
+                                            ))),
+                                        );
+                                    }
+                                }
+                                Ok(()) => {
+                                    summary.maintain.absorb(&m);
+                                    let t3 = Instant::now();
+                                    inner.publish(master.clone());
+                                    stats.record_publish(t3.elapsed());
+                                    if let [(_, report)] = applied.as_mut_slice() {
+                                        // A singleton round attributes
+                                        // maintenance exactly, like a
+                                        // singleton batch.
+                                        report.maintain = m;
+                                    }
+                                    for (idx, report) in applied {
+                                        resolve(inner, &mut summary, &mut txs, idx, Ok(report));
+                                    }
+                                }
                             }
                         }
                         Err(e) => {

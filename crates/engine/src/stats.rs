@@ -37,6 +37,11 @@ pub struct EngineStats {
     width_rounds: AtomicU64,
     planned_width: AtomicU64,
     realized_width: AtomicU64,
+    // --- durability ---
+    wal_records: AtomicU64,
+    wal_bytes: AtomicU64,
+    wal_syncs: AtomicU64,
+    checkpoints: AtomicU64,
 }
 
 fn add(counter: &AtomicU64, v: u64) {
@@ -145,6 +150,21 @@ impl EngineStats {
         add(&self.publish_nanos, d.as_nanos() as u64);
     }
 
+    /// One replay-log record appended (`bytes` on disk, `synced` if this
+    /// append fsynced under the engine's durability policy).
+    pub(crate) fn record_wal_append(&self, bytes: u64, synced: bool) {
+        add(&self.wal_records, 1);
+        add(&self.wal_bytes, bytes);
+        if synced {
+            add(&self.wal_syncs, 1);
+        }
+    }
+
+    /// One checkpoint made durable.
+    pub(crate) fn record_checkpoint(&self) {
+        add(&self.checkpoints, 1);
+    }
+
     /// A consistent-enough point-in-time copy of all counters.
     pub fn report(&self) -> EngineReport {
         let ns = |c: &AtomicU64| Duration::from_nanos(c.load(Ordering::Relaxed));
@@ -179,6 +199,10 @@ impl EngineStats {
             width_rounds: n(&self.width_rounds),
             planned_width: n(&self.planned_width),
             realized_width: n(&self.realized_width),
+            wal_records: n(&self.wal_records),
+            wal_bytes: n(&self.wal_bytes),
+            wal_syncs: n(&self.wal_syncs),
+            checkpoints: n(&self.checkpoints),
         }
     }
 }
@@ -234,6 +258,15 @@ pub struct EngineReport {
     pub planned_width: u64,
     /// Total translations actually merged (planned minus rejects/requeues).
     pub realized_width: u64,
+    /// Replay-log records appended (= epochs made durable; 0 when
+    /// durability is off).
+    pub wal_records: u64,
+    /// Replay-log bytes written (frames included).
+    pub wal_bytes: u64,
+    /// Appends that fsynced under the durability policy.
+    pub wal_syncs: u64,
+    /// Checkpoints made durable (initial + background + manual).
+    pub checkpoints: u64,
 }
 
 impl EngineReport {
@@ -311,6 +344,13 @@ impl fmt::Display for EngineReport {
                 f,
                 "shards: {:?} updates/shard, {} rounds, {} via global lane, {} requeued, {} analyses reused",
                 self.shard_updates, self.rounds, self.global_lane, self.requeued, self.analyses_reused
+            )?;
+        }
+        if self.wal_records > 0 || self.checkpoints > 0 {
+            writeln!(
+                f,
+                "durability: {} log records ({} bytes, {} fsyncs), {} checkpoints",
+                self.wal_records, self.wal_bytes, self.wal_syncs, self.checkpoints
             )?;
         }
         Ok(())

@@ -1,0 +1,478 @@
+//! The epoch-ordered replay log (write-ahead log).
+//!
+//! The publisher is the single point where a commit round becomes final, so
+//! durability hooks there: immediately **before** a round's snapshot is
+//! published (and therefore before any ticket is acknowledged), the round is
+//! appended to the log as one record — its epoch plus the round's applied
+//! updates in submission order, in their *logical* form (`XmlUpdate` +
+//! side-effect policy). Replaying logical updates through the ordinary
+//! apply path re-derives ∆V, ∆R, and the `M`/`L` maintenance; the batched ==
+//! sequential equivalence property (`crates/engine/tests/equivalence.rs`)
+//! is exactly the guarantee that makes this replay faithful.
+//!
+//! ## On-disk format
+//!
+//! A log is a directory of segment files `wal-<seq>.rxlog`. Each segment is
+//! the 8-byte magic `RXWALv1\n` followed by length-prefixed, checksummed
+//! records:
+//!
+//! ```text
+//! [u32 LE payload length][u32 LE CRC-32 of payload][payload]
+//! payload = varint epoch
+//!         · varint update count
+//!         · per update: policy byte · XmlUpdate (core codec)
+//! ```
+//!
+//! A record with zero updates is legal — a round whose updates were all
+//! rejected still publishes (and therefore logs) an epoch, keeping the
+//! epoch sequence on disk aligned with the snapshot stream.
+//!
+//! Scanning is prefix-tolerant: the first record whose length overruns the
+//! file, whose checksum mismatches, or whose payload fails to decode ends
+//! the segment's valid prefix; everything after it is reported as the
+//! discarded suffix. Corrupt bytes can never panic (the codec is total) and
+//! never resurrect as phantom rounds (the CRC guards the frame).
+//!
+//! ## Fsync policy
+//!
+//! [`Durability`] picks when `fsync` runs: per round, every `n` rounds, or
+//! never (logging off entirely). With `EveryN`, a crash can lose up to
+//! `n - 1` acknowledged rounds — the recovered state is still a *prefix* of
+//! the acknowledged history, just possibly a shorter one than `PerRound`
+//! guarantees.
+//!
+//! Segments rotate when a checkpoint completes (`Wal::compact`): the
+//! current segment is sealed and a sealed segment is deleted once every
+//! record in it is at or below the checkpointed epoch — the "truncate the
+//! covered log prefix" step, done at file granularity so it never rewrites
+//! data in place.
+
+use rxview_core::codec;
+use rxview_core::{SideEffectPolicy, XmlUpdate};
+use rxview_relstore::codec::{crc32, put_varint, Reader};
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
+
+/// When the replay log reaches disk (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Durability {
+    /// No write-ahead logging at all. A crash loses the whole in-memory
+    /// state (the pre-durability behavior).
+    #[default]
+    Off,
+    /// Append **and fsync** every committed round before its tickets
+    /// resolve: every acknowledged update survives a crash.
+    PerRound,
+    /// Append every round, fsync every `n` rounds: bounded loss — a crash
+    /// forfeits at most the trailing unsynced rounds, and recovery still
+    /// lands on a prefix of the acknowledged history. `EveryN(1)` behaves
+    /// like [`Durability::PerRound`]; `EveryN(0)` never fsyncs (the OS
+    /// decides).
+    EveryN(u64),
+}
+
+impl Durability {
+    /// Whether logging is enabled at all.
+    pub fn is_on(&self) -> bool {
+        !matches!(self, Durability::Off)
+    }
+}
+
+/// Magic bytes opening every segment file.
+pub(crate) const WAL_MAGIC: &[u8; 8] = b"RXWALv1\n";
+
+/// One logged update: the logical update plus its side-effect policy.
+pub(crate) type LoggedUpdate = (XmlUpdate, SideEffectPolicy);
+
+/// One decoded log record: a committed round.
+#[derive(Debug)]
+pub(crate) struct WalRecord {
+    /// The epoch the round published.
+    pub(crate) epoch: u64,
+    /// The round's applied updates, submission order.
+    pub(crate) updates: Vec<LoggedUpdate>,
+}
+
+/// Frames one round as a `[len][crc][payload]` record.
+pub(crate) fn encode_record(epoch: u64, updates: &[LoggedUpdate]) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(16 + 64 * updates.len());
+    put_varint(&mut payload, epoch);
+    put_varint(&mut payload, updates.len() as u64);
+    for (update, policy) in updates {
+        codec::put_policy(&mut payload, *policy);
+        codec::put_update(&mut payload, update);
+    }
+    let mut out = Vec::with_capacity(8 + payload.len());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(&payload).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out
+}
+
+fn decode_payload(payload: &[u8]) -> codec::CodecResult<WalRecord> {
+    let mut r = Reader::new(payload);
+    let epoch = r.read_varint()?;
+    let n = r.read_varint()? as usize;
+    if n > r.remaining() {
+        return Err(rxview_relstore::CodecError::Truncated);
+    }
+    let mut updates = Vec::with_capacity(n);
+    for _ in 0..n {
+        let policy = codec::read_policy(&mut r)?;
+        let update = codec::read_update(&mut r)?;
+        updates.push((update, policy));
+    }
+    if !r.is_empty() {
+        return Err(rxview_relstore::CodecError::Invalid(
+            "trailing bytes in record payload".into(),
+        ));
+    }
+    Ok(WalRecord { epoch, updates })
+}
+
+/// What scanning one segment file found.
+#[derive(Debug, Default)]
+pub(crate) struct SegmentScan {
+    /// Complete, checksummed records, in file order.
+    pub(crate) records: Vec<WalRecord>,
+    /// Bytes past the last complete record (torn tail / corruption).
+    pub(crate) discarded: u64,
+}
+
+/// Scans a segment, stopping at the first torn or corrupt record.
+pub(crate) fn scan_segment(path: &Path) -> io::Result<SegmentScan> {
+    let bytes = fs::read(path)?;
+    let mut scan = SegmentScan::default();
+    if bytes.len() < WAL_MAGIC.len() || &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        scan.discarded = bytes.len() as u64;
+        return Ok(scan);
+    }
+    let mut pos = WAL_MAGIC.len();
+    loop {
+        let rest = &bytes[pos..];
+        if rest.len() < 8 {
+            break;
+        }
+        let len = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
+        let crc = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+        if rest.len() < 8 + len {
+            break; // torn tail: the record never finished writing
+        }
+        let payload = &rest[8..8 + len];
+        if crc32(payload) != crc {
+            break; // corrupt record: stop trusting the file here
+        }
+        match decode_payload(payload) {
+            Ok(rec) => scan.records.push(rec),
+            Err(_) => break, // checksummed but undecodable: treat as corrupt
+        }
+        pos += 8 + len;
+    }
+    scan.discarded = (bytes.len() - pos) as u64;
+    Ok(scan)
+}
+
+/// Segment files in a log directory, ascending by sequence number.
+pub(crate) fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(seq) = name
+            .strip_prefix("wal-")
+            .and_then(|s| s.strip_suffix(".rxlog"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            out.push((seq, entry.path()));
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("wal-{seq:010}.rxlog"))
+}
+
+/// A sealed (no longer appended-to) segment awaiting checkpoint coverage.
+#[derive(Debug)]
+struct SealedSegment {
+    path: PathBuf,
+    max_epoch: u64,
+}
+
+/// The append side of the log. One `Wal` exists per durable engine, locked
+/// briefly per round by the commit path and per checkpoint by the
+/// checkpointer.
+#[derive(Debug)]
+pub(crate) struct Wal {
+    dir: PathBuf,
+    policy: Durability,
+    file: File,
+    path: PathBuf,
+    seq: u64,
+    /// Rounds appended since the last fsync (the `EveryN` counter).
+    unsynced: u64,
+    /// Highest epoch written to the current segment (`None` = empty).
+    max_epoch: Option<u64>,
+    /// File length up to the last *successful* append (header included).
+    /// A failed append rolls the file back to this watermark, so its bytes
+    /// can never collide with the retried epoch's record or wedge the
+    /// segment's scannable prefix mid-file.
+    committed_len: u64,
+    /// Set when a failed append could not be rolled back: the tail of the
+    /// segment is unreliable, so every further append must fail rather
+    /// than write acknowledged rounds after an unscannable point.
+    poisoned: bool,
+    sealed: Vec<SealedSegment>,
+}
+
+impl Wal {
+    /// Opens a fresh segment `wal-<seq>.rxlog` in `dir` for appending.
+    /// `policy` must have logging on.
+    pub(crate) fn create(dir: &Path, policy: Durability, seq: u64) -> io::Result<Wal> {
+        debug_assert!(policy.is_on());
+        let path = segment_path(dir, seq);
+        let mut file = OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(&path)?;
+        file.write_all(WAL_MAGIC)?;
+        file.sync_data()?;
+        Ok(Wal {
+            dir: dir.to_path_buf(),
+            policy,
+            file,
+            path,
+            seq,
+            unsynced: 0,
+            max_epoch: None,
+            committed_len: WAL_MAGIC.len() as u64,
+            poisoned: false,
+            sealed: Vec::new(),
+        })
+    }
+
+    /// Appends one round and applies the fsync policy. Returns the bytes
+    /// written and whether this append fsynced.
+    ///
+    /// On failure (write *or* fsync) the segment is rolled back to the end
+    /// of the last successful record: the caller fails the round and the
+    /// epoch number will be reused, so no trace of the failed round may
+    /// stay in the file. If even the rollback fails, the log poisons
+    /// itself and every further append errors out immediately.
+    pub(crate) fn append(
+        &mut self,
+        epoch: u64,
+        updates: &[LoggedUpdate],
+    ) -> io::Result<(u64, bool)> {
+        use std::io::Seek as _;
+        if self.poisoned {
+            return Err(io::Error::other(
+                "replay log poisoned by an earlier unrecoverable append failure",
+            ));
+        }
+        let record = encode_record(epoch, updates);
+        let sync = match self.policy {
+            Durability::Off => false,
+            Durability::PerRound => true,
+            Durability::EveryN(n) => n > 0 && self.unsynced + 1 >= n,
+        };
+        let appended = (|| {
+            self.file.write_all(&record)?;
+            if sync {
+                self.file.sync_data()?;
+            }
+            Ok::<_, io::Error>(())
+        })();
+        if let Err(e) = appended {
+            let rolled_back = self
+                .file
+                .set_len(self.committed_len)
+                .and_then(|()| self.file.seek(io::SeekFrom::Start(self.committed_len)));
+            if rolled_back.is_err() {
+                self.poisoned = true;
+            }
+            return Err(e);
+        }
+        self.committed_len += record.len() as u64;
+        self.max_epoch = Some(self.max_epoch.map_or(epoch, |m| m.max(epoch)));
+        self.unsynced = if sync { 0 } else { self.unsynced + 1 };
+        Ok((record.len() as u64, sync))
+    }
+
+    /// Forces the segment to disk.
+    pub(crate) fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()?;
+        self.unsynced = 0;
+        Ok(())
+    }
+
+    /// Called after a checkpoint at `epoch` became durable: seals the
+    /// current segment (if it has records), starts the next one, and
+    /// deletes every sealed segment fully covered by the checkpoint.
+    pub(crate) fn compact(&mut self, epoch: u64) -> io::Result<()> {
+        if let Some(max) = self.max_epoch {
+            self.sync()?;
+            let next = Wal::create(&self.dir, self.policy, self.seq + 1)?;
+            let old = std::mem::replace(self, next);
+            self.sealed = old.sealed;
+            self.sealed.push(SealedSegment {
+                path: old.path,
+                max_epoch: max,
+            });
+        }
+        self.sealed.retain(|s| {
+            if s.max_epoch <= epoch {
+                let _ = fs::remove_file(&s.path); // best-effort: a survivor is re-covered next time
+                false
+            } else {
+                true
+            }
+        });
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rxview_relstore::tuple;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("rxview-wal-test-{tag}-{}-{n}", std::process::id()));
+        fs::create_dir_all(&dir).expect("temp dir");
+        dir
+    }
+
+    fn sample_updates() -> Vec<LoggedUpdate> {
+        vec![
+            (
+                XmlUpdate::delete("node[id=3]/sub/node[id=7]").unwrap(),
+                SideEffectPolicy::Proceed,
+            ),
+            (
+                XmlUpdate::insert("node", tuple![9i64, 1i64], "node[id=3]/sub").unwrap(),
+                SideEffectPolicy::Abort,
+            ),
+        ]
+    }
+
+    #[test]
+    fn append_scan_round_trips() {
+        let dir = temp_dir("roundtrip");
+        let mut wal = Wal::create(&dir, Durability::PerRound, 0).unwrap();
+        wal.append(1, &sample_updates()).unwrap();
+        wal.append(2, &[]).unwrap(); // all-rejected round: epoch only
+        wal.append(3, &sample_updates()[..1]).unwrap();
+        let segs = list_segments(&dir).unwrap();
+        assert_eq!(segs.len(), 1);
+        let scan = scan_segment(&segs[0].1).unwrap();
+        assert_eq!(scan.discarded, 0);
+        assert_eq!(
+            scan.records.iter().map(|r| r.epoch).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        assert_eq!(scan.records[0].updates, sample_updates());
+        assert!(scan.records[1].updates.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_discarded_at_every_boundary() {
+        let dir = temp_dir("torn");
+        let mut wal = Wal::create(&dir, Durability::PerRound, 0).unwrap();
+        wal.append(1, &sample_updates()).unwrap();
+        wal.append(2, &sample_updates()[1..]).unwrap();
+        let path = list_segments(&dir).unwrap()[0].1.clone();
+        let full = fs::read(&path).unwrap();
+        let record2 = encode_record(2, &sample_updates()[1..]);
+        let rec2_start = full.len() - record2.len();
+        for cut in rec2_start..full.len() {
+            fs::write(&path, &full[..cut]).unwrap();
+            let scan = scan_segment(&path).unwrap();
+            assert_eq!(scan.records.len(), 1, "cut at {cut}");
+            assert_eq!(scan.records[0].epoch, 1);
+            assert_eq!(scan.discarded, (cut - rec2_start) as u64);
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_byte_in_last_record_never_panics() {
+        let dir = temp_dir("corrupt");
+        let mut wal = Wal::create(&dir, Durability::PerRound, 0).unwrap();
+        wal.append(1, &sample_updates()).unwrap();
+        wal.append(2, &sample_updates()).unwrap();
+        let path = list_segments(&dir).unwrap()[0].1.clone();
+        let full = fs::read(&path).unwrap();
+        let record = encode_record(2, &sample_updates());
+        let start = full.len() - record.len();
+        for i in start..full.len() {
+            let mut bytes = full.clone();
+            bytes[i] ^= 0x5A;
+            fs::write(&path, &bytes).unwrap();
+            let scan = scan_segment(&path).unwrap();
+            // The flipped record (or its frame) must not survive as epoch 2
+            // with altered content unless the flip landed in the length
+            // field and re-framed to garbage — either way, epoch 1 is intact
+            // and nothing panicked.
+            assert_eq!(scan.records[0].epoch, 1, "flip at {i}");
+            assert!(scan.records.len() <= 2);
+            if scan.records.len() == 2 {
+                // Only reachable if the flip produced a frame whose CRC
+                // still matches its payload — i.e. the flip undid itself.
+                assert_eq!(scan.records[1].updates, sample_updates());
+            }
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_magic_discards_whole_file() {
+        let dir = temp_dir("magic");
+        let path = dir.join("wal-0000000000.rxlog");
+        fs::write(&path, b"not a log").unwrap();
+        let scan = scan_segment(&path).unwrap();
+        assert!(scan.records.is_empty());
+        assert_eq!(scan.discarded, 9);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compact_rotates_and_deletes_covered_segments() {
+        let dir = temp_dir("compact");
+        let mut wal = Wal::create(&dir, Durability::PerRound, 0).unwrap();
+        wal.append(1, &[]).unwrap();
+        wal.append(2, &[]).unwrap();
+        // Checkpoint at epoch 2 covers everything written so far.
+        wal.compact(2).unwrap();
+        assert_eq!(list_segments(&dir).unwrap().len(), 1, "old segment gone");
+        wal.append(3, &[]).unwrap();
+        // Checkpoint at epoch 2 again: segment with epoch 3 must survive.
+        wal.compact(2).unwrap();
+        let segs = list_segments(&dir).unwrap();
+        assert_eq!(segs.len(), 2, "uncovered sealed segment kept + fresh one");
+        wal.compact(3).unwrap();
+        assert_eq!(list_segments(&dir).unwrap().len(), 1);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn every_n_counts_syncs() {
+        let dir = temp_dir("everyn");
+        let mut wal = Wal::create(&dir, Durability::EveryN(3), 0).unwrap();
+        let mut syncs = 0;
+        for epoch in 1..=7 {
+            let (_, synced) = wal.append(epoch, &[]).unwrap();
+            syncs += u64::from(synced);
+        }
+        assert_eq!(syncs, 2, "7 appends at EveryN(3) sync twice");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,559 @@
+//! The crash-recovery battery for the durability subsystem.
+//!
+//! The invariant under test, end to end: **a recovered engine is
+//! observationally equivalent to a sequential oracle replay of the
+//! acknowledged, durable prefix of the update history** — no matter when
+//! the crash happened, which write path (single-writer, sharded, global
+//! lane) committed the rounds, where checkpoints interleaved, or how the
+//! log's tail was torn or corrupted.
+//!
+//! "Crash" is simulated by dropping the engine without any graceful
+//! shutdown and recovering from its directory; torn-tail tests additionally
+//! rewrite the log file byte by byte, the way a real power cut truncates an
+//! in-flight append.
+
+use rxview_core::{SideEffectPolicy, XmlUpdate, XmlViewSystem};
+use rxview_engine::{Durability, Engine, EngineConfig, RecoverError};
+use rxview_workload::{
+    assert_observationally_equal, base_fingerprint, edge_fingerprint, mixed_updates, synthetic_atg,
+    synthetic_database, SyntheticConfig,
+};
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use proptest::prelude::*;
+
+fn system(n: usize, seed: u64) -> (XmlViewSystem, rxview_atg::Atg) {
+    let mut cfg = SyntheticConfig::with_size(n);
+    cfg.seed = seed;
+    let db = synthetic_database(&cfg);
+    let atg = synthetic_atg(&db).expect("valid ATG");
+    let sys = XmlViewSystem::new(atg.clone(), db).expect("publishes");
+    (sys, atg)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+    let n = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    let dir =
+        std::env::temp_dir().join(format!("rxview-recovery-{tag}-{}-{n}", std::process::id()));
+    fs::create_dir_all(&dir).expect("temp dir");
+    dir
+}
+
+fn copy_dir(src: &Path, tag: &str) -> PathBuf {
+    let dst = temp_dir(tag);
+    for entry in fs::read_dir(src).expect("read dir") {
+        let entry = entry.expect("dir entry");
+        fs::copy(entry.path(), dst.join(entry.file_name())).expect("copy file");
+    }
+    dst
+}
+
+fn durable_config(n_shards: usize, checkpoint_rounds: u64) -> EngineConfig {
+    EngineConfig {
+        n_shards,
+        durability: Durability::PerRound,
+        checkpoint_rounds,
+        ..EngineConfig::default()
+    }
+}
+
+/// One guaranteed-deletable edge path per group — `node[id=h]/sub/node[id=c]`
+/// for the group head's first `H` child whose edge the published view
+/// actually contains (the same selection `tests/concurrent.rs` uses).
+fn group_edge_deletions(sys: &XmlViewSystem, n: i64) -> Vec<XmlUpdate> {
+    use rxview_relstore::Value;
+    let h = sys.base().table("H").expect("H table");
+    (0..n / 40)
+        .filter_map(|g| {
+            let head = g * 40;
+            let prefix = [Value::Int(head)];
+            let row = h.scan_key_prefix(&prefix).next()?;
+            let child = row[1].as_int().expect("int h2");
+            let u = XmlUpdate::delete(&format!("node[id={head}]/sub/node[id={child}]"))
+                .expect("parses");
+            (!sys.evaluate(u.path()).is_empty()).then_some(u)
+        })
+        .collect()
+}
+
+/// Read-only recovery (leaves the directory untouched, so one crashed
+/// directory can be recovered repeatedly).
+fn recover_readonly(atg: &rxview_atg::Atg, dir: &Path) -> (Engine, rxview_engine::RecoveryReport) {
+    Engine::recover(
+        atg.clone(),
+        dir,
+        EngineConfig {
+            durability: Durability::Off,
+            ..EngineConfig::default()
+        },
+    )
+    .expect("recovery succeeds")
+}
+
+// ---------------------------------------------------------------------------
+// 1. Crash-recovery property: kill after an arbitrary round, recover,
+//    compare against the acknowledged-prefix oracle.
+// ---------------------------------------------------------------------------
+
+fn check_crash_recovery(
+    seed: u64,
+    flips: &[bool],
+    n_shards: usize,
+    kill_after_chunks: usize,
+    checkpoint_rounds: u64,
+) -> Result<(), String> {
+    let (sys, atg) = system(220, seed);
+    let ops = mixed_updates(&sys, seed ^ 0xD00D, flips);
+    if ops.is_empty() {
+        return Ok(());
+    }
+    let dir = temp_dir("prop");
+
+    // The engine under test: durable, killed mid-history.
+    let engine = Engine::with_durability(
+        sys.clone(),
+        durable_config(n_shards, checkpoint_rounds),
+        &dir,
+    )
+    .map_err(|e| format!("with_durability: {e}"))?;
+    let chunks: Vec<&[XmlUpdate]> = ops.chunks(5).collect();
+    let committed = chunks.len().min(kill_after_chunks.max(1));
+    let mut acknowledged: Vec<(XmlUpdate, bool)> = Vec::new();
+    for chunk in &chunks[..committed] {
+        let tickets: Vec<_> = chunk
+            .iter()
+            .map(|u| {
+                engine
+                    .submit(u.clone(), SideEffectPolicy::Proceed)
+                    .expect("queue not full")
+            })
+            .collect();
+        engine.commit_pending();
+        for (u, t) in chunk.iter().zip(tickets) {
+            acknowledged.push((u.clone(), t.wait().is_ok()));
+        }
+    }
+    let epoch_at_kill = engine.snapshot().epoch();
+    drop(engine); // the crash: no sync, no checkpoint, no farewell
+
+    // Oracle: sequential replay of the acknowledged history.
+    let mut oracle = sys;
+    for (u, accepted) in &acknowledged {
+        let outcome = oracle.apply(u, SideEffectPolicy::Proceed);
+        if outcome.is_ok() != *accepted {
+            return Err(format!(
+                "oracle acceptance diverged from engine for `{u}` (engine {accepted})"
+            ));
+        }
+    }
+
+    // Recover and compare.
+    let (recovered, report) = Engine::recover(
+        atg.clone(),
+        &dir,
+        durable_config(n_shards, checkpoint_rounds),
+    )
+    .map_err(|e| format!("recover: {e}"))?;
+    if report.replay_rejected != 0 {
+        return Err(format!(
+            "{} acknowledged updates were rejected on replay",
+            report.replay_rejected
+        ));
+    }
+    if report.resumed_epoch != epoch_at_kill {
+        return Err(format!(
+            "resumed at epoch {} but the engine died at {epoch_at_kill}",
+            report.resumed_epoch
+        ));
+    }
+    let snap = recovered.snapshot();
+    if snap.epoch() != epoch_at_kill {
+        return Err("recovered snapshot epoch mismatch".into());
+    }
+    if base_fingerprint(&oracle) != base_fingerprint(snap.system()) {
+        return Err("recovered base database diverged from oracle".into());
+    }
+    if edge_fingerprint(&oracle) != edge_fingerprint(snap.system()) {
+        return Err("recovered view diverged from oracle".into());
+    }
+    snap.system()
+        .consistency_check()
+        .map_err(|e| format!("recovered state fails republication oracle: {e}"))?;
+
+    // The recovered engine keeps serving correctly: run the uncommitted
+    // suffix through it and through the oracle; they must stay equivalent.
+    drop(snap);
+    let rest: Vec<XmlUpdate> = chunks[committed..]
+        .iter()
+        .flat_map(|c| c.to_vec())
+        .collect();
+    if !rest.is_empty() {
+        let tickets: Vec<_> = rest
+            .iter()
+            .map(|u| {
+                recovered
+                    .submit(u.clone(), SideEffectPolicy::Proceed)
+                    .expect("queue not full")
+            })
+            .collect();
+        recovered.commit_pending();
+        for (u, t) in rest.iter().zip(tickets) {
+            let engine_ok = t.wait().is_ok();
+            let oracle_ok = oracle.apply(u, SideEffectPolicy::Proceed).is_ok();
+            if engine_ok != oracle_ok {
+                return Err(format!("post-recovery acceptance diverged for `{u}`"));
+            }
+        }
+        let snap = recovered.snapshot();
+        if edge_fingerprint(&oracle) != edge_fingerprint(snap.system()) {
+            return Err("post-recovery view diverged".into());
+        }
+    }
+    drop(recovered);
+    let _ = fs::remove_dir_all(&dir);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random mixed workloads, random kill points, both write paths:
+    /// recovery reproduces exactly the acknowledged prefix.
+    #[test]
+    fn recovery_equals_acknowledged_prefix_oracle(
+        seed in 0u64..500,
+        flips in prop::collection::vec(any::<bool>(), 10..22),
+        n_shards in 1usize..5,
+        kill_after_chunks in 1usize..6,
+        checkpoint_rounds in 0u64..4,
+    ) {
+        if let Err(e) = check_crash_recovery(seed, &flips, n_shards, kill_after_chunks, checkpoint_rounds) {
+            return Err(TestCaseError::fail(e));
+        }
+    }
+}
+
+/// Deterministic large-ish case across the sharded path (multi-round
+/// commits, global-lane traffic, background checkpoints every 2 epochs).
+#[test]
+fn sharded_crash_recovery_deterministic() {
+    let flips: Vec<bool> = (0..30).map(|i| i % 3 == 0).collect();
+    check_crash_recovery(42, &flips, 4, 3, 2).unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// 2. Torn tails: truncate / corrupt the final record at every byte.
+// ---------------------------------------------------------------------------
+
+/// Commits `rounds` single-batch rounds on a durable engine, recording the
+/// observational fingerprint after each epoch. Returns the directory and
+/// the per-epoch fingerprints (index 0 = epoch 0, the initial state).
+#[allow(clippy::type_complexity)]
+fn build_logged_history(
+    rounds: usize,
+) -> (
+    PathBuf,
+    rxview_atg::Atg,
+    Vec<(BTreeSet<(String, String)>, BTreeSet<(String, String)>)>,
+) {
+    let (sys, atg) = system(400, 9);
+    let deletions = group_edge_deletions(&sys, 400);
+    assert!(deletions.len() >= rounds, "enough deletable group edges");
+    let dir = temp_dir("torn");
+    // No automatic checkpoints: the whole history lives in one segment.
+    let engine = Engine::with_durability(sys, durable_config(1, 0), &dir).expect("durable engine");
+    let mut fingerprints = Vec::new();
+    let snap = engine.snapshot();
+    fingerprints.push((
+        base_fingerprint(snap.system()),
+        edge_fingerprint(snap.system()),
+    ));
+    drop(snap);
+    // One deletion per round against distinct group cones: every commit is
+    // one conflict-free batch, i.e. exactly one epoch and one log record.
+    for (r, u) in deletions.into_iter().take(rounds).enumerate() {
+        let t = engine
+            .submit(u, SideEffectPolicy::Proceed)
+            .expect("queue not full");
+        engine.commit_pending();
+        t.wait().expect("group-edge deletion commits");
+        let snap = engine.snapshot();
+        assert_eq!(snap.epoch(), (r + 1) as u64, "one epoch per round");
+        fingerprints.push((
+            base_fingerprint(snap.system()),
+            edge_fingerprint(snap.system()),
+        ));
+    }
+    drop(engine);
+    (dir, atg, fingerprints)
+}
+
+fn the_only_segment(dir: &Path) -> PathBuf {
+    let mut segs: Vec<PathBuf> = fs::read_dir(dir)
+        .expect("read dir")
+        .filter_map(|e| {
+            let p = e.expect("entry").path();
+            p.file_name()
+                .is_some_and(|n| n.to_string_lossy().ends_with(".rxlog"))
+                .then_some(p)
+        })
+        .collect();
+    assert_eq!(segs.len(), 1, "history must live in one segment");
+    segs.pop().expect("one segment")
+}
+
+#[test]
+fn torn_tail_recovers_last_complete_round_at_every_byte_boundary() {
+    let rounds = 3;
+    let (dir, atg, fingerprints) = build_logged_history(rounds);
+    let seg_path = the_only_segment(&dir);
+    let full = fs::read(&seg_path).expect("read segment");
+
+    // Locate record boundaries by walking the frames ([u32 len][u32 crc]).
+    let mut boundaries = vec![8usize]; // after the magic
+    let mut pos = 8usize;
+    while pos + 8 <= full.len() {
+        let len = u32::from_le_bytes(full[pos..pos + 4].try_into().unwrap()) as usize;
+        pos += 8 + len;
+        boundaries.push(pos);
+    }
+    assert_eq!(boundaries.len(), rounds + 1, "one record per round");
+    assert_eq!(*boundaries.last().unwrap(), full.len());
+
+    // Truncate at EVERY byte of the log and recover each time.
+    for cut in 8..=full.len() {
+        fs::write(&seg_path, &full[..cut]).expect("truncate");
+        let (engine, report) = recover_readonly(&atg, &dir);
+        let complete = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+        assert_eq!(
+            report.resumed_epoch, complete as u64,
+            "cut at {cut}: must resume at the last checksummed-complete round"
+        );
+        assert_eq!(
+            report.discarded_bytes,
+            (cut - boundaries[complete]) as u64,
+            "cut at {cut}: discarded suffix reported"
+        );
+        assert_eq!(
+            report.torn_segments,
+            usize::from(cut != boundaries[complete])
+        );
+        assert_eq!(report.replay_rejected, 0);
+        let snap = engine.snapshot();
+        assert_eq!(snap.epoch(), complete as u64);
+        let (base, edges) = &fingerprints[complete];
+        assert_eq!(&base_fingerprint(snap.system()), base, "cut at {cut}");
+        assert_eq!(&edge_fingerprint(snap.system()), edges, "cut at {cut}");
+        snap.system().consistency_check().expect("consistent");
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupt_final_record_recovers_prefix_never_panics() {
+    let rounds = 3;
+    let (dir, atg, fingerprints) = build_logged_history(rounds);
+    let seg_path = the_only_segment(&dir);
+    let full = fs::read(&seg_path).expect("read segment");
+    let mut pos = 8usize;
+    for _ in 0..rounds - 1 {
+        let len = u32::from_le_bytes(full[pos..pos + 4].try_into().unwrap()) as usize;
+        pos += 8 + len;
+    }
+    let last_record_start = pos;
+
+    // Flip every byte of the final record, one at a time.
+    for i in last_record_start..full.len() {
+        let mut bytes = full.clone();
+        bytes[i] ^= 0xA5;
+        fs::write(&seg_path, &bytes).expect("corrupt");
+        let (engine, report) = recover_readonly(&atg, &dir);
+        // The CRC (or the frame) rejects the flipped record: recovery lands
+        // on the previous round.
+        assert_eq!(
+            report.resumed_epoch,
+            (rounds - 1) as u64,
+            "flip at byte {i}"
+        );
+        assert!(report.discarded_bytes > 0, "flip at byte {i}");
+        let snap = engine.snapshot();
+        let (base, edges) = &fingerprints[rounds - 1];
+        assert_eq!(&base_fingerprint(snap.system()), base, "flip at byte {i}");
+        assert_eq!(&edge_fingerprint(snap.system()), edges, "flip at byte {i}");
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// 3. Checkpoint / replay interleaving.
+// ---------------------------------------------------------------------------
+
+/// Checkpoints taken at several epochs mid-workload: recovery from a copy
+/// of the directory at each stage must land on exactly that stage's state
+/// (prefix-complete, epoch-monotonic), anchoring on the newest checkpoint
+/// at or below the stage's epoch and replaying only the suffix.
+#[test]
+fn checkpoint_interleaving_recovers_every_stage() {
+    let (sys, atg) = system(400, 23);
+    let deletions = group_edge_deletions(&sys, 400);
+    assert!(deletions.len() >= 5, "enough deletable group edges");
+    let dir = temp_dir("interleave");
+    let engine = Engine::with_durability(sys, durable_config(2, 0), &dir).expect("durable engine");
+
+    type Stage = (PathBuf, u64, BTreeSet<(String, String)>);
+    let mut stages: Vec<Stage> = Vec::new();
+    let mut checkpointed_at: Vec<u64> = vec![0];
+    for (r, u) in deletions.into_iter().take(5).enumerate() {
+        let t = engine
+            .submit(u, SideEffectPolicy::Proceed)
+            .expect("queue not full");
+        engine.commit_pending();
+        t.wait().expect("group deletion commits");
+        if r == 1 || r == 3 {
+            // Mid-workload fuzzy checkpoints (synchronous here so the copy
+            // below deterministically contains them).
+            let at = engine.checkpoint_now().expect("checkpoint");
+            assert_eq!(at, engine.snapshot().epoch());
+            checkpointed_at.push(at);
+        }
+        let snap = engine.snapshot();
+        stages.push((
+            copy_dir(&dir, "stage"),
+            snap.epoch(),
+            edge_fingerprint(snap.system()),
+        ));
+    }
+    drop(engine);
+
+    let mut last_epoch = 0;
+    for (stage_dir, epoch, edges) in &stages {
+        let (engine, report) = recover_readonly(&atg, stage_dir);
+        // Epoch monotonicity across the stage sequence.
+        assert!(*epoch >= last_epoch);
+        last_epoch = *epoch;
+        assert_eq!(report.resumed_epoch, *epoch, "stage at epoch {epoch}");
+        // The anchor is the newest checkpoint at or below this stage.
+        let expect_anchor = checkpointed_at
+            .iter()
+            .copied()
+            .filter(|&c| c <= *epoch)
+            .max()
+            .expect("initial checkpoint");
+        assert_eq!(report.checkpoint_epoch, expect_anchor);
+        // Only the suffix past the anchor replays.
+        assert_eq!(
+            report.replayed_rounds,
+            (*epoch - expect_anchor) as usize,
+            "stage at epoch {epoch}"
+        );
+        // Prefix-complete: the recovered view is exactly the stage's.
+        let snap = engine.snapshot();
+        assert_eq!(&edge_fingerprint(snap.system()), edges);
+        snap.system().consistency_check().expect("consistent");
+        drop(snap);
+        drop(engine);
+        let _ = fs::remove_dir_all(stage_dir);
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Checkpoint compaction truncates covered segments, and recovery after
+/// compaction still reproduces the full history (checkpoint + short
+/// suffix, not the deleted prefix).
+#[test]
+fn compaction_after_checkpoint_preserves_recoverability() {
+    let (sys, atg) = system(400, 31);
+    let dir = temp_dir("compact");
+    let engine =
+        Engine::with_durability(sys.clone(), durable_config(1, 0), &dir).expect("durable engine");
+    let deletions = group_edge_deletions(&sys, 400);
+    assert!(deletions.len() >= 4, "enough deletable group edges");
+    let mut oracle = sys;
+    for (r, u) in deletions.into_iter().take(4).enumerate() {
+        let t = engine
+            .submit(u.clone(), SideEffectPolicy::Proceed)
+            .expect("queue not full");
+        engine.commit_pending();
+        t.wait().expect("commits");
+        oracle
+            .apply(&u, SideEffectPolicy::Proceed)
+            .expect("oracle agrees");
+        if r == 2 {
+            engine.checkpoint_now().expect("checkpoint");
+        }
+    }
+    drop(engine);
+    let (recovered, report) = recover_readonly(&atg, &dir);
+    assert_eq!(report.checkpoint_epoch, 3);
+    assert_eq!(report.replayed_rounds, 1, "only the post-checkpoint suffix");
+    assert_eq!(
+        report.skipped_rounds, 0,
+        "covered records were compacted away"
+    );
+    assert_eq!(report.resumed_epoch, 4);
+    assert_observationally_equal(&oracle, recovered.snapshot().system(), "after compaction");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+// ---------------------------------------------------------------------------
+// 4. Directory hygiene.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn recover_requires_a_checkpoint_and_with_durability_a_fresh_dir() {
+    let (sys, atg) = system(120, 3);
+    // Empty directory: nothing to anchor on.
+    let empty = temp_dir("empty");
+    match Engine::recover(atg.clone(), &empty, EngineConfig::default()) {
+        Err(RecoverError::NoCheckpoint) => {}
+        other => panic!("expected NoCheckpoint, got {other:?}"),
+    }
+    // A used directory refuses a fresh durable engine.
+    let dir = temp_dir("used");
+    let engine =
+        Engine::with_durability(sys.clone(), durable_config(1, 0), &dir).expect("first engine");
+    drop(engine);
+    assert!(
+        Engine::with_durability(sys, durable_config(1, 0), &dir).is_err(),
+        "existing log directory must route through Engine::recover"
+    );
+    let _ = fs::remove_dir_all(&empty);
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Recovering with durability on re-anchors the directory (fresh checkpoint
+/// + empty log) and is idempotent: recover∘recover = recover.
+#[test]
+fn durable_recovery_is_idempotent() {
+    let (sys, atg) = system(400, 5);
+    let dir = temp_dir("idem");
+    let deletions = group_edge_deletions(&sys, 400);
+    assert!(deletions.len() >= 3, "enough deletable group edges");
+    let engine = Engine::with_durability(sys, durable_config(1, 0), &dir).expect("engine");
+    for u in deletions.into_iter().take(3) {
+        let t = engine
+            .submit(u, SideEffectPolicy::Proceed)
+            .expect("submits");
+        engine.commit_pending();
+        t.wait().expect("commits");
+    }
+    drop(engine);
+
+    let (first, r1) = Engine::recover(atg.clone(), &dir, durable_config(1, 0)).expect("recover 1");
+    assert_eq!(r1.resumed_epoch, 3);
+    let edges = edge_fingerprint(first.snapshot().system());
+    drop(first);
+
+    let (second, r2) = Engine::recover(atg, &dir, durable_config(1, 0)).expect("recover 2");
+    assert_eq!(r2.resumed_epoch, 3);
+    assert_eq!(
+        r2.replayed_rounds, 0,
+        "second recovery anchors on the re-checkpointed state"
+    );
+    assert_eq!(edge_fingerprint(second.snapshot().system()), edges);
+    drop(second);
+    let _ = fs::remove_dir_all(&dir);
+}

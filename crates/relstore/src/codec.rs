@@ -1,0 +1,661 @@
+//! Hand-rolled binary codec for the relational layer.
+//!
+//! The container this workspace builds in has no registry access, so there
+//! is no `serde`/`bincode`; durability is built on an explicit, versioned
+//! little-endian format instead. This module provides the byte-level
+//! primitives (LEB128 varints, zigzag integers, length-prefixed byte
+//! strings, CRC-32) and the encodings of every relational type a durability
+//! subsystem has to persist: [`Value`], [`Tuple`], [`TupleOp`],
+//! [`GroupUpdate`] (the paper's `∆R`), [`TableSchema`], [`Table`], and
+//! [`Database`].
+//!
+//! Conventions, shared by every `encode_*`/`decode_*` pair:
+//!
+//! - unsigned integers are LEB128 varints; signed integers are zigzag-coded
+//!   first, so small magnitudes stay small on disk;
+//! - strings and tuples are length-prefixed, never delimited;
+//! - every enum is a one-byte tag followed by its payload;
+//! - decoding is total: any byte sequence either decodes or returns a
+//!   [`CodecError`] — corrupt input must never panic, because the recovery
+//!   path feeds torn log tails straight into these functions.
+//!
+//! The on-disk format is pinned by golden-byte tests (see
+//! `crates/core/tests/codec_roundtrip.rs`); change it only with a new
+//! version tag in the enclosing file headers.
+
+use crate::schema::{ColumnDef, TableSchema};
+use crate::table::Table;
+use crate::tuple::Tuple;
+use crate::update::{GroupUpdate, TupleOp};
+use crate::value::{Domain, Value, ValueType};
+use crate::Database;
+use std::fmt;
+
+/// Why a byte sequence failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before the value it promised.
+    Truncated,
+    /// The bytes decoded structurally but describe an invalid value.
+    Invalid(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated => write!(f, "input truncated mid-value"),
+            CodecError::Invalid(what) => write!(f, "invalid encoding: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Shorthand for decode results.
+pub type CodecResult<T> = Result<T, CodecError>;
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, the zlib polynomial) for record checksums.
+// ---------------------------------------------------------------------------
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// CRC-32 (IEEE) of `bytes` — the checksum guarding every WAL record and
+/// checkpoint payload against torn writes and bit rot.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Primitives.
+// ---------------------------------------------------------------------------
+
+/// Appends a LEB128 varint.
+pub fn put_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7F) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Appends a zigzag-coded signed varint.
+pub fn put_varint_i64(out: &mut Vec<u8>, v: i64) {
+    put_varint(out, ((v << 1) ^ (v >> 63)) as u64);
+}
+
+/// Appends a length-prefixed byte string.
+pub fn put_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    put_varint(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+/// Appends a length-prefixed UTF-8 string.
+pub fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_bytes(out, s.as_bytes());
+}
+
+/// A bounds-checked cursor over an immutable byte slice. All `read_*`
+/// methods advance the cursor on success and leave it unspecified on error
+/// (decoders abandon the reader once any error surfaces).
+#[derive(Debug)]
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// A reader over the whole slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes consumed so far.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Bytes left.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&mut self) -> CodecResult<u8> {
+        let b = *self.buf.get(self.pos).ok_or(CodecError::Truncated)?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn read_slice(&mut self, n: usize) -> CodecResult<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(CodecError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads a LEB128 varint (max 10 bytes).
+    pub fn read_varint(&mut self) -> CodecResult<u64> {
+        let mut v = 0u64;
+        for shift in (0..64).step_by(7) {
+            let b = self.read_u8()?;
+            v |= ((b & 0x7F) as u64) << shift;
+            if b & 0x80 == 0 {
+                return Ok(v);
+            }
+        }
+        Err(CodecError::Invalid("varint longer than 10 bytes".into()))
+    }
+
+    /// Reads a zigzag-coded signed varint.
+    pub fn read_varint_i64(&mut self) -> CodecResult<i64> {
+        let z = self.read_varint()?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+
+    /// Reads a length-prefixed byte string. The length is sanity-checked
+    /// against the remaining input before any allocation, so a corrupt
+    /// length cannot trigger a huge reservation.
+    pub fn read_bytes(&mut self) -> CodecResult<&'a [u8]> {
+        let n = self.read_varint()? as usize;
+        self.read_slice(n)
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn read_str(&mut self) -> CodecResult<&'a str> {
+        std::str::from_utf8(self.read_bytes()?)
+            .map_err(|_| CodecError::Invalid("string is not UTF-8".into()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Values and tuples.
+// ---------------------------------------------------------------------------
+
+const TAG_INT: u8 = 0;
+const TAG_STR: u8 = 1;
+const TAG_BOOL_FALSE: u8 = 2;
+const TAG_BOOL_TRUE: u8 = 3;
+
+/// Encodes a [`Value`] (tag byte + payload).
+pub fn put_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Int(i) => {
+            out.push(TAG_INT);
+            put_varint_i64(out, *i);
+        }
+        Value::Str(s) => {
+            out.push(TAG_STR);
+            put_str(out, s);
+        }
+        Value::Bool(false) => out.push(TAG_BOOL_FALSE),
+        Value::Bool(true) => out.push(TAG_BOOL_TRUE),
+    }
+}
+
+/// Decodes a [`Value`].
+pub fn read_value(r: &mut Reader<'_>) -> CodecResult<Value> {
+    match r.read_u8()? {
+        TAG_INT => Ok(Value::Int(r.read_varint_i64()?)),
+        TAG_STR => Ok(Value::Str(r.read_str()?.to_owned())),
+        TAG_BOOL_FALSE => Ok(Value::Bool(false)),
+        TAG_BOOL_TRUE => Ok(Value::Bool(true)),
+        t => Err(CodecError::Invalid(format!("unknown value tag {t}"))),
+    }
+}
+
+/// Encodes a [`Tuple`] (arity + values).
+pub fn put_tuple(out: &mut Vec<u8>, t: &Tuple) {
+    put_varint(out, t.arity() as u64);
+    for v in t.iter() {
+        put_value(out, v);
+    }
+}
+
+/// Decodes a [`Tuple`].
+pub fn read_tuple(r: &mut Reader<'_>) -> CodecResult<Tuple> {
+    let n = r.read_varint()? as usize;
+    if n > r.remaining() {
+        // Each value takes at least one byte: an arity beyond the input is
+        // corrupt, and rejecting it here avoids a bogus huge allocation.
+        return Err(CodecError::Truncated);
+    }
+    let mut values = Vec::with_capacity(n);
+    for _ in 0..n {
+        values.push(read_value(r)?);
+    }
+    Ok(Tuple::from_values(values))
+}
+
+// ---------------------------------------------------------------------------
+// Group updates (∆R).
+// ---------------------------------------------------------------------------
+
+const TAG_OP_INSERT: u8 = 0;
+const TAG_OP_DELETE: u8 = 1;
+
+/// Encodes a [`TupleOp`].
+pub fn put_tuple_op(out: &mut Vec<u8>, op: &TupleOp) {
+    match op {
+        TupleOp::Insert { table, tuple } => {
+            out.push(TAG_OP_INSERT);
+            put_str(out, table);
+            put_tuple(out, tuple);
+        }
+        TupleOp::Delete { table, key } => {
+            out.push(TAG_OP_DELETE);
+            put_str(out, table);
+            put_tuple(out, key);
+        }
+    }
+}
+
+/// Decodes a [`TupleOp`].
+pub fn read_tuple_op(r: &mut Reader<'_>) -> CodecResult<TupleOp> {
+    let tag = r.read_u8()?;
+    let table = r.read_str()?.to_owned();
+    let tuple = read_tuple(r)?;
+    match tag {
+        TAG_OP_INSERT => Ok(TupleOp::Insert { table, tuple }),
+        TAG_OP_DELETE => Ok(TupleOp::Delete { table, key: tuple }),
+        t => Err(CodecError::Invalid(format!("unknown tuple-op tag {t}"))),
+    }
+}
+
+impl GroupUpdate {
+    /// Appends this group's binary encoding (op count + ops, in submission
+    /// order) to `out`.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        put_varint(out, self.len() as u64);
+        for op in self.ops() {
+            put_tuple_op(out, op);
+        }
+    }
+
+    /// The group's binary encoding as a fresh buffer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Decodes a group from `r`. Exact inverse of [`GroupUpdate::encode`]
+    /// for any group (encoded ops are already deduplicated, so rebuilding
+    /// through [`GroupUpdate::push`] preserves them verbatim).
+    pub fn decode_from(r: &mut Reader<'_>) -> CodecResult<Self> {
+        let n = r.read_varint()? as usize;
+        if n > r.remaining() {
+            return Err(CodecError::Truncated);
+        }
+        let mut g = GroupUpdate::new();
+        for _ in 0..n {
+            g.push(read_tuple_op(r)?);
+        }
+        Ok(g)
+    }
+
+    /// Decodes a group from a standalone buffer, requiring every byte to be
+    /// consumed.
+    pub fn decode(bytes: &[u8]) -> CodecResult<Self> {
+        let mut r = Reader::new(bytes);
+        let g = GroupUpdate::decode_from(&mut r)?;
+        if !r.is_empty() {
+            return Err(CodecError::Invalid(format!(
+                "{} trailing bytes after group update",
+                r.remaining()
+            )));
+        }
+        Ok(g)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Schemas, tables, databases (checkpoint payloads).
+// ---------------------------------------------------------------------------
+
+const TAG_TY_INT: u8 = 0;
+const TAG_TY_STR: u8 = 1;
+const TAG_TY_BOOL: u8 = 2;
+const TAG_DOM_INFINITE: u8 = 0;
+const TAG_DOM_FINITE: u8 = 1;
+
+fn put_value_type(out: &mut Vec<u8>, ty: ValueType) {
+    out.push(match ty {
+        ValueType::Int => TAG_TY_INT,
+        ValueType::Str => TAG_TY_STR,
+        ValueType::Bool => TAG_TY_BOOL,
+    });
+}
+
+fn read_value_type(r: &mut Reader<'_>) -> CodecResult<ValueType> {
+    match r.read_u8()? {
+        TAG_TY_INT => Ok(ValueType::Int),
+        TAG_TY_STR => Ok(ValueType::Str),
+        TAG_TY_BOOL => Ok(ValueType::Bool),
+        t => Err(CodecError::Invalid(format!("unknown value-type tag {t}"))),
+    }
+}
+
+/// Encodes a [`TableSchema`] (name, columns with domains, key positions).
+pub fn put_schema(out: &mut Vec<u8>, schema: &TableSchema) {
+    put_str(out, schema.name());
+    put_varint(out, schema.arity() as u64);
+    for col in schema.columns() {
+        put_str(out, &col.name);
+        put_value_type(out, col.ty);
+        match &col.domain {
+            Domain::Infinite => out.push(TAG_DOM_INFINITE),
+            Domain::Finite(vs) => {
+                out.push(TAG_DOM_FINITE);
+                put_varint(out, vs.len() as u64);
+                for v in vs {
+                    put_value(out, v);
+                }
+            }
+        }
+    }
+    put_varint(out, schema.key().len() as u64);
+    for &k in schema.key() {
+        put_varint(out, k as u64);
+    }
+}
+
+/// Decodes a [`TableSchema`].
+pub fn read_schema(r: &mut Reader<'_>) -> CodecResult<TableSchema> {
+    let name = r.read_str()?.to_owned();
+    let arity = r.read_varint()? as usize;
+    if arity > r.remaining() {
+        return Err(CodecError::Truncated);
+    }
+    let mut columns = Vec::with_capacity(arity);
+    for _ in 0..arity {
+        let cname = r.read_str()?.to_owned();
+        let ty = read_value_type(r)?;
+        let domain = match r.read_u8()? {
+            TAG_DOM_INFINITE => Domain::Infinite,
+            TAG_DOM_FINITE => {
+                let n = r.read_varint()? as usize;
+                if n > r.remaining() {
+                    return Err(CodecError::Truncated);
+                }
+                let mut vs = Vec::with_capacity(n);
+                for _ in 0..n {
+                    vs.push(read_value(r)?);
+                }
+                Domain::Finite(vs)
+            }
+            t => return Err(CodecError::Invalid(format!("unknown domain tag {t}"))),
+        };
+        columns.push(ColumnDef::with_domain(cname, ty, domain));
+    }
+    let n_key = r.read_varint()? as usize;
+    if n_key == 0 || n_key > arity {
+        return Err(CodecError::Invalid(format!(
+            "schema `{name}` key has {n_key} columns for arity {arity}"
+        )));
+    }
+    let mut key = Vec::with_capacity(n_key);
+    let mut seen = std::collections::BTreeSet::new();
+    for _ in 0..n_key {
+        let k = r.read_varint()? as usize;
+        if k >= arity || !seen.insert(k) {
+            return Err(CodecError::Invalid(format!(
+                "schema `{name}` key column {k} out of range or duplicated"
+            )));
+        }
+        key.push(k);
+    }
+    // `TableSchema::new` panics on malformed inputs; everything it asserts
+    // was validated above, so this cannot fire on corrupt bytes.
+    Ok(TableSchema::new(name, columns, key))
+}
+
+/// Encodes a [`Table`] (schema + rows in key order).
+pub fn put_table(out: &mut Vec<u8>, table: &Table) {
+    put_schema(out, table.schema());
+    put_varint(out, table.len() as u64);
+    for row in table.iter() {
+        put_tuple(out, row);
+    }
+}
+
+/// Decodes a [`Table`]. Rows are checked against the schema on insertion,
+/// so a decoded table upholds the same invariants as a live one.
+pub fn read_table(r: &mut Reader<'_>) -> CodecResult<Table> {
+    let schema = read_schema(r)?;
+    let n = r.read_varint()? as usize;
+    if n > r.remaining() {
+        return Err(CodecError::Truncated);
+    }
+    let mut table = Table::new(schema);
+    for _ in 0..n {
+        let row = read_tuple(r)?;
+        table
+            .insert(row)
+            .map_err(|e| CodecError::Invalid(format!("row rejected by schema: {e}")))?;
+    }
+    Ok(table)
+}
+
+/// Encodes a whole [`Database`] (table count + tables, name order).
+pub fn put_database(out: &mut Vec<u8>, db: &Database) {
+    let names: Vec<&str> = db.table_names().collect();
+    put_varint(out, names.len() as u64);
+    for name in names {
+        put_table(out, db.table(name).expect("listed table exists"));
+    }
+}
+
+/// Decodes a whole [`Database`].
+pub fn read_database(r: &mut Reader<'_>) -> CodecResult<Database> {
+    let n = r.read_varint()? as usize;
+    if n > r.remaining() {
+        return Err(CodecError::Truncated);
+    }
+    let mut db = Database::new();
+    for _ in 0..n {
+        let table = read_table(r)?;
+        let name = table.schema().name().to_owned();
+        db.create_table(table.schema().clone())
+            .map_err(|e| CodecError::Invalid(format!("duplicate table `{name}`: {e}")))?;
+        let slot = db
+            .table_mut(&name)
+            .map_err(|e| CodecError::Invalid(e.to_string()))?;
+        *slot = table;
+    }
+    Ok(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::schema;
+    use crate::tuple;
+
+    #[test]
+    fn varints_round_trip() {
+        let mut out = Vec::new();
+        let cases = [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX];
+        for &v in &cases {
+            out.clear();
+            put_varint(&mut out, v);
+            let mut r = Reader::new(&out);
+            assert_eq!(r.read_varint().unwrap(), v);
+            assert!(r.is_empty());
+        }
+        for v in [0i64, -1, 1, i64::MIN, i64::MAX, -300] {
+            out.clear();
+            put_varint_i64(&mut out, v);
+            let mut r = Reader::new(&out);
+            assert_eq!(r.read_varint_i64().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn truncated_varint_errors() {
+        let mut r = Reader::new(&[0x80]);
+        assert_eq!(r.read_varint(), Err(CodecError::Truncated));
+        let mut r = Reader::new(&[0x80; 11]);
+        assert!(matches!(r.read_varint(), Err(CodecError::Invalid(_))));
+    }
+
+    #[test]
+    fn values_and_tuples_round_trip() {
+        let t = tuple![42i64, "héllo", true, false, -7i64, ""];
+        let mut out = Vec::new();
+        put_tuple(&mut out, &t);
+        let mut r = Reader::new(&out);
+        assert_eq!(read_tuple(&mut r).unwrap(), t);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn group_update_round_trips() {
+        let mut g = GroupUpdate::new();
+        g.insert("course", tuple!["CS240", "Data Structures"]);
+        g.delete("enroll", tuple!["S01", "CS240"]);
+        g.insert("flags", tuple![1i64, true]);
+        let bytes = g.encode();
+        assert_eq!(GroupUpdate::decode(&bytes).unwrap(), g);
+        // Empty group.
+        assert_eq!(
+            GroupUpdate::decode(&GroupUpdate::new().encode()).unwrap(),
+            GroupUpdate::new()
+        );
+    }
+
+    #[test]
+    fn group_update_rejects_trailing_garbage_and_truncation() {
+        let mut g = GroupUpdate::new();
+        g.insert("t", tuple![1i64]);
+        let mut bytes = g.encode();
+        bytes.push(0);
+        assert!(matches!(
+            GroupUpdate::decode(&bytes),
+            Err(CodecError::Invalid(_))
+        ));
+        let bytes = g.encode();
+        for cut in 0..bytes.len() {
+            assert!(
+                GroupUpdate::decode(&bytes[..cut]).is_err(),
+                "prefix of length {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn schema_and_table_round_trip() {
+        let mut table = Table::new(
+            schema("flags")
+                .col_str("id")
+                .col_bool("on")
+                .col_finite(
+                    "state",
+                    ValueType::Int,
+                    vec![Value::Int(0), Value::Int(1), Value::Int(2)],
+                )
+                .key(&["id"]),
+        );
+        table.insert(tuple!["a", true, 0i64]).unwrap();
+        table.insert(tuple!["b", false, 2i64]).unwrap();
+        let mut out = Vec::new();
+        put_table(&mut out, &table);
+        let mut r = Reader::new(&out);
+        let back = read_table(&mut r).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(back.schema(), table.schema());
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.get(&tuple!["b"]), Some(&tuple!["b", false, 2i64]));
+    }
+
+    #[test]
+    fn database_round_trips() {
+        let mut db = Database::new();
+        db.create_table(
+            schema("course")
+                .col_str("cno")
+                .col_str("title")
+                .key(&["cno"]),
+        )
+        .unwrap();
+        db.create_table(
+            schema("prereq")
+                .col_str("cno1")
+                .col_str("cno2")
+                .key(&["cno1", "cno2"]),
+        )
+        .unwrap();
+        db.insert("course", tuple!["CS320", "Algorithms"]).unwrap();
+        db.insert("prereq", tuple!["CS320", "CS240"]).unwrap();
+        let mut out = Vec::new();
+        put_database(&mut out, &db);
+        let mut r = Reader::new(&out);
+        let back = read_database(&mut r).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(
+            back.table_names().collect::<Vec<_>>(),
+            db.table_names().collect::<Vec<_>>()
+        );
+        assert_eq!(back.total_rows(), db.total_rows());
+        assert!(back
+            .table("course")
+            .unwrap()
+            .contains_tuple(&tuple!["CS320", "Algorithms"]));
+    }
+
+    #[test]
+    fn corrupt_schema_key_rejected_not_panicking() {
+        // Valid schema bytes, then break the key column index.
+        let s = schema("t").col_int("a").key(&["a"]);
+        let mut out = Vec::new();
+        put_schema(&mut out, &s);
+        // Last varint is the key position (0) — set it out of range.
+        *out.last_mut().unwrap() = 9;
+        let mut r = Reader::new(&out);
+        assert!(matches!(read_schema(&mut r), Err(CodecError::Invalid(_))));
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_ne!(crc32(b"abc"), crc32(b"abd"));
+    }
+}

@@ -17,6 +17,7 @@
 
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod database;
 pub mod error;
 pub mod eval;
@@ -28,6 +29,7 @@ pub mod tuple;
 pub mod update;
 pub mod value;
 
+pub use codec::{crc32, CodecError, CodecResult, Reader};
 pub use database::Database;
 pub use error::{RelError, RelResult};
 pub use eval::{eval_spj, Augmented, TableSource};

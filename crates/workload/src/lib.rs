@@ -8,17 +8,23 @@
 //!   parsed-XPath cache, for the `rxview-engine` benchmarks;
 //! - [`shard_skew`]: anchor-cone-partitioned update streams with a
 //!   controllable hot spot, for the sharded engine's scaling sweeps;
+//! - [`recovery`]: mixed workloads and id-independent state fingerprints
+//!   for the durability subsystem's crash-recovery battery;
 //! - the registrar running example is re-exported from `rxview-atg`.
 
 #![warn(missing_docs)]
 
 pub mod concurrent;
+pub mod recovery;
 pub mod registrar_gen;
 pub mod shard_skew;
 pub mod synthetic;
 pub mod workloads;
 
 pub use concurrent::{ConcurrentConfig, ConcurrentGen, PathCache, ServeOp};
+pub use recovery::{
+    assert_observationally_equal, base_fingerprint, edge_fingerprint, mixed_updates,
+};
 pub use registrar_gen::{registrar_scale, registrar_scale_database, RegistrarConfig};
 pub use rxview_atg::{registrar_atg, registrar_database};
 pub use shard_skew::{ShardSkewGen, SkewConfig};

@@ -35,7 +35,9 @@ pub mod prelude {
         RelFootprint, SideEffectPolicy, UpdateOutcome, UpdateReport, ViewStore, XmlUpdate,
         XmlViewSystem,
     };
-    pub use rxview_engine::{Engine, EngineConfig, Snapshot, UpdateTicket};
+    pub use rxview_engine::{
+        Durability, Engine, EngineConfig, RecoveryReport, Snapshot, UpdateTicket,
+    };
     pub use rxview_relstore::{schema, Database, GroupUpdate, SpjQuery, Tuple, Value};
     pub use rxview_xmlkit::{Dtd, XPath};
 }
