@@ -106,6 +106,7 @@ pub struct Atg {
     attr_types: Vec<Vec<ValueType>>,
     rules: BTreeMap<(TypeId, TypeId), RuleBody>,
     base_schemas: Vec<TableSchema>,
+    type_reach: crate::typereach::TypeReach,
 }
 
 impl Atg {
@@ -121,6 +122,13 @@ impl Atg {
     /// The DTD `D` embedded in the grammar.
     pub fn dtd(&self) -> &Dtd {
         &self.dtd
+    }
+
+    /// The type-level descendant-or-self closure of the production graph,
+    /// computed once at grammar construction: which node types a `//label`
+    /// step can ever match below which containers.
+    pub fn type_reach(&self) -> &crate::typereach::TypeReach {
+        &self.type_reach
     }
 
     /// Field names of `$ty`.
@@ -535,12 +543,14 @@ impl AtgBuilder {
             .into_iter()
             .map(Option::unwrap_or_default)
             .collect();
+        let type_reach = crate::typereach::TypeReach::compute(&dtd);
         Ok(Atg {
             dtd,
             attr_names,
             attr_types,
             rules,
             base_schemas,
+            type_reach,
         })
     }
 }

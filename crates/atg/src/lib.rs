@@ -7,7 +7,9 @@
 //! - [`genid`]: the Skolem `gen_id` interner and `gen_A` registries;
 //! - [`mod@publish`]: generation of the view `σ(I)` directly as a DAG, subtree
 //!   generation `ST(A,t)`, tree expansion, and acyclicity checking;
-//! - [`registrar`]: the paper's running example (`I₀`, `D₀`, `σ₀`).
+//! - [`registrar`]: the paper's running example (`I₀`, `D₀`, `σ₀`);
+//! - [`typereach`]: the type-level descendant-or-self closure of the
+//!   production graph — the static bound behind `//`-path planning.
 
 #![warn(missing_docs)]
 
@@ -15,8 +17,10 @@ pub mod genid;
 pub mod grammar;
 pub mod publish;
 pub mod registrar;
+pub mod typereach;
 
 pub use genid::{GenId, NodeId};
 pub use grammar::{Atg, AtgBuilder, AtgError, RuleBody};
 pub use publish::{generate_subtree, publish, Dag, PublishError, SubtreeDag};
 pub use registrar::{registrar_atg, registrar_database, registrar_schema};
+pub use typereach::TypeReach;

@@ -23,11 +23,22 @@
 //! limit: conflicting updates to one cone serialize no matter how many
 //! writers exist.
 //!
+//! A third sweep drives `workload::descendant` traffic (a mixed anchored +
+//! leading-`//` stream over hot and cold anchor cones) twice: once with the
+//! type-indexed `//` prefilter disabled (`descendant_cones: false` — every
+//! `//`-headed update commits alone through the serialized global lane, the
+//! pre-PR-5 behavior) and once with it enabled across the shard counts,
+//! reporting global-lane round counts, multi-cone round widths, and
+//! updates/sec — the headline being `//`-heavy throughput scaling where the
+//! baseline plateaus at singleton rounds.
+//!
 //! Environment knobs: `RXVIEW_BENCH_GROUPS` (default 2048),
 //! `RXVIEW_BENCH_ROUNDS` (default 5), `RXVIEW_BENCH_SHARDS`,
 //! `RXVIEW_BENCH_SKIP_SEQ=1` to skip the (slow) sequential baseline,
 //! `RXVIEW_BENCH_SKEW_OPS` / `RXVIEW_BENCH_SKEW_GROUPS` (defaults 2048 /
-//! 256; `RXVIEW_BENCH_SKEW_OPS=0` disables the skew sweep).
+//! 256; `RXVIEW_BENCH_SKEW_OPS=0` disables the skew sweep),
+//! `RXVIEW_BENCH_DESC_OPS` / `RXVIEW_BENCH_DESC_GROUPS` (defaults 2048 /
+//! 256; `RXVIEW_BENCH_DESC_OPS=0` disables the descendant sweep).
 //!
 //! Besides the human-readable sweep, every run writes a machine-readable
 //! summary — updates/sec, accepted counts, and planned/realized conflict
@@ -40,8 +51,8 @@ use rxview_core::{SideEffectPolicy, XmlUpdate, XmlViewSystem};
 use rxview_engine::{Durability, Engine, EngineConfig};
 use rxview_relstore::{tuple, Value};
 use rxview_workload::{
-    synthetic_atg, synthetic_database, ConcurrentConfig, ConcurrentGen, ServeOp, ShardSkewGen,
-    SkewConfig, SyntheticConfig,
+    synthetic_atg, synthetic_database, ConcurrentConfig, ConcurrentGen, DescendantConfig,
+    DescendantGen, ServeOp, ShardSkewGen, SkewConfig, SyntheticConfig,
 };
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -63,15 +74,29 @@ struct RunMetrics {
     mean_planned_width: f64,
     mean_realized_width: f64,
     requeued: u64,
-    global_lane: u64,
+    global_lane_rounds: u64,
+    multi_cone_rounds: u64,
+    mean_multi_cone_width: f64,
 }
 
 impl RunMetrics {
     fn json(&self) -> String {
+        // Every numeric field must stay finite — the CI schema check (and
+        // strict JSON parsers) reject NaN/Inf literals.
+        for v in [
+            self.rate,
+            self.mean_planned_width,
+            self.mean_realized_width,
+            self.mean_multi_cone_width,
+        ] {
+            assert!(v.is_finite(), "non-finite bench metric: {v}");
+        }
         format!(
             "{{\"shards\": {}, \"updates_per_sec\": {:.1}, \"accepted\": {}, \
              \"conflict_rounds\": {}, \"mean_planned_width\": {:.2}, \
-             \"mean_realized_width\": {:.2}, \"requeued\": {}, \"global_lane\": {}}}",
+             \"mean_realized_width\": {:.2}, \"requeued\": {}, \
+             \"global_lane_rounds\": {}, \"multi_cone_rounds\": {}, \
+             \"mean_multi_cone_width\": {:.2}}}",
             self.n_shards,
             self.rate,
             self.accepted,
@@ -79,7 +104,9 @@ impl RunMetrics {
             self.mean_planned_width,
             self.mean_realized_width,
             self.requeued,
-            self.global_lane
+            self.global_lane_rounds,
+            self.multi_cone_rounds,
+            self.mean_multi_cone_width
         )
     }
 }
@@ -249,6 +276,10 @@ fn main() {
         }
     }
 
+    // --- `//`-heavy traffic: type-indexed multi-anchor cones vs the
+    // serialized global lane (the pre-PR-5 baseline). ---
+    let descendant_json = descendant_sweep(&shards);
+
     // --- Machine-readable trajectory for future PRs. ---
     let json_path =
         std::env::var("RXVIEW_BENCH_JSON").unwrap_or_else(|_| "BENCH_engine.json".into());
@@ -256,11 +287,13 @@ fn main() {
         "{{\n  \"bench\": \"engine_throughput\",\n  \"groups\": {groups},\n  \
          \"rounds\": {rounds},\n  \"updates\": {},\n  \"mixed\": {},\n  \
          \"durability\": {},\n  \
-         \"skew_ops\": {skew_ops},\n  \"skew_groups\": {skew_groups},\n  \"skew\": {}\n}}\n",
+         \"skew_ops\": {skew_ops},\n  \"skew_groups\": {skew_groups},\n  \"skew\": {},\n  \
+         \"descendant\": {}\n}}\n",
         ops.len(),
         json_array(&mixed_runs),
         durability_json.unwrap_or_else(|| "null".into()),
         json_array(&skew_runs),
+        descendant_json.unwrap_or_else(|| "null".into()),
     );
     match std::fs::write(&json_path, &json) {
         Ok(()) => println!("\nwrote {json_path}"),
@@ -273,13 +306,27 @@ fn main() {
 /// Submits `ops`, drains them through one `commit_pending`, and returns the
 /// run's metrics. `n_shards <= 1` = the single-writer path.
 fn run_engine(sys: &XmlViewSystem, ops: &[XmlUpdate], n_shards: usize) -> RunMetrics {
-    let engine = Engine::with_config(
-        sys.clone(),
+    run_engine_with(
+        sys,
+        ops,
         EngineConfig {
             n_shards,
             ..EngineConfig::default()
         },
-    );
+        None,
+    )
+}
+
+/// [`run_engine`] with an explicit configuration (and an optional label
+/// suffix for the human-readable line).
+fn run_engine_with(
+    sys: &XmlViewSystem,
+    ops: &[XmlUpdate],
+    config: EngineConfig,
+    label_suffix: Option<&str>,
+) -> RunMetrics {
+    let n_shards = config.n_shards;
+    let engine = Engine::with_config(sys.clone(), config);
     let t = Instant::now();
     let tickets: Vec<_> = ops
         .iter()
@@ -296,11 +343,14 @@ fn run_engine(sys: &XmlViewSystem, ops: &[XmlUpdate], n_shards: usize) -> RunMet
         .count();
     let time = t.elapsed();
     let rate = ok as f64 / time.as_secs_f64();
-    let label = if n_shards <= 1 {
+    let mut label = if n_shards <= 1 {
         "single-writer".to_owned()
     } else {
         format!("{n_shards}-shard")
     };
+    if let Some(suffix) = label_suffix {
+        label.push_str(suffix);
+    }
     println!(
         "{label}: {ok}/{} accepted in {time:?} ({rate:.0} updates/sec, {} batches)",
         ops.len(),
@@ -321,22 +371,110 @@ fn run_engine(sys: &XmlViewSystem, ops: &[XmlUpdate], n_shards: usize) -> RunMet
         mean_planned_width: report.mean_planned_width(),
         mean_realized_width: report.mean_realized_width(),
         requeued: report.requeued,
-        global_lane: report.global_lane,
+        global_lane_rounds: report.global_lane_rounds,
+        multi_cone_rounds: report.multi_cone_rounds,
+        mean_multi_cone_width: report.mean_multi_cone_width(),
     }
 }
 
-/// Measures write-ahead-logging cost: the same ops, single-writer, with
-/// `durability = Off` vs `PerRound` (append + fsync every commit round,
-/// the strictest policy). Returns the JSON fragment for
-/// `BENCH_engine.json`, or `None` when disabled.
-fn durability_overhead(sys: &XmlViewSystem, ops: &[XmlUpdate]) -> Option<String> {
-    if env_usize("RXVIEW_BENCH_DURABILITY", 1) == 0 {
+/// The `//`-heavy sweep: the same mixed anchored + leading-`//` stream is
+/// driven through an engine with the type-indexed prefilter *disabled*
+/// (every `//`-headed update serializes through the global lane — the
+/// pre-type-indexed behavior) and through engines with it enabled across
+/// the shard counts. Returns the `descendant` JSON fragment, or `None`
+/// when disabled.
+fn descendant_sweep(shards: &[usize]) -> Option<String> {
+    let desc_ops = env_usize("RXVIEW_BENCH_DESC_OPS", 2048);
+    if desc_ops == 0 {
         return None;
     }
-    println!("\ndurability sweep (single-writer, same mixed workload):");
-    let off = run_engine(sys, ops, 1);
+    let desc_groups = env_usize("RXVIEW_BENCH_DESC_GROUPS", 256);
+    let sys = build(desc_groups);
+    let mut gen = DescendantGen::new(DescendantConfig {
+        groups: desc_groups,
+        ..DescendantConfig::default()
+    });
+    let ops = gen.ops(desc_ops);
+    let n_desc = ops
+        .iter()
+        .filter(|u| rxview_workload::is_descendant_headed(u))
+        .count();
+    println!(
+        "\ndescendant sweep ({desc_ops} updates over {desc_groups} groups, {n_desc} `//`-headed):"
+    );
 
-    let dir = std::env::temp_dir().join(format!("rxview-bench-wal-{}", std::process::id()));
+    // Baseline: the global lane at the widest shard count — `//` updates
+    // still commit alone, which is the plateau the prefilter removes.
+    let base_shards = shards.iter().copied().max().unwrap_or(4);
+    let baseline = run_engine_with(
+        &sys,
+        &ops,
+        EngineConfig {
+            n_shards: base_shards,
+            descendant_cones: false,
+            ..EngineConfig::default()
+        },
+        Some(" (global-lane baseline)"),
+    );
+    println!(
+        "  baseline ({base_shards} shards, descendant_cones=off): {:.0} updates/sec, {} global-lane rounds",
+        baseline.rate, baseline.global_lane_rounds
+    );
+
+    let mut runs: Vec<RunMetrics> = Vec::new();
+    let mut counts: Vec<usize> = vec![1];
+    // Dedup against a configured list that already contains 1, so the JSON
+    // never carries two conflicting `"shards": 1` rows.
+    for &n in shards {
+        if !counts.contains(&n) {
+            counts.push(n);
+        }
+    }
+    for &n in &counts {
+        let run = run_engine_with(
+            &sys,
+            &ops,
+            EngineConfig {
+                n_shards: n,
+                ..EngineConfig::default()
+            },
+            Some(" (multi-cone)"),
+        );
+        assert_eq!(
+            baseline.accepted, run.accepted,
+            "descendant acceptance must not depend on the planner"
+        );
+        println!(
+            "  {n} shard(s), multi-cone: {:.0} updates/sec ({:.2}x vs global-lane baseline), \
+             {} global-lane rounds, {} multi-cone rounds (mean realized width {:.1})",
+            run.rate,
+            run.rate / baseline.rate,
+            run.global_lane_rounds,
+            run.multi_cone_rounds,
+            run.mean_multi_cone_width
+        );
+        runs.push(run);
+    }
+
+    Some(format!(
+        "{{\"ops\": {desc_ops}, \"groups\": {desc_groups}, \"descendant_headed\": {n_desc}, \
+         \"baseline\": {}, \"runs\": {}}}",
+        baseline.json(),
+        json_array(&runs)
+    ))
+}
+
+/// One timed durable run under `policy`; returns `(rate, accepted, report)`.
+fn durable_run(
+    sys: &XmlViewSystem,
+    ops: &[XmlUpdate],
+    policy: Durability,
+) -> (f64, usize, rxview_engine::EngineReport) {
+    let dir = std::env::temp_dir().join(format!(
+        "rxview-bench-wal-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
     let _ = std::fs::remove_dir_all(&dir);
     // Engine construction (which writes the initial checkpoint) is outside
     // the timed window: the sweep measures steady-state logging cost.
@@ -344,7 +482,7 @@ fn durability_overhead(sys: &XmlViewSystem, ops: &[XmlUpdate]) -> Option<String>
         sys.clone(),
         EngineConfig {
             n_shards: 1,
-            durability: Durability::PerRound,
+            durability: policy,
             checkpoint_rounds: 0,
             ..EngineConfig::default()
         },
@@ -367,7 +505,6 @@ fn durability_overhead(sys: &XmlViewSystem, ops: &[XmlUpdate]) -> Option<String>
         .count();
     let time = t.elapsed();
     let rate = ok as f64 / time.as_secs_f64();
-    assert_eq!(ok, off.accepted, "durability must not change acceptance");
     let report = engine.stats().report();
     engine
         .snapshot()
@@ -376,10 +513,27 @@ fn durability_overhead(sys: &XmlViewSystem, ops: &[XmlUpdate]) -> Option<String>
         .expect("consistent after durable commit");
     drop(engine);
     let _ = std::fs::remove_dir_all(&dir);
+    (rate, ok, report)
+}
+
+/// Measures write-ahead-logging cost: the same ops, single-writer, with
+/// `durability = Off` vs `PerRound` (append + fsync every commit round,
+/// the strictest policy) vs `GroupCommit` (several rounds' records batched
+/// into one fsync behind a round/age watermark). Returns the JSON fragment
+/// for `BENCH_engine.json`, or `None` when disabled.
+fn durability_overhead(sys: &XmlViewSystem, ops: &[XmlUpdate]) -> Option<String> {
+    if env_usize("RXVIEW_BENCH_DURABILITY", 1) == 0 {
+        return None;
+    }
+    println!("\ndurability sweep (single-writer, same mixed workload):");
+    let off = run_engine(sys, ops, 1);
+
+    let (rate, ok, report) = durable_run(sys, ops, Durability::PerRound);
+    assert_eq!(ok, off.accepted, "durability must not change acceptance");
 
     let overhead = (1.0 - rate / off.rate) * 100.0;
     println!(
-        "  durability=PerRound: {ok}/{} accepted in {time:?} ({rate:.0} updates/sec; \
+        "  durability=PerRound: {ok}/{} accepted ({rate:.0} updates/sec; \
          {} log records, {} bytes, {} fsyncs)",
         ops.len(),
         report.wal_records,
@@ -393,11 +547,33 @@ fn durability_overhead(sys: &XmlViewSystem, ops: &[XmlUpdate]) -> Option<String>
     if overhead >= 15.0 {
         println!("  WARNING: above the 15% overhead target");
     }
+
+    // Group-commit fsync: several rounds' records per sync. The interesting
+    // number is the fsync savings at equivalent logging volume.
+    let gc_policy = Durability::GroupCommit {
+        max_rounds: 8,
+        max_micros: 2_000,
+    };
+    let (gc_rate, gc_ok, gc_report) = durable_run(sys, ops, gc_policy);
+    assert_eq!(
+        gc_ok, off.accepted,
+        "group commit must not change acceptance"
+    );
+    println!(
+        "  durability=GroupCommit(8 rounds / 2ms): {gc_ok}/{} accepted ({gc_rate:.0} updates/sec; \
+         {} log records, {} fsyncs vs PerRound's {})",
+        ops.len(),
+        gc_report.wal_records,
+        gc_report.wal_syncs,
+        report.wal_syncs
+    );
+
     Some(format!(
         "{{\"off_updates_per_sec\": {:.1}, \"per_round_updates_per_sec\": {rate:.1}, \
          \"overhead_pct\": {overhead:.1}, \"wal_records\": {}, \"wal_bytes\": {}, \
-         \"wal_syncs\": {}}}",
-        off.rate, report.wal_records, report.wal_bytes, report.wal_syncs
+         \"wal_syncs\": {}, \"group_commit_updates_per_sec\": {gc_rate:.1}, \
+         \"group_commit_wal_syncs\": {}}}",
+        off.rate, report.wal_records, report.wal_bytes, report.wal_syncs, gc_report.wal_syncs
     ))
 }
 

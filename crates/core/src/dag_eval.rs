@@ -305,7 +305,20 @@ pub fn eval_xpath_on_dag(
                 let sources = cur.clone();
                 let mut closure: HashSet<NodeId> = cur.clone();
                 for &u in &cur {
-                    closure.extend(reach.descendants(u).iter().copied());
+                    // Restricted to the evaluation scope: under a full `L`
+                    // this passes every live descendant; under a cone-union
+                    // projection it keeps the working set (and every later
+                    // step) proportional to the scope, which is what makes
+                    // scoped `//`-headed evaluation cheap. Exactness is the
+                    // caller's contract: every possible match (and, for
+                    // `//` heads, its ancestors) lies inside the scope.
+                    closure.extend(
+                        reach
+                            .descendants(u)
+                            .iter()
+                            .copied()
+                            .filter(|d| topo.position(*d).is_some()),
+                    );
                 }
                 records.push(StepRecord::Desc {
                     sources,
@@ -365,14 +378,22 @@ pub fn eval_xpath_on_dag(
                     .copied()
                     .filter(|s| target_anc.contains(s))
                     .collect();
-                let mut source_desc: HashSet<NodeId> = prev.clone();
-                for &s in &prev {
-                    source_desc.extend(reach.descendants(s).iter().copied());
+                // Desc-or-self of the surviving sources. When the root is
+                // one of them (every leading-`//` path), the set is the
+                // whole view — skip materializing it instead of copying
+                // `O(|V|)` node ids per evaluation.
+                let universal = prev.contains(&root);
+                let mut source_desc: HashSet<NodeId> = HashSet::new();
+                if !universal {
+                    source_desc.extend(prev.iter().copied());
+                    for &s in &prev {
+                        source_desc.extend(reach.descendants(s).iter().copied());
+                    }
                 }
                 let mid: HashSet<NodeId> = closure
                     .iter()
                     .copied()
-                    .filter(|x| target_anc.contains(x) && source_desc.contains(x))
+                    .filter(|x| target_anc.contains(x) && (universal || source_desc.contains(x)))
                     .collect();
                 for &u in &mid {
                     for &c in vs.dag().children(u) {

@@ -31,7 +31,7 @@
 //! *different* rows of one table commute.
 
 use crate::rel_delete::candidate_source_keys;
-use crate::rel_insert::edge_template_keys;
+use crate::rel_insert::edge_template_keys_cached;
 use crate::update::ViewDelta;
 use crate::viewstore::ViewStore;
 use rxview_atg::{NodeId, RuleBody, SubtreeDag};
@@ -115,41 +115,36 @@ impl RelFootprint {
         keys: &[(String, String)],
     ) {
         let atg = vs.atg();
-        let dtd = atg.dtd();
         let gen_table = atg.gen_table_name(first_ty);
         for (field, value) in keys {
-            let Some(field_ty) = dtd.type_id(field) else {
-                continue; // unknown field: the filter can never match
-            };
-            if !dtd.is_pcdata(field_ty) {
-                // Structural filter: not used for anchor pruning, so the
-                // anchor set is already a superset with or without it.
-                continue;
-            }
-            match atg.rule(first_ty, field_ty) {
-                Some(RuleBody::Project { fields }) if fields.len() == 1 => {
-                    let col = fields[0];
-                    if let Some(v) = parse_as(atg.attr_types(first_ty)[col], value) {
-                        self.reads.insert(ColKey {
-                            table: gen_table.clone(),
-                            column: col,
-                            value: v,
-                        });
-                    }
-                    // An unparseable value can never equal a rendered typed
-                    // cell: no read key needed.
+            match pin_filter(atg, first_ty, field, value) {
+                FilterPin::Column(column, value) => {
+                    self.reads.insert(ColKey {
+                        table: gen_table.clone(),
+                        column,
+                        value,
+                    });
                 }
-                Some(RuleBody::Query { query, .. }) => {
+                // `Never` can stay never (no write revives an unknown field
+                // or renders a typed cell to an unparseable literal), and a
+                // structural filter has no pruning power either way: no
+                // reads needed for either.
+                FilterPin::Never | FilterPin::Structural => {}
+                FilterPin::Unpinnable { rule_tables } => {
                     self.read_tables.insert(gen_table.clone());
-                    for tr in query.from() {
-                        self.read_tables.insert(tr.table.clone());
-                    }
-                }
-                _ => {
-                    self.read_tables.insert(gen_table.clone());
+                    self.read_tables.extend(rule_tables);
                 }
             }
         }
+    }
+
+    /// Records a wholesale read of `table`: any write to it conflicts. The
+    /// conservative fallback for target resolutions that depend on a
+    /// table's entire contents — an unfiltered `//label` head reads the
+    /// whole `gen_label` registry, because any interning or garbage
+    /// collection of that type changes its match set.
+    pub fn add_table_read(&mut self, table: String) {
+        self.read_tables.insert(table);
     }
 
     /// Whether this footprint conflicts with `other`: a shared written row,
@@ -227,6 +222,60 @@ impl RelFootprint {
 fn intersects<T: Ord>(a: &BTreeSet<T>, b: &BTreeSet<T>) -> bool {
     let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
     small.iter().any(|k| large.contains(k))
+}
+
+/// What one `field = value` filter on nodes of `ty` pins down. This is the
+/// *single* source of filter-pinning semantics, shared by
+/// [`RelFootprint::add_anchor_reads`] and the path classifier's descendant
+/// probes ([`crate::pathclass::resolve_descendant_anchors`]) — the
+/// conflict-freeness of `//` planning depends on the probe consulting
+/// exactly the keys the footprint records as reads, so the two must never
+/// diverge.
+pub(crate) enum FilterPin {
+    /// Single-field `pcdata` projection: the filter matches exactly the
+    /// nodes whose gen-table `column` holds `value`.
+    Column(usize, Value),
+    /// The filter can never match (unknown field, or no typed cell of the
+    /// column renders to the literal).
+    Never,
+    /// Structural (non-`pcdata`) filter: no pruning power; ignoring it
+    /// keeps any candidate set a superset.
+    Structural,
+    /// A `pcdata` child not pinnable to one column (query rule or
+    /// multi-field projection): resolution must not prune on it, and a
+    /// footprint depending on it reads the gen table plus the rule's base
+    /// tables wholesale.
+    Unpinnable {
+        /// Base tables of the child's query rule (empty for multi-field
+        /// projections).
+        rule_tables: Vec<String>,
+    },
+}
+
+/// Classifies one anchor-filter key against the grammar (see [`FilterPin`]).
+pub(crate) fn pin_filter(atg: &rxview_atg::Atg, ty: TypeId, field: &str, value: &str) -> FilterPin {
+    let dtd = atg.dtd();
+    let Some(field_ty) = dtd.type_id(field) else {
+        return FilterPin::Never;
+    };
+    if !dtd.is_pcdata(field_ty) {
+        return FilterPin::Structural;
+    }
+    match atg.rule(ty, field_ty) {
+        Some(RuleBody::Project { fields }) if fields.len() == 1 => {
+            let col = fields[0];
+            match parse_as(atg.attr_types(ty)[col], value) {
+                Some(v) => FilterPin::Column(col, v),
+                None => FilterPin::Never,
+            }
+        }
+        Some(RuleBody::Query { query, .. }) => FilterPin::Unpinnable {
+            rule_tables: query.from().iter().map(|tr| tr.table.clone()).collect(),
+        },
+        _ => FilterPin::Unpinnable {
+            rule_tables: Vec::new(),
+        },
+    }
 }
 
 /// Parses an XPath filter literal as a typed cell value. `None` means no
@@ -388,7 +437,15 @@ fn add_edge_keys(
         Some(RuleBody::Query {
             query,
             param_fields,
-        }) => match edge_template_keys(base, query, param_fields, pattr, cattr) {
+        }) => match edge_template_keys_cached(
+            base,
+            vs.edge_cache(),
+            (pty, cty),
+            query,
+            param_fields,
+            pattr,
+            cattr,
+        ) {
             Ok(keys) => {
                 for (table, key) in keys {
                     let Ok(schema) = base.table(&table).map(|t| t.schema()) else {

@@ -17,6 +17,9 @@
 //! - [`footprint`]: typed `(table, column, value)` conflict footprints read
 //!   off the translation layer — the planned/realized write-set contract a
 //!   concurrent serving engine partitions updates by;
+//! - [`pathclass`]: target-path classification into bounded cones —
+//!   key-anchored, type-indexed multi-anchor (`//`-headed), or global —
+//!   plus the scoped-evaluation projection of `L` over a cone union;
 //! - [`codec`]: the hand-rolled binary encodings of updates and full system
 //!   state that the serving engine's write-ahead log and checkpoints are
 //!   built on;
@@ -29,6 +32,7 @@ pub mod codec;
 pub mod dag_eval;
 pub mod footprint;
 pub mod maintain;
+pub mod pathclass;
 pub mod processor;
 pub mod reach;
 pub mod rel_delete;
@@ -47,6 +51,7 @@ pub use footprint::{
     RelFootprint,
 };
 pub use maintain::{maintain_delete, maintain_insert, MaintainReport};
+pub use pathclass::{classify, filter_keys, resolve_descendant_anchors, union_scope, PathClass};
 pub use processor::{
     translate_insert_for_merge, DeferredMaintenance, PhaseTimings, TranslatedUpdate, UpdateError,
     UpdateOutcome, UpdateReport, XmlViewSystem,
@@ -56,7 +61,8 @@ pub use rel_delete::{
     candidate_source_keys, translate_deletions, translate_deletions_minimal, DeleteRejection,
 };
 pub use rel_insert::{
-    edge_template_keys, translate_insertions, InsertRejection, InsertTranslation,
+    edge_template_keys, edge_template_keys_cached, translate_insertions, EdgeClosureCache,
+    InsertRejection, InsertTranslation,
 };
 pub use republish::{apply_relational_update, RepublishReport};
 pub use stats::{view_stats, ViewStats};

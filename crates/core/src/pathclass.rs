@@ -1,0 +1,382 @@
+//! Path classification for conflict planning: which bounded region of the
+//! view can an update path touch?
+//!
+//! The serving engine partitions concurrent updates by *cones* — node sets
+//! closed enough under the DAG structure that two updates with disjoint
+//! cones (and disjoint typed relational footprints) commute. This module
+//! owns the classification that used to be inlined in the engine's
+//! analyzer, extended from single key-anchored cones to **bounded
+//! multi-anchor cones** for leading-`//` and wildcard-rooted paths:
+//!
+//! - [`PathClass::Anchored`] — the first normalized step is a labelled
+//!   child step: every match lies under a *top-level* node of that type
+//!   satisfying the step's `field = value` filters. One cone per anchor.
+//! - [`PathClass::Descendant`] — the path leads with `//label`. The ATG's
+//!   [`rxview_atg::TypeReach`] closure statically bounds where such a match
+//!   can sit, and — when the filter pins a single-field `pcdata` projection
+//!   — the maintained `gen_label` table is probed with the typed
+//!   `(table, column, value)` key to enumerate the *concrete* candidate
+//!   matches ([`resolve_descendant_anchors`]). The cone is the union over
+//!   those anchors of `{anchor} ∪ desc(anchor) ∪ anc(anchor)` — ancestors
+//!   included because a `//`-match's parent edges and matched root-paths
+//!   climb above the anchor.
+//! - [`PathClass::WildcardRoot`] — the path leads with `*`: matches are
+//!   top-level nodes of any root-child type; with usable filter keys the
+//!   anchors resolve per candidate type, like `Anchored` but multi-typed.
+//! - [`PathClass::Global`] — nothing bounds the path (unfilterable
+//!   wildcard, `//` not followed by a label, unknown label, empty path):
+//!   the update conflicts with everything and the engine serializes it.
+//!
+//! The same anchor set doubles as an **evaluation scope**
+//! ([`union_scope`]): projecting the maintained topological order `L` onto
+//! `{root} ∪ cones` yields a valid order for the sub-DAG, and the §3.2
+//! two-pass evaluation over that projection returns exactly the matches of
+//! the full evaluation (the engine's property tests assert this equality on
+//! random instances).
+
+use crate::footprint::{pin_filter, FilterPin};
+use crate::reach::Reachability;
+use crate::topo::TopoOrder;
+use crate::viewstore::ViewStore;
+use rxview_atg::NodeId;
+use rxview_xmlkit::xpath::ast::{Filter, NodeTest, StepKind};
+use rxview_xmlkit::{normalize, Dtd, NormStep, TypeId, XPath};
+use std::collections::BTreeSet;
+
+/// The `field = value` pairs usable for anchor detection, extracted from
+/// the filter immediately qualifying a path step.
+pub fn filter_keys(filter: &Filter, out: &mut Vec<(String, String)>) {
+    match filter {
+        Filter::PathEq(p, v) => {
+            if let [step] = p.steps.as_slice() {
+                if step.filters.is_empty() {
+                    if let StepKind::Child(NodeTest::Label(field)) = &step.kind {
+                        out.push((field.clone(), v.clone()));
+                    }
+                }
+            }
+        }
+        // A conjunction anchors if either side does (superset of matches).
+        Filter::And(a, b) => {
+            filter_keys(a, out);
+            filter_keys(b, out);
+        }
+        _ => {}
+    }
+}
+
+/// How a target path's matches are bounded (see the module docs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathClass {
+    /// First step `A[f = v]…`: matches lie under top-level `A` anchors.
+    Anchored {
+        /// The first labelled step's element type.
+        first_ty: TypeId,
+        /// The `field = value` filters qualifying the first step.
+        keys: Vec<(String, String)>,
+    },
+    /// Leading `//A[f = v]…`: matches lie at live `A` nodes anywhere.
+    Descendant {
+        /// The type the `//` step lands on.
+        target_ty: TypeId,
+        /// The `field = value` filters qualifying it.
+        keys: Vec<(String, String)>,
+    },
+    /// Leading `*[f = v]…`: matches are top-level nodes of any root-child
+    /// type satisfying the filters.
+    WildcardRoot {
+        /// The `field = value` filters qualifying the wildcard step.
+        keys: Vec<(String, String)>,
+    },
+    /// Nothing bounds the path.
+    Global,
+}
+
+/// Collects the `field = value` keys of the filter steps immediately
+/// following the classified head step.
+fn leading_keys<'a>(steps: impl Iterator<Item = &'a NormStep>) -> Vec<(String, String)> {
+    let mut keys = Vec::new();
+    for step in steps {
+        let NormStep::FilterStep(f) = step else { break };
+        filter_keys(f, &mut keys);
+    }
+    keys
+}
+
+/// Classifies a target path by its normalized head (see [`PathClass`]).
+pub fn classify(dtd: &Dtd, path: &XPath) -> PathClass {
+    let norm = normalize(path);
+    let mut steps = norm.steps.iter();
+    match steps.next() {
+        Some(NormStep::Label(first)) => match dtd.type_id(first) {
+            Some(first_ty) => PathClass::Anchored {
+                first_ty,
+                keys: leading_keys(steps),
+            },
+            None => PathClass::Global, // unknown label: same fallback as before
+        },
+        Some(NormStep::DescendantOrSelf) => match steps.next() {
+            Some(NormStep::Label(label)) => match dtd.type_id(label) {
+                Some(target_ty) => PathClass::Descendant {
+                    target_ty,
+                    keys: leading_keys(steps),
+                },
+                None => PathClass::Global,
+            },
+            // `//*`, `//[q]`, `////`, bare `//`: untypeable.
+            _ => PathClass::Global,
+        },
+        Some(NormStep::Wildcard) => PathClass::WildcardRoot {
+            keys: leading_keys(steps),
+        },
+        // Empty path or `.[q]`: the target is the root itself.
+        Some(NormStep::FilterStep(_)) | None => PathClass::Global,
+    }
+}
+
+/// Resolves the concrete anchor candidates of a [`PathClass::Descendant`]
+/// path: every live node of `target_ty` that can satisfy the usable filter
+/// keys, found by probing the maintained `gen_A` table through its lazy
+/// column index — the same typed `(table, column, value)` access an
+/// anchored filter uses, but over *all* instances instead of the top level.
+/// The typed reads the resolution depends on are recorded in `rel`: the
+/// probe keys when a filter pins a column, a wholesale `gen_A` read when
+/// the candidate set is bounded only by the type's instance count (then any
+/// interning or GC of the type would change the answer).
+///
+/// Returns `None` when the candidate set cannot be bounded at or below
+/// `cap` anchors (no usable key and too many instances, or a too-popular
+/// key) — the caller degrades the update to a global footprint. `Some` with
+/// an empty vector means the path provably selects nothing.
+///
+/// Soundness: the result is a *superset* of the nodes the `//label[filter]`
+/// head can match — unusable filter conjuncts only narrow it further, and
+/// [`rxview_atg::TypeReach`] guarantees no match can exist outside the
+/// type's instance set.
+pub fn resolve_descendant_anchors(
+    vs: &ViewStore,
+    target_ty: TypeId,
+    keys: &[(String, String)],
+    cap: usize,
+    rel: &mut crate::footprint::RelFootprint,
+) -> Option<Vec<NodeId>> {
+    let atg = vs.atg();
+    let dtd = atg.dtd();
+    // The root can never be matched by a child/`//` step onto its own type,
+    // and its gen row is a synthetic unit tuple; degrade rather than probe.
+    if target_ty == dtd.root() {
+        return None;
+    }
+    // The key-pinned (and conservative whole-table) reads of the filters.
+    rel.add_anchor_reads(vs, target_ty, keys);
+    // Static bound: a type unreachable from the root has no live instances
+    // and never will be — no reads needed.
+    if !atg.type_reach().can_reach(dtd.root(), target_ty) {
+        return Some(Vec::new());
+    }
+    // Typed probes, classified by the same `pin_filter` the footprint's
+    // read recording uses — the probe must consult exactly the keys
+    // recorded as reads, or a round could stop being conflict-free.
+    let mut probes: Vec<(usize, rxview_relstore::Value)> = Vec::new();
+    for (field, value) in keys {
+        match pin_filter(atg, target_ty, field, value) {
+            FilterPin::Column(col, v) => probes.push((col, v)),
+            FilterPin::Never => return Some(Vec::new()),
+            // Structural / unpinnable filters have no (usable) pruning
+            // power; the remaining probes still bound a superset.
+            FilterPin::Structural | FilterPin::Unpinnable { .. } => {}
+        }
+    }
+
+    let genid = vs.dag().genid();
+    if probes.is_empty() {
+        // No pinnable filter: the candidate set is the type's whole
+        // instance set, so the analysis reads the entire `gen_A` registry —
+        // any interning or GC of this type changes the answer.
+        rel.add_table_read(atg.gen_table_name(target_ty));
+        let mut anchors: Vec<NodeId> = Vec::new();
+        for id in genid.ids_of_type(target_ty) {
+            if anchors.len() >= cap {
+                return None;
+            }
+            anchors.push(id);
+        }
+        return Some(anchors);
+    }
+
+    let table = vs.gen_db().table(&atg.gen_table_name(target_ty)).ok()?;
+    let (col, value) = &probes[0];
+    let rows = table.scan_col_eq(*col, value);
+    if rows.len() > cap {
+        return None;
+    }
+    let anchors = rows
+        .into_iter()
+        .filter(|row| probes[1..].iter().all(|(c, v)| &row[*c] == v))
+        // Gen rows mirror live nodes, and for non-root types the row *is*
+        // the attribute tuple.
+        .filter_map(|row| genid.lookup(target_ty, row))
+        .collect();
+    Some(anchors)
+}
+
+/// The scope order for a union of anchor cones: the projection of `L` onto
+/// `{root} ∪ ⋃ₐ ({a} ∪ desc(a) [∪ anc(a)])` — text nodes included, because
+/// evaluation needs them for value filters. `with_ancestors` must be set
+/// for `//`-headed paths: their matched root-paths and parent edges climb
+/// above the anchors, so exact scoped evaluation needs the ancestor chains
+/// in scope.
+pub fn union_scope(
+    vs: &ViewStore,
+    topo: &TopoOrder,
+    reach: &Reachability,
+    anchors: &[NodeId],
+    with_ancestors: bool,
+) -> TopoOrder {
+    let mut cone: BTreeSet<NodeId> = BTreeSet::new();
+    for &a in anchors {
+        cone.insert(a);
+        cone.extend(reach.descendants(a).iter().copied());
+        if with_ancestors {
+            cone.extend(reach.ancestors(a).iter().copied());
+        }
+    }
+    cone.insert(vs.dag().root());
+    let mut order: Vec<NodeId> = cone
+        .into_iter()
+        .filter(|v| topo.position(*v).is_some())
+        .collect();
+    order.sort_by_key(|v| topo.position(*v).expect("filtered"));
+    TopoOrder::from_order(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rxview_atg::{registrar_atg, registrar_database};
+    use rxview_relstore::tuple;
+    use rxview_xmlkit::parse_xpath;
+
+    fn store() -> ViewStore {
+        let db = registrar_database();
+        let atg = registrar_atg(&db).unwrap();
+        ViewStore::publish(atg, &db).unwrap()
+    }
+
+    #[test]
+    fn classification_by_head_shape() {
+        let vs = store();
+        let dtd = vs.atg().dtd();
+        let course = dtd.type_id("course").unwrap();
+        let student = dtd.type_id("student").unwrap();
+        match classify(dtd, &parse_xpath("course[cno=CS650]/prereq").unwrap()) {
+            PathClass::Anchored { first_ty, keys } => {
+                assert_eq!(first_ty, course);
+                assert_eq!(keys, vec![("cno".into(), "CS650".into())]);
+            }
+            other => panic!("expected Anchored, got {other:?}"),
+        }
+        match classify(dtd, &parse_xpath("//student[ssn=S02]").unwrap()) {
+            PathClass::Descendant { target_ty, keys } => {
+                assert_eq!(target_ty, student);
+                assert_eq!(keys, vec![("ssn".into(), "S02".into())]);
+            }
+            other => panic!("expected Descendant, got {other:?}"),
+        }
+        match classify(dtd, &parse_xpath("*[cno=CS650]/prereq").unwrap()) {
+            PathClass::WildcardRoot { keys } => {
+                assert_eq!(keys.len(), 1);
+            }
+            other => panic!("expected WildcardRoot, got {other:?}"),
+        }
+        assert_eq!(
+            classify(dtd, &parse_xpath("//*").unwrap()),
+            PathClass::Global
+        );
+        assert_eq!(
+            classify(dtd, &parse_xpath("nonexistent/x").unwrap()),
+            PathClass::Global
+        );
+    }
+
+    #[test]
+    fn descendant_probe_finds_all_instances() {
+        let vs = store();
+        let dtd = vs.atg().dtd();
+        let course = dtd.type_id("course").unwrap();
+        // cno=CS320 pins one concrete course node (shared: top level + as a
+        // prereq of CS650) — one anchor, wherever it occurs.
+        let mut rel = crate::footprint::RelFootprint::default();
+        let anchors = resolve_descendant_anchors(
+            &vs,
+            course,
+            &[("cno".into(), "CS320".into())],
+            64,
+            &mut rel,
+        )
+        .expect("bounded");
+        assert_eq!(anchors.len(), 1);
+        let expect = vs
+            .dag()
+            .genid()
+            .lookup(course, &tuple!["CS320", "Algorithms"])
+            .unwrap();
+        assert_eq!(anchors, vec![expect]);
+    }
+
+    #[test]
+    fn descendant_probe_caps_and_empties() {
+        let vs = store();
+        let dtd = vs.atg().dtd();
+        let course = dtd.type_id("course").unwrap();
+        let rel = &mut crate::footprint::RelFootprint::default();
+        // Unfiltered `//course`: three live instances; cap 2 degrades.
+        assert!(resolve_descendant_anchors(&vs, course, &[], 2, rel).is_none());
+        let all = resolve_descendant_anchors(&vs, course, &[], 64, rel).expect("bounded");
+        assert_eq!(all.len(), 3);
+        // Unknown field / unmatched value: provably empty.
+        assert_eq!(
+            resolve_descendant_anchors(&vs, course, &[("zzz".into(), "1".into())], 64, rel),
+            Some(Vec::new())
+        );
+        assert_eq!(
+            resolve_descendant_anchors(&vs, course, &[("cno".into(), "NOPE".into())], 64, rel),
+            Some(Vec::new())
+        );
+        // Root type never resolves.
+        assert!(resolve_descendant_anchors(&vs, dtd.root(), &[], 64, rel).is_none());
+    }
+
+    #[test]
+    fn union_scope_is_a_valid_projection() {
+        let vs = store();
+        let topo = TopoOrder::compute(vs.dag());
+        let reach = Reachability::compute(vs.dag(), &topo);
+        let dtd = vs.atg().dtd();
+        let student = dtd.type_id("student").unwrap();
+        let anchors = resolve_descendant_anchors(
+            &vs,
+            student,
+            &[("ssn".into(), "S02".into())],
+            64,
+            &mut crate::footprint::RelFootprint::default(),
+        )
+        .expect("bounded");
+        assert_eq!(anchors.len(), 1);
+        let scope = union_scope(&vs, &topo, &reach, &anchors, true);
+        // The scope respects the maintained order and contains the anchor,
+        // its descendants, its ancestors, and the root.
+        let m = anchors[0];
+        assert!(scope.position(m).is_some());
+        assert!(scope.position(vs.dag().root()).is_some());
+        for &d in reach.descendants(m) {
+            assert!(scope.position(d).is_some());
+        }
+        for &a in reach.ancestors(m) {
+            assert!(scope.position(a).is_some());
+        }
+        for w in scope.order().windows(2) {
+            assert!(topo.position(w[0]).unwrap() < topo.position(w[1]).unwrap());
+        }
+    }
+}

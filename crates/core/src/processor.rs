@@ -958,6 +958,47 @@ mod tests {
     }
 
     #[test]
+    fn planning_dry_run_feeds_translation_closure_cache() {
+        // The footprint-only dry run grounds template keys through the same
+        // per-edge equality closures the real translation derives; with the
+        // shared cache the second derivation must be a hit.
+        let mut sys = system();
+        let u = XmlUpdate::insert(
+            "course",
+            tuple!["MA100", "Calculus"],
+            "course[cno=CS650]/prereq",
+        )
+        .unwrap();
+        let eval = sys.evaluate(u.path());
+        let mut fp = crate::footprint::RelFootprint::default();
+        let course = sys.view().atg().dtd().type_id("course").unwrap();
+        let st = crate::footprint::plan_subtree(
+            sys.view(),
+            sys.base(),
+            course,
+            &tuple!["MA100", "Calculus"],
+        )
+        .unwrap();
+        assert!(crate::footprint::planned_insert_writes(
+            sys.view(),
+            sys.base(),
+            course,
+            &tuple!["MA100", "Calculus"],
+            Some(&st),
+            &eval.selected,
+            &mut fp,
+        ));
+        let (_, misses_after_plan) = sys.view().edge_cache().stats();
+        assert!(misses_after_plan > 0, "the dry run derives closures");
+        sys.apply(&u, SideEffectPolicy::Proceed).unwrap();
+        let (hits, _) = sys.view().edge_cache().stats();
+        assert!(
+            hits > 0,
+            "real translation must reuse the planner's closures"
+        );
+    }
+
+    #[test]
     fn timings_are_recorded() {
         let mut sys = system();
         let u = XmlUpdate::delete("//student[ssn=S01]").unwrap();

@@ -260,6 +260,8 @@ pub fn translate_insertions(
             }) => {
                 derive_templates(
                     base,
+                    vs.edge_cache(),
+                    (a, b),
                     query,
                     param_fields,
                     vs.dag().genid().attr_of(u),
@@ -506,46 +508,137 @@ fn decode_var(
     }
 }
 
-/// The equality-closure binding of one inserted edge's rule query: column
-/// classes (union-find over `Col = Col` predicates) and the constants each
-/// class is pinned to by the child attribute (projection), the parent
-/// attribute (parameters), and constant predicates. Shared by template
-/// derivation and by footprint planning ([`edge_template_keys`]).
-struct EdgeBinding<'a> {
-    schemas: Vec<&'a TableSchema>,
+/// The resolved equality closure of one inserted edge's rule query: for
+/// every flat column of the query's FROM entries, its equality-class
+/// representative (union-find over `Col = Col` predicates, fully resolved),
+/// and the constant each class is pinned to by the child attribute
+/// (projection), the parent attribute (parameters), and constant
+/// predicates. Shared by template derivation and by footprint planning
+/// ([`edge_template_keys`]).
+///
+/// The closure depends only on the grammar, the table *schemas*, and the
+/// two attribute tuples — never on table contents — so it is safe to cache
+/// by `(edge, parent attr, child attr)` for the lifetime of a view store
+/// (see [`EdgeClosureCache`]): the footprint-only dry run that plans an
+/// insertion derives exactly the closures the real translation needs again.
+#[derive(Debug)]
+pub struct EdgeClosure {
+    /// Flat column offset per FROM entry.
     offsets: Vec<usize>,
-    parent: Vec<usize>,
+    /// Final equality-class representative per flat column.
+    reps: Vec<usize>,
+    /// Pinned value per class representative.
     known: HashMap<usize, Value>,
 }
 
-impl EdgeBinding<'_> {
-    fn find(&mut self, mut x: usize) -> usize {
-        while self.parent[x] != x {
-            self.parent[x] = self.parent[self.parent[x]];
-            x = self.parent[x];
-        }
-        x
+impl EdgeClosure {
+    fn rep(&self, flat: usize) -> usize {
+        self.reps[flat]
+    }
+
+    fn known_at(&self, flat: usize) -> Option<&Value> {
+        self.known.get(&self.rep(flat))
     }
 }
 
-fn edge_binding<'a>(
-    base: &'a Database,
+/// Cache key: the production edge plus the two attribute tuples.
+type ClosureKey = (rxview_xmlkit::TypeId, rxview_xmlkit::TypeId, Tuple, Tuple);
+
+/// Memo cache of [`EdgeClosure`]s keyed by `(parent type, child type,
+/// parent attr, child attr)` — the plan→translate hand-off surfaced by the
+/// typed-footprint work: the conflict analysis's dry run
+/// ([`crate::planned_insert_writes`]) grounds template keys through the
+/// same equality closure the shard's real translation re-derives moments
+/// later. One cache lives on each [`ViewStore`] behind an `Arc`, so shard
+/// replicas cloned from a snapshot share the planner's entries.
+///
+/// Only successful closures are cached (failures re-derive, keeping error
+/// reporting exact), and a bucket is cleared when it reaches a fixed cap —
+/// entries are typically consumed once, by the translation that follows
+/// their planning dry run. The map is split into hash-addressed buckets so
+/// parallel shard writers deriving unrelated edges do not serialize on one
+/// lock.
+#[derive(Debug)]
+pub struct EdgeClosureCache {
+    buckets: Vec<std::sync::Mutex<HashMap<ClosureKey, std::sync::Arc<EdgeClosure>>>>,
+    hits: std::sync::atomic::AtomicU64,
+    misses: std::sync::atomic::AtomicU64,
+}
+
+impl Default for EdgeClosureCache {
+    fn default() -> Self {
+        EdgeClosureCache {
+            buckets: (0..Self::BUCKETS).map(|_| Default::default()).collect(),
+            hits: Default::default(),
+            misses: Default::default(),
+        }
+    }
+}
+
+impl EdgeClosureCache {
+    /// Lock stripes (power of two; sized for tens of writer threads).
+    const BUCKETS: usize = 32;
+    /// Entries kept per bucket before it is cleared wholesale.
+    const BUCKET_CAP: usize = 512;
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(std::sync::atomic::Ordering::Relaxed),
+            self.misses.load(std::sync::atomic::Ordering::Relaxed),
+        )
+    }
+
+    fn closure_for(
+        &self,
+        edge: (rxview_xmlkit::TypeId, rxview_xmlkit::TypeId),
+        parent_attr: &Tuple,
+        child_attr: &Tuple,
+        compute: impl FnOnce() -> Result<EdgeClosure, InsertRejection>,
+    ) -> Result<std::sync::Arc<EdgeClosure>, InsertRejection> {
+        use std::hash::{Hash, Hasher as _};
+        use std::sync::atomic::Ordering;
+        let key = (edge.0, edge.1, parent_attr.clone(), child_attr.clone());
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        let bucket = &self.buckets[hasher.finish() as usize % Self::BUCKETS];
+        if let Some(hit) = bucket.lock().expect("edge cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(std::sync::Arc::clone(hit));
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        // Computed outside the lock: a concurrent duplicate derivation is
+        // harmless (closures are deterministic), a held lock during the
+        // union-find is not.
+        let closure = std::sync::Arc::new(compute()?);
+        let mut map = bucket.lock().expect("edge cache poisoned");
+        if map.len() >= Self::BUCKET_CAP {
+            map.clear();
+        }
+        map.insert(key, std::sync::Arc::clone(&closure));
+        Ok(closure)
+    }
+}
+
+/// A closure plus the schemas of its FROM entries (looked up per call —
+/// schemas are borrowed from `base`, the closure may come from the cache).
+struct EdgeBinding<'a> {
+    schemas: Vec<&'a TableSchema>,
+    closure: std::sync::Arc<EdgeClosure>,
+}
+
+fn compute_edge_closure(
+    schemas: &[&TableSchema],
     query: &SpjQuery,
     param_fields: &[usize],
     parent_attr: &Tuple,
     child_attr: &Tuple,
-) -> Result<EdgeBinding<'a>, InsertRejection> {
+) -> Result<EdgeClosure, InsertRejection> {
     // Column universe.
-    let mut offsets = Vec::with_capacity(query.from().len());
-    let mut schemas: Vec<&TableSchema> = Vec::with_capacity(query.from().len());
+    let mut offsets = Vec::with_capacity(schemas.len());
     let mut total = 0usize;
-    for tr in query.from() {
+    for schema in schemas {
         offsets.push(total);
-        let schema = base
-            .table(&tr.table)
-            .map_err(InsertRejection::Rel)?
-            .schema();
-        schemas.push(schema);
         total += schema.arity();
     }
     let idx = |c: ColRef| offsets[c.rel] + c.col;
@@ -564,7 +657,8 @@ fn edge_binding<'a>(
             parent[ra] = rb;
         }
     }
-    // Known values per class.
+    // Known values per class. All unions happened above, so the
+    // representatives observed here are final.
     let mut known: HashMap<usize, Value> = HashMap::new();
     let mut learn = |parent: &mut [usize], c: ColRef, v: Value| -> Result<(), InsertRejection> {
         let r = find(parent, idx(c));
@@ -592,12 +686,39 @@ fn edge_binding<'a>(
             _ => {}
         }
     }
-    Ok(EdgeBinding {
-        schemas,
+    let reps = (0..total).map(|i| find(&mut parent, i)).collect();
+    Ok(EdgeClosure {
         offsets,
-        parent,
+        reps,
         known,
     })
+}
+
+fn edge_binding<'a>(
+    base: &'a Database,
+    cache: Option<(
+        &EdgeClosureCache,
+        (rxview_xmlkit::TypeId, rxview_xmlkit::TypeId),
+    )>,
+    query: &SpjQuery,
+    param_fields: &[usize],
+    parent_attr: &Tuple,
+    child_attr: &Tuple,
+) -> Result<EdgeBinding<'a>, InsertRejection> {
+    let mut schemas: Vec<&TableSchema> = Vec::with_capacity(query.from().len());
+    for tr in query.from() {
+        schemas.push(
+            base.table(&tr.table)
+                .map_err(InsertRejection::Rel)?
+                .schema(),
+        );
+    }
+    let compute = || compute_edge_closure(&schemas, query, param_fields, parent_attr, child_attr);
+    let closure = match cache {
+        Some((cache, edge)) => cache.closure_for(edge, parent_attr, child_attr, compute)?,
+        None => std::sync::Arc::new(compute()?),
+    };
+    Ok(EdgeBinding { schemas, closure })
 }
 
 /// The ground primary key of every base row the rule query's templates
@@ -614,15 +735,44 @@ pub fn edge_template_keys(
     parent_attr: &Tuple,
     child_attr: &Tuple,
 ) -> Result<Vec<(String, Tuple)>, InsertRejection> {
-    let mut b = edge_binding(base, query, param_fields, parent_attr, child_attr)?;
+    let b = edge_binding(base, None, query, param_fields, parent_attr, child_attr)?;
+    template_keys_of(&b, query)
+}
+
+/// [`edge_template_keys`] through a [`EdgeClosureCache`]: the planner's dry
+/// run populates the cache entry the real translation of the same edge
+/// reuses (`edge` is the `(parent type, child type)` production edge the
+/// rule query belongs to).
+pub fn edge_template_keys_cached(
+    base: &Database,
+    cache: &EdgeClosureCache,
+    edge: (rxview_xmlkit::TypeId, rxview_xmlkit::TypeId),
+    query: &SpjQuery,
+    param_fields: &[usize],
+    parent_attr: &Tuple,
+    child_attr: &Tuple,
+) -> Result<Vec<(String, Tuple)>, InsertRejection> {
+    let b = edge_binding(
+        base,
+        Some((cache, edge)),
+        query,
+        param_fields,
+        parent_attr,
+        child_attr,
+    )?;
+    template_keys_of(&b, query)
+}
+
+fn template_keys_of(
+    b: &EdgeBinding<'_>,
+    query: &SpjQuery,
+) -> Result<Vec<(String, Tuple)>, InsertRejection> {
     let mut out = Vec::with_capacity(query.from().len());
     for (rel, tr) in query.from().iter().enumerate() {
-        let key_cols: Vec<usize> = b.schemas[rel].key().to_vec();
-        let offset = b.offsets[rel];
-        let mut key_vals = Vec::with_capacity(key_cols.len());
-        for kc in key_cols {
-            let r = b.find(offset + kc);
-            match b.known.get(&r) {
+        let offset = b.closure.offsets[rel];
+        let mut key_vals = Vec::with_capacity(b.schemas[rel].key().len());
+        for &kc in b.schemas[rel].key() {
+            match b.closure.known_at(offset + kc) {
                 Some(v) => key_vals.push(v.clone()),
                 None => {
                     return Err(InsertRejection::Rel(RelError::NotKeyPreserving {
@@ -639,8 +789,11 @@ pub fn edge_template_keys(
 /// Derives the per-table templates for one inserted edge using the equality
 /// closure of the rule query with `$parent` bound to `params` and the output
 /// bound to `child`.
+#[allow(clippy::too_many_arguments)]
 fn derive_templates(
     base: &Database,
+    cache: &EdgeClosureCache,
+    edge: (rxview_xmlkit::TypeId, rxview_xmlkit::TypeId),
     query: &SpjQuery,
     param_fields: &[usize],
     parent_attr: &Tuple,
@@ -648,16 +801,23 @@ fn derive_templates(
     vars: &mut Vars,
     templates: &mut BTreeMap<(String, Tuple), Template>,
 ) -> Result<(), InsertRejection> {
-    let mut binding = edge_binding(base, query, param_fields, parent_attr, child_attr)?;
+    let binding = edge_binding(
+        base,
+        Some((cache, edge)),
+        query,
+        param_fields,
+        parent_attr,
+        child_attr,
+    )?;
     // Variables per undetermined class.
     let mut class_var: HashMap<usize, usize> = HashMap::new();
     for (rel, tr) in query.from().iter().enumerate() {
         let schema = binding.schemas[rel];
-        let offset = binding.offsets[rel];
+        let offset = binding.closure.offsets[rel];
         let mut cells = Vec::with_capacity(schema.arity());
         for col in 0..schema.arity() {
-            let r = binding.find(offset + col);
-            match binding.known.get(&r) {
+            let r = binding.closure.rep(offset + col);
+            match binding.closure.known.get(&r) {
                 Some(v) => cells.push(Sym::Known(v.clone())),
                 None => {
                     let vid = *class_var.entry(r).or_insert_with(|| {

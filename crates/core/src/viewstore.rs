@@ -21,6 +21,11 @@ pub struct ViewStore {
     dag: Dag,
     gen_db: Database,
     edge_queries: BTreeMap<(TypeId, TypeId), SpjQuery>,
+    /// Plan→translate memo of per-edge equality closures, shared (`Arc`)
+    /// between a snapshot's planner and the shard replicas cloned from it —
+    /// the closure depends only on grammar, schemas, and attribute tuples,
+    /// so entries never invalidate.
+    edge_cache: std::sync::Arc<crate::rel_insert::EdgeClosureCache>,
 }
 
 impl ViewStore {
@@ -46,6 +51,7 @@ impl ViewStore {
             dag,
             gen_db,
             edge_queries,
+            edge_cache: std::sync::Arc::default(),
         };
         let live: Vec<NodeId> = vs.dag.genid().live_ids().collect();
         for id in live {
@@ -73,6 +79,7 @@ impl ViewStore {
             dag,
             gen_db,
             edge_queries,
+            edge_cache: std::sync::Arc::default(),
         }
     }
 
@@ -94,6 +101,12 @@ impl ViewStore {
     /// The database of `gen_A` tables.
     pub fn gen_db(&self) -> &Database {
         &self.gen_db
+    }
+
+    /// The plan→translate memo of per-edge equality closures (see
+    /// [`crate::rel_insert::EdgeClosureCache`]).
+    pub fn edge_cache(&self) -> &crate::rel_insert::EdgeClosureCache {
+        &self.edge_cache
     }
 
     /// The augmented table source: base relations shadowing the gen tables.

@@ -6,128 +6,87 @@
 //! This module computes a conservative per-update [`Analysis`] from two
 //! complementary views of the update:
 //!
-//! - **Anchored cone** (view structure): a target path whose first
-//!   normalized step is a labelled child step qualified by a `field = value`
-//!   filter is *anchored* — every possible match lies in the cone
-//!   `{anchor} ∪ desc(anchor)` of the top-level nodes satisfying the filter
-//!   (descendant sets come from the maintained reachability matrix `M`,
-//!   §3.1). Updates with disjoint cones touch disjoint view regions.
-//!   Unanchored paths (leading `//` or wildcard) are *global* and conflict
-//!   with everything.
+//! - **Cone union** (view structure): the target path is classified by
+//!   [`rxview_core::pathclass`] into one of
+//!   - *anchored* — the first normalized step is a labelled child step; the
+//!     cone is `{anchor} ∪ desc(anchor)` for each top-level node satisfying
+//!     the step's `field = value` filters (descendant sets come from the
+//!     maintained reachability matrix `M`, §3.1);
+//!   - *multi-anchor* — a leading-`//label` (or wildcard-rooted) path whose
+//!     candidate matches are enumerated concretely: the ATG's type-level
+//!     reachability closure ([`rxview_atg::TypeReach`]) bounds which types
+//!     can match, and the `gen_label` registry is probed with the filter's
+//!     typed `(table, column, value)` keys, exactly like an anchored-filter
+//!     probe. The cone is the union over the candidates of
+//!     `{anchor} ∪ desc ∪ anc` — ancestors included because a `//`-match's
+//!     parent edges climb above it. Updates with disjoint cone unions (and
+//!     disjoint typed footprints) touch disjoint view regions, so `//`
+//!     traffic rides ordinary shardable rounds;
+//!   - *global* — nothing bounds the path (unfilterable wildcard, bare
+//!     `//`, a candidate set past [`AnalyzeOptions::max_cone_anchors`]): it
+//!     conflicts with everything and serializes through the publisher's
+//!     global lane, now a rare fallback rather than the lane every `//`
+//!     update rides.
 //! - **Typed relational footprint** ([`rxview_core::RelFootprint`]): a
 //!   footprint-only dry run of the §3.3/§4 translation — nothing applied,
 //!   nothing interned — yields the `(table, column, value)` keys the update
-//!   reads (anchor-filter probes against the `gen_A` tables) and may write
+//!   reads (filter probes against the `gen_A` tables) and may write
 //!   (candidate deletable sources for deletions; ground template keys and
 //!   the would-be allocation catalog for insertions). Read/read never
-//!   conflicts; read/write and write/write on the same key do. This
-//!   replaces the former *textual* value-key heuristic, which serialized
-//!   any textual reuse of an inserted attribute value regardless of table
-//!   or column.
+//!   conflicts; read/write and write/write on the same key do.
 //!
-//! The cone doubles as an evaluation *scope*: because cones are closed
-//! under descendants, projecting the maintained topological order `L` onto
-//! `{cone} ∪ {root}` yields a valid order for the sub-DAG, and the §3.2
-//! two-pass evaluation run over that projection returns exactly the matches
-//! of the full evaluation — at cost proportional to the cone, not the view.
-//! The dry run needs that evaluation anyway (deletion write keys come from
-//! the matched edges), so the analysis returns it for the write path to
-//! reuse: within a conflict-free round every update's evaluation against
-//! the planning snapshot equals its evaluation at apply time.
+//! The cone union doubles as an evaluation *scope*: projecting the
+//! maintained topological order `L` onto `{root} ∪ cones`
+//! ([`rxview_core::union_scope`]) yields a valid order for the sub-DAG, and
+//! the §3.2 two-pass evaluation run over that projection returns exactly
+//! the matches of the full evaluation — at cost proportional to the cones,
+//! not the view. The dry run needs that evaluation anyway (deletion write
+//! keys come from the matched edges), so the analysis returns it for the
+//! write path to reuse: within a conflict-free round every update's
+//! evaluation against the planning snapshot equals its evaluation at apply
+//! time.
 
 use rxview_atg::NodeId;
 use rxview_core::{
-    plan_subtree, planned_delete_writes, planned_insert_writes, DagEval, RelFootprint, TopoOrder,
+    classify, plan_subtree, planned_delete_writes, planned_insert_writes,
+    resolve_descendant_anchors, union_scope, DagEval, PathClass, RelFootprint, TopoOrder,
     XmlUpdate, XmlViewSystem,
 };
-use rxview_xmlkit::xpath::ast::{NodeTest, StepKind};
-use rxview_xmlkit::{normalize, Filter, NormStep, TypeId, XPath};
-use std::collections::{BTreeSet, HashMap, HashSet};
+use rxview_xmlkit::{TypeId, XPath};
+use std::collections::{HashMap, HashSet};
 
-/// The `field = value` pairs usable for anchor detection, extracted from the
-/// filter immediately qualifying the path's first labelled step.
-fn filter_keys(filter: &Filter, out: &mut Vec<(String, String)>) {
-    match filter {
-        Filter::PathEq(p, v) => {
-            if let [step] = p.steps.as_slice() {
-                if step.filters.is_empty() {
-                    if let StepKind::Child(NodeTest::Label(field)) = &step.kind {
-                        out.push((field.clone(), v.clone()));
-                    }
-                }
-            }
+/// Knobs of one conflict analysis (derived from the engine configuration).
+#[derive(Debug, Clone, Copy)]
+pub struct AnalyzeOptions {
+    /// Whether the dry-run evaluation runs scoped to the cone union (exact
+    /// for classified paths) or over the full view.
+    pub scoped_eval: bool,
+    /// Whether leading-`//` / wildcard-rooted paths resolve to bounded
+    /// multi-anchor cones (`false` restores the pre-type-indexed behavior:
+    /// every such update is global and serializes).
+    pub descendant_cones: bool,
+    /// Largest candidate-anchor set a `//`-path may resolve to before the
+    /// analysis degrades it to a global footprint.
+    pub max_cone_anchors: usize,
+}
+
+impl Default for AnalyzeOptions {
+    fn default() -> Self {
+        AnalyzeOptions {
+            scoped_eval: true,
+            descendant_cones: true,
+            max_cone_anchors: 64,
         }
-        // A conjunction anchors if either side does (superset of matches).
-        Filter::And(a, b) => {
-            filter_keys(a, out);
-            filter_keys(b, out);
-        }
-        _ => {}
     }
 }
 
-/// The first-step anchor pattern of a path: the first labelled step's type
-/// and the `field = value` filters qualifying it. `None` means the path is
-/// not anchored (global footprint).
-fn anchor_pattern(sys: &XmlViewSystem, path: &XPath) -> Option<(TypeId, Vec<(String, String)>)> {
-    let norm = normalize(path);
-    let mut steps = norm.steps.iter();
-    let NormStep::Label(first) = steps.next()? else {
-        return None;
-    };
-    let first_ty = sys.view().atg().dtd().type_id(first)?;
-    // Equality filters directly qualifying the first step.
-    let mut keys: Vec<(String, String)> = Vec::new();
-    for step in steps {
-        let NormStep::FilterStep(f) = step else { break };
-        filter_keys(f, &mut keys);
-    }
-    Some((first_ty, keys))
-}
-
-/// A resolved anchor pattern: the first step's type, the matching top-level
-/// nodes, and the `field = value` filter pairs that selected them.
-type AnchorMatch = (TypeId, Vec<NodeId>, Vec<(String, String)>);
-
-/// The anchor set of a path: the top-level nodes every match must pass
-/// through. `None` means the path is not anchored (global footprint).
-/// With `index` supplied, candidate resolution is an index probe instead of
-/// a scan over all top-level nodes.
-fn anchors_of(
-    sys: &XmlViewSystem,
-    index: Option<&AnchorIndex>,
-    path: &XPath,
-) -> Option<AnchorMatch> {
-    let (first_ty, keys) = anchor_pattern(sys, path)?;
-    if let Some(index) = index {
-        return Some((first_ty, index.anchors(sys, first_ty, &keys), keys));
-    }
-
-    let vs = sys.view();
-    let dtd = vs.atg().dtd();
-    let mut cache = HashMap::new();
-    let mut anchors = Vec::new();
-    'cand: for &c in vs.dag().children(vs.dag().root()) {
-        if vs.dag().genid().type_of(c) != first_ty || !vs.dag().genid().is_live(c) {
-            continue;
-        }
-        for (field, value) in &keys {
-            let Some(field_ty) = dtd.type_id(field) else {
-                continue 'cand;
-            };
-            if !dtd.is_pcdata(field_ty) {
-                continue; // structural filter: not usable for pruning
-            }
-            let matched = vs.dag().children(c).iter().any(|&k| {
-                vs.dag().genid().type_of(k) == field_ty && vs.text_value(k, &mut cache) == *value
-            });
-            if !matched {
-                continue 'cand;
-            }
-        }
-        anchors.push(c);
-    }
-    Some((first_ty, anchors, keys))
+/// A resolved anchor set plus how it was obtained.
+struct ResolvedAnchors {
+    anchors: Vec<NodeId>,
+    /// `//`-headed: cones close over ancestors too, and the analysis counts
+    /// as multi-cone for observability.
+    with_ancestors: bool,
+    multi_cone: bool,
 }
 
 /// An index of anchor candidates over one system state: top-level nodes by
@@ -179,7 +138,7 @@ impl AnchorIndex {
         ix
     }
 
-    /// The anchors matching a first-step pattern (see `anchors_of`).
+    /// The anchors matching a first-step pattern of type `first_ty`.
     fn anchors(
         &self,
         sys: &XmlViewSystem,
@@ -218,26 +177,128 @@ impl AnchorIndex {
     }
 }
 
+/// Scan fallback for anchored resolution without a per-round index: live
+/// top-level nodes of `first_ty` satisfying the `field = value` keys.
+fn scan_top_level(sys: &XmlViewSystem, first_ty: TypeId, keys: &[(String, String)]) -> Vec<NodeId> {
+    let vs = sys.view();
+    let dtd = vs.atg().dtd();
+    let mut cache = HashMap::new();
+    let mut anchors = Vec::new();
+    'cand: for &c in vs.dag().children(vs.dag().root()) {
+        if vs.dag().genid().type_of(c) != first_ty || !vs.dag().genid().is_live(c) {
+            continue;
+        }
+        for (field, value) in keys {
+            let Some(field_ty) = dtd.type_id(field) else {
+                continue 'cand;
+            };
+            if !dtd.is_pcdata(field_ty) {
+                continue; // structural filter: not usable for pruning
+            }
+            let matched = vs.dag().children(c).iter().any(|&k| {
+                vs.dag().genid().type_of(k) == field_ty && vs.text_value(k, &mut cache) == *value
+            });
+            if !matched {
+                continue 'cand;
+            }
+        }
+        anchors.push(c);
+    }
+    anchors
+}
+
+/// Resolves the anchor set of a classified path against the current state,
+/// recording the typed reads the resolution depends on. `None` means the
+/// path stays global.
+fn resolve_anchors(
+    sys: &XmlViewSystem,
+    index: Option<&AnchorIndex>,
+    class: &PathClass,
+    opts: &AnalyzeOptions,
+    rel: &mut RelFootprint,
+) -> Option<ResolvedAnchors> {
+    let vs = sys.view();
+    let dtd = vs.atg().dtd();
+    match class {
+        PathClass::Anchored { first_ty, keys } => {
+            rel.add_anchor_reads(vs, *first_ty, keys);
+            let anchors = match index {
+                Some(ix) => ix.anchors(sys, *first_ty, keys),
+                None => scan_top_level(sys, *first_ty, keys),
+            };
+            Some(ResolvedAnchors {
+                anchors,
+                with_ancestors: false,
+                multi_cone: false,
+            })
+        }
+        PathClass::WildcardRoot { keys } if opts.descendant_cones && !keys.is_empty() => {
+            // Matches are top-level nodes of any root-child type: resolve
+            // per candidate type like an anchored path. Reads cover every
+            // type that could *become* a matching top-level node. The type
+            // list is deduplicated — a Sequence production may repeat a
+            // child type, and duplicate anchors would double cones and
+            // spuriously trip the anchor cap.
+            let types: std::collections::BTreeSet<TypeId> =
+                dtd.children_of(dtd.root()).into_iter().collect();
+            let mut anchors = Vec::new();
+            for ty in types {
+                rel.add_anchor_reads(vs, ty, keys);
+                match index {
+                    Some(ix) => anchors.extend(ix.anchors(sys, ty, keys)),
+                    None => anchors.extend(scan_top_level(sys, ty, keys)),
+                }
+            }
+            if anchors.len() > opts.max_cone_anchors {
+                return None;
+            }
+            Some(ResolvedAnchors {
+                anchors,
+                with_ancestors: false,
+                multi_cone: true,
+            })
+        }
+        PathClass::Descendant { target_ty, keys } if opts.descendant_cones => {
+            let anchors =
+                resolve_descendant_anchors(vs, *target_ty, keys, opts.max_cone_anchors, rel)?;
+            Some(ResolvedAnchors {
+                anchors,
+                with_ancestors: true,
+                multi_cone: true,
+            })
+        }
+        _ => None,
+    }
+}
+
 /// Conservative footprint of one update against a given system state.
 #[derive(Debug, Clone)]
 pub struct Analysis {
-    /// Cone of view nodes the update can read or write; `None` = global.
+    /// Union of the anchor cones the update can read or write; `None` =
+    /// global. (Pairwise disjointness of two cone *sets* is exactly
+    /// disjointness of their unions, so the union is stored flat.)
     cone: Option<HashSet<NodeId>>,
-    /// Typed relational footprint: anchor-filter reads plus the planned
+    /// Number of anchor cones the union was built from.
+    n_cones: usize,
+    /// Whether the path resolved through the multi-anchor (`//`-headed or
+    /// wildcard-rooted) classifier rather than a single top-level anchor
+    /// pattern.
+    multi_cone: bool,
+    /// Typed relational footprint: filter-probe reads plus the planned
     /// (conservative) write keys of the dry-run translation.
     rel: RelFootprint,
 }
 
 /// Everything one conflict analysis produces: the footprint, and — for
-/// anchored updates — the §3.2 evaluation the dry run performed against the
-/// planning state, which the write path reuses instead of evaluating again.
+/// classified updates — the §3.2 evaluation the dry run performed against
+/// the planning state, which the write path reuses instead of evaluating
+/// again.
 pub struct AnalysisParts {
     /// The conflict footprint.
     pub analysis: Analysis,
     /// The dry-run evaluation (`None` for global-footprint updates, which
     /// the write path evaluates itself on the serialized lane). It ran
-    /// scoped to the anchor cone iff the caller requested scoped
-    /// evaluation.
+    /// scoped to the cone union iff the caller requested scoped evaluation.
     pub eval: Option<DagEval>,
     /// Wall-clock of the evaluation alone (zero when `eval` is `None`) —
     /// callers record it in the eval phase bucket; the rest of the
@@ -246,7 +307,8 @@ pub struct AnalysisParts {
 }
 
 impl Analysis {
-    /// Analyzes `update` against the current state of `sys`.
+    /// Analyzes `update` against the current state of `sys` under default
+    /// options.
     ///
     /// Text (`pcdata`) nodes are excluded from the cone even when shared:
     /// their text and identity are immutable, the DTD guarantees they never
@@ -257,41 +319,57 @@ impl Analysis {
     /// synthetic dataset's `payload`) would put every pair of anchors in
     /// conflict and reduce every batch to a singleton.
     pub fn of(sys: &XmlViewSystem, update: &XmlUpdate) -> Analysis {
-        Analysis::parts(sys, None, update, true).analysis
+        Analysis::parts(sys, None, update, &AnalyzeOptions::default()).analysis
     }
 
-    /// Full analysis with anchor candidates resolved through an optional
-    /// per-round [`AnchorIndex`] built from the same state. `scoped_eval`
-    /// selects whether the dry-run evaluation runs scoped to the anchor
-    /// cone (exact for anchored paths) or over the full view.
+    /// Full analysis with top-level anchor candidates resolved through an
+    /// optional per-round [`AnchorIndex`] built from the same state (the
+    /// `//`-path candidates probe the maintained `gen_A` registries
+    /// directly, whose lazy column indexes persist across rounds).
     pub fn parts(
         sys: &XmlViewSystem,
         index: Option<&AnchorIndex>,
         update: &XmlUpdate,
-        scoped_eval: bool,
+        opts: &AnalyzeOptions,
     ) -> AnalysisParts {
         let dtd = sys.view().atg().dtd();
         let genid = sys.view().dag().genid();
+        let root = sys.view().dag().root();
         let interior = |v: &NodeId| !dtd.is_pcdata(genid.type_of(*v));
         let global = || AnalysisParts {
             analysis: Analysis {
                 cone: None,
+                n_cones: 0,
+                multi_cone: false,
                 rel: RelFootprint::default(),
             },
             eval: None,
             eval_time: std::time::Duration::ZERO,
         };
-        let Some((first_ty, anchors, keys)) = anchors_of(sys, index, update.path()) else {
+
+        let class = classify(dtd, update.path());
+        let mut rel = RelFootprint::default();
+        let Some(resolved) = resolve_anchors(sys, index, &class, opts, &mut rel) else {
             return global();
         };
+        let ResolvedAnchors {
+            anchors,
+            with_ancestors,
+            multi_cone,
+        } = resolved;
 
-        let mut rel = RelFootprint::default();
-        rel.add_anchor_reads(sys.view(), first_ty, &keys);
-        // The dry-run evaluation: exact on the anchor scope, and reusable by
-        // the write path because the round applies to this very state.
+        // The dry-run evaluation: exact on the cone-union scope, and
+        // reusable by the write path because the round applies to this very
+        // state.
         let t_eval = std::time::Instant::now();
-        let eval = if scoped_eval {
-            let scope = scope_of_anchors(sys, &anchors);
+        let eval = if opts.scoped_eval {
+            let scope = union_scope(
+                sys.view(),
+                sys.topo(),
+                sys.reach(),
+                &anchors,
+                with_ancestors,
+            );
             sys.evaluate_scoped(update.path(), &scope)
         } else {
             sys.evaluate(update.path())
@@ -299,9 +377,21 @@ impl Analysis {
         let eval_time = t_eval.elapsed();
 
         let mut cone = HashSet::new();
-        for a in anchors {
+        let n_cones = anchors.len();
+        for &a in &anchors {
             cone.insert(a);
             cone.extend(sys.reach().descendants(a).iter().filter(|v| interior(v)));
+            if with_ancestors {
+                // A `//`-match's parent edges and matched root-paths climb
+                // above it: its ancestor chain (minus the root, which every
+                // cone would share) joins the footprint.
+                cone.extend(
+                    sys.reach()
+                        .ancestors(a)
+                        .iter()
+                        .filter(|v| **v != root && interior(v)),
+                );
+            }
         }
 
         let planned_ok = match update {
@@ -371,6 +461,8 @@ impl Analysis {
         AnalysisParts {
             analysis: Analysis {
                 cone: Some(cone),
+                n_cones,
+                multi_cone,
                 rel,
             },
             eval: Some(eval),
@@ -381,6 +473,18 @@ impl Analysis {
     /// Whether the update is global (conflicts with everything).
     pub fn is_global(&self) -> bool {
         self.cone.is_none()
+    }
+
+    /// Whether the path resolved through the multi-anchor (`//`-headed or
+    /// wildcard-rooted) classifier.
+    pub fn is_multi_cone(&self) -> bool {
+        self.multi_cone
+    }
+
+    /// Number of anchor cones the footprint was built from (0 for global
+    /// footprints and provably-empty candidate sets).
+    pub fn n_cones(&self) -> usize {
+        self.n_cones
     }
 
     /// The typed relational footprint (planned reads and writes).
@@ -433,31 +537,23 @@ impl BatchFootprint {
     }
 }
 
-/// The scope order for a given anchor set: the projection of `L` onto
-/// `{root} ∪ {anchors} ∪ desc(anchors)` (text nodes included — evaluation
-/// needs them for value filters).
-fn scope_of_anchors(sys: &XmlViewSystem, anchors: &[NodeId]) -> TopoOrder {
-    let mut cone: BTreeSet<NodeId> = BTreeSet::new();
-    for &a in anchors {
-        cone.insert(a);
-        cone.extend(sys.reach().descendants(a).iter().copied());
-    }
-    cone.insert(sys.view().dag().root());
-    let mut order: Vec<NodeId> = cone
-        .into_iter()
-        .filter(|v| sys.topo().position(*v).is_some())
-        .collect();
-    order.sort_by_key(|v| sys.topo().position(*v).expect("filtered"));
-    TopoOrder::from_order(order)
-}
-
-/// Builds the evaluation scope for an anchored update against the *current*
-/// state of `sys`: the projection of `L` onto `{root} ∪ {anchors} ∪
-/// desc(anchors)`. Returns `None` when the path is unanchored, in which case
-/// the caller must run the full evaluation.
+/// Builds the evaluation scope for a classified update against the
+/// *current* state of `sys`: the projection of `L` onto `{root} ∪ cones`
+/// (ancestor chains included for `//`-headed paths). Returns `None` when
+/// the path stays global, in which case the caller must run the full
+/// evaluation.
 pub fn evaluation_scope(sys: &XmlViewSystem, path: &XPath) -> Option<TopoOrder> {
-    let (_, anchors, _) = anchors_of(sys, None, path)?;
-    Some(scope_of_anchors(sys, &anchors))
+    let opts = AnalyzeOptions::default();
+    let class = classify(sys.view().atg().dtd(), path);
+    let mut rel = RelFootprint::default();
+    let resolved = resolve_anchors(sys, None, &class, &opts, &mut rel)?;
+    Some(union_scope(
+        sys.view(),
+        sys.topo(),
+        sys.reach(),
+        &resolved.anchors,
+        resolved.with_ancestors,
+    ))
 }
 
 #[cfg(test)]
@@ -479,6 +575,7 @@ mod tests {
         let u = XmlUpdate::delete("course[cno=CS650]/prereq/course[cno=CS320]").unwrap();
         let a = Analysis::of(&sys, &u);
         assert!(!a.is_global());
+        assert!(!a.is_multi_cone());
     }
 
     #[test]
@@ -520,11 +617,80 @@ mod tests {
     }
 
     #[test]
-    fn recursive_path_is_global() {
+    fn filtered_recursive_path_resolves_to_bounded_cones() {
+        // Pre-PR-5 behavior: every leading-`//` path was global. The typed
+        // prefilter now bounds `//student[ssn=S02]` to the one matching
+        // node's cone.
         let sys = system();
         let u = XmlUpdate::delete("//student[ssn=S02]").unwrap();
         let a = Analysis::of(&sys, &u);
+        assert!(!a.is_global());
+        assert!(a.is_multi_cone());
+        assert_eq!(a.n_cones(), 1);
+    }
+
+    #[test]
+    fn untypeable_paths_stay_global() {
+        let sys = system();
+        // `*` without a usable key, and a `//`-head the flag disables.
+        let a = Analysis::of(&sys, &XmlUpdate::delete("*/prereq/course").unwrap());
         assert!(a.is_global());
+        let opts = AnalyzeOptions {
+            descendant_cones: false,
+            ..AnalyzeOptions::default()
+        };
+        let parts = Analysis::parts(
+            &sys,
+            None,
+            &XmlUpdate::delete("//student[ssn=S02]").unwrap(),
+            &opts,
+        );
+        assert!(parts.analysis.is_global());
+        // A candidate set past the cap degrades too (3 courses, cap 1).
+        let opts = AnalyzeOptions {
+            max_cone_anchors: 1,
+            ..AnalyzeOptions::default()
+        };
+        let parts = Analysis::parts(&sys, None, &XmlUpdate::delete("//course").unwrap(), &opts);
+        assert!(parts.analysis.is_global());
+    }
+
+    #[test]
+    fn descendant_cone_includes_ancestors() {
+        // `//course[cno=CS320]` matches the shared CS320 node; its cone
+        // must contain the ancestors its parent edges climb through
+        // (CS650's prereq node), so an update anchored at CS650 conflicts.
+        let sys = system();
+        let desc = Analysis::of(&sys, &XmlUpdate::delete("//course[cno=CS320]").unwrap());
+        assert!(!desc.is_global());
+        let anchored = Analysis::of(
+            &sys,
+            &XmlUpdate::delete("course[cno=CS650]/prereq/course").unwrap(),
+        );
+        let mut batch = BatchFootprint::default();
+        batch.absorb(&anchored);
+        assert!(
+            batch.conflicts(&desc),
+            "`//CS320` must conflict with CS650's cone"
+        );
+    }
+
+    #[test]
+    fn disjoint_descendant_cones_commute() {
+        // Two typed probes on different students resolve independently.
+        let sys = system();
+        let a = Analysis::of(&sys, &XmlUpdate::delete("//student[ssn=S01]").unwrap());
+        let b = Analysis::of(&sys, &XmlUpdate::delete("//student[ssn=S02]").unwrap());
+        assert!(!a.is_global() && !b.is_global());
+        // Both climb to shared ancestors (takenBy nodes under shared
+        // courses), so conflict here is expected iff the cones overlap —
+        // just assert the analysis is consistent both ways.
+        let mut batch = BatchFootprint::default();
+        batch.absorb(&a);
+        let ab = batch.conflicts(&b);
+        let mut batch2 = BatchFootprint::default();
+        batch2.absorb(&b);
+        assert_eq!(ab, batch2.conflicts(&a), "conflict must be symmetric");
     }
 
     #[test]
@@ -562,6 +728,45 @@ mod tests {
         let mut batch = BatchFootprint::default();
         batch.absorb(&a);
         assert!(batch.conflicts(&Analysis::of(&sys, &del)));
+    }
+
+    #[test]
+    fn insert_conflicts_with_descendant_probe_of_same_key() {
+        // The `//` analogue: `//course[cno=MA100]` reads the same typed
+        // (gen_course, cno, MA100) key the insertion writes, so the probe
+        // cannot go stale inside a round.
+        let sys = system();
+        let ins = XmlUpdate::insert(
+            "course",
+            tuple!["MA100", "Calculus"],
+            "course[cno=CS650]/prereq",
+        )
+        .unwrap();
+        let probe = XmlUpdate::delete("//course[cno=MA100]").unwrap();
+        let a = Analysis::of(&sys, &ins);
+        let b = Analysis::of(&sys, &probe);
+        assert!(!b.is_global());
+        assert!(a.rel().conflicts(b.rel()), "probe read vs gen write");
+    }
+
+    #[test]
+    fn unfiltered_descendant_reads_whole_registry() {
+        // `//student` under the cap resolves, but depends on the whole
+        // gen_student registry: any student interning conflicts.
+        let sys = system();
+        let a = Analysis::of(&sys, &XmlUpdate::delete("//student").unwrap());
+        assert!(!a.is_global());
+        let ins = XmlUpdate::insert(
+            "student",
+            tuple!["S77", "Carol"],
+            "course[cno=CS650]/takenBy",
+        )
+        .unwrap();
+        let b = Analysis::of(&sys, &ins);
+        assert!(
+            a.rel().conflicts(b.rel()),
+            "whole-registry read vs student interning"
+        );
     }
 
     #[test]
@@ -629,9 +834,19 @@ mod tests {
             "course[cno=CS320]/takenBy/student[ssn=S02]",
             "course[cno=CS650]/prereq/course",
             "course[cno=NOPE]/prereq",
+            // `//`-headed paths now evaluate scoped to their cone unions.
+            "//course[cno=CS320]",
+            "//course[cno=CS320]/prereq/course",
+            "//student[ssn=S02]",
+            "//course[cno=CS320]//student[ssn=S02]",
+            "//course[cno=NOPE]",
+            "//student",
+            "//course",
+            // Wildcard-rooted with a usable key.
+            "*[cno=CS650]/prereq/course",
         ] {
             let p = rxview_xmlkit::parse_xpath(path).unwrap();
-            let scope = evaluation_scope(&sys, &p).expect("anchored path");
+            let scope = evaluation_scope(&sys, &p).expect("classified path");
             let scoped = sys.evaluate_scoped(&p, &scope);
             let full = sys.evaluate(&p);
             assert_eq!(

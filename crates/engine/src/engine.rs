@@ -9,7 +9,7 @@
 //!   round across `shard` writer threads and the `publisher` merges their
 //!   translations into one epoch-ordered snapshot stream.
 
-use crate::analyze::{Analysis, BatchFootprint};
+use crate::analyze::{Analysis, AnalyzeOptions, BatchFootprint};
 use crate::checkpoint::{self, Checkpointer};
 use crate::publisher;
 use crate::recovery::{self, RecoverError, RecoveryReport};
@@ -42,6 +42,16 @@ pub struct EngineConfig {
     /// Whether key-anchored paths may be evaluated scoped to their anchor
     /// cone (disable to force full §3.2 evaluation for every update).
     pub scoped_eval: bool,
+    /// Whether leading-`//` and wildcard-rooted paths resolve to bounded
+    /// multi-anchor cones through the grammar's type-level reachability
+    /// closure and typed `gen_A` probes. Disable to restore the
+    /// pre-type-indexed behavior (every such update is global and commits
+    /// alone through the serialized lane) — the bench baseline.
+    pub descendant_cones: bool,
+    /// Largest candidate-anchor set a `//`-path may resolve to before its
+    /// analysis degrades to a global footprint (bounds per-update analysis
+    /// cost on unfiltered or very popular `//label` heads).
+    pub max_cone_anchors: usize,
     /// Number of parallel shard writers. `0` or `1` selects the single-writer
     /// group-commit path; `n >= 2` runs `n` shard writer threads over
     /// anchor-cone partitions with a serialized global lane and a merging
@@ -59,12 +69,30 @@ pub struct EngineConfig {
     pub checkpoint_rounds: u64,
 }
 
+impl EngineConfig {
+    /// The conflict-analysis knobs this configuration selects.
+    pub(crate) fn analyze_options(&self) -> AnalyzeOptions {
+        AnalyzeOptions {
+            scoped_eval: self.scoped_eval,
+            descendant_cones: self.descendant_cones,
+            max_cone_anchors: self.max_cone_anchors,
+        }
+    }
+}
+
 impl Default for EngineConfig {
     fn default() -> Self {
+        // The analysis knobs come from AnalyzeOptions::default() — one
+        // source of truth, so the engine's planner and the standalone
+        // analysis entry points (Analysis::of, evaluation_scope) can never
+        // silently disagree on defaults.
+        let analyze = AnalyzeOptions::default();
         EngineConfig {
             max_batch: 256,
             max_queue: 65_536,
-            scoped_eval: true,
+            scoped_eval: analyze.scoped_eval,
+            descendant_cones: analyze.descendant_cones,
+            max_cone_anchors: analyze.max_cone_anchors,
             n_shards: 1,
             durability: Durability::Off,
             checkpoint_rounds: 1024,
@@ -600,6 +628,8 @@ impl Engine {
             let mut batch_foot = BatchFootprint::default();
             let mut blocked_foot = BatchFootprint::default();
             let mut any_blocked = false;
+            let mut batch_multi_cone = 0usize;
+            let opts = self.inner.config.analyze_options();
             // Anchor candidates are indexed once per round, built on the
             // first analysis that needs them.
             let anchor_index: std::cell::OnceCell<crate::analyze::AnchorIndex> =
@@ -625,7 +655,7 @@ impl Engine {
                                 crate::analyze::AnchorIndex::build(current.system())
                             })),
                             &p.update,
-                            self.inner.config.scoped_eval,
+                            &opts,
                         );
                         if parts.eval.is_some() {
                             // The dry run evaluated the path against the
@@ -652,6 +682,9 @@ impl Engine {
                     deferred.push((i, p, cached));
                 } else {
                     batch_foot.absorb(&a);
+                    if a.is_multi_cone() {
+                        batch_multi_cone += 1;
+                    }
                     batch.push((i, p, eval));
                 }
             }
@@ -700,6 +733,11 @@ impl Engine {
             self.inner
                 .stats
                 .record_round_width(planned_width, applied.len());
+            if batch_multi_cone > 0 {
+                self.inner
+                    .stats
+                    .record_multi_cone_round(batch_multi_cone, applied.len());
+            }
 
             // Folded phase 6: one maintenance pass for the whole batch.
             let t2 = Instant::now();

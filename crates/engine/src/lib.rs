@@ -40,9 +40,13 @@
 //!   covered by planned ones), folds the whole round's ∆(M,L) into one
 //!   pass, and publishes
 //!   one epoch per round — so readers keep a single coherent, epoch-ordered
-//!   snapshot stream. Unanchored `//`-path updates serialize through a
-//!   global lane. Both write paths are property-tested observationally
-//!   equivalent to sequential application.
+//!   snapshot stream. Leading-`//` and wildcard-rooted updates resolve to
+//!   bounded multi-anchor cones through the grammar's type-level
+//!   reachability closure and typed `gen_A` probes
+//!   ([`rxview_core::pathclass`]), so they ride ordinary shardable rounds;
+//!   only genuinely untypeable paths serialize through the global lane.
+//!   Both write paths are property-tested observationally equivalent to
+//!   sequential application.
 //! - **Durability** ([`Durability`], [`Engine::with_durability`],
 //!   [`Engine::recover`]): the publisher appends each committed round —
 //!   `(epoch, applied updates in submission order)` — to a checksummed,
@@ -79,7 +83,7 @@ pub mod snapshot;
 pub mod stats;
 pub mod wal;
 
-pub use analyze::{Analysis, AnchorIndex, BatchFootprint};
+pub use analyze::{evaluation_scope, Analysis, AnalyzeOptions, AnchorIndex, BatchFootprint};
 pub use engine::{Engine, EngineConfig, EngineError, UpdateTicket, WriterHandle};
 pub use recovery::{RecoverError, RecoveryReport};
 pub use snapshot::Snapshot;

@@ -7,8 +7,9 @@
 //!
 //! 1. asks the [`crate::router`] for a conflict-free round plan against the
 //!    latest snapshot and dispatches it to the [`crate::shard`] pool (or
-//!    runs a global-footprint update directly on the master through the
-//!    serialized **global lane**);
+//!    runs a global-footprint update — a genuinely untypeable path, the
+//!    rare fallback since typed `//` planning — directly on the master
+//!    through the serialized **global lane**);
 //! 2. merges the returned bundles in **submission order**: re-interns each
 //!    translation's fresh allocations from its shard's catalog, remaps it
 //!    into master ids, and applies ∆R/∆V
@@ -103,7 +104,7 @@ pub(crate) fn commit_sharded(inner: &Inner, pending: Vec<Pending>) -> CommitSumm
             &mut entries,
             n_shards,
             inner.config.max_batch,
-            inner.config.scoped_eval,
+            &inner.config.analyze_options(),
             stats,
         );
         // Dry-run evaluation time inside plan_round is recorded as eval;
@@ -114,7 +115,7 @@ pub(crate) fn commit_sharded(inner: &Inner, pending: Vec<Pending>) -> CommitSumm
             // --- Serialized global lane: one `//`-path update, applied
             // directly to the master (full §3.2 evaluation). ---
             Round::Global(pu) => {
-                stats.record_global_lane();
+                stats.record_global_lane_round();
                 stats.record_batch(1);
                 summary.batches += 1;
                 let t0 = Instant::now();
@@ -244,6 +245,9 @@ pub(crate) fn commit_sharded(inner: &Inner, pending: Vec<Pending>) -> CommitSumm
                     }
                 }
                 stats.record_round_width(plan.admitted.len(), applied.len());
+                if plan.multi_cone_admitted > 0 {
+                    stats.record_multi_cone_round(plan.multi_cone_admitted, applied.len());
+                }
 
                 // One folded ∆(M,L) pass for the whole round, then one
                 // publication.

@@ -19,10 +19,13 @@
 //! [`RelFootprint`] rides in the [`RoundPlan`] so the publisher can check —
 //! in debug builds — that every realized write was planned.
 //!
-//! Unanchored (`//`-path or wildcard-rooted) updates have a *global*
-//! footprint and conflict with everything: they reach the front of the
-//! queue, form a singleton round, and commit through the publisher's
-//! serialized global lane.
+//! Updates whose paths cannot be bounded — unfilterable wildcards, bare
+//! `//`, candidate sets past the anchor cap — have a *global* footprint and
+//! conflict with everything: they reach the front of the queue, form a
+//! singleton round, and commit through the publisher's serialized global
+//! lane. Typed leading-`//` and wildcard-rooted paths resolve to bounded
+//! multi-anchor cones instead (see [`crate::analyze`]) and are routed like
+//! any other shardable update.
 //!
 //! Deferred **deletions** keep their analysis (and dry-run evaluation)
 //! across rounds: a cached analysis stays valid while its cone and keys are
@@ -32,7 +35,7 @@
 //! the ATG rules, which committed rounds can invalidate without touching
 //! the cached cone.
 
-use crate::analyze::{Analysis, AnchorIndex, BatchFootprint};
+use crate::analyze::{Analysis, AnalyzeOptions, AnchorIndex, BatchFootprint};
 use crate::engine::Pending;
 use crate::shard::ShardJob;
 use crate::stats::EngineStats;
@@ -107,6 +110,10 @@ pub(crate) struct RoundPlan {
     /// index: the conservativeness contract the publisher asserts realized
     /// translations against in debug builds.
     pub(crate) planned_rel: Vec<(usize, RelFootprint)>,
+    /// Admitted updates whose paths resolved through the multi-anchor
+    /// (`//`-headed / wildcard-rooted) classifier — the publisher records
+    /// rounds carrying such traffic.
+    pub(crate) multi_cone_admitted: usize,
     /// Time the planning pass spent in dry-run evaluations (already
     /// recorded as evaluation time; the publisher subtracts it from the
     /// partition phase so the two buckets do not double-count).
@@ -121,7 +128,7 @@ pub(crate) fn plan_round(
     pending: &mut Vec<PendingUpdate>,
     n_shards: usize,
     max_batch: usize,
-    scoped_eval: bool,
+    opts: &AnalyzeOptions,
     stats: &EngineStats,
 ) -> RoundPlan {
     debug_assert!(!pending.is_empty());
@@ -148,6 +155,7 @@ pub(crate) fn plan_round(
     let mut planned_rel: Vec<(usize, RelFootprint)> = Vec::new();
     let mut deferred: Vec<PendingUpdate> = Vec::new();
     let mut analysis_eval = std::time::Duration::ZERO;
+    let mut multi_cone_admitted = 0usize;
 
     let mut drain = std::mem::take(pending).into_iter();
     for mut pu in drain.by_ref() {
@@ -170,7 +178,7 @@ pub(crate) fn plan_round(
                     sys,
                     Some(anchor_index.get_or_init(|| AnchorIndex::build(sys))),
                     &pu.update,
-                    scoped_eval,
+                    opts,
                 );
                 if parts.eval.is_some() {
                     // The dry run evaluated the path; the shard will reuse
@@ -179,7 +187,7 @@ pub(crate) fn plan_round(
                     // subtracts it from the partition phase); cone and
                     // write-key derivation stay partition work.
                     analysis_eval += parts.eval_time;
-                    stats.record_eval(scoped_eval, parts.eval_time);
+                    stats.record_eval(opts.scoped_eval, parts.eval_time);
                 }
                 (parts.analysis, parts.eval)
             }
@@ -197,6 +205,7 @@ pub(crate) fn plan_round(
                     footprint,
                     admitted: Vec::new(),
                     planned_rel: Vec::new(),
+                    multi_cone_admitted: 0,
                     analysis_eval,
                 };
             }
@@ -220,6 +229,9 @@ pub(crate) fn plan_round(
         } else {
             stalled = 0;
             footprint.absorb(&analysis);
+            if analysis.is_multi_cone() {
+                multi_cone_admitted += 1;
+            }
             planned_rel.push((pu.idx, analysis.into_rel()));
             let shard = assignments
                 .iter()
@@ -242,6 +254,7 @@ pub(crate) fn plan_round(
         footprint,
         admitted,
         planned_rel,
+        multi_cone_admitted,
         analysis_eval,
     }
 }

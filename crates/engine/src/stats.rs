@@ -29,7 +29,10 @@ pub struct EngineStats {
     publish_nanos: AtomicU64,
     // --- sharded pipeline ---
     rounds: AtomicU64,
-    global_lane: AtomicU64,
+    global_lane_rounds: AtomicU64,
+    multi_cone_rounds: AtomicU64,
+    multi_cone_updates: AtomicU64,
+    multi_cone_width: AtomicU64,
     requeued: AtomicU64,
     analyses_reused: AtomicU64,
     shard_updates: Vec<AtomicU64>,
@@ -62,8 +65,18 @@ impl EngineStats {
         add(&self.rounds, 1);
     }
 
-    pub(crate) fn record_global_lane(&self) {
-        add(&self.global_lane, 1);
+    pub(crate) fn record_global_lane_round(&self) {
+        add(&self.global_lane_rounds, 1);
+    }
+
+    /// Records one commit round that admitted `updates` multi-cone
+    /// (`//`-headed or wildcard-rooted) updates and realized `width` merged
+    /// translations — the direct observable of the type-indexed prefilter:
+    /// `//` traffic riding shared rounds instead of the global lane.
+    pub(crate) fn record_multi_cone_round(&self, updates: usize, width: usize) {
+        add(&self.multi_cone_rounds, 1);
+        add(&self.multi_cone_updates, updates as u64);
+        add(&self.multi_cone_width, width as u64);
     }
 
     pub(crate) fn record_requeued(&self) {
@@ -188,7 +201,10 @@ impl EngineStats {
             partition: ns(&self.partition_nanos),
             publish: ns(&self.publish_nanos),
             rounds: n(&self.rounds),
-            global_lane: n(&self.global_lane),
+            global_lane_rounds: n(&self.global_lane_rounds),
+            multi_cone_rounds: n(&self.multi_cone_rounds),
+            multi_cone_updates: n(&self.multi_cone_updates),
+            multi_cone_width: n(&self.multi_cone_width),
             requeued: n(&self.requeued),
             analyses_reused: n(&self.analyses_reused),
             shard_updates: self
@@ -239,8 +255,23 @@ pub struct EngineReport {
     pub publish: Duration,
     /// Sharded path: commit rounds planned by the router.
     pub rounds: u64,
-    /// Sharded path: updates committed through the serialized global lane.
-    pub global_lane: u64,
+    /// Commit rounds that ran through the serialized global lane (one
+    /// unclassifiable update per round). Before the type-indexed `//`
+    /// prefilter this counted *every* leading-`//` update; now it counts
+    /// only genuinely untypeable paths.
+    pub global_lane_rounds: u64,
+    /// Commit rounds that admitted at least one multi-cone (`//`-headed or
+    /// wildcard-rooted) update — `//` traffic riding ordinary shardable
+    /// rounds.
+    pub multi_cone_rounds: u64,
+    /// Multi-cone updates admitted into conflict rounds. Like
+    /// [`EngineReport::planned_width`] this counts *admissions*: an update
+    /// requeued at merge time and re-admitted next round counts once per
+    /// admission.
+    pub multi_cone_updates: u64,
+    /// Total realized width of the multi-cone rounds (see
+    /// [`EngineReport::mean_multi_cone_width`]).
+    pub multi_cone_width: u64,
     /// Sharded path: updates sent back to the router for a later round
     /// (cross-update coupling or base-key overlap detected at merge time).
     pub requeued: u64,
@@ -296,6 +327,18 @@ impl EngineReport {
             self.realized_width as f64 / self.width_rounds as f64
         }
     }
+
+    /// Average realized width of the rounds that carried `//`-headed or
+    /// wildcard-rooted traffic — the headline of the type-indexed
+    /// prefilter: > 1 means such updates commit in shared rounds instead of
+    /// the singleton global lane.
+    pub fn mean_multi_cone_width(&self) -> f64 {
+        if self.multi_cone_rounds == 0 {
+            0.0
+        } else {
+            self.multi_cone_width as f64 / self.multi_cone_rounds as f64
+        }
+    }
 }
 
 impl fmt::Display for EngineReport {
@@ -339,11 +382,21 @@ impl fmt::Display for EngineReport {
             self.mean_planned_width(),
             self.mean_realized_width()
         )?;
+        if self.multi_cone_rounds > 0 || self.global_lane_rounds > 0 {
+            writeln!(
+                f,
+                "`//` traffic: {} multi-cone updates over {} rounds (mean realized width {:.1}), {} global-lane rounds",
+                self.multi_cone_updates,
+                self.multi_cone_rounds,
+                self.mean_multi_cone_width(),
+                self.global_lane_rounds
+            )?;
+        }
         if self.shard_updates.len() > 1 || self.rounds > 0 {
             writeln!(
                 f,
                 "shards: {:?} updates/shard, {} rounds, {} via global lane, {} requeued, {} analyses reused",
-                self.shard_updates, self.rounds, self.global_lane, self.requeued, self.analyses_reused
+                self.shard_updates, self.rounds, self.global_lane_rounds, self.requeued, self.analyses_reused
             )?;
         }
         if self.wal_records > 0 || self.checkpoints > 0 {

@@ -9,7 +9,8 @@ use proptest::prelude::*;
 use rxview_core::{SideEffectPolicy, XmlUpdate, XmlViewSystem};
 use rxview_engine::{Engine, EngineConfig};
 use rxview_workload::{
-    synthetic_atg, synthetic_database, SyntheticConfig, WorkloadClass, WorkloadGen,
+    synthetic_atg, synthetic_database, DescendantConfig, DescendantGen, SyntheticConfig,
+    WorkloadClass, WorkloadGen,
 };
 use std::collections::BTreeSet;
 
@@ -77,6 +78,15 @@ fn check_equivalence(
 ) -> Result<(), String> {
     let sys = system(n, seed);
     let ops = workload(&sys, seed ^ 0xbeef, flips);
+    check_ops_equivalence(sys, &ops, max_batch, n_shards)
+}
+
+fn check_ops_equivalence(
+    sys: XmlViewSystem,
+    ops: &[XmlUpdate],
+    max_batch: usize,
+    n_shards: usize,
+) -> Result<(), String> {
     if ops.is_empty() {
         return Ok(());
     }
@@ -168,6 +178,144 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Multi-cone scoped evaluation of `//`-headed (and wildcard-rooted)
+    /// paths must equal the full unscoped §3.2 evaluation on random DAGs —
+    /// selected nodes, matched parent edges, and side-effect sets alike.
+    #[test]
+    fn multi_cone_scoped_eval_equals_full(
+        seed in 0u64..300,
+        picks in prop::collection::vec((0usize..10_000, 0i64..50), 1..5),
+    ) {
+        let sys = system(180, seed);
+        let vs = sys.view();
+        let node_ty = vs.atg().dtd().type_id("node").expect("synthetic DTD");
+        let ids: Vec<i64> = vs
+            .dag()
+            .genid()
+            .ids_of_type(node_ty)
+            .map(|v| vs.dag().genid().attr_of(v)[0].as_int().expect("int id"))
+            .collect();
+        if ids.is_empty() {
+            return Ok(());
+        }
+        for (pick, payload) in picks {
+            let id = ids[pick % ids.len()];
+            for path in [
+                format!("//node[id={id}]"),
+                format!("//node[id={id}]/sub/node"),
+                format!("//node[payload={payload}]"),
+                format!("//node[id={id}]//node[payload={payload}]"),
+                format!("//sub/node[id={id}]"),
+                format!("*[id={id}]/sub/node"),
+            ] {
+                let p = rxview_xmlkit::parse_xpath(&path).expect("path parses");
+                // `None` = the path degraded to a global footprint (e.g. a
+                // candidate set past the cap); the engine evaluates those
+                // unscoped, so there is nothing to compare.
+                let Some(scope) = rxview_engine::evaluation_scope(&sys, &p) else {
+                    continue;
+                };
+                let scoped = sys.evaluate_scoped(&p, &scope);
+                let full = sys.evaluate(&p);
+                prop_assert_eq!(&scoped.selected, &full.selected, "selected on {}", path);
+                prop_assert_eq!(
+                    &scoped.edge_parents, &full.edge_parents,
+                    "edges on {}", path
+                );
+                prop_assert_eq!(
+                    scoped.side_effects(vs, true),
+                    full.side_effects(vs, true),
+                    "delete side effects on {}", path
+                );
+                prop_assert_eq!(
+                    scoped.side_effects(vs, false),
+                    full.side_effects(vs, false),
+                    "insert side effects on {}", path
+                );
+            }
+        }
+    }
+
+    /// `//`-headed updates riding shared conflict rounds preserve the
+    /// batched == sequential equivalence, on both write paths.
+    #[test]
+    fn descendant_commit_equals_sequential(
+        seed in 0u64..200,
+        n_ops in 8usize..28,
+        desc_fraction in 0u32..=10,
+        max_batch in 1usize..12,
+        n_shards in 1usize..6,
+    ) {
+        let sys = system(220, seed);
+        let mut gen = DescendantGen::new(DescendantConfig {
+            groups: 220 / 40,
+            descendant_fraction: f64::from(desc_fraction) / 10.0,
+            hot_fraction: 0.4,
+            hot_groups: 2,
+            seed,
+            ..DescendantConfig::default()
+        });
+        let ops = gen.ops(n_ops);
+        if let Err(e) = check_ops_equivalence(sys, &ops, max_batch, n_shards) {
+            return Err(TestCaseError::fail(e));
+        }
+    }
+}
+
+/// A purely `//`-headed stream over independent groups must commit in
+/// *shared* rounds — the acceptance criterion of the type-indexed
+/// prefilter: no global-lane singletons, realized multi-cone round width
+/// above 1, and still observationally equivalent to sequential.
+#[test]
+fn descendant_updates_ride_shared_rounds() {
+    let sys = system(400, 23);
+    let mut gen = DescendantGen::new(DescendantConfig {
+        groups: 10,
+        descendant_fraction: 1.0,
+        hot_fraction: 0.0, // independent groups: maximal sharing potential
+        ..DescendantConfig::default()
+    });
+    let ops = gen.ops(40);
+    let mut seq = sys.clone();
+    let seq_outcomes: Vec<bool> = ops
+        .iter()
+        .map(|u| seq.apply(u, SideEffectPolicy::Proceed).is_ok())
+        .collect();
+    let engine = Engine::with_config(
+        sys,
+        EngineConfig {
+            n_shards: 4,
+            ..EngineConfig::default()
+        },
+    );
+    let tickets: Vec<_> = ops
+        .iter()
+        .map(|u| {
+            engine
+                .submit(u.clone(), SideEffectPolicy::Proceed)
+                .expect("queue not full")
+        })
+        .collect();
+    engine.commit_pending();
+    let eng_outcomes: Vec<bool> = tickets.into_iter().map(|t| t.wait().is_ok()).collect();
+    assert_eq!(seq_outcomes, eng_outcomes);
+    assert_eq!(edge_set(&seq), edge_set(engine.snapshot().system()));
+    let report = engine.stats().report();
+    assert_eq!(
+        report.global_lane_rounds, 0,
+        "typed `//` updates never ride the global lane"
+    );
+    assert!(report.multi_cone_rounds > 0, "multi-cone rounds recorded");
+    assert!(
+        report.mean_multi_cone_width() > 1.0,
+        "independent `//` updates must share rounds (got width {:.2})",
+        report.mean_multi_cone_width()
+    );
+}
+
 /// A deterministic large-ish case exercising multi-batch commits.
 #[test]
 fn large_independent_batch_is_equivalent() {
@@ -184,8 +332,9 @@ fn large_independent_batch_is_equivalent_sharded() {
 }
 
 /// Updates with deliberately colliding targets must serialize correctly on
-/// the sharded path too: duplicates defer across rounds, and leading-`//`
-/// (unanchored) updates serialize through the publisher's global lane.
+/// the sharded path too: duplicates defer across rounds, typed leading-`//`
+/// updates resolve to bounded multi-anchor cones (riding ordinary rounds),
+/// and only genuinely untypeable paths serialize through the global lane.
 #[test]
 fn conflicting_updates_serialize_sharded() {
     let sys = system(200, 11);
@@ -194,10 +343,12 @@ fn conflicting_updates_serialize_sharded() {
     ops.extend(gen.deletions(WorkloadClass::W2, 3));
     ops.extend(gen.deletions(WorkloadClass::W1, 2));
     ops.extend(ops.clone()); // exact duplicates: second run must see first's effect
-                             // Two unanchored deletes with a global footprint (the payload values of
-                             // the synthetic generator are drawn from 0..50).
+                             // Two typed leading-`//` deletes (payload values are drawn from 0..50):
+                             // since PR 5 these resolve to bounded multi-anchor cones.
     ops.push(XmlUpdate::delete("//node[payload=7]/sub/node").unwrap());
     ops.push(XmlUpdate::delete("//node[payload=11]/sub/node").unwrap());
+    // An unfilterable wildcard root: genuinely untypeable, global lane.
+    ops.push(XmlUpdate::delete("*/sub/node[payload=13]").unwrap());
     let mut seq = sys.clone();
     let seq_outcomes: Vec<bool> = ops
         .iter()
@@ -224,7 +375,14 @@ fn conflicting_updates_serialize_sharded() {
     assert_eq!(edge_set(&seq), edge_set(engine.snapshot().system()));
     engine.snapshot().system().consistency_check().unwrap();
     let report = engine.stats().report();
-    assert_eq!(report.global_lane, 2, "`//`-deletes use the global lane");
+    assert_eq!(
+        report.global_lane_rounds, 1,
+        "only the unfilterable wildcard uses the global lane"
+    );
+    assert!(
+        report.multi_cone_updates >= 2,
+        "typed `//`-deletes ride multi-cone rounds"
+    );
     assert!(report.rounds >= 2, "duplicates must defer across rounds");
 }
 

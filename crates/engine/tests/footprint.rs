@@ -106,3 +106,24 @@ fn skewed_workload_footprints_are_conservative() {
     let ops = gen.ops(60);
     check_conservative(&mut sys, &ops).unwrap();
 }
+
+/// `//`-headed updates resolved to multi-anchor cones plan footprints the
+/// same way anchored updates do — their realized writes must be covered
+/// too (the contract that lets them ride shardable rounds).
+#[test]
+fn descendant_workload_footprints_are_conservative() {
+    use rxview_workload::{DescendantConfig, DescendantGen};
+    let mut sys = system(400, 9);
+    let mut gen = DescendantGen::new(DescendantConfig {
+        groups: 10,
+        descendant_fraction: 0.8,
+        hot_fraction: 0.5,
+        hot_groups: 2,
+        ..DescendantConfig::default()
+    });
+    let mut ops = gen.ops(60);
+    // Plus payload-filtered probes over interior nodes (multi-match cones).
+    ops.push(XmlUpdate::delete("//node[payload=7]/sub/node").unwrap());
+    ops.push(XmlUpdate::delete("//node[payload=11]").unwrap());
+    check_conservative(&mut sys, &ops).unwrap();
+}

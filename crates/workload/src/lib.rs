@@ -8,6 +8,8 @@
 //!   parsed-XPath cache, for the `rxview-engine` benchmarks;
 //! - [`shard_skew`]: anchor-cone-partitioned update streams with a
 //!   controllable hot spot, for the sharded engine's scaling sweeps;
+//! - [`descendant`]: mixed anchored + `//`-headed update streams over hot
+//!   and cold anchor cones, for the type-indexed `//` planning sweeps;
 //! - [`recovery`]: mixed workloads and id-independent state fingerprints
 //!   for the durability subsystem's crash-recovery battery;
 //! - the registrar running example is re-exported from `rxview-atg`.
@@ -15,6 +17,7 @@
 #![warn(missing_docs)]
 
 pub mod concurrent;
+pub mod descendant;
 pub mod recovery;
 pub mod registrar_gen;
 pub mod shard_skew;
@@ -22,6 +25,7 @@ pub mod synthetic;
 pub mod workloads;
 
 pub use concurrent::{ConcurrentConfig, ConcurrentGen, PathCache, ServeOp};
+pub use descendant::{is_descendant_headed, DescendantConfig, DescendantGen};
 pub use recovery::{
     assert_observationally_equal, base_fingerprint, edge_fingerprint, mixed_updates,
 };
