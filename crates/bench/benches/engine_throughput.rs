@@ -77,6 +77,36 @@ struct RunMetrics {
     global_lane_rounds: u64,
     multi_cone_rounds: u64,
     mean_multi_cone_width: f64,
+    /// The per-phase commit-time attribution (`"phases"` JSON object).
+    phases_json: String,
+}
+
+/// The run's phase-attributed commit time as a JSON object: one
+/// `"<phase>_fraction"` per taxonomy bucket (fractions of the phase total,
+/// summing to 1 when any time was measured), plus the two derived ratios
+/// the shard-scaling analysis reads.
+fn phases_json(report: &rxview_engine::EngineReport) -> String {
+    let pb = report.phase_breakdown();
+    let mut out = String::from("{");
+    for (name, secs, fraction) in pb.fractions() {
+        assert!(
+            secs.is_finite() && fraction.is_finite(),
+            "non-finite phase metric: {name}"
+        );
+        out.push_str(&format!(
+            "\"{name}_secs\": {secs:.6}, \"{name}_fraction\": {fraction:.4}, "
+        ));
+    }
+    let serial = pb.publisher_serial_fraction();
+    let idle = report.shard_idle_fraction();
+    assert!(
+        serial.is_finite() && idle.is_finite(),
+        "non-finite fraction"
+    );
+    out.push_str(&format!(
+        "\"publisher_serial_fraction\": {serial:.4}, \"shard_idle_fraction\": {idle:.4}}}"
+    ));
+    out
 }
 
 impl RunMetrics {
@@ -96,7 +126,7 @@ impl RunMetrics {
              \"conflict_rounds\": {}, \"mean_planned_width\": {:.2}, \
              \"mean_realized_width\": {:.2}, \"requeued\": {}, \
              \"global_lane_rounds\": {}, \"multi_cone_rounds\": {}, \
-             \"mean_multi_cone_width\": {:.2}}}",
+             \"mean_multi_cone_width\": {:.2}, \"phases\": {}}}",
             self.n_shards,
             self.rate,
             self.accepted,
@@ -106,7 +136,8 @@ impl RunMetrics {
             self.requeued,
             self.global_lane_rounds,
             self.multi_cone_rounds,
-            self.mean_multi_cone_width
+            self.mean_multi_cone_width,
+            self.phases_json
         )
     }
 }
@@ -239,6 +270,10 @@ fn main() {
     // comparison shares cache state. Disable with RXVIEW_BENCH_DURABILITY=0.
     let durability_json = durability_overhead(&sys, &ops);
 
+    // --- Telemetry: the registry/histogram/flight-recorder layer's cost on
+    // the most instrumented path. Disable with RXVIEW_BENCH_TELEMETRY=0.
+    let telemetry_json = telemetry_overhead(&sys, &ops, &shards);
+
     // --- Skewed traffic: a hot anchor-cone cluster bounds shard scaling.
     // Hot chains force tiny commit rounds regardless of writer count, so
     // this runs on its own (smaller) system: the interesting number is the
@@ -286,12 +321,13 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"engine_throughput\",\n  \"groups\": {groups},\n  \
          \"rounds\": {rounds},\n  \"updates\": {},\n  \"mixed\": {},\n  \
-         \"durability\": {},\n  \
+         \"durability\": {},\n  \"telemetry\": {},\n  \
          \"skew_ops\": {skew_ops},\n  \"skew_groups\": {skew_groups},\n  \"skew\": {},\n  \
          \"descendant\": {}\n}}\n",
         ops.len(),
         json_array(&mixed_runs),
         durability_json.unwrap_or_else(|| "null".into()),
+        telemetry_json.unwrap_or_else(|| "null".into()),
         json_array(&skew_runs),
         descendant_json.unwrap_or_else(|| "null".into()),
     );
@@ -374,6 +410,7 @@ fn run_engine_with(
         global_lane_rounds: report.global_lane_rounds,
         multi_cone_rounds: report.multi_cone_rounds,
         mean_multi_cone_width: report.mean_multi_cone_width(),
+        phases_json: phases_json(&report),
     }
 }
 
@@ -574,6 +611,72 @@ fn durability_overhead(sys: &XmlViewSystem, ops: &[XmlUpdate]) -> Option<String>
          \"wal_syncs\": {}, \"group_commit_updates_per_sec\": {gc_rate:.1}, \
          \"group_commit_wal_syncs\": {}}}",
         off.rate, report.wal_records, report.wal_bytes, report.wal_syncs, gc_report.wal_syncs
+    ))
+}
+
+/// Telemetry cost: the same mixed workload through the most instrumented
+/// configuration (the widest shard count — per-shard busy/idle spans, the
+/// latency histogram, and flight events all fire there) with telemetry on
+/// vs off. Run-to-run scheduler variance on an oversubscribed box dwarfs
+/// the intrinsic cost (±30% observed with 8 shard threads on one core),
+/// so the pair is repeated interleaved (`RXVIEW_BENCH_TELEMETRY_REPS`,
+/// default 3) and each mode keeps its *best* rate — the standard
+/// noise-floor filter: contention only ever subtracts throughput. Returns
+/// the `"telemetry"` JSON fragment, or `None` when disabled.
+fn telemetry_overhead(sys: &XmlViewSystem, ops: &[XmlUpdate], shards: &[usize]) -> Option<String> {
+    if env_usize("RXVIEW_BENCH_TELEMETRY", 1) == 0 {
+        return None;
+    }
+    let n = shards.iter().copied().max().unwrap_or(4);
+    let reps = env_usize("RXVIEW_BENCH_TELEMETRY_REPS", 3).max(1);
+    println!("\ntelemetry sweep ({n} shards, same mixed workload, best of {reps}):");
+    let (mut on, mut off): (Option<RunMetrics>, Option<RunMetrics>) = (None, None);
+    for _ in 0..reps {
+        let r_on = run_engine_with(
+            sys,
+            ops,
+            EngineConfig {
+                n_shards: n,
+                ..EngineConfig::default()
+            },
+            Some(" (telemetry on)"),
+        );
+        let r_off = run_engine_with(
+            sys,
+            ops,
+            EngineConfig {
+                n_shards: n,
+                telemetry: false,
+                ..EngineConfig::default()
+            },
+            Some(" (telemetry off)"),
+        );
+        assert_eq!(
+            r_on.accepted, r_off.accepted,
+            "telemetry must not change acceptance"
+        );
+        if on.as_ref().is_none_or(|b| r_on.rate > b.rate) {
+            on = Some(r_on);
+        }
+        if off.as_ref().is_none_or(|b| r_off.rate > b.rate) {
+            off = Some(r_off);
+        }
+    }
+    let (on, off) = (on.expect("reps >= 1"), off.expect("reps >= 1"));
+    // overhead > 0 means telemetry-on is slower than telemetry-off.
+    let overhead = (1.0 - on.rate / off.rate) * 100.0;
+    let overhead = if overhead.is_finite() { overhead } else { 0.0 };
+    println!(
+        "  telemetry overhead: {overhead:.1}% updates/sec (best on {:.0} vs best off {:.0})",
+        on.rate, off.rate
+    );
+    if overhead >= 2.0 {
+        println!("  WARNING: above the 2% overhead target");
+    }
+    Some(format!(
+        "{{\"shards\": {n}, \"on_updates_per_sec\": {:.1}, \
+         \"off_updates_per_sec\": {:.1}, \"overhead_pct\": {overhead:.1}}}",
+        on.rate, off.rate
     ))
 }
 

@@ -198,13 +198,33 @@ impl Checkpointer {
                         st = inbox.cv.wait(st).expect("mailbox lock poisoned");
                     }
                 };
+                stats.event(
+                    "checkpoint.start",
+                    rxview_obs::fields![epoch: snap.epoch(), source: "background"],
+                );
+                let t0 = std::time::Instant::now();
                 match write_checkpoint(&dir, snap.epoch(), snap.system()) {
                     Ok(_) => {
                         stats.record_checkpoint();
+                        stats.event(
+                            "checkpoint.end",
+                            rxview_obs::fields![
+                                epoch: snap.epoch(),
+                                micros: t0.elapsed().as_micros() as u64
+                            ],
+                        );
                         let compacted =
                             wal.lock().expect("wal lock poisoned").compact(snap.epoch());
-                        if let Err(e) = compacted {
-                            eprintln!("rxview: WAL compaction failed: {e}");
+                        match compacted {
+                            Err(e) => eprintln!("rxview: WAL compaction failed: {e}"),
+                            Ok(out) if out.rotated => stats.event(
+                                "wal.rotate",
+                                rxview_obs::fields![
+                                    upto_epoch: snap.epoch(),
+                                    deleted_segments: out.deleted
+                                ],
+                            ),
+                            Ok(_) => {}
                         }
                         let _ = prune_checkpoints(&dir, 2);
                     }

@@ -67,6 +67,21 @@ pub struct EngineConfig {
     /// [`Engine::checkpoint_now`] still work). Ignored when durability is
     /// off.
     pub checkpoint_rounds: u64,
+    /// Whether the telemetry layer records (metrics, phase timers, latency
+    /// histograms, flight-recorder events). **On by default** — recording is
+    /// lock-free and the bench publishes the measured overhead; turning it
+    /// off reduces every `record_*` to an early return and leaves
+    /// [`crate::EngineReport`] at zero. The structural counters the engine
+    /// itself relies on (epochs, queue bounds) are unaffected.
+    pub telemetry: bool,
+    /// Write periodic JSONL metric snapshots to this file (see
+    /// [`Engine::telemetry_report`] for the human-readable view). `None`
+    /// falls back to the `RXVIEW_METRICS_PATH` environment variable; if
+    /// that is unset too, no exporter thread is spawned. The snapshot
+    /// interval comes from `RXVIEW_METRICS_INTERVAL_MS` (default 1000), and
+    /// a final snapshot is always appended when the engine drops. Ignored
+    /// when `telemetry` is off.
+    pub metrics_path: Option<PathBuf>,
 }
 
 impl EngineConfig {
@@ -96,6 +111,8 @@ impl Default for EngineConfig {
             n_shards: 1,
             durability: Durability::Off,
             checkpoint_rounds: 1024,
+            telemetry: true,
+            metrics_path: None,
         }
     }
 }
@@ -177,6 +194,9 @@ pub(crate) struct Pending {
     pub(crate) update: XmlUpdate,
     pub(crate) policy: SideEffectPolicy,
     pub(crate) tx: mpsc::Sender<UpdateOutcome>,
+    /// Admission time, stamped when telemetry is on — closes the
+    /// admission→ack latency sample when the outcome resolves.
+    pub(crate) submitted_at: Option<Instant>,
 }
 
 /// A durable engine's logging + checkpointing machinery.
@@ -210,6 +230,9 @@ pub(crate) struct Inner {
     pub(crate) pool: OnceLock<ShardPool>,
     /// Replay log + checkpointer (durable engines only).
     pub(crate) durability: Option<DurabilityState>,
+    /// Periodic metrics exporter (spawned when telemetry is on and a
+    /// metrics path is configured); dropping it appends a final snapshot.
+    pub(crate) exporter: Option<rxview_obs::Exporter>,
 }
 
 impl Inner {
@@ -236,8 +259,9 @@ impl Inner {
         let epoch = self.epoch.load(Ordering::Relaxed) + 1;
         let mut wal = d.wal.lock().expect("wal lock poisoned");
         match wal.append(epoch, updates) {
-            Ok((bytes, synced)) => {
-                self.stats.record_wal_append(bytes, synced);
+            Ok(out) => {
+                self.stats
+                    .record_wal_append(out.bytes, out.write_time, out.sync_time, out.reason);
                 Ok(())
             }
             Err(e) => Err(format!("write-ahead log append failed: {e}")),
@@ -393,7 +417,14 @@ impl Engine {
         config: EngineConfig,
     ) -> Result<(Self, RecoveryReport), RecoverError> {
         let dir = dir.as_ref();
-        let (sys, next_seq, report) = recovery::recover_state(&atg, dir, &config)?;
+        // The recorder is created before recovery so replay-progress events
+        // land in the ring the serving engine will keep — a post-recovery
+        // `flight_recording()` shows what recovery did.
+        let recorder = config
+            .telemetry
+            .then(|| Arc::new(rxview_obs::FlightRecorder::new(1024)));
+        let (sys, next_seq, report) =
+            recovery::recover_state(&atg, dir, &config, recorder.as_deref())?;
         let engine = if config.durability.is_on() {
             checkpoint::clean_stale_tmps(dir)?;
             // Re-anchor the directory on the recovered state: checkpoint
@@ -404,14 +435,15 @@ impl Engine {
             }
             let wal = Wal::create(dir, config.durability, next_seq)?;
             checkpoint::prune_checkpoints(dir, 2)?;
-            Engine::build(
+            Engine::build_with_recorder(
                 sys,
                 report.resumed_epoch,
                 config,
                 Some((dir.to_path_buf(), wal)),
+                recorder,
             )
         } else {
-            Engine::build(sys, report.resumed_epoch, config, None)
+            Engine::build_with_recorder(sys, report.resumed_epoch, config, None, recorder)
         };
         Ok((engine, report))
     }
@@ -424,12 +456,47 @@ impl Engine {
     fn build(
         sys: XmlViewSystem,
         epoch: u64,
+        config: EngineConfig,
+        durability: Option<(PathBuf, Wal)>,
+    ) -> Self {
+        Engine::build_with_recorder(sys, epoch, config, durability, None)
+    }
+
+    /// [`Engine::build`] plus an optional pre-populated flight recorder
+    /// (recovery passes the ring its replay-progress events landed in).
+    fn build_with_recorder(
+        sys: XmlViewSystem,
+        epoch: u64,
         mut config: EngineConfig,
         durability: Option<(PathBuf, Wal)>,
+        recorder: Option<Arc<rxview_obs::FlightRecorder>>,
     ) -> Self {
         config.n_shards = config.n_shards.clamp(1, 64);
         config.max_batch = config.max_batch.max(1);
-        let stats = Arc::new(EngineStats::with_shards(config.n_shards));
+        let stats = Arc::new(EngineStats::new(
+            config.n_shards,
+            config.telemetry,
+            recorder,
+        ));
+        let exporter = if config.telemetry {
+            config
+                .metrics_path
+                .clone()
+                .or_else(|| std::env::var_os("RXVIEW_METRICS_PATH").map(PathBuf::from))
+                .map(|path| {
+                    let interval = std::env::var("RXVIEW_METRICS_INTERVAL_MS")
+                        .ok()
+                        .and_then(|s| s.parse::<u64>().ok())
+                        .unwrap_or(1000);
+                    rxview_obs::Exporter::spawn(
+                        Arc::clone(stats.registry()),
+                        path,
+                        Duration::from_millis(interval.max(1)),
+                    )
+                })
+        } else {
+            None
+        };
         let durability = durability.map(|(dir, wal)| {
             stats.record_checkpoint();
             let wal = Arc::new(Mutex::new(wal));
@@ -453,6 +520,7 @@ impl Engine {
                 master: Mutex::new(None),
                 pool: OnceLock::new(),
                 durability,
+                exporter,
             }),
         }
     }
@@ -468,12 +536,32 @@ impl Engine {
             ));
         };
         let snap = self.inner.current();
+        self.inner.stats.event(
+            "checkpoint.start",
+            rxview_obs::fields![epoch: snap.epoch(), trigger: "manual"],
+        );
+        let t0 = Instant::now();
         checkpoint::write_checkpoint(&d.dir, snap.epoch(), snap.system())?;
         self.inner.stats.record_checkpoint();
-        d.wal
+        self.inner.stats.event(
+            "checkpoint.end",
+            rxview_obs::fields![epoch: snap.epoch(), micros: t0.elapsed().as_micros() as u64],
+        );
+        let compacted = d
+            .wal
             .lock()
             .expect("wal lock poisoned")
             .compact(snap.epoch())?;
+        if compacted.rotated || compacted.deleted > 0 {
+            self.inner.stats.event(
+                "wal.rotate",
+                rxview_obs::fields![
+                    epoch: snap.epoch(),
+                    rotated: u64::from(compacted.rotated),
+                    deleted_segments: compacted.deleted,
+                ],
+            );
+        }
         checkpoint::prune_checkpoints(&d.dir, 2)?;
         Ok(snap.epoch())
     }
@@ -516,6 +604,38 @@ impl Engine {
         &self.inner.stats
     }
 
+    /// A human-readable snapshot of the whole telemetry layer: the
+    /// [`crate::EngineReport`] summary, the raw metric registry (every
+    /// counter and histogram by name), and the flight-recorder state.
+    /// Intended for consoles and bug reports; the machine-readable
+    /// equivalents are the metrics JSONL exporter and
+    /// [`Engine::flight_recording`].
+    pub fn telemetry_report(&self) -> String {
+        let stats = &self.inner.stats;
+        let recorder = stats.recorder();
+        format!(
+            "{}\n-- registry --\n{}-- flight recorder --\n{} events retained, {} evicted\n",
+            stats.report(),
+            rxview_obs::text_report(stats.registry()),
+            recorder.len(),
+            recorder.evicted(),
+        )
+    }
+
+    /// The flight recorder's retained event window as JSONL (one structured
+    /// event per line, oldest first) — the machine-readable "what just
+    /// happened" dump. Also written to the `RXVIEW_FLIGHT_DUMP` file, if
+    /// set, whenever a round fails mid-commit.
+    pub fn flight_recording(&self) -> String {
+        self.inner.stats.recorder().dump_jsonl()
+    }
+
+    /// Where the periodic metrics exporter writes, if one is running (see
+    /// [`EngineConfig::metrics_path`]).
+    pub fn metrics_path(&self) -> Option<&Path> {
+        self.inner.exporter.as_ref().map(|e| e.path())
+    }
+
     /// Enqueues an update for the next group commit, returning a
     /// [`UpdateTicket`] that resolves once the update's snapshot is
     /// visible (read-your-writes).
@@ -545,12 +665,18 @@ impl Engine {
         policy: SideEffectPolicy,
     ) -> Result<UpdateTicket, EngineError> {
         let (tx, rx) = mpsc::channel();
+        let submitted_at = self.inner.stats.enabled().then(Instant::now);
         {
             let mut queue = self.inner.queue.lock().expect("queue lock poisoned");
             if queue.len() >= self.inner.config.max_queue {
                 return Err(EngineError::Saturated);
             }
-            queue.push(Pending { update, policy, tx });
+            queue.push(Pending {
+                update,
+                policy,
+                tx,
+                submitted_at,
+            });
         }
         self.inner.stats.record_submitted();
         Ok(UpdateTicket { rx })
@@ -608,6 +734,7 @@ impl Engine {
 
         let mut outcomes: Vec<Option<UpdateOutcome>> = (0..pending.len()).map(|_| None).collect();
         let txs: Vec<mpsc::Sender<UpdateOutcome>> = pending.iter().map(|p| p.tx.clone()).collect();
+        let submitted_ats: Vec<Option<Instant>> = pending.iter().map(|p| p.submitted_at).collect();
         // Per-entry cache of a deferred deletion's analysis + dry-run
         // evaluation, reused across batches until a committed batch's
         // footprint touches it (the same `CachedAnalysis` + `survives` rule
@@ -691,7 +818,7 @@ impl Engine {
             queue = deferred;
             self.inner
                 .stats
-                .record_partition(t_part.elapsed().saturating_sub(analysis_eval));
+                .record_plan(t_part.elapsed().saturating_sub(analysis_eval));
             summary.batches += 1;
             self.inner.stats.record_batch(batch.len());
             let planned_width = batch.len();
@@ -704,6 +831,18 @@ impl Engine {
             // (the record the round's publication is preceded by).
             let mut logged: Vec<LoggedUpdate> = Vec::new();
             let wal_on = self.inner.wal_enabled();
+            self.inner.stats.event(
+                "round.planned",
+                rxview_obs::fields![
+                    admitted: planned_width,
+                    deferred: queue.len(),
+                    multi_cone: batch_multi_cone,
+                    path: "single",
+                ],
+            );
+            // On the single-writer path the apply loop *is* the round's
+            // translation wall clock (there is no separate merge phase).
+            let t_wall = Instant::now();
             for (i, p, eval) in batch {
                 let eval = match eval {
                     // The analysis evaluated against the snapshot the batch
@@ -730,6 +869,7 @@ impl Engine {
                 }
                 self.inner.stats.record_translate(t1.elapsed());
             }
+            self.inner.stats.record_translate_wall(t_wall.elapsed());
             self.inner
                 .stats
                 .record_round_width(planned_width, applied.len());
@@ -753,6 +893,9 @@ impl Engine {
                         // The round is not durable: drop the working clone
                         // (the previous snapshot stays current) and fail
                         // the batch rather than acknowledge a lie.
+                        self.inner
+                            .stats
+                            .record_round_failure("wal_append", applied.len());
                         for (i, _) in applied {
                             outcomes[i] =
                                 Some(Err(UpdateError::Rel(RelError::MalformedQuery(msg.clone()))));
@@ -763,6 +906,14 @@ impl Engine {
                     let t3 = Instant::now();
                     current = self.inner.publish(working);
                     self.inner.stats.record_publish(t3.elapsed());
+                    self.inner.stats.event(
+                        "round.committed",
+                        rxview_obs::fields![
+                            epoch: current.epoch(),
+                            updates: applied.len(),
+                            path: "single",
+                        ],
+                    );
                     // Whatever this batch committed invalidates any cached
                     // analysis whose footprint it touched.
                     for (_, _, cached) in queue.iter_mut() {
@@ -785,6 +936,9 @@ impl Engine {
                     // Maintenance failed: the working clone is inconsistent.
                     // Drop it (previous snapshot stays current) and fail the
                     // whole batch.
+                    self.inner
+                        .stats
+                        .record_round_failure("fold_maintenance", applied.len());
                     let msg = format!("batch maintenance failed: {e}");
                     for (i, _) in applied {
                         outcomes[i] =
@@ -795,14 +949,14 @@ impl Engine {
         }
 
         // --- Deliver outcomes. ---
-        for (tx, outcome) in txs.into_iter().zip(outcomes) {
+        for ((tx, outcome), submitted_at) in txs.into_iter().zip(outcomes).zip(submitted_ats) {
             let outcome = outcome.unwrap_or_else(|| {
                 Err(UpdateError::Rel(RelError::MalformedQuery(
                     "update lost by engine".into(),
                 )))
             });
             let accepted = outcome.is_ok();
-            self.inner.stats.record_outcome(accepted);
+            self.inner.stats.record_outcome(accepted, submitted_at);
             if accepted {
                 summary.accepted += 1;
             } else {

@@ -57,10 +57,17 @@
 //!   checkpoint, replays the log suffix through the sequential apply path,
 //!   and resumes serving at the recovered epoch. See [`wal`] and
 //!   [`recovery`].
-//! - **Observability** ([`EngineStats`]): lock-free counters extending the
-//!   Fig.11 phase constituents ([`rxview_core::PhaseTimings`]) with
-//!   queueing, batching, snapshot, scoped-vs-full evaluation, per-shard
-//!   pipeline, and durability counters.
+//! - **Observability** ([`EngineStats`]): an engine-wide telemetry layer
+//!   built on the dependency-free [`rxview_obs`] crate — lock-free counters
+//!   and log₂-bucketed latency histograms in a shared metric registry,
+//!   phase-attributed round timing extending the Fig.11 constituents
+//!   ([`rxview_core::PhaseTimings`]) with plan / translate (per-shard busy
+//!   vs. idle) / merge / fold / WAL-append / fsync / publish buckets, a
+//!   ring-buffer *flight recorder* of structured round and durability
+//!   events ([`Engine::flight_recording`]), and an optional background
+//!   exporter appending registry snapshots as JSONL
+//!   ([`EngineConfig::metrics_path`], `RXVIEW_METRICS_PATH`). See
+//!   [`Engine::telemetry_report`] and [`stats::PhaseBreakdown`].
 //!
 //! Mapping back to the paper's Fig.3 phases: schema validation (§2.4) and
 //! translation ∆X→∆V→∆R (§3.3, §4) run unchanged per update inside
@@ -87,5 +94,5 @@ pub use analyze::{evaluation_scope, Analysis, AnalyzeOptions, AnchorIndex, Batch
 pub use engine::{Engine, EngineConfig, EngineError, UpdateTicket, WriterHandle};
 pub use recovery::{RecoverError, RecoveryReport};
 pub use snapshot::Snapshot;
-pub use stats::{EngineReport, EngineStats};
+pub use stats::{EngineReport, EngineStats, PhaseBreakdown};
 pub use wal::Durability;

@@ -40,28 +40,39 @@ use crate::engine::{CommitSummary, Inner, Pending};
 use crate::router::{self, PendingUpdate, Round};
 use crate::shard::{ShardBundle, ShardPool, ShardResult};
 use rxview_core::{DeferredMaintenance, UpdateError, UpdateOutcome, UpdateReport, XmlViewSystem};
+use rxview_obs::fields;
 use rxview_relstore::{RelError, Tuple};
 use std::collections::HashSet;
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// Delivers an outcome to its ticket and updates counters.
+/// A round's ticket table: the reply channel and admission timestamp of
+/// every update in this commit, indexed by submission order.
+struct Tickets {
+    txs: Vec<Option<mpsc::Sender<UpdateOutcome>>>,
+    submitted_ats: Vec<Option<Instant>>,
+}
+
+/// Delivers an outcome to its ticket and updates counters (including the
+/// admission→ack latency sample).
 fn resolve(
     inner: &Inner,
     summary: &mut CommitSummary,
-    txs: &mut [Option<mpsc::Sender<UpdateOutcome>>],
+    tickets: &mut Tickets,
     idx: usize,
     outcome: UpdateOutcome,
 ) {
     let accepted = outcome.is_ok();
-    inner.stats.record_outcome(accepted);
+    inner
+        .stats
+        .record_outcome(accepted, tickets.submitted_ats[idx]);
     if accepted {
         summary.accepted += 1;
     } else {
         summary.rejected += 1;
     }
-    if let Some(tx) = txs[idx].take() {
+    if let Some(tx) = tickets.txs[idx].take() {
         let _ = tx.send(outcome); // receiver may have given up
     }
 }
@@ -77,11 +88,15 @@ pub(crate) fn commit_sharded(inner: &Inner, pending: Vec<Pending>) -> CommitSumm
     };
 
     let mut entries: Vec<PendingUpdate> = Vec::with_capacity(pending.len());
-    let mut txs: Vec<Option<mpsc::Sender<UpdateOutcome>>> = Vec::with_capacity(pending.len());
+    let mut tickets = Tickets {
+        txs: Vec::with_capacity(pending.len()),
+        submitted_ats: Vec::with_capacity(pending.len()),
+    };
     for (idx, p) in pending.into_iter().enumerate() {
+        tickets.submitted_ats.push(p.submitted_at);
         let (pu, tx) = PendingUpdate::new(idx, p);
         entries.push(pu);
-        txs.push(Some(tx));
+        tickets.txs.push(Some(tx));
     }
 
     let pool: &ShardPool = inner
@@ -108,14 +123,15 @@ pub(crate) fn commit_sharded(inner: &Inner, pending: Vec<Pending>) -> CommitSumm
             stats,
         );
         // Dry-run evaluation time inside plan_round is recorded as eval;
-        // keep the partition bucket to pure conflict-analysis work.
-        stats.record_partition(t_part.elapsed().saturating_sub(plan.analysis_eval));
+        // keep the plan bucket to pure conflict-analysis work.
+        stats.record_plan(t_part.elapsed().saturating_sub(plan.analysis_eval));
 
         match plan.round {
             // --- Serialized global lane: one `//`-path update, applied
             // directly to the master (full §3.2 evaluation). ---
             Round::Global(pu) => {
                 stats.record_global_lane_round();
+                stats.event("lane.global", fields![idx: pu.idx, deferred: entries.len()]);
                 stats.record_batch(1);
                 summary.batches += 1;
                 let t0 = Instant::now();
@@ -124,6 +140,9 @@ pub(crate) fn commit_sharded(inner: &Inner, pending: Vec<Pending>) -> CommitSumm
                 let t1 = Instant::now();
                 let applied = master.apply_deferred(&pu.update, pu.policy, eval);
                 stats.record_translate(t1.elapsed());
+                // The serialized lane's whole eval+translate section is its
+                // round's translation wall clock.
+                stats.record_translate_wall(t0.elapsed());
                 stats.record_round_width(1, usize::from(applied.is_ok()));
                 match applied {
                     Ok((mut report, job)) => {
@@ -144,10 +163,11 @@ pub(crate) fn commit_sharded(inner: &Inner, pending: Vec<Pending>) -> CommitSumm
                                         // fail the update instead of
                                         // acknowledging a lie.
                                         master = current.system().clone();
+                                        stats.record_round_failure("wal_append", 1);
                                         resolve(
                                             inner,
                                             &mut summary,
-                                            &mut txs,
+                                            &mut tickets,
                                             pu.idx,
                                             Err(UpdateError::Rel(RelError::MalformedQuery(msg))),
                                         );
@@ -156,9 +176,23 @@ pub(crate) fn commit_sharded(inner: &Inner, pending: Vec<Pending>) -> CommitSumm
                                         summary.maintain.absorb(&m);
                                         report.maintain = m;
                                         let t3 = Instant::now();
-                                        inner.publish(master.clone());
+                                        let snap = inner.publish(master.clone());
                                         stats.record_publish(t3.elapsed());
-                                        resolve(inner, &mut summary, &mut txs, pu.idx, Ok(report));
+                                        stats.event(
+                                            "round.committed",
+                                            fields![
+                                                epoch: snap.epoch(),
+                                                updates: 1u64,
+                                                path: "global"
+                                            ],
+                                        );
+                                        resolve(
+                                            inner,
+                                            &mut summary,
+                                            &mut tickets,
+                                            pu.idx,
+                                            Ok(report),
+                                        );
                                     }
                                 }
                             }
@@ -166,28 +200,44 @@ pub(crate) fn commit_sharded(inner: &Inner, pending: Vec<Pending>) -> CommitSumm
                                 // The master is inconsistent: restore it from
                                 // the last published snapshot.
                                 master = current.system().clone();
+                                stats.record_round_failure("fold_maintenance", 1);
                                 let msg = format!("global-lane maintenance failed: {e}");
                                 resolve(
                                     inner,
                                     &mut summary,
-                                    &mut txs,
+                                    &mut tickets,
                                     pu.idx,
                                     Err(UpdateError::Rel(RelError::MalformedQuery(msg))),
                                 );
                             }
                         }
                     }
-                    Err(e) => resolve(inner, &mut summary, &mut txs, pu.idx, Err(e)),
+                    Err(e) => resolve(inner, &mut summary, &mut tickets, pu.idx, Err(e)),
                 }
             }
 
             // --- Parallel shards + merging publisher. ---
             Round::Sharded(assignments) => {
+                stats.event(
+                    "round.planned",
+                    fields![
+                        admitted: plan.admitted.len(),
+                        deferred: entries.len(),
+                        multi_cone: plan.multi_cone_admitted,
+                        path: "sharded"
+                    ],
+                );
+                let t_disp = Instant::now();
                 let bundles: Vec<ShardBundle> = pool.dispatch(&current, assignments);
+                let wall = t_disp.elapsed();
+                stats.record_translate_wall(wall);
                 summary.batches += bundles.len();
                 let mut flat: Vec<(usize, usize, ShardResult)> = Vec::new();
                 for b in &bundles {
                     stats.record_batch(b.results.len());
+                    // Idle = the slack between this shard's busy time and the
+                    // round's translation wall clock (the slowest shard).
+                    stats.record_shard_round(b.busy, wall.saturating_sub(b.busy));
                 }
                 type Catalog = Vec<(rxview_xmlkit::TypeId, Tuple)>;
                 let mut catalogs: Vec<(usize, usize, Catalog)> = Vec::new();
@@ -206,10 +256,11 @@ pub(crate) fn commit_sharded(inner: &Inner, pending: Vec<Pending>) -> CommitSumm
                 let mut applied: Vec<(usize, UpdateReport)> = Vec::new();
                 let mut jobs: Vec<DeferredMaintenance> = Vec::new();
                 let mut requeue: HashSet<usize> = HashSet::new();
+                let t_merge = Instant::now();
                 for (idx, slot, res) in flat {
                     match res {
                         ShardResult::Reject(e) => {
-                            resolve(inner, &mut summary, &mut txs, idx, Err(e))
+                            resolve(inner, &mut summary, &mut tickets, idx, Err(e))
                         }
                         ShardResult::Requeue => {
                             requeue.insert(idx);
@@ -239,11 +290,12 @@ pub(crate) fn commit_sharded(inner: &Inner, pending: Vec<Pending>) -> CommitSumm
                                     applied.push((idx, report));
                                     jobs.push(job);
                                 }
-                                Err(e) => resolve(inner, &mut summary, &mut txs, idx, Err(e)),
+                                Err(e) => resolve(inner, &mut summary, &mut tickets, idx, Err(e)),
                             }
                         }
                     }
                 }
+                stats.record_merge(t_merge.elapsed());
                 stats.record_round_width(plan.admitted.len(), applied.len());
                 if plan.multi_cone_admitted > 0 {
                     stats.record_multi_cone_round(plan.multi_cone_admitted, applied.len());
@@ -277,11 +329,12 @@ pub(crate) fn commit_sharded(inner: &Inner, pending: Vec<Pending>) -> CommitSumm
                                     // Control falls through so requeued
                                     // updates still re-enter routing below.
                                     master = current.system().clone();
+                                    stats.record_round_failure("wal_append", applied.len());
                                     for (idx, _) in applied {
                                         resolve(
                                             inner,
                                             &mut summary,
-                                            &mut txs,
+                                            &mut tickets,
                                             idx,
                                             Err(UpdateError::Rel(RelError::MalformedQuery(
                                                 msg.clone(),
@@ -292,8 +345,16 @@ pub(crate) fn commit_sharded(inner: &Inner, pending: Vec<Pending>) -> CommitSumm
                                 Ok(()) => {
                                     summary.maintain.absorb(&m);
                                     let t3 = Instant::now();
-                                    inner.publish(master.clone());
+                                    let snap = inner.publish(master.clone());
                                     stats.record_publish(t3.elapsed());
+                                    stats.event(
+                                        "round.committed",
+                                        fields![
+                                            epoch: snap.epoch(),
+                                            updates: applied.len(),
+                                            path: "sharded"
+                                        ],
+                                    );
                                     if let [(_, report)] = applied.as_mut_slice() {
                                         // A singleton round attributes
                                         // maintenance exactly, like a
@@ -301,7 +362,7 @@ pub(crate) fn commit_sharded(inner: &Inner, pending: Vec<Pending>) -> CommitSumm
                                         report.maintain = m;
                                     }
                                     for (idx, report) in applied {
-                                        resolve(inner, &mut summary, &mut txs, idx, Ok(report));
+                                        resolve(inner, &mut summary, &mut tickets, idx, Ok(report));
                                     }
                                 }
                             }
@@ -311,12 +372,13 @@ pub(crate) fn commit_sharded(inner: &Inner, pending: Vec<Pending>) -> CommitSumm
                             // from the last published snapshot, fail the
                             // round's applied updates.
                             master = current.system().clone();
+                            stats.record_round_failure("fold_maintenance", applied.len());
                             let msg = format!("round maintenance failed: {e}");
                             for (idx, _) in applied {
                                 resolve(
                                     inner,
                                     &mut summary,
-                                    &mut txs,
+                                    &mut tickets,
                                     idx,
                                     Err(UpdateError::Rel(RelError::MalformedQuery(msg.clone()))),
                                 );
@@ -332,6 +394,7 @@ pub(crate) fn commit_sharded(inner: &Inner, pending: Vec<Pending>) -> CommitSumm
                         .into_iter()
                         .filter(|pu| requeue.contains(&pu.idx))
                         .collect();
+                    stats.event("round.requeued", fields![count: back.len()]);
                     for _ in 0..back.len() {
                         stats.record_requeued();
                     }
@@ -358,9 +421,9 @@ pub(crate) fn commit_sharded(inner: &Inner, pending: Vec<Pending>) -> CommitSumm
 
     // Every ticket must resolve (safety net mirroring the single-writer
     // path's "update lost" outcome).
-    for tx in txs.iter_mut() {
+    for (tx, submitted_at) in tickets.txs.iter_mut().zip(&tickets.submitted_ats) {
         if let Some(tx) = tx.take() {
-            inner.stats.record_outcome(false);
+            inner.stats.record_outcome(false, *submitted_at);
             summary.rejected += 1;
             let _ = tx.send(Err(UpdateError::Rel(RelError::MalformedQuery(
                 "update lost by engine".into(),

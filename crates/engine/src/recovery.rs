@@ -32,9 +32,11 @@ use crate::engine::EngineConfig;
 use crate::wal::{self, WalRecord};
 use rxview_atg::Atg;
 use rxview_core::XmlViewSystem;
+use rxview_obs::{fields, FlightRecorder};
 use std::fmt;
 use std::io;
 use std::path::Path;
+use std::time::{Duration, Instant};
 
 /// Why recovery could not produce an engine.
 #[derive(Debug)]
@@ -100,6 +102,10 @@ pub struct RecoveryReport {
     pub dropped_rounds: usize,
     /// The epoch the recovered engine resumes serving at.
     pub resumed_epoch: u64,
+    /// Wall clock spent finding and decoding the anchoring checkpoint.
+    pub checkpoint_load: Duration,
+    /// Wall clock spent scanning segments and replaying the WAL suffix.
+    pub wal_replay: Duration,
 }
 
 /// The state reassembly half of recovery (everything except engine
@@ -109,10 +115,12 @@ pub(crate) fn recover_state(
     atg: &Atg,
     dir: &Path,
     _config: &EngineConfig,
+    recorder: Option<&FlightRecorder>,
 ) -> Result<(XmlViewSystem, u64, RecoveryReport), RecoverError> {
     let mut report = RecoveryReport::default();
 
     // --- 1. Newest valid checkpoint. ---
+    let t_ckpt = Instant::now();
     let mut ckpts = checkpoint::list_checkpoints(dir)?;
     let mut recovered: Option<(u64, XmlViewSystem)> = None;
     while let Some((epoch, path)) = ckpts.pop() {
@@ -127,8 +135,20 @@ pub(crate) fn recover_state(
     }
     let (ckpt_epoch, mut sys) = recovered.ok_or(RecoverError::NoCheckpoint)?;
     report.checkpoint_epoch = ckpt_epoch;
+    report.checkpoint_load = t_ckpt.elapsed();
+    if let Some(rec) = recorder {
+        rec.record(
+            "recovery.checkpoint_loaded",
+            fields![
+                epoch: ckpt_epoch,
+                invalid: report.invalid_checkpoints,
+                micros: report.checkpoint_load.as_micros() as u64
+            ],
+        );
+    }
 
     // --- 2. Scan segments, gather the replayable suffix. ---
+    let t_replay = Instant::now();
     let segments = wal::list_segments(dir)?;
     let next_seq = segments.last().map_or(0, |(seq, _)| seq + 1);
     let mut records: Vec<WalRecord> = Vec::new();
@@ -168,7 +188,30 @@ pub(crate) fn recover_state(
         }
         report.replayed_rounds += 1;
         resumed = rec.epoch;
+        // Periodic progress marks so a long replay's flight recording shows
+        // where time went.
+        if let Some(r) = recorder {
+            if report.replayed_rounds % 64 == 0 {
+                r.record(
+                    "recovery.replay_progress",
+                    fields![rounds: report.replayed_rounds, epoch: resumed],
+                );
+            }
+        }
     }
     report.resumed_epoch = resumed;
+    report.wal_replay = t_replay.elapsed();
+    if let Some(rec) = recorder {
+        rec.record(
+            "recovery.completed",
+            fields![
+                resumed_epoch: resumed,
+                replayed_rounds: report.replayed_rounds,
+                replayed_updates: report.replayed_updates,
+                dropped_rounds: report.dropped_rounds,
+                micros: report.wal_replay.as_micros() as u64
+            ],
+        );
+    }
     Ok((sys, next_seq, report))
 }

@@ -75,6 +75,9 @@ pub(crate) struct ShardBundle {
     /// `(type, $A)` pairs interned beyond the watermark, in allocation order.
     pub(crate) catalog: Vec<(TypeId, Tuple)>,
     pub(crate) results: Vec<(usize, ShardResult)>,
+    /// Wall clock this shard spent translating the round (the publisher
+    /// derives idle time as the slack against the slowest shard).
+    pub(crate) busy: std::time::Duration,
 }
 
 struct RoundMsg {
@@ -172,6 +175,7 @@ fn run_round(
     jobs: Vec<ShardJob>,
     stats: &EngineStats,
 ) -> ShardBundle {
+    let t_round = Instant::now();
     let sys = snap.system();
     let base_alloc = sys.view().dag().genid().n_allocated();
     // Lazy ViewStore replica: only insertions need to intern nodes.
@@ -253,5 +257,6 @@ fn run_round(
         base_alloc,
         catalog,
         results,
+        busy: t_round.elapsed(),
     }
 }

@@ -1,72 +1,224 @@
-//! Engine observability: lock-free counters extending the Fig.11 phase
-//! constituents with serving-layer metrics.
+//! Engine observability: every counter and phase timer lives in a
+//! [`rxview_obs::Registry`], with typed `Arc` handles held here so the hot
+//! paths never touch the registry lock.
+//!
+//! Three layers share this module:
+//!
+//! - **metrics** — lock-free counters plus log2 latency [`Histogram`]s for
+//!   each commit phase (`plan`, `translate`, `merge`, `fold`, `wal_append`,
+//!   `fsync`, `publish`), per-shard busy/idle time, and each update's
+//!   admission→ack latency;
+//! - **flight recorder** — a bounded ring of structured events (round
+//!   planned / committed / requeued, global-lane fallback, checkpoint
+//!   start/end, WAL rotation, recovery replay progress), dumpable as JSONL;
+//! - **reports** — [`EngineReport`] is a point-in-time read of the registry,
+//!   and [`PhaseBreakdown`] attributes a run's wall clock to phases.
+//!
+//! Telemetry is on by default and cheap enough to stay on (the bench
+//! publishes the measured on/off overhead); [`EngineConfig::telemetry`]
+//! turns every `record_*` into an early return for the zero-cost baseline.
+//!
+//! [`EngineConfig::telemetry`]: crate::EngineConfig::telemetry
 
+use crate::wal::SyncReason;
 use rxview_core::PhaseTimings;
+use rxview_obs::{fields, Counter, FieldValue, FlightRecorder, Histogram, Registry};
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-/// Cumulative engine counters. All methods are lock-free; readers, the
-/// single writer or the shard writers, and the publisher update them
-/// concurrently. (Phase nanoseconds are summed across threads: in the
-/// sharded path they measure total CPU-ish effort, not wall clock.)
-#[derive(Debug, Default)]
-pub struct EngineStats {
-    submitted: AtomicU64,
-    accepted: AtomicU64,
-    rejected: AtomicU64,
-    commits: AtomicU64,
-    batches: AtomicU64,
-    snapshots_published: AtomicU64,
-    snapshot_reads: AtomicU64,
-    scoped_evals: AtomicU64,
-    full_evals: AtomicU64,
-    max_batch: AtomicU64,
-    eval_nanos: AtomicU64,
-    translate_nanos: AtomicU64,
-    maintain_nanos: AtomicU64,
-    partition_nanos: AtomicU64,
-    publish_nanos: AtomicU64,
-    // --- sharded pipeline ---
-    rounds: AtomicU64,
-    global_lane_rounds: AtomicU64,
-    multi_cone_rounds: AtomicU64,
-    multi_cone_updates: AtomicU64,
-    multi_cone_width: AtomicU64,
-    requeued: AtomicU64,
-    analyses_reused: AtomicU64,
-    shard_updates: Vec<AtomicU64>,
-    // --- conflict-round widths (both write paths) ---
-    width_rounds: AtomicU64,
-    planned_width: AtomicU64,
-    realized_width: AtomicU64,
-    // --- durability ---
-    wal_records: AtomicU64,
-    wal_bytes: AtomicU64,
-    wal_syncs: AtomicU64,
-    checkpoints: AtomicU64,
+/// Events retained by the engine's flight recorder.
+const FLIGHT_CAPACITY: usize = 1024;
+
+/// The one guarded divide every mean/fraction helper shares: `0.0` on an
+/// empty (or non-positive) denominator, so a fresh engine's report never
+/// emits `NaN` into a display or a bench JSON.
+fn ratio(num: f64, den: f64) -> f64 {
+    if den <= 0.0 {
+        0.0
+    } else {
+        num / den
+    }
 }
 
-fn add(counter: &AtomicU64, v: u64) {
-    counter.fetch_add(v, Ordering::Relaxed);
+/// Cumulative engine counters and phase histograms, registry-backed. All
+/// `record_*` methods are lock-free (the registry lock is taken once, at
+/// construction); readers, the single writer or the shard writers, and the
+/// publisher update them concurrently. Phase nanoseconds are summed across
+/// threads where noted: per-update `translate` measures total effort, the
+/// per-round `*_wall` and publisher-side phases measure wall clock.
+#[derive(Debug)]
+pub struct EngineStats {
+    enabled: bool,
+    registry: Arc<Registry>,
+    recorder: Arc<FlightRecorder>,
+    // --- update lifecycle ---
+    submitted: Arc<Counter>,
+    accepted: Arc<Counter>,
+    rejected: Arc<Counter>,
+    update_latency_ns: Arc<Histogram>,
+    // --- commits / snapshots ---
+    commits: Arc<Counter>,
+    batches: Arc<Counter>,
+    max_batch: Arc<Counter>,
+    snapshots_published: Arc<Counter>,
+    snapshot_reads: Arc<Counter>,
+    // --- evaluation ---
+    scoped_evals: Arc<Counter>,
+    full_evals: Arc<Counter>,
+    // --- phase timers (nanoseconds per round, except translate/eval which
+    //     are per update and summed across shard threads) ---
+    eval_ns: Arc<Histogram>,
+    plan_ns: Arc<Histogram>,
+    translate_ns: Arc<Histogram>,
+    translate_wall_ns: Arc<Histogram>,
+    merge_ns: Arc<Histogram>,
+    fold_ns: Arc<Histogram>,
+    wal_append_ns: Arc<Histogram>,
+    fsync_ns: Arc<Histogram>,
+    publish_ns: Arc<Histogram>,
+    // --- sharded pipeline ---
+    rounds: Arc<Counter>,
+    global_lane_rounds: Arc<Counter>,
+    multi_cone_rounds: Arc<Counter>,
+    multi_cone_updates: Arc<Counter>,
+    multi_cone_width: Arc<Counter>,
+    requeued: Arc<Counter>,
+    analyses_reused: Arc<Counter>,
+    shard_updates: Vec<Arc<Counter>>,
+    shard_busy_ns: Arc<Histogram>,
+    shard_idle_ns: Arc<Histogram>,
+    // --- conflict-round widths (both write paths) ---
+    width_rounds: Arc<Counter>,
+    planned_width: Arc<Counter>,
+    realized_width: Arc<Counter>,
+    // --- durability ---
+    wal_records: Arc<Counter>,
+    wal_bytes: Arc<Counter>,
+    wal_syncs: Arc<Counter>,
+    wal_sync_rounds: Arc<Counter>,
+    wal_sync_age: Arc<Counter>,
+    checkpoints: Arc<Counter>,
 }
 
 impl EngineStats {
     /// Counters for an engine with `n_shards` shard writers (one per-shard
     /// update counter each; `n_shards <= 1` means the single-writer path).
-    pub(crate) fn with_shards(n_shards: usize) -> Self {
+    /// With `enabled == false` every `record_*` call is an early return and
+    /// the registry stays at zero. A pre-populated `recorder` (recovery
+    /// hands one over so replay-progress events survive into the serving
+    /// engine) is adopted instead of creating a fresh ring.
+    pub(crate) fn new(
+        n_shards: usize,
+        enabled: bool,
+        recorder: Option<Arc<FlightRecorder>>,
+    ) -> Self {
+        let registry = Arc::new(Registry::new());
+        let r = &registry;
         EngineStats {
-            shard_updates: (0..n_shards.max(1)).map(|_| AtomicU64::new(0)).collect(),
-            ..EngineStats::default()
+            enabled,
+            recorder: recorder.unwrap_or_else(|| Arc::new(FlightRecorder::new(FLIGHT_CAPACITY))),
+            submitted: r.counter("updates.submitted"),
+            accepted: r.counter("updates.accepted"),
+            rejected: r.counter("updates.rejected"),
+            update_latency_ns: r.histogram("update.latency_ns"),
+            commits: r.counter("commit.calls"),
+            batches: r.counter("commit.batches"),
+            max_batch: r.counter("commit.max_batch"),
+            snapshots_published: r.counter("snapshot.published"),
+            snapshot_reads: r.counter("snapshot.reads"),
+            scoped_evals: r.counter("eval.scoped"),
+            full_evals: r.counter("eval.full"),
+            eval_ns: r.histogram("phase.eval_ns"),
+            plan_ns: r.histogram("phase.plan_ns"),
+            translate_ns: r.histogram("phase.translate_ns"),
+            translate_wall_ns: r.histogram("phase.translate_wall_ns"),
+            merge_ns: r.histogram("phase.merge_ns"),
+            fold_ns: r.histogram("phase.fold_ns"),
+            wal_append_ns: r.histogram("phase.wal_append_ns"),
+            fsync_ns: r.histogram("phase.fsync_ns"),
+            publish_ns: r.histogram("phase.publish_ns"),
+            rounds: r.counter("round.planned"),
+            global_lane_rounds: r.counter("round.global_lane"),
+            multi_cone_rounds: r.counter("round.multi_cone"),
+            multi_cone_updates: r.counter("round.multi_cone_updates"),
+            multi_cone_width: r.counter("round.multi_cone_width"),
+            requeued: r.counter("round.requeued"),
+            analyses_reused: r.counter("round.analyses_reused"),
+            shard_updates: (0..n_shards.max(1))
+                .map(|s| r.counter(&format!("shard.updates.{s:02}")))
+                .collect(),
+            shard_busy_ns: r.histogram("shard.busy_ns"),
+            shard_idle_ns: r.histogram("shard.idle_ns"),
+            width_rounds: r.counter("round.width_rounds"),
+            planned_width: r.counter("round.planned_width"),
+            realized_width: r.counter("round.realized_width"),
+            wal_records: r.counter("wal.records"),
+            wal_bytes: r.counter("wal.bytes"),
+            wal_syncs: r.counter("wal.syncs"),
+            wal_sync_rounds: r.counter("wal.sync_reason.rounds"),
+            wal_sync_age: r.counter("wal.sync_reason.age"),
+            checkpoints: r.counter("checkpoint.completed"),
+            registry,
+        }
+    }
+
+    /// Whether telemetry recording is on (the [`crate::EngineConfig::telemetry`]
+    /// flag this stats object was built under).
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// The metric registry backing these stats — for exporters and ad-hoc
+    /// inspection ([`rxview_obs::text_report`] renders it for humans).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// The engine's flight recorder (bounded ring of structured events).
+    pub fn recorder(&self) -> &Arc<FlightRecorder> {
+        &self.recorder
+    }
+
+    /// Records one flight-recorder event (no-op when telemetry is off).
+    pub(crate) fn event(&self, kind: &'static str, fields: Vec<(&'static str, FieldValue)>) {
+        if self.enabled {
+            self.recorder.record(kind, fields);
+        }
+    }
+
+    /// A round (or batch) failed mid-commit: record the failure event and,
+    /// if `RXVIEW_FLIGHT_DUMP` names a file, append the retained flight
+    /// window there — the post-mortem a crash-looped engine leaves behind.
+    pub(crate) fn record_round_failure(&self, reason: &str, updates: usize) {
+        if !self.enabled {
+            return;
+        }
+        self.recorder
+            .record("round.failed", fields![reason: reason, updates: updates]);
+        if let Some(path) = std::env::var_os("RXVIEW_FLIGHT_DUMP") {
+            use std::io::Write as _;
+            let dumped = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .and_then(|mut f| f.write_all(self.recorder.dump_jsonl().as_bytes()));
+            if let Err(e) = dumped {
+                eprintln!("rxview: flight dump to {path:?} failed: {e}");
+            }
         }
     }
 
     pub(crate) fn record_round(&self) {
-        add(&self.rounds, 1);
+        if self.enabled {
+            self.rounds.incr();
+        }
     }
 
     pub(crate) fn record_global_lane_round(&self) {
-        add(&self.global_lane_rounds, 1);
+        if self.enabled {
+            self.global_lane_rounds.incr();
+        }
     }
 
     /// Records one commit round that admitted `updates` multi-cone
@@ -74,23 +226,46 @@ impl EngineStats {
     /// translations — the direct observable of the type-indexed prefilter:
     /// `//` traffic riding shared rounds instead of the global lane.
     pub(crate) fn record_multi_cone_round(&self, updates: usize, width: usize) {
-        add(&self.multi_cone_rounds, 1);
-        add(&self.multi_cone_updates, updates as u64);
-        add(&self.multi_cone_width, width as u64);
+        if !self.enabled {
+            return;
+        }
+        self.multi_cone_rounds.incr();
+        self.multi_cone_updates.add(updates as u64);
+        self.multi_cone_width.add(width as u64);
     }
 
     pub(crate) fn record_requeued(&self) {
-        add(&self.requeued, 1);
+        if self.enabled {
+            self.requeued.incr();
+        }
     }
 
     pub(crate) fn record_analysis_reused(&self) {
-        add(&self.analyses_reused, 1);
+        if self.enabled {
+            self.analyses_reused.incr();
+        }
     }
 
     pub(crate) fn record_shard_updates(&self, shard: usize, n: usize) {
-        if let Some(c) = self.shard_updates.get(shard) {
-            add(c, n as u64);
+        if !self.enabled {
+            return;
         }
+        if let Some(c) = self.shard_updates.get(shard) {
+            c.add(n as u64);
+        }
+    }
+
+    /// One shard's share of a round: `busy` is the time its worker spent
+    /// translating, `idle` is the rest of the round's dispatch wall clock
+    /// (waiting on the slowest sibling). Only shards that received jobs
+    /// report; a shard skipped by the round entirely is not "idle", it is
+    /// unused.
+    pub(crate) fn record_shard_round(&self, busy: Duration, idle: Duration) {
+        if !self.enabled {
+            return;
+        }
+        self.shard_busy_ns.record_duration(busy);
+        self.shard_idle_ns.record_duration(idle);
     }
 
     /// Records one conflict round's *planned* width (updates admitted by
@@ -99,126 +274,199 @@ impl EngineStats {
     /// structural lever of the sharded path, so both are first-class
     /// observables.
     pub(crate) fn record_round_width(&self, planned: usize, realized: usize) {
-        add(&self.width_rounds, 1);
-        add(&self.planned_width, planned as u64);
-        add(&self.realized_width, realized as u64);
-    }
-    pub(crate) fn record_submitted(&self) {
-        add(&self.submitted, 1);
+        if !self.enabled {
+            return;
+        }
+        self.width_rounds.incr();
+        self.planned_width.add(planned as u64);
+        self.realized_width.add(realized as u64);
     }
 
-    pub(crate) fn record_outcome(&self, accepted: bool) {
-        add(
-            if accepted {
-                &self.accepted
-            } else {
-                &self.rejected
-            },
-            1,
-        );
+    pub(crate) fn record_submitted(&self) {
+        if self.enabled {
+            self.submitted.incr();
+        }
+    }
+
+    /// One update's outcome delivered to its ticket; `submitted_at` (stamped
+    /// at admission when telemetry is on) closes the end-to-end
+    /// admission→ack latency sample.
+    pub(crate) fn record_outcome(&self, accepted: bool, submitted_at: Option<Instant>) {
+        if !self.enabled {
+            return;
+        }
+        if accepted {
+            &self.accepted
+        } else {
+            &self.rejected
+        }
+        .incr();
+        if let Some(t0) = submitted_at {
+            self.update_latency_ns.record_duration(t0.elapsed());
+        }
     }
 
     pub(crate) fn record_commit(&self) {
-        add(&self.commits, 1);
+        if self.enabled {
+            self.commits.incr();
+        }
     }
 
     pub(crate) fn record_batch(&self, size: usize) {
-        add(&self.batches, 1);
-        self.max_batch.fetch_max(size as u64, Ordering::Relaxed);
+        if !self.enabled {
+            return;
+        }
+        self.batches.incr();
+        self.max_batch.fetch_max(size as u64);
     }
 
     pub(crate) fn record_snapshot_published(&self) {
-        add(&self.snapshots_published, 1);
+        if self.enabled {
+            self.snapshots_published.incr();
+        }
     }
 
     pub(crate) fn record_snapshot_read(&self) {
-        add(&self.snapshot_reads, 1);
+        if self.enabled {
+            self.snapshot_reads.incr();
+        }
     }
 
     pub(crate) fn record_eval(&self, scoped: bool, d: Duration) {
-        add(
-            if scoped {
-                &self.scoped_evals
-            } else {
-                &self.full_evals
-            },
-            1,
-        );
-        add(&self.eval_nanos, d.as_nanos() as u64);
+        if !self.enabled {
+            return;
+        }
+        if scoped {
+            &self.scoped_evals
+        } else {
+            &self.full_evals
+        }
+        .incr();
+        self.eval_ns.record_duration(d);
     }
 
     pub(crate) fn record_translate(&self, d: Duration) {
-        add(&self.translate_nanos, d.as_nanos() as u64);
+        if self.enabled {
+            self.translate_ns.record_duration(d);
+        }
+    }
+
+    /// One round's translation *wall clock*: shard dispatch→last bundle on
+    /// the sharded path, the apply loop on the single-writer path. The
+    /// per-update [`EngineStats::record_translate`] sums effort across
+    /// threads; this is the round's critical-path view of the same phase.
+    pub(crate) fn record_translate_wall(&self, d: Duration) {
+        if self.enabled {
+            self.translate_wall_ns.record_duration(d);
+        }
+    }
+
+    /// One round's merge phase: re-interning and applying shard translations
+    /// to the master state (sharded path only; the single-writer path has no
+    /// merge).
+    pub(crate) fn record_merge(&self, d: Duration) {
+        if self.enabled {
+            self.merge_ns.record_duration(d);
+        }
     }
 
     pub(crate) fn record_maintain(&self, d: Duration) {
-        add(&self.maintain_nanos, d.as_nanos() as u64);
+        if self.enabled {
+            self.fold_ns.record_duration(d);
+        }
     }
 
-    pub(crate) fn record_partition(&self, d: Duration) {
-        add(&self.partition_nanos, d.as_nanos() as u64);
+    pub(crate) fn record_plan(&self, d: Duration) {
+        if self.enabled {
+            self.plan_ns.record_duration(d);
+        }
     }
 
     pub(crate) fn record_publish(&self, d: Duration) {
-        add(&self.publish_nanos, d.as_nanos() as u64);
+        if self.enabled {
+            self.publish_ns.record_duration(d);
+        }
     }
 
-    /// One replay-log record appended (`bytes` on disk, `synced` if this
-    /// append fsynced under the engine's durability policy).
-    pub(crate) fn record_wal_append(&self, bytes: u64, synced: bool) {
-        add(&self.wal_records, 1);
-        add(&self.wal_bytes, bytes);
-        if synced {
-            add(&self.wal_syncs, 1);
+    /// One replay-log record appended: `bytes` on disk, the write and fsync
+    /// portions of the append, and — when this append fsynced — which
+    /// watermark tripped it.
+    pub(crate) fn record_wal_append(
+        &self,
+        bytes: u64,
+        write: Duration,
+        sync: Duration,
+        reason: Option<SyncReason>,
+    ) {
+        if !self.enabled {
+            return;
+        }
+        self.wal_records.incr();
+        self.wal_bytes.add(bytes);
+        self.wal_append_ns.record_duration(write);
+        if let Some(reason) = reason {
+            self.wal_syncs.incr();
+            self.fsync_ns.record_duration(sync);
+            match reason {
+                SyncReason::RoundWatermark => self.wal_sync_rounds.incr(),
+                SyncReason::AgeWatermark => self.wal_sync_age.incr(),
+                SyncReason::Policy => {}
+            }
         }
     }
 
     /// One checkpoint made durable.
     pub(crate) fn record_checkpoint(&self) {
-        add(&self.checkpoints, 1);
+        if self.enabled {
+            self.checkpoints.incr();
+        }
     }
 
     /// A consistent-enough point-in-time copy of all counters.
     pub fn report(&self) -> EngineReport {
-        let ns = |c: &AtomicU64| Duration::from_nanos(c.load(Ordering::Relaxed));
-        let n = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        let ns = |h: &Histogram| Duration::from_nanos(h.sum());
         EngineReport {
-            submitted: n(&self.submitted),
-            accepted: n(&self.accepted),
-            rejected: n(&self.rejected),
-            commits: n(&self.commits),
-            batches: n(&self.batches),
-            snapshots_published: n(&self.snapshots_published),
-            snapshot_reads: n(&self.snapshot_reads),
-            scoped_evals: n(&self.scoped_evals),
-            full_evals: n(&self.full_evals),
-            max_batch: n(&self.max_batch),
+            submitted: self.submitted.get(),
+            accepted: self.accepted.get(),
+            rejected: self.rejected.get(),
+            commits: self.commits.get(),
+            batches: self.batches.get(),
+            snapshots_published: self.snapshots_published.get(),
+            snapshot_reads: self.snapshot_reads.get(),
+            scoped_evals: self.scoped_evals.get(),
+            full_evals: self.full_evals.get(),
+            max_batch: self.max_batch.get(),
             phases: PhaseTimings {
-                eval: ns(&self.eval_nanos),
-                translate: ns(&self.translate_nanos),
-                maintain: ns(&self.maintain_nanos),
+                eval: ns(&self.eval_ns),
+                translate: ns(&self.translate_ns),
+                maintain: ns(&self.fold_ns),
             },
-            partition: ns(&self.partition_nanos),
-            publish: ns(&self.publish_nanos),
-            rounds: n(&self.rounds),
-            global_lane_rounds: n(&self.global_lane_rounds),
-            multi_cone_rounds: n(&self.multi_cone_rounds),
-            multi_cone_updates: n(&self.multi_cone_updates),
-            multi_cone_width: n(&self.multi_cone_width),
-            requeued: n(&self.requeued),
-            analyses_reused: n(&self.analyses_reused),
-            shard_updates: self
-                .shard_updates
-                .iter()
-                .map(|c| c.load(Ordering::Relaxed))
-                .collect(),
-            width_rounds: n(&self.width_rounds),
-            planned_width: n(&self.planned_width),
-            realized_width: n(&self.realized_width),
-            wal_records: n(&self.wal_records),
-            wal_bytes: n(&self.wal_bytes),
-            wal_syncs: n(&self.wal_syncs),
-            checkpoints: n(&self.checkpoints),
+            plan: ns(&self.plan_ns),
+            translate_wall: ns(&self.translate_wall_ns),
+            merge: ns(&self.merge_ns),
+            wal_append: ns(&self.wal_append_ns),
+            fsync: ns(&self.fsync_ns),
+            publish: ns(&self.publish_ns),
+            shard_busy: ns(&self.shard_busy_ns),
+            shard_idle: ns(&self.shard_idle_ns),
+            latency: self.update_latency_ns.snapshot(),
+            rounds: self.rounds.get(),
+            global_lane_rounds: self.global_lane_rounds.get(),
+            multi_cone_rounds: self.multi_cone_rounds.get(),
+            multi_cone_updates: self.multi_cone_updates.get(),
+            multi_cone_width: self.multi_cone_width.get(),
+            requeued: self.requeued.get(),
+            analyses_reused: self.analyses_reused.get(),
+            shard_updates: self.shard_updates.iter().map(|c| c.get()).collect(),
+            width_rounds: self.width_rounds.get(),
+            planned_width: self.planned_width.get(),
+            realized_width: self.realized_width.get(),
+            wal_records: self.wal_records.get(),
+            wal_bytes: self.wal_bytes.get(),
+            wal_syncs: self.wal_syncs.get(),
+            wal_sync_rounds: self.wal_sync_rounds.get(),
+            wal_sync_age: self.wal_sync_age.get(),
+            checkpoints: self.checkpoints.get(),
         }
     }
 }
@@ -248,11 +496,32 @@ pub struct EngineReport {
     pub max_batch: u64,
     /// Cumulative per-phase time — the Fig.11 constituents (a) evaluation,
     /// (b) translation + execution, (c) maintenance — across all commits.
+    /// `translate` sums per-update effort across shard threads; see
+    /// [`EngineReport::translate_wall`] for the critical-path view.
     pub phases: PhaseTimings,
-    /// Time spent in conflict analysis / batch building.
-    pub partition: Duration,
+    /// Time spent in conflict analysis / round planning (the `plan` phase).
+    pub plan: Duration,
+    /// Translation wall clock per round (shard dispatch→last bundle; the
+    /// apply loop on the single-writer path).
+    pub translate_wall: Duration,
+    /// Time merging shard translations into the master state (sharded path
+    /// only — zero on the single-writer path, whose apply loop *is* the
+    /// translate phase).
+    pub merge: Duration,
+    /// Time writing replay-log records (fsync excluded).
+    pub wal_append: Duration,
+    /// Time fsyncing the replay log.
+    pub fsync: Duration,
     /// Time spent cloning + publishing snapshots.
     pub publish: Duration,
+    /// Total time shard workers spent translating (shards that received
+    /// jobs only).
+    pub shard_busy: Duration,
+    /// Total time shard workers spent waiting for their round's slowest
+    /// sibling (dispatch wall clock minus own busy time).
+    pub shard_idle: Duration,
+    /// End-to-end admission→ack latency distribution, nanoseconds.
+    pub latency: rxview_obs::HistogramSnapshot,
     /// Sharded path: commit rounds planned by the router.
     pub rounds: u64,
     /// Commit rounds that ran through the serialized global lane (one
@@ -296,36 +565,99 @@ pub struct EngineReport {
     pub wal_bytes: u64,
     /// Appends that fsynced under the durability policy.
     pub wal_syncs: u64,
+    /// Fsyncs tripped by the [`crate::Durability::GroupCommit`] round
+    /// watermark.
+    pub wal_sync_rounds: u64,
+    /// Fsyncs tripped by the [`crate::Durability::GroupCommit`] age
+    /// watermark.
+    pub wal_sync_age: u64,
     /// Checkpoints made durable (initial + background + manual).
     pub checkpoints: u64,
+}
+
+/// One run's commit wall clock attributed to the phase taxonomy — the
+/// fractions are computed over the sum of the measured phases, so they sum
+/// to 1 whenever any phase time was recorded at all.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseBreakdown {
+    /// Conflict analysis / round planning.
+    pub plan: Duration,
+    /// Translation wall clock (parallel section on the sharded path).
+    pub translate: Duration,
+    /// Merging shard translations into the master (sharded path only).
+    pub merge: Duration,
+    /// The folded ∆(M,L) maintenance pass.
+    pub fold: Duration,
+    /// Replay-log record writes.
+    pub wal_append: Duration,
+    /// Replay-log fsyncs.
+    pub fsync: Duration,
+    /// Snapshot clone + publication.
+    pub publish: Duration,
+}
+
+impl PhaseBreakdown {
+    /// Sum of all measured phases (the denominator of every fraction).
+    pub fn total(&self) -> Duration {
+        self.plan
+            + self.translate
+            + self.merge
+            + self.fold
+            + self.wal_append
+            + self.fsync
+            + self.publish
+    }
+
+    /// `(name, seconds, fraction-of-total)` per phase, in pipeline order.
+    /// Fractions sum to 1 (up to rounding) when any time was measured.
+    pub fn fractions(&self) -> [(&'static str, f64, f64); 7] {
+        let total = self.total().as_secs_f64();
+        let f = |d: Duration| (d.as_secs_f64(), ratio(d.as_secs_f64(), total));
+        let [plan, translate, merge, fold, wal_append, fsync, publish] = [
+            self.plan,
+            self.translate,
+            self.merge,
+            self.fold,
+            self.wal_append,
+            self.fsync,
+            self.publish,
+        ]
+        .map(f);
+        [
+            ("plan", plan.0, plan.1),
+            ("translate", translate.0, translate.1),
+            ("merge", merge.0, merge.1),
+            ("fold", fold.0, fold.1),
+            ("wal_append", wal_append.0, wal_append.1),
+            ("fsync", fsync.0, fsync.1),
+            ("publish", publish.0, publish.1),
+        ]
+    }
+
+    /// Fraction of the phase total spent in the publisher's serialized
+    /// section (everything after translation: merge + fold + wal + fsync +
+    /// publish) — the Amdahl ceiling on shard scaling that motivates
+    /// pipelined epoch commit.
+    pub fn publisher_serial_fraction(&self) -> f64 {
+        let serial = self.merge + self.fold + self.wal_append + self.fsync + self.publish;
+        ratio(serial.as_secs_f64(), self.total().as_secs_f64())
+    }
 }
 
 impl EngineReport {
     /// Average committed batch size.
     pub fn mean_batch(&self) -> f64 {
-        if self.batches == 0 {
-            0.0
-        } else {
-            (self.accepted + self.rejected) as f64 / self.batches as f64
-        }
+        ratio((self.accepted + self.rejected) as f64, self.batches as f64)
     }
 
     /// Average *planned* conflict-round width (admitted updates per round).
     pub fn mean_planned_width(&self) -> f64 {
-        if self.width_rounds == 0 {
-            0.0
-        } else {
-            self.planned_width as f64 / self.width_rounds as f64
-        }
+        ratio(self.planned_width as f64, self.width_rounds as f64)
     }
 
     /// Average *realized* conflict-round width (merged updates per round).
     pub fn mean_realized_width(&self) -> f64 {
-        if self.width_rounds == 0 {
-            0.0
-        } else {
-            self.realized_width as f64 / self.width_rounds as f64
-        }
+        ratio(self.realized_width as f64, self.width_rounds as f64)
     }
 
     /// Average realized width of the rounds that carried `//`-headed or
@@ -333,10 +665,31 @@ impl EngineReport {
     /// prefilter: > 1 means such updates commit in shared rounds instead of
     /// the singleton global lane.
     pub fn mean_multi_cone_width(&self) -> f64 {
-        if self.multi_cone_rounds == 0 {
-            0.0
-        } else {
-            self.multi_cone_width as f64 / self.multi_cone_rounds as f64
+        ratio(self.multi_cone_width as f64, self.multi_cone_rounds as f64)
+    }
+
+    /// Fraction of shard-round time spent idle (waiting on the round's
+    /// slowest sibling): `idle / (busy + idle)`, 0.0 when no sharded round
+    /// ran. High values mean unbalanced rounds, not useless shards.
+    pub fn shard_idle_fraction(&self) -> f64 {
+        ratio(
+            self.shard_idle.as_secs_f64(),
+            (self.shard_busy + self.shard_idle).as_secs_f64(),
+        )
+    }
+
+    /// This report's wall clock attributed to the commit phase taxonomy.
+    /// `translate` is the wall-clock view ([`EngineReport::translate_wall`]);
+    /// the summed per-update effort stays in `phases.translate`.
+    pub fn phase_breakdown(&self) -> PhaseBreakdown {
+        PhaseBreakdown {
+            plan: self.plan,
+            translate: self.translate_wall,
+            merge: self.merge,
+            fold: self.phases.maintain,
+            wal_append: self.wal_append,
+            fsync: self.fsync,
+            publish: self.publish,
         }
     }
 }
@@ -368,13 +721,26 @@ impl fmt::Display for EngineReport {
         )?;
         writeln!(
             f,
-            "phase time: eval {:?}, translate {:?}, maintain {:?}, partition {:?}, publish {:?}",
+            "phase time: eval {:?}, translate {:?} ({:?} wall), maintain {:?}, plan {:?}, merge {:?}, publish {:?}",
             self.phases.eval,
             self.phases.translate,
+            self.translate_wall,
             self.phases.maintain,
-            self.partition,
+            self.plan,
+            self.merge,
             self.publish
         )?;
+        if self.latency.count > 0 {
+            writeln!(
+                f,
+                "latency: {} acks, p50 {:?}, p95 {:?}, p99 {:?}, max {:?}",
+                self.latency.count,
+                Duration::from_nanos(self.latency.quantile(0.5)),
+                Duration::from_nanos(self.latency.quantile(0.95)),
+                Duration::from_nanos(self.latency.quantile(0.99)),
+                Duration::from_nanos(self.latency.max),
+            )?;
+        }
         writeln!(
             f,
             "rounds: {} measured, mean width {:.1} planned / {:.1} realized",
@@ -395,17 +761,92 @@ impl fmt::Display for EngineReport {
         if self.shard_updates.len() > 1 || self.rounds > 0 {
             writeln!(
                 f,
-                "shards: {:?} updates/shard, {} rounds, {} via global lane, {} requeued, {} analyses reused",
-                self.shard_updates, self.rounds, self.global_lane_rounds, self.requeued, self.analyses_reused
+                "shards: {:?} updates/shard, {} rounds, {} via global lane, {} requeued, {} analyses reused, {:.0}% idle",
+                self.shard_updates, self.rounds, self.global_lane_rounds, self.requeued,
+                self.analyses_reused, 100.0 * self.shard_idle_fraction()
             )?;
         }
         if self.wal_records > 0 || self.checkpoints > 0 {
             writeln!(
                 f,
-                "durability: {} log records ({} bytes, {} fsyncs), {} checkpoints",
-                self.wal_records, self.wal_bytes, self.wal_syncs, self.checkpoints
+                "durability: {} log records ({} bytes, {} fsyncs: {} round-watermark, {} age-watermark), {} checkpoints, append {:?}, fsync {:?}",
+                self.wal_records, self.wal_bytes, self.wal_syncs, self.wal_sync_rounds,
+                self.wal_sync_age, self.checkpoints, self.wal_append, self.fsync
             )?;
         }
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_guards_empty_denominators() {
+        assert_eq!(ratio(5.0, 0.0), 0.0);
+        assert_eq!(ratio(0.0, 0.0), 0.0);
+        assert_eq!(ratio(6.0, 3.0), 2.0);
+    }
+
+    #[test]
+    fn fresh_report_means_are_zero_not_nan() {
+        let stats = EngineStats::new(4, true, None);
+        let report = stats.report();
+        for v in [
+            report.mean_batch(),
+            report.mean_planned_width(),
+            report.mean_realized_width(),
+            report.mean_multi_cone_width(),
+            report.shard_idle_fraction(),
+            report.phase_breakdown().publisher_serial_fraction(),
+        ] {
+            assert_eq!(v, 0.0);
+            assert!(v.is_finite());
+        }
+    }
+
+    #[test]
+    fn disabled_stats_record_nothing() {
+        let stats = EngineStats::new(2, false, None);
+        stats.record_submitted();
+        stats.record_outcome(true, Some(Instant::now()));
+        stats.record_batch(5);
+        stats.record_eval(true, Duration::from_micros(10));
+        stats.record_wal_append(100, Duration::from_micros(1), Duration::ZERO, None);
+        stats.event("round.committed", fields![epoch: 1u64]);
+        let report = stats.report();
+        assert_eq!(report.submitted, 0);
+        assert_eq!(report.accepted, 0);
+        assert_eq!(report.batches, 0);
+        assert_eq!(report.wal_records, 0);
+        assert!(stats.recorder().is_empty());
+    }
+
+    #[test]
+    fn phase_fractions_sum_to_one() {
+        let b = PhaseBreakdown {
+            plan: Duration::from_millis(10),
+            translate: Duration::from_millis(40),
+            merge: Duration::from_millis(5),
+            fold: Duration::from_millis(20),
+            wal_append: Duration::from_millis(3),
+            fsync: Duration::from_millis(7),
+            publish: Duration::from_millis(15),
+        };
+        let sum: f64 = b.fractions().iter().map(|(_, _, frac)| frac).sum();
+        assert!((sum - 1.0).abs() < 1e-9, "fractions sum to {sum}");
+        let serial = b.publisher_serial_fraction();
+        assert!((0.0..=1.0).contains(&serial));
+        assert!((serial - 0.5).abs() < 1e-9); // 50ms serial of 100ms total
+    }
+
+    #[test]
+    fn per_shard_counters_are_independent() {
+        let stats = EngineStats::new(3, true, None);
+        stats.record_shard_updates(0, 2);
+        stats.record_shard_updates(2, 5);
+        stats.record_shard_updates(9, 1); // out of range: ignored
+        assert_eq!(stats.report().shard_updates, vec![2, 0, 5]);
     }
 }

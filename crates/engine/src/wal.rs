@@ -99,6 +99,51 @@ impl Durability {
 /// Magic bytes opening every segment file.
 pub(crate) const WAL_MAGIC: &[u8; 8] = b"RXWALv1\n";
 
+/// Why an append fsynced — the observable behind the GroupCommit flush
+/// accounting (`wal.sync_reason.*` metrics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SyncReason {
+    /// The policy syncs unconditionally on a cadence ([`Durability::PerRound`]
+    /// or [`Durability::EveryN`] hitting its count).
+    Policy,
+    /// [`Durability::GroupCommit`]: `max_rounds` unsynced rounds accumulated.
+    RoundWatermark,
+    /// [`Durability::GroupCommit`]: the oldest unsynced round aged past
+    /// `max_micros`.
+    AgeWatermark,
+}
+
+/// What one [`Wal::append`] did: bytes framed on disk, the write and fsync
+/// wall clock (fsync zero when the policy skipped it), and why it synced.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct AppendOutcome {
+    /// Record bytes written (frame included).
+    pub(crate) bytes: u64,
+    /// Time spent writing the record.
+    pub(crate) write_time: std::time::Duration,
+    /// Time spent in `fsync` (zero when `reason` is `None`).
+    pub(crate) sync_time: std::time::Duration,
+    /// `Some` iff this append fsynced, with the watermark that tripped it.
+    pub(crate) reason: Option<SyncReason>,
+}
+
+#[cfg(test)]
+impl AppendOutcome {
+    /// Whether this append fsynced.
+    fn synced(&self) -> bool {
+        self.reason.is_some()
+    }
+}
+
+/// What one [`Wal::compact`] did, for the `wal.rotate` flight event.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct CompactOutcome {
+    /// Whether the active segment was sealed and a fresh one opened.
+    pub(crate) rotated: bool,
+    /// Sealed segments deleted as fully covered by the checkpoint.
+    pub(crate) deleted: usize,
+}
+
 /// One logged update: the logical update plus its side-effect policy.
 pub(crate) type LoggedUpdate = (XmlUpdate, SideEffectPolicy);
 
@@ -277,8 +322,9 @@ impl Wal {
         })
     }
 
-    /// Appends one round and applies the fsync policy. Returns the bytes
-    /// written and whether this append fsynced.
+    /// Appends one round and applies the fsync policy. Returns an
+    /// [`AppendOutcome`]: bytes written, write/fsync timing, and the sync
+    /// reason if this append fsynced.
     ///
     /// On failure (write *or* fsync) the segment is rolled back to the end
     /// of the last successful record: the caller fails the round and the
@@ -289,7 +335,7 @@ impl Wal {
         &mut self,
         epoch: u64,
         updates: &[LoggedUpdate],
-    ) -> io::Result<(u64, bool)> {
+    ) -> io::Result<AppendOutcome> {
         use std::io::Seek as _;
         if self.poisoned {
             return Err(io::Error::other(
@@ -297,10 +343,12 @@ impl Wal {
             ));
         }
         let record = encode_record(epoch, updates);
-        let sync = match self.policy {
-            Durability::Off => false,
-            Durability::PerRound => true,
-            Durability::EveryN(n) => n > 0 && self.unsynced + 1 >= n,
+        let reason = match self.policy {
+            Durability::Off => None,
+            Durability::PerRound => Some(SyncReason::Policy),
+            Durability::EveryN(n) => {
+                (n > 0 && self.unsynced + 1 >= n).then_some(SyncReason::Policy)
+            }
             Durability::GroupCommit {
                 max_rounds,
                 max_micros,
@@ -310,13 +358,27 @@ impl Wal {
                     && self
                         .first_unsynced
                         .is_some_and(|t| t.elapsed().as_micros() as u64 >= max_micros);
-                rounds_hit || age_hit
+                // The round watermark takes attribution priority: when both
+                // trip on the same append, load (not trickle age) forced it.
+                if rounds_hit {
+                    Some(SyncReason::RoundWatermark)
+                } else if age_hit {
+                    Some(SyncReason::AgeWatermark)
+                } else {
+                    None
+                }
             }
         };
+        let t_write = std::time::Instant::now();
+        let mut write_time = std::time::Duration::ZERO;
+        let mut sync_time = std::time::Duration::ZERO;
         let appended = (|| {
             self.file.write_all(&record)?;
-            if sync {
+            write_time = t_write.elapsed();
+            if reason.is_some() {
+                let t_sync = std::time::Instant::now();
                 self.file.sync_data()?;
+                sync_time = t_sync.elapsed();
             }
             Ok::<_, io::Error>(())
         })();
@@ -332,7 +394,7 @@ impl Wal {
         }
         self.committed_len += record.len() as u64;
         self.max_epoch = Some(self.max_epoch.map_or(epoch, |m| m.max(epoch)));
-        if sync {
+        if reason.is_some() {
             self.unsynced = 0;
             self.first_unsynced = None;
         } else {
@@ -340,7 +402,12 @@ impl Wal {
             self.first_unsynced
                 .get_or_insert_with(std::time::Instant::now);
         }
-        Ok((record.len() as u64, sync))
+        Ok(AppendOutcome {
+            bytes: record.len() as u64,
+            write_time,
+            sync_time,
+            reason,
+        })
     }
 
     /// Forces the segment to disk.
@@ -354,7 +421,9 @@ impl Wal {
     /// Called after a checkpoint at `epoch` became durable: seals the
     /// current segment (if it has records), starts the next one, and
     /// deletes every sealed segment fully covered by the checkpoint.
-    pub(crate) fn compact(&mut self, epoch: u64) -> io::Result<()> {
+    /// Returns what rotated/was deleted, for the `wal.rotate` flight event.
+    pub(crate) fn compact(&mut self, epoch: u64) -> io::Result<CompactOutcome> {
+        let mut outcome = CompactOutcome::default();
         if let Some(max) = self.max_epoch {
             self.sync()?;
             let next = Wal::create(&self.dir, self.policy, self.seq + 1)?;
@@ -364,16 +433,18 @@ impl Wal {
                 path: old.path,
                 max_epoch: max,
             });
+            outcome.rotated = true;
         }
         self.sealed.retain(|s| {
             if s.max_epoch <= epoch {
                 let _ = fs::remove_file(&s.path); // best-effort: a survivor is re-covered next time
+                outcome.deleted += 1;
                 false
             } else {
                 true
             }
         });
-        Ok(())
+        Ok(outcome)
     }
 }
 
@@ -519,8 +590,12 @@ mod tests {
         .unwrap();
         let mut syncs = 0;
         for epoch in 1..=12 {
-            let (_, synced) = wal.append(epoch, &[]).unwrap();
-            syncs += u64::from(synced);
+            let out = wal.append(epoch, &[]).unwrap();
+            assert!(
+                out.reason.is_none() || out.reason == Some(SyncReason::RoundWatermark),
+                "only the round watermark can trip with max_micros=0"
+            );
+            syncs += u64::from(out.synced());
         }
         assert_eq!(syncs, 3, "12 appends at max_rounds=4 sync three times");
         fs::remove_dir_all(&dir).unwrap();
@@ -540,13 +615,17 @@ mod tests {
             0,
         )
         .unwrap();
-        let (_, first) = wal.append(1, &[]).unwrap();
-        assert!(!first, "first append has nothing old to flush");
+        let first = wal.append(1, &[]).unwrap();
+        assert!(!first.synced(), "first append has nothing old to flush");
         std::thread::sleep(std::time::Duration::from_millis(2));
-        let (_, second) = wal.append(2, &[]).unwrap();
-        assert!(second, "age watermark forces the sync");
-        let (_, third) = wal.append(3, &[]).unwrap();
-        assert!(!third, "watermark reset after the sync");
+        let second = wal.append(2, &[]).unwrap();
+        assert_eq!(
+            second.reason,
+            Some(SyncReason::AgeWatermark),
+            "age watermark forces (and is attributed) the sync"
+        );
+        let third = wal.append(3, &[]).unwrap();
+        assert!(!third.synced(), "watermark reset after the sync");
         fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -579,8 +658,9 @@ mod tests {
         let mut wal = Wal::create(&dir, Durability::EveryN(3), 0).unwrap();
         let mut syncs = 0;
         for epoch in 1..=7 {
-            let (_, synced) = wal.append(epoch, &[]).unwrap();
-            syncs += u64::from(synced);
+            let out = wal.append(epoch, &[]).unwrap();
+            assert!(out.reason.is_none() || out.reason == Some(SyncReason::Policy));
+            syncs += u64::from(out.synced());
         }
         assert_eq!(syncs, 2, "7 appends at EveryN(3) sync twice");
         fs::remove_dir_all(&dir).unwrap();

@@ -1,0 +1,238 @@
+//! Engine-level telemetry: the registry-backed stats, the flight recorder,
+//! and the JSONL exporter, exercised through real commits.
+
+use rxview_core::{SideEffectPolicy, XmlUpdate, XmlViewSystem};
+use rxview_engine::{Engine, EngineConfig};
+use rxview_workload::{synthetic_atg, synthetic_database, SyntheticConfig};
+
+fn system(n: usize) -> XmlViewSystem {
+    let cfg = SyntheticConfig::with_size(n);
+    let db = synthetic_database(&cfg);
+    let atg = synthetic_atg(&db).expect("valid ATG");
+    XmlViewSystem::new(atg, db).expect("publishes")
+}
+
+/// One deletable `(head, child)` edge path per group (see
+/// `tests/concurrent.rs`): anchored, `//`-free, so every update rides the
+/// sharded path.
+fn group_edges(sys: &XmlViewSystem, n: i64, group: i64) -> Vec<(i64, i64)> {
+    use rxview_relstore::Value;
+    use rxview_xmlkit::parse_xpath;
+    let h = sys.base().table("H").expect("H table");
+    (0..n / group)
+        .filter_map(|g| {
+            let head = g * group;
+            let prefix = [Value::Int(head)];
+            let row = h.scan_key_prefix(&prefix).next()?;
+            Some((head, row[1].as_int().expect("int h2")))
+        })
+        .filter(|&(h1, h2)| {
+            let p = parse_xpath(&format!("node[id={h1}]/sub/node[id={h2}]")).expect("parses");
+            !sys.evaluate(&p).is_empty()
+        })
+        .collect()
+}
+
+fn delete(h: i64, c: i64) -> XmlUpdate {
+    XmlUpdate::delete(&format!("node[id={h}]/sub/node[id={c}]")).expect("parses")
+}
+
+/// Per-shard committed counts are a *partition* of the sharded rounds'
+/// realized updates: they sum exactly to the accepted total.
+#[test]
+fn per_shard_counts_sum_to_round_total() {
+    let n = 800;
+    let sys = system(n);
+    let edges = group_edges(&sys, n as i64, 40);
+    assert!(edges.len() >= 8, "need several independent groups");
+    let engine = Engine::with_config(
+        sys,
+        EngineConfig {
+            n_shards: 4,
+            ..EngineConfig::default()
+        },
+    );
+
+    let mut accepted = 0u64;
+    for chunk in edges.chunks(4) {
+        let tickets: Vec<_> = chunk
+            .iter()
+            .map(|&(h, c)| {
+                engine
+                    .submit(delete(h, c), SideEffectPolicy::Proceed)
+                    .expect("queue accepts")
+            })
+            .collect();
+        engine.commit_pending();
+        for t in tickets {
+            t.wait().expect("independent group deletes commit");
+            accepted += 1;
+        }
+    }
+
+    let report = engine.stats().report();
+    assert_eq!(report.accepted, accepted);
+    assert_eq!(
+        report.shard_updates.iter().sum::<u64>(),
+        accepted,
+        "per-shard counts must partition the committed updates: {:?}",
+        report.shard_updates
+    );
+    // No `//` in the workload: the global lane never ran.
+    assert_eq!(report.global_lane_rounds, 0);
+    // Every accepted update produced one admission→ack latency sample.
+    assert_eq!(report.latency.count, accepted + report.rejected);
+    // The phase breakdown is a well-formed attribution: non-negative
+    // fractions summing to 1 once any phase time was recorded.
+    let phases = report.phase_breakdown();
+    assert!(
+        phases.total() > std::time::Duration::ZERO,
+        "sharded commits must record phase time"
+    );
+    let sum: f64 = phases.fractions().iter().map(|(_, _, f)| f).sum();
+    assert!((sum - 1.0).abs() < 1e-9, "fractions sum to {sum}");
+    assert!((0.0..=1.0).contains(&phases.publisher_serial_fraction()));
+    assert!((0.0..=1.0).contains(&report.shard_idle_fraction()));
+}
+
+/// `telemetry_report` and the flight recording expose the round history.
+#[test]
+fn telemetry_report_and_flight_recording() {
+    let n = 400;
+    let sys = system(n);
+    let edges = group_edges(&sys, n as i64, 40);
+    assert!(edges.len() >= 2);
+    let engine = Engine::with_config(
+        sys,
+        EngineConfig {
+            n_shards: 2,
+            ..EngineConfig::default()
+        },
+    );
+    for &(h, c) in &edges[..2] {
+        let t = engine
+            .submit(delete(h, c), SideEffectPolicy::Proceed)
+            .expect("queue accepts");
+        engine.commit_pending();
+        t.wait().expect("commits");
+    }
+
+    let report = engine.telemetry_report();
+    for needle in [
+        "updates.accepted",
+        "phase.translate_wall_ns",
+        "update.latency_ns",
+    ] {
+        assert!(
+            report.contains(needle),
+            "report missing {needle}:\n{report}"
+        );
+    }
+
+    let flight = engine.flight_recording();
+    assert!(
+        flight
+            .lines()
+            .any(|l| l.contains("\"event\": \"round.planned\"")),
+        "flight recording missing round.planned:\n{flight}"
+    );
+    assert!(
+        flight
+            .lines()
+            .any(|l| l.contains("\"event\": \"round.committed\"")),
+        "flight recording missing round.committed:\n{flight}"
+    );
+    // Every line is one JSON object with the envelope keys.
+    for line in flight.lines() {
+        assert!(
+            line.starts_with('{') && line.ends_with('}'),
+            "bad line {line}"
+        );
+        assert!(line.contains("\"seq\": ") && line.contains("\"event\": "));
+    }
+}
+
+/// Disabling telemetry turns the engine's counters into no-ops without
+/// changing behavior.
+#[test]
+fn telemetry_off_keeps_engine_working_and_counters_quiet() {
+    let n = 400;
+    let sys = system(n);
+    let edges = group_edges(&sys, n as i64, 40);
+    assert!(edges.len() >= 2);
+    let engine = Engine::with_config(
+        sys,
+        EngineConfig {
+            n_shards: 2,
+            telemetry: false,
+            ..EngineConfig::default()
+        },
+    );
+    for &(h, c) in &edges[..2] {
+        let t = engine
+            .submit(delete(h, c), SideEffectPolicy::Proceed)
+            .expect("queue accepts");
+        engine.commit_pending();
+        t.wait().expect("commits regardless of telemetry");
+    }
+    let report = engine.stats().report();
+    assert_eq!(report.accepted, 0, "disabled stats must not count");
+    assert_eq!(report.latency.count, 0);
+    assert!(engine.flight_recording().is_empty());
+    engine
+        .snapshot()
+        .system()
+        .consistency_check()
+        .expect("consistent with telemetry off");
+}
+
+/// The exporter appends one registry snapshot per interval (plus a final
+/// one on shutdown) to the configured JSONL path.
+#[test]
+fn metrics_exporter_writes_jsonl() {
+    let dir = std::env::temp_dir().join(format!(
+        "rxview-telemetry-test-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("metrics.jsonl");
+
+    let n = 400;
+    let sys = system(n);
+    let edges = group_edges(&sys, n as i64, 40);
+    assert!(edges.len() >= 2);
+    let engine = Engine::with_config(
+        sys,
+        EngineConfig {
+            n_shards: 2,
+            metrics_path: Some(path.clone()),
+            ..EngineConfig::default()
+        },
+    );
+    assert_eq!(engine.metrics_path(), Some(path.as_path()));
+    for &(h, c) in &edges[..2] {
+        let t = engine
+            .submit(delete(h, c), SideEffectPolicy::Proceed)
+            .expect("queue accepts");
+        engine.commit_pending();
+        t.wait().expect("commits");
+    }
+    drop(engine); // exporter flushes a final snapshot on shutdown
+
+    let text = std::fs::read_to_string(&path).expect("metrics file written");
+    let last = text.lines().last().expect("at least one snapshot line");
+    for needle in [
+        "\"at_micros\": ",
+        "\"updates.accepted\": 2",
+        "\"update.latency_ns\": {",
+        "\"p99\": ",
+    ] {
+        assert!(last.contains(needle), "snapshot missing {needle}:\n{last}");
+    }
+    assert!(
+        !last.contains("NaN") && !last.contains("inf"),
+        "non-finite JSON"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

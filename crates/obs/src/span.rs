@@ -1,0 +1,105 @@
+//! Span timers: attribute wall clock to named phases.
+//!
+//! Two shapes, both thin wrappers over [`std::time::Instant`]:
+//!
+//! - [`Stopwatch`] measures a region and hands the `Duration` back to the
+//!   caller (used where one measurement feeds several sinks, e.g. a report
+//!   field *and* a histogram);
+//! - [`SpanTimer`] is bound to a [`Histogram`] and records into it when
+//!   stopped **or dropped** — the drop path means early returns and `?`
+//!   exits still attribute their time instead of silently losing the span.
+
+use crate::hist::Histogram;
+use std::time::{Duration, Instant};
+
+/// A free-standing region timer.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts timing now.
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Time elapsed since [`Stopwatch::start`].
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Stopwatch::start()
+    }
+}
+
+/// A timer that records its span into a histogram (nanoseconds) when
+/// stopped or dropped.
+#[derive(Debug)]
+pub struct SpanTimer<'a> {
+    hist: &'a Histogram,
+    start: Instant,
+    armed: bool,
+}
+
+impl<'a> SpanTimer<'a> {
+    /// Starts a span feeding `hist`.
+    pub fn start(hist: &'a Histogram) -> Self {
+        SpanTimer {
+            hist,
+            start: Instant::now(),
+            armed: true,
+        }
+    }
+
+    /// Ends the span, records it, and returns its duration.
+    pub fn stop(mut self) -> Duration {
+        let d = self.start.elapsed();
+        self.hist.record_duration(d);
+        self.armed = false;
+        d
+    }
+
+    /// Ends the span without recording (the measurement is abandoned, e.g.
+    /// the phase turned out not to apply).
+    pub fn cancel(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for SpanTimer<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.hist.record_duration(self.start.elapsed());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stop_records_once() {
+        let h = Histogram::new();
+        let d = SpanTimer::start(&h).stop();
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() >= d.subsec_nanos() as u64 / 2);
+    }
+
+    #[test]
+    fn drop_records_cancel_does_not() {
+        let h = Histogram::new();
+        {
+            let _span = SpanTimer::start(&h);
+        }
+        assert_eq!(h.count(), 1, "drop records");
+        SpanTimer::start(&h).cancel();
+        assert_eq!(h.count(), 1, "cancel does not");
+    }
+}

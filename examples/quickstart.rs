@@ -170,6 +170,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "durability: recovered to epoch {} ({} round replayed after the checkpoint)",
         recovery.resumed_epoch, recovery.replayed_rounds
     );
+    println!(
+        "  recovery time: {:?} loading the checkpoint, {:?} replaying the WAL suffix",
+        recovery.checkpoint_load, recovery.wal_replay
+    );
+
+    // 9. Observability: every engine carries a lock-free metric registry and
+    //    a flight recorder; `telemetry_report` renders both human-readably.
+    println!("\n{}", recovered.telemetry_report());
     let _ = std::fs::remove_dir_all(&dir);
     Ok(())
 }

@@ -13,6 +13,9 @@
 //! - [`engine`]: the concurrent serving layer — snapshot-isolated readers
 //!   and group-commit writes (a single writer, or sharded parallel writers
 //!   over anchor-cone partitions) over the core processor.
+//! - [`obs`]: the dependency-free telemetry layer the engine is built on —
+//!   lock-free metric registry, log₂ latency histograms, span timers, a
+//!   ring-buffer flight recorder, and a JSONL exporter.
 //! - [`workload`]: the registrar example, the synthetic dataset of §5,
 //!   concurrent reader/writer mixes, and shard-skew traffic.
 //!
@@ -23,6 +26,7 @@
 pub use rxview_atg as atg;
 pub use rxview_core as core;
 pub use rxview_engine as engine;
+pub use rxview_obs as obs;
 pub use rxview_relstore as relstore;
 pub use rxview_satsolver as satsolver;
 pub use rxview_workload as workload;
