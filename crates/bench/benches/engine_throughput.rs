@@ -16,7 +16,13 @@
 //!    (default `2,4,8`) parallel writers over anchor-cone partitions —
 //!    `n_shards × max_batch`-wide conflict rounds, per-round anchor
 //!    indexing, apply-free shard translation, one merged maintenance fold
-//!    and one snapshot publication per round.
+//!    and one snapshot publication per round. Each shard count runs as a
+//!    commit-pipeline pair — depth 1 (the round-serial pre-PR-7 loop) vs
+//!    the shipped default, both twins at the same round width (capped at
+//!    512 updates so even the widest sweep plans several rounds per
+//!    workload burst) — so the JSON shows what overlapping round k+1's
+//!    translation with round k's serial section reclaims in shard idle
+//!    time.
 //!
 //! A second sweep drives the same engines with `workload::shard_skew`
 //! traffic (90% of updates on a few hot anchor cones) to show the scaling
@@ -38,7 +44,9 @@
 //! `RXVIEW_BENCH_SKEW_OPS` / `RXVIEW_BENCH_SKEW_GROUPS` (defaults 2048 /
 //! 256; `RXVIEW_BENCH_SKEW_OPS=0` disables the skew sweep),
 //! `RXVIEW_BENCH_DESC_OPS` / `RXVIEW_BENCH_DESC_GROUPS` (defaults 2048 /
-//! 256; `RXVIEW_BENCH_DESC_OPS=0` disables the descendant sweep).
+//! 256; `RXVIEW_BENCH_DESC_OPS=0` disables the descendant sweep), and
+//! `RXVIEW_BENCH_MAX_BATCH` (default: the engine default) to shrink commit
+//! rounds so small smoke workloads still exercise pipeline overlap.
 //!
 //! Besides the human-readable sweep, every run writes a machine-readable
 //! summary — updates/sec, accepted counts, and planned/realized conflict
@@ -65,9 +73,26 @@ fn env_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Base engine configuration for every bench run: the defaults, with
+/// `max_batch` overridable via `RXVIEW_BENCH_MAX_BATCH`. CI's smoke run
+/// shrinks it so its tiny workloads still span several commit rounds per
+/// workload round — otherwise one round swallows every disjoint update and
+/// the pipeline on/off comparison has nothing to overlap.
+fn bench_config(n_shards: usize) -> EngineConfig {
+    let default = EngineConfig::default();
+    EngineConfig {
+        n_shards,
+        max_batch: env_usize("RXVIEW_BENCH_MAX_BATCH", default.max_batch).max(1),
+        ..default
+    }
+}
+
 /// One engine run's machine-readable metrics (a `BENCH_engine.json` row).
 struct RunMetrics {
     n_shards: usize,
+    /// Commit-pipeline depth the run was configured with (1 = pipelining
+    /// off, i.e. the pre-PR-7 round-serial loop).
+    pipeline_depth: usize,
     rate: f64,
     accepted: usize,
     conflict_rounds: u64,
@@ -77,6 +102,10 @@ struct RunMetrics {
     global_lane_rounds: u64,
     multi_cone_rounds: u64,
     mean_multi_cone_width: f64,
+    /// Fraction of the round translation wall clock shards spent waiting
+    /// between rounds (also inside `phases_json`; kept here for the
+    /// pipeline on/off comparison lines).
+    shard_idle_fraction: f64,
     /// The per-phase commit-time attribution (`"phases"` JSON object).
     phases_json: String,
 }
@@ -99,12 +128,14 @@ fn phases_json(report: &rxview_engine::EngineReport) -> String {
     }
     let serial = pb.publisher_serial_fraction();
     let idle = report.shard_idle_fraction();
+    let overlap = pb.overlap_fraction();
     assert!(
-        serial.is_finite() && idle.is_finite(),
+        serial.is_finite() && idle.is_finite() && overlap.is_finite(),
         "non-finite fraction"
     );
     out.push_str(&format!(
-        "\"publisher_serial_fraction\": {serial:.4}, \"shard_idle_fraction\": {idle:.4}}}"
+        "\"publisher_serial_fraction\": {serial:.4}, \"shard_idle_fraction\": {idle:.4}, \
+         \"overlap_fraction\": {overlap:.4}}}"
     ));
     out
 }
@@ -122,12 +153,14 @@ impl RunMetrics {
             assert!(v.is_finite(), "non-finite bench metric: {v}");
         }
         format!(
-            "{{\"shards\": {}, \"updates_per_sec\": {:.1}, \"accepted\": {}, \
+            "{{\"shards\": {}, \"pipeline_depth\": {}, \"updates_per_sec\": {:.1}, \
+             \"accepted\": {}, \
              \"conflict_rounds\": {}, \"mean_planned_width\": {:.2}, \
              \"mean_realized_width\": {:.2}, \"requeued\": {}, \
              \"global_lane_rounds\": {}, \"multi_cone_rounds\": {}, \
              \"mean_multi_cone_width\": {:.2}, \"phases\": {}}}",
             self.n_shards,
+            self.pipeline_depth,
             self.rate,
             self.accepted,
             self.conflict_rounds,
@@ -249,11 +282,71 @@ fn main() {
         .unwrap_or_else(|_| vec![2, 4, 8]);
     println!("\nshard sweep (vs single-writer {sw_rate:.0} updates/sec):");
     for &n in &shards {
-        let run = run_engine(&sys, &ops, n);
-        assert_eq!(
-            seq_ok, run.accepted,
-            "sharded acceptance must match sequential"
-        );
+        // Pipeline-off baseline (depth 1 = the pre-PR-7 round-serial
+        // loop), then the shipped default — the pair isolates what the
+        // commit pipeline reclaims from the round barrier at each width.
+        // Both twins share a round cap of 512 updates at every shard
+        // count: the workload commits in 2048-update bursts whose
+        // *consecutive* bursts conflict wholesale (each round deletes
+        // what the previous one inserted per group), so a shard count
+        // whose `n * max_batch` swallowed a whole burst in one round
+        // would leave the pipeline nothing disjoint to overlap at any
+        // depth. 512 — the historical 2-shard width — keeps 4 rounds per
+        // burst (3 of 4 admit during the previous round's serial section)
+        // and makes round count identical across shard counts, so the
+        // sweep isolates translation parallelism rather than
+        // publication-amortization differences.
+        // The idle delta the pair exists to show is bounded by the
+        // translate fraction of a round (~0.1 absolute here), which is
+        // the same magnitude as single-core scheduler jitter — so, like
+        // the telemetry pair's best-of-3, each side is repeated
+        // interleaved and keeps its least-contended (lowest-idle) run.
+        let reps = env_usize("RXVIEW_BENCH_PIPELINE_REPS", 3).max(1);
+        let base = bench_config(n);
+        let mixed_batch = base.max_batch.min((512 / n).max(1));
+        let (mut off, mut run): (Option<RunMetrics>, Option<RunMetrics>) = (None, None);
+        for _ in 0..reps {
+            let r_off = run_engine_with(
+                &sys,
+                &ops,
+                EngineConfig {
+                    pipeline_depth: 1,
+                    max_batch: mixed_batch,
+                    ..base.clone()
+                },
+                Some(" (pipeline off)"),
+            );
+            assert_eq!(
+                seq_ok, r_off.accepted,
+                "sharded acceptance must match sequential"
+            );
+            let r_on = run_engine_with(
+                &sys,
+                &ops,
+                EngineConfig {
+                    max_batch: mixed_batch,
+                    ..base.clone()
+                },
+                None,
+            );
+            assert_eq!(
+                seq_ok, r_on.accepted,
+                "sharded acceptance must match sequential"
+            );
+            if off
+                .as_ref()
+                .is_none_or(|b| r_off.shard_idle_fraction < b.shard_idle_fraction)
+            {
+                off = Some(r_off);
+            }
+            if run
+                .as_ref()
+                .is_none_or(|b| r_on.shard_idle_fraction < b.shard_idle_fraction)
+            {
+                run = Some(r_on);
+            }
+        }
+        let (off, run) = (off.expect("reps >= 1"), run.expect("reps >= 1"));
         println!(
             "  {n} shards: {:.0} updates/sec ({:.2}x vs single-writer, rounds {:.1} planned / {:.1} realized wide)",
             run.rate,
@@ -261,6 +354,13 @@ fn main() {
             run.mean_planned_width,
             run.mean_realized_width
         );
+        println!(
+            "  {n} shards, pipeline off: {:.0} updates/sec; shard idle fraction {:.3} -> {:.3} with pipelining",
+            off.rate,
+            off.shard_idle_fraction,
+            run.shard_idle_fraction
+        );
+        mixed_runs.push(off);
         mixed_runs.push(run);
     }
 
@@ -342,15 +442,7 @@ fn main() {
 /// Submits `ops`, drains them through one `commit_pending`, and returns the
 /// run's metrics. `n_shards <= 1` = the single-writer path.
 fn run_engine(sys: &XmlViewSystem, ops: &[XmlUpdate], n_shards: usize) -> RunMetrics {
-    run_engine_with(
-        sys,
-        ops,
-        EngineConfig {
-            n_shards,
-            ..EngineConfig::default()
-        },
-        None,
-    )
+    run_engine_with(sys, ops, bench_config(n_shards), None)
 }
 
 /// [`run_engine`] with an explicit configuration (and an optional label
@@ -362,6 +454,7 @@ fn run_engine_with(
     label_suffix: Option<&str>,
 ) -> RunMetrics {
     let n_shards = config.n_shards;
+    let pipeline_depth = config.pipeline_depth;
     let engine = Engine::with_config(sys.clone(), config);
     let t = Instant::now();
     let tickets: Vec<_> = ops
@@ -401,6 +494,7 @@ fn run_engine_with(
         .expect("consistent after commit");
     RunMetrics {
         n_shards,
+        pipeline_depth,
         rate,
         accepted: ok,
         conflict_rounds: report.width_rounds,
@@ -410,6 +504,7 @@ fn run_engine_with(
         global_lane_rounds: report.global_lane_rounds,
         multi_cone_rounds: report.multi_cone_rounds,
         mean_multi_cone_width: report.mean_multi_cone_width(),
+        shard_idle_fraction: report.shard_idle_fraction(),
         phases_json: phases_json(&report),
     }
 }
@@ -447,9 +542,8 @@ fn descendant_sweep(shards: &[usize]) -> Option<String> {
         &sys,
         &ops,
         EngineConfig {
-            n_shards: base_shards,
             descendant_cones: false,
-            ..EngineConfig::default()
+            ..bench_config(base_shards)
         },
         Some(" (global-lane baseline)"),
     );
@@ -468,15 +562,7 @@ fn descendant_sweep(shards: &[usize]) -> Option<String> {
         }
     }
     for &n in &counts {
-        let run = run_engine_with(
-            &sys,
-            &ops,
-            EngineConfig {
-                n_shards: n,
-                ..EngineConfig::default()
-            },
-            Some(" (multi-cone)"),
-        );
+        let run = run_engine_with(&sys, &ops, bench_config(n), Some(" (multi-cone)"));
         assert_eq!(
             baseline.accepted, run.accepted,
             "descendant acceptance must not depend on the planner"
@@ -518,10 +604,9 @@ fn durable_run(
     let engine = Engine::with_durability(
         sys.clone(),
         EngineConfig {
-            n_shards: 1,
             durability: policy,
             checkpoint_rounds: 0,
-            ..EngineConfig::default()
+            ..bench_config(1)
         },
         &dir,
     )
@@ -615,9 +700,9 @@ fn durability_overhead(sys: &XmlViewSystem, ops: &[XmlUpdate]) -> Option<String>
 }
 
 /// Telemetry cost: the same mixed workload through the most instrumented
-/// configuration (the widest shard count — per-shard busy/idle spans, the
-/// latency histogram, and flight events all fire there) with telemetry on
-/// vs off. Run-to-run scheduler variance on an oversubscribed box dwarfs
+/// configuration (the widest shard count, commit pipelining on as shipped
+/// — per-shard busy/idle spans, the latency histogram, pipeline counters,
+/// and flight events all fire there) with telemetry on vs off. Run-to-run scheduler variance on an oversubscribed box dwarfs
 /// the intrinsic cost (±30% observed with 8 shard threads on one core),
 /// so the pair is repeated interleaved (`RXVIEW_BENCH_TELEMETRY_REPS`,
 /// default 3) and each mode keeps its *best* rate — the standard
@@ -632,22 +717,13 @@ fn telemetry_overhead(sys: &XmlViewSystem, ops: &[XmlUpdate], shards: &[usize]) 
     println!("\ntelemetry sweep ({n} shards, same mixed workload, best of {reps}):");
     let (mut on, mut off): (Option<RunMetrics>, Option<RunMetrics>) = (None, None);
     for _ in 0..reps {
-        let r_on = run_engine_with(
-            sys,
-            ops,
-            EngineConfig {
-                n_shards: n,
-                ..EngineConfig::default()
-            },
-            Some(" (telemetry on)"),
-        );
+        let r_on = run_engine_with(sys, ops, bench_config(n), Some(" (telemetry on)"));
         let r_off = run_engine_with(
             sys,
             ops,
             EngineConfig {
-                n_shards: n,
                 telemetry: false,
-                ..EngineConfig::default()
+                ..bench_config(n)
             },
             Some(" (telemetry off)"),
         );

@@ -535,6 +535,15 @@ impl BatchFootprint {
         }
         self.rel.absorb(&a.rel);
     }
+
+    /// Unions another batch footprint into this one. The pipelined
+    /// publisher folds the footprints of every in-flight round into one
+    /// blocker set that seeds the next plan (ARCHITECTURE.md §7).
+    pub fn absorb_batch(&mut self, other: &BatchFootprint) {
+        self.global |= other.global;
+        self.nodes.extend(other.nodes.iter().copied());
+        self.rel.absorb(&other.rel);
+    }
 }
 
 /// Builds the evaluation scope for a classified update against the

@@ -82,6 +82,30 @@ pub struct EngineConfig {
     /// a final snapshot is always appended when the engine drops. Ignored
     /// when `telemetry` is off.
     pub metrics_path: Option<PathBuf>,
+    /// Maximum number of sharded rounds concurrently in shard translation
+    /// on the pipelined commit path (clamped to `1..=8` at engine
+    /// construction; only meaningful with `n_shards >= 2`). A round's slot
+    /// frees when its bundles are collected, so with the default of `2`
+    /// the staged successor dispatches *before* the collected round's
+    /// merge/fold/publish serial section and the shards translate straight
+    /// through it. `1` disables pipelining and restores the fully serial
+    /// round schedule (nothing dispatches while a collected round awaits
+    /// publication); either way
+    /// rounds merge and publish strictly in submission order, so the
+    /// observable snapshot stream is identical (see
+    /// `crates/engine/tests/equivalence.rs`). Overlap only arises when the
+    /// queue spans several rounds (`n_shards * max_batch` is the per-round
+    /// cap) — pipelining never shrinks rounds to manufacture it, because
+    /// each publication pays a fixed O(view) cost that wide rounds exist
+    /// to amortize. ARCHITECTURE.md §7.
+    pub pipeline_depth: usize,
+    /// Deterministic interleaving gates for the pipelined commit path
+    /// ([`crate::pipeline::StageHooks`]) — a test-only instrument; leave
+    /// `None` in production (the default). When set, the publisher
+    /// announces each stage transition (plan/dispatch/merge/publish) and
+    /// blocks on held gates, letting a test freeze round `k` in merge
+    /// while round `k+1` translates.
+    pub stage_hooks: Option<crate::pipeline::StageHooks>,
 }
 
 impl EngineConfig {
@@ -113,6 +137,8 @@ impl Default for EngineConfig {
             checkpoint_rounds: 1024,
             telemetry: true,
             metrics_path: None,
+            pipeline_depth: 2,
+            stage_hooks: None,
         }
     }
 }
@@ -473,6 +499,7 @@ impl Engine {
     ) -> Self {
         config.n_shards = config.n_shards.clamp(1, 64);
         config.max_batch = config.max_batch.max(1);
+        config.pipeline_depth = config.pipeline_depth.clamp(1, 8);
         let stats = Arc::new(EngineStats::new(
             config.n_shards,
             config.telemetry,

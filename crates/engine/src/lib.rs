@@ -45,6 +45,16 @@
 //!   reachability closure and typed `gen_A` probes
 //!   ([`rxview_core::pathclass`]), so they ride ordinary shardable rounds;
 //!   only genuinely untypeable paths serialize through the global lane.
+//!   The commit path is *pipelined* ([`EngineConfig::pipeline_depth`],
+//!   default 2): the router keeps planning rounds ahead against the last
+//!   published snapshot, and a round whose planned footprint is disjoint
+//!   from everything still in flight is dispatched to shard translation
+//!   while its predecessors are still in merge/fold/publish — merges stay
+//!   strictly in submission order, so readers, the WAL, and acks observe
+//!   the identical epoch stream (`WAL(k) ≺ publish(k) ≺ ack(k+1)`); a
+//!   publish landing mid-plan triggers a footprint-diff fixup that evicts
+//!   newly-conflicting updates back to the queue. Deterministic overlap
+//!   schedules are testable through [`pipeline::StageHooks`].
 //!   Both write paths are property-tested observationally equivalent to
 //!   sequential application.
 //! - **Durability** ([`Durability`], [`Engine::with_durability`],
@@ -82,6 +92,7 @@
 pub mod analyze;
 pub(crate) mod checkpoint;
 pub mod engine;
+pub mod pipeline;
 pub(crate) mod publisher;
 pub mod recovery;
 pub(crate) mod router;
@@ -92,6 +103,7 @@ pub mod wal;
 
 pub use analyze::{evaluation_scope, Analysis, AnalyzeOptions, AnchorIndex, BatchFootprint};
 pub use engine::{Engine, EngineConfig, EngineError, UpdateTicket, WriterHandle};
+pub use pipeline::{Stage, StageHooks};
 pub use recovery::{RecoverError, RecoveryReport};
 pub use snapshot::Snapshot;
 pub use stats::{EngineReport, EngineStats, PhaseBreakdown};

@@ -1,0 +1,209 @@
+//! Deterministic interleaving hooks for the pipelined commit path.
+//!
+//! The pipelined sharded publisher overlaps round `k+1`'s shard translation
+//! with round `k`'s merge/fold/publish. That overlap is scheduled by the
+//! OS, which makes "round k+1 translates while round k merges" untestable
+//! as stated — a fast machine may finish the translation before the merge
+//! even starts. [`StageHooks`] makes the schedule *controllable*: the
+//! coordinator calls the crate-internal `StageHooks::reached` at fixed
+//! points of its loop
+//! ([`Stage`]), and a test that holds a stage gate blocks the coordinator
+//! right there — while the shard workers keep translating — then inspects
+//! counters, asserts what was (or was not) dispatched, and releases the
+//! gate. Every pipelining invariant in `crates/engine/tests/pipeline.rs`
+//! is exercised through these gates rather than asserted on faith.
+//!
+//! Production engines leave [`crate::EngineConfig::stage_hooks`] at `None`;
+//! the commit path then pays one `Option` check per stage and nothing else.
+
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// How long a blocked coordinator (or a waiting test) tolerates a gate
+/// before panicking — a missed `release` should fail the test, not hang CI.
+const GATE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Fixed instrumentation points of the pipelined sharded commit loop, in
+/// the order one round passes through them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// A round plan was formed against the latest published snapshot
+    /// (global or sharded; before any dispatch decision).
+    Plan,
+    /// A planned round was handed to the shard pool — its translation is
+    /// now running concurrently with whatever the coordinator does next.
+    Dispatch,
+    /// The coordinator entered the serial merge section of its **oldest**
+    /// round (shard bundles already collected; the freed pipeline slot has
+    /// been offered to the staged successor).
+    Merge,
+    /// A round's snapshot was published (the epoch advanced).
+    Publish,
+}
+
+#[derive(Default)]
+struct HookState {
+    /// Stages whose gate is currently held: `reached` blocks on them.
+    held: HashSet<Stage>,
+    /// How many times the coordinator has arrived at each stage.
+    arrivals: HashMap<Stage, u64>,
+}
+
+/// A shared set of stage gates (cheaply cloneable; clones share state).
+/// See the module docs for the protocol: the test side [`StageHooks::hold`]s
+/// and [`StageHooks::release`]s gates and observes
+/// [`StageHooks::arrivals`], the engine side calls `StageHooks::reached`.
+#[derive(Clone, Default)]
+pub struct StageHooks {
+    inner: Arc<(Mutex<HookState>, Condvar)>,
+}
+
+impl fmt::Debug for StageHooks {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let state = self.inner.0.lock().expect("stage hooks poisoned");
+        f.debug_struct("StageHooks")
+            .field("held", &state.held)
+            .field("arrivals", &state.arrivals)
+            .finish()
+    }
+}
+
+impl StageHooks {
+    /// A fresh set of hooks with no gates held.
+    pub fn new() -> Self {
+        StageHooks::default()
+    }
+
+    /// Engine side: record an arrival at `stage`, then block while the
+    /// stage's gate is held. Panics (failing the test, not hanging it) if
+    /// the gate stays held past the timeout.
+    pub(crate) fn reached(&self, stage: Stage) {
+        let (lock, cv) = &*self.inner;
+        let mut state = lock.lock().expect("stage hooks poisoned");
+        *state.arrivals.entry(stage).or_insert(0) += 1;
+        cv.notify_all();
+        let t0 = Instant::now();
+        while state.held.contains(&stage) {
+            assert!(
+                t0.elapsed() < GATE_TIMEOUT,
+                "stage gate {stage:?} held past {GATE_TIMEOUT:?} — missing release?"
+            );
+            let (guard, _) = cv
+                .wait_timeout(state, Duration::from_millis(50))
+                .expect("stage hooks poisoned");
+            state = guard;
+        }
+    }
+
+    /// Test side: hold `stage`'s gate — the next coordinator arrival there
+    /// blocks until [`StageHooks::release`].
+    pub fn hold(&self, stage: Stage) {
+        let (lock, cv) = &*self.inner;
+        lock.lock()
+            .expect("stage hooks poisoned")
+            .held
+            .insert(stage);
+        cv.notify_all();
+    }
+
+    /// Test side: release `stage`'s gate, unblocking a coordinator waiting
+    /// there (idempotent).
+    pub fn release(&self, stage: Stage) {
+        let (lock, cv) = &*self.inner;
+        lock.lock()
+            .expect("stage hooks poisoned")
+            .held
+            .remove(&stage);
+        cv.notify_all();
+    }
+
+    /// How many times the coordinator has arrived at `stage` (arrivals are
+    /// counted before any blocking, so a coordinator parked on a held gate
+    /// has already been counted).
+    pub fn arrivals(&self, stage: Stage) -> u64 {
+        let (lock, _) = &*self.inner;
+        *self
+            .inner
+            .0
+            .lock()
+            .expect("stage hooks poisoned")
+            .arrivals
+            .get(&stage)
+            .unwrap_or(&{
+                let _ = lock;
+                0
+            })
+    }
+
+    /// Test side: block until `stage` has been arrived at `count` times in
+    /// total. Panics after the gate timeout — a schedule that never gets
+    /// there is a failed test, not a hung one.
+    pub fn wait_arrivals(&self, stage: Stage, count: u64) {
+        let (lock, cv) = &*self.inner;
+        let mut state = lock.lock().expect("stage hooks poisoned");
+        let t0 = Instant::now();
+        while state.arrivals.get(&stage).copied().unwrap_or(0) < count {
+            assert!(
+                t0.elapsed() < GATE_TIMEOUT,
+                "stage {stage:?} never reached {count} arrivals ({} so far)",
+                state.arrivals.get(&stage).copied().unwrap_or(0)
+            );
+            let (guard, _) = cv
+                .wait_timeout(state, Duration::from_millis(50))
+                .expect("stage hooks poisoned");
+            state = guard;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arrivals_count_without_any_gate() {
+        let hooks = StageHooks::new();
+        hooks.reached(Stage::Plan);
+        hooks.reached(Stage::Plan);
+        hooks.reached(Stage::Dispatch);
+        assert_eq!(hooks.arrivals(Stage::Plan), 2);
+        assert_eq!(hooks.arrivals(Stage::Dispatch), 1);
+        assert_eq!(hooks.arrivals(Stage::Merge), 0);
+    }
+
+    #[test]
+    fn held_gate_blocks_until_release() {
+        let hooks = StageHooks::new();
+        hooks.hold(Stage::Merge);
+        let worker = {
+            let hooks = hooks.clone();
+            std::thread::spawn(move || {
+                hooks.reached(Stage::Merge); // blocks here
+                Instant::now()
+            })
+        };
+        hooks.wait_arrivals(Stage::Merge, 1);
+        // The worker has arrived but must still be parked on the gate.
+        std::thread::sleep(Duration::from_millis(30));
+        let released_at = Instant::now();
+        hooks.release(Stage::Merge);
+        let resumed_at = worker.join().expect("worker exits");
+        assert!(
+            resumed_at >= released_at,
+            "the gate must hold the worker until release"
+        );
+    }
+
+    #[test]
+    fn release_is_idempotent_and_unheld_gates_pass() {
+        let hooks = StageHooks::new();
+        hooks.release(Stage::Publish); // never held: fine
+        hooks.hold(Stage::Publish);
+        hooks.release(Stage::Publish);
+        hooks.release(Stage::Publish);
+        hooks.reached(Stage::Publish); // must not block
+        assert_eq!(hooks.arrivals(Stage::Publish), 1);
+    }
+}

@@ -23,9 +23,18 @@
 //! `//`, candidate sets past the anchor cap — have a *global* footprint and
 //! conflict with everything: they reach the front of the queue, form a
 //! singleton round, and commit through the publisher's serialized global
-//! lane. Typed leading-`//` and wildcard-rooted paths resolve to bounded
+//! lane (which, under pipelining, first drains every in-flight round).
+//! Typed leading-`//` and wildcard-rooted paths resolve to bounded
 //! multi-anchor cones instead (see [`crate::analyze`]) and are routed like
 //! any other shardable update.
+//!
+//! Under the pipelined commit path (ARCHITECTURE.md §7) the router also
+//! plans *ahead*: [`plan_round`] takes the union footprint of every round
+//! still in flight as a pre-seeded blocker set, so a lookahead round is
+//! disjoint from everything unmerged by construction, and
+//! [`fixup_stale_plan`] re-checks a staged plan against the footprints
+//! that published after it was formed, evicting newly-conflicting updates
+//! back to the queue instead of dispatching them against a stale snapshot.
 //!
 //! Deferred **deletions** keep their analysis (and dry-run evaluation)
 //! across rounds: a cached analysis stays valid while its cone and keys are
@@ -39,7 +48,7 @@ use crate::analyze::{Analysis, AnalyzeOptions, AnchorIndex, BatchFootprint};
 use crate::engine::Pending;
 use crate::shard::ShardJob;
 use crate::stats::EngineStats;
-use rxview_core::{DagEval, RelFootprint, SideEffectPolicy, XmlUpdate, XmlViewSystem};
+use rxview_core::{DagEval, SideEffectPolicy, XmlUpdate, XmlViewSystem};
 
 /// A pending update inside one sharded commit, keyed by its submission
 /// index. The publisher keeps the original update so that merge-time
@@ -98,18 +107,21 @@ pub(crate) enum Round {
 /// A planned round plus the union footprint of everything admitted —
 /// the publisher uses the footprint to revalidate cached analyses of the
 /// updates that stayed behind, `admitted` to requeue an update at merge
-/// time without a round trip through its shard, and `planned_rel` to check
-/// realized writes against the plan.
+/// time without a round trip through its shard, and `planned` to check
+/// realized writes against the plan and to re-check a staged plan against
+/// later-published footprints ([`fixup_stale_plan`]).
 pub(crate) struct RoundPlan {
     pub(crate) round: Round,
     pub(crate) footprint: BatchFootprint,
     /// The admitted updates (analysis caches dropped), kept by the
     /// publisher for merge-time requeues. Empty for global rounds.
     pub(crate) admitted: Vec<PendingUpdate>,
-    /// Planned typed footprint per admitted update, sorted by submission
-    /// index: the conservativeness contract the publisher asserts realized
-    /// translations against in debug builds.
-    pub(crate) planned_rel: Vec<(usize, RelFootprint)>,
+    /// Planned analysis per admitted update, sorted by submission index:
+    /// the typed footprint is the conservativeness contract the publisher
+    /// asserts realized translations against in debug builds, and the full
+    /// analysis lets [`fixup_stale_plan`] conflict-check a staged plan
+    /// against footprints published after it was formed.
+    pub(crate) planned: Vec<(usize, Analysis)>,
     /// Admitted updates whose paths resolved through the multi-anchor
     /// (`//`-headed / wildcard-rooted) classifier — the publisher records
     /// rounds carrying such traffic.
@@ -123,12 +135,22 @@ pub(crate) struct RoundPlan {
 /// Plans the next round against `sys` (the state the round will apply to).
 /// Admitted updates are removed from `pending`; everything else stays, in
 /// submission order, with deletion analyses cached for reuse.
+///
+/// `inflight` is the union footprint of every round dispatched but not yet
+/// merged (the pipelined publisher's lookahead). Seeding the blocker set
+/// with it makes the planned round disjoint from everything unmerged *by
+/// construction*: an update conflicting with an in-flight round defers
+/// (preserving submission order against uncommitted work, exactly as if
+/// the in-flight updates had been deferred conflicters of this scan), and
+/// a global update cannot form a lane round until the pipeline drains.
+/// With `inflight = None` the behavior is the pre-pipelining one.
 pub(crate) fn plan_round(
     sys: &XmlViewSystem,
     pending: &mut Vec<PendingUpdate>,
     n_shards: usize,
     max_batch: usize,
     opts: &AnalyzeOptions,
+    inflight: Option<&BatchFootprint>,
     stats: &EngineStats,
 ) -> RoundPlan {
     debug_assert!(!pending.is_empty());
@@ -150,9 +172,13 @@ pub(crate) fn plan_round(
     let mut footprint = BatchFootprint::default();
     let mut blocked = BatchFootprint::default();
     let mut any_blocked = false;
+    if let Some(fp) = inflight {
+        blocked.absorb_batch(fp);
+        any_blocked = true;
+    }
     let mut assignments: Vec<Vec<ShardJob>> = (0..n_shards).map(|_| Vec::new()).collect();
     let mut admitted: Vec<PendingUpdate> = Vec::new();
-    let mut planned_rel: Vec<(usize, RelFootprint)> = Vec::new();
+    let mut planned: Vec<(usize, Analysis)> = Vec::new();
     let mut deferred: Vec<PendingUpdate> = Vec::new();
     let mut analysis_eval = std::time::Duration::ZERO;
     let mut multi_cone_admitted = 0usize;
@@ -204,7 +230,7 @@ pub(crate) fn plan_round(
                     round: Round::Global(Box::new(pu)),
                     footprint,
                     admitted: Vec::new(),
-                    planned_rel: Vec::new(),
+                    planned: Vec::new(),
                     multi_cone_admitted: 0,
                     analysis_eval,
                 };
@@ -232,7 +258,7 @@ pub(crate) fn plan_round(
             if analysis.is_multi_cone() {
                 multi_cone_admitted += 1;
             }
-            planned_rel.push((pu.idx, analysis.into_rel()));
+            planned.push((pu.idx, analysis));
             let shard = assignments
                 .iter()
                 .enumerate()
@@ -253,8 +279,183 @@ pub(crate) fn plan_round(
         round: Round::Sharded(assignments),
         footprint,
         admitted,
-        planned_rel,
+        planned,
         multi_cone_admitted,
         analysis_eval,
+    }
+}
+
+/// Footprint-diff fixup for a staged (planned but undispatched) round that
+/// one or more publishes overtook: re-checks every admitted update's
+/// planned analysis against `committed` — the union footprint of the
+/// rounds published since the plan was formed — and evicts conflicters
+/// from the plan, returning them for re-entry into the pending queue.
+///
+/// Because [`plan_round`] seeds its blocker set with everything in flight
+/// and realized footprints are covered by planned ones (the publisher's
+/// debug assert), the eviction set is empty in the expected case; this is
+/// the release-mode guarantee that a staged plan is never dispatched
+/// against state it conflicts with. No-op for global rounds (the global
+/// lane replans from a drained pipeline).
+pub(crate) fn fixup_stale_plan(
+    plan: &mut RoundPlan,
+    committed: &BatchFootprint,
+) -> Vec<PendingUpdate> {
+    let Round::Sharded(assignments) = &mut plan.round else {
+        return Vec::new();
+    };
+    let evict: std::collections::HashSet<usize> = plan
+        .planned
+        .iter()
+        .filter(|(_, a)| committed.conflicts(a))
+        .map(|(idx, _)| *idx)
+        .collect();
+    if evict.is_empty() {
+        return Vec::new();
+    }
+    plan.planned.retain(|(idx, _)| !evict.contains(idx));
+    for jobs in assignments.iter_mut() {
+        jobs.retain(|job| !evict.contains(&job.idx));
+    }
+    let mut evicted = Vec::new();
+    let mut kept = Vec::new();
+    for pu in plan.admitted.drain(..) {
+        if evict.contains(&pu.idx) {
+            evicted.push(pu);
+        } else {
+            kept.push(pu);
+        }
+    }
+    plan.admitted = kept;
+    plan.multi_cone_admitted = plan
+        .planned
+        .iter()
+        .filter(|(_, a)| a.is_multi_cone())
+        .count();
+    // plan.footprint intentionally stays the pre-eviction superset: it only
+    // ever *blocks* later planning, and over-blocking is always sound.
+    evicted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rxview_workload::{synthetic_atg, synthetic_database, SyntheticConfig};
+
+    fn system() -> XmlViewSystem {
+        let cfg = SyntheticConfig::with_size(200);
+        let db = synthetic_database(&cfg);
+        let atg = synthetic_atg(&db).expect("valid ATG");
+        XmlViewSystem::new(atg, db).expect("publishes")
+    }
+
+    /// One guaranteed-deletable edge path per group — `node[id=h]/sub/
+    /// node[id=c]` for the group head's first `H` child: distinct groups
+    /// have disjoint cones and disjoint typed footprints (the idiom the
+    /// integration tests use throughout).
+    fn group_edge_paths(sys: &XmlViewSystem, want: usize) -> Vec<String> {
+        use rxview_relstore::Value;
+        let h = sys.base().table("H").expect("H table");
+        (0..)
+            .map(|g| g * 40)
+            .take_while(|&head| head < 200)
+            .filter_map(|head| {
+                let prefix = [Value::Int(head)];
+                let row = h.scan_key_prefix(&prefix).next()?;
+                let child = row[1].as_int().expect("int h2");
+                let path = format!("node[id={head}]/sub/node[id={child}]");
+                let u = XmlUpdate::delete(&path).expect("parses");
+                (!sys.evaluate(u.path()).is_empty()).then_some(path)
+            })
+            .take(want)
+            .collect()
+    }
+
+    fn pending(idx: usize, path: &str) -> PendingUpdate {
+        PendingUpdate {
+            idx,
+            update: XmlUpdate::delete(path).unwrap(),
+            policy: SideEffectPolicy::Proceed,
+            cached: None,
+        }
+    }
+
+    #[test]
+    fn inflight_seed_defers_conflicting_updates() {
+        let sys = system();
+        let stats = EngineStats::new(2, false, None);
+        let paths = group_edge_paths(&sys, 1);
+        let u = paths[0].as_str();
+        // With the update's own footprint in flight, the planner must defer
+        // it (admitting nothing) instead of double-dispatching its cone.
+        let mut inflight = BatchFootprint::default();
+        inflight.absorb(&Analysis::of(&sys, &pending(0, u).update));
+        let mut queue = vec![pending(0, u)];
+        let plan = plan_round(
+            &sys,
+            &mut queue,
+            2,
+            4,
+            &AnalyzeOptions::default(),
+            Some(&inflight),
+            &stats,
+        );
+        assert!(plan.admitted.is_empty(), "conflicting update must defer");
+        assert_eq!(queue.len(), 1, "the deferred update stays queued");
+        // Without the seed the same singleton queue admits immediately.
+        let plan = plan_round(
+            &sys,
+            &mut queue,
+            2,
+            4,
+            &AnalyzeOptions::default(),
+            None,
+            &stats,
+        );
+        assert_eq!(plan.admitted.len(), 1);
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn fixup_evicts_exactly_the_newly_conflicting_updates() {
+        let sys = system();
+        let stats = EngineStats::new(2, false, None);
+        let paths = group_edge_paths(&sys, 2);
+        assert_eq!(paths.len(), 2, "two deletable groups");
+        let (u1, u2) = (paths[0].as_str(), paths[1].as_str());
+        let mut queue = vec![pending(0, u1), pending(1, u2)];
+        let mut plan = plan_round(
+            &sys,
+            &mut queue,
+            2,
+            4,
+            &AnalyzeOptions::default(),
+            None,
+            &stats,
+        );
+        assert_eq!(plan.admitted.len(), 2, "disjoint deletes share a round");
+
+        // A publish whose footprint overlaps u1 (here: u1's own analysis)
+        // lands after the plan was staged: the fixup must evict u1 and
+        // leave u2's jobs intact.
+        let mut committed = BatchFootprint::default();
+        committed.absorb(&Analysis::of(&sys, &XmlUpdate::delete(u1).unwrap()));
+        let evicted = fixup_stale_plan(&mut plan, &committed);
+        assert_eq!(evicted.len(), 1);
+        assert_eq!(evicted[0].idx, 0);
+        assert_eq!(plan.admitted.len(), 1);
+        assert_eq!(plan.admitted[0].idx, 1);
+        assert_eq!(plan.planned.len(), 1);
+        assert_eq!(plan.planned[0].0, 1);
+        let Round::Sharded(assignments) = &plan.round else {
+            panic!("sharded plan expected");
+        };
+        let jobs: Vec<usize> = assignments.iter().flatten().map(|j| j.idx).collect();
+        assert_eq!(jobs, vec![1], "only u2's shard job survives the fixup");
+
+        // A disjoint committed footprint evicts nothing.
+        let none = fixup_stale_plan(&mut plan, &BatchFootprint::default());
+        assert!(none.is_empty());
+        assert_eq!(plan.admitted.len(), 1);
     }
 }

@@ -70,20 +70,54 @@ pub(crate) enum ShardResult {
 /// Everything a shard produced for one round.
 pub(crate) struct ShardBundle {
     pub(crate) shard: usize,
+    /// Epoch of the snapshot the round was planned (and translated)
+    /// against — echoed from the dispatch so the pipelined publisher can
+    /// assert a bundle merges into the in-flight slot it was planned for.
+    pub(crate) plan_epoch: u64,
     /// The snapshot's allocation watermark when translation started.
     pub(crate) base_alloc: usize,
     /// `(type, $A)` pairs interned beyond the watermark, in allocation order.
     pub(crate) catalog: Vec<(TypeId, Tuple)>,
     pub(crate) results: Vec<(usize, ShardResult)>,
-    /// Wall clock this shard spent translating the round (the publisher
-    /// derives idle time as the slack against the slowest shard).
-    pub(crate) busy: std::time::Duration,
+    /// When the publisher made this round available to the shard. Idle
+    /// (starvation) time is the gap between a shard finishing one round
+    /// and the *dispatch* of its next — the slack the publisher's serial
+    /// section induces. Scheduling delay between dispatch and pickup is
+    /// CPU contention, not publisher-induced idleness, and belongs to
+    /// neither bucket.
+    pub(crate) dispatched_at: Instant,
+    /// When this shard picked the round up / finished translating it
+    /// (`Instant` is process-monotonic, so the publisher can compare
+    /// timestamps across worker threads). Busy time is the difference.
+    pub(crate) started_at: Instant,
+    pub(crate) finished_at: Instant,
 }
 
 struct RoundMsg {
     snap: Arc<Snapshot>,
+    plan_epoch: u64,
+    dispatched_at: Instant,
     jobs: Vec<ShardJob>,
     reply: mpsc::Sender<ShardBundle>,
+}
+
+/// A dispatched round whose shard bundles have not been collected yet —
+/// the handle the pipelined publisher holds while the round translates
+/// concurrently with its predecessors' merge/fold/publish.
+pub(crate) struct PendingDispatch {
+    inbox: mpsc::Receiver<ShardBundle>,
+    expected: usize,
+}
+
+impl PendingDispatch {
+    /// Waits for every dispatched shard to report and returns the bundles
+    /// sorted by shard id.
+    pub(crate) fn collect(self) -> Vec<ShardBundle> {
+        let mut bundles: Vec<ShardBundle> = self.inbox.iter().collect();
+        assert_eq!(bundles.len(), self.expected, "all shards must report");
+        bundles.sort_by_key(|b| b.shard);
+        bundles
+    }
 }
 
 /// A pool of shard writer threads, spawned once per engine and fed one
@@ -114,7 +148,14 @@ impl ShardPool {
                     .name(format!("rxview-shard-{shard}"))
                     .spawn(move || {
                         while let Ok(msg) = rx.recv() {
-                            let bundle = run_round(shard, &msg.snap, msg.jobs, &stats);
+                            let bundle = run_round(
+                                shard,
+                                &msg.snap,
+                                msg.plan_epoch,
+                                msg.dispatched_at,
+                                msg.jobs,
+                                &stats,
+                            );
                             if msg.reply.send(bundle).is_err() {
                                 break; // publisher gone
                             }
@@ -130,13 +171,18 @@ impl ShardPool {
         }
     }
 
-    /// Sends each non-empty job list to its shard and waits for all bundles.
+    /// Sends each non-empty job list to its shard and returns immediately:
+    /// the round translates concurrently until
+    /// [`PendingDispatch::collect`] is called. `plan_epoch` tags the work
+    /// with the epoch of the snapshot it was planned against.
     pub(crate) fn dispatch(
         &self,
         snap: &Arc<Snapshot>,
+        plan_epoch: u64,
         assignments: Vec<Vec<ShardJob>>,
-    ) -> Vec<ShardBundle> {
+    ) -> PendingDispatch {
         let (reply, inbox) = mpsc::channel();
+        let dispatched_at = Instant::now();
         let mut expected = 0usize;
         for (shard, jobs) in assignments.into_iter().enumerate() {
             if jobs.is_empty() {
@@ -146,16 +192,14 @@ impl ShardPool {
             self.txs[shard]
                 .send(RoundMsg {
                     snap: Arc::clone(snap),
+                    plan_epoch,
+                    dispatched_at,
                     jobs,
                     reply: reply.clone(),
                 })
                 .expect("shard worker alive");
         }
-        drop(reply);
-        let mut bundles: Vec<ShardBundle> = inbox.iter().collect();
-        assert_eq!(bundles.len(), expected, "all shards must report");
-        bundles.sort_by_key(|b| b.shard);
-        bundles
+        PendingDispatch { inbox, expected }
     }
 }
 
@@ -172,6 +216,8 @@ impl Drop for ShardPool {
 fn run_round(
     shard: usize,
     snap: &Arc<Snapshot>,
+    plan_epoch: u64,
+    dispatched_at: Instant,
     jobs: Vec<ShardJob>,
     stats: &EngineStats,
 ) -> ShardBundle {
@@ -254,9 +300,12 @@ fn run_round(
     };
     ShardBundle {
         shard,
+        plan_epoch,
         base_alloc,
         catalog,
         results,
-        busy: t_round.elapsed(),
+        dispatched_at,
+        started_at: t_round,
+        finished_at: Instant::now(),
     }
 }

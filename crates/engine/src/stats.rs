@@ -22,7 +22,7 @@
 
 use crate::wal::SyncReason;
 use rxview_core::PhaseTimings;
-use rxview_obs::{fields, Counter, FieldValue, FlightRecorder, Histogram, Registry};
+use rxview_obs::{fields, Counter, FieldValue, FlightRecorder, Gauge, Histogram, Registry};
 use std::fmt;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -88,6 +88,13 @@ pub struct EngineStats {
     shard_updates: Vec<Arc<Counter>>,
     shard_busy_ns: Arc<Histogram>,
     shard_idle_ns: Arc<Histogram>,
+    // --- pipelined commit (ARCHITECTURE.md §7) ---
+    pipeline_inflight: Arc<Gauge>,
+    pipeline_admits: Arc<Counter>,
+    pipeline_stalls: Arc<Counter>,
+    pipeline_fixups: Arc<Counter>,
+    pipeline_fixup_evictions: Arc<Counter>,
+    overlap_ns: Arc<Histogram>,
     // --- conflict-round widths (both write paths) ---
     width_rounds: Arc<Counter>,
     planned_width: Arc<Counter>,
@@ -150,6 +157,12 @@ impl EngineStats {
                 .collect(),
             shard_busy_ns: r.histogram("shard.busy_ns"),
             shard_idle_ns: r.histogram("shard.idle_ns"),
+            pipeline_inflight: r.gauge("pipeline.inflight"),
+            pipeline_admits: r.counter("pipeline.admits"),
+            pipeline_stalls: r.counter("pipeline.stalls"),
+            pipeline_fixups: r.counter("pipeline.fixups"),
+            pipeline_fixup_evictions: r.counter("pipeline.fixup_evictions"),
+            overlap_ns: r.histogram("phase.overlap_ns"),
             width_rounds: r.counter("round.width_rounds"),
             planned_width: r.counter("round.planned_width"),
             realized_width: r.counter("round.realized_width"),
@@ -256,16 +269,66 @@ impl EngineStats {
     }
 
     /// One shard's share of a round: `busy` is the time its worker spent
-    /// translating, `idle` is the rest of the round's dispatch wall clock
-    /// (waiting on the slowest sibling). Only shards that received jobs
-    /// report; a shard skipped by the round entirely is not "idle", it is
-    /// unused.
+    /// translating, `idle` is the *starvation* gap between the worker
+    /// finishing its previous round of this commit and the next round
+    /// being dispatched to it (zero for a shard's first round). With the
+    /// pipeline at depth 1 the gap is the publisher's whole serial
+    /// section; a filled pipeline drives it toward zero because round k+1
+    /// is dispatched while round k's serial section runs. Dispatch→pickup
+    /// delay is excluded — that is CPU scheduling contention, not
+    /// publisher-induced idleness. Only shards that received jobs report;
+    /// a shard skipped by the round entirely is not "idle", it is unused.
     pub(crate) fn record_shard_round(&self, busy: Duration, idle: Duration) {
         if !self.enabled {
             return;
         }
         self.shard_busy_ns.record_duration(busy);
         self.shard_idle_ns.record_duration(idle);
+    }
+
+    /// Current number of dispatched-but-unmerged rounds (the pipeline
+    /// occupancy gauge).
+    pub(crate) fn record_pipeline_inflight(&self, inflight: usize) {
+        if self.enabled {
+            self.pipeline_inflight.set(inflight as i64);
+        }
+    }
+
+    /// A round was dispatched to shard translation while at least one
+    /// older round was still unmerged — true pipeline overlap.
+    pub(crate) fn record_pipeline_admit(&self) {
+        if self.enabled {
+            self.pipeline_admits.incr();
+        }
+    }
+
+    /// A planning pass admitted nothing because everything scanned
+    /// conflicts with in-flight rounds: the pipeline must drain one before
+    /// lookahead planning can proceed.
+    pub(crate) fn record_pipeline_stall(&self) {
+        if self.enabled {
+            self.pipeline_stalls.incr();
+        }
+    }
+
+    /// A staged plan was re-checked against footprints published after it
+    /// was formed (the router's footprint-diff fixup), evicting `evicted`
+    /// updates back to the queue (normally zero — lookahead plans are
+    /// disjoint from in-flight work by construction).
+    pub(crate) fn record_pipeline_fixup(&self, evicted: usize) {
+        if !self.enabled {
+            return;
+        }
+        self.pipeline_fixups.incr();
+        self.pipeline_fixup_evictions.add(evicted as u64);
+    }
+
+    /// One overlapped round's serial section (merge→publish span that ran
+    /// while younger rounds were translating on the shard pool).
+    pub(crate) fn record_overlap(&self, d: Duration) {
+        if self.enabled {
+            self.overlap_ns.record_duration(d);
+        }
     }
 
     /// Records one conflict round's *planned* width (updates admitted by
@@ -449,6 +512,11 @@ impl EngineStats {
             publish: ns(&self.publish_ns),
             shard_busy: ns(&self.shard_busy_ns),
             shard_idle: ns(&self.shard_idle_ns),
+            overlap: ns(&self.overlap_ns),
+            pipeline_admits: self.pipeline_admits.get(),
+            pipeline_stalls: self.pipeline_stalls.get(),
+            pipeline_fixups: self.pipeline_fixups.get(),
+            pipeline_fixup_evictions: self.pipeline_fixup_evictions.get(),
             latency: self.update_latency_ns.snapshot(),
             rounds: self.rounds.get(),
             global_lane_rounds: self.global_lane_rounds.get(),
@@ -517,9 +585,29 @@ pub struct EngineReport {
     /// Total time shard workers spent translating (shards that received
     /// jobs only).
     pub shard_busy: Duration,
-    /// Total time shard workers spent waiting for their round's slowest
-    /// sibling (dispatch wall clock minus own busy time).
+    /// Total time shard workers sat between consecutive rounds of a
+    /// commit (the gap from finishing one round to picking up the next;
+    /// zero for each shard's first round). This is the time pipelining
+    /// reclaims: at depth 1 the gap is the publisher's serial section, at
+    /// depth ≥ 2 the next round is already dispatched while the serial
+    /// section runs.
     pub shard_idle: Duration,
+    /// Total serial-section time (merge→publish) that ran *overlapped* —
+    /// while at least one younger round was translating on the shard pool.
+    /// Zero at pipeline depth 1.
+    pub overlap: Duration,
+    /// Rounds dispatched to shard translation while an older round was
+    /// still unmerged (true pipeline overlap events).
+    pub pipeline_admits: u64,
+    /// Planning passes that admitted nothing because everything scanned
+    /// conflicts with in-flight rounds.
+    pub pipeline_stalls: u64,
+    /// Staged plans re-checked against footprints published after they
+    /// were formed (the router's footprint-diff fixup path).
+    pub pipeline_fixups: u64,
+    /// Updates evicted back to the queue by those fixups (normally zero —
+    /// lookahead plans are disjoint from in-flight work by construction).
+    pub pipeline_fixup_evictions: u64,
     /// End-to-end admission→ack latency distribution, nanoseconds.
     pub latency: rxview_obs::HistogramSnapshot,
     /// Sharded path: commit rounds planned by the router.
@@ -594,6 +682,13 @@ pub struct PhaseBreakdown {
     pub fsync: Duration,
     /// Snapshot clone + publication.
     pub publish: Duration,
+    /// Serial-section time that ran overlapped with younger rounds'
+    /// translation (pipelined commit). **Not** an eighth phase: every
+    /// overlap nanosecond is already counted inside merge/fold/wal/fsync/
+    /// publish, so it is excluded from [`PhaseBreakdown::total`] and
+    /// [`PhaseBreakdown::fractions`]; see
+    /// [`PhaseBreakdown::overlap_fraction`].
+    pub overlap: Duration,
 }
 
 impl PhaseBreakdown {
@@ -642,6 +737,19 @@ impl PhaseBreakdown {
         let serial = self.merge + self.fold + self.wal_append + self.fsync + self.publish;
         ratio(serial.as_secs_f64(), self.total().as_secs_f64())
     }
+
+    /// Fraction of the publisher's serial section that ran *overlapped*
+    /// with younger rounds' shard translation — the pipelined-commit
+    /// payoff: 0.0 at depth 1 (or on the single-writer path), approaching
+    /// 1.0 when the pipeline keeps a round in flight through every serial
+    /// section. The overlapped span is measured wall-to-wall per round and
+    /// so includes a sliver of bookkeeping (result sorting, ticket
+    /// resolution) outside the phase buckets in the denominator; the ratio
+    /// is clamped so fully-overlapped runs read exactly 1.0.
+    pub fn overlap_fraction(&self) -> f64 {
+        let serial = self.merge + self.fold + self.wal_append + self.fsync + self.publish;
+        ratio(self.overlap.as_secs_f64(), serial.as_secs_f64()).min(1.0)
+    }
 }
 
 impl EngineReport {
@@ -668,9 +776,12 @@ impl EngineReport {
         ratio(self.multi_cone_width as f64, self.multi_cone_rounds as f64)
     }
 
-    /// Fraction of shard-round time spent idle (waiting on the round's
-    /// slowest sibling): `idle / (busy + idle)`, 0.0 when no sharded round
-    /// ran. High values mean unbalanced rounds, not useless shards.
+    /// Fraction of shard-round time spent starved (per worker, the gap
+    /// between finishing one round and the next round's *dispatch*):
+    /// `idle / (busy + idle)`, 0.0 when no sharded round ran. High values
+    /// mean workers have no work available while the publisher's serial
+    /// section runs — exactly what a deeper pipeline reclaims by
+    /// dispatching round k+1 before round k's serial section completes.
     pub fn shard_idle_fraction(&self) -> f64 {
         ratio(
             self.shard_idle.as_secs_f64(),
@@ -690,6 +801,7 @@ impl EngineReport {
             wal_append: self.wal_append,
             fsync: self.fsync,
             publish: self.publish,
+            overlap: self.overlap,
         }
     }
 }
@@ -766,6 +878,15 @@ impl fmt::Display for EngineReport {
                 self.analyses_reused, 100.0 * self.shard_idle_fraction()
             )?;
         }
+        if self.pipeline_admits > 0 || self.pipeline_stalls > 0 || self.pipeline_fixups > 0 {
+            writeln!(
+                f,
+                "pipeline: {} overlapped admits, {} stalls, {} fixups ({} evictions), {:.0}% of serial section overlapped",
+                self.pipeline_admits, self.pipeline_stalls, self.pipeline_fixups,
+                self.pipeline_fixup_evictions,
+                100.0 * self.phase_breakdown().overlap_fraction()
+            )?;
+        }
         if self.wal_records > 0 || self.checkpoints > 0 {
             writeln!(
                 f,
@@ -833,12 +954,28 @@ mod tests {
             wal_append: Duration::from_millis(3),
             fsync: Duration::from_millis(7),
             publish: Duration::from_millis(15),
+            overlap: Duration::from_millis(25),
         };
         let sum: f64 = b.fractions().iter().map(|(_, _, frac)| frac).sum();
         assert!((sum - 1.0).abs() < 1e-9, "fractions sum to {sum}");
         let serial = b.publisher_serial_fraction();
         assert!((0.0..=1.0).contains(&serial));
         assert!((serial - 0.5).abs() < 1e-9); // 50ms serial of 100ms total
+                                              // Overlap is *within* the serial section, not an eighth phase:
+                                              // excluded from the fraction sum, reported as serial-relative.
+        assert!((b.overlap_fraction() - 0.5).abs() < 1e-9); // 25ms of 50ms
+    }
+
+    #[test]
+    fn overlap_fraction_guards_and_bounds() {
+        let fresh = PhaseBreakdown::default();
+        assert_eq!(fresh.overlap_fraction(), 0.0);
+        let b = PhaseBreakdown {
+            merge: Duration::from_millis(10),
+            overlap: Duration::from_millis(10),
+            ..PhaseBreakdown::default()
+        };
+        assert!((b.overlap_fraction() - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -75,10 +75,11 @@ fn check_equivalence(
     flips: &[bool],
     max_batch: usize,
     n_shards: usize,
+    pipeline_depth: usize,
 ) -> Result<(), String> {
     let sys = system(n, seed);
     let ops = workload(&sys, seed ^ 0xbeef, flips);
-    check_ops_equivalence(sys, &ops, max_batch, n_shards)
+    check_ops_equivalence(sys, &ops, max_batch, n_shards, pipeline_depth)
 }
 
 fn check_ops_equivalence(
@@ -86,6 +87,7 @@ fn check_ops_equivalence(
     ops: &[XmlUpdate],
     max_batch: usize,
     n_shards: usize,
+    pipeline_depth: usize,
 ) -> Result<(), String> {
     if ops.is_empty() {
         return Ok(());
@@ -98,12 +100,15 @@ fn check_ops_equivalence(
         .map(|u| seq.apply(u, SideEffectPolicy::Proceed).is_ok())
         .collect();
 
-    // Batched engine (single-writer when `n_shards <= 1`, sharded above).
+    // Batched engine (single-writer when `n_shards <= 1`, sharded above;
+    // `pipeline_depth == 1` forces strictly sequential rounds, deeper
+    // values let later rounds translate while earlier ones publish).
     let engine = Engine::with_config(
         sys,
         EngineConfig {
             max_batch,
             n_shards,
+            pipeline_depth,
             ..EngineConfig::default()
         },
     );
@@ -157,22 +162,27 @@ proptest! {
         flips in prop::collection::vec(any::<bool>(), 8..20),
         max_batch in 1usize..12,
     ) {
-        if let Err(e) = check_equivalence(220, seed, &flips, max_batch, 1) {
+        if let Err(e) = check_equivalence(220, seed, &flips, max_batch, 1, 2) {
             return Err(TestCaseError::fail(e));
         }
     }
 
     /// The same property under sharded parallel writers: the router, the
     /// shard translations, and the merging publisher must be observationally
-    /// equivalent to applying the updates one at a time.
+    /// equivalent to applying the updates one at a time — at every pipeline
+    /// depth, from strictly sequential rounds (depth 1) through deep
+    /// lookahead (depth 3).
     #[test]
     fn sharded_commit_equals_sequential(
         seed in 0u64..200,
         flips in prop::collection::vec(any::<bool>(), 8..20),
         max_batch in 1usize..12,
         n_shards in 2usize..6,
+        pipeline_depth in 1usize..4,
     ) {
-        if let Err(e) = check_equivalence(220, seed, &flips, max_batch, n_shards) {
+        if let Err(e) =
+            check_equivalence(220, seed, &flips, max_batch, n_shards, pipeline_depth)
+        {
             return Err(TestCaseError::fail(e));
         }
     }
@@ -240,7 +250,9 @@ proptest! {
     }
 
     /// `//`-headed updates riding shared conflict rounds preserve the
-    /// batched == sequential equivalence, on both write paths.
+    /// batched == sequential equivalence, on both write paths and at every
+    /// pipeline depth (skewed hot-group workloads maximise the chance a
+    /// lookahead plan goes stale mid-flight and must take the fixup path).
     #[test]
     fn descendant_commit_equals_sequential(
         seed in 0u64..200,
@@ -248,6 +260,7 @@ proptest! {
         desc_fraction in 0u32..=10,
         max_batch in 1usize..12,
         n_shards in 1usize..6,
+        pipeline_depth in 1usize..4,
     ) {
         let sys = system(220, seed);
         let mut gen = DescendantGen::new(DescendantConfig {
@@ -259,7 +272,9 @@ proptest! {
             ..DescendantConfig::default()
         });
         let ops = gen.ops(n_ops);
-        if let Err(e) = check_ops_equivalence(sys, &ops, max_batch, n_shards) {
+        if let Err(e) =
+            check_ops_equivalence(sys, &ops, max_batch, n_shards, pipeline_depth)
+        {
             return Err(TestCaseError::fail(e));
         }
     }
@@ -320,23 +335,45 @@ fn descendant_updates_ride_shared_rounds() {
 #[test]
 fn large_independent_batch_is_equivalent() {
     let flips: Vec<bool> = (0..40).map(|i| i % 4 == 0).collect();
-    check_equivalence(400, 7, &flips, 16, 1).unwrap();
+    check_equivalence(400, 7, &flips, 16, 1, 2).unwrap();
 }
 
 /// The same deterministic case across four shard writers (multi-round,
-/// multi-bundle commits with fresh-subtree insertions to remap).
+/// multi-bundle commits with fresh-subtree insertions to remap), at every
+/// pipeline depth.
 #[test]
 fn large_independent_batch_is_equivalent_sharded() {
     let flips: Vec<bool> = (0..40).map(|i| i % 4 == 0).collect();
-    check_equivalence(400, 7, &flips, 4, 4).unwrap();
+    for depth in 1..=3 {
+        check_equivalence(400, 7, &flips, 4, 4, depth).unwrap();
+    }
+}
+
+/// Insertion-heavy deterministic sweep: fresh-subtree insertions are the
+/// source of intra-round coupling requeues, so this exercises the
+/// requeue → re-entry → replan path while later rounds are in flight.
+#[test]
+fn insert_heavy_batches_are_equivalent_at_every_depth() {
+    let flips: Vec<bool> = (0..32).map(|i| i % 4 != 0).collect();
+    for depth in 1..=3 {
+        check_equivalence(400, 13, &flips, 3, 4, depth).unwrap();
+    }
 }
 
 /// Updates with deliberately colliding targets must serialize correctly on
 /// the sharded path too: duplicates defer across rounds, typed leading-`//`
 /// updates resolve to bounded multi-anchor cones (riding ordinary rounds),
 /// and only genuinely untypeable paths serialize through the global lane.
+/// Run at every pipeline depth: the global-lane update must drain the
+/// pipeline before running regardless of how deep the lookahead is.
 #[test]
 fn conflicting_updates_serialize_sharded() {
+    for depth in 1..=3 {
+        conflicting_updates_serialize_sharded_at(depth);
+    }
+}
+
+fn conflicting_updates_serialize_sharded_at(pipeline_depth: usize) {
     let sys = system(200, 11);
     let mut gen = WorkloadGen::new(sys.view(), 5);
     let mut ops: Vec<XmlUpdate> = Vec::new();
@@ -358,6 +395,7 @@ fn conflicting_updates_serialize_sharded() {
         sys,
         EngineConfig {
             n_shards: 3,
+            pipeline_depth,
             ..EngineConfig::default()
         },
     );

@@ -1,0 +1,234 @@
+//! Deterministic interleaving tests for the pipelined commit loop, built
+//! on the [`StageHooks`] barrier harness (`EngineConfig::stage_hooks`).
+//!
+//! Each test drives `commit_pending` on a background thread while the test
+//! thread holds and releases stage gates, freezing the coordinator at a
+//! chosen point of the round lifecycle:
+//!
+//! - **disjoint rounds proceed** — with round k held in merge, a
+//!   footprint-disjoint round k+1 still reaches shard dispatch;
+//! - **overlapping rounds stall** — a round that conflicts with the
+//!   in-flight footprint is *not* dispatched while the conflict lives;
+//! - **publish-mid-plan fixup** — a publish landing between planning and
+//!   dispatching a lookahead round routes it through the fixup path.
+
+use rxview_core::{SideEffectPolicy, XmlUpdate, XmlViewSystem};
+use rxview_engine::{Engine, EngineConfig, Stage, StageHooks};
+use rxview_workload::{
+    base_fingerprint, edge_fingerprint, synthetic_atg, synthetic_database, SyntheticConfig,
+};
+use std::time::Duration;
+
+fn system(n: usize, seed: u64) -> XmlViewSystem {
+    let mut cfg = SyntheticConfig::with_size(n);
+    cfg.seed = seed;
+    let db = synthetic_database(&cfg);
+    let atg = synthetic_atg(&db).expect("valid ATG");
+    XmlViewSystem::new(atg, db).expect("publishes")
+}
+
+/// One guaranteed-deletable edge path per group — distinct groups have
+/// disjoint cones, so these updates never conflict with each other.
+fn group_edge_deletions(sys: &XmlViewSystem, n: i64) -> Vec<XmlUpdate> {
+    use rxview_relstore::Value;
+    let h = sys.base().table("H").expect("H table");
+    (0..n / 40)
+        .filter_map(|g| {
+            let head = g * 40;
+            let prefix = [Value::Int(head)];
+            let row = h.scan_key_prefix(&prefix).next()?;
+            let child = row[1].as_int().expect("int h2");
+            let u = XmlUpdate::delete(&format!("node[id={head}]/sub/node[id={child}]"))
+                .expect("parses");
+            (!sys.evaluate(u.path()).is_empty()).then_some(u)
+        })
+        .collect()
+}
+
+fn pipelined_config(hooks: &StageHooks) -> EngineConfig {
+    EngineConfig {
+        n_shards: 2,
+        max_batch: 1, // rounds of at most n_shards * max_batch = 2 updates
+        pipeline_depth: 2,
+        stage_hooks: Some(hooks.clone()),
+        ..EngineConfig::default()
+    }
+}
+
+/// With round k frozen in merge, the footprint-disjoint round k+1 must
+/// still translate: the pipeline dispatches it, records the admit, and the
+/// merge section later reports genuine overlap.
+#[test]
+fn disjoint_lookahead_round_dispatches_while_merge_is_held() {
+    let sys = system(400, 9);
+    let deletions = group_edge_deletions(&sys, 400);
+    assert!(deletions.len() >= 4, "enough deletable group edges");
+    let deletions: Vec<XmlUpdate> = deletions.into_iter().take(4).collect();
+
+    let mut oracle = sys.clone();
+    for u in &deletions {
+        oracle
+            .apply(u, SideEffectPolicy::Proceed)
+            .expect("oracle applies");
+    }
+
+    let hooks = StageHooks::new();
+    hooks.hold(Stage::Merge);
+    let engine = Engine::with_config(sys, pipelined_config(&hooks));
+    let tickets: Vec<_> = deletions
+        .iter()
+        .map(|u| {
+            engine
+                .submit(u.clone(), SideEffectPolicy::Proceed)
+                .expect("queue not full")
+        })
+        .collect();
+    let committer = {
+        let engine = engine.clone();
+        std::thread::spawn(move || engine.commit_pending())
+    };
+
+    // Round 1 is frozen at the merge gate...
+    hooks.wait_arrivals(Stage::Merge, 1);
+    // ...and round 2 (disjoint) still reached shard dispatch behind it.
+    hooks.wait_arrivals(Stage::Dispatch, 2);
+    assert_eq!(
+        engine.snapshot().epoch(),
+        0,
+        "nothing published while merge is held"
+    );
+    assert!(
+        engine.stats().report().pipeline_admits >= 1,
+        "the lookahead dispatch must be recorded as a pipeline admit"
+    );
+
+    hooks.release(Stage::Merge);
+    let summary = committer.join().expect("committer panicked");
+    assert_eq!(summary.updates, deletions.len());
+    for t in tickets {
+        t.wait().expect("disjoint group-edge deletion commits");
+    }
+
+    let report = engine.stats().report();
+    assert!(
+        report.overlap > Duration::ZERO,
+        "a merge ran with a round in flight, so overlap time was recorded"
+    );
+    let snap = engine.snapshot();
+    assert_eq!(base_fingerprint(&oracle), base_fingerprint(snap.system()));
+    assert_eq!(edge_fingerprint(&oracle), edge_fingerprint(snap.system()));
+    snap.system().consistency_check().expect("consistent");
+}
+
+/// A lookahead round whose footprint overlaps the in-flight round must NOT
+/// be dispatched while the conflict lives: the planner records a pipeline
+/// stall and the update waits for the conflicting publish.
+#[test]
+fn conflicting_lookahead_round_stalls_until_publish() {
+    let sys = system(400, 9);
+    let deletions = group_edge_deletions(&sys, 400);
+    assert!(!deletions.is_empty(), "a deletable group edge");
+    // The same delete twice: maximal conflict, and the second outcome
+    // depends on the first's effect, so dispatch order is observable.
+    let u = deletions[0].clone();
+
+    let mut oracle = sys.clone();
+    let first_ok = oracle.apply(&u, SideEffectPolicy::Proceed).is_ok();
+    let second_ok = oracle.apply(&u, SideEffectPolicy::Proceed).is_ok();
+    assert!(first_ok, "the edge exists, the first delete succeeds");
+
+    let hooks = StageHooks::new();
+    hooks.hold(Stage::Merge);
+    let engine = Engine::with_config(sys, pipelined_config(&hooks));
+    let t1 = engine
+        .submit(u.clone(), SideEffectPolicy::Proceed)
+        .expect("queue not full");
+    let t2 = engine
+        .submit(u.clone(), SideEffectPolicy::Proceed)
+        .expect("queue not full");
+    let committer = {
+        let engine = engine.clone();
+        std::thread::spawn(move || engine.commit_pending())
+    };
+
+    // Round 1 (the first delete) is frozen at the merge gate. The planner
+    // already tried to form round 2 before falling through to the merge —
+    // and must have stalled it instead of dispatching.
+    hooks.wait_arrivals(Stage::Merge, 1);
+    assert_eq!(
+        hooks.arrivals(Stage::Dispatch),
+        1,
+        "the conflicting duplicate must not be dispatched alongside round 1"
+    );
+    assert!(
+        engine.stats().report().pipeline_stalls >= 1,
+        "the deferred plan is recorded as a pipeline stall"
+    );
+
+    hooks.release(Stage::Merge);
+    committer.join().expect("committer panicked");
+    assert_eq!(t1.wait().is_ok(), first_ok);
+    assert_eq!(t2.wait().is_ok(), second_ok);
+    assert_eq!(
+        hooks.arrivals(Stage::Dispatch),
+        2,
+        "the duplicate dispatches in its own round after the publish"
+    );
+    let snap = engine.snapshot();
+    assert_eq!(edge_fingerprint(&oracle), edge_fingerprint(snap.system()));
+    snap.system().consistency_check().expect("consistent");
+}
+
+/// When a publish lands between planning and dispatching a lookahead round,
+/// the staged plan is revalidated through the fixup path. With disjoint
+/// rounds nothing is evicted — but the fixup must run and the result must
+/// still equal the sequential oracle.
+#[test]
+fn publish_mid_plan_routes_through_the_fixup_path() {
+    let sys = system(400, 9);
+    let deletions = group_edge_deletions(&sys, 400);
+    assert!(deletions.len() >= 8, "enough deletable group edges");
+    let deletions: Vec<XmlUpdate> = deletions.into_iter().take(8).collect();
+
+    let mut oracle = sys.clone();
+    for u in &deletions {
+        oracle
+            .apply(u, SideEffectPolicy::Proceed)
+            .expect("oracle applies");
+    }
+
+    // No gates: with four rounds and depth 2, round 3 dispatches into the
+    // slot round 1 frees at collection (before round 1 publishes), but
+    // round 4 is staged while round 1's serial section runs — its publish
+    // lands before round 4 dispatches, exactly the staleness the fixup
+    // revalidates.
+    let hooks = StageHooks::new();
+    let engine = Engine::with_config(sys, pipelined_config(&hooks));
+    let tickets: Vec<_> = deletions
+        .iter()
+        .map(|u| {
+            engine
+                .submit(u.clone(), SideEffectPolicy::Proceed)
+                .expect("queue not full")
+        })
+        .collect();
+    let summary = engine.commit_pending();
+    assert_eq!(summary.updates, deletions.len());
+    for t in tickets {
+        t.wait().expect("disjoint group-edge deletion commits");
+    }
+
+    let report = engine.stats().report();
+    assert!(
+        report.pipeline_fixups >= 1,
+        "a staged plan went stale across a publish and was revalidated"
+    );
+    assert_eq!(
+        report.pipeline_fixup_evictions, 0,
+        "disjoint rounds survive the fixup untouched"
+    );
+    let snap = engine.snapshot();
+    assert_eq!(base_fingerprint(&oracle), base_fingerprint(snap.system()));
+    assert_eq!(edge_fingerprint(&oracle), edge_fingerprint(snap.system()));
+    snap.system().consistency_check().expect("consistent");
+}

@@ -60,6 +60,17 @@ fn durable_config(n_shards: usize, checkpoint_rounds: u64) -> EngineConfig {
     }
 }
 
+fn durable_config_depth(
+    n_shards: usize,
+    checkpoint_rounds: u64,
+    pipeline_depth: usize,
+) -> EngineConfig {
+    EngineConfig {
+        pipeline_depth,
+        ..durable_config(n_shards, checkpoint_rounds)
+    }
+}
+
 /// One guaranteed-deletable edge path per group — `node[id=h]/sub/node[id=c]`
 /// for the group head's first `H` child whose edge the published view
 /// actually contains (the same selection `tests/concurrent.rs` uses).
@@ -104,6 +115,7 @@ fn check_crash_recovery(
     n_shards: usize,
     kill_after_chunks: usize,
     checkpoint_rounds: u64,
+    pipeline_depth: usize,
 ) -> Result<(), String> {
     let (sys, atg) = system(220, seed);
     let ops = mixed_updates(&sys, seed ^ 0xD00D, flips);
@@ -115,7 +127,7 @@ fn check_crash_recovery(
     // The engine under test: durable, killed mid-history.
     let engine = Engine::with_durability(
         sys.clone(),
-        durable_config(n_shards, checkpoint_rounds),
+        durable_config_depth(n_shards, checkpoint_rounds, pipeline_depth),
         &dir,
     )
     .map_err(|e| format!("with_durability: {e}"))?;
@@ -150,11 +162,11 @@ fn check_crash_recovery(
         }
     }
 
-    // Recover and compare.
+    // Recover and compare (the recovered engine keeps the same depth).
     let (recovered, report) = Engine::recover(
         atg.clone(),
         &dir,
-        durable_config(n_shards, checkpoint_rounds),
+        durable_config_depth(n_shards, checkpoint_rounds, pipeline_depth),
     )
     .map_err(|e| format!("recover: {e}"))?;
     if report.replay_rejected != 0 {
@@ -220,8 +232,8 @@ fn check_crash_recovery(
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
-    /// Random mixed workloads, random kill points, both write paths:
-    /// recovery reproduces exactly the acknowledged prefix.
+    /// Random mixed workloads, random kill points, both write paths, every
+    /// pipeline depth: recovery reproduces exactly the acknowledged prefix.
     #[test]
     fn recovery_equals_acknowledged_prefix_oracle(
         seed in 0u64..500,
@@ -229,8 +241,11 @@ proptest! {
         n_shards in 1usize..5,
         kill_after_chunks in 1usize..6,
         checkpoint_rounds in 0u64..4,
+        pipeline_depth in 1usize..4,
     ) {
-        if let Err(e) = check_crash_recovery(seed, &flips, n_shards, kill_after_chunks, checkpoint_rounds) {
+        if let Err(e) = check_crash_recovery(
+            seed, &flips, n_shards, kill_after_chunks, checkpoint_rounds, pipeline_depth,
+        ) {
             return Err(TestCaseError::fail(e));
         }
     }
@@ -241,7 +256,19 @@ proptest! {
 #[test]
 fn sharded_crash_recovery_deterministic() {
     let flips: Vec<bool> = (0..30).map(|i| i % 3 == 0).collect();
-    check_crash_recovery(42, &flips, 4, 3, 2).unwrap();
+    check_crash_recovery(42, &flips, 4, 3, 2, 2).unwrap();
+}
+
+/// Pipelined kill-at-every-round sweep: deep lookahead (depth 3) over four
+/// shards, the crash landing after every chunk of the history in turn. The
+/// acknowledged-prefix oracle only holds if the WAL append stayed strictly
+/// epoch-ordered while later rounds translated concurrently.
+#[test]
+fn pipelined_sharded_crash_recovery_kill_at_every_round() {
+    let flips: Vec<bool> = (0..30).map(|i| i % 3 == 0).collect();
+    for kill_after_chunks in 1..=6 {
+        check_crash_recovery(42, &flips, 4, kill_after_chunks, 2, 3).unwrap();
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -344,6 +371,100 @@ fn torn_tail_recovers_last_complete_round_at_every_byte_boundary() {
         assert_eq!(report.replay_rejected, 0);
         let snap = engine.snapshot();
         assert_eq!(snap.epoch(), complete as u64);
+        let (base, edges) = &fingerprints[complete];
+        assert_eq!(&base_fingerprint(snap.system()), base, "cut at {cut}");
+        assert_eq!(&edge_fingerprint(snap.system()), edges, "cut at {cut}");
+        snap.system().consistency_check().expect("consistent");
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Torn tails with the commit pipeline ON and actually overlapping: six
+/// disjoint single-update rounds drain through one `commit_pending` on two
+/// shards with `max_batch = 1` and depth 3, so later rounds translate while
+/// earlier ones fold and append. Truncating the log at every byte and
+/// recovering proves the WAL append stayed *epoch-strict* under that
+/// overlap: every cut lands on a contiguous submission-order prefix — if
+/// round k+1's record could ever beat round k's into the log, some cut
+/// would recover a state with a hole in it and diverge from the prefix
+/// oracle.
+#[test]
+fn pipelined_torn_tail_recovers_epoch_strict_prefix_at_every_byte() {
+    // A round admits up to `n_shards * max_batch` = 2 disjoint updates, so
+    // six deletions drain as three pipelined two-update rounds (epochs).
+    let n_updates = 6;
+    let per_round = 2;
+    let rounds = n_updates / per_round;
+    let (sys, atg) = system(400, 9);
+    let deletions = group_edge_deletions(&sys, 400);
+    assert!(deletions.len() >= n_updates, "enough deletable group edges");
+    let deletions: Vec<XmlUpdate> = deletions.into_iter().take(n_updates).collect();
+
+    // Prefix oracle: rounds form in submission order, so the state after
+    // epoch k is the sequential application of the first `k * per_round`
+    // deletions.
+    let mut oracle = sys.clone();
+    let mut fingerprints = vec![(base_fingerprint(&oracle), edge_fingerprint(&oracle))];
+    for epoch in deletions.chunks(per_round) {
+        for u in epoch {
+            oracle
+                .apply(u, SideEffectPolicy::Proceed)
+                .expect("oracle applies");
+        }
+        fingerprints.push((base_fingerprint(&oracle), edge_fingerprint(&oracle)));
+    }
+
+    let dir = temp_dir("torn-pipe");
+    let engine = Engine::with_durability(
+        sys,
+        EngineConfig {
+            max_batch: 1,
+            ..durable_config_depth(2, 0, 3)
+        },
+        &dir,
+    )
+    .expect("durable engine");
+    let tickets: Vec<_> = deletions
+        .iter()
+        .map(|u| {
+            engine
+                .submit(u.clone(), SideEffectPolicy::Proceed)
+                .expect("queue not full")
+        })
+        .collect();
+    engine.commit_pending();
+    for t in tickets {
+        t.wait().expect("group-edge deletion commits");
+    }
+    assert_eq!(engine.snapshot().epoch(), rounds as u64);
+    assert!(
+        engine.stats().report().pipeline_admits >= 1,
+        "the history must actually have been written under pipeline overlap"
+    );
+    drop(engine);
+
+    let seg_path = the_only_segment(&dir);
+    let full = fs::read(&seg_path).expect("read segment");
+    let mut boundaries = vec![8usize]; // after the magic
+    let mut pos = 8usize;
+    while pos + 8 <= full.len() {
+        let len = u32::from_le_bytes(full[pos..pos + 4].try_into().unwrap()) as usize;
+        pos += 8 + len;
+        boundaries.push(pos);
+    }
+    assert_eq!(boundaries.len(), rounds + 1, "one record per round");
+    assert_eq!(*boundaries.last().unwrap(), full.len());
+
+    for cut in 8..=full.len() {
+        fs::write(&seg_path, &full[..cut]).expect("truncate");
+        let (engine, report) = recover_readonly(&atg, &dir);
+        let complete = boundaries.iter().filter(|&&b| b <= cut).count() - 1;
+        assert_eq!(
+            report.resumed_epoch, complete as u64,
+            "cut at {cut}: resume at the last complete round"
+        );
+        assert_eq!(report.replay_rejected, 0, "cut at {cut}");
+        let snap = engine.snapshot();
         let (base, edges) = &fingerprints[complete];
         assert_eq!(&base_fingerprint(snap.system()), base, "cut at {cut}");
         assert_eq!(&edge_fingerprint(snap.system()), edges, "cut at {cut}");

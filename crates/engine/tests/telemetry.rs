@@ -230,8 +230,10 @@ fn metrics_exporter_writes_jsonl() {
     ] {
         assert!(last.contains(needle), "snapshot missing {needle}:\n{last}");
     }
+    // Match value positions only: metric *names* may legitimately contain
+    // "inf" as a substring (e.g. "pipeline.inflight").
     assert!(
-        !last.contains("NaN") && !last.contains("inf"),
+        !last.contains("NaN") && !last.contains(": inf") && !last.contains(": -inf"),
         "non-finite JSON"
     );
     let _ = std::fs::remove_dir_all(&dir);
