@@ -83,6 +83,9 @@ fn bench_config(n_shards: usize) -> EngineConfig {
     EngineConfig {
         n_shards,
         max_batch: env_usize("RXVIEW_BENCH_MAX_BATCH", default.max_batch).max(1),
+        // RXVIEW_BENCH_PLANS=0 forces the interpretive evaluation path —
+        // an A/B lever for attributing wins to the compiled-plan runtime.
+        use_plans: env_usize("RXVIEW_BENCH_PLANS", 1) != 0,
         ..default
     }
 }
@@ -106,6 +109,10 @@ struct RunMetrics {
     /// between rounds (also inside `phases_json`; kept here for the
     /// pipeline on/off comparison lines).
     shard_idle_fraction: f64,
+    /// This run's plan-cache delta (hits/misses/evictions/compiles) — runs
+    /// over one system share its `Arc`'d cache, so the per-engine baseline
+    /// subtraction in `EngineStats` is what keeps rows attributable.
+    plan_cache: rxview_core::PlanCacheStats,
     /// The per-phase commit-time attribution (`"phases"` JSON object).
     phases_json: String,
 }
@@ -152,13 +159,17 @@ impl RunMetrics {
         ] {
             assert!(v.is_finite(), "non-finite bench metric: {v}");
         }
+        let pc = &self.plan_cache;
+        assert!(pc.hit_rate().is_finite(), "non-finite plan hit rate");
         format!(
             "{{\"shards\": {}, \"pipeline_depth\": {}, \"updates_per_sec\": {:.1}, \
              \"accepted\": {}, \
              \"conflict_rounds\": {}, \"mean_planned_width\": {:.2}, \
              \"mean_realized_width\": {:.2}, \"requeued\": {}, \
              \"global_lane_rounds\": {}, \"multi_cone_rounds\": {}, \
-             \"mean_multi_cone_width\": {:.2}, \"phases\": {}}}",
+             \"mean_multi_cone_width\": {:.2}, \
+             \"plan_cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}, \
+             \"compiles\": {}, \"hit_rate\": {:.4}}}, \"phases\": {}}}",
             self.n_shards,
             self.pipeline_depth,
             self.rate,
@@ -170,6 +181,11 @@ impl RunMetrics {
             self.global_lane_rounds,
             self.multi_cone_rounds,
             self.mean_multi_cone_width,
+            pc.hits,
+            pc.misses,
+            pc.evictions,
+            pc.compiles,
+            pc.hit_rate(),
             self.phases_json
         )
     }
@@ -374,6 +390,9 @@ fn main() {
     // the most instrumented path. Disable with RXVIEW_BENCH_TELEMETRY=0.
     let telemetry_json = telemetry_overhead(&sys, &ops, &shards);
 
+    // --- Compiled plans: compile-once vs per-call micro-cost. ---
+    let plan_compile_json = plan_compile_micro(&sys, &ops);
+
     // --- Skewed traffic: a hot anchor-cone cluster bounds shard scaling.
     // Hot chains force tiny commit rounds regardless of writer count, so
     // this runs on its own (smaller) system: the interesting number is the
@@ -421,13 +440,14 @@ fn main() {
     let json = format!(
         "{{\n  \"bench\": \"engine_throughput\",\n  \"groups\": {groups},\n  \
          \"rounds\": {rounds},\n  \"updates\": {},\n  \"mixed\": {},\n  \
-         \"durability\": {},\n  \"telemetry\": {},\n  \
+         \"durability\": {},\n  \"telemetry\": {},\n  \"plan_compile\": {},\n  \
          \"skew_ops\": {skew_ops},\n  \"skew_groups\": {skew_groups},\n  \"skew\": {},\n  \
          \"descendant\": {}\n}}\n",
         ops.len(),
         json_array(&mixed_runs),
         durability_json.unwrap_or_else(|| "null".into()),
         telemetry_json.unwrap_or_else(|| "null".into()),
+        plan_compile_json,
         json_array(&skew_runs),
         descendant_json.unwrap_or_else(|| "null".into()),
     );
@@ -505,6 +525,7 @@ fn run_engine_with(
         multi_cone_rounds: report.multi_cone_rounds,
         mean_multi_cone_width: report.mean_multi_cone_width(),
         shard_idle_fraction: report.shard_idle_fraction(),
+        plan_cache: report.plan_cache,
         phases_json: phases_json(&report),
     }
 }
@@ -638,22 +659,68 @@ fn durable_run(
     (rate, ok, report)
 }
 
+/// Below this measured difference the off/on rates are indistinguishable
+/// from scheduler noise on a shared box: the reported overhead clamps to
+/// zero (the raw ratio is still recorded alongside for the trajectory).
+const DURABILITY_NOISE_FLOOR_PCT: f64 = 1.0;
+
 /// Measures write-ahead-logging cost: the same ops, single-writer, with
 /// `durability = Off` vs `PerRound` (append + fsync every commit round,
 /// the strictest policy) vs `GroupCommit` (several rounds' records batched
-/// into one fsync behind a round/age watermark). Returns the JSON fragment
-/// for `BENCH_engine.json`, or `None` when disabled.
+/// into one fsync behind a round/age watermark).
+///
+/// A single off/on ratio is noisier than the effect it measures — one
+/// earlier trajectory entry reported a nonsensical *negative* 4.1%
+/// overhead, i.e. logging + fsync apparently made commits faster. So the
+/// pairs run interleaved `RXVIEW_BENCH_DURABILITY_REPS` times (default 3)
+/// and each policy keeps its best rate (contention only ever subtracts
+/// throughput), and differences inside [`DURABILITY_NOISE_FLOOR_PCT`] are
+/// reported as 0 with the raw ratio preserved in `overhead_raw_pct`.
+/// Returns the JSON fragment for `BENCH_engine.json`, or `None` when
+/// disabled.
 fn durability_overhead(sys: &XmlViewSystem, ops: &[XmlUpdate]) -> Option<String> {
     if env_usize("RXVIEW_BENCH_DURABILITY", 1) == 0 {
         return None;
     }
-    println!("\ndurability sweep (single-writer, same mixed workload):");
-    let off = run_engine(sys, ops, 1);
+    let reps = env_usize("RXVIEW_BENCH_DURABILITY_REPS", 3).max(1);
+    println!("\ndurability sweep (single-writer, same mixed workload, best of {reps} pairs):");
+    let gc_policy = Durability::GroupCommit {
+        max_rounds: 8,
+        max_micros: 2_000,
+    };
+    let mut best_off: Option<RunMetrics> = None;
+    let mut best_pr: Option<(f64, usize, rxview_engine::EngineReport)> = None;
+    let mut best_gc: Option<(f64, usize, rxview_engine::EngineReport)> = None;
+    for _ in 0..reps {
+        let off = run_engine(sys, ops, 1);
+        let pr = durable_run(sys, ops, Durability::PerRound);
+        assert_eq!(pr.1, off.accepted, "durability must not change acceptance");
+        let gc = durable_run(sys, ops, gc_policy);
+        assert_eq!(
+            gc.1, off.accepted,
+            "group commit must not change acceptance"
+        );
+        if best_off.as_ref().is_none_or(|b| off.rate > b.rate) {
+            best_off = Some(off);
+        }
+        if best_pr.as_ref().is_none_or(|b| pr.0 > b.0) {
+            best_pr = Some(pr);
+        }
+        if best_gc.as_ref().is_none_or(|b| gc.0 > b.0) {
+            best_gc = Some(gc);
+        }
+    }
+    let off = best_off.expect("reps >= 1");
+    let (rate, ok, report) = best_pr.expect("reps >= 1");
+    let (gc_rate, gc_ok, gc_report) = best_gc.expect("reps >= 1");
 
-    let (rate, ok, report) = durable_run(sys, ops, Durability::PerRound);
-    assert_eq!(ok, off.accepted, "durability must not change acceptance");
-
-    let overhead = (1.0 - rate / off.rate) * 100.0;
+    let raw = (1.0 - rate / off.rate) * 100.0;
+    let raw = if raw.is_finite() { raw } else { 0.0 };
+    let overhead = if raw.abs() < DURABILITY_NOISE_FLOOR_PCT || raw < 0.0 {
+        0.0
+    } else {
+        raw
+    };
     println!(
         "  durability=PerRound: {ok}/{} accepted ({rate:.0} updates/sec; \
          {} log records, {} bytes, {} fsyncs)",
@@ -663,24 +730,16 @@ fn durability_overhead(sys: &XmlViewSystem, ops: &[XmlUpdate]) -> Option<String>
         report.wal_syncs
     );
     println!(
-        "  WAL overhead: {overhead:.1}% updates/sec vs durability=Off ({:.0})",
+        "  WAL overhead: {overhead:.1}% updates/sec vs durability=Off ({:.0}; raw ratio {raw:.1}%, \
+         noise floor {DURABILITY_NOISE_FLOOR_PCT}%)",
         off.rate
     );
+    if raw < 0.0 {
+        println!("  note: raw ratio negative — below the noise floor, reported as 0");
+    }
     if overhead >= 15.0 {
         println!("  WARNING: above the 15% overhead target");
     }
-
-    // Group-commit fsync: several rounds' records per sync. The interesting
-    // number is the fsync savings at equivalent logging volume.
-    let gc_policy = Durability::GroupCommit {
-        max_rounds: 8,
-        max_micros: 2_000,
-    };
-    let (gc_rate, gc_ok, gc_report) = durable_run(sys, ops, gc_policy);
-    assert_eq!(
-        gc_ok, off.accepted,
-        "group commit must not change acceptance"
-    );
     println!(
         "  durability=GroupCommit(8 rounds / 2ms): {gc_ok}/{} accepted ({gc_rate:.0} updates/sec; \
          {} log records, {} fsyncs vs PerRound's {})",
@@ -692,11 +751,68 @@ fn durability_overhead(sys: &XmlViewSystem, ops: &[XmlUpdate]) -> Option<String>
 
     Some(format!(
         "{{\"off_updates_per_sec\": {:.1}, \"per_round_updates_per_sec\": {rate:.1}, \
-         \"overhead_pct\": {overhead:.1}, \"wal_records\": {}, \"wal_bytes\": {}, \
+         \"overhead_pct\": {overhead:.1}, \"overhead_raw_pct\": {raw:.1}, \
+         \"noise_floor_pct\": {DURABILITY_NOISE_FLOOR_PCT}, \"reps\": {reps}, \
+         \"wal_records\": {}, \"wal_bytes\": {}, \
          \"wal_syncs\": {}, \"group_commit_updates_per_sec\": {gc_rate:.1}, \
          \"group_commit_wal_syncs\": {}}}",
         off.rate, report.wal_records, report.wal_bytes, report.wal_syncs, gc_report.wal_syncs
     ))
+}
+
+/// The compiled-plan micro-entry: per-call compilation (a fresh cache
+/// every probe — what the engine effectively did before the plan layer:
+/// classify + normalize + compile for every update) vs compile-once
+/// probes against a shared warm cache (shape lookup + literal rebinding,
+/// the steady-state hot path). Runs over the real mixed-workload paths so
+/// the shape population matches the sweeps above. Returns the
+/// `"plan_compile"` JSON fragment.
+fn plan_compile_micro(sys: &XmlViewSystem, ops: &[XmlUpdate]) -> String {
+    use rxview_core::PlanCache;
+    let dtd = sys.view().atg().dtd();
+    let probes = ops.len().clamp(1, 4096);
+    let paths: Vec<_> = ops.iter().take(probes).map(|u| u.path()).collect();
+
+    // Per-call: every probe pays a full compile (fresh cache each time).
+    let t = Instant::now();
+    for p in &paths {
+        let cache = PlanCache::default();
+        std::hint::black_box(cache.plan(dtd, p));
+    }
+    let per_call_ns = t.elapsed().as_nanos() as f64 / paths.len() as f64;
+
+    // Compile-once: one shared cache, the same probe stream.
+    let cache = PlanCache::default();
+    let t = Instant::now();
+    for p in &paths {
+        std::hint::black_box(cache.plan(dtd, p));
+    }
+    let cached_ns = t.elapsed().as_nanos() as f64 / paths.len() as f64;
+    let stats = cache.stats();
+    let speedup = if cached_ns > 0.0 {
+        per_call_ns / cached_ns
+    } else {
+        0.0
+    };
+    assert!(
+        per_call_ns.is_finite() && cached_ns.is_finite() && speedup.is_finite(),
+        "non-finite plan_compile metric"
+    );
+    println!(
+        "\nplan_compile micro ({} probes, {} shapes): per-call compile {per_call_ns:.0} ns/op, \
+         cached probe {cached_ns:.0} ns/op ({speedup:.1}x), cache hit rate {:.2}%",
+        paths.len(),
+        stats.compiles,
+        100.0 * stats.hit_rate()
+    );
+    format!(
+        "{{\"probes\": {}, \"shapes\": {}, \"per_call_compile_ns\": {per_call_ns:.1}, \
+         \"cached_probe_ns\": {cached_ns:.1}, \"speedup\": {speedup:.1}, \
+         \"hit_rate\": {:.4}}}",
+        paths.len(),
+        stats.compiles,
+        stats.hit_rate()
+    )
 }
 
 /// Telemetry cost: the same mixed workload through the most instrumented

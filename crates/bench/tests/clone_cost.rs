@@ -1,0 +1,52 @@
+//! Measurement probe (run manually with `--ignored --nocapture`): where an
+//! `XmlViewSystem` clone and drop spend their time at bench scale. Guides
+//! the copy-on-write layout of the commit path's per-round snapshot clone.
+
+use rxview_core::XmlViewSystem;
+use rxview_workload::{synthetic_atg, synthetic_database, SyntheticConfig};
+use std::time::Instant;
+
+#[test]
+#[ignore = "manual measurement probe, ~30s at bench scale"]
+fn clone_and_drop_breakdown() {
+    let groups = std::env::var("CLONE_COST_GROUPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2048usize);
+    let cfg = SyntheticConfig::with_size(groups * 40);
+    let db = synthetic_database(&cfg);
+    let atg = synthetic_atg(&db).expect("synthetic ATG");
+    let t = Instant::now();
+    let sys = XmlViewSystem::new(atg, db).expect("publishes");
+    println!("build: {:?}", t.elapsed());
+
+    for round in 0..3 {
+        let t = Instant::now();
+        let c = sys.clone();
+        let t_clone = t.elapsed();
+        let t = Instant::now();
+        drop(c);
+        println!("round {round}: clone {t_clone:?}, drop {:?}", t.elapsed());
+    }
+
+    let t = Instant::now();
+    let r = sys.reach().clone();
+    let t_clone = t.elapsed();
+    let t = Instant::now();
+    drop(r);
+    println!("reach: clone {t_clone:?}, drop {:?}", t.elapsed());
+
+    let t = Instant::now();
+    let tp = sys.topo().clone();
+    let t_clone = t.elapsed();
+    let t = Instant::now();
+    drop(tp);
+    println!("topo: clone {t_clone:?}, drop {:?}", t.elapsed());
+
+    let t = Instant::now();
+    let v = sys.view().clone();
+    let t_clone = t.elapsed();
+    let t = Instant::now();
+    drop(v);
+    println!("view store: clone {t_clone:?}, drop {:?}", t.elapsed());
+}

@@ -20,6 +20,10 @@
 //! - [`pathclass`]: target-path classification into bounded cones —
 //!   key-anchored, type-indexed multi-anchor (`//`-headed), or global —
 //!   plus the scoped-evaluation projection of `L` over a cone union;
+//! - [`plan`]: compiled update plans — each `(path shape, grammar)` pair is
+//!   compiled once into a classified, executable program and cached in the
+//!   `Arc`-shared engine-wide [`plan::PlanCache`], with an
+//!   allocation-reusing execution arena;
 //! - [`codec`]: the hand-rolled binary encodings of updates and full system
 //!   state that the serving engine's write-ahead log and checkpoints are
 //!   built on;
@@ -33,6 +37,7 @@ pub mod dag_eval;
 pub mod footprint;
 pub mod maintain;
 pub mod pathclass;
+pub mod plan;
 pub mod processor;
 pub mod reach;
 pub mod rel_delete;
@@ -52,6 +57,7 @@ pub use footprint::{
 };
 pub use maintain::{maintain_delete, maintain_insert, MaintainReport};
 pub use pathclass::{classify, filter_keys, resolve_descendant_anchors, union_scope, PathClass};
+pub use plan::{eval_plan, shape_of, PlanCache, PlanCacheStats, UpdatePlan};
 pub use processor::{
     translate_insert_for_merge, DeferredMaintenance, PhaseTimings, TranslatedUpdate, UpdateError,
     UpdateOutcome, UpdateReport, XmlViewSystem,

@@ -1,0 +1,985 @@
+//! Compiled update plans and the engine-wide plan cache (ROADMAP item 2).
+//!
+//! Every update path the engine serves goes through the same three steps —
+//! normalize, classify ([`crate::pathclass::classify`]), and compile the
+//! filter predicates of the two-pass §3.2 evaluation
+//! ([`crate::dag_eval`]) — and all three depend only on the *shape* of the
+//! path and the grammar, never on the view contents or the literal values
+//! inside `p = "s"` filters. This module compiles each `(shape, grammar)`
+//! pair **once** into an [`UpdatePlan`] and caches it in a sharded,
+//! `Arc`-shared [`PlanCache`] (the same sharing idiom as
+//! [`crate::rel_insert::EdgeClosureCache`]): the plan carries the slotted
+//! [`PathClass`] (filter-key values abstracted into binding slots) and the
+//! compiled predicate program; per call the engine only re-derives the
+//! *bindings* — the literal values — and executes the program through a
+//! thread-local scratch arena that reuses every working allocation of the
+//! forward/backward passes.
+//!
+//! **Cache key.** The key is the path's shape: its serialized AST with every
+//! `p = "s"` literal replaced by `?`. Two paths with the same shape share
+//! one compiled plan; the literals are re-bound per evaluation. Workloads
+//! that touch millions of distinct keys (`node[id=…]/sub`) therefore hit a
+//! handful of cache entries.
+//!
+//! **Invalidation contract.** A plan depends only on the [`Dtd`] (type-name
+//! resolution) — not on the DAG, the gen tables, or the topological order —
+//! so entries never invalidate while the grammar is fixed. A [`ViewStore`]
+//! owns (an `Arc` of) its cache and the grammar is immutable per store, so
+//! coherence holds by construction: *every plan in a cache was compiled
+//! under the grammar of the store(s) sharing that cache*. Stores for a
+//! different grammar start from a fresh cache
+//! ([`ViewStore::publish`]/[`ViewStore::from_parts`] both allocate one).
+//!
+//! The evaluation entry point [`eval_plan`] is semantically identical to
+//! [`crate::dag_eval::eval_xpath_on_dag`] (the plans-off reference
+//! implementation, kept verbatim); the engine exposes a `use_plans` knob and
+//! its equivalence suite asserts the two agree on random workloads.
+
+use crate::dag_eval::DagEval;
+use crate::pathclass::{classify, PathClass};
+use crate::reach::Reachability;
+use crate::topo::TopoOrder;
+use crate::viewstore::ViewStore;
+use rxview_atg::NodeId;
+use rxview_xmlkit::xpath::ast::{Filter, NodeTest, Step, StepKind, XPath};
+use rxview_xmlkit::xpath::normalize::{normalize, NormStep};
+use rxview_xmlkit::{Dtd, TypeId};
+use std::cell::RefCell;
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+// ---------------------------------------------------------------------------
+// Shape extraction: cache key + bindings, and the slotted AST for compiles.
+// ---------------------------------------------------------------------------
+
+/// Slot sentinels survive a round-trip through [`classify`]'s key
+/// extraction; NUL can't appear in parsed path literals, so sentinels never
+/// collide with real values.
+fn slot_sentinel(slot: usize) -> String {
+    format!("\u{0}slot{slot}\u{0}")
+}
+
+fn parse_sentinel(s: &str) -> Option<usize> {
+    s.strip_prefix('\u{0}')?
+        .strip_suffix('\u{0}')?
+        .strip_prefix("slot")?
+        .parse()
+        .ok()
+}
+
+/// Serializes the path's shape into `key` (literals as `?`) and collects
+/// the literal values, in pre-order traversal order, into `vals`. The
+/// traversal order here and in [`slotted_path`] must match: slot `i` binds
+/// the `i`-th literal either walk encounters.
+fn shape_path(p: &XPath, key: &mut String, vals: &mut Vec<String>) {
+    for step in &p.steps {
+        match &step.kind {
+            StepKind::SelfAxis => key.push('.'),
+            StepKind::Child(NodeTest::Label(l)) => {
+                key.push('/');
+                key.push_str(l);
+            }
+            StepKind::Child(NodeTest::Wildcard) => key.push_str("/*"),
+            StepKind::DescendantOrSelf => key.push_str("//"),
+        }
+        for f in &step.filters {
+            key.push('[');
+            shape_filter(f, key, vals);
+            key.push(']');
+        }
+    }
+}
+
+fn shape_filter(f: &Filter, key: &mut String, vals: &mut Vec<String>) {
+    match f {
+        Filter::Path(p) => {
+            key.push('(');
+            shape_path(p, key, vals);
+            key.push(')');
+        }
+        Filter::PathEq(p, v) => {
+            shape_path(p, key, vals);
+            key.push_str("=?");
+            vals.push(v.clone());
+        }
+        Filter::LabelIs(l) => {
+            key.push_str("label()=");
+            key.push_str(l);
+        }
+        Filter::And(a, b) => {
+            shape_filter(a, key, vals);
+            key.push_str(" and ");
+            shape_filter(b, key, vals);
+        }
+        Filter::Or(a, b) => {
+            key.push('{');
+            shape_filter(a, key, vals);
+            key.push_str(" or ");
+            shape_filter(b, key, vals);
+            key.push('}');
+        }
+        Filter::Not(a) => {
+            key.push_str("not<");
+            shape_filter(a, key, vals);
+            key.push('>');
+        }
+    }
+}
+
+/// The shape key and literal bindings of a path — the hot-path half of a
+/// cache probe (no AST allocation).
+pub fn shape_of(p: &XPath) -> (String, Vec<String>) {
+    let mut key = String::with_capacity(32);
+    let mut vals = Vec::new();
+    shape_path(p, &mut key, &mut vals);
+    (key, vals)
+}
+
+/// Rebuilds the path with every `p = "s"` literal replaced by its slot
+/// sentinel — compile-time only (cache miss).
+fn slotted_path(p: &XPath, slot: &mut usize) -> XPath {
+    XPath {
+        steps: p
+            .steps
+            .iter()
+            .map(|s| Step {
+                kind: s.kind.clone(),
+                filters: s.filters.iter().map(|f| slotted_filter(f, slot)).collect(),
+            })
+            .collect(),
+    }
+}
+
+fn slotted_filter(f: &Filter, slot: &mut usize) -> Filter {
+    match f {
+        Filter::Path(p) => Filter::Path(slotted_path(p, slot)),
+        Filter::PathEq(p, _) => {
+            let sp = slotted_path(p, slot);
+            let s = slot_sentinel(*slot);
+            *slot += 1;
+            Filter::PathEq(sp, s)
+        }
+        Filter::LabelIs(l) => Filter::LabelIs(l.clone()),
+        Filter::And(a, b) => Filter::and(slotted_filter(a, slot), slotted_filter(b, slot)),
+        Filter::Or(a, b) => Filter::or(slotted_filter(a, slot), slotted_filter(b, slot)),
+        Filter::Not(a) => Filter::not(slotted_filter(a, slot)),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The compiled evaluation program.
+// ---------------------------------------------------------------------------
+
+/// Compiled predicate slots — [`crate::dag_eval`]'s bottom-up recurrences
+/// with text literals split into pinned strings and binding slots.
+pub(crate) enum PPred {
+    /// `label() = name`, resolved against the grammar (unknown: const-false).
+    TypeIs(Option<TypeId>),
+    /// `text(v) == s` for a literal that was not slotted (defensive; every
+    /// parsed literal is slotted today).
+    TextLit(String),
+    /// `text(v) == bindings[slot]`.
+    TextSlot(usize),
+    /// Constant true (terminal of existential path filters).
+    True,
+    /// `∃ child c: label(c) = ty ∧ P_next(c)`.
+    SuffixLabel {
+        ty: Option<TypeId>,
+        next: usize,
+    },
+    /// `∃ child c: P_next(c)`.
+    SuffixWildcard {
+        next: usize,
+    },
+    /// `P_filter(v) ∧ P_next(v)`.
+    SuffixFilter {
+        filter: usize,
+        next: usize,
+    },
+    /// `P_next(v) ∨ ∃ child c: P_self(c)`.
+    SuffixDesc {
+        next: usize,
+    },
+    /// Boolean combinations.
+    And(usize, usize),
+    Or(usize, usize),
+    Not(usize),
+}
+
+/// One compiled top-level step (normalized form, names resolved).
+pub(crate) enum PStep {
+    /// `ε[q]` with the predicate index of `q`.
+    Filter(usize),
+    /// Child step on a resolved label.
+    Label(Option<TypeId>),
+    /// Child step on `*`.
+    Wildcard,
+    /// `//`.
+    Desc,
+}
+
+/// The executable program: resolved steps plus the predicate table the
+/// bottom-up pass fills.
+pub struct EvalProgram {
+    pub(crate) steps: Vec<PStep>,
+    pub(crate) preds: Vec<PPred>,
+}
+
+struct ProgramCompiler<'a> {
+    dtd: &'a Dtd,
+    preds: Vec<PPred>,
+}
+
+impl<'a> ProgramCompiler<'a> {
+    fn push(&mut self, p: PPred) -> usize {
+        self.preds.push(p);
+        self.preds.len() - 1
+    }
+
+    fn compile_path(&mut self, path: &XPath, terminal: usize) -> usize {
+        let norm = normalize(path);
+        let mut next = terminal;
+        for step in norm.steps.iter().rev() {
+            next = match step {
+                NormStep::Label(name) => {
+                    let ty = self.dtd.type_id(name);
+                    self.push(PPred::SuffixLabel { ty, next })
+                }
+                NormStep::Wildcard => self.push(PPred::SuffixWildcard { next }),
+                NormStep::DescendantOrSelf => self.push(PPred::SuffixDesc { next }),
+                NormStep::FilterStep(f) => {
+                    let filter = self.compile_filter(f);
+                    self.push(PPred::SuffixFilter { filter, next })
+                }
+            };
+        }
+        next
+    }
+
+    fn compile_filter(&mut self, f: &Filter) -> usize {
+        match f {
+            Filter::LabelIs(name) => {
+                let ty = self.dtd.type_id(name);
+                self.push(PPred::TypeIs(ty))
+            }
+            Filter::Path(p) => {
+                let t = self.push(PPred::True);
+                self.compile_path(p, t)
+            }
+            Filter::PathEq(p, s) => {
+                let t = match parse_sentinel(s) {
+                    Some(slot) => self.push(PPred::TextSlot(slot)),
+                    None => self.push(PPred::TextLit(s.clone())),
+                };
+                self.compile_path(p, t)
+            }
+            Filter::And(a, b) => {
+                let (ia, ib) = (self.compile_filter(a), self.compile_filter(b));
+                self.push(PPred::And(ia, ib))
+            }
+            Filter::Or(a, b) => {
+                let (ia, ib) = (self.compile_filter(a), self.compile_filter(b));
+                self.push(PPred::Or(ia, ib))
+            }
+            Filter::Not(a) => {
+                let ia = self.compile_filter(a);
+                self.push(PPred::Not(ia))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The plan itself.
+// ---------------------------------------------------------------------------
+
+/// A `(shape, grammar)` pair compiled once: the slotted classification and
+/// the executable predicate program. Shared via `Arc` from the cache;
+/// immutable after compilation.
+pub struct UpdatePlan {
+    /// The shape key this plan was compiled under.
+    pub shape: String,
+    /// Number of literal binding slots.
+    pub n_slots: usize,
+    /// Classification with slot sentinels in place of filter-key values.
+    class: PathClass,
+    /// The compiled two-pass evaluation program.
+    pub(crate) program: EvalProgram,
+}
+
+impl std::fmt::Debug for UpdatePlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UpdatePlan")
+            .field("shape", &self.shape)
+            .field("n_slots", &self.n_slots)
+            .finish()
+    }
+}
+
+fn bind_keys(keys: &[(String, String)], bindings: &[String]) -> Vec<(String, String)> {
+    keys.iter()
+        .map(|(f, v)| {
+            let bound = match parse_sentinel(v) {
+                Some(slot) => bindings.get(slot).cloned().unwrap_or_else(|| v.clone()),
+                None => v.clone(),
+            };
+            (f.clone(), bound)
+        })
+        .collect()
+}
+
+impl UpdatePlan {
+    fn compile(dtd: &Dtd, path: &XPath, shape: String) -> UpdatePlan {
+        let mut n_slots = 0usize;
+        let slotted = slotted_path(path, &mut n_slots);
+        let class = classify(dtd, &slotted);
+        let norm = normalize(&slotted);
+        let mut compiler = ProgramCompiler {
+            dtd,
+            preds: Vec::new(),
+        };
+        let mut steps = Vec::with_capacity(norm.steps.len());
+        for step in &norm.steps {
+            steps.push(match step {
+                NormStep::FilterStep(f) => PStep::Filter(compiler.compile_filter(f)),
+                NormStep::Label(name) => PStep::Label(dtd.type_id(name)),
+                NormStep::Wildcard => PStep::Wildcard,
+                NormStep::DescendantOrSelf => PStep::Desc,
+            });
+        }
+        UpdatePlan {
+            shape,
+            n_slots,
+            class,
+            program: EvalProgram {
+                steps,
+                preds: compiler.preds,
+            },
+        }
+    }
+
+    /// The concrete [`PathClass`] for one call's literal bindings — equal to
+    /// `classify(dtd, path)` on the original path (pinned by tests).
+    pub fn class(&self, bindings: &[String]) -> PathClass {
+        match &self.class {
+            PathClass::Anchored { first_ty, keys } => PathClass::Anchored {
+                first_ty: *first_ty,
+                keys: bind_keys(keys, bindings),
+            },
+            PathClass::Descendant { target_ty, keys } => PathClass::Descendant {
+                target_ty: *target_ty,
+                keys: bind_keys(keys, bindings),
+            },
+            PathClass::WildcardRoot { keys } => PathClass::WildcardRoot {
+                keys: bind_keys(keys, bindings),
+            },
+            PathClass::Global => PathClass::Global,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The sharded, Arc-shared cache.
+// ---------------------------------------------------------------------------
+
+/// Snapshot of the cache's counters (cumulative since construction).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Probes that found a compiled plan.
+    pub hits: u64,
+    /// Probes that had to compile.
+    pub misses: u64,
+    /// Entries dropped by capacity eviction.
+    pub evictions: u64,
+    /// Plans compiled (== misses; kept separate for clarity in reports).
+    pub compiles: u64,
+    /// Total nanoseconds spent compiling.
+    pub compile_ns: u64,
+}
+
+impl PlanCacheStats {
+    /// Hit rate over all probes (`NaN`-free: 0 when no probes).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter-wise difference (for per-engine deltas on a shared cache).
+    pub fn delta_since(&self, base: &PlanCacheStats) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.saturating_sub(base.hits),
+            misses: self.misses.saturating_sub(base.misses),
+            evictions: self.evictions.saturating_sub(base.evictions),
+            compiles: self.compiles.saturating_sub(base.compiles),
+            compile_ns: self.compile_ns.saturating_sub(base.compile_ns),
+        }
+    }
+}
+
+const CACHE_SHARDS: usize = 16;
+const CACHE_CAP_PER_SHARD: usize = 512;
+
+/// The engine-wide plan cache: shape key → compiled [`UpdatePlan`], sharded
+/// by key hash. One `Arc` lives in every [`ViewStore`] clone of a published
+/// store (planner, shard replicas, recovery replay, workload generators all
+/// share it). Compilation happens under the shard lock so a shape is
+/// compiled exactly once even under concurrent probes.
+pub struct PlanCache {
+    shards: Vec<Mutex<HashMap<String, Arc<UpdatePlan>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    compiles: AtomicU64,
+    compile_ns: AtomicU64,
+    /// Optional compile-time observer (the engine points this at an obs
+    /// histogram). First setter wins; later engines sharing the cache keep
+    /// the counters but not per-compile samples.
+    observer: OnceLock<Box<dyn Fn(Duration) + Send + Sync>>,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache {
+            shards: (0..CACHE_SHARDS).map(|_| Mutex::default()).collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            compiles: AtomicU64::new(0),
+            compile_ns: AtomicU64::new(0),
+            observer: OnceLock::new(),
+        }
+    }
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = self.stats();
+        f.debug_struct("PlanCache")
+            .field("hits", &s.hits)
+            .field("misses", &s.misses)
+            .field("evictions", &s.evictions)
+            .finish()
+    }
+}
+
+impl PlanCache {
+    /// The compiled plan for `path` under `dtd`, plus this call's literal
+    /// bindings. Compiles on first sight of the shape.
+    pub fn plan(&self, dtd: &Dtd, path: &XPath) -> (Arc<UpdatePlan>, Vec<String>) {
+        let (key, bindings) = shape_of(path);
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        let shard = &self.shards[(h.finish() as usize) % CACHE_SHARDS];
+        let mut map = shard.lock().expect("plan cache shard");
+        if let Some(p) = map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return (Arc::clone(p), bindings);
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let t0 = Instant::now();
+        let plan = Arc::new(UpdatePlan::compile(dtd, path, key.clone()));
+        let dt = t0.elapsed();
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+        self.compile_ns
+            .fetch_add(dt.as_nanos() as u64, Ordering::Relaxed);
+        if let Some(obs) = self.observer.get() {
+            obs(dt);
+        }
+        if map.len() >= CACHE_CAP_PER_SHARD {
+            // Shapes are grammar-bounded in practice; overflow means an
+            // adversarial key stream, and recompilation is cheap — drop the
+            // shard wholesale rather than track recency.
+            self.evictions
+                .fetch_add(map.len() as u64, Ordering::Relaxed);
+            map.clear();
+        }
+        map.insert(key, Arc::clone(&plan));
+        (plan, bindings)
+    }
+
+    /// Cumulative counters.
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            compiles: self.compiles.load(Ordering::Relaxed),
+            compile_ns: self.compile_ns.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Installs the compile-time observer (first caller wins).
+    pub fn set_observer(&self, obs: Box<dyn Fn(Duration) + Send + Sync>) {
+        let _ = self.observer.set(obs);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Allocation-reusing plan execution.
+// ---------------------------------------------------------------------------
+
+/// Per-thread scratch arena for [`eval_plan`]: the predicate value matrix,
+/// the text-value memo, and pools for the forward/backward working sets.
+/// Steady state, an evaluation performs no set/matrix allocations — only
+/// the materialized [`DagEval`] output allocates.
+#[derive(Default)]
+struct EvalScratch {
+    val: Vec<bool>,
+    text_cache: HashMap<NodeId, String>,
+    node_sets: Vec<HashSet<NodeId>>,
+    edge_vecs: Vec<Vec<(NodeId, NodeId)>>,
+    edge_sets: Vec<HashSet<(NodeId, NodeId)>>,
+}
+
+impl EvalScratch {
+    fn take_set(&mut self) -> HashSet<NodeId> {
+        self.node_sets.pop().unwrap_or_default()
+    }
+    fn put_set(&mut self, mut s: HashSet<NodeId>) {
+        s.clear();
+        self.node_sets.push(s);
+    }
+    fn take_edges(&mut self) -> Vec<(NodeId, NodeId)> {
+        self.edge_vecs.pop().unwrap_or_default()
+    }
+    fn put_edges(&mut self, mut v: Vec<(NodeId, NodeId)>) {
+        v.clear();
+        self.edge_vecs.push(v);
+    }
+    fn take_edge_set(&mut self) -> HashSet<(NodeId, NodeId)> {
+        self.edge_sets.pop().unwrap_or_default()
+    }
+    fn put_edge_set(&mut self, mut s: HashSet<(NodeId, NodeId)>) {
+        s.clear();
+        self.edge_sets.push(s);
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<EvalScratch> = RefCell::new(EvalScratch::default());
+}
+
+/// Forward-pass record for backward pruning — filter steps keep only their
+/// predicate index (the value matrix outlives the pass), so no set is
+/// cloned per step.
+enum PRec {
+    Filter {
+        pred: usize,
+    },
+    Child {
+        edges: Vec<(NodeId, NodeId)>,
+    },
+    Desc {
+        sources: HashSet<NodeId>,
+        closure: HashSet<NodeId>,
+    },
+}
+
+/// Executes a compiled plan. Semantically identical to
+/// [`crate::dag_eval::eval_xpath_on_dag`] on the plan's original path with
+/// `bindings` substituted back into its `p = "s"` literals.
+pub fn eval_plan(
+    vs: &ViewStore,
+    topo: &TopoOrder,
+    reach: &Reachability,
+    plan: &UpdatePlan,
+    bindings: &[String],
+) -> DagEval {
+    SCRATCH.with(|s| eval_plan_with(&mut s.borrow_mut(), vs, topo, reach, plan, bindings))
+}
+
+fn reclaim_records(scratch: &mut EvalScratch, records: Vec<PRec>) {
+    for r in records {
+        match r {
+            PRec::Filter { .. } => {}
+            PRec::Child { edges } => scratch.put_edges(edges),
+            PRec::Desc { sources, closure } => {
+                scratch.put_set(sources);
+                scratch.put_set(closure);
+            }
+        }
+    }
+}
+
+fn eval_plan_with(
+    scratch: &mut EvalScratch,
+    vs: &ViewStore,
+    topo: &TopoOrder,
+    reach: &Reachability,
+    plan: &UpdatePlan,
+    bindings: &[String],
+) -> DagEval {
+    static NO_TEXT: String = String::new();
+    let program = &plan.program;
+    let preds = &program.preds;
+    let n = topo.len();
+    let np = preds.len();
+
+    // ---- Bottom-up pass over the scope order. ----
+    // The matrix and text memo move out of the arena for the duration of
+    // the call so the set pools stay borrowable; both return before exit.
+    let dtd = vs.atg().dtd();
+    let mut val = std::mem::take(&mut scratch.val);
+    val.clear();
+    val.resize(np * n, false);
+    let mut text_cache = std::mem::take(&mut scratch.text_cache);
+    text_cache.clear();
+    for (vi, &v) in topo.order().iter().enumerate() {
+        let vty = vs.dag().genid().type_of(v);
+        let is_text = dtd.is_pcdata(vty);
+        for (pi, pred) in preds.iter().enumerate() {
+            let value = match pred {
+                PPred::True => true,
+                PPred::TypeIs(ty) => Some(vty) == *ty,
+                PPred::TextLit(s) => is_text && vs.text_value(v, &mut text_cache) == *s,
+                PPred::TextSlot(slot) => {
+                    let s = bindings.get(*slot).unwrap_or(&NO_TEXT);
+                    is_text && vs.text_value(v, &mut text_cache) == *s
+                }
+                PPred::And(a, b) => val[*a * n + vi] && val[*b * n + vi],
+                PPred::Or(a, b) => val[*a * n + vi] || val[*b * n + vi],
+                PPred::Not(a) => !val[*a * n + vi],
+                PPred::SuffixFilter { filter, next } => {
+                    val[*filter * n + vi] && val[*next * n + vi]
+                }
+                PPred::SuffixLabel { ty, next } => match ty {
+                    None => false,
+                    Some(ty) => vs.dag().children(v).iter().any(|&c| {
+                        vs.dag().genid().type_of(c) == *ty
+                            && topo.position(c).is_some_and(|ci| val[*next * n + ci])
+                    }),
+                },
+                PPred::SuffixWildcard { next } => vs
+                    .dag()
+                    .children(v)
+                    .iter()
+                    .any(|&c| topo.position(c).is_some_and(|ci| val[*next * n + ci])),
+                PPred::SuffixDesc { next } => {
+                    val[*next * n + vi]
+                        || vs
+                            .dag()
+                            .children(v)
+                            .iter()
+                            .any(|&c| topo.position(c).is_some_and(|ci| val[pi * n + ci]))
+                }
+            };
+            val[pi * n + vi] = value;
+        }
+    }
+    scratch.text_cache = text_cache;
+    let holds = |pi: usize, v: NodeId| topo.position(v).is_some_and(|i| val[pi * n + i]);
+
+    // ---- Top-down forward pass. ----
+    let root = vs.dag().root();
+    let mut cur = scratch.take_set();
+    cur.insert(root);
+    let mut records: Vec<PRec> = Vec::with_capacity(program.steps.len());
+    for step in &program.steps {
+        match step {
+            PStep::Filter(pred) => {
+                cur.retain(|&v| holds(*pred, v));
+                records.push(PRec::Filter { pred: *pred });
+            }
+            PStep::Label(ty) => {
+                let ty = *ty;
+                let mut edges = scratch.take_edges();
+                let mut after = scratch.take_set();
+                for &u in &cur {
+                    for &c in vs.dag().children(u) {
+                        if ty.is_some_and(|t| vs.dag().genid().type_of(c) == t) {
+                            edges.push((u, c));
+                            after.insert(c);
+                        }
+                    }
+                }
+                records.push(PRec::Child { edges });
+                scratch.put_set(std::mem::replace(&mut cur, after));
+            }
+            PStep::Wildcard => {
+                let mut edges = scratch.take_edges();
+                let mut after = scratch.take_set();
+                for &u in &cur {
+                    for &c in vs.dag().children(u) {
+                        edges.push((u, c));
+                        after.insert(c);
+                    }
+                }
+                records.push(PRec::Child { edges });
+                scratch.put_set(std::mem::replace(&mut cur, after));
+            }
+            PStep::Desc => {
+                let mut closure = scratch.take_set();
+                closure.extend(cur.iter().copied());
+                for &u in &cur {
+                    // Restricted to the evaluation scope (the caller's
+                    // exactness contract — see `eval_xpath_on_dag`).
+                    closure.extend(
+                        reach
+                            .descendants(u)
+                            .iter()
+                            .copied()
+                            .filter(|d| topo.position(*d).is_some()),
+                    );
+                }
+                let mut cur_next = scratch.take_set();
+                cur_next.extend(closure.iter().copied());
+                let sources = std::mem::replace(&mut cur, cur_next);
+                records.push(PRec::Desc { sources, closure });
+            }
+        }
+        if cur.is_empty() {
+            break;
+        }
+    }
+
+    if cur.is_empty() {
+        reclaim_records(scratch, records);
+        scratch.put_set(cur);
+        scratch.val = val;
+        return DagEval::default();
+    }
+    let mut selected: Vec<NodeId> = cur.iter().copied().collect();
+    selected.sort_unstable();
+
+    // ---- Backward pruning: keep only complete matches. ----
+    let mut useful = scratch.take_set();
+    useful.extend(cur.iter().copied());
+    let mut matched = scratch.take_set();
+    matched.extend(cur.iter().copied());
+    let mut matched_edge_set = scratch.take_edge_set();
+    let mut final_edges = scratch.take_edge_set();
+    fn only_filters_after(records: &[PRec], ri: usize) -> bool {
+        records[ri + 1..]
+            .iter()
+            .all(|r| matches!(r, PRec::Filter { .. }))
+    }
+    for ri in (0..records.len()).rev() {
+        match &records[ri] {
+            PRec::Filter { pred } => {
+                useful.retain(|&v| holds(*pred, v));
+            }
+            PRec::Child { edges } => {
+                let mut prev = scratch.take_set();
+                for &(u, c) in edges {
+                    if useful.contains(&c) {
+                        matched_edge_set.insert((u, c));
+                        if only_filters_after(&records, ri) {
+                            final_edges.insert((u, c));
+                        }
+                        prev.insert(u);
+                    }
+                }
+                scratch.put_set(std::mem::replace(&mut useful, prev));
+            }
+            PRec::Desc { sources, closure } => {
+                let mut target_anc = scratch.take_set();
+                target_anc.extend(useful.iter().copied());
+                for &t in &useful {
+                    target_anc.extend(reach.ancestors(t).iter().copied());
+                }
+                let mut prev = scratch.take_set();
+                prev.extend(sources.iter().copied().filter(|s| target_anc.contains(s)));
+                let universal = prev.contains(&root);
+                let mut source_desc = scratch.take_set();
+                if !universal {
+                    source_desc.extend(prev.iter().copied());
+                    for &s in &prev {
+                        source_desc.extend(reach.descendants(s).iter().copied());
+                    }
+                }
+                let mut mid = scratch.take_set();
+                mid.extend(
+                    closure.iter().copied().filter(|x| {
+                        target_anc.contains(x) && (universal || source_desc.contains(x))
+                    }),
+                );
+                for &u in &mid {
+                    for &c in vs.dag().children(u) {
+                        if mid.contains(&c) {
+                            matched_edge_set.insert((u, c));
+                            if useful.contains(&c) && only_filters_after(&records, ri) {
+                                final_edges.insert((u, c));
+                            }
+                        }
+                    }
+                }
+                matched.extend(mid.iter().copied());
+                scratch.put_set(std::mem::replace(&mut useful, prev));
+                scratch.put_set(target_anc);
+                scratch.put_set(source_desc);
+                scratch.put_set(mid);
+            }
+        }
+        matched.extend(useful.iter().copied());
+    }
+
+    let mut edge_parents: Vec<(NodeId, NodeId)> = final_edges
+        .iter()
+        .copied()
+        .filter(|(_, v)| cur.contains(v))
+        .collect();
+    edge_parents.sort_unstable();
+
+    let out = DagEval {
+        selected,
+        edge_parents,
+        matched_nodes: matched.iter().copied().collect(),
+        matched_edges: matched_edge_set.iter().copied().collect(),
+    };
+    reclaim_records(scratch, records);
+    scratch.put_set(cur);
+    scratch.put_set(useful);
+    scratch.put_set(matched);
+    scratch.put_edge_set(matched_edge_set);
+    scratch.put_edge_set(final_edges);
+    scratch.val = val;
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dag_eval::eval_xpath_on_dag;
+    use rxview_atg::{registrar_atg, registrar_database};
+    use rxview_relstore::Database;
+    use rxview_xmlkit::parse_xpath;
+
+    fn fixture() -> (Database, ViewStore, TopoOrder, Reachability) {
+        let db = registrar_database();
+        let atg = registrar_atg(&db).unwrap();
+        let vs = ViewStore::publish(atg, &db).unwrap();
+        let topo = TopoOrder::compute(vs.dag());
+        let reach = Reachability::compute(vs.dag(), &topo);
+        (db, vs, topo, reach)
+    }
+
+    const PATHS: &[&str] = &[
+        "course",
+        "course[cno=CS320]",
+        "//course",
+        "//student",
+        "//course[cno=CS320]//student[ssn=S02]",
+        "course[cno=CS650]//course[cno=CS320]/prereq",
+        "course/*",
+        "course[prereq/course]",
+        "course[not(prereq/course)]",
+        "//course[cno=CS320 or cno=CS240]",
+        "//takenBy/student[name=Bob]",
+        "course[.//cno=CS240]",
+        "*[label()=course]/prereq",
+        "//prereq/course[takenBy/student]",
+        "course[cno=CS650]/prereq/course[cno=CS320]",
+        "nonexistent",
+        "student/course",
+    ];
+
+    #[test]
+    fn plan_eval_matches_reference_on_many_paths() {
+        let (_db, vs, topo, reach) = fixture();
+        let cache = PlanCache::default();
+        let dtd = vs.atg().dtd();
+        for path in PATHS {
+            let p = parse_xpath(path).unwrap();
+            let reference = eval_xpath_on_dag(&vs, &topo, &reach, &p);
+            // Twice: a cold and a warm (scratch-reusing) execution.
+            for _ in 0..2 {
+                let (plan, bindings) = cache.plan(dtd, &p);
+                let got = eval_plan(&vs, &topo, &reach, &plan, &bindings);
+                assert_eq!(got.selected, reference.selected, "selected on `{path}`");
+                assert_eq!(
+                    got.edge_parents, reference.edge_parents,
+                    "edge_parents on `{path}`"
+                );
+                assert_eq!(
+                    got.matched_nodes, reference.matched_nodes,
+                    "matched_nodes on `{path}`"
+                );
+                assert_eq!(
+                    got.matched_edges, reference.matched_edges,
+                    "matched_edges on `{path}`"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn plan_class_matches_direct_classification() {
+        let (_db, vs, _topo, _reach) = fixture();
+        let cache = PlanCache::default();
+        let dtd = vs.atg().dtd();
+        for path in PATHS {
+            let p = parse_xpath(path).unwrap();
+            let (plan, bindings) = cache.plan(dtd, &p);
+            assert_eq!(
+                plan.class(&bindings),
+                classify(dtd, &p),
+                "class on `{path}`"
+            );
+        }
+    }
+
+    #[test]
+    fn shapes_share_plans_across_literals() {
+        let (_db, vs, _topo, _reach) = fixture();
+        let cache = PlanCache::default();
+        let dtd = vs.atg().dtd();
+        let a = parse_xpath("course[cno=CS320]").unwrap();
+        let b = parse_xpath("course[cno=CS650]").unwrap();
+        let (pa, ba) = cache.plan(dtd, &a);
+        let (pb, bb) = cache.plan(dtd, &b);
+        assert!(Arc::ptr_eq(&pa, &pb), "same shape shares one plan");
+        assert_eq!(ba, vec!["CS320".to_string()]);
+        assert_eq!(bb, vec!["CS650".to_string()]);
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.compiles), (1, 1, 1));
+        assert!(s.hit_rate() > 0.49 && s.hit_rate() < 0.51);
+    }
+
+    #[test]
+    fn distinct_shapes_do_not_collide() {
+        let pairs = [
+            ("course[cno=CS320]", "course[cno=CS320]/prereq"),
+            ("//course", "course"),
+            ("course[prereq/course]", "course[prereq/course=x]"),
+            ("course[not(cno=a)]", "course[cno=a]"),
+            ("*", "course"),
+        ];
+        for (x, y) in pairs {
+            let px = parse_xpath(x).unwrap();
+            let py = parse_xpath(y).unwrap();
+            assert_ne!(shape_of(&px).0, shape_of(&py).0, "`{x}` vs `{y}`");
+        }
+    }
+
+    #[test]
+    fn stats_delta_and_eviction_counters() {
+        let base = PlanCacheStats {
+            hits: 10,
+            misses: 4,
+            evictions: 0,
+            compiles: 4,
+            compile_ns: 100,
+        };
+        let now = PlanCacheStats {
+            hits: 110,
+            misses: 5,
+            evictions: 2,
+            compiles: 5,
+            compile_ns: 150,
+        };
+        let d = now.delta_since(&base);
+        assert_eq!(d.hits, 100);
+        assert_eq!(d.misses, 1);
+        assert_eq!(d.evictions, 2);
+        assert!(d.hit_rate() > 0.99 * 100.0 / 101.0);
+        assert_eq!(PlanCacheStats::default().hit_rate(), 0.0);
+    }
+}

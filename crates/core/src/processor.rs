@@ -305,6 +305,12 @@ impl XmlViewSystem {
         &self.vs
     }
 
+    /// Toggles compiled-plan evaluation on the underlying store (the
+    /// engine's `use_plans` knob — see [`crate::plan`]).
+    pub fn set_plans_enabled(&mut self, enabled: bool) {
+        self.vs.set_plans_enabled(enabled);
+    }
+
     /// The topological order `L`.
     pub fn topo(&self) -> &TopoOrder {
         &self.topo
@@ -352,8 +358,16 @@ impl XmlViewSystem {
     }
 
     /// Evaluates a path against the maintained auxiliary structures.
+    /// Routes through the shared compiled-plan cache unless the store's
+    /// `use_plans` knob is off (then the reference two-pass evaluation runs
+    /// directly — the engine's equivalence suite asserts both agree).
     pub fn evaluate(&self, path: &rxview_xmlkit::XPath) -> crate::dag_eval::DagEval {
-        eval_xpath_on_dag(&self.vs, &self.topo, &self.reach, path)
+        if self.vs.plans_enabled() {
+            let (plan, bindings) = self.vs.plan_cache().plan(self.vs.atg().dtd(), path);
+            crate::plan::eval_plan(&self.vs, &self.topo, &self.reach, &plan, &bindings)
+        } else {
+            eval_xpath_on_dag(&self.vs, &self.topo, &self.reach, path)
+        }
     }
 
     /// Evaluates a path with evaluation restricted to the nodes of `scope`
@@ -366,7 +380,12 @@ impl XmlViewSystem {
         path: &rxview_xmlkit::XPath,
         scope: &TopoOrder,
     ) -> crate::dag_eval::DagEval {
-        eval_xpath_on_dag(&self.vs, scope, &self.reach, path)
+        if self.vs.plans_enabled() {
+            let (plan, bindings) = self.vs.plan_cache().plan(self.vs.atg().dtd(), path);
+            crate::plan::eval_plan(&self.vs, scope, &self.reach, &plan, &bindings)
+        } else {
+            eval_xpath_on_dag(&self.vs, scope, &self.reach, path)
+        }
     }
 
     /// Phases 2b–5 with a caller-supplied evaluation, deferring phase 6:
@@ -646,7 +665,7 @@ impl XmlViewSystem {
         let XmlUpdate::Delete { path } = update else {
             return Err(UpdateError::EmptyTarget);
         };
-        let eval = eval_xpath_on_dag(&self.vs, &self.topo, &self.reach, path);
+        let eval = self.evaluate(path);
         if eval.is_empty() {
             return Err(UpdateError::EmptyTarget);
         }

@@ -8,12 +8,21 @@
 use crate::topo::TopoOrder;
 use rxview_atg::{Dag, NodeId};
 use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
 
 /// The stored reachability matrix.
+///
+/// The adjacency sets sit behind per-node `Arc`s: cloning `M` (which the
+/// serving engine does for every published snapshot) copies two maps of
+/// pointers and *shares* every set, and a maintenance pass copies only the
+/// sets it actually rewrites (`Arc::make_mut`). A superseded snapshot's
+/// drop therefore frees only the sets its round replaced — O(∆M), not
+/// O(|M|) — which is what keeps the publish path's per-round clone/free off
+/// the measured commit critical path.
 #[derive(Debug, Clone, Default)]
 pub struct Reachability {
-    desc: HashMap<NodeId, BTreeSet<NodeId>>,
-    anc: HashMap<NodeId, BTreeSet<NodeId>>,
+    desc: HashMap<NodeId, Arc<BTreeSet<NodeId>>>,
+    anc: HashMap<NodeId, Arc<BTreeSet<NodeId>>>,
     n_pairs: usize,
 }
 
@@ -41,10 +50,10 @@ impl Reachability {
             }
             m.n_pairs += ad.len();
             for &a in &ad {
-                m.desc.entry(a).or_default().insert(d);
+                Arc::make_mut(m.desc.entry(a).or_default()).insert(d);
             }
             if !ad.is_empty() {
-                m.anc.insert(d, ad);
+                m.anc.insert(d, Arc::new(ad));
             }
         }
         m
@@ -80,19 +89,19 @@ impl Reachability {
 
     /// `desc(a)`: strict descendants of `a`.
     pub fn descendants(&self, a: NodeId) -> &BTreeSet<NodeId> {
-        self.desc.get(&a).unwrap_or(&EMPTY)
+        self.desc.get(&a).map(|s| &**s).unwrap_or(&EMPTY)
     }
 
     /// `anc(d)`: strict ancestors of `d`.
     pub fn ancestors(&self, d: NodeId) -> &BTreeSet<NodeId> {
-        self.anc.get(&d).unwrap_or(&EMPTY)
+        self.anc.get(&d).map(|s| &**s).unwrap_or(&EMPTY)
     }
 
     /// Inserts a pair `(anc, desc)`.
     pub fn insert(&mut self, a: NodeId, d: NodeId) -> bool {
-        let new = self.desc.entry(a).or_default().insert(d);
+        let new = Arc::make_mut(self.desc.entry(a).or_default()).insert(d);
         if new {
-            self.anc.entry(d).or_default().insert(a);
+            Arc::make_mut(self.anc.entry(d).or_default()).insert(a);
             self.n_pairs += 1;
         }
         new
@@ -100,10 +109,16 @@ impl Reachability {
 
     /// Removes a pair.
     pub fn remove(&mut self, a: NodeId, d: NodeId) -> bool {
-        let removed = self.desc.get_mut(&a).is_some_and(|s| s.remove(&d));
+        // Probe before copying: a miss must not clone a shared set.
+        let removed = self
+            .desc
+            .get_mut(&a)
+            .is_some_and(|s| s.contains(&d) && Arc::make_mut(s).remove(&d));
         if removed {
             if let Some(s) = self.anc.get_mut(&d) {
-                s.remove(&a);
+                if s.contains(&a) {
+                    Arc::make_mut(s).remove(&a);
+                }
             }
             self.n_pairs -= 1;
         }
@@ -117,17 +132,19 @@ impl Reachability {
         let mut removed = Vec::new();
         for a in old.difference(&new_anc) {
             if let Some(s) = self.desc.get_mut(a) {
-                s.remove(&d);
+                if s.contains(&d) {
+                    Arc::make_mut(s).remove(&d);
+                }
             }
             self.n_pairs -= 1;
             removed.push((*a, d));
         }
         for a in new_anc.difference(&old) {
-            self.desc.entry(*a).or_default().insert(d);
+            Arc::make_mut(self.desc.entry(*a).or_default()).insert(d);
             self.n_pairs += 1;
         }
         if !new_anc.is_empty() {
-            self.anc.insert(d, new_anc);
+            self.anc.insert(d, Arc::new(new_anc));
         }
         removed
     }
@@ -135,17 +152,19 @@ impl Reachability {
     /// Drops every pair mentioning `d` (node garbage collection).
     pub fn drop_node(&mut self, d: NodeId) {
         let ancs = self.anc.remove(&d).unwrap_or_default();
-        for a in ancs {
+        for &a in ancs.iter() {
             if let Some(s) = self.desc.get_mut(&a) {
-                if s.remove(&d) {
+                if s.contains(&d) {
+                    Arc::make_mut(s).remove(&d);
                     self.n_pairs -= 1;
                 }
             }
         }
         let descs = self.desc.remove(&d).unwrap_or_default();
-        for x in descs {
+        for &x in descs.iter() {
             if let Some(s) = self.anc.get_mut(&x) {
-                if s.remove(&d) {
+                if s.contains(&d) {
+                    Arc::make_mut(s).remove(&d);
                     self.n_pairs -= 1;
                 }
             }

@@ -26,6 +26,13 @@ pub struct ViewStore {
     /// the closure depends only on grammar, schemas, and attribute tuples,
     /// so entries never invalidate.
     edge_cache: std::sync::Arc<crate::rel_insert::EdgeClosureCache>,
+    /// Compiled update plans, shared (`Arc`) the same way: a plan depends
+    /// only on the path shape and the grammar, so entries never invalidate
+    /// while the store's grammar is fixed (see [`crate::plan`]).
+    plan_cache: std::sync::Arc<crate::plan::PlanCache>,
+    /// Whether evaluation routes through compiled plans (the engine's
+    /// `use_plans` equivalence knob; defaults to on).
+    plans_enabled: bool,
 }
 
 impl ViewStore {
@@ -52,6 +59,8 @@ impl ViewStore {
             gen_db,
             edge_queries,
             edge_cache: std::sync::Arc::default(),
+            plan_cache: std::sync::Arc::default(),
+            plans_enabled: true,
         };
         let live: Vec<NodeId> = vs.dag.genid().live_ids().collect();
         for id in live {
@@ -80,6 +89,8 @@ impl ViewStore {
             gen_db,
             edge_queries,
             edge_cache: std::sync::Arc::default(),
+            plan_cache: std::sync::Arc::default(),
+            plans_enabled: true,
         }
     }
 
@@ -107,6 +118,22 @@ impl ViewStore {
     /// [`crate::rel_insert::EdgeClosureCache`]).
     pub fn edge_cache(&self) -> &crate::rel_insert::EdgeClosureCache {
         &self.edge_cache
+    }
+
+    /// The shared compiled-plan cache (see [`crate::plan::PlanCache`]).
+    pub fn plan_cache(&self) -> &std::sync::Arc<crate::plan::PlanCache> {
+        &self.plan_cache
+    }
+
+    /// Whether evaluation routes through compiled plans.
+    pub fn plans_enabled(&self) -> bool {
+        self.plans_enabled
+    }
+
+    /// Toggles compiled-plan evaluation (the engine's `use_plans` knob).
+    /// Clones made afterwards inherit the setting.
+    pub fn set_plans_enabled(&mut self, enabled: bool) {
+        self.plans_enabled = enabled;
     }
 
     /// The augmented table source: base relations shadowing the gen tables.

@@ -347,7 +347,16 @@ impl Analysis {
             eval_time: std::time::Duration::ZERO,
         };
 
-        let class = classify(dtd, update.path());
+        // Classification through the shared plan cache: the slotted class
+        // is compiled once per path shape and re-bound to this update's
+        // literals (equal to `classify` on the concrete path — pinned by
+        // the core plan tests and the engine equivalence suite).
+        let class = if sys.view().plans_enabled() {
+            let (plan, bindings) = sys.view().plan_cache().plan(dtd, update.path());
+            plan.class(&bindings)
+        } else {
+            classify(dtd, update.path())
+        };
         let mut rel = RelFootprint::default();
         let Some(resolved) = resolve_anchors(sys, index, &class, opts, &mut rel) else {
             return global();

@@ -106,6 +106,13 @@ pub struct EngineConfig {
     /// blocks on held gates, letting a test freeze round `k` in merge
     /// while round `k+1` translates.
     pub stage_hooks: Option<crate::pipeline::StageHooks>,
+    /// Whether evaluation and classification route through the shared
+    /// compiled-plan cache (`rxview_core::plan`). **On by default**; the
+    /// off position forces the reference per-call normalize/classify/
+    /// compile pipeline on every evaluation — kept as the equivalence
+    /// oracle (`crates/engine/tests/equivalence.rs` asserts both positions
+    /// produce identical snapshot streams).
+    pub use_plans: bool,
 }
 
 impl EngineConfig {
@@ -139,6 +146,7 @@ impl Default for EngineConfig {
             metrics_path: None,
             pipeline_depth: 2,
             stage_hooks: None,
+            use_plans: true,
         }
     }
 }
@@ -259,7 +267,25 @@ pub(crate) struct Inner {
     /// Periodic metrics exporter (spawned when telemetry is on and a
     /// metrics path is configured); dropping it appends a final snapshot.
     pub(crate) exporter: Option<rxview_obs::Exporter>,
+    /// Off-critical-path snapshot reclamation. A superseded snapshot's last
+    /// `Arc` drop pays an O(view) deallocation (hundreds of ms on a large
+    /// view — it used to dominate the single-writer publish phase), so
+    /// commit paths `retire` handles here instead of dropping them. The
+    /// graveyard drains when a writer is *idle* ([`Inner::reclaim_retired`])
+    /// and on engine teardown (the `Vec` drop); past
+    /// [`RETIRED_SNAPSHOT_CAP`] it falls back to inline drops so a writer
+    /// that never idles cannot accumulate unbounded full-view copies.
+    pub(crate) graveyard: Mutex<Vec<Arc<Snapshot>>>,
 }
+
+/// Most retired snapshots the graveyard holds before [`Inner::retire`]
+/// degrades to inline (commit-path) drops. Deliberately small: with `M`
+/// shared copy-on-write a retired snapshot's drop is O(∆) and cheap, so
+/// the graveyard only needs to absorb short bursts — while a deep queue of
+/// full `ViewStore` copies costs enough resident memory to slow every
+/// phase through cache and page-fault pressure (measured: a 64-deep queue
+/// at bench scale doubled translation time).
+const RETIRED_SNAPSHOT_CAP: usize = 4;
 
 impl Inner {
     /// The latest snapshot without counting as a reader acquisition
@@ -295,14 +321,45 @@ impl Inner {
     }
 
     /// Stamps `sys` with the next epoch and publishes it as the new
-    /// snapshot, returning it.
+    /// snapshot, returning it. The displaced snapshot is retired to the
+    /// graveyard so its deallocation stays off the commit path.
     pub(crate) fn publish(&self, sys: XmlViewSystem) -> Arc<Snapshot> {
         let epoch = self.epoch.fetch_add(1, Ordering::Relaxed) + 1;
         let snap = Arc::new(Snapshot::new(sys, epoch));
-        *self.snapshot.write().expect("snapshot lock poisoned") = Arc::clone(&snap);
+        let old = {
+            let mut guard = self.snapshot.write().expect("snapshot lock poisoned");
+            std::mem::replace(&mut *guard, Arc::clone(&snap))
+        };
+        self.retire(old);
         self.stats.record_snapshot_published();
         self.maybe_checkpoint(&snap);
         snap
+    }
+
+    /// Parks a no-longer-needed snapshot handle in the graveyard (the last
+    /// handle to drop pays the O(view) free; commit paths retire both the
+    /// lock slot's and their own working handle so that happens at idle or
+    /// teardown, never mid-round). Never blocks: at capacity the handle
+    /// drops inline instead, which is exactly the pre-graveyard behavior.
+    pub(crate) fn retire(&self, snap: Arc<Snapshot>) {
+        {
+            let mut g = self.graveyard.lock().expect("graveyard lock poisoned");
+            if g.len() < RETIRED_SNAPSHOT_CAP {
+                g.push(snap);
+                return;
+            }
+        }
+        drop(snap); // at capacity: free inline, outside the lock
+    }
+
+    /// Drains the graveyard — every parked snapshot whose handle here is
+    /// the last one alive is deallocated now, on the caller's thread. Call
+    /// sites are idle points only (a writer with an empty queue, teardown),
+    /// so the O(view) frees never share a timeslice with a committing
+    /// round.
+    pub(crate) fn reclaim_retired(&self) {
+        let parked = std::mem::take(&mut *self.graveyard.lock().expect("graveyard lock poisoned"));
+        drop(parked); // outside the lock: retire() never waits on a free
     }
 
     /// Hands the snapshot to the background checkpointer when the
@@ -491,7 +548,7 @@ impl Engine {
     /// [`Engine::build`] plus an optional pre-populated flight recorder
     /// (recovery passes the ring its replay-progress events landed in).
     fn build_with_recorder(
-        sys: XmlViewSystem,
+        mut sys: XmlViewSystem,
         epoch: u64,
         mut config: EngineConfig,
         durability: Option<(PathBuf, Wal)>,
@@ -500,11 +557,18 @@ impl Engine {
         config.n_shards = config.n_shards.clamp(1, 64);
         config.max_batch = config.max_batch.max(1);
         config.pipeline_depth = config.pipeline_depth.clamp(1, 8);
+        // The plan knob is set on the owned system before the first snapshot
+        // wraps it, so every clone (working copies, shard replicas, recovery
+        // masters) inherits the chosen evaluation path.
+        sys.set_plans_enabled(config.use_plans);
         let stats = Arc::new(EngineStats::new(
             config.n_shards,
             config.telemetry,
             recorder,
         ));
+        // Plan-cache telemetry: per-engine deltas over the (possibly shared)
+        // cache, plus a compile-time histogram fed by the cache's observer.
+        stats.attach_plan_cache(Arc::clone(sys.view().plan_cache()));
         let exporter = if config.telemetry {
             config
                 .metrics_path
@@ -548,6 +612,7 @@ impl Engine {
                 pool: OnceLock::new(),
                 durability,
                 exporter,
+                graveyard: Mutex::new(Vec::new()),
             }),
         }
     }
@@ -788,9 +853,17 @@ impl Engine {
             // first analysis that needs them.
             let anchor_index: std::cell::OnceCell<crate::analyze::AnchorIndex> =
                 std::cell::OnceCell::new();
+            // Bounded scan, mirroring the sharded router: after `max_batch`
+            // consecutive conflicts the rest of the queue almost certainly
+            // conflicts too (skewed workloads), so stop analyzing and defer
+            // it wholesale. Sound for the same reason the cap is: deferral
+            // preserves submission order, and every deferred update re-runs
+            // its analysis against the state it eventually applies to.
+            let stall_limit = self.inner.config.max_batch;
+            let mut stalled = 0usize;
             let mut drain = queue.into_iter();
             for (i, p, cached) in drain.by_ref() {
-                if batch.len() >= self.inner.config.max_batch {
+                if batch.len() >= self.inner.config.max_batch || stalled >= stall_limit {
                     deferred.push((i, p, cached));
                     // Admitting past a full batch could reorder conflicting
                     // updates; everything else waits for the next round.
@@ -829,12 +902,14 @@ impl Engine {
                 if conflicts {
                     blocked_foot.absorb(&a);
                     any_blocked = true;
+                    stalled += 1;
                     // Deletion analyses stay valid while committed footprints
                     // avoid them; insertions re-analyze (splice links).
                     let cached =
                         (!p.update.is_insert()).then_some(CachedAnalysis { analysis: a, eval });
                     deferred.push((i, p, cached));
                 } else {
+                    stalled = 0;
                     batch_foot.absorb(&a);
                     if a.is_multi_cone() {
                         batch_multi_cone += 1;
@@ -930,8 +1005,15 @@ impl Engine {
                         continue;
                     }
                     // Publish the batch as one snapshot, then release tickets.
+                    // The handle to the superseded snapshot is retired: its
+                    // O(view) deallocation waits for an idle tick instead of
+                    // stalling the next batch.
                     let t3 = Instant::now();
-                    current = self.inner.publish(working);
+                    let prev = std::mem::replace(&mut current, self.inner.publish(working));
+                    // Retire inside the publish window: if the graveyard is
+                    // at capacity the fallback inline free is attributed
+                    // here, like the pre-graveyard inline drop was.
+                    self.inner.retire(prev);
                     self.inner.stats.record_publish(t3.elapsed());
                     self.inner.stats.event(
                         "round.committed",
@@ -1002,7 +1084,12 @@ impl Engine {
         let stop_flag = Arc::clone(&stop);
         let thread = std::thread::spawn(move || {
             while !stop_flag.load(Ordering::Relaxed) {
-                engine.commit_pending();
+                if engine.commit_pending().updates == 0 {
+                    // Idle tick: reclaim retired snapshots while no round
+                    // is waiting, so their O(view) frees never land on a
+                    // committing timeslice.
+                    engine.inner.reclaim_retired();
+                }
                 std::thread::sleep(interval);
             }
             // Final drain so no ticket is left behind.

@@ -317,6 +317,7 @@ pub(crate) fn commit_sharded(inner: &Inner, pending: Vec<Pending>) -> CommitSumm
             let Round::Global(pu) = s.plan.round else {
                 unreachable!("matched above")
             };
+            inner.retire(s.snap);
             run_global_lane(inner, &mut summary, &mut tickets, &mut master, *pu, hooks);
             finish_round(&mut entries, None, &s.plan.footprint);
             continue;
@@ -383,6 +384,10 @@ pub(crate) fn commit_sharded(inner: &Inner, pending: Vec<Pending>) -> CommitSumm
                 plan_epoch,
                 pending,
             });
+            // The plan snapshot is no longer needed here; retire it so a
+            // last-holder drop never deallocates an O(view) snapshot on
+            // the publisher thread mid-round.
+            inner.retire(s.snap);
             stats.record_pipeline_inflight(inflight.len());
             if let Some(h) = hooks {
                 h.reached(Stage::Dispatch);

@@ -21,10 +21,10 @@
 //! [`EngineConfig::telemetry`]: crate::EngineConfig::telemetry
 
 use crate::wal::SyncReason;
-use rxview_core::PhaseTimings;
+use rxview_core::{PhaseTimings, PlanCache, PlanCacheStats};
 use rxview_obs::{fields, Counter, FieldValue, FlightRecorder, Gauge, Histogram, Registry};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 /// Events retained by the engine's flight recorder.
@@ -66,6 +66,9 @@ pub struct EngineStats {
     // --- evaluation ---
     scoped_evals: Arc<Counter>,
     full_evals: Arc<Counter>,
+    // --- compiled update plans (ARCHITECTURE.md §8) ---
+    plan_compile_ns: Arc<Histogram>,
+    plan_cache: OnceLock<(Arc<PlanCache>, PlanCacheStats)>,
     // --- phase timers (nanoseconds per round, except translate/eval which
     //     are per update and summed across shard threads) ---
     eval_ns: Arc<Histogram>,
@@ -136,6 +139,8 @@ impl EngineStats {
             snapshot_reads: r.counter("snapshot.reads"),
             scoped_evals: r.counter("eval.scoped"),
             full_evals: r.counter("eval.full"),
+            plan_compile_ns: r.histogram("plan.compile_ns"),
+            plan_cache: OnceLock::new(),
             eval_ns: r.histogram("phase.eval_ns"),
             plan_ns: r.histogram("phase.plan_ns"),
             translate_ns: r.histogram("phase.translate_ns"),
@@ -220,6 +225,25 @@ impl EngineStats {
                 eprintln!("rxview: flight dump to {path:?} failed: {e}");
             }
         }
+    }
+
+    /// Adopts the engine's (possibly shared) plan cache for reporting:
+    /// snapshots its counters as this engine's baseline — several engines
+    /// built from clones of one system share the `Arc`'d cache, so a report
+    /// must subtract what other engines (or warmup) already accounted — and
+    /// installs the compile-time histogram as the cache's observer (first
+    /// engine on a cache wins; the histogram is per-engine either way
+    /// because compiles after attach land here). With telemetry off this is
+    /// a no-op and the report's plan-cache fields stay zero, matching every
+    /// other counter.
+    pub(crate) fn attach_plan_cache(&self, cache: Arc<PlanCache>) {
+        if !self.enabled {
+            return;
+        }
+        let hist = Arc::clone(&self.plan_compile_ns);
+        cache.set_observer(Box::new(move |d| hist.record_duration(d)));
+        let baseline = cache.stats();
+        let _ = self.plan_cache.set((cache, baseline));
     }
 
     pub(crate) fn record_round(&self) {
@@ -488,6 +512,11 @@ impl EngineStats {
     /// A consistent-enough point-in-time copy of all counters.
     pub fn report(&self) -> EngineReport {
         let ns = |h: &Histogram| Duration::from_nanos(h.sum());
+        let plans = self
+            .plan_cache
+            .get()
+            .map(|(cache, base)| cache.stats().delta_since(base))
+            .unwrap_or_default();
         EngineReport {
             submitted: self.submitted.get(),
             accepted: self.accepted.get(),
@@ -498,6 +527,8 @@ impl EngineStats {
             snapshot_reads: self.snapshot_reads.get(),
             scoped_evals: self.scoped_evals.get(),
             full_evals: self.full_evals.get(),
+            plan_cache: plans,
+            plan_compile: ns(&self.plan_compile_ns),
             max_batch: self.max_batch.get(),
             phases: PhaseTimings {
                 eval: ns(&self.eval_ns),
@@ -560,6 +591,14 @@ pub struct EngineReport {
     pub scoped_evals: u64,
     /// Evaluations that ran over the full view.
     pub full_evals: u64,
+    /// Plan-cache counters as *this engine's delta* since it attached to
+    /// its (possibly shared) cache: hits, misses, evictions, compiles, and
+    /// total compile nanoseconds (ARCHITECTURE.md §8). All zero when
+    /// telemetry is off or plans are disabled.
+    pub plan_cache: PlanCacheStats,
+    /// Total plan compile time observed by this engine's compile-time
+    /// histogram (post-attach compiles on this cache).
+    pub plan_compile: Duration,
     /// Largest batch committed.
     pub max_batch: u64,
     /// Cumulative per-phase time — the Fig.11 constituents (a) evaluation,
@@ -831,6 +870,18 @@ impl fmt::Display for EngineReport {
             "evals: {} scoped, {} full",
             self.scoped_evals, self.full_evals
         )?;
+        if self.plan_cache.hits + self.plan_cache.misses > 0 {
+            writeln!(
+                f,
+                "plan cache: {} hits, {} misses ({:.1}% hit rate), {} compiles in {:?}, {} evictions",
+                self.plan_cache.hits,
+                self.plan_cache.misses,
+                100.0 * self.plan_cache.hit_rate(),
+                self.plan_cache.compiles,
+                Duration::from_nanos(self.plan_cache.compile_ns),
+                self.plan_cache.evictions
+            )?;
+        }
         writeln!(
             f,
             "phase time: eval {:?}, translate {:?} ({:?} wall), maintain {:?}, plan {:?}, merge {:?}, publish {:?}",

@@ -152,6 +152,93 @@ fn check_ops_equivalence(
     Ok(())
 }
 
+/// Runs the same ops through a plans-on engine, a plans-off engine, and a
+/// plans-off sequential oracle; all three must agree on the acceptance
+/// pattern, the final base database, and the final view. The `use_plans`
+/// knob swaps the compiled-plan runtime (ARCHITECTURE.md §8) for the
+/// verbatim `dag_eval`/`classify` reference path, so this is the
+/// equivalence proof for the whole plan layer: shape keying, slot
+/// rebinding, plan-bound classification, and the arena-backed executor.
+fn check_plans_knob_equivalence(
+    sys: XmlViewSystem,
+    ops: &[XmlUpdate],
+    max_batch: usize,
+    n_shards: usize,
+    pipeline_depth: usize,
+) -> Result<(), String> {
+    if ops.is_empty() {
+        return Ok(());
+    }
+    let mut seq = sys.clone();
+    seq.set_plans_enabled(false);
+    let seq_outcomes: Vec<bool> = ops
+        .iter()
+        .map(|u| seq.apply(u, SideEffectPolicy::Proceed).is_ok())
+        .collect();
+
+    let run = |use_plans: bool| -> Result<_, String> {
+        let engine = Engine::with_config(
+            sys.clone(),
+            EngineConfig {
+                max_batch,
+                n_shards,
+                pipeline_depth,
+                use_plans,
+                ..EngineConfig::default()
+            },
+        );
+        let tickets: Vec<_> = ops
+            .iter()
+            .map(|u| {
+                engine
+                    .submit(u.clone(), SideEffectPolicy::Proceed)
+                    .expect("queue not full")
+            })
+            .collect();
+        engine.commit_pending();
+        let outcomes: Vec<bool> = tickets.into_iter().map(|t| t.wait().is_ok()).collect();
+        let snap = engine.snapshot();
+        snap.system()
+            .consistency_check()
+            .map_err(|e| format!("plans={use_plans}: republication oracle fails: {e}"))?;
+        let probes = {
+            let s = engine.stats().report().plan_cache;
+            s.hits + s.misses
+        };
+        Ok((
+            outcomes,
+            base_rows(snap.system()),
+            edge_set(snap.system()),
+            probes,
+        ))
+    };
+    let (on_out, on_base, on_edges, on_probes) = run(true)?;
+    let (off_out, off_base, off_edges, off_probes) = run(false)?;
+
+    if on_out != seq_outcomes || off_out != seq_outcomes {
+        return Err(format!(
+            "acceptance diverged:\n  seq(plans off) {seq_outcomes:?}\n  engine(plans on) {on_out:?}\n  engine(plans off) {off_out:?}"
+        ));
+    }
+    if on_base != off_base {
+        return Err("final base database diverged between plans on/off".into());
+    }
+    if on_edges != off_edges {
+        return Err("final view diverged between plans on/off".into());
+    }
+    // The knob is real: the plans-on engine ran through the cache, the
+    // plans-off engine never touched it.
+    if on_probes == 0 {
+        return Err("plans-on engine never probed the plan cache".into());
+    }
+    if off_probes != 0 {
+        return Err(format!(
+            "plans-off engine probed the plan cache {off_probes} times"
+        ));
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
@@ -182,6 +269,27 @@ proptest! {
     ) {
         if let Err(e) =
             check_equivalence(220, seed, &flips, max_batch, n_shards, pipeline_depth)
+        {
+            return Err(TestCaseError::fail(e));
+        }
+    }
+
+    /// Compiled plans are an optimization, not a semantics change: the
+    /// `use_plans` knob flipped either way yields identical acceptance
+    /// patterns and final states across random mixed workloads, on both
+    /// write paths and at every pipeline depth (1–3).
+    #[test]
+    fn plans_on_equals_plans_off(
+        seed in 0u64..200,
+        flips in prop::collection::vec(any::<bool>(), 8..20),
+        max_batch in 1usize..12,
+        n_shards in 1usize..6,
+        pipeline_depth in 1usize..4,
+    ) {
+        let sys = system(220, seed);
+        let ops = workload(&sys, seed ^ 0xbeef, &flips);
+        if let Err(e) =
+            check_plans_knob_equivalence(sys, &ops, max_batch, n_shards, pipeline_depth)
         {
             return Err(TestCaseError::fail(e));
         }
@@ -329,6 +437,27 @@ fn descendant_updates_ride_shared_rounds() {
         "independent `//` updates must share rounds (got width {:.2})",
         report.mean_multi_cone_width()
     );
+}
+
+/// Deterministic plans-on == plans-off sweep covering skewed `//`-heavy
+/// descendant traffic (multi-anchor cones, scoped plan evaluation, stale
+/// fixups) on both write paths at every pipeline depth.
+#[test]
+fn plans_knob_is_invisible_across_write_paths_and_depths() {
+    for (n_shards, depth) in [(1, 1), (1, 2), (4, 1), (4, 2), (4, 3)] {
+        let sys = system(300, 17);
+        let mut gen = DescendantGen::new(DescendantConfig {
+            groups: 300 / 40,
+            descendant_fraction: 0.5,
+            hot_fraction: 0.4,
+            hot_groups: 2,
+            seed: 17,
+            ..DescendantConfig::default()
+        });
+        let ops = gen.ops(24);
+        check_plans_knob_equivalence(sys, &ops, 6, n_shards, depth)
+            .unwrap_or_else(|e| panic!("shards={n_shards} depth={depth}: {e}"));
+    }
 }
 
 /// A deterministic large-ish case exercising multi-batch commits.

@@ -9,39 +9,73 @@
 //! [`PathCache`] instead of per operation (re-parsing was this crate's
 //! analogue of the regex-recompilation hot spot called out in the related
 //! platynui-xpath performance review).
+//!
+//! The cache is also the workload side of the engine's compiled-plan layer
+//! (ARCHITECTURE.md §8): built over a view with [`PathCache::for_view`], a
+//! first parse of each path *shape* compiles its [`rxview_core::UpdatePlan`]
+//! into the view's `Arc`-shared [`rxview_core::PlanCache`], so every update
+//! the generator hands the engine arrives pre-keyed — the engine's own
+//! analyze/eval probes hit the very plan the generator compiled instead of
+//! re-classifying from scratch.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use rxview_core::{ViewStore, XmlUpdate};
+use rxview_core::{PlanCache, UpdatePlan, ViewStore, XmlUpdate};
 use rxview_relstore::{Tuple, Value};
 use rxview_xmlkit::xpath::parser::ParseError;
-use rxview_xmlkit::{parse_xpath, XPath};
+use rxview_xmlkit::{parse_xpath, Dtd, XPath};
 use std::collections::HashMap;
+use std::sync::Arc;
 
-/// A memoizing XPath parser: each distinct path string is parsed once.
+/// A memoizing XPath parser: each distinct path string is parsed once —
+/// and, when built over a view, compiled once into the view's shared plan
+/// cache ([`PathCache::for_view`]).
 #[derive(Debug, Default)]
 pub struct PathCache {
-    map: HashMap<String, XPath>,
+    map: HashMap<String, (XPath, Option<Arc<UpdatePlan>>)>,
+    /// The view's plan cache + grammar; `None` for a parse-only cache.
+    plans: Option<(Arc<PlanCache>, Dtd)>,
     hits: u64,
     misses: u64,
 }
 
 impl PathCache {
-    /// An empty cache.
+    /// An empty parse-only cache (no plan layer attached).
     pub fn new() -> Self {
         PathCache::default()
     }
 
+    /// A cache wired to `vs`'s `Arc`-shared plan cache: each first parse of
+    /// a path shape also compiles its [`UpdatePlan`] there, so an engine
+    /// serving this view probes pre-warmed entries.
+    pub fn for_view(vs: &ViewStore) -> Self {
+        PathCache {
+            plans: Some((Arc::clone(vs.plan_cache()), vs.atg().dtd().clone())),
+            ..PathCache::default()
+        }
+    }
+
     /// Parses `text`, serving repeats from the cache.
     pub fn parse(&mut self, text: &str) -> Result<XPath, ParseError> {
-        if let Some(p) = self.map.get(text) {
+        if let Some((p, _)) = self.map.get(text) {
             self.hits += 1;
             return Ok(p.clone());
         }
         let p = parse_xpath(text)?;
         self.misses += 1;
-        self.map.insert(text.to_owned(), p.clone());
+        let plan = self
+            .plans
+            .as_ref()
+            .map(|(cache, dtd)| cache.plan(dtd, &p).0);
+        self.map.insert(text.to_owned(), (p.clone(), plan));
         Ok(p)
+    }
+
+    /// The pre-keyed plan handle for an already-parsed path — the same
+    /// `Arc` the engine's plan-cache probe resolves to (`None` for
+    /// parse-only caches or unseen paths).
+    pub fn plan_of(&self, text: &str) -> Option<&Arc<UpdatePlan>> {
+        self.map.get(text).and_then(|(_, plan)| plan.as_ref())
     }
 
     /// A `delete p` update with the path served from the cache.
@@ -152,7 +186,7 @@ impl ConcurrentGen {
         ConcurrentGen {
             rng,
             cfg,
-            cache: PathCache::new(),
+            cache: PathCache::for_view(vs),
             keys,
             cdf,
             fresh_counter: 3_000_000_000,
@@ -270,6 +304,34 @@ mod tests {
                 assert!(!p.steps.is_empty());
             }
         }
+    }
+
+    #[test]
+    fn generator_prewarns_the_views_shared_plan_cache() {
+        let vs = view();
+        let before = vs.plan_cache().stats();
+        let mut gen = ConcurrentGen::new(&vs, ConcurrentConfig::default());
+        let _ = gen.ops(500);
+        let after = vs.plan_cache().stats().delta_since(&before);
+        // Every distinct path shape compiled exactly once into the view's
+        // shared cache; skewed repeats are string-cache hits and never
+        // re-probe the plan layer.
+        assert!(after.compiles > 0, "generator compiled no plans");
+        assert!(
+            after.compiles <= 8,
+            "shape-keying broken: {} compiles",
+            after.compiles
+        );
+        // The engine side of the handshake: probing the same cache for a
+        // generated path resolves to the very Arc the generator holds.
+        let text = {
+            let k = gen.keys[0];
+            format!("node[id={k}]/sub/node")
+        };
+        let parsed = gen.cache.parse(&text).unwrap();
+        let handle = gen.cache().plan_of(&text).cloned().expect("plan handle");
+        let (engine_side, _bindings) = vs.plan_cache().plan(vs.atg().dtd(), &parsed);
+        assert!(Arc::ptr_eq(&handle, &engine_side), "handles not shared");
     }
 
     #[test]
