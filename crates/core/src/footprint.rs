@@ -150,11 +150,28 @@ impl RelFootprint {
     /// Whether this footprint conflicts with `other`: a shared written row,
     /// or a read key of one matching a write key of the other.
     pub fn conflicts(&self, other: &RelFootprint) -> bool {
-        intersects(&self.write_rows, &other.write_rows)
-            || intersects(&self.reads, &other.write_cols)
+        self.writes_conflict(other) || self.rw_conflicts(other)
+    }
+
+    /// The read/write half of [`conflicts`](Self::conflicts): a read key of
+    /// one side matching a write key of the other (either direction),
+    /// including the wholesale table-read fallback. These are the true
+    /// dependencies — one update's writes would change what the other
+    /// resolved against.
+    pub fn rw_conflicts(&self, other: &RelFootprint) -> bool {
+        intersects(&self.reads, &other.write_cols)
             || intersects(&other.reads, &self.write_cols)
             || self.touches_tables(&other.read_tables)
             || other.touches_tables(&self.read_tables)
+    }
+
+    /// The write/write half of [`conflicts`](Self::conflicts): a row key
+    /// written by both sides. A *planned* overlap here may be spurious
+    /// (candidate-source rows name every row the translation could touch),
+    /// so the router tolerates it for fission-eligible peers under a shared
+    /// cone and the publisher re-checks the *realized* footprints at merge.
+    pub fn writes_conflict(&self, other: &RelFootprint) -> bool {
+        intersects(&self.write_rows, &other.write_rows)
     }
 
     /// Whether any write of `self` lands in one of `tables`.
@@ -513,6 +530,39 @@ mod tests {
         let mut c = RelFootprint::default();
         c.add_write_row("enroll", &[0, 1], tuple!["S01", "CS320"]);
         assert!(a.conflicts(&c), "same row conflicts");
+    }
+
+    #[test]
+    fn conflict_halves_partition_the_full_check() {
+        let (_db, vs) = store();
+        let course = vs.atg().dtd().type_id("course").unwrap();
+
+        // Pure write/write overlap: writes_conflict fires, rw_conflicts
+        // does not — the half optimistic fission admission tolerates.
+        let mut a = RelFootprint::default();
+        a.add_write_row("enroll", &[0, 1], tuple!["S01", "CS320"]);
+        let mut b = RelFootprint::default();
+        b.add_write_row("enroll", &[0, 1], tuple!["S01", "CS320"]);
+        assert!(a.writes_conflict(&b));
+        assert!(!a.rw_conflicts(&b));
+        assert!(a.conflicts(&b));
+
+        // Pure read/write dependency: rw_conflicts fires, writes_conflict
+        // does not — never tolerated, in either admission mode.
+        let mut reader = RelFootprint::default();
+        reader.add_anchor_reads(&vs, course, &[("cno".into(), "MA100".into())]);
+        let mut writer = RelFootprint::default();
+        writer.add_gen_write(&vs, course, &tuple!["MA100", "Calculus"]);
+        assert!(reader.rw_conflicts(&writer));
+        assert!(!reader.writes_conflict(&writer));
+        assert!(reader.conflicts(&writer));
+
+        // The wholesale table-read fallback is a dependency, not a write
+        // overlap.
+        let mut table_reader = RelFootprint::default();
+        table_reader.add_table_read("enroll".into());
+        assert!(table_reader.rw_conflicts(&a));
+        assert!(!table_reader.writes_conflict(&a));
     }
 
     #[test]

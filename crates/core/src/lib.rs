@@ -56,7 +56,9 @@ pub use footprint::{
     RelFootprint,
 };
 pub use maintain::{maintain_delete, maintain_insert, MaintainReport};
-pub use pathclass::{classify, filter_keys, resolve_descendant_anchors, union_scope, PathClass};
+pub use pathclass::{
+    classify, filter_keys, resolve_descendant_anchors, sub_steps, union_scope, PathClass, SubStep,
+};
 pub use plan::{eval_plan, shape_of, PlanCache, PlanCacheStats, UpdatePlan};
 pub use processor::{
     translate_insert_for_merge, DeferredMaintenance, PhaseTimings, TranslatedUpdate, UpdateError,

@@ -134,6 +134,134 @@ pub fn classify(dtd: &Dtd, path: &XPath) -> PathClass {
     }
 }
 
+/// One post-anchor step of a *fission-decomposable* path. The engine's
+/// hot-cone fission (sub-cone conflict keys for updates sharing one hot
+/// anchor) needs every step below the anchor head to be accountable either
+/// through typed relational reads or through a per-anchor extension key;
+/// [`sub_steps`] walks the normalized path and says which discipline each
+/// step falls under — or refuses, in which case the update keeps the
+/// whole-cone conflict unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubStep {
+    /// The step's `field = value` filters pin its match set to the typed
+    /// reads recorded by the walk: any concurrent update that could change
+    /// which nodes this step matches must write one of the recorded
+    /// `(table, column, value)` keys (interning / splicing a node of this
+    /// type with the pinned value) or one of the recorded whole tables
+    /// (unpinnable filters read their rule's base tables wholesale).
+    Pinned(TypeId),
+    /// Unfiltered (or only structurally filtered) labelled step: its match
+    /// set is "all children of type `T` under the previous step's matches",
+    /// which is typed-visible only when those parents are known exactly —
+    /// so the walker accepts an open step *immediately after the anchor
+    /// head only* (parents = the resolved anchors), and the engine guards
+    /// it with per-`(anchor, type)` extension read/write keys instead of
+    /// relational ones.
+    Open(TypeId),
+}
+
+/// The `field = value` keys of a filter usable for fission, or `None`-like
+/// `false` when the filter has any conjunct that does **not** decompose
+/// into single-field equality keys (existential sub-paths, disjunction,
+/// negation, label tests): those can flip on structural changes the typed
+/// keys cannot see, so the path must keep its whole-cone conflict unit.
+/// Contrast [`filter_keys`], which extracts a best-effort subset — fine for
+/// anchor *narrowing* (a superset of matches stays sound) but not for
+/// fission, where missing a conjunct widens the set of invisible writers.
+fn strict_filter_keys(filter: &Filter, out: &mut Vec<(String, String)>) -> bool {
+    match filter {
+        Filter::PathEq(p, v) => match p.steps.as_slice() {
+            [step] if step.filters.is_empty() => {
+                if let StepKind::Child(NodeTest::Label(field)) = &step.kind {
+                    out.push((field.clone(), v.clone()));
+                    true
+                } else {
+                    false
+                }
+            }
+            _ => false,
+        },
+        Filter::And(a, b) => strict_filter_keys(a, out) && strict_filter_keys(b, out),
+        _ => false,
+    }
+}
+
+/// Decomposes the post-anchor suffix of `path` into fission sub-steps,
+/// recording in `rel` the typed reads each pinned step's stability depends
+/// on. Returns `None` when any suffix step is not decomposable — a
+/// wildcard or mid-path `//` step, a non-strict filter (see
+/// [`strict_filter_keys`]), an unknown label, or an open (unpinned) step
+/// anywhere but directly after the anchor head. `None` leaves `rel`
+/// partially extended with reads; callers must record into a scratch
+/// footprint and absorb it only on success.
+///
+/// The head step group (first `Label`/`//Label`/`*` plus its filter steps)
+/// is skipped: its reads are the anchor-resolution reads the caller
+/// already records ([`resolve_descendant_anchors`] /
+/// `RelFootprint::add_anchor_reads`).
+pub fn sub_steps(
+    vs: &ViewStore,
+    path: &XPath,
+    rel: &mut crate::footprint::RelFootprint,
+) -> Option<Vec<SubStep>> {
+    let atg = vs.atg();
+    let dtd = atg.dtd();
+    let norm = normalize(path);
+    let mut steps = norm.steps.iter().peekable();
+    // Skip the head group the classifier already consumed.
+    match steps.next() {
+        Some(NormStep::Label(_)) | Some(NormStep::Wildcard) => {}
+        Some(NormStep::DescendantOrSelf) => match steps.next() {
+            Some(NormStep::Label(_)) => {}
+            _ => return None, // untypeable head: global, never fissions
+        },
+        _ => return None,
+    }
+    while matches!(steps.peek(), Some(NormStep::FilterStep(_))) {
+        steps.next();
+    }
+
+    let mut out: Vec<SubStep> = Vec::new();
+    while let Some(step) = steps.next() {
+        let NormStep::Label(label) = step else {
+            // Mid-path `//` or `*`: the step's parents are unbounded.
+            return None;
+        };
+        let ty = dtd.type_id(label)?;
+        let mut keys: Vec<(String, String)> = Vec::new();
+        while let Some(NormStep::FilterStep(f)) = steps.peek() {
+            if !strict_filter_keys(f, &mut keys) {
+                return None;
+            }
+            steps.next();
+        }
+        // A step is pinned when at least one key yields a Column probe
+        // (additions must write the probed `(gen_ty, col, value)` row), a
+        // Never pin (the step provably never matches), or an Unpinnable
+        // filter (whose recorded wholesale table reads cover *any* write
+        // involving the type). Structural-only / keyless steps are open.
+        let pinned = keys
+            .iter()
+            .any(|(field, value)| match pin_filter(atg, ty, field, value) {
+                FilterPin::Column(..) | FilterPin::Never | FilterPin::Unpinnable { .. } => true,
+                FilterPin::Structural => false,
+            });
+        if pinned {
+            rel.add_anchor_reads(vs, ty, &keys);
+            out.push(SubStep::Pinned(ty));
+        } else {
+            if !out.is_empty() {
+                // An open step below position 1: its parent set is a
+                // *derived* match set, not the anchor set, so per-anchor
+                // extension keys cannot bound it.
+                return None;
+            }
+            out.push(SubStep::Open(ty));
+        }
+    }
+    Some(out)
+}
+
 /// Resolves the concrete anchor candidates of a [`PathClass::Descendant`]
 /// path: every live node of `target_ty` that can satisfy the usable filter
 /// keys, found by probing the maintained `gen_A` table through its lazy

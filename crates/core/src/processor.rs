@@ -169,6 +169,26 @@ impl DeferredMaintenance {
             .copied()
             .chain(self.subtree.iter().flat_map(|st| st.nodes.iter().copied()))
     }
+
+    /// Coalesces another **deletion** obligation into this one: the merged
+    /// obligation maintains around the union of both target sets, exactly
+    /// what [`XmlViewSystem::fold_maintenance`]'s single ∆(M,L)delete pass
+    /// would have computed for the two jobs separately (delete maintenance
+    /// is a function of the deduplicated target union). The sharded
+    /// publisher uses this to take a hot cone's delete ∆(M,L) obligation
+    /// once per cone instead of once per update (ARCHITECTURE.md §9).
+    ///
+    /// # Panics
+    /// Debug-asserts both obligations are deletions — insertion obligations
+    /// carry per-update subtrees and maintain in submission order, so they
+    /// never coalesce.
+    pub fn absorb_delete(&mut self, other: DeferredMaintenance) {
+        debug_assert!(
+            !self.is_insert() && !other.is_insert(),
+            "only deletion obligations coalesce"
+        );
+        self.selected.extend(other.selected);
+    }
 }
 
 /// A translated-but-unapplied update: the output of phases 1–4 (validation,

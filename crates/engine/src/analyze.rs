@@ -49,8 +49,8 @@
 use rxview_atg::NodeId;
 use rxview_core::{
     classify, plan_subtree, planned_delete_writes, planned_insert_writes,
-    resolve_descendant_anchors, union_scope, DagEval, PathClass, RelFootprint, TopoOrder,
-    XmlUpdate, XmlViewSystem,
+    resolve_descendant_anchors, sub_steps, union_scope, DagEval, PathClass, RelFootprint, SubStep,
+    TopoOrder, XmlUpdate, XmlViewSystem,
 };
 use rxview_xmlkit::{TypeId, XPath};
 use std::collections::{HashMap, HashSet};
@@ -68,6 +68,13 @@ pub struct AnalyzeOptions {
     /// Largest candidate-anchor set a `//`-path may resolve to before the
     /// analysis degrades it to a global footprint.
     pub max_cone_anchors: usize,
+    /// Whether hot-cone fission is derived: updates whose post-anchor path
+    /// suffix decomposes into typed-accountable sub-steps
+    /// ([`rxview_core::sub_steps`]) carry a [`SubFootprint`] and may share
+    /// a round with cone-overlapping peers whose realized sub-footprints
+    /// are disjoint. `false` restores the whole-cone conflict unit — the
+    /// equivalence oracle for the fission batteries.
+    pub cone_fission: bool,
 }
 
 impl Default for AnalyzeOptions {
@@ -76,6 +83,7 @@ impl Default for AnalyzeOptions {
             scoped_eval: true,
             descendant_cones: true,
             max_cone_anchors: 64,
+            cone_fission: true,
         }
     }
 }
@@ -271,6 +279,75 @@ fn resolve_anchors(
     }
 }
 
+/// The sub-cone footprint of a fission-eligible update: the exact view
+/// regions its evaluation read and its translation writes, at node (not
+/// cone) granularity. Two eligible updates under one hot anchor whose
+/// sub-footprints (and typed keys) are disjoint commute — different
+/// subtrees of the shared cone — and may ride the same round on different
+/// shards even though their cones coincide.
+///
+/// Soundness of the four sets (ARCHITECTURE.md §9):
+/// - `node_reads` — every node whose structure the analysis depended on:
+///   the anchors themselves (a concurrent delete *of* the anchor must
+///   conflict even with an unfiltered anchored path), every node on a
+///   complete matched path of the dry-run evaluation, and — for
+///   insertions — the pre-existing subtrees the generated subtree would
+///   splice (their closures decide link targets).
+/// - `node_writes` — deletions only: per deleted matched edge `(p, c)`,
+///   the child `c` and its descendant closure (detachment, the GC
+///   candidates, and the `∆(M,L)` fold all stay inside it). Insertions
+///   write no *existing* node's subtree — fresh nodes are invisible until
+///   publish, and splice targets appear as extension writes.
+/// - `ext_reads` / `ext_writes` — per-`(node, type)` *extension* keys
+///   guarding match sets that typed relational keys cannot pin: an open
+///   (unfiltered) step directly below the anchor head reads `(anchor,
+///   step type)`; a deletion of edge `(p, c)` writes `(p, type(c))`; an
+///   insertion splicing a `ty` head under target `t` writes `(t, ty)`.
+///   Partial-match frontiers of *pinned* steps are guarded relationally
+///   instead: [`rxview_core::sub_steps`] records the step's typed probe
+///   reads, and an eligible insertion explicitly marks the gen rows of
+///   spliced heads and interior links as written.
+///
+/// Text (`pcdata`) nodes are excluded from the node sets for the same
+/// reason they are excluded from cones: immutable, childless, unsharable
+/// as targets — and so heavily shared under small text domains that their
+/// inclusion would re-serialize exactly the hot-anchor traffic fission
+/// exists to split.
+#[derive(Debug, Clone, Default)]
+pub struct SubFootprint {
+    node_reads: HashSet<NodeId>,
+    node_writes: HashSet<NodeId>,
+    ext_reads: HashSet<(NodeId, TypeId)>,
+    ext_writes: HashSet<(NodeId, TypeId)>,
+}
+
+fn overlaps<T: std::hash::Hash + Eq>(a: &HashSet<T>, b: &HashSet<T>) -> bool {
+    let (small, large) = if a.len() <= b.len() { (a, b) } else { (b, a) };
+    small.iter().any(|x| large.contains(x))
+}
+
+impl SubFootprint {
+    /// Read/write or write/write overlap at node or extension granularity.
+    /// Read/read never conflicts; extension write/write does not either —
+    /// two writers under one parent touch *different* child edges, and
+    /// same-edge writers already clash on typed keys or node sets.
+    pub fn conflicts(&self, other: &SubFootprint) -> bool {
+        overlaps(&self.node_writes, &other.node_writes)
+            || overlaps(&self.node_writes, &other.node_reads)
+            || overlaps(&self.node_reads, &other.node_writes)
+            || overlaps(&self.ext_reads, &other.ext_writes)
+            || overlaps(&self.ext_writes, &other.ext_reads)
+    }
+
+    /// Unions another sub-footprint into this one.
+    pub fn absorb(&mut self, other: &SubFootprint) {
+        self.node_reads.extend(other.node_reads.iter().copied());
+        self.node_writes.extend(other.node_writes.iter().copied());
+        self.ext_reads.extend(other.ext_reads.iter().copied());
+        self.ext_writes.extend(other.ext_writes.iter().copied());
+    }
+}
+
 /// Conservative footprint of one update against a given system state.
 #[derive(Debug, Clone)]
 pub struct Analysis {
@@ -287,6 +364,13 @@ pub struct Analysis {
     /// Typed relational footprint: filter-probe reads plus the planned
     /// (conservative) write keys of the dry-run translation.
     rel: RelFootprint,
+    /// Sub-cone footprint when the update is fission-eligible (`None`:
+    /// whole-cone conflict unit).
+    sub: Option<SubFootprint>,
+    /// Smallest anchor of the resolved set — the publisher's coalescing
+    /// key: same-round updates sharing it share a cone, and their deferred
+    /// delete maintenance folds once per cone.
+    cone_key: Option<NodeId>,
 }
 
 /// Everything one conflict analysis produces: the footprint, and — for
@@ -342,6 +426,8 @@ impl Analysis {
                 n_cones: 0,
                 multi_cone: false,
                 rel: RelFootprint::default(),
+                sub: None,
+                cone_key: None,
             },
             eval: None,
             eval_time: std::time::Duration::ZERO,
@@ -403,6 +489,10 @@ impl Analysis {
             }
         }
 
+        // Pre-existing nodes an insertion would splice (the existing head,
+        // or the live nodes a fresh subtree links): kept aside for the
+        // sub-footprint derivation below.
+        let mut linked: Vec<NodeId> = Vec::new();
         let planned_ok = match update {
             XmlUpdate::Delete { .. } => {
                 planned_delete_writes(sys.view(), &eval.edge_parents, &mut rel)
@@ -421,6 +511,7 @@ impl Analysis {
                             cone.extend(
                                 sys.reach().descendants(head).iter().filter(|v| interior(v)),
                             );
+                            linked.push(head);
                             planned_insert_writes(
                                 sys.view(),
                                 sys.base(),
@@ -446,6 +537,7 @@ impl Analysis {
                                             .filter(|v| interior(v)),
                                     );
                                 }
+                                linked.extend_from_slice(&st.links);
                                 planned_insert_writes(
                                     sys.view(),
                                     sys.base(),
@@ -467,12 +559,86 @@ impl Analysis {
             // serializes the update (always sound).
             return global();
         }
+
+        // Hot-cone fission: when every post-anchor step is typed-
+        // accountable, derive the exact sub-cone footprint so updates
+        // sharing a hot anchor can still ride one round. The sub-step walk
+        // records its pinned-probe reads into a scratch footprint that is
+        // absorbed only on success — a refused walk must not widen the
+        // relational footprint of a whole-cone update.
+        let cone_key = anchors.iter().copied().min();
+        let mut sub = None;
+        if opts.cone_fission && !anchors.is_empty() {
+            let mut scratch = RelFootprint::default();
+            if let Some(steps) = sub_steps(sys.view(), update.path(), &mut scratch) {
+                let mut f = SubFootprint::default();
+                f.node_reads.extend(anchors.iter().copied());
+                f.node_reads.extend(
+                    eval.matched_nodes
+                        .iter()
+                        .filter(|v| **v != root && interior(v))
+                        .copied(),
+                );
+                for s in &steps {
+                    if let SubStep::Open(ty) = s {
+                        f.ext_reads.extend(anchors.iter().map(|&a| (a, *ty)));
+                    }
+                }
+                let mut eligible = true;
+                match update {
+                    XmlUpdate::Delete { .. } => {
+                        for &(p, c) in &eval.edge_parents {
+                            f.ext_writes.insert((p, genid.type_of(c)));
+                            if interior(&c) {
+                                f.node_writes.insert(c);
+                                f.node_writes.extend(
+                                    sys.reach().descendants(c).iter().filter(|v| interior(v)),
+                                );
+                            }
+                        }
+                    }
+                    XmlUpdate::Insert { ty, .. } => match dtd.type_id(ty) {
+                        // Unknown type: schema validation rejects before any
+                        // write; nothing to fission.
+                        None => eligible = false,
+                        Some(ty_id) => {
+                            for &t in &eval.selected {
+                                f.ext_writes.insert((t, ty_id));
+                            }
+                            // Spliced pre-existing subtrees are reads (their
+                            // closures decided the plan), and their gen rows
+                            // count as *written* so concurrent pinned-step
+                            // probes of the spliced values see the splice —
+                            // splicing re-parents a node the translation
+                            // never re-interns.
+                            for &l in linked.iter().filter(|v| interior(v)) {
+                                f.node_reads.insert(l);
+                                f.node_reads.extend(
+                                    sys.reach().descendants(l).iter().filter(|v| interior(v)),
+                                );
+                                scratch.add_gen_write(
+                                    sys.view(),
+                                    genid.type_of(l),
+                                    genid.attr_of(l),
+                                );
+                            }
+                        }
+                    },
+                }
+                if eligible {
+                    rel.absorb(&scratch);
+                    sub = Some(f);
+                }
+            }
+        }
         AnalysisParts {
             analysis: Analysis {
                 cone: Some(cone),
                 n_cones,
                 multi_cone,
                 rel,
+                sub,
+                cone_key,
             },
             eval: Some(eval),
             eval_time,
@@ -501,6 +667,34 @@ impl Analysis {
         &self.rel
     }
 
+    /// Whether the update carries a sub-cone footprint and may co-admit
+    /// with cone-overlapping eligible peers.
+    pub fn is_fission_eligible(&self) -> bool {
+        self.sub.is_some()
+    }
+
+    /// The sub-cone footprint, when eligible.
+    pub fn sub(&self) -> Option<&SubFootprint> {
+        self.sub.as_ref()
+    }
+
+    /// The publisher's cone-coalescing key: the smallest resolved anchor
+    /// (`None` for global footprints and empty candidate sets). Two
+    /// same-round updates sharing it were admitted under one cone, and
+    /// their deferred delete maintenance folds once per cone.
+    pub fn cone_key(&self) -> Option<NodeId> {
+        self.cone_key
+    }
+
+    /// Drops the sub-cone footprint, restoring the whole-cone conflict
+    /// unit. The router demotes non-`Proceed` updates: an `Abort`-policy
+    /// side-effect set is computed against the round's planning state, and
+    /// only the coarse cone unit guarantees no co-admitted peer perturbs
+    /// it.
+    pub fn demote_to_cone(&mut self) {
+        self.sub = None;
+    }
+
     /// Consumes the analysis, returning the typed footprint (the router
     /// keeps planned footprints per admitted update so the publisher can
     /// check coverage of the realized ones).
@@ -509,38 +703,121 @@ impl Analysis {
     }
 }
 
-/// The union footprint of the updates already placed in one batch.
+/// The outcome of testing one update against a batch footprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// No overlap with the batch at any level.
+    Admit,
+    /// Cones overlapped fission-eligible members only, and the sub-cone
+    /// footprints (and typed keys) are disjoint: the update co-admits
+    /// under a shared (hot) cone.
+    FissionAdmit,
+    /// Conflict through the coarse units — global footprint, whole-cone
+    /// overlap, or typed keys with no shared-cone context.
+    Conflict,
+    /// The update was fission-eligible and overlapped eligible cones, but
+    /// its sub-footprint or typed keys clashed: fission was tried and
+    /// denied.
+    FissionDeny,
+}
+
+impl Verdict {
+    /// Whether the update may join the batch.
+    pub fn admits(self) -> bool {
+        matches!(self, Verdict::Admit | Verdict::FissionAdmit)
+    }
+}
+
+/// The union footprint of the updates already placed in one batch. Two
+/// levels: *hard* cone nodes (whole-cone members — any overlap conflicts)
+/// and *soft* cone nodes (fission-eligible members — overlap falls through
+/// to the union of their sub-cone footprints).
 #[derive(Debug, Default)]
 pub struct BatchFootprint {
     global: bool,
-    nodes: HashSet<NodeId>,
+    hard_nodes: HashSet<NodeId>,
+    soft_nodes: HashSet<NodeId>,
+    sub: SubFootprint,
     rel: RelFootprint,
 }
 
 impl BatchFootprint {
-    /// Whether adding an update with footprint `a` would conflict.
-    pub fn conflicts(&self, a: &Analysis) -> bool {
+    /// Classifies how an update with footprint `a` relates to the batch.
+    ///
+    /// `optimistic` governs the write/write half of the typed-key check for
+    /// fission-eligible pairs under a shared cone. Planned delete footprints
+    /// name every candidate-source row the translation *could* touch —
+    /// including group-shared rows every sibling under the same hot anchor
+    /// also names — so a planned write∩write overlap there is usually
+    /// spurious. The router's intra-round check passes `true` (only
+    /// read/write dependencies deny; the publisher re-checks the *realized*
+    /// writes at merge and requeues genuine overlaps), while the blocker-set
+    /// check against deferred conflicters and in-flight rounds passes
+    /// `false` — rounds stay disjoint by construction, which is what makes
+    /// the merge-time realized check a purely intra-round affair.
+    pub fn check(&self, a: &Analysis, optimistic: bool) -> Verdict {
         if self.global || a.cone.is_none() {
-            return true;
+            return Verdict::Conflict;
         }
         let cone = a.cone.as_ref().expect("checked above");
-        let (small, large): (&HashSet<NodeId>, &HashSet<NodeId>) = if cone.len() <= self.nodes.len()
-        {
-            (cone, &self.nodes)
-        } else {
-            (&self.nodes, cone)
-        };
-        if small.iter().any(|n| large.contains(n)) {
-            return true;
+        match &a.sub {
+            Some(sub) => {
+                // Eligible: a whole-cone member's overlap is fatal; an
+                // eligible member's overlap defers to the sub-footprints.
+                if overlaps(cone, &self.hard_nodes) {
+                    return Verdict::Conflict;
+                }
+                let shared_cone = overlaps(cone, &self.soft_nodes);
+                let rel_conflict = if shared_cone && optimistic {
+                    self.rel.rw_conflicts(&a.rel)
+                } else {
+                    self.rel.conflicts(&a.rel)
+                };
+                if rel_conflict {
+                    return if shared_cone {
+                        Verdict::FissionDeny
+                    } else {
+                        Verdict::Conflict
+                    };
+                }
+                if !shared_cone {
+                    Verdict::Admit
+                } else if self.sub.conflicts(sub) {
+                    Verdict::FissionDeny
+                } else {
+                    Verdict::FissionAdmit
+                }
+            }
+            None => {
+                if overlaps(cone, &self.hard_nodes)
+                    || overlaps(cone, &self.soft_nodes)
+                    || self.rel.conflicts(&a.rel)
+                {
+                    Verdict::Conflict
+                } else {
+                    Verdict::Admit
+                }
+            }
         }
-        self.rel.conflicts(&a.rel)
+    }
+
+    /// Whether adding an update with footprint `a` would conflict (strict:
+    /// planned write/write overlaps deny).
+    pub fn conflicts(&self, a: &Analysis) -> bool {
+        !self.check(a, false).admits()
     }
 
     /// Adds an update's footprint to the batch.
     pub fn absorb(&mut self, a: &Analysis) {
         match &a.cone {
             None => self.global = true,
-            Some(c) => self.nodes.extend(c.iter().copied()),
+            Some(c) => match &a.sub {
+                Some(sub) => {
+                    self.soft_nodes.extend(c.iter().copied());
+                    self.sub.absorb(sub);
+                }
+                None => self.hard_nodes.extend(c.iter().copied()),
+            },
         }
         self.rel.absorb(&a.rel);
     }
@@ -550,7 +827,9 @@ impl BatchFootprint {
     /// blocker set that seeds the next plan (ARCHITECTURE.md §7).
     pub fn absorb_batch(&mut self, other: &BatchFootprint) {
         self.global |= other.global;
-        self.nodes.extend(other.nodes.iter().copied());
+        self.hard_nodes.extend(other.hard_nodes.iter().copied());
+        self.soft_nodes.extend(other.soft_nodes.iter().copied());
+        self.sub.absorb(&other.sub);
         self.rel.absorb(&other.rel);
     }
 }

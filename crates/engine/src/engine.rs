@@ -52,6 +52,20 @@ pub struct EngineConfig {
     /// analysis degrades to a global footprint (bounds per-update analysis
     /// cost on unfiltered or very popular `//label` heads).
     pub max_cone_anchors: usize,
+    /// Whether hot-cone fission is on: updates whose post-anchor path
+    /// suffix decomposes into typed-accountable sub-steps carry a sub-cone
+    /// footprint and may share a round with cone-overlapping peers whose
+    /// realized footprints are disjoint (ARCHITECTURE.md §9). **On by
+    /// default**; the off position restores the whole-cone conflict unit
+    /// and is the equivalence oracle for the fission batteries.
+    pub cone_fission: bool,
+    /// Whether the sharded publisher adapts its *effective* shard count to
+    /// the realized round widths (EWMA): narrow rounds park surplus shard
+    /// writers instead of paying dispatch/park wake-ups — and translate
+    /// walls — for shards that receive one job each. The configured
+    /// `n_shards` stays the ceiling. **On by default**; disable to pin the
+    /// fan-out exactly at `n_shards` (the pre-adaptive behavior).
+    pub adaptive_shards: bool,
     /// Number of parallel shard writers. `0` or `1` selects the single-writer
     /// group-commit path; `n >= 2` runs `n` shard writer threads over
     /// anchor-cone partitions with a serialized global lane and a merging
@@ -122,6 +136,7 @@ impl EngineConfig {
             scoped_eval: self.scoped_eval,
             descendant_cones: self.descendant_cones,
             max_cone_anchors: self.max_cone_anchors,
+            cone_fission: self.cone_fission,
         }
     }
 }
@@ -139,6 +154,8 @@ impl Default for EngineConfig {
             scoped_eval: analyze.scoped_eval,
             descendant_cones: analyze.descendant_cones,
             max_cone_anchors: analyze.max_cone_anchors,
+            cone_fission: analyze.cone_fission,
+            adaptive_shards: true,
             n_shards: 1,
             durability: Durability::Off,
             checkpoint_rounds: 1024,
@@ -842,7 +859,13 @@ impl Engine {
             // --- Form one batch against the current snapshot. ---
             let t_part = Instant::now();
             let mut analysis_eval = Duration::ZERO;
-            let mut batch: Vec<(usize, Pending, Option<rxview_core::DagEval>)> = Vec::new();
+            type BatchEntry = (
+                usize,
+                Pending,
+                Option<rxview_core::DagEval>,
+                Option<rxview_atg::NodeId>,
+            );
+            let mut batch: Vec<BatchEntry> = Vec::new();
             let mut deferred: Vec<(usize, Pending, Option<CachedAnalysis>)> = Vec::new();
             let mut batch_foot = BatchFootprint::default();
             let mut blocked_foot = BatchFootprint::default();
@@ -870,7 +893,7 @@ impl Engine {
                     deferred.extend(drain.by_ref());
                     break;
                 }
-                let (a, eval) = match cached {
+                let (mut a, eval) = match cached {
                     Some(c) => {
                         self.inner.stats.record_analysis_reused();
                         (c.analysis, c.eval)
@@ -897,9 +920,35 @@ impl Engine {
                         (parts.analysis, parts.eval)
                     }
                 };
-                let conflicts = (!batch.is_empty() && batch_foot.conflicts(&a))
-                    || (any_blocked && blocked_foot.conflicts(&a));
-                if conflicts {
+                // Non-`Proceed` updates keep the whole-cone conflict unit:
+                // their side-effect sets are computed against the planning
+                // state, which only the coarse unit protects from
+                // co-admitted peers under a shared cone.
+                if p.policy != rxview_core::SideEffectPolicy::Proceed {
+                    a.demote_to_cone();
+                }
+                use crate::analyze::Verdict;
+                let mut verdict = if batch.is_empty() {
+                    Verdict::Admit
+                } else {
+                    // Optimistic write∩write tolerance is sound here
+                    // because batch members apply sequentially against the
+                    // evolving master — later translations see earlier
+                    // realized writes.
+                    batch_foot.check(&a, true)
+                };
+                if verdict.admits() && any_blocked {
+                    let blocked_verdict = blocked_foot.check(&a, false);
+                    if verdict == Verdict::Admit || !blocked_verdict.admits() {
+                        verdict = blocked_verdict;
+                    }
+                }
+                match verdict {
+                    Verdict::FissionAdmit => self.inner.stats.record_fission_admit(),
+                    Verdict::FissionDeny => self.inner.stats.record_fission_deny(),
+                    _ => {}
+                }
+                if !verdict.admits() {
                     blocked_foot.absorb(&a);
                     any_blocked = true;
                     stalled += 1;
@@ -914,7 +963,8 @@ impl Engine {
                     if a.is_multi_cone() {
                         batch_multi_cone += 1;
                     }
-                    batch.push((i, p, eval));
+                    let cone_key = a.cone_key();
+                    batch.push((i, p, eval, cone_key));
                 }
             }
             queue = deferred;
@@ -945,7 +995,8 @@ impl Engine {
             // On the single-writer path the apply loop *is* the round's
             // translation wall clock (there is no separate merge phase).
             let t_wall = Instant::now();
-            for (i, p, eval) in batch {
+            let mut cone_keys: Vec<Option<rxview_atg::NodeId>> = Vec::new();
+            for (i, p, eval, cone_key) in batch {
                 let eval = match eval {
                     // The analysis evaluated against the snapshot the batch
                     // applies to; conflict-freeness makes that evaluation
@@ -962,6 +1013,7 @@ impl Engine {
                 match working.apply_deferred(&p.update, p.policy, eval) {
                     Ok((report, job)) => {
                         jobs.push(job);
+                        cone_keys.push(cone_key);
                         applied.push((i, report));
                         if wal_on {
                             logged.push((p.update, p.policy));
@@ -980,6 +1032,15 @@ impl Engine {
                     .stats
                     .record_multi_cone_round(batch_multi_cone, applied.len());
             }
+
+            // Per-cone fold coalescing: delete jobs admitted under one
+            // (hot) cone merge their deferred obligations, so the folded
+            // maintenance pass takes the cone's ∆(M,L) once per cone, not
+            // once per update (ARCHITECTURE.md §9).
+            let (jobs, sub_rounds) = publisher::coalesce_cone_folds(jobs, &cone_keys);
+            self.inner
+                .stats
+                .record_sub_rounds(sub_rounds, applied.len());
 
             // Folded phase 6: one maintenance pass for the whole batch.
             let t2 = Instant::now();

@@ -70,6 +70,8 @@ use crate::pipeline::{Stage, StageHooks};
 use crate::router::{self, PendingUpdate, Round, RoundPlan};
 use crate::shard::{PendingDispatch, ShardPool, ShardResult};
 use crate::snapshot::Snapshot;
+use rxview_atg::NodeId;
+use rxview_core::RelFootprint;
 use rxview_core::{DeferredMaintenance, UpdateError, UpdateOutcome, UpdateReport, XmlViewSystem};
 use rxview_obs::fields;
 use rxview_relstore::{RelError, Tuple};
@@ -77,6 +79,116 @@ use std::collections::{HashSet, VecDeque};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Per-cone fold coalescing (ARCHITECTURE.md §9): merges the deferred
+/// *deletion* obligations of same-round jobs admitted under one cone
+/// (matching `cone_key`s — hot-cone fission is what puts several of them
+/// in one round), so the folded maintenance pass takes the cone's ∆(M,L)
+/// exactly once per cone instead of once per update. Insert jobs keep
+/// their positions — their maintenance is order-dependent — and deletion
+/// maintenance is a function of the deduplicated target union, so merging
+/// the selections changes nothing observable. Returns the coalesced job
+/// list plus the number of distinct *sub-rounds* (cone groups) the round
+/// decomposed into — keyless jobs count as singleton groups.
+pub(crate) fn coalesce_cone_folds(
+    jobs: Vec<DeferredMaintenance>,
+    cone_keys: &[Option<NodeId>],
+) -> (Vec<DeferredMaintenance>, usize) {
+    debug_assert_eq!(jobs.len(), cone_keys.len());
+    let mut groups = 0usize;
+    let mut out: Vec<DeferredMaintenance> = Vec::with_capacity(jobs.len());
+    // cone key → slot in `out` holding the group's folded delete job.
+    let mut delete_slot: std::collections::HashMap<NodeId, usize> =
+        std::collections::HashMap::new();
+    // Cone keys that already counted as a group (deletes and inserts under
+    // one cone are one sub-round: one cone's worth of ∆(M,L) context).
+    let mut seen: HashSet<NodeId> = HashSet::new();
+    for (job, key) in jobs.into_iter().zip(cone_keys) {
+        match key {
+            Some(k) if !job.is_insert() => {
+                if seen.insert(*k) {
+                    groups += 1;
+                }
+                match delete_slot.get(k) {
+                    Some(&slot) => out[slot].absorb_delete(job),
+                    None => {
+                        delete_slot.insert(*k, out.len());
+                        out.push(job);
+                    }
+                }
+            }
+            Some(k) => {
+                if seen.insert(*k) {
+                    groups += 1;
+                }
+                out.push(job);
+            }
+            None => {
+                groups += 1;
+                out.push(job);
+            }
+        }
+    }
+    (out, groups)
+}
+
+/// Publisher-side adaptive fan-out (ARCHITECTURE.md §9): an EWMA of
+/// realized round widths decides how many shard writers the next round
+/// actually spans, and an EWMA of admitted multi-anchor cone counts can
+/// raise (never lower) the `//`-path anchor cap. Narrow rounds on an
+/// oversubscribed box waste more in dispatch/park wake-ups — and translate
+/// wall — than surplus shards return; the configured `n_shards` stays the
+/// ceiling, so wide traffic re-expands the fan-out within a few rounds.
+pub(crate) struct AdaptiveFanout {
+    enabled: bool,
+    ceiling: usize,
+    width_ewma: f64,
+    cones_ewma: f64,
+}
+
+impl AdaptiveFanout {
+    /// Jobs one shard writer is worth waking for: below this per-shard
+    /// load, dispatch overhead dominates the parallel translate win.
+    const TARGET_JOBS_PER_SHARD: f64 = 4.0;
+    const ALPHA: f64 = 0.2;
+
+    pub(crate) fn new(enabled: bool, ceiling: usize) -> Self {
+        AdaptiveFanout {
+            enabled,
+            ceiling,
+            // Optimistic start: full fan-out until observed widths say
+            // otherwise.
+            width_ewma: ceiling as f64 * Self::TARGET_JOBS_PER_SHARD,
+            cones_ewma: 0.0,
+        }
+    }
+
+    /// Feeds one merged round's realized width and the largest admitted
+    /// multi-anchor cone count.
+    pub(crate) fn observe(&mut self, realized_width: usize, max_cones: usize) {
+        self.width_ewma =
+            Self::ALPHA * realized_width as f64 + (1.0 - Self::ALPHA) * self.width_ewma;
+        self.cones_ewma = Self::ALPHA * max_cones as f64 + (1.0 - Self::ALPHA) * self.cones_ewma;
+    }
+
+    /// Shard writers the next round should span.
+    pub(crate) fn effective_shards(&self) -> usize {
+        if !self.enabled {
+            return self.ceiling;
+        }
+        ((self.width_ewma / Self::TARGET_JOBS_PER_SHARD).ceil() as usize).clamp(1, self.ceiling)
+    }
+
+    /// The anchor cap the next plan should use: never below the configured
+    /// cap (lowering it would degrade updates that used to shard), raised
+    /// when observed multi-anchor traffic runs close to it.
+    pub(crate) fn effective_max_cone_anchors(&self, configured: usize) -> usize {
+        if !self.enabled {
+            return configured;
+        }
+        configured.max((2.0 * self.cones_ewma).ceil() as usize)
+    }
+}
 
 /// A round's ticket table: the reply channel and admission timestamp of
 /// every update in this commit, indexed by submission order.
@@ -217,6 +329,7 @@ pub(crate) fn commit_sharded(inner: &Inner, pending: Vec<Pending>) -> CommitSumm
     // and the *dispatch* of its next (zero for its first), which a filled
     // pipeline drives toward zero.
     let mut last_finish: Vec<Option<Instant>> = vec![None; n_shards];
+    let mut fanout = AdaptiveFanout::new(inner.config.adaptive_shards, n_shards);
     let mut staged: Option<StagedRound> = None;
     let mut inflight: VecDeque<InflightRound> = VecDeque::new();
     let mut collected: Option<CollectedRound> = None;
@@ -240,12 +353,20 @@ pub(crate) fn commit_sharded(inner: &Inner, pending: Vec<Pending>) -> CommitSumm
                 }
                 fp
             });
+            // Adaptive fan-out: the EWMA of realized widths decides how
+            // many of the pooled shard writers this round spans (empty
+            // assignment lists are never dispatched), and sustained
+            // multi-anchor traffic can raise the `//`-path anchor cap.
+            let eff_shards = fanout.effective_shards();
+            let mut opts = inner.config.analyze_options();
+            opts.max_cone_anchors = fanout.effective_max_cone_anchors(opts.max_cone_anchors);
+            stats.record_adaptive_shards(eff_shards);
             let plan = router::plan_round(
                 current.system(),
                 &mut entries,
-                n_shards,
+                eff_shards,
                 inner.config.max_batch,
-                &inner.config.analyze_options(),
+                &opts,
                 inflight_foot.as_ref(),
                 stats,
             );
@@ -301,6 +422,7 @@ pub(crate) fn commit_sharded(inner: &Inner, pending: Vec<Pending>) -> CommitSumm
                     &mut entries,
                     &mut master,
                     &mut last_finish,
+                    &mut fanout,
                     c,
                     overlapped,
                     hooks,
@@ -408,6 +530,7 @@ pub(crate) fn commit_sharded(inner: &Inner, pending: Vec<Pending>) -> CommitSumm
                 &mut entries,
                 &mut master,
                 &mut last_finish,
+                &mut fanout,
                 c,
                 overlapped,
                 hooks,
@@ -485,6 +608,7 @@ fn merge_round(
     entries: &mut Vec<PendingUpdate>,
     master: &mut XmlViewSystem,
     last_finish: &mut [Option<Instant>],
+    fanout: &mut AdaptiveFanout,
     round: CollectedRound,
     overlapped: bool,
     hooks: Option<&StageHooks>,
@@ -493,8 +617,6 @@ fn merge_round(
     if let Some(h) = hooks {
         h.reached(Stage::Merge);
     }
-    // `planned` only feeds the realized-⊆-planned debug assertion below.
-    #[cfg_attr(not(debug_assertions), allow(unused_variables))]
     let CollectedRound {
         footprint,
         admitted,
@@ -540,7 +662,14 @@ fn merge_round(
 
     let mut applied: Vec<(usize, UpdateReport)> = Vec::new();
     let mut jobs: Vec<DeferredMaintenance> = Vec::new();
+    let mut cone_keys: Vec<Option<NodeId>> = Vec::new();
     let mut requeue: HashSet<usize> = HashSet::new();
+    // Union of the realized write rows applied so far this round. Optimistic
+    // fission admission tolerates *planned* write∩write overlap between
+    // same-cone peers (candidate-source rows are conservative); genuine
+    // overlap must be caught here, on the realized footprints, and the later
+    // update requeued for the next round (ARCHITECTURE.md §9).
+    let mut realized_union = RelFootprint::default();
     let t_merge = Instant::now();
     for (idx, slot, res) in flat {
         match res {
@@ -549,28 +678,39 @@ fn merge_round(
                 requeue.insert(idx);
             }
             ShardResult::Translated(t) => {
+                // `planned` is idx-sorted (admission preserves submission
+                // order); its analysis carries the job's cone-coalescing
+                // key, and — in debug builds — the typed footprint the
+                // realized writes are asserted against.
+                let planned_slot = planned.binary_search_by_key(&idx, |(i, _)| *i).ok();
                 // Same-round base writes are disjoint by the router's typed
                 // footprints: assert the realized footprint was covered by
                 // the planned one.
                 #[cfg(debug_assertions)]
                 {
-                    // `planned` is idx-sorted (admission preserves
-                    // submission order).
-                    let planned_fp = planned
-                        .binary_search_by_key(&idx, |(i, _)| *i)
-                        .ok()
-                        .map(|slot| planned[slot].1.rel());
+                    let planned_fp = planned_slot.map(|slot| planned[slot].1.rel());
                     debug_assert!(
                         planned_fp.is_some_and(|fp| fp.covers_writes(&t.rel_footprint)),
                         "update {idx}: realized footprint not covered by plan"
                     );
                 }
                 let (shard, base_alloc, catalog) = &catalogs[slot];
+                if t.rel_footprint.writes_conflict(&realized_union) {
+                    // An earlier merge this round realized a write to the
+                    // same row: the optimistic co-admission was wrong for
+                    // this pair. Submission order wins; this update re-plans
+                    // against the committed round.
+                    requeue.insert(idx);
+                    continue;
+                }
+                let realized_fp = t.rel_footprint.clone();
                 match master.apply_translated(*t, *base_alloc, catalog) {
                     Ok((report, job)) => {
                         stats.record_shard_updates(*shard, 1);
                         applied.push((idx, report));
                         jobs.push(job);
+                        cone_keys.push(planned_slot.and_then(|s| planned[s].1.cone_key()));
+                        realized_union.absorb(&realized_fp);
                     }
                     Err(e) => resolve(inner, summary, tickets, idx, Err(e)),
                 }
@@ -582,9 +722,21 @@ fn merge_round(
     if multi_cone_admitted > 0 {
         stats.record_multi_cone_round(multi_cone_admitted, applied.len());
     }
+    let max_cones = planned
+        .iter()
+        .filter(|(_, a)| a.is_multi_cone())
+        .map(|(_, a)| a.n_cones())
+        .max()
+        .unwrap_or(0);
+    fanout.observe(applied.len(), max_cones);
 
     // One folded ∆(M,L) pass for the whole round, then one publication.
     if !applied.is_empty() {
+        // Per-cone fold coalescing: delete jobs admitted under one (hot)
+        // cone merge their deferred obligations, so the fold takes the
+        // cone's ∆(M,L) once per cone, not once per update.
+        let (jobs, sub_rounds) = coalesce_cone_folds(jobs, &cone_keys);
+        stats.record_sub_rounds(sub_rounds, applied.len());
         let t2 = Instant::now();
         match master.fold_maintenance(jobs) {
             Ok(m) => {

@@ -44,7 +44,7 @@
 //! the ATG rules, which committed rounds can invalidate without touching
 //! the cached cone.
 
-use crate::analyze::{Analysis, AnalyzeOptions, AnchorIndex, BatchFootprint};
+use crate::analyze::{Analysis, AnalyzeOptions, AnchorIndex, BatchFootprint, Verdict};
 use crate::engine::Pending;
 use crate::shard::ShardJob;
 use crate::stats::EngineStats;
@@ -194,7 +194,7 @@ pub(crate) fn plan_round(
         }
         // Reuse a still-valid cached analysis (deletions only; the
         // publisher invalidates caches against each committed footprint).
-        let (analysis, eval) = match pu.cached.take() {
+        let (mut analysis, eval) = match pu.cached.take() {
             Some(c) => {
                 stats.record_analysis_reused();
                 (c.analysis, c.eval)
@@ -219,6 +219,14 @@ pub(crate) fn plan_round(
             }
         };
 
+        // A non-`Proceed` update keeps the whole-cone conflict unit: its
+        // side-effect set is computed against the round's planning state,
+        // and only the coarse unit guarantees no co-admitted peer under a
+        // shared cone perturbs it.
+        if pu.policy != SideEffectPolicy::Proceed {
+            analysis.demote_to_cone();
+        }
+
         if analysis.is_global() {
             if admitted.is_empty() && !any_blocked {
                 // A global update at the front commits alone through the
@@ -242,9 +250,32 @@ pub(crate) fn plan_round(
             continue;
         }
 
-        let conflicts = (!admitted.is_empty() && footprint.conflicts(&analysis))
-            || (any_blocked && blocked.conflicts(&analysis));
-        if conflicts {
+        // Two-level admission: the batch and blocker footprints classify
+        // the update — plain admit, fission admit (cone shared with
+        // eligible peers, sub-footprints disjoint), or a conflict. Fission
+        // attempts are counted either way.
+        let mut verdict = if admitted.is_empty() {
+            Verdict::Admit
+        } else {
+            // Optimistic: planned write∩write overlap between eligible
+            // same-cone peers is tolerated here — the publisher re-checks
+            // the realized writes at merge (ARCHITECTURE.md §9).
+            footprint.check(&analysis, true)
+        };
+        if verdict.admits() && any_blocked {
+            // Strict: the round must stay disjoint from deferred
+            // conflicters (FIFO order) and in-flight rounds.
+            let blocked_verdict = blocked.check(&analysis, false);
+            if verdict == Verdict::Admit || !blocked_verdict.admits() {
+                verdict = blocked_verdict;
+            }
+        }
+        match verdict {
+            Verdict::FissionAdmit => stats.record_fission_admit(),
+            Verdict::FissionDeny => stats.record_fission_deny(),
+            _ => {}
+        }
+        if !verdict.admits() {
             blocked.absorb(&analysis);
             any_blocked = true;
             stalled += 1;

@@ -31,6 +31,15 @@
 //! every bundle ships exactly which relational rows its translations write
 //! — the publisher checks them against the router's planned footprints in
 //! debug builds.
+//!
+//! Under hot-cone fission (ARCHITECTURE.md §9) a round may carry several
+//! updates sharing one anchor cone on *different* shards: the router
+//! admitted them because their sub-cone footprints were disjoint, and the
+//! planned write∩write overlap on shared candidate rows was optimistic.
+//! Workers need no coordination for this — translation is still read-only
+//! against the round snapshot — but the publisher re-checks the realized
+//! footprints at merge and requeues any update whose realized writes
+//! overlap an earlier merge of the same round.
 
 use crate::snapshot::Snapshot;
 use crate::stats::EngineStats;

@@ -86,6 +86,12 @@ pub struct EngineStats {
     multi_cone_rounds: Arc<Counter>,
     multi_cone_updates: Arc<Counter>,
     multi_cone_width: Arc<Counter>,
+    // --- hot-cone fission (ARCHITECTURE.md §9) ---
+    fission_admits: Arc<Counter>,
+    fission_denies: Arc<Counter>,
+    sub_rounds: Arc<Counter>,
+    sub_width: Arc<Counter>,
+    adaptive_shards: Arc<Gauge>,
     requeued: Arc<Counter>,
     analyses_reused: Arc<Counter>,
     shard_updates: Vec<Arc<Counter>>,
@@ -155,6 +161,11 @@ impl EngineStats {
             multi_cone_rounds: r.counter("round.multi_cone"),
             multi_cone_updates: r.counter("round.multi_cone_updates"),
             multi_cone_width: r.counter("round.multi_cone_width"),
+            fission_admits: r.counter("fission.admits"),
+            fission_denies: r.counter("fission.denies"),
+            sub_rounds: r.counter("round.sub_rounds"),
+            sub_width: r.counter("round.sub_width"),
+            adaptive_shards: r.gauge("router.adaptive_shards"),
             requeued: r.counter("round.requeued"),
             analyses_reused: r.counter("round.analyses_reused"),
             shard_updates: (0..n_shards.max(1))
@@ -269,6 +280,48 @@ impl EngineStats {
         self.multi_cone_rounds.incr();
         self.multi_cone_updates.add(updates as u64);
         self.multi_cone_width.add(width as u64);
+    }
+
+    /// An update admitted into a round whose anchor cone it *shares* with
+    /// an earlier admission, because their realized sub-cone footprints
+    /// (pinned keys, touched edges, extension slots) are disjoint — the
+    /// hot-cone fission path (ARCHITECTURE.md §9).
+    pub(crate) fn record_fission_admit(&self) {
+        if self.enabled {
+            self.fission_admits.incr();
+        }
+    }
+
+    /// A fission-eligible update that shared an anchor cone with the round
+    /// but was denied because its sub-cone footprint overlaps an earlier
+    /// admission's — the pair genuinely touches the same nodes or the same
+    /// extension slot and must serialize across rounds.
+    pub(crate) fn record_fission_deny(&self) {
+        if self.enabled {
+            self.fission_denies.incr();
+        }
+    }
+
+    /// One committed round's fold structure: `groups` maintenance groups
+    /// were folded (co-admitted updates under one cone coalesce to a single
+    /// ∆(M,L) pass) covering `updates` merged translations. `updates /
+    /// groups` > 1 is the publisher-side observable of fission: several
+    /// updates riding one fold.
+    pub(crate) fn record_sub_rounds(&self, groups: usize, updates: usize) {
+        if !self.enabled {
+            return;
+        }
+        self.sub_rounds.add(groups as u64);
+        self.sub_width.add(updates as u64);
+    }
+
+    /// The adaptive fan-out controller's latest decision: how many shards
+    /// the next round will actually be planned across (≤ the configured
+    /// pool size; see `AdaptiveFanout`).
+    pub(crate) fn record_adaptive_shards(&self, n: usize) {
+        if self.enabled {
+            self.adaptive_shards.set(n as i64);
+        }
     }
 
     pub(crate) fn record_requeued(&self) {
@@ -554,6 +607,11 @@ impl EngineStats {
             multi_cone_rounds: self.multi_cone_rounds.get(),
             multi_cone_updates: self.multi_cone_updates.get(),
             multi_cone_width: self.multi_cone_width.get(),
+            fission_admits: self.fission_admits.get(),
+            fission_denies: self.fission_denies.get(),
+            sub_rounds: self.sub_rounds.get(),
+            sub_width: self.sub_width.get(),
+            adaptive_shards: self.adaptive_shards.get().max(0) as u64,
             requeued: self.requeued.get(),
             analyses_reused: self.analyses_reused.get(),
             shard_updates: self.shard_updates.iter().map(|c| c.get()).collect(),
@@ -668,6 +726,24 @@ pub struct EngineReport {
     /// Total realized width of the multi-cone rounds (see
     /// [`EngineReport::mean_multi_cone_width`]).
     pub multi_cone_width: u64,
+    /// Updates admitted into a round *sharing* an anchor cone with an
+    /// earlier admission because their sub-cone footprints are disjoint
+    /// (hot-cone fission, ARCHITECTURE.md §9).
+    pub fission_admits: u64,
+    /// Fission-eligible updates denied co-admission because their sub-cone
+    /// footprint overlaps an earlier admission's under the same cone.
+    pub fission_denies: u64,
+    /// Maintenance fold groups committed across all measured rounds:
+    /// co-admitted updates under one cone coalesce to a single ∆(M,L)
+    /// fold, so with fission this runs *below* `realized_width`.
+    pub sub_rounds: u64,
+    /// Total merged translations covered by those fold groups (the
+    /// numerator of [`EngineReport::mean_sub_width`]).
+    pub sub_width: u64,
+    /// The adaptive fan-out controller's latest decision — shards the most
+    /// recent round was planned across (= configured pool size when the
+    /// controller is off or no sharded round has run).
+    pub adaptive_shards: u64,
     /// Sharded path: updates sent back to the router for a later round
     /// (cross-update coupling or base-key overlap detected at merge time).
     pub requeued: u64,
@@ -815,6 +891,14 @@ impl EngineReport {
         ratio(self.multi_cone_width as f64, self.multi_cone_rounds as f64)
     }
 
+    /// Average merged translations per maintenance fold group (the mean
+    /// *sub-round width*): 1.0 means every update folded alone; > 1 means
+    /// hot-cone fission coalesced same-cone co-admissions into shared
+    /// folds. 0.0 when no round was measured.
+    pub fn mean_sub_width(&self) -> f64 {
+        ratio(self.sub_width as f64, self.sub_rounds as f64)
+    }
+
     /// Fraction of shard-round time spent starved (per worker, the gap
     /// between finishing one round and the next round's *dispatch*):
     /// `idle / (busy + idle)`, 0.0 when no sharded round ran. High values
@@ -919,6 +1003,17 @@ impl fmt::Display for EngineReport {
                 self.multi_cone_rounds,
                 self.mean_multi_cone_width(),
                 self.global_lane_rounds
+            )?;
+        }
+        if self.fission_admits > 0 || self.fission_denies > 0 {
+            writeln!(
+                f,
+                "fission: {} co-admits, {} denies, {} fold groups (mean sub-width {:.1}), adaptive fan-out {}",
+                self.fission_admits,
+                self.fission_denies,
+                self.sub_rounds,
+                self.mean_sub_width(),
+                self.adaptive_shards
             )?;
         }
         if self.shard_updates.len() > 1 || self.rounds > 0 {

@@ -9,8 +9,8 @@ use proptest::prelude::*;
 use rxview_core::{SideEffectPolicy, XmlUpdate, XmlViewSystem};
 use rxview_engine::{Engine, EngineConfig};
 use rxview_workload::{
-    synthetic_atg, synthetic_database, DescendantConfig, DescendantGen, SyntheticConfig,
-    WorkloadClass, WorkloadGen,
+    synthetic_atg, synthetic_database, DescendantConfig, DescendantGen, ShardSkewGen, SkewConfig,
+    SyntheticConfig, WorkloadClass, WorkloadGen,
 };
 use std::collections::BTreeSet;
 
@@ -296,6 +296,125 @@ proptest! {
     }
 }
 
+/// Runs the same ops through a fission-on engine, a fission-off engine,
+/// and the sequential oracle; all three must agree on the acceptance
+/// pattern, the final base database, and the final view. The
+/// `cone_fission` knob swaps the sub-cone conflict unit (ARCHITECTURE.md
+/// §9) for the whole-cone one, so this is the equivalence proof for the
+/// whole fission path: sub-key derivation, optimistic write∩write
+/// admission, per-cone fold coalescing, and the publisher's realized-write
+/// re-check.
+fn check_fission_knob_equivalence(
+    sys: XmlViewSystem,
+    ops: &[XmlUpdate],
+    max_batch: usize,
+    n_shards: usize,
+    pipeline_depth: usize,
+) -> Result<(), String> {
+    if ops.is_empty() {
+        return Ok(());
+    }
+    let mut seq = sys.clone();
+    let seq_outcomes: Vec<bool> = ops
+        .iter()
+        .map(|u| seq.apply(u, SideEffectPolicy::Proceed).is_ok())
+        .collect();
+
+    let run = |cone_fission: bool| -> Result<_, String> {
+        let engine = Engine::with_config(
+            sys.clone(),
+            EngineConfig {
+                max_batch,
+                n_shards,
+                pipeline_depth,
+                cone_fission,
+                ..EngineConfig::default()
+            },
+        );
+        let tickets: Vec<_> = ops
+            .iter()
+            .map(|u| {
+                engine
+                    .submit(u.clone(), SideEffectPolicy::Proceed)
+                    .expect("queue not full")
+            })
+            .collect();
+        engine.commit_pending();
+        let outcomes: Vec<bool> = tickets.into_iter().map(|t| t.wait().is_ok()).collect();
+        let snap = engine.snapshot();
+        snap.system()
+            .consistency_check()
+            .map_err(|e| format!("fission={cone_fission}: republication oracle fails: {e}"))?;
+        let report = engine.stats().report();
+        Ok((
+            outcomes,
+            base_rows(snap.system()),
+            edge_set(snap.system()),
+            report.fission_admits,
+        ))
+    };
+    let (on_out, on_base, on_edges, _on_admits) = run(true)?;
+    let (off_out, off_base, off_edges, off_admits) = run(false)?;
+
+    if on_out != seq_outcomes || off_out != seq_outcomes {
+        return Err(format!(
+            "acceptance diverged:\n  seq {seq_outcomes:?}\n  engine(fission on) {on_out:?}\n  engine(fission off) {off_out:?}\n  ops: {}",
+            ops.iter()
+                .map(|u| u.to_string())
+                .collect::<Vec<_>>()
+                .join("; ")
+        ));
+    }
+    if on_base != off_base {
+        return Err("final base database diverged between fission on/off".into());
+    }
+    if on_edges != off_edges {
+        return Err("final view diverged between fission on/off".into());
+    }
+    // The knob is real: the fission-off engine never co-admits.
+    if off_admits != 0 {
+        return Err(format!(
+            "fission-off engine recorded {off_admits} co-admissions"
+        ));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Hot-cone fission is an optimization, not a semantics change: the
+    /// `cone_fission` knob flipped either way yields identical acceptance
+    /// patterns and final states over skewed hot-anchor workloads — the
+    /// traffic shape the sub-cone conflict unit exists for — on the
+    /// sharded write path at every pipeline depth (1–3).
+    #[test]
+    fn fission_on_equals_fission_off(
+        seed in 0u64..200,
+        n_ops in 8usize..28,
+        hot in 0u32..=10,
+        max_batch in 1usize..12,
+        n_shards in 2usize..6,
+        pipeline_depth in 1usize..4,
+    ) {
+        let sys = system(200, seed);
+        let mut gen = ShardSkewGen::new(SkewConfig {
+            groups: 200 / 40,
+            hot_fraction: f64::from(hot) / 10.0,
+            hot_groups: 2,
+            payload_domain: 8,
+            seed,
+            ..SkewConfig::default()
+        });
+        let ops = gen.ops(n_ops);
+        if let Err(e) =
+            check_fission_knob_equivalence(sys, &ops, max_batch, n_shards, pipeline_depth)
+        {
+            return Err(TestCaseError::fail(e));
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
@@ -458,6 +577,111 @@ fn plans_knob_is_invisible_across_write_paths_and_depths() {
         check_plans_knob_equivalence(sys, &ops, 6, n_shards, depth)
             .unwrap_or_else(|e| panic!("shards={n_shards} depth={depth}: {e}"));
     }
+}
+
+/// The hot-cone fission acceptance shape, deterministically: updates under
+/// ONE anchor cone with disjoint realized sub-keys must co-admit into a
+/// shared round, while overlapping sub-keys (a delete of the very node an
+/// earlier insert creates) must NOT share a round — the read/write typed
+/// dependency serializes them even though fission shares the cone.
+#[test]
+fn hot_anchor_fission_co_admits_disjoint_serializes_overlapping() {
+    use rxview_relstore::{tuple, Value};
+    let sys = system(200, 11);
+    // Three inserts of distinct fresh nodes under the same group head, then
+    // a delete of the first — the delete reads the typed key the first
+    // insert writes, so it must wait a round.
+    let fresh: i64 = 3_000_000_000;
+    let mut ops: Vec<XmlUpdate> = (0..3)
+        .map(|k| {
+            XmlUpdate::insert("node", tuple![fresh + k, Value::Int(k)], "node[id=0]/sub").unwrap()
+        })
+        .collect();
+    ops.push(XmlUpdate::delete(&format!("node[id=0]/sub/node[id={fresh}]")).unwrap());
+
+    let mut seq = sys.clone();
+    let seq_outcomes: Vec<bool> = ops
+        .iter()
+        .map(|u| seq.apply(u, SideEffectPolicy::Proceed).is_ok())
+        .collect();
+    let engine = Engine::with_config(
+        sys,
+        EngineConfig {
+            n_shards: 3,
+            ..EngineConfig::default()
+        },
+    );
+    let tickets: Vec<_> = ops
+        .iter()
+        .map(|u| {
+            engine
+                .submit(u.clone(), SideEffectPolicy::Proceed)
+                .expect("queue not full")
+        })
+        .collect();
+    engine.commit_pending();
+    let eng_outcomes: Vec<bool> = tickets.into_iter().map(|t| t.wait().is_ok()).collect();
+    assert_eq!(seq_outcomes, eng_outcomes);
+    assert!(eng_outcomes.iter().all(|&ok| ok), "all four ops apply");
+    assert_eq!(edge_set(&seq), edge_set(engine.snapshot().system()));
+    engine.snapshot().system().consistency_check().unwrap();
+    let report = engine.stats().report();
+    assert!(
+        report.fission_admits >= 2,
+        "three same-cone inserts with disjoint sub-keys co-admit (got {} co-admits)",
+        report.fission_admits
+    );
+    assert!(
+        report.rounds >= 2,
+        "the dependent delete must not share its insert's round (got {} rounds)",
+        report.rounds
+    );
+}
+
+/// The same stream with fission disabled serializes the whole cone: every
+/// same-anchor update takes its own round, so the round count strictly
+/// exceeds the fission run's — the structural evidence the skew sweep's
+/// acceptance gate checks at bench scale.
+#[test]
+fn fission_off_serializes_the_whole_cone() {
+    use rxview_relstore::{tuple, Value};
+    let rounds_with = |cone_fission: bool| {
+        let sys = system(200, 11);
+        let fresh: i64 = 3_000_000_000;
+        let ops: Vec<XmlUpdate> = (0..4)
+            .map(|k| {
+                XmlUpdate::insert("node", tuple![fresh + k, Value::Int(k)], "node[id=0]/sub")
+                    .unwrap()
+            })
+            .collect();
+        let engine = Engine::with_config(
+            sys,
+            EngineConfig {
+                n_shards: 3,
+                cone_fission,
+                ..EngineConfig::default()
+            },
+        );
+        let tickets: Vec<_> = ops
+            .iter()
+            .map(|u| {
+                engine
+                    .submit(u.clone(), SideEffectPolicy::Proceed)
+                    .expect("queue not full")
+            })
+            .collect();
+        engine.commit_pending();
+        assert!(tickets.into_iter().all(|t| t.wait().is_ok()));
+        engine.snapshot().system().consistency_check().unwrap();
+        engine.stats().report().rounds
+    };
+    let on = rounds_with(true);
+    let off = rounds_with(false);
+    assert!(
+        on < off,
+        "fission must commit fewer rounds on a hot cone (on {on}, off {off})"
+    );
+    assert_eq!(on, 1, "four disjoint same-cone inserts share one round");
 }
 
 /// A deterministic large-ish case exercising multi-batch commits.

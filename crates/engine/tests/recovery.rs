@@ -766,3 +766,99 @@ fn durable_recovery_is_idempotent() {
     drop(second);
     let _ = fs::remove_dir_all(&dir);
 }
+
+/// Crash recovery under hot-cone fission (ARCHITECTURE.md §9). A skewed
+/// hot-anchor stream makes rounds that genuinely co-admit several updates
+/// under one cone — this test asserts fission actually fired before the
+/// crash — then the engine dies without ceremony, at several kill points
+/// and pipeline depths. The WAL logs merged rounds in submission order, so
+/// replay is oblivious to how wide the round was; the recovered state must
+/// still equal the acknowledged-prefix oracle, and a recovery configured
+/// with `cone_fission: false` must rebuild the identical state.
+#[test]
+fn crash_recovery_with_fission_on_hot_cones() {
+    use rxview_workload::{ShardSkewGen, SkewConfig};
+    for (kill_after_chunks, pipeline_depth) in [(1usize, 1usize), (2, 2), (3, 3)] {
+        let (sys, atg) = system(200, 31);
+        let mut gen = ShardSkewGen::new(SkewConfig {
+            groups: 200 / 40,
+            hot_fraction: 0.9,
+            hot_groups: 2,
+            payload_domain: 8,
+            seed: 31,
+            ..SkewConfig::default()
+        });
+        let ops = gen.ops(24);
+        let dir = temp_dir("fission");
+        let engine = Engine::with_durability(
+            sys.clone(),
+            durable_config_depth(3, 0, pipeline_depth),
+            &dir,
+        )
+        .expect("durable engine");
+        let chunks: Vec<&[XmlUpdate]> = ops.chunks(8).collect();
+        let committed = chunks.len().min(kill_after_chunks);
+        let mut acknowledged: Vec<(XmlUpdate, bool)> = Vec::new();
+        for chunk in &chunks[..committed] {
+            let tickets: Vec<_> = chunk
+                .iter()
+                .map(|u| {
+                    engine
+                        .submit(u.clone(), SideEffectPolicy::Proceed)
+                        .expect("queue not full")
+                })
+                .collect();
+            engine.commit_pending();
+            for (u, t) in chunk.iter().zip(tickets) {
+                acknowledged.push((u.clone(), t.wait().is_ok()));
+            }
+        }
+        let report = engine.stats().report();
+        assert!(
+            report.fission_admits > 0,
+            "kill={kill_after_chunks} depth={pipeline_depth}: the skewed stream must \
+             exercise fission before the crash (0 co-admits)"
+        );
+        let epoch_at_kill = engine.snapshot().epoch();
+        drop(engine); // crash
+
+        let mut oracle = sys;
+        for (u, accepted) in &acknowledged {
+            let ok = oracle.apply(u, SideEffectPolicy::Proceed).is_ok();
+            assert_eq!(ok, *accepted, "oracle acceptance diverged for `{u}`");
+        }
+
+        // Recover twice: fission on (the crashed configuration) and fission
+        // off — replay is sequential either way, so both must match.
+        for cone_fission in [true, false] {
+            let dir_copy = copy_dir(&dir, "fission-rec");
+            let (recovered, rep) = Engine::recover(
+                atg.clone(),
+                &dir_copy,
+                EngineConfig {
+                    cone_fission,
+                    ..durable_config_depth(3, 0, pipeline_depth)
+                },
+            )
+            .expect("recovery succeeds");
+            assert_eq!(rep.replay_rejected, 0);
+            assert_eq!(rep.resumed_epoch, epoch_at_kill);
+            let snap = recovered.snapshot();
+            assert_eq!(
+                base_fingerprint(&oracle),
+                base_fingerprint(snap.system()),
+                "fission={cone_fission}: recovered base diverged"
+            );
+            assert_eq!(
+                edge_fingerprint(&oracle),
+                edge_fingerprint(snap.system()),
+                "fission={cone_fission}: recovered view diverged"
+            );
+            snap.system().consistency_check().unwrap();
+            drop(snap);
+            drop(recovered);
+            let _ = fs::remove_dir_all(&dir_copy);
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

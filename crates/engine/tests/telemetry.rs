@@ -186,6 +186,64 @@ fn telemetry_off_keeps_engine_working_and_counters_quiet() {
         .expect("consistent with telemetry off");
 }
 
+/// The engine re-baselines the shared plan cache at build time: its report
+/// shows only probes made *through this engine*, even when the cache `Arc`
+/// arrives pre-warmed (bench rows reuse one synthetic system across
+/// engines, so without the baseline every row would inherit its
+/// predecessors' cumulative hits).
+#[test]
+fn plan_cache_report_rebaselines_per_engine() {
+    let n = 400;
+    let sys = system(n);
+    let edges = group_edges(&sys, n as i64, 40);
+    assert!(edges.len() >= 4);
+
+    // Warm the shared cache outside any engine: `clone` shares the same
+    // `Arc<PlanCache>`, and sequential `apply` probes it (plans default on).
+    let mut warm = sys.clone();
+    let (h, c) = edges[0];
+    warm.apply(&delete(h, c), SideEffectPolicy::Proceed)
+        .expect("warmup applies");
+    let pre = sys.view().plan_cache().stats();
+    assert!(pre.hits + pre.misses > 0, "warmup must probe the cache");
+
+    // A fresh engine over the warmed system starts its delta at zero.
+    let engine = Engine::with_config(
+        sys,
+        EngineConfig {
+            n_shards: 2,
+            ..EngineConfig::default()
+        },
+    );
+    let before = engine.stats().report().plan_cache;
+    assert_eq!(
+        before.hits + before.misses,
+        0,
+        "report must re-baseline the pre-warmed cache (saw {} probes)",
+        before.hits + before.misses
+    );
+    assert_eq!(before.compiles, 0);
+
+    // And counts exactly its own traffic afterwards.
+    for &(h, c) in &edges[1..3] {
+        let t = engine
+            .submit(delete(h, c), SideEffectPolicy::Proceed)
+            .expect("queue accepts");
+        engine.commit_pending();
+        t.wait().expect("commits");
+    }
+    let after = engine.stats().report().plan_cache;
+    assert!(
+        after.hits + after.misses > 0,
+        "the engine's own probes must show up in the delta"
+    );
+    let total = engine.snapshot().system().view().plan_cache().stats();
+    assert!(
+        after.hits + after.misses <= (total.hits + total.misses) - (pre.hits + pre.misses),
+        "delta exceeds the engine's own share of the shared counters"
+    );
+}
+
 /// The exporter appends one registry snapshot per interval (plus a final
 /// one on shutdown) to the configured JSONL path.
 #[test]
