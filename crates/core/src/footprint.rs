@@ -31,7 +31,7 @@
 //! *different* rows of one table commute.
 
 use crate::rel_delete::candidate_source_keys;
-use crate::rel_insert::edge_template_keys_cached;
+use crate::rel_insert::{edge_template_keys, edge_template_keys_compiled};
 use crate::update::ViewDelta;
 use crate::viewstore::ViewStore;
 use rxview_atg::{NodeId, RuleBody, SubtreeDag};
@@ -454,26 +454,36 @@ fn add_edge_keys(
         Some(RuleBody::Query {
             query,
             param_fields,
-        }) => match edge_template_keys_cached(
-            base,
-            vs.edge_cache(),
-            (pty, cty),
-            query,
-            param_fields,
-            pattr,
-            cattr,
-        ) {
-            Ok(keys) => {
-                for (table, key) in keys {
-                    let Ok(schema) = base.table(&table).map(|t| t.schema()) else {
-                        return false;
-                    };
-                    out.add_write_row(&table, schema.key(), key);
+        }) => {
+            // The dry run instantiates the same compiled skeleton the real
+            // translation instantiates moments later (interpretive oracle
+            // when the knob is off).
+            let keys = if vs.templates_enabled() {
+                edge_template_keys_compiled(
+                    base,
+                    &vs.templates(),
+                    (pty, cty),
+                    query,
+                    param_fields,
+                    pattr,
+                    cattr,
+                )
+            } else {
+                edge_template_keys(base, query, param_fields, pattr, cattr)
+            };
+            match keys {
+                Ok(keys) => {
+                    for (table, key) in keys {
+                        let Ok(schema) = base.table(&table).map(|t| t.schema()) else {
+                            return false;
+                        };
+                        out.add_write_row(&table, schema.key(), key);
+                    }
+                    true
                 }
-                true
+                Err(_) => false,
             }
-            Err(_) => false,
-        },
+        }
         _ => true,
     }
 }

@@ -24,6 +24,9 @@
 //!   compiled once into a classified, executable program and cached in the
 //!   `Arc`-shared engine-wide [`plan::PlanCache`], with an
 //!   allocation-reusing execution arena;
+//! - [`template`]: compiled translation templates — per production edge,
+//!   the precompiled insert-side ∆R skeleton and delete-side
+//!   candidate-source program, hosted in the same [`plan::PlanCache`];
 //! - [`codec`]: the hand-rolled binary encodings of updates and full system
 //!   state that the serving engine's write-ahead log and checkpoints are
 //!   built on;
@@ -44,6 +47,7 @@ pub mod rel_delete;
 pub mod rel_insert;
 pub mod republish;
 pub mod stats;
+pub mod template;
 pub mod topo;
 pub mod translate;
 pub mod update;
@@ -69,11 +73,12 @@ pub use rel_delete::{
     candidate_source_keys, translate_deletions, translate_deletions_minimal, DeleteRejection,
 };
 pub use rel_insert::{
-    edge_template_keys, edge_template_keys_cached, translate_insertions, EdgeClosureCache,
-    InsertRejection, InsertTranslation,
+    edge_template_keys, edge_template_keys_compiled, translate_insertions, InsertRejection,
+    InsertTranslation,
 };
 pub use republish::{apply_relational_update, RepublishReport};
 pub use stats::{view_stats, ViewStats};
+pub use template::TranslationTemplates;
 pub use topo::TopoOrder;
 pub use translate::{apply_delta, rollback_subtree, xdelete, xinsert};
 pub use update::{SideEffectPolicy, ViewDelta, XmlUpdate};

@@ -13,9 +13,12 @@ use crate::viewstore::ViewStore;
 use rxview_atg::{NodeId, SubtreeDag};
 use rxview_relstore::RelResult;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::time::Instant;
 
 /// What maintenance did — counts for reporting and the cascaded deletions
-/// `∆'V` handed to the garbage collector.
+/// `∆'V` handed to the garbage collector, plus sub-span timings attributing
+/// the fold phase (`M`-rewrite vs `L`-splice) so the serial section's cost
+/// is visible per constituent, not just in aggregate.
 #[derive(Debug, Clone, Default)]
 pub struct MaintainReport {
     /// Reachability pairs added (`∆M` insertions).
@@ -26,6 +29,16 @@ pub struct MaintainReport {
     pub gc_nodes: usize,
     /// Cascaded edge deletions `∆'V` applied by the collector.
     pub cascaded_edges: usize,
+    /// Nanoseconds spent rewriting `M` (∆M parts (a)/(b) on insert; the
+    /// per-node ancestor-set recomputation on delete).
+    pub m_rewrite_ns: u64,
+    /// Nanoseconds spent splicing/repairing `L` (block splice + swap repair
+    /// on insert; `L` removal, edge cascade, `M` drop, and `gen_A`
+    /// collection of unreachable nodes on delete).
+    pub l_splice_ns: u64,
+    /// Per-cone fold invocations folded into this report (each
+    /// `maintain_insert`/`maintain_delete` call is one cone fold).
+    pub cone_folds: u64,
 }
 
 impl MaintainReport {
@@ -35,6 +48,9 @@ impl MaintainReport {
         self.m_removed += other.m_removed;
         self.gc_nodes += other.gc_nodes;
         self.cascaded_edges += other.cascaded_edges;
+        self.m_rewrite_ns += other.m_rewrite_ns;
+        self.l_splice_ns += other.l_splice_ns;
+        self.cone_folds += other.cone_folds;
     }
 }
 
@@ -57,11 +73,15 @@ pub fn maintain_insert(
     subtree: &SubtreeDag,
     targets: &[NodeId],
 ) -> MaintainReport {
-    let mut report = MaintainReport::default();
+    let mut report = MaintainReport {
+        cone_folds: 1,
+        ..MaintainReport::default()
+    };
     let dag = vs.dag();
     let fresh: BTreeSet<NodeId> = subtree.fresh.iter().copied().collect();
 
     // ---- L: splice fresh nodes in parents-first at the earliest target. ----
+    let t_splice = Instant::now();
     if !fresh.is_empty() {
         // Post-order DFS over fresh nodes gives children-first; reverse for
         // parents-first insertion at a fixed index.
@@ -100,8 +120,10 @@ pub fn maintain_insert(
             .collect();
         topo.insert_many_at(at.min(topo.len()), &block);
     }
+    report.l_splice_ns += t_splice.elapsed().as_nanos() as u64;
 
     // ---- ∆M (a): descendants of every fresh node. ----
+    let t_m = Instant::now();
     // Memoized DFS: desc(v) = ∪_c ({c} ∪ desc(c)); old nodes answer from M.
     let mut memo: HashMap<NodeId, BTreeSet<NodeId>> = HashMap::new();
     fn desc_of(
@@ -152,8 +174,10 @@ pub fn maintain_insert(
             }
         }
     }
+    report.m_rewrite_ns += t_m.elapsed().as_nanos() as u64;
 
     // ---- L repair for edges onto pre-existing nodes (Fig.7 lines 8–13). ----
+    let t_repair = Instant::now();
     // Connecting edges (target, root) when the root pre-existed, and subtree
     // edges into shared old nodes, can violate the order; repair with swap.
     let repair = |topo: &mut TopoOrder, u: NodeId, v: NodeId| {
@@ -169,6 +193,7 @@ pub fn maintain_insert(
     for &(u, v) in &subtree.edges {
         repair(topo, u, v);
     }
+    report.l_splice_ns += t_repair.elapsed().as_nanos() as u64;
     report
 }
 
@@ -187,7 +212,10 @@ pub fn maintain_delete(
     reach: &mut Reachability,
     selected: &[NodeId],
 ) -> RelResult<MaintainReport> {
-    let mut report = MaintainReport::default();
+    let mut report = MaintainReport {
+        cone_folds: 1,
+        ..MaintainReport::default()
+    };
 
     // LR: the targets and all their descendants, sorted by L.
     let mut lr_set: BTreeSet<NodeId> = selected.iter().copied().collect();
@@ -209,6 +237,7 @@ pub fn maintain_delete(
             .copied()
             .filter(|a| *keep.get(a).unwrap_or(&true) && vs.dag().genid().is_live(*a))
             .collect();
+        let t_m = Instant::now();
         let mut ad: BTreeSet<NodeId> = BTreeSet::new();
         for &a in &pd {
             ad.insert(a);
@@ -216,7 +245,9 @@ pub fn maintain_delete(
         }
         let removed = reach.set_ancestors(d, ad);
         report.m_removed += removed.len();
+        report.m_rewrite_ns += t_m.elapsed().as_nanos() as u64;
         if pd.is_empty() {
+            let t_gc = Instant::now();
             keep.insert(d, false);
             topo.remove(d);
             // Cascade outgoing edges (∆'V) and collect the node.
@@ -228,6 +259,7 @@ pub fn maintain_delete(
             reach.drop_node(d);
             vs.unregister_node(d)?;
             report.gc_nodes += 1;
+            report.l_splice_ns += t_gc.elapsed().as_nanos() as u64;
         } else {
             keep.insert(d, true);
         }

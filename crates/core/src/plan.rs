@@ -7,8 +7,8 @@
 //! path and the grammar, never on the view contents or the literal values
 //! inside `p = "s"` filters. This module compiles each `(shape, grammar)`
 //! pair **once** into an [`UpdatePlan`] and caches it in a sharded,
-//! `Arc`-shared [`PlanCache`] (the same sharing idiom as
-//! [`crate::rel_insert::EdgeClosureCache`]): the plan carries the slotted
+//! `Arc`-shared [`PlanCache`] (which also hosts the per-grammar
+//! [`TranslationTemplates`] registry): the plan carries the slotted
 //! [`PathClass`] (filter-key values abstracted into binding slots) and the
 //! compiled predicate program; per call the engine only re-derives the
 //! *bindings* — the literal values — and executes the program through a
@@ -38,9 +38,10 @@
 use crate::dag_eval::DagEval;
 use crate::pathclass::{classify, PathClass};
 use crate::reach::Reachability;
+use crate::template::TranslationTemplates;
 use crate::topo::TopoOrder;
 use crate::viewstore::ViewStore;
-use rxview_atg::NodeId;
+use rxview_atg::{Atg, NodeId};
 use rxview_xmlkit::xpath::ast::{Filter, NodeTest, Step, StepKind, XPath};
 use rxview_xmlkit::xpath::normalize::{normalize, NormStep};
 use rxview_xmlkit::{Dtd, TypeId};
@@ -443,6 +444,12 @@ pub struct PlanCache {
     /// histogram). First setter wins; later engines sharing the cache keep
     /// the counters but not per-compile samples.
     observer: OnceLock<Box<dyn Fn(Duration) + Send + Sync>>,
+    /// The per-grammar translation-template registry, compiled on first
+    /// demand. Lives here (not its own cache) so every consumer sharing
+    /// the plan cache — analyze, shards, single-writer, global lane,
+    /// recovery — shares one compilation, with its own counters separate
+    /// from the plan counters.
+    templates: OnceLock<Arc<TranslationTemplates>>,
 }
 
 impl Default for PlanCache {
@@ -455,6 +462,7 @@ impl Default for PlanCache {
             compiles: AtomicU64::new(0),
             compile_ns: AtomicU64::new(0),
             observer: OnceLock::new(),
+            templates: OnceLock::new(),
         }
     }
 }
@@ -519,6 +527,21 @@ impl PlanCache {
     /// Installs the compile-time observer (first caller wins).
     pub fn set_observer(&self, obs: Box<dyn Fn(Duration) + Send + Sync>) {
         let _ = self.observer.set(obs);
+    }
+
+    /// The translation-template registry for `atg`, compiled on first call.
+    /// The cache-coherence argument is the plan one verbatim: one grammar
+    /// per cache, so the first caller's `atg` is every caller's `atg`.
+    pub fn templates(&self, atg: &Atg) -> Arc<TranslationTemplates> {
+        Arc::clone(
+            self.templates
+                .get_or_init(|| Arc::new(TranslationTemplates::compile(atg))),
+        )
+    }
+
+    /// Counters of the template registry (zero until first compiled).
+    pub fn template_stats(&self) -> PlanCacheStats {
+        self.templates.get().map(|t| t.stats()).unwrap_or_default()
     }
 }
 

@@ -331,6 +331,12 @@ impl XmlViewSystem {
         self.vs.set_plans_enabled(enabled);
     }
 
+    /// Toggles compiled-template translation on the underlying store (the
+    /// engine's `use_templates` knob — see [`crate::template`]).
+    pub fn set_templates_enabled(&mut self, enabled: bool) {
+        self.vs.set_templates_enabled(enabled);
+    }
+
     /// The topological order `L`.
     pub fn topo(&self) -> &TopoOrder {
         &self.topo
@@ -999,8 +1005,8 @@ mod tests {
     #[test]
     fn planning_dry_run_feeds_translation_closure_cache() {
         // The footprint-only dry run grounds template keys through the same
-        // per-edge equality closures the real translation derives; with the
-        // shared cache the second derivation must be a hit.
+        // compiled skeletons the real translation instantiates; both count
+        // as registry hits on the one-shot compilation.
         let mut sys = system();
         let u = XmlUpdate::insert(
             "course",
@@ -1027,13 +1033,18 @@ mod tests {
             &eval.selected,
             &mut fp,
         ));
-        let (_, misses_after_plan) = sys.view().edge_cache().stats();
-        assert!(misses_after_plan > 0, "the dry run derives closures");
+        let after_plan = sys.view().template_stats();
+        assert!(after_plan.compiles > 0, "the dry run compiles the registry");
+        assert!(after_plan.hits > 0, "the dry run instantiates templates");
         sys.apply(&u, SideEffectPolicy::Proceed).unwrap();
-        let (hits, _) = sys.view().edge_cache().stats();
+        let after_apply = sys.view().template_stats();
+        assert_eq!(
+            after_apply.compiles, after_plan.compiles,
+            "real translation must reuse the planner's compilation"
+        );
         assert!(
-            hits > 0,
-            "real translation must reuse the planner's closures"
+            after_apply.hits > after_plan.hits,
+            "real translation instantiates the same templates"
         );
     }
 

@@ -18,12 +18,15 @@
 //! (this is the "more database queries as `|Ep(r)|` grows" behaviour the
 //! paper reports in Fig.11(g)).
 
+use crate::template::TranslationTemplates;
 use crate::update::ViewDelta;
 use crate::viewstore::ViewStore;
 use rxview_atg::NodeId;
 use rxview_relstore::{
-    closure_source_keys, eval_spj, Database, GroupUpdate, RelError, SourceRef, SpjQuery, Tuple,
+    closure_source_keys, eval_spj, Database, GroupUpdate, RelError, RelResult, SourceRef, SpjQuery,
+    Tuple,
 };
+use rxview_xmlkit::TypeId;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
@@ -78,6 +81,25 @@ fn edge_row(vs: &ViewStore, u: NodeId, v: NodeId) -> Tuple {
     vs.gen_row(u).concat(vs.dag().genid().attr_of(v))
 }
 
+/// [`closure_source_keys`] with the derived `gen_parent` entry skipped,
+/// routed through the compiled [`TranslationTemplates`] registry when one
+/// is supplied (interpretive-oracle knob off → `None`; an edge outside the
+/// registry also falls back to the interpretive derivation).
+fn edge_source_keys(
+    compiled: Option<&TranslationTemplates>,
+    edge: (TypeId, TypeId),
+    q: &SpjQuery,
+    provider: &impl rxview_relstore::SchemaProvider,
+    row: &Tuple,
+) -> RelResult<Option<Vec<SourceRef>>> {
+    if let Some(t) = compiled {
+        if let Some(found) = t.source_keys(edge, row) {
+            return Ok(found);
+        }
+    }
+    closure_source_keys(q, provider, row, &[0])
+}
+
 /// Binds the key columns of every FROM entry named `table` in `q` to `key`,
 /// returning the restricted query. Shared with incremental republishing.
 pub(crate) fn bind_source(
@@ -123,6 +145,7 @@ pub(crate) fn bind_source(
 /// contribute no keys here.
 pub fn candidate_source_keys(vs: &ViewStore, delta: &ViewDelta) -> Option<Vec<SourceRef>> {
     let provider = vs.atg().augmented_schemas();
+    let compiled = vs.templates_enabled().then(|| vs.templates());
     let mut out = Vec::new();
     for &(u, v) in &delta.deletes {
         let a = vs.dag().genid().type_of(u);
@@ -134,7 +157,7 @@ pub fn candidate_source_keys(vs: &ViewStore, delta: &ViewDelta) -> Option<Vec<So
             continue; // projection rule: same
         }
         let row = edge_row(vs, u, v);
-        let sources = closure_source_keys(q, &provider, &row, &[0]).ok()??;
+        let sources = edge_source_keys(compiled.as_deref(), (a, b), q, &provider, &row).ok()??;
         out.extend(sources);
     }
     Some(out)
@@ -149,6 +172,7 @@ pub fn translate_deletions(
 ) -> Result<GroupUpdate, DeleteRejection> {
     let aug = vs.augmented(base);
     let provider = vs.atg().augmented_schemas();
+    let compiled = vs.templates_enabled().then(|| vs.templates());
     let deleted: BTreeSet<(NodeId, NodeId)> = delta.deletes.iter().copied().collect();
 
     // Cache of source-safety verdicts.
@@ -171,7 +195,7 @@ pub fn translate_deletions(
             });
         }
         let row = edge_row(vs, u, v);
-        let sources = closure_source_keys(q, &provider, &row, &[0])
+        let sources = edge_source_keys(compiled.as_deref(), (a, b), q, &provider, &row)
             .map_err(DeleteRejection::Rel)?
             .ok_or_else(|| {
                 DeleteRejection::Rel(RelError::NotKeyPreserving {
@@ -189,7 +213,7 @@ pub fn translate_deletions(
                 }
                 continue;
             }
-            let safe = source_is_safe(vs, &aug, &provider, &sr, &deleted)?;
+            let safe = source_is_safe(vs, &aug, &provider, compiled.as_deref(), &sr, &deleted)?;
             verdict.insert(sr.clone(), safe);
             if safe {
                 chosen = Some(sr);
@@ -215,6 +239,7 @@ fn source_is_safe(
     vs: &ViewStore,
     aug: &rxview_relstore::Augmented<'_>,
     provider: &Vec<rxview_relstore::TableSchema>,
+    compiled: Option<&TranslationTemplates>,
     sr: &SourceRef,
     deleted: &BTreeSet<(NodeId, NodeId)>,
 ) -> Result<bool, DeleteRejection> {
@@ -227,8 +252,11 @@ fn source_is_safe(
         for row in rows {
             // A produced row only matters if *this source actually appears*
             // in its deletable source (self-joins may bind one occurrence).
-            let srcs =
-                closure_source_keys(q, provider, &row, &[0]).map_err(DeleteRejection::Rel)?;
+            // This per-evaluated-row probe is the delete path's hottest
+            // call site — the compiled program replaces a full union-find
+            // re-derivation with a few indexed clones.
+            let srcs = edge_source_keys(compiled, (a, b), q, provider, &row)
+                .map_err(DeleteRejection::Rel)?;
             let uses = srcs.map(|s| s.contains(sr)).unwrap_or(true);
             if !uses {
                 continue;
@@ -262,6 +290,7 @@ pub fn translate_deletions_minimal(
 ) -> Result<GroupUpdate, DeleteRejection> {
     let aug = vs.augmented(base);
     let provider = vs.atg().augmented_schemas();
+    let compiled = vs.templates_enabled().then(|| vs.templates());
     let deleted: BTreeSet<(NodeId, NodeId)> = delta.deletes.iter().copied().collect();
 
     // Safe-source candidates per deleted edge.
@@ -281,7 +310,7 @@ pub fn translate_deletions_minimal(
             });
         }
         let row = edge_row(vs, u, v);
-        let sources = closure_source_keys(q, &provider, &row, &[0])
+        let sources = edge_source_keys(compiled.as_deref(), (a, b), q, &provider, &row)
             .map_err(DeleteRejection::Rel)?
             .ok_or_else(|| {
                 DeleteRejection::Rel(RelError::NotKeyPreserving {
@@ -293,7 +322,8 @@ pub fn translate_deletions_minimal(
             let ok = match verdict.get(&sr) {
                 Some(&ok) => ok,
                 None => {
-                    let ok = source_is_safe(vs, &aug, &provider, &sr, &deleted)?;
+                    let ok =
+                        source_is_safe(vs, &aug, &provider, compiled.as_deref(), &sr, &deleted)?;
                     verdict.insert(sr.clone(), ok);
                     ok
                 }

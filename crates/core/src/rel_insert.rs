@@ -237,6 +237,8 @@ pub fn translate_insertions(
     let atg = vs.atg();
     let provider = atg.augmented_schemas();
     let mut vars = Vars::default();
+    // Compiled ∆R skeletons (None: the interpretive-oracle knob is off).
+    let compiled = vs.templates_enabled().then(|| vs.templates());
 
     // ---- Phase 1: derive and unify tuple templates. ----
     let mut templates: BTreeMap<(String, Tuple), Template> = BTreeMap::new();
@@ -260,7 +262,7 @@ pub fn translate_insertions(
             }) => {
                 derive_templates(
                     base,
-                    vs.edge_cache(),
+                    compiled.as_deref(),
                     (a, b),
                     query,
                     param_fields,
@@ -517,111 +519,35 @@ fn decode_var(
 /// ([`edge_template_keys`]).
 ///
 /// The closure depends only on the grammar, the table *schemas*, and the
-/// two attribute tuples — never on table contents — so it is safe to cache
-/// by `(edge, parent attr, child attr)` for the lifetime of a view store
-/// (see [`EdgeClosureCache`]): the footprint-only dry run that plans an
-/// insertion derives exactly the closures the real translation needs again.
+/// two attribute tuples — never on table contents — so its *structure*
+/// (offsets, representatives, value sources) compiles once per production
+/// edge into a [`crate::template::EdgeTemplate`]; instantiating the
+/// template with the literal attribute tuples reproduces this struct
+/// exactly, and the interpretive [`compute_edge_closure`] stays as the
+/// equivalence oracle behind the `use_templates` knob.
 #[derive(Debug)]
 pub struct EdgeClosure {
     /// Flat column offset per FROM entry.
-    offsets: Vec<usize>,
+    pub(crate) offsets: Vec<usize>,
     /// Final equality-class representative per flat column.
-    reps: Vec<usize>,
+    pub(crate) reps: Vec<usize>,
     /// Pinned value per class representative.
-    known: HashMap<usize, Value>,
+    pub(crate) known: HashMap<usize, Value>,
 }
 
 impl EdgeClosure {
-    fn rep(&self, flat: usize) -> usize {
+    pub(crate) fn rep(&self, flat: usize) -> usize {
         self.reps[flat]
     }
 
-    fn known_at(&self, flat: usize) -> Option<&Value> {
+    pub(crate) fn known_at(&self, flat: usize) -> Option<&Value> {
         self.known.get(&self.rep(flat))
     }
 }
 
-/// Cache key: the production edge plus the two attribute tuples.
-type ClosureKey = (rxview_xmlkit::TypeId, rxview_xmlkit::TypeId, Tuple, Tuple);
-
-/// Memo cache of [`EdgeClosure`]s keyed by `(parent type, child type,
-/// parent attr, child attr)` — the plan→translate hand-off surfaced by the
-/// typed-footprint work: the conflict analysis's dry run
-/// ([`crate::planned_insert_writes`]) grounds template keys through the
-/// same equality closure the shard's real translation re-derives moments
-/// later. One cache lives on each [`ViewStore`] behind an `Arc`, so shard
-/// replicas cloned from a snapshot share the planner's entries.
-///
-/// Only successful closures are cached (failures re-derive, keeping error
-/// reporting exact), and a bucket is cleared when it reaches a fixed cap —
-/// entries are typically consumed once, by the translation that follows
-/// their planning dry run. The map is split into hash-addressed buckets so
-/// parallel shard writers deriving unrelated edges do not serialize on one
-/// lock.
-#[derive(Debug)]
-pub struct EdgeClosureCache {
-    buckets: Vec<std::sync::Mutex<HashMap<ClosureKey, std::sync::Arc<EdgeClosure>>>>,
-    hits: std::sync::atomic::AtomicU64,
-    misses: std::sync::atomic::AtomicU64,
-}
-
-impl Default for EdgeClosureCache {
-    fn default() -> Self {
-        EdgeClosureCache {
-            buckets: (0..Self::BUCKETS).map(|_| Default::default()).collect(),
-            hits: Default::default(),
-            misses: Default::default(),
-        }
-    }
-}
-
-impl EdgeClosureCache {
-    /// Lock stripes (power of two; sized for tens of writer threads).
-    const BUCKETS: usize = 32;
-    /// Entries kept per bucket before it is cleared wholesale.
-    const BUCKET_CAP: usize = 512;
-
-    /// `(hits, misses)` since construction.
-    pub fn stats(&self) -> (u64, u64) {
-        (
-            self.hits.load(std::sync::atomic::Ordering::Relaxed),
-            self.misses.load(std::sync::atomic::Ordering::Relaxed),
-        )
-    }
-
-    fn closure_for(
-        &self,
-        edge: (rxview_xmlkit::TypeId, rxview_xmlkit::TypeId),
-        parent_attr: &Tuple,
-        child_attr: &Tuple,
-        compute: impl FnOnce() -> Result<EdgeClosure, InsertRejection>,
-    ) -> Result<std::sync::Arc<EdgeClosure>, InsertRejection> {
-        use std::hash::{Hash, Hasher as _};
-        use std::sync::atomic::Ordering;
-        let key = (edge.0, edge.1, parent_attr.clone(), child_attr.clone());
-        let mut hasher = std::collections::hash_map::DefaultHasher::new();
-        key.hash(&mut hasher);
-        let bucket = &self.buckets[hasher.finish() as usize % Self::BUCKETS];
-        if let Some(hit) = bucket.lock().expect("edge cache poisoned").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(std::sync::Arc::clone(hit));
-        }
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        // Computed outside the lock: a concurrent duplicate derivation is
-        // harmless (closures are deterministic), a held lock during the
-        // union-find is not.
-        let closure = std::sync::Arc::new(compute()?);
-        let mut map = bucket.lock().expect("edge cache poisoned");
-        if map.len() >= Self::BUCKET_CAP {
-            map.clear();
-        }
-        map.insert(key, std::sync::Arc::clone(&closure));
-        Ok(closure)
-    }
-}
-
 /// A closure plus the schemas of its FROM entries (looked up per call —
-/// schemas are borrowed from `base`, the closure may come from the cache).
+/// schemas are borrowed from `base`, the closure may come from a compiled
+/// template instantiation).
 struct EdgeBinding<'a> {
     schemas: Vec<&'a TableSchema>,
     closure: std::sync::Arc<EdgeClosure>,
@@ -696,8 +622,8 @@ fn compute_edge_closure(
 
 fn edge_binding<'a>(
     base: &'a Database,
-    cache: Option<(
-        &EdgeClosureCache,
+    templates: Option<(
+        &crate::template::TranslationTemplates,
         (rxview_xmlkit::TypeId, rxview_xmlkit::TypeId),
     )>,
     query: &SpjQuery,
@@ -713,11 +639,20 @@ fn edge_binding<'a>(
                 .schema(),
         );
     }
-    let compute = || compute_edge_closure(&schemas, query, param_fields, parent_attr, child_attr);
-    let closure = match cache {
-        Some((cache, edge)) => cache.closure_for(edge, parent_attr, child_attr, compute)?,
-        None => std::sync::Arc::new(compute()?),
-    };
+    // Instantiate the compiled skeleton when the registry knows the edge;
+    // otherwise (knob off, or an edge outside the registry) run the
+    // interpretive derivation.
+    let closure =
+        match templates.and_then(|(t, edge)| t.instantiate_insert(edge, parent_attr, child_attr)) {
+            Some(instantiated) => std::sync::Arc::new(instantiated?),
+            None => std::sync::Arc::new(compute_edge_closure(
+                &schemas,
+                query,
+                param_fields,
+                parent_attr,
+                child_attr,
+            )?),
+        };
     Ok(EdgeBinding { schemas, closure })
 }
 
@@ -739,13 +674,14 @@ pub fn edge_template_keys(
     template_keys_of(&b, query)
 }
 
-/// [`edge_template_keys`] through a [`EdgeClosureCache`]: the planner's dry
-/// run populates the cache entry the real translation of the same edge
-/// reuses (`edge` is the `(parent type, child type)` production edge the
-/// rule query belongs to).
-pub fn edge_template_keys_cached(
+/// [`edge_template_keys`] through the compiled
+/// [`crate::template::TranslationTemplates`] registry: the planner's dry
+/// run instantiates the same precompiled skeleton the real translation of
+/// the same edge instantiates moments later (`edge` is the `(parent type,
+/// child type)` production edge the rule query belongs to).
+pub fn edge_template_keys_compiled(
     base: &Database,
-    cache: &EdgeClosureCache,
+    templates: &crate::template::TranslationTemplates,
     edge: (rxview_xmlkit::TypeId, rxview_xmlkit::TypeId),
     query: &SpjQuery,
     param_fields: &[usize],
@@ -754,7 +690,7 @@ pub fn edge_template_keys_cached(
 ) -> Result<Vec<(String, Tuple)>, InsertRejection> {
     let b = edge_binding(
         base,
-        Some((cache, edge)),
+        Some((templates, edge)),
         query,
         param_fields,
         parent_attr,
@@ -792,7 +728,7 @@ fn template_keys_of(
 #[allow(clippy::too_many_arguments)]
 fn derive_templates(
     base: &Database,
-    cache: &EdgeClosureCache,
+    compiled: Option<&crate::template::TranslationTemplates>,
     edge: (rxview_xmlkit::TypeId, rxview_xmlkit::TypeId),
     query: &SpjQuery,
     param_fields: &[usize],
@@ -803,7 +739,7 @@ fn derive_templates(
 ) -> Result<(), InsertRejection> {
     let binding = edge_binding(
         base,
-        Some((cache, edge)),
+        compiled.map(|t| (t, edge)),
         query,
         param_fields,
         parent_attr,

@@ -1,0 +1,440 @@
+//! Compiled translation templates: precompiled ∆R skeletons per production
+//! edge (ROADMAP item 2, second stage).
+//!
+//! The §4.2/§4.3 translation algorithms re-derive the same *structure* for
+//! every update of a given shape: the equality closure of an inserted
+//! edge's rule query (union-find over its `Col = Col` predicates) and the
+//! candidate-source key program of a deleted edge's view query (which flat
+//! columns of which FROM entries supply each base key). Neither depends on
+//! table contents or on the concrete attribute values — only on the
+//! grammar and the table schemas, both fixed for the lifetime of a store
+//! family. So both are compiled **once per production edge** into a
+//! [`TranslationTemplates`] registry:
+//!
+//! - the insert side keeps, per edge, the final union-find representatives
+//!   and an ordered *pin program* (which class is pinned by which child
+//!   attribute position, parent attribute field, or constant) —
+//!   instantiation replays the pins against the literal attribute tuples
+//!   and yields the same [`EdgeClosure`] `compute_edge_closure` derives,
+//!   without re-walking predicates or re-running the union-find;
+//! - the delete side keeps, per edge view, a [`SourceProgram`]: for every
+//!   non-derived FROM entry, a `(table, key-cell…)` spec whose cells name
+//!   the output position (or constant) each key column's equality class
+//!   resolves to — instantiation is a few indexed clones per source where
+//!   `closure_source_keys` re-ran the whole union-find per candidate row
+//!   (the `source_is_safe` probe loop runs it per *evaluated* row, the
+//!   hottest call site in the delete path).
+//!
+//! The registry lives in the engine-wide [`crate::plan::PlanCache`] behind
+//! a `OnceLock`, so the analyze dry run, shard translation, single-writer,
+//! global lane, and recovery replay all share one compilation (and the
+//! planner's instantiations warm nothing — there is nothing left to warm).
+//! `ViewStore::templates_enabled` keeps the interpretive derivations as an
+//! equivalence oracle, mirroring `use_plans`.
+//!
+//! **Cache-coherence invariant:** a template depends only on the `Atg`
+//! (rules, edge-view queries) and the base/`gen_A` *schemas* — never on
+//! table contents, node identity, or attribute values. Both inputs are
+//! immutable for a published store family (grammar evolution would rebuild
+//! the `ViewStore`, and with it the `PlanCache`), so templates are never
+//! invalidated, only compiled once.
+
+use crate::plan::PlanCacheStats;
+use crate::rel_insert::{EdgeClosure, InsertRejection};
+use rxview_atg::{Atg, RuleBody};
+use rxview_relstore::{
+    ColRef, Operand, SchemaProvider, SourceRef, SpjQuery, TableSchema, Tuple, Value,
+};
+use rxview_xmlkit::TypeId;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Where one equality-class pin gets its value at instantiation time.
+#[derive(Debug, Clone, PartialEq)]
+enum PinSource {
+    /// The child attribute tuple at this position (a projected column).
+    ChildAttr(usize),
+    /// A constant predicate's literal.
+    Const(Value),
+    /// The parent attribute tuple at this field (a parameter predicate,
+    /// already resolved through `param_fields`).
+    ParentAttr(usize),
+}
+
+/// The compiled insert-side skeleton of one production edge: the resolved
+/// equality closure of its rule query with the value *sources* kept
+/// symbolic. Replaying `pins` in order against concrete attribute tuples
+/// reproduces `compute_edge_closure`'s result exactly — the `Col = Col`
+/// unions all happen before any value is learned there, so the
+/// representatives baked in here are final.
+#[derive(Debug)]
+pub(crate) struct EdgeTemplate {
+    /// Flat column offset per FROM entry.
+    offsets: Vec<usize>,
+    /// Final equality-class representative per flat column.
+    reps: Vec<usize>,
+    /// `(flat column, value source)` in the interpretive learn order:
+    /// projections by position, then constant/parameter predicates in
+    /// predicate order.
+    pins: Vec<(usize, PinSource)>,
+}
+
+impl EdgeTemplate {
+    fn compile(
+        provider: &impl SchemaProvider,
+        query: &SpjQuery,
+        param_fields: &[usize],
+    ) -> Option<EdgeTemplate> {
+        let (offsets, total) = flat_offsets(provider, query)?;
+        let idx = |c: ColRef| offsets[c.rel] + c.col;
+        let mut parent: Vec<usize> = (0..total).collect();
+        for p in query.predicates() {
+            if let (Operand::Col(a), Operand::Col(b)) = (&p.left, &p.right) {
+                let (ra, rb) = (find(&mut parent, idx(*a)), find(&mut parent, idx(*b)));
+                parent[ra] = rb;
+            }
+        }
+        let mut pins = Vec::new();
+        for (pos, c) in query.projection().iter().enumerate() {
+            pins.push((idx(*c), PinSource::ChildAttr(pos)));
+        }
+        for p in query.predicates() {
+            match (&p.left, &p.right) {
+                (Operand::Col(c), Operand::Const(v)) | (Operand::Const(v), Operand::Col(c)) => {
+                    pins.push((idx(*c), PinSource::Const(v.clone())));
+                }
+                (Operand::Col(c), Operand::Param(i)) | (Operand::Param(i), Operand::Col(c)) => {
+                    pins.push((idx(*c), PinSource::ParentAttr(param_fields[*i])));
+                }
+                _ => {}
+            }
+        }
+        let reps = (0..total).map(|i| find(&mut parent, i)).collect();
+        Some(EdgeTemplate {
+            offsets,
+            reps,
+            pins,
+        })
+    }
+
+    /// Replays the pin program against concrete attribute tuples. Exactly
+    /// [`compute_edge_closure`]'s outcome, including the rejection on a
+    /// contradictory derivation (two pins of one class disagreeing).
+    fn instantiate(
+        &self,
+        parent_attr: &Tuple,
+        child_attr: &Tuple,
+    ) -> Result<EdgeClosure, InsertRejection> {
+        let mut known: HashMap<usize, Value> = HashMap::with_capacity(self.pins.len());
+        for (flat, src) in &self.pins {
+            let v = match src {
+                PinSource::ChildAttr(pos) => child_attr[*pos].clone(),
+                PinSource::Const(v) => v.clone(),
+                PinSource::ParentAttr(field) => parent_attr[*field].clone(),
+            };
+            let r = self.reps[*flat];
+            match known.get(&r) {
+                Some(x) if *x != v => {
+                    return Err(InsertRejection::KeyConflict {
+                        table: "<inconsistent edge derivation>".into(),
+                    })
+                }
+                _ => {
+                    known.insert(r, v);
+                }
+            }
+        }
+        Ok(EdgeClosure {
+            offsets: self.offsets.clone(),
+            reps: self.reps.clone(),
+            known,
+        })
+    }
+}
+
+/// One cell of a reconstructed source key.
+#[derive(Debug, Clone, PartialEq)]
+enum KeyCell {
+    /// Clone the edge-view output row at this position.
+    Out(usize),
+    /// A constant pinned by a predicate.
+    Const(Value),
+}
+
+/// One candidate source: a base table and the program for its key.
+#[derive(Debug)]
+struct SourceSpec {
+    table: String,
+    cells: Vec<KeyCell>,
+}
+
+/// The compiled delete-side program of one edge view: how to reconstruct
+/// every non-derived FROM entry's primary key from an output row, in FROM
+/// order. Compiled with the derived `gen_parent` entry (FROM position 0)
+/// skipped, matching every interpretive call site. `None` at compile time
+/// means some key column's equality class is pinned by neither a projected
+/// column nor a constant — `closure_source_keys` would return `Ok(None)`
+/// for every row, so the edge is *not key-preserving* in the generalized
+/// sense and stays `None` forever.
+#[derive(Debug)]
+pub(crate) struct SourceProgram {
+    specs: Vec<SourceSpec>,
+    out_arity: usize,
+}
+
+impl SourceProgram {
+    fn compile(
+        provider: &impl SchemaProvider,
+        query: &SpjQuery,
+        skip_rels: &[usize],
+    ) -> Option<SourceProgram> {
+        let (offsets, total) = flat_offsets(provider, query)?;
+        let idx = |c: ColRef| offsets[c.rel] + c.col;
+        let mut parent: Vec<usize> = (0..total).collect();
+        for p in query.predicates() {
+            if let (Operand::Col(a), Operand::Col(b)) = (&p.left, &p.right) {
+                let (ra, rb) = (find(&mut parent, idx(*a)), find(&mut parent, idx(*b)));
+                parent[ra] = rb;
+            }
+        }
+        // First assignment wins per class, mirroring the interpretive
+        // `values.entry(r).or_insert(v)`: projections by position, then
+        // constant predicates in order.
+        let mut cells: HashMap<usize, KeyCell> = HashMap::new();
+        for (pos, c) in query.projection().iter().enumerate() {
+            let r = find(&mut parent, idx(*c));
+            cells.entry(r).or_insert(KeyCell::Out(pos));
+        }
+        for p in query.predicates() {
+            match (&p.left, &p.right) {
+                (Operand::Col(c), Operand::Const(v)) | (Operand::Const(v), Operand::Col(c)) => {
+                    let r = find(&mut parent, idx(*c));
+                    cells.entry(r).or_insert(KeyCell::Const(v.clone()));
+                }
+                _ => {}
+            }
+        }
+        let mut specs = Vec::new();
+        for (rel, tr) in query.from().iter().enumerate() {
+            if skip_rels.contains(&rel) {
+                continue;
+            }
+            let schema = provider.schema_of(&tr.table)?;
+            let mut key_cells = Vec::with_capacity(schema.key().len());
+            for &kc in schema.key() {
+                let root = find(&mut parent, idx(ColRef { rel, col: kc }));
+                key_cells.push(cells.get(&root)?.clone());
+            }
+            specs.push(SourceSpec {
+                table: tr.table.clone(),
+                cells: key_cells,
+            });
+        }
+        Some(SourceProgram {
+            specs,
+            out_arity: query.out_arity(),
+        })
+    }
+
+    /// Reconstructs the candidate sources for one output row. Duplicates
+    /// (self-joins resolving to the same key) collapse, as interpretively.
+    fn instantiate(&self, out: &Tuple) -> Vec<SourceRef> {
+        debug_assert_eq!(out.arity(), self.out_arity, "edge row arity");
+        let mut result: Vec<SourceRef> = Vec::with_capacity(self.specs.len());
+        for spec in &self.specs {
+            let sr = SourceRef {
+                table: spec.table.clone(),
+                key: Tuple::from_values(spec.cells.iter().map(|c| match c {
+                    KeyCell::Out(pos) => out[*pos].clone(),
+                    KeyCell::Const(v) => v.clone(),
+                })),
+            };
+            if !result.contains(&sr) {
+                result.push(sr);
+            }
+        }
+        result
+    }
+}
+
+/// Flat column offsets of a query's FROM entries over `provider` schemas.
+fn flat_offsets(provider: &impl SchemaProvider, query: &SpjQuery) -> Option<(Vec<usize>, usize)> {
+    let mut offsets = Vec::with_capacity(query.from().len());
+    let mut total = 0usize;
+    for tr in query.from() {
+        offsets.push(total);
+        total += provider.schema_of(&tr.table)?.arity();
+    }
+    Some((offsets, total))
+}
+
+fn find(parent: &mut [usize], mut x: usize) -> usize {
+    while parent[x] != x {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+    }
+    x
+}
+
+/// The per-grammar registry of compiled translation templates: insert-side
+/// [`EdgeTemplate`]s and delete-side [`SourceProgram`]s for every
+/// production edge, compiled in one pass over the `Atg`. Cached in the
+/// engine-wide [`crate::plan::PlanCache`] (one registry per store family),
+/// consulted by every translation consumer when
+/// `ViewStore::templates_enabled` holds.
+#[derive(Debug)]
+pub struct TranslationTemplates {
+    insert: HashMap<(TypeId, TypeId), EdgeTemplate>,
+    /// `None` payload: the edge view exists but is not key-preserving in
+    /// the generalized sense — recorded so instantiation can answer
+    /// without falling back to the interpretive derivation.
+    delete: HashMap<(TypeId, TypeId), Option<SourceProgram>>,
+    /// Successful template instantiations (insert + delete probes).
+    hits: AtomicU64,
+    /// Templates compiled (fixed after construction).
+    compiles: u64,
+    /// Wall nanoseconds of the one-shot compile pass.
+    compile_ns: u64,
+}
+
+impl TranslationTemplates {
+    /// Compiles the full registry from the grammar. Schemas come from
+    /// [`Atg::augmented_schemas`] — identical to the live base/`gen_A`
+    /// schemas by construction of the store.
+    pub fn compile(atg: &Atg) -> TranslationTemplates {
+        let t0 = Instant::now();
+        let provider: Vec<TableSchema> = atg.augmented_schemas();
+        let mut insert = HashMap::new();
+        let mut delete = HashMap::new();
+        let mut compiles = 0u64;
+        for a in atg.dtd().types() {
+            for b in atg.dtd().children_of(a) {
+                if let Some(RuleBody::Query {
+                    query,
+                    param_fields,
+                }) = atg.rule(a, b)
+                {
+                    if let Entry::Vacant(slot) = insert.entry((a, b)) {
+                        if let Some(t) = EdgeTemplate::compile(&provider, query, param_fields) {
+                            slot.insert(t);
+                            compiles += 1;
+                        }
+                    }
+                }
+                if let Entry::Vacant(slot) = delete.entry((a, b)) {
+                    if let Some(q) = atg.edge_view_query(a, b) {
+                        slot.insert(SourceProgram::compile(&provider, &q, &[0]));
+                        compiles += 1;
+                    }
+                }
+            }
+        }
+        TranslationTemplates {
+            insert,
+            delete,
+            hits: AtomicU64::new(0),
+            compiles,
+            compile_ns: t0.elapsed().as_nanos() as u64,
+        }
+    }
+
+    /// Instantiates the insert-side closure of `edge`. `None` when the
+    /// edge has no compiled template (the caller falls back to the
+    /// interpretive [`compute_edge_closure`] path).
+    pub fn instantiate_insert(
+        &self,
+        edge: (TypeId, TypeId),
+        parent_attr: &Tuple,
+        child_attr: &Tuple,
+    ) -> Option<Result<EdgeClosure, InsertRejection>> {
+        let t = self.insert.get(&edge)?;
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(t.instantiate(parent_attr, child_attr))
+    }
+
+    /// Reconstructs the candidate sources of one edge-view output row.
+    /// Outer `None`: edge unknown to the registry (fall back to
+    /// [`closure_source_keys`]). Inner `None`: the view is not
+    /// key-preserving in the generalized sense — exactly when the
+    /// interpretive path returns `Ok(None)`.
+    pub fn source_keys(
+        &self,
+        edge: (TypeId, TypeId),
+        out: &Tuple,
+    ) -> Option<Option<Vec<SourceRef>>> {
+        let program = self.delete.get(&edge)?;
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(program.as_ref().map(|p| p.instantiate(out)))
+    }
+
+    /// Counters in the plan-cache shape: `hits` are successful
+    /// instantiations; `misses`/`compiles` are the one-shot compile pass
+    /// (fixed after construction, so steady-state hit rate → 1).
+    pub fn stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.compiles,
+            evictions: 0,
+            compiles: self.compiles,
+            compile_ns: self.compile_ns,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rxview_atg::{registrar_atg, registrar_database};
+    use rxview_relstore::closure_source_keys;
+
+    fn atg() -> Atg {
+        let db = registrar_database();
+        registrar_atg(&db).unwrap()
+    }
+
+    #[test]
+    fn registry_compiles_every_query_rule_edge() {
+        let atg = atg();
+        let reg = TranslationTemplates::compile(&atg);
+        let mut query_edges = 0;
+        for a in atg.dtd().types() {
+            for b in atg.dtd().children_of(a) {
+                if let Some(RuleBody::Query { .. }) = atg.rule(a, b) {
+                    query_edges += 1;
+                    assert!(reg.insert.contains_key(&(a, b)), "insert template missing");
+                }
+                if atg.edge_view_query(a, b).is_some() {
+                    assert!(reg.delete.contains_key(&(a, b)), "delete program missing");
+                }
+            }
+        }
+        assert!(query_edges > 0, "fixture has query rules");
+        let s = reg.stats();
+        assert_eq!(s.compiles, reg.compiles);
+        assert!(s.compile_ns > 0);
+    }
+
+    #[test]
+    fn delete_program_matches_interpretive_sources() {
+        let atg = atg();
+        let reg = TranslationTemplates::compile(&atg);
+        let provider = atg.augmented_schemas();
+        for a in atg.dtd().types() {
+            for b in atg.dtd().children_of(a) {
+                let Some(q) = atg.edge_view_query(a, b) else {
+                    continue;
+                };
+                // A synthetic but arity-correct output row: distinct string
+                // markers per position so key cells are distinguishable.
+                let out =
+                    Tuple::from_values((0..q.out_arity()).map(|i| Value::Str(format!("cell{i}"))));
+                let interpreted = closure_source_keys(&q, &provider, &out, &[0]).unwrap();
+                let compiled = reg.source_keys((a, b), &out).expect("edge compiled");
+                assert_eq!(compiled, interpreted, "edge {a:?}->{b:?}");
+            }
+        }
+        assert!(reg.stats().hits > 0);
+    }
+}

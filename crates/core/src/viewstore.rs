@@ -21,18 +21,18 @@ pub struct ViewStore {
     dag: Dag,
     gen_db: Database,
     edge_queries: BTreeMap<(TypeId, TypeId), SpjQuery>,
-    /// Plan→translate memo of per-edge equality closures, shared (`Arc`)
-    /// between a snapshot's planner and the shard replicas cloned from it —
-    /// the closure depends only on grammar, schemas, and attribute tuples,
-    /// so entries never invalidate.
-    edge_cache: std::sync::Arc<crate::rel_insert::EdgeClosureCache>,
-    /// Compiled update plans, shared (`Arc`) the same way: a plan depends
-    /// only on the path shape and the grammar, so entries never invalidate
-    /// while the store's grammar is fixed (see [`crate::plan`]).
+    /// Compiled update plans *and* the per-grammar translation-template
+    /// registry, shared (`Arc`) between a snapshot's planner and the shard
+    /// replicas cloned from it: both depend only on the path shape / the
+    /// grammar and schemas, so entries never invalidate while the store's
+    /// grammar is fixed (see [`crate::plan`] and [`crate::template`]).
     plan_cache: std::sync::Arc<crate::plan::PlanCache>,
     /// Whether evaluation routes through compiled plans (the engine's
     /// `use_plans` equivalence knob; defaults to on).
     plans_enabled: bool,
+    /// Whether translation routes through compiled templates (the engine's
+    /// `use_templates` equivalence knob; defaults to on).
+    templates_enabled: bool,
 }
 
 impl ViewStore {
@@ -58,9 +58,9 @@ impl ViewStore {
             dag,
             gen_db,
             edge_queries,
-            edge_cache: std::sync::Arc::default(),
             plan_cache: std::sync::Arc::default(),
             plans_enabled: true,
+            templates_enabled: true,
         };
         let live: Vec<NodeId> = vs.dag.genid().live_ids().collect();
         for id in live {
@@ -88,9 +88,9 @@ impl ViewStore {
             dag,
             gen_db,
             edge_queries,
-            edge_cache: std::sync::Arc::default(),
             plan_cache: std::sync::Arc::default(),
             plans_enabled: true,
+            templates_enabled: true,
         }
     }
 
@@ -114,12 +114,6 @@ impl ViewStore {
         &self.gen_db
     }
 
-    /// The plan→translate memo of per-edge equality closures (see
-    /// [`crate::rel_insert::EdgeClosureCache`]).
-    pub fn edge_cache(&self) -> &crate::rel_insert::EdgeClosureCache {
-        &self.edge_cache
-    }
-
     /// The shared compiled-plan cache (see [`crate::plan::PlanCache`]).
     pub fn plan_cache(&self) -> &std::sync::Arc<crate::plan::PlanCache> {
         &self.plan_cache
@@ -134,6 +128,28 @@ impl ViewStore {
     /// Clones made afterwards inherit the setting.
     pub fn set_plans_enabled(&mut self, enabled: bool) {
         self.plans_enabled = enabled;
+    }
+
+    /// Whether translation routes through compiled templates.
+    pub fn templates_enabled(&self) -> bool {
+        self.templates_enabled
+    }
+
+    /// Toggles compiled-template translation (the engine's `use_templates`
+    /// knob). Clones made afterwards inherit the setting.
+    pub fn set_templates_enabled(&mut self, enabled: bool) {
+        self.templates_enabled = enabled;
+    }
+
+    /// The per-grammar translation-template registry, compiled on first
+    /// call and shared through the plan cache (see [`crate::template`]).
+    pub fn templates(&self) -> std::sync::Arc<crate::template::TranslationTemplates> {
+        self.plan_cache.templates(&self.atg)
+    }
+
+    /// Counters of the template registry.
+    pub fn template_stats(&self) -> crate::plan::PlanCacheStats {
+        self.plan_cache.template_stats()
     }
 
     /// The augmented table source: base relations shadowing the gen tables.

@@ -127,6 +127,16 @@ pub struct EngineConfig {
     /// oracle (`crates/engine/tests/equivalence.rs` asserts both positions
     /// produce identical snapshot streams).
     pub use_plans: bool,
+    /// Whether ∆R translation instantiates precompiled per-edge
+    /// [`rxview_core::TranslationTemplates`] (insert-side closure skeletons,
+    /// delete-side candidate-source programs) instead of re-walking the ATG
+    /// rule ASTs per update. **On by default**; the off position forces the
+    /// reference per-call equality-closure / source-derivation pipeline —
+    /// kept as the equivalence oracle, exactly like
+    /// [`EngineConfig::use_plans`]
+    /// (`crates/engine/tests/equivalence.rs` asserts both positions produce
+    /// identical snapshot streams). ARCHITECTURE.md §10.
+    pub use_templates: bool,
 }
 
 impl EngineConfig {
@@ -164,6 +174,7 @@ impl Default for EngineConfig {
             pipeline_depth: 2,
             stage_hooks: None,
             use_plans: true,
+            use_templates: true,
         }
     }
 }
@@ -574,10 +585,12 @@ impl Engine {
         config.n_shards = config.n_shards.clamp(1, 64);
         config.max_batch = config.max_batch.max(1);
         config.pipeline_depth = config.pipeline_depth.clamp(1, 8);
-        // The plan knob is set on the owned system before the first snapshot
-        // wraps it, so every clone (working copies, shard replicas, recovery
-        // masters) inherits the chosen evaluation path.
+        // The plan and template knobs are set on the owned system before the
+        // first snapshot wraps it, so every clone (working copies, shard
+        // replicas, recovery masters) inherits the chosen evaluation and
+        // translation paths.
         sys.set_plans_enabled(config.use_plans);
+        sys.set_templates_enabled(config.use_templates);
         let stats = Arc::new(EngineStats::new(
             config.n_shards,
             config.telemetry,
@@ -1046,7 +1059,7 @@ impl Engine {
             let t2 = Instant::now();
             match working.fold_maintenance(jobs) {
                 Ok(maintain) => {
-                    self.inner.stats.record_maintain(t2.elapsed());
+                    self.inner.stats.record_maintain(t2.elapsed(), &maintain);
                     // Write-ahead: the round's record must be durable (per
                     // the fsync policy) before its snapshot becomes visible
                     // and any ticket resolves. Logged even when `applied`

@@ -740,7 +740,7 @@ fn merge_round(
         let t2 = Instant::now();
         match master.fold_maintenance(jobs) {
             Ok(m) => {
-                stats.record_maintain(t2.elapsed());
+                stats.record_maintain(t2.elapsed(), &m);
                 // Write-ahead: log the round's merged updates, submission
                 // order, before the snapshot swap (and before any ticket
                 // resolves) — merges never reorder, so appends stay
@@ -878,7 +878,7 @@ fn run_global_lane(
             let t2 = Instant::now();
             match master.fold_maintenance(vec![job]) {
                 Ok(m) => {
-                    stats.record_maintain(t2.elapsed());
+                    stats.record_maintain(t2.elapsed(), &m);
                     // Write-ahead: the global-lane round is one update; log
                     // it before it becomes visible.
                     let logged: Vec<crate::wal::LoggedUpdate> = if inner.wal_enabled() {

@@ -114,7 +114,7 @@ pub struct RecoveryReport {
 pub(crate) fn recover_state(
     atg: &Atg,
     dir: &Path,
-    _config: &EngineConfig,
+    config: &EngineConfig,
     recorder: Option<&FlightRecorder>,
 ) -> Result<(XmlViewSystem, u64, RecoveryReport), RecoverError> {
     let mut report = RecoveryReport::default();
@@ -134,6 +134,13 @@ pub(crate) fn recover_state(
         }
     }
     let (ckpt_epoch, mut sys) = recovered.ok_or(RecoverError::NoCheckpoint)?;
+    // Replay runs under the *new* configuration's evaluation and
+    // translation knobs — both positions of each knob are proven
+    // observationally equivalent, so a log written plans-on/templates-on
+    // replays identically under plans-off/templates-off (and vice versa);
+    // `crates/engine/tests/recovery.rs` crosses all of them.
+    sys.set_plans_enabled(config.use_plans);
+    sys.set_templates_enabled(config.use_templates);
     report.checkpoint_epoch = ckpt_epoch;
     report.checkpoint_load = t_ckpt.elapsed();
     if let Some(rec) = recorder {

@@ -21,7 +21,7 @@
 //! [`EngineConfig::telemetry`]: crate::EngineConfig::telemetry
 
 use crate::wal::SyncReason;
-use rxview_core::{PhaseTimings, PlanCache, PlanCacheStats};
+use rxview_core::{MaintainReport, PhaseTimings, PlanCache, PlanCacheStats};
 use rxview_obs::{fields, Counter, FieldValue, FlightRecorder, Gauge, Histogram, Registry};
 use std::fmt;
 use std::sync::{Arc, OnceLock};
@@ -66,9 +66,11 @@ pub struct EngineStats {
     // --- evaluation ---
     scoped_evals: Arc<Counter>,
     full_evals: Arc<Counter>,
-    // --- compiled update plans (ARCHITECTURE.md §8) ---
+    // --- compiled update plans (ARCHITECTURE.md §8) + translation
+    //     templates (§10): the cache Arc plus this engine's baselines for
+    //     the plan counters and the template counters ---
     plan_compile_ns: Arc<Histogram>,
-    plan_cache: OnceLock<(Arc<PlanCache>, PlanCacheStats)>,
+    plan_cache: OnceLock<(Arc<PlanCache>, PlanCacheStats, PlanCacheStats)>,
     // --- phase timers (nanoseconds per round, except translate/eval which
     //     are per update and summed across shard threads) ---
     eval_ns: Arc<Histogram>,
@@ -77,6 +79,12 @@ pub struct EngineStats {
     translate_wall_ns: Arc<Histogram>,
     merge_ns: Arc<Histogram>,
     fold_ns: Arc<Histogram>,
+    // --- fold sub-spans (the instrumented fold loop, ARCHITECTURE.md §10):
+    //     what part of each folded ∆(M,L) pass went to per-node M-rewrite
+    //     (ancestor-set recompute) vs L-splice (topo splice/repair + GC) ---
+    fold_m_rewrite_ns: Arc<Histogram>,
+    fold_l_splice_ns: Arc<Histogram>,
+    cone_folds: Arc<Counter>,
     wal_append_ns: Arc<Histogram>,
     fsync_ns: Arc<Histogram>,
     publish_ns: Arc<Histogram>,
@@ -153,6 +161,9 @@ impl EngineStats {
             translate_wall_ns: r.histogram("phase.translate_wall_ns"),
             merge_ns: r.histogram("phase.merge_ns"),
             fold_ns: r.histogram("phase.fold_ns"),
+            fold_m_rewrite_ns: r.histogram("phase.fold_m_rewrite_ns"),
+            fold_l_splice_ns: r.histogram("phase.fold_l_splice_ns"),
+            cone_folds: r.counter("fold.cone_folds"),
             wal_append_ns: r.histogram("phase.wal_append_ns"),
             fsync_ns: r.histogram("phase.fsync_ns"),
             publish_ns: r.histogram("phase.publish_ns"),
@@ -254,7 +265,12 @@ impl EngineStats {
         let hist = Arc::clone(&self.plan_compile_ns);
         cache.set_observer(Box::new(move |d| hist.record_duration(d)));
         let baseline = cache.stats();
-        let _ = self.plan_cache.set((cache, baseline));
+        // The template registry hangs off the same cache; baseline its
+        // counters too so a report shows only this engine's probes (a
+        // registry compiled by an earlier engine on the shared cache
+        // reports zero compiles here, correctly).
+        let template_baseline = cache.template_stats();
+        let _ = self.plan_cache.set((cache, baseline, template_baseline));
     }
 
     pub(crate) fn record_round(&self) {
@@ -510,10 +526,20 @@ impl EngineStats {
         }
     }
 
-    pub(crate) fn record_maintain(&self, d: Duration) {
-        if self.enabled {
-            self.fold_ns.record_duration(d);
+    /// One folded ∆(M,L) maintenance pass: its wall clock plus the
+    /// sub-span attribution the fold loop measured itself — per-node
+    /// M-rewrite time, L-splice/GC time, and how many per-cone folds the
+    /// pass coalesced (`MaintainReport::cone_folds`).
+    pub(crate) fn record_maintain(&self, d: Duration, m: &MaintainReport) {
+        if !self.enabled {
+            return;
         }
+        self.fold_ns.record_duration(d);
+        self.fold_m_rewrite_ns
+            .record_duration(Duration::from_nanos(m.m_rewrite_ns));
+        self.fold_l_splice_ns
+            .record_duration(Duration::from_nanos(m.l_splice_ns));
+        self.cone_folds.add(m.cone_folds);
     }
 
     pub(crate) fn record_plan(&self, d: Duration) {
@@ -568,7 +594,12 @@ impl EngineStats {
         let plans = self
             .plan_cache
             .get()
-            .map(|(cache, base)| cache.stats().delta_since(base))
+            .map(|(cache, base, _)| cache.stats().delta_since(base))
+            .unwrap_or_default();
+        let templates = self
+            .plan_cache
+            .get()
+            .map(|(cache, _, tbase)| cache.template_stats().delta_since(tbase))
             .unwrap_or_default();
         EngineReport {
             submitted: self.submitted.get(),
@@ -581,6 +612,7 @@ impl EngineStats {
             scoped_evals: self.scoped_evals.get(),
             full_evals: self.full_evals.get(),
             plan_cache: plans,
+            template_cache: templates,
             plan_compile: ns(&self.plan_compile_ns),
             max_batch: self.max_batch.get(),
             phases: PhaseTimings {
@@ -591,6 +623,9 @@ impl EngineStats {
             plan: ns(&self.plan_ns),
             translate_wall: ns(&self.translate_wall_ns),
             merge: ns(&self.merge_ns),
+            fold_m_rewrite: ns(&self.fold_m_rewrite_ns),
+            fold_l_splice: ns(&self.fold_l_splice_ns),
+            cone_folds: self.cone_folds.get(),
             wal_append: ns(&self.wal_append_ns),
             fsync: ns(&self.fsync_ns),
             publish: ns(&self.publish_ns),
@@ -654,6 +689,12 @@ pub struct EngineReport {
     /// total compile nanoseconds (ARCHITECTURE.md §8). All zero when
     /// telemetry is off or plans are disabled.
     pub plan_cache: PlanCacheStats,
+    /// Translation-template registry counters as this engine's delta since
+    /// attach (ARCHITECTURE.md §10): `hits` counts template instantiations
+    /// that skipped the interpretive closure/source derivation, `compiles`
+    /// and `compile_ns` the one-time registry build. All zero when
+    /// telemetry is off or templates are disabled.
+    pub template_cache: PlanCacheStats,
     /// Total plan compile time observed by this engine's compile-time
     /// histogram (post-attach compiles on this cache).
     pub plan_compile: Duration,
@@ -673,6 +714,19 @@ pub struct EngineReport {
     /// only — zero on the single-writer path, whose apply loop *is* the
     /// translate phase).
     pub merge: Duration,
+    /// Fold sub-span: time the folded ∆(M,L) passes spent rewriting
+    /// reachability (per-node ancestor-set recompute — ∆M steps (a)/(b) on
+    /// insert, the Fig.8 ancestor rewrite on delete). Part of
+    /// `phases.maintain`, not an extra phase.
+    pub fold_m_rewrite: Duration,
+    /// Fold sub-span: time the folded ∆(M,L) passes spent splicing the
+    /// topological order (fresh-interval splice + L-repair on insert,
+    /// unreferenced-node GC cascade on delete). Part of `phases.maintain`.
+    pub fold_l_splice: Duration,
+    /// Per-cone ∆(M,L) fold invocations summed across all folded passes
+    /// (each `fold_maintenance` call contributes its coalesced group
+    /// count) — the denominator for mean per-cone fold cost.
+    pub cone_folds: u64,
     /// Time writing replay-log records (fsync excluded).
     pub wal_append: Duration,
     /// Time fsyncing the replay log.
@@ -966,6 +1020,16 @@ impl fmt::Display for EngineReport {
                 self.plan_cache.evictions
             )?;
         }
+        if self.template_cache.hits + self.template_cache.compiles > 0 {
+            writeln!(
+                f,
+                "template cache: {} instantiations ({:.1}% hit rate), {} edge templates compiled in {:?}",
+                self.template_cache.hits,
+                100.0 * self.template_cache.hit_rate(),
+                self.template_cache.compiles,
+                Duration::from_nanos(self.template_cache.compile_ns),
+            )?;
+        }
         writeln!(
             f,
             "phase time: eval {:?}, translate {:?} ({:?} wall), maintain {:?}, plan {:?}, merge {:?}, publish {:?}",
@@ -977,6 +1041,13 @@ impl fmt::Display for EngineReport {
             self.merge,
             self.publish
         )?;
+        if self.cone_folds > 0 {
+            writeln!(
+                f,
+                "fold detail: {} cone folds, M-rewrite {:?}, L-splice {:?}",
+                self.cone_folds, self.fold_m_rewrite, self.fold_l_splice
+            )?;
+        }
         if self.latency.count > 0 {
             writeln!(
                 f,

@@ -239,6 +239,100 @@ fn check_plans_knob_equivalence(
     Ok(())
 }
 
+/// Runs the same ops through a templates-on engine, a templates-off
+/// engine, and a templates-off sequential oracle; all three must agree on
+/// the acceptance pattern, the final base database, and the final view.
+/// The `use_templates` knob swaps the precompiled ∆R skeletons
+/// (ARCHITECTURE.md §10: insert-side closure templates, delete-side
+/// candidate-source programs) for the verbatim per-update equality-closure
+/// / source-derivation path, so this is the equivalence proof for the
+/// whole template layer — pin replay order, conflict detection, source
+/// program precedence, and the not-key-preserving verdict alike. The
+/// `cone_fission` flag rides along so the sweep also covers coalesced
+/// per-cone folds over template-translated updates.
+fn check_templates_knob_equivalence(
+    sys: XmlViewSystem,
+    ops: &[XmlUpdate],
+    max_batch: usize,
+    n_shards: usize,
+    pipeline_depth: usize,
+    cone_fission: bool,
+) -> Result<(), String> {
+    if ops.is_empty() {
+        return Ok(());
+    }
+    let mut seq = sys.clone();
+    seq.set_templates_enabled(false);
+    let seq_outcomes: Vec<bool> = ops
+        .iter()
+        .map(|u| seq.apply(u, SideEffectPolicy::Proceed).is_ok())
+        .collect();
+
+    let run = |use_templates: bool| -> Result<_, String> {
+        let engine = Engine::with_config(
+            sys.clone(),
+            EngineConfig {
+                max_batch,
+                n_shards,
+                pipeline_depth,
+                cone_fission,
+                use_templates,
+                ..EngineConfig::default()
+            },
+        );
+        let tickets: Vec<_> = ops
+            .iter()
+            .map(|u| {
+                engine
+                    .submit(u.clone(), SideEffectPolicy::Proceed)
+                    .expect("queue not full")
+            })
+            .collect();
+        engine.commit_pending();
+        let outcomes: Vec<bool> = tickets.into_iter().map(|t| t.wait().is_ok()).collect();
+        let snap = engine.snapshot();
+        snap.system()
+            .consistency_check()
+            .map_err(|e| format!("templates={use_templates}: republication oracle fails: {e}"))?;
+        let probes = engine.stats().report().template_cache.hits;
+        Ok((
+            outcomes,
+            base_rows(snap.system()),
+            edge_set(snap.system()),
+            probes,
+        ))
+    };
+    let (on_out, on_base, on_edges, on_probes) = run(true)?;
+    let (off_out, off_base, off_edges, off_probes) = run(false)?;
+
+    if on_out != seq_outcomes || off_out != seq_outcomes {
+        return Err(format!(
+            "acceptance diverged:\n  seq(templates off) {seq_outcomes:?}\n  engine(templates on) {on_out:?}\n  engine(templates off) {off_out:?}\n  ops: {}",
+            ops.iter()
+                .map(|u| u.to_string())
+                .collect::<Vec<_>>()
+                .join("; ")
+        ));
+    }
+    if on_base != off_base {
+        return Err("final base database diverged between templates on/off".into());
+    }
+    if on_edges != off_edges {
+        return Err("final view diverged between templates on/off".into());
+    }
+    // The knob is real: the templates-on engine instantiated from the
+    // registry, the templates-off engine never touched it.
+    if on_probes == 0 {
+        return Err("templates-on engine never instantiated a template".into());
+    }
+    if off_probes != 0 {
+        return Err(format!(
+            "templates-off engine probed the template registry {off_probes} times"
+        ));
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
 
@@ -291,6 +385,29 @@ proptest! {
         if let Err(e) =
             check_plans_knob_equivalence(sys, &ops, max_batch, n_shards, pipeline_depth)
         {
+            return Err(TestCaseError::fail(e));
+        }
+    }
+
+    /// Compiled translation templates are an optimization, not a semantics
+    /// change: the `use_templates` knob flipped either way yields identical
+    /// acceptance patterns and final states across random mixed workloads,
+    /// on both write paths, at every pipeline depth (1–3), with hot-cone
+    /// fission on and off.
+    #[test]
+    fn templates_on_equals_templates_off(
+        seed in 0u64..200,
+        flips in prop::collection::vec(any::<bool>(), 8..20),
+        max_batch in 1usize..12,
+        n_shards in 1usize..6,
+        pipeline_depth in 1usize..4,
+        cone_fission in any::<bool>(),
+    ) {
+        let sys = system(220, seed);
+        let ops = workload(&sys, seed ^ 0xbeef, &flips);
+        if let Err(e) = check_templates_knob_equivalence(
+            sys, &ops, max_batch, n_shards, pipeline_depth, cone_fission,
+        ) {
             return Err(TestCaseError::fail(e));
         }
     }
@@ -576,6 +693,35 @@ fn plans_knob_is_invisible_across_write_paths_and_depths() {
         let ops = gen.ops(24);
         check_plans_knob_equivalence(sys, &ops, 6, n_shards, depth)
             .unwrap_or_else(|e| panic!("shards={n_shards} depth={depth}: {e}"));
+    }
+}
+
+/// Deterministic templates-on == templates-off sweep covering skewed
+/// `//`-heavy descendant traffic (multi-anchor cones, scoped evaluation,
+/// stale fixups) on both write paths at every pipeline depth, with fission
+/// toggled — the shapes whose translations lean hardest on the precompiled
+/// skeletons.
+#[test]
+fn templates_knob_is_invisible_across_write_paths_and_depths() {
+    for (n_shards, depth, fission) in [
+        (1, 1, false),
+        (1, 2, true),
+        (4, 1, true),
+        (4, 2, false),
+        (4, 3, true),
+    ] {
+        let sys = system(300, 17);
+        let mut gen = DescendantGen::new(DescendantConfig {
+            groups: 300 / 40,
+            descendant_fraction: 0.5,
+            hot_fraction: 0.4,
+            hot_groups: 2,
+            seed: 17,
+            ..DescendantConfig::default()
+        });
+        let ops = gen.ops(24);
+        check_templates_knob_equivalence(sys, &ops, 6, n_shards, depth, fission)
+            .unwrap_or_else(|e| panic!("shards={n_shards} depth={depth} fission={fission}: {e}"));
     }
 }
 

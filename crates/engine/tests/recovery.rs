@@ -339,6 +339,94 @@ fn replay_through_shared_plans_rebuilds_acknowledged_prefix() {
     }
 }
 
+/// Replay through compiled translation templates rebuilds the acknowledged
+/// prefix verbatim. A durable engine (templates on, the default) commits a
+/// mixed history and crashes; the directory is then recovered twice — once
+/// replaying through the template registry, once with `use_templates:
+/// false` on the reference per-update equality-closure / source-derivation
+/// path — and both recovered states must equal each other and the
+/// templates-off sequential oracle, at every pipeline depth (1–3). This
+/// pins the recovery call site of ARCHITECTURE.md §10: the replayed
+/// updates re-instantiate skeletons compiled under the recovered grammar,
+/// and reproduce the original acceptance pattern bit for bit.
+#[test]
+fn replay_through_compiled_templates_rebuilds_acknowledged_prefix() {
+    for pipeline_depth in 1..=3 {
+        let (sys, atg) = system(220, 91);
+        let flips: Vec<bool> = (0..18).map(|i| i % 3 != 2).collect();
+        let ops = mixed_updates(&sys, 0xBEAD, &flips);
+        assert!(!ops.is_empty(), "workload generated no ops");
+        let dir = temp_dir("templates");
+        let engine = Engine::with_durability(
+            sys.clone(),
+            durable_config_depth(2, 0, pipeline_depth),
+            &dir,
+        )
+        .expect("durable engine");
+        let tickets: Vec<_> = ops
+            .iter()
+            .map(|u| {
+                engine
+                    .submit(u.clone(), SideEffectPolicy::Proceed)
+                    .expect("queue not full")
+            })
+            .collect();
+        engine.commit_pending();
+        let acknowledged: Vec<(XmlUpdate, bool)> = ops
+            .iter()
+            .cloned()
+            .zip(tickets.into_iter().map(|t| t.wait().is_ok()))
+            .collect();
+        drop(engine); // crash
+
+        // Templates-off sequential oracle over the acknowledged history.
+        let mut oracle = sys;
+        oracle.set_templates_enabled(false);
+        for (u, accepted) in &acknowledged {
+            let ok = oracle.apply(u, SideEffectPolicy::Proceed).is_ok();
+            assert_eq!(
+                ok, *accepted,
+                "depth {pipeline_depth}: oracle diverged on `{u}`"
+            );
+        }
+
+        let recover_with = |use_templates: bool| {
+            let (engine, report) = Engine::recover(
+                atg.clone(),
+                &dir,
+                EngineConfig {
+                    durability: Durability::Off,
+                    use_templates,
+                    ..EngineConfig::default()
+                },
+            )
+            .expect("recovery succeeds");
+            assert_eq!(
+                report.replay_rejected, 0,
+                "depth {pipeline_depth}, templates={use_templates}: acknowledged updates rejected on replay"
+            );
+            let snap = engine.snapshot();
+            snap.system().consistency_check().expect("consistent");
+            (
+                base_fingerprint(snap.system()),
+                edge_fingerprint(snap.system()),
+            )
+        };
+        let with_templates = recover_with(true);
+        let without_templates = recover_with(false);
+        assert_eq!(
+            with_templates, without_templates,
+            "depth {pipeline_depth}: template-replayed recovery diverged from reference replay"
+        );
+        assert_eq!(
+            with_templates,
+            (base_fingerprint(&oracle), edge_fingerprint(&oracle)),
+            "depth {pipeline_depth}: recovered state diverged from the acknowledged-prefix oracle"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
 /// Deterministic large-ish case across the sharded path (multi-round
 /// commits, global-lane traffic, background checkpoints every 2 epochs).
 #[test]
